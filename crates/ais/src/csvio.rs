@@ -1,0 +1,186 @@
+//! Bulk CSV persistence for decoded reports — the stand-in for the paper's
+//! archived positional-report format (Table 1's 60 GB commercial dataset).
+//!
+//! One row per report:
+//! `mmsi,timestamp,lat,lon,sog,cog,heading,status` with empty fields for
+//! "not available". The reader is tolerant of malformed rows (returns them
+//! as errors so the cleaning stage can count rejects, mirroring §3.3.1).
+
+use crate::report::PositionReport;
+use crate::types::{Mmsi, NavStatus};
+use pol_geo::LatLon;
+use std::io::{self, BufRead, Write};
+
+/// Header line written by [`write_positions`].
+pub const HEADER: &str = "mmsi,timestamp,lat,lon,sog,cog,heading,status";
+
+/// Serializes one report as a CSV row (no newline).
+pub fn position_to_row(r: &PositionReport) -> String {
+    fn opt(v: Option<f64>) -> String {
+        v.map(|x| format!("{x:.1}")).unwrap_or_default()
+    }
+    format!(
+        "{},{},{:.6},{:.6},{},{},{},{}",
+        r.mmsi.0,
+        r.timestamp,
+        r.pos.lat(),
+        r.pos.lon(),
+        opt(r.sog_knots),
+        opt(r.cog_deg),
+        opt(r.heading_deg),
+        r.nav_status.raw()
+    )
+}
+
+/// Error for a row that does not parse.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RowError {
+    /// 1-based line number when known.
+    pub line: usize,
+    /// What was wrong.
+    pub reason: String,
+}
+
+/// Parses one CSV row into a report.
+pub fn position_from_row(row: &str, line: usize) -> Result<PositionReport, RowError> {
+    let err = |reason: &str| RowError {
+        line,
+        reason: reason.to_string(),
+    };
+    let fields: Vec<&str> = row.split(',').collect();
+    if fields.len() != 8 {
+        return Err(err("wrong field count"));
+    }
+    let mmsi = fields[0]
+        .parse::<u32>()
+        .ok()
+        .and_then(Mmsi::new)
+        .ok_or_else(|| err("bad mmsi"))?;
+    let timestamp = fields[1].parse::<i64>().map_err(|_| err("bad timestamp"))?;
+    let lat = fields[2].parse::<f64>().map_err(|_| err("bad lat"))?;
+    let lon = fields[3].parse::<f64>().map_err(|_| err("bad lon"))?;
+    let pos = LatLon::new(lat, lon).ok_or_else(|| err("position out of range"))?;
+    let opt = |s: &str, name: &str| -> Result<Option<f64>, RowError> {
+        if s.is_empty() {
+            Ok(None)
+        } else {
+            s.parse::<f64>().map(Some).map_err(|_| err(name))
+        }
+    };
+    let sog_knots = opt(fields[4], "bad sog")?;
+    let cog_deg = opt(fields[5], "bad cog")?;
+    let heading_deg = opt(fields[6], "bad heading")?;
+    let status_raw = fields[7].parse::<u8>().map_err(|_| err("bad status"))?;
+    if status_raw > 15 {
+        return Err(err("status out of range"));
+    }
+    Ok(PositionReport {
+        mmsi,
+        timestamp,
+        pos,
+        sog_knots,
+        cog_deg,
+        heading_deg,
+        nav_status: NavStatus::from_raw(status_raw),
+    })
+}
+
+/// Writes a header plus all reports to `out` (buffer it for bulk writes).
+pub fn write_positions<W: Write>(out: &mut W, reports: &[PositionReport]) -> io::Result<()> {
+    writeln!(out, "{HEADER}")?;
+    for r in reports {
+        writeln!(out, "{}", position_to_row(r))?;
+    }
+    Ok(())
+}
+
+/// Reads reports from CSV, returning parsed rows and per-row errors
+/// separately (the cleaning stage accounts for both).
+pub fn read_positions<R: BufRead>(input: R) -> io::Result<(Vec<PositionReport>, Vec<RowError>)> {
+    let mut reports = Vec::new();
+    let mut errors = Vec::new();
+    for (i, line) in input.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || (i == 0 && trimmed == HEADER) {
+            continue;
+        }
+        match position_from_row(trimmed, i + 1) {
+            Ok(r) => reports.push(r),
+            Err(e) => errors.push(e),
+        }
+    }
+    Ok((reports, errors))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PositionReport {
+        PositionReport {
+            mmsi: Mmsi(211_000_001),
+            timestamp: 1_640_995_200,
+            pos: LatLon::new(51.000001, 1.500002).unwrap(),
+            sog_knots: Some(14.2),
+            cog_deg: None,
+            heading_deg: Some(121.0),
+            nav_status: NavStatus::UnderWayUsingEngine,
+        }
+    }
+
+    #[test]
+    fn row_round_trip() {
+        let r = sample();
+        let row = position_to_row(&r);
+        let back = position_from_row(&row, 1).unwrap();
+        assert_eq!(back.mmsi, r.mmsi);
+        assert_eq!(back.timestamp, r.timestamp);
+        assert!((back.pos.lat() - r.pos.lat()).abs() < 1e-6);
+        assert_eq!(back.sog_knots, Some(14.2));
+        assert_eq!(back.cog_deg, None);
+        assert_eq!(back.nav_status, r.nav_status);
+    }
+
+    #[test]
+    fn bulk_round_trip() {
+        let reports = vec![sample(), {
+            let mut r = sample();
+            r.mmsi = Mmsi(9);
+            r.sog_knots = None;
+            r
+        }];
+        let mut buf = Vec::new();
+        write_positions(&mut buf, &reports).unwrap();
+        let (back, errs) = read_positions(&buf[..]).unwrap();
+        assert!(errs.is_empty());
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[1].mmsi, Mmsi(9));
+        assert_eq!(back[1].sog_knots, None);
+    }
+
+    #[test]
+    fn bad_rows_reported_not_fatal() {
+        let data = format!(
+            "{HEADER}\n\
+             garbage line\n\
+             {}\n\
+             0,123,51.0,1.0,,,,,0\n\
+             123,123,99.0,1.0,,,,0\n",
+            position_to_row(&sample())
+        );
+        let (ok, errs) = read_positions(data.as_bytes()).unwrap();
+        assert_eq!(ok.len(), 1);
+        assert_eq!(errs.len(), 3);
+        assert_eq!(errs[0].line, 2);
+        assert!(errs[2].reason.contains("position out of range"));
+    }
+
+    #[test]
+    fn skips_blank_lines_and_header() {
+        let data = format!("{HEADER}\n\n{}\n\n", position_to_row(&sample()));
+        let (ok, errs) = read_positions(data.as_bytes()).unwrap();
+        assert_eq!(ok.len(), 1);
+        assert!(errs.is_empty());
+    }
+}

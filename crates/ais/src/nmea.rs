@@ -1,0 +1,285 @@
+//! NMEA 0183 sentence framing for AIVDM/AIVDO.
+//!
+//! A sentence looks like `!AIVDM,2,1,3,B,<payload>,0*5C`: fragment count,
+//! fragment number, sequential message id (for multi-fragment messages),
+//! radio channel, armoured payload, fill bits, and a `*`-prefixed XOR
+//! checksum over everything between `!` and `*`. Message type 5 payloads
+//! exceed one sentence and arrive as two fragments; the [`Assembler`]
+//! reassembles them.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Error for malformed NMEA sentences.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NmeaError {
+    /// Sentence doesn't start with `!AIVDM`/`!AIVDO` or lacks fields.
+    Malformed(String),
+    /// Checksum mismatch: `(expected, computed)`.
+    Checksum(u8, u8),
+    /// A numeric field failed to parse.
+    BadField(&'static str),
+}
+
+impl fmt::Display for NmeaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Malformed(s) => write!(f, "malformed NMEA sentence: {s:?}"),
+            Self::Checksum(e, c) => write!(f, "checksum mismatch: sentence says {e:02X}, computed {c:02X}"),
+            Self::BadField(name) => write!(f, "unparseable field: {name}"),
+        }
+    }
+}
+
+impl std::error::Error for NmeaError {}
+
+/// One parsed AIVDM sentence (possibly a fragment of a longer message).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Sentence {
+    /// Total fragments of this message (1 for single-sentence messages).
+    pub fragments: u8,
+    /// This fragment's 1-based number.
+    pub fragment_no: u8,
+    /// Sequential message id linking fragments (empty for single-fragment).
+    pub message_id: Option<u8>,
+    /// Radio channel (`A`/`B`), when present.
+    pub channel: Option<char>,
+    /// Armoured payload.
+    pub payload: String,
+    /// Pad bits in the last payload character.
+    pub fill_bits: u8,
+}
+
+/// XOR checksum over the characters between `!` and `*`.
+pub fn checksum(body: &str) -> u8 {
+    body.bytes().fold(0, |acc, b| acc ^ b)
+}
+
+impl Sentence {
+    /// Parses a full `!AIVDM,...*CS` line (also accepts `!AIVDO`).
+    pub fn parse(line: &str) -> Result<Sentence, NmeaError> {
+        let line = line.trim();
+        let rest = line
+            .strip_prefix('!')
+            .ok_or_else(|| NmeaError::Malformed(line.into()))?;
+        let (body, cs_str) = rest
+            .rsplit_once('*')
+            .ok_or_else(|| NmeaError::Malformed(line.into()))?;
+        let expected =
+            u8::from_str_radix(cs_str.trim(), 16).map_err(|_| NmeaError::BadField("checksum"))?;
+        let computed = checksum(body);
+        if expected != computed {
+            return Err(NmeaError::Checksum(expected, computed));
+        }
+        let fields: Vec<&str> = body.split(',').collect();
+        if fields.len() != 7 || !(fields[0] == "AIVDM" || fields[0] == "AIVDO") {
+            return Err(NmeaError::Malformed(line.into()));
+        }
+        let fragments: u8 = fields[1].parse().map_err(|_| NmeaError::BadField("fragments"))?;
+        let fragment_no: u8 = fields[2].parse().map_err(|_| NmeaError::BadField("fragment_no"))?;
+        let message_id = if fields[3].is_empty() {
+            None
+        } else {
+            Some(fields[3].parse().map_err(|_| NmeaError::BadField("message_id"))?)
+        };
+        let channel = fields[4].chars().next();
+        let payload = fields[5].to_string();
+        let fill_bits: u8 = fields[6].parse().map_err(|_| NmeaError::BadField("fill_bits"))?;
+        if fragments == 0 || fragment_no == 0 || fragment_no > fragments || fill_bits > 5 {
+            return Err(NmeaError::Malformed(line.into()));
+        }
+        Ok(Sentence {
+            fragments,
+            fragment_no,
+            message_id,
+            channel,
+            payload,
+            fill_bits,
+        })
+    }
+
+    /// Formats the sentence as a wire line with checksum.
+    pub fn to_line(&self) -> String {
+        let body = format!(
+            "AIVDM,{},{},{},{},{},{}",
+            self.fragments,
+            self.fragment_no,
+            self.message_id.map(|i| i.to_string()).unwrap_or_default(),
+            self.channel.map(String::from).unwrap_or_default(),
+            self.payload,
+            self.fill_bits
+        );
+        format!("!{body}*{:02X}", checksum(&body))
+    }
+
+    /// Wraps an armoured payload into one or more sentences
+    /// (fragmenting at 60 payload characters, the radio limit).
+    pub fn wrap(payload: &str, fill_bits: u8, message_id: u8) -> Vec<Sentence> {
+        const MAX_CHARS: usize = 60;
+        let chunks: Vec<&str> = payload
+            .as_bytes()
+            .chunks(MAX_CHARS)
+            .map(|c| std::str::from_utf8(c).expect("armoured payload is ASCII"))
+            .collect();
+        let total = chunks.len().max(1) as u8;
+        chunks
+            .iter()
+            .enumerate()
+            .map(|(i, chunk)| Sentence {
+                fragments: total,
+                fragment_no: i as u8 + 1,
+                message_id: (total > 1).then_some(message_id),
+                channel: Some('A'),
+                payload: (*chunk).to_string(),
+                fill_bits: if i as u8 + 1 == total { fill_bits } else { 0 },
+            })
+            .collect()
+    }
+}
+
+/// Reassembles multi-fragment messages. Feed sentences in arrival order;
+/// complete messages pop out as `(payload, fill_bits)`.
+#[derive(Default)]
+pub struct Assembler {
+    pending: HashMap<u8, Vec<Option<Sentence>>>,
+}
+
+impl Assembler {
+    /// A fresh assembler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pushes one sentence; returns the full payload when it completes a
+    /// message.
+    pub fn push(&mut self, s: Sentence) -> Option<(String, u8)> {
+        if s.fragments == 1 {
+            return Some((s.payload, s.fill_bits));
+        }
+        let key = s.message_id.unwrap_or(0);
+        let slot = self
+            .pending
+            .entry(key)
+            .or_insert_with(|| vec![None; s.fragments as usize]);
+        if slot.len() != s.fragments as usize {
+            // Conflicting fragment count: restart the slot.
+            *slot = vec![None; s.fragments as usize];
+        }
+        let idx = (s.fragment_no - 1) as usize;
+        slot[idx] = Some(s);
+        if slot.iter().all(Option::is_some) {
+            let parts = self.pending.remove(&key).expect("just inserted");
+            let mut payload = String::new();
+            let mut fill = 0;
+            for p in parts.into_iter().flatten() {
+                payload.push_str(&p.payload);
+                fill = p.fill_bits;
+            }
+            return Some((payload, fill));
+        }
+        None
+    }
+
+    /// Number of messages awaiting fragments.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // A classic known-good AIVDM type-1 sentence from the public AIS docs.
+    const KNOWN: &str = "!AIVDM,1,1,,B,177KQJ5000G?tO`K>RA1wUbN0TKH,0*5C";
+
+    #[test]
+    fn parse_known_sentence() {
+        let s = Sentence::parse(KNOWN).unwrap();
+        assert_eq!(s.fragments, 1);
+        assert_eq!(s.fragment_no, 1);
+        assert_eq!(s.message_id, None);
+        assert_eq!(s.channel, Some('B'));
+        assert_eq!(s.payload, "177KQJ5000G?tO`K>RA1wUbN0TKH");
+        assert_eq!(s.fill_bits, 0);
+    }
+
+    #[test]
+    fn round_trip_format() {
+        let s = Sentence::parse(KNOWN).unwrap();
+        assert_eq!(s.to_line(), KNOWN);
+        let re = Sentence::parse(&s.to_line()).unwrap();
+        assert_eq!(re, s);
+    }
+
+    #[test]
+    fn checksum_detects_corruption() {
+        let corrupted = KNOWN.replace("177K", "177L");
+        match Sentence::parse(&corrupted) {
+            Err(NmeaError::Checksum(_, _)) => {}
+            other => panic!("expected checksum error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(Sentence::parse("AIVDM,1,1,,B,xyz,0*00").is_err()); // no '!'
+        assert!(Sentence::parse("!AIVDM,1,1,,B,xyz").is_err()); // no checksum
+        assert!(Sentence::parse("!GPGGA,1,1,,B,xyz,0*2A").is_err()); // wrong talker
+        // fill bits out of range (recompute checksum so it passes that stage)
+        let body = "AIVDM,1,1,,B,xyz,6";
+        let line = format!("!{body}*{:02X}", checksum(body));
+        assert!(Sentence::parse(&line).is_err());
+    }
+
+    #[test]
+    fn wrap_single() {
+        let ss = Sentence::wrap("SHORT", 2, 7);
+        assert_eq!(ss.len(), 1);
+        assert_eq!(ss[0].fragments, 1);
+        assert_eq!(ss[0].message_id, None);
+        assert_eq!(ss[0].fill_bits, 2);
+    }
+
+    #[test]
+    fn wrap_and_assemble_multi() {
+        let long_payload: String = std::iter::repeat('0').take(71).collect();
+        let ss = Sentence::wrap(&long_payload, 2, 3);
+        assert_eq!(ss.len(), 2);
+        assert_eq!(ss[0].fragments, 2);
+        assert_eq!(ss[0].fill_bits, 0, "only last fragment carries fill");
+        assert_eq!(ss[1].fill_bits, 2);
+        let mut asm = Assembler::new();
+        assert_eq!(asm.push(ss[0].clone()), None);
+        assert_eq!(asm.pending(), 1);
+        let (payload, fill) = asm.push(ss[1].clone()).unwrap();
+        assert_eq!(payload, long_payload);
+        assert_eq!(fill, 2);
+        assert_eq!(asm.pending(), 0);
+    }
+
+    #[test]
+    fn assemble_out_of_order() {
+        let long_payload: String = std::iter::repeat('A').take(100).collect();
+        let ss = Sentence::wrap(&long_payload, 4, 9);
+        let mut asm = Assembler::new();
+        assert_eq!(asm.push(ss[1].clone()), None);
+        let (payload, fill) = asm.push(ss[0].clone()).unwrap();
+        assert_eq!(payload, long_payload);
+        assert_eq!(fill, 4);
+    }
+
+    #[test]
+    fn interleaved_messages_by_id() {
+        let a = Sentence::wrap(&"1".repeat(70), 0, 1);
+        let b = Sentence::wrap(&"2".repeat(70), 0, 2);
+        let mut asm = Assembler::new();
+        assert_eq!(asm.push(a[0].clone()), None);
+        assert_eq!(asm.push(b[0].clone()), None);
+        assert_eq!(asm.pending(), 2);
+        let (pa, _) = asm.push(a[1].clone()).unwrap();
+        assert_eq!(pa, "1".repeat(70));
+        let (pb, _) = asm.push(b[1].clone()).unwrap();
+        assert_eq!(pb, "2".repeat(70));
+    }
+}

@@ -1,0 +1,128 @@
+//! Decoded records — the rows of the paper's Table 1 datasets.
+
+use crate::types::{MarketSegment, Mmsi, NavStatus, ShipTypeCode};
+use pol_geo::LatLon;
+
+/// A positional report: one row of the paper's 2.7-billion-record dataset.
+///
+/// Fields mirror the AIS position payload plus the receiver-assigned
+/// timestamp (AIS itself transmits only a UTC-second counter; full
+/// timestamps are stamped by the receiving network, as at MarineTraffic).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PositionReport {
+    /// Vessel identity.
+    pub mmsi: Mmsi,
+    /// Receiver-assigned Unix timestamp, seconds.
+    pub timestamp: i64,
+    /// Reported position.
+    pub pos: LatLon,
+    /// Speed over ground, knots. AIS encodes 0–102.2 in 0.1 kn steps;
+    /// `None` = "not available" (raw 1023).
+    pub sog_knots: Option<f64>,
+    /// Course over ground, degrees. `None` = not available (raw 3600).
+    pub cog_deg: Option<f64>,
+    /// True heading, degrees 0–359. `None` = not available (raw 511).
+    pub heading_deg: Option<f64>,
+    /// Navigational status.
+    pub nav_status: NavStatus,
+}
+
+impl PositionReport {
+    /// Whether the kinematic fields are within protocol ranges — the value
+    /// check of the paper's cleaning step (§3.3.1). Positions are validated
+    /// at construction of [`LatLon`].
+    pub fn in_protocol_ranges(&self) -> bool {
+        let sog_ok = self.sog_knots.is_none_or(|s| (0.0..=102.2).contains(&s));
+        let cog_ok = self.cog_deg.is_none_or(|c| (0.0..360.0).contains(&c));
+        let hdg_ok = self.heading_deg.is_none_or(|h| (0.0..360.0).contains(&h));
+        sog_ok && cog_ok && hdg_ok
+    }
+}
+
+/// A static (vessel-particulars) report — one row of the paper's
+/// 60-thousand-vessel static inventory.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StaticReport {
+    /// Vessel identity.
+    pub mmsi: Mmsi,
+    /// IMO number (7 digits) when known.
+    pub imo: Option<u32>,
+    /// Vessel name (6-bit ASCII uppercase on the wire).
+    pub name: String,
+    /// Raw AIS ship-type code.
+    pub ship_type: ShipTypeCode,
+    /// Gross tonnage from the vessel database (not carried by AIS itself;
+    /// the paper's commercial filter keeps > 5000 GRT).
+    pub gross_tonnage: u32,
+}
+
+impl StaticReport {
+    /// The market segment this vessel belongs to.
+    pub fn segment(&self) -> MarketSegment {
+        MarketSegment::from_ship_type(self.ship_type)
+    }
+
+    /// The paper's commercial-fleet filter: commercial segment, above
+    /// 5000 GRT (class-A carriage is implied at that tonnage).
+    pub fn is_commercial_fleet(&self) -> bool {
+        self.segment().is_commercial() && self.gross_tonnage > 5000
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> PositionReport {
+        PositionReport {
+            mmsi: Mmsi(211_000_001),
+            timestamp: 1_640_995_200,
+            pos: LatLon::new(51.0, 1.5).unwrap(),
+            sog_knots: Some(14.2),
+            cog_deg: Some(123.0),
+            heading_deg: Some(121.0),
+            nav_status: NavStatus::UnderWayUsingEngine,
+        }
+    }
+
+    #[test]
+    fn protocol_ranges_accept_valid() {
+        assert!(report().in_protocol_ranges());
+        let mut r = report();
+        r.sog_knots = None;
+        r.cog_deg = None;
+        r.heading_deg = None;
+        assert!(r.in_protocol_ranges(), "not-available fields are valid");
+    }
+
+    #[test]
+    fn protocol_ranges_reject_invalid() {
+        let mut r = report();
+        r.sog_knots = Some(150.0);
+        assert!(!r.in_protocol_ranges());
+        let mut r = report();
+        r.cog_deg = Some(360.0);
+        assert!(!r.in_protocol_ranges());
+        let mut r = report();
+        r.heading_deg = Some(-1.0);
+        assert!(!r.in_protocol_ranges());
+    }
+
+    #[test]
+    fn commercial_filter() {
+        let mut s = StaticReport {
+            mmsi: Mmsi(1),
+            imo: Some(9_300_000),
+            name: "EVER TEST".into(),
+            ship_type: ShipTypeCode(71),
+            gross_tonnage: 150_000,
+        };
+        assert_eq!(s.segment(), MarketSegment::Container);
+        assert!(s.is_commercial_fleet());
+        s.gross_tonnage = 4_000;
+        assert!(!s.is_commercial_fleet(), "small vessels excluded");
+        s.gross_tonnage = 150_000;
+        s.ship_type = ShipTypeCode(30);
+        assert!(!s.is_commercial_fleet(), "fishing excluded");
+    }
+}

@@ -1,0 +1,326 @@
+//! The 6-bit layer of the AIVDM wire format.
+//!
+//! AIS payloads are bit strings transported as printable ASCII: each
+//! character carries 6 bits ("payload armouring", values 0–63 mapped to the
+//! ranges `0x30..=0x57` and `0x60..=0x77`). Text fields inside the payload
+//! use a separate 6-bit ASCII alphabet (`@` = 0, `A`–`Z`, digits, space…).
+
+use std::fmt;
+
+/// Error for malformed 6-bit data.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SixBitError {
+    /// A payload character outside the armouring alphabet.
+    BadArmorChar(char),
+    /// A read past the end of the bit buffer.
+    OutOfBits { wanted: usize, available: usize },
+}
+
+impl fmt::Display for SixBitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::BadArmorChar(c) => write!(f, "invalid AIS payload character {c:?}"),
+            Self::OutOfBits { wanted, available } => {
+                write!(f, "payload too short: wanted {wanted} bits, had {available}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SixBitError {}
+
+/// Decodes one armoured payload character to its 6-bit value.
+pub fn unarmor_char(c: char) -> Result<u8, SixBitError> {
+    let v = c as u32;
+    match v {
+        0x30..=0x57 => Ok((v - 48) as u8),
+        0x60..=0x77 => Ok((v - 56) as u8),
+        _ => Err(SixBitError::BadArmorChar(c)),
+    }
+}
+
+/// Encodes a 6-bit value (0–63) to its armoured payload character.
+///
+/// # Panics
+/// When `v > 63`.
+pub fn armor_char(v: u8) -> char {
+    assert!(v < 64, "six-bit value out of range: {v}");
+    if v < 40 {
+        (v + 48) as char
+    } else {
+        (v + 56) as char
+    }
+}
+
+/// A bit-level reader over an armoured payload.
+pub struct BitReader {
+    bits: Vec<bool>,
+    pos: usize,
+}
+
+impl BitReader {
+    /// Parses an armoured payload string, dropping `fill` trailing pad bits.
+    pub fn from_payload(payload: &str, fill: u8) -> Result<BitReader, SixBitError> {
+        let mut bits = Vec::with_capacity(payload.len() * 6);
+        for c in payload.chars() {
+            let v = unarmor_char(c)?;
+            for i in (0..6).rev() {
+                bits.push((v >> i) & 1 == 1);
+            }
+        }
+        let keep = bits.len().saturating_sub(fill as usize);
+        bits.truncate(keep);
+        Ok(BitReader { bits, pos: 0 })
+    }
+
+    /// Bits remaining.
+    pub fn remaining(&self) -> usize {
+        self.bits.len() - self.pos
+    }
+
+    /// Reads `n ≤ 64` bits as an unsigned big-endian integer.
+    pub fn read_u64(&mut self, n: usize) -> Result<u64, SixBitError> {
+        assert!(n <= 64);
+        if self.remaining() < n {
+            return Err(SixBitError::OutOfBits {
+                wanted: n,
+                available: self.remaining(),
+            });
+        }
+        let mut v = 0u64;
+        for _ in 0..n {
+            v = (v << 1) | self.bits[self.pos] as u64;
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+
+    /// Reads `n` bits as a two's-complement signed integer.
+    pub fn read_i64(&mut self, n: usize) -> Result<i64, SixBitError> {
+        let raw = self.read_u64(n)?;
+        let sign_bit = 1u64 << (n - 1);
+        Ok(if raw & sign_bit != 0 {
+            (raw as i64) - (1i64 << n)
+        } else {
+            raw as i64
+        })
+    }
+
+    /// Reads a 6-bit-ASCII text field of `chars` characters, trimming
+    /// trailing `@` (the null of the AIS alphabet) and spaces.
+    pub fn read_text(&mut self, chars: usize) -> Result<String, SixBitError> {
+        let mut s = String::with_capacity(chars);
+        for _ in 0..chars {
+            let v = self.read_u64(6)? as u8;
+            s.push(sixbit_ascii(v));
+        }
+        Ok(s.trim_end_matches(['@', ' ']).to_string())
+    }
+
+    /// Skips `n` bits.
+    pub fn skip(&mut self, n: usize) -> Result<(), SixBitError> {
+        if self.remaining() < n {
+            return Err(SixBitError::OutOfBits {
+                wanted: n,
+                available: self.remaining(),
+            });
+        }
+        self.pos += n;
+        Ok(())
+    }
+}
+
+/// A bit-level writer producing armoured payloads.
+#[derive(Default)]
+pub struct BitWriter {
+    bits: Vec<bool>,
+}
+
+impl BitWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends `n ≤ 64` bits of `v`, big-endian.
+    pub fn write_u64(&mut self, v: u64, n: usize) {
+        assert!(n <= 64);
+        debug_assert!(n == 64 || v < (1u64 << n), "value {v} overflows {n} bits");
+        for i in (0..n).rev() {
+            self.bits.push((v >> i) & 1 == 1);
+        }
+    }
+
+    /// Appends `n` bits of a signed value (two's complement).
+    pub fn write_i64(&mut self, v: i64, n: usize) {
+        let mask = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+        self.write_u64((v as u64) & mask, n);
+    }
+
+    /// Appends a text field of exactly `chars` 6-bit-ASCII characters,
+    /// padding with `@`.
+    pub fn write_text(&mut self, text: &str, chars: usize) {
+        let mut written = 0;
+        for c in text.chars().take(chars) {
+            self.write_u64(ascii_sixbit(c) as u64, 6);
+            written += 1;
+        }
+        for _ in written..chars {
+            self.write_u64(0, 6); // '@' padding
+        }
+    }
+
+    /// Bit length so far.
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// Produces `(payload, fill_bits)`: the armoured string plus how many
+    /// pad bits the last character carries.
+    pub fn into_payload(self) -> (String, u8) {
+        let fill = (6 - self.bits.len() % 6) % 6;
+        let mut payload = String::with_capacity(self.bits.len() / 6 + 1);
+        let mut acc = 0u8;
+        let mut nbits = 0;
+        for b in self.bits.iter().copied().chain(std::iter::repeat_n(false, fill)) {
+            acc = (acc << 1) | b as u8;
+            nbits += 1;
+            if nbits == 6 {
+                payload.push(armor_char(acc));
+                acc = 0;
+                nbits = 0;
+            }
+        }
+        (payload, fill as u8)
+    }
+}
+
+/// 6-bit value → AIS text character.
+fn sixbit_ascii(v: u8) -> char {
+    debug_assert!(v < 64);
+    if v < 32 {
+        (v + 64) as char // '@', 'A'..'Z', '[', '\', ']', '^', '_'
+    } else {
+        v as char // ' ', '!', …, '0'..'9', …, '?'
+    }
+}
+
+/// AIS text character → 6-bit value (unknown characters map to '@').
+fn ascii_sixbit(c: char) -> u8 {
+    let v = c.to_ascii_uppercase() as u32;
+    match v {
+        64..=95 => (v - 64) as u8,
+        32..=63 => v as u8,
+        _ => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn armor_round_trip_all_values() {
+        for v in 0..64u8 {
+            let c = armor_char(v);
+            assert_eq!(unarmor_char(c), Ok(v));
+        }
+    }
+
+    #[test]
+    fn unarmor_rejects_gaps() {
+        // 0x58..0x5F is a hole in the armouring alphabet.
+        for c in ['X', 'Y', 'Z', '[', '\\', ']', '^', '_', '\n', '!'] {
+            assert!(unarmor_char(c).is_err(), "{c:?}");
+        }
+    }
+
+    #[test]
+    fn reader_writer_round_trip() {
+        let mut w = BitWriter::new();
+        w.write_u64(6, 6); // message type
+        w.write_u64(0, 2);
+        w.write_u64(211_339_980, 30);
+        w.write_i64(-12_345, 28);
+        w.write_text("HELLO 42", 10);
+        let total = w.len();
+        let (payload, fill) = w.into_payload();
+        let mut r = BitReader::from_payload(&payload, fill).unwrap();
+        assert_eq!(r.remaining(), total);
+        assert_eq!(r.read_u64(6).unwrap(), 6);
+        assert_eq!(r.read_u64(2).unwrap(), 0);
+        assert_eq!(r.read_u64(30).unwrap(), 211_339_980);
+        assert_eq!(r.read_i64(28).unwrap(), -12_345);
+        assert_eq!(r.read_text(10).unwrap(), "HELLO 42");
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn signed_extremes() {
+        let mut w = BitWriter::new();
+        w.write_i64(-1, 28);
+        w.write_i64((1 << 27) - 1, 28);
+        w.write_i64(-(1 << 27), 28);
+        let (p, f) = w.into_payload();
+        let mut r = BitReader::from_payload(&p, f).unwrap();
+        assert_eq!(r.read_i64(28).unwrap(), -1);
+        assert_eq!(r.read_i64(28).unwrap(), (1 << 27) - 1);
+        assert_eq!(r.read_i64(28).unwrap(), -(1 << 27));
+    }
+
+    #[test]
+    fn out_of_bits_error() {
+        let mut r = BitReader::from_payload("0", 0).unwrap(); // 6 bits
+        assert_eq!(r.read_u64(6).unwrap(), 0);
+        assert!(matches!(
+            r.read_u64(1),
+            Err(SixBitError::OutOfBits { wanted: 1, available: 0 })
+        ));
+    }
+
+    #[test]
+    fn fill_bits_truncated() {
+        let mut w = BitWriter::new();
+        w.write_u64(0b1010101, 7); // 7 bits -> 2 chars, 5 fill
+        let (p, fill) = w.into_payload();
+        assert_eq!(p.len(), 2);
+        assert_eq!(fill, 5);
+        let r = BitReader::from_payload(&p, fill).unwrap();
+        assert_eq!(r.remaining(), 7);
+    }
+
+    #[test]
+    fn text_alphabet_round_trip() {
+        let mut w = BitWriter::new();
+        w.write_text("ABC XYZ 0189?", 13);
+        let (p, f) = w.into_payload();
+        let mut r = BitReader::from_payload(&p, f).unwrap();
+        assert_eq!(r.read_text(13).unwrap(), "ABC XYZ 0189?");
+    }
+
+    #[test]
+    fn text_pads_and_trims() {
+        let mut w = BitWriter::new();
+        w.write_text("AB", 6);
+        let (p, f) = w.into_payload();
+        let mut r = BitReader::from_payload(&p, f).unwrap();
+        assert_eq!(r.read_text(6).unwrap(), "AB");
+    }
+
+    #[test]
+    fn skip_advances() {
+        let mut w = BitWriter::new();
+        w.write_u64(0xFF, 8);
+        w.write_u64(0b101, 3);
+        let (p, f) = w.into_payload();
+        let mut r = BitReader::from_payload(&p, f).unwrap();
+        r.skip(8).unwrap();
+        assert_eq!(r.read_u64(3).unwrap(), 0b101);
+        assert!(r.skip(10).is_err());
+    }
+}

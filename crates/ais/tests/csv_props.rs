@@ -1,0 +1,87 @@
+//! Property tests for the bulk CSV codec: round-trips and rejection.
+
+use pol_ais::csvio::{position_from_row, position_to_row, read_positions, write_positions};
+use pol_ais::types::{Mmsi, NavStatus};
+use pol_ais::PositionReport;
+use pol_geo::LatLon;
+use proptest::prelude::*;
+
+fn arb_report() -> impl Strategy<Value = PositionReport> {
+    (
+        1u32..999_999_999,
+        -2_000_000_000i64..2_000_000_000,
+        -89.999f64..89.999,
+        -179.999f64..179.999,
+        prop::option::of(0.0f64..102.2),
+        prop::option::of(0.0f64..359.9),
+        prop::option::of(0.0f64..359.9),
+        0u8..16,
+    )
+        .prop_map(|(m, t, lat, lon, sog, cog, hdg, st)| PositionReport {
+            mmsi: Mmsi(m),
+            timestamp: t,
+            pos: LatLon::new(lat, lon).unwrap(),
+            sog_knots: sog,
+            cog_deg: cog,
+            heading_deg: hdg,
+            nav_status: NavStatus::from_raw(st),
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn row_round_trip(r in arb_report()) {
+        let row = position_to_row(&r);
+        let back = position_from_row(&row, 1).expect("own rows parse");
+        prop_assert_eq!(back.mmsi, r.mmsi);
+        prop_assert_eq!(back.timestamp, r.timestamp);
+        // Positions serialise at 1e-6 degrees; kinematics at 0.1 units.
+        prop_assert!((back.pos.lat() - r.pos.lat()).abs() <= 5e-7 + 1e-12);
+        prop_assert!((back.pos.lon() - r.pos.lon()).abs() <= 5e-7 + 1e-12);
+        match (back.sog_knots, r.sog_knots) {
+            (Some(a), Some(b)) => prop_assert!((a - b).abs() <= 0.05 + 1e-9),
+            (None, None) => {}
+            other => prop_assert!(false, "{other:?}"),
+        }
+        prop_assert_eq!(back.nav_status, r.nav_status);
+    }
+
+    #[test]
+    fn bulk_round_trip(reports in prop::collection::vec(arb_report(), 0..60)) {
+        let mut buf = Vec::new();
+        write_positions(&mut buf, &reports).unwrap();
+        let (back, errors) = read_positions(&buf[..]).unwrap();
+        prop_assert!(errors.is_empty(), "{errors:?}");
+        prop_assert_eq!(back.len(), reports.len());
+        for (b, r) in back.iter().zip(&reports) {
+            prop_assert_eq!(b.mmsi, r.mmsi);
+            prop_assert_eq!(b.timestamp, r.timestamp);
+        }
+    }
+
+    #[test]
+    fn corrupted_fields_never_panic(r in arb_report(), field in 0usize..8, garbage in "[a-z!@#]{1,8}") {
+        let row = position_to_row(&r);
+        let mut fields: Vec<&str> = row.split(',').collect();
+        fields[field] = &garbage;
+        let mangled = fields.join(",");
+        // Must either parse (if the field was optional/emptyable) or fail
+        // cleanly — never panic.
+        let _ = position_from_row(&mangled, 3);
+    }
+
+    #[test]
+    fn truncated_rows_rejected(r in arb_report(), cut in 1usize..20) {
+        let row = position_to_row(&r);
+        let cut = cut.min(row.len() - 1);
+        let truncated = &row[..row.len() - cut];
+        // Removing trailing characters may still leave a valid shorter
+        // number; only the field-count failure is guaranteed when a comma
+        // was cut.
+        if truncated.matches(',').count() != 7 {
+            prop_assert!(position_from_row(truncated, 1).is_err());
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! Lloyd's k-means with k-means++ seeding on the equal-area plane —
+//! the clustering core of the map/reduce route modelling of Zissis et
+//! al. [32], which the paper's methodology supersedes.
+
+use pol_geo::project::{from_xy, to_xy, WorldXY};
+use pol_geo::LatLon;
+use pol_sketch::hash::mix64;
+
+/// K-means output.
+#[derive(Clone, Debug)]
+pub struct KMeansResult {
+    /// Cluster centroids (geographic).
+    pub centroids: Vec<LatLon>,
+    /// Per-input-point cluster assignment.
+    pub assignment: Vec<usize>,
+    /// Sum of squared plane distances to assigned centroids (km²).
+    pub inertia: f64,
+    /// Lloyd iterations executed.
+    pub iterations: u32,
+}
+
+/// Runs k-means (k-means++ init, Lloyd refinement) until assignment
+/// convergence or `max_iters`. Deterministic given `seed`.
+///
+/// # Panics
+/// When `k == 0` or `k > points.len()`.
+pub fn kmeans(points: &[LatLon], k: usize, max_iters: u32, seed: u64) -> KMeansResult {
+    assert!(k > 0, "k must be positive");
+    assert!(k <= points.len(), "k exceeds point count");
+    let xy: Vec<WorldXY> = points.iter().map(|p| to_xy(*p)).collect();
+    let mut centroids = plus_plus_seed(&xy, k, seed);
+    let mut assignment = vec![0usize; xy.len()];
+    let mut iterations = 0;
+    for _ in 0..max_iters.max(1) {
+        iterations += 1;
+        // Assign.
+        let mut changed = false;
+        for (i, p) in xy.iter().enumerate() {
+            let best = nearest(&centroids, p).0;
+            if assignment[i] != best {
+                assignment[i] = best;
+                changed = true;
+            }
+        }
+        // Update.
+        let mut sums = vec![(0.0f64, 0.0f64, 0usize); k];
+        for (i, p) in xy.iter().enumerate() {
+            let s = &mut sums[assignment[i]];
+            s.0 += p.x;
+            s.1 += p.y;
+            s.2 += 1;
+        }
+        for (c, s) in centroids.iter_mut().zip(&sums) {
+            if s.2 > 0 {
+                *c = WorldXY {
+                    x: s.0 / s.2 as f64,
+                    y: s.1 / s.2 as f64,
+                };
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let inertia = xy
+        .iter()
+        .enumerate()
+        .map(|(i, p)| dist2(p, &centroids[assignment[i]]))
+        .sum();
+    KMeansResult {
+        centroids: centroids.iter().map(|c| from_xy(*c)).collect(),
+        assignment,
+        inertia,
+        iterations,
+    }
+}
+
+#[inline]
+fn dist2(a: &WorldXY, b: &WorldXY) -> f64 {
+    (a.x - b.x).powi(2) + (a.y - b.y).powi(2)
+}
+
+fn nearest(centroids: &[WorldXY], p: &WorldXY) -> (usize, f64) {
+    let mut best = (0, f64::INFINITY);
+    for (i, c) in centroids.iter().enumerate() {
+        let d = dist2(p, c);
+        if d < best.1 {
+            best = (i, d);
+        }
+    }
+    best
+}
+
+/// k-means++ seeding (Arthur & Vassilvitskii 2007) with a deterministic
+/// splitmix-based sampler.
+fn plus_plus_seed(xy: &[WorldXY], k: usize, seed: u64) -> Vec<WorldXY> {
+    let mut state = seed;
+    let mut rand_f64 = move || {
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        (mix64(state) >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let mut centroids = Vec::with_capacity(k);
+    centroids.push(xy[(rand_f64() * xy.len() as f64) as usize % xy.len()]);
+    let mut d2: Vec<f64> = xy.iter().map(|p| dist2(p, &centroids[0])).collect();
+    while centroids.len() < k {
+        let total: f64 = d2.iter().sum();
+        let next = if total <= 0.0 {
+            // All mass at the chosen centroids; any point will do.
+            xy[(rand_f64() * xy.len() as f64) as usize % xy.len()]
+        } else {
+            let mut target = rand_f64() * total;
+            let mut pick = xy.len() - 1;
+            for (i, w) in d2.iter().enumerate() {
+                target -= w;
+                if target <= 0.0 {
+                    pick = i;
+                    break;
+                }
+            }
+            xy[pick]
+        };
+        centroids.push(next);
+        for (p, d) in xy.iter().zip(d2.iter_mut()) {
+            *d = d.min(dist2(p, centroids.last().expect("just pushed")));
+        }
+    }
+    centroids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blobs() -> Vec<LatLon> {
+        let mut rng = pol_fleetsim::Rng::new(77);
+        let mut pts = Vec::new();
+        for _ in 0..100 {
+            pts.push(LatLon::new(50.0 + rng.normal() * 0.05, 0.0 + rng.normal() * 0.05).unwrap());
+        }
+        for _ in 0..100 {
+            pts.push(LatLon::new(30.0 + rng.normal() * 0.05, 20.0 + rng.normal() * 0.05).unwrap());
+        }
+        pts
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let pts = two_blobs();
+        let r = kmeans(&pts, 2, 50, 9);
+        assert_eq!(r.centroids.len(), 2);
+        // Each blob maps to a single cluster.
+        let a = r.assignment[0];
+        assert!(r.assignment[..100].iter().all(|&x| x == a));
+        let b = r.assignment[100];
+        assert!(r.assignment[100..].iter().all(|&x| x == b));
+        assert_ne!(a, b);
+        // Centroids land near blob centres.
+        let near = |lat: f64, lon: f64| {
+            r.centroids.iter().any(|c| {
+                pol_geo::haversine_km(*c, LatLon::new(lat, lon).unwrap()) < 30.0
+            })
+        };
+        assert!(near(50.0, 0.0));
+        assert!(near(30.0, 20.0));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let pts = two_blobs();
+        let a = kmeans(&pts, 3, 50, 42);
+        let b = kmeans(&pts, 3, 50, 42);
+        assert_eq!(a.assignment, b.assignment);
+        assert_eq!(a.inertia, b.inertia);
+    }
+
+    #[test]
+    fn more_clusters_never_worse_inertia() {
+        let pts = two_blobs();
+        let i2 = kmeans(&pts, 2, 60, 5).inertia;
+        let i8 = kmeans(&pts, 8, 60, 5).inertia;
+        assert!(i8 <= i2 * 1.05, "k=8 {i8} vs k=2 {i2}");
+    }
+
+    #[test]
+    fn k_equals_n_zero_inertia() {
+        let pts: Vec<LatLon> = (0..5)
+            .map(|i| LatLon::new(10.0 + i as f64, 10.0).unwrap())
+            .collect();
+        let r = kmeans(&pts, 5, 30, 1);
+        assert!(r.inertia < 1e-6, "inertia {}", r.inertia);
+    }
+
+    #[test]
+    #[should_panic(expected = "k exceeds point count")]
+    fn rejects_k_too_large() {
+        let pts = vec![LatLon::new(0.0, 0.0).unwrap()];
+        let _ = kmeans(&pts, 2, 10, 1);
+    }
+
+    #[test]
+    fn converges_and_reports_iterations() {
+        let pts = two_blobs();
+        let r = kmeans(&pts, 2, 100, 3);
+        assert!(r.iterations < 100, "should converge early: {}", r.iterations);
+    }
+}

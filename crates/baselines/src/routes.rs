@@ -1,0 +1,160 @@
+//! Cluster-based route extraction — the TREAD / Zissis-et-al. lineage.
+//!
+//! Given the positional reports of one port pair's voyages, cluster the
+//! points (k-means on the plane), order the cluster centroids by their
+//! average along-voyage progress, and model the route as the resulting
+//! centroid polyline. The benches compare this model's fidelity and cost
+//! against the inventory's per-cell transition graph on identical
+//! simulated lanes.
+
+use crate::kmeans::kmeans;
+use pol_geo::{haversine_km, LatLon};
+
+/// A route extracted by clustering.
+#[derive(Clone, Debug)]
+pub struct RouteModel {
+    /// Ordered waypoints (cluster centroids, origin side first).
+    pub waypoints: Vec<LatLon>,
+    /// Polyline length in km.
+    pub length_km: f64,
+}
+
+impl RouteModel {
+    /// Distance from a position to the modelled route (nearest polyline
+    /// vertex distance — a conservative upper bound on segment distance).
+    pub fn deviation_km(&self, pos: LatLon) -> f64 {
+        self.waypoints
+            .iter()
+            .map(|w| haversine_km(*w, pos))
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+/// Extracts a route model from voyage tracks between one port pair.
+///
+/// `tracks` holds each voyage's time-ordered positions. `k` clusters are
+/// placed over all points; each centroid is ordered by the mean normalised
+/// progress (fraction of voyage elapsed) of its member points.
+///
+/// Returns `None` when there are fewer than `k` points in total.
+pub fn extract_route(tracks: &[Vec<LatLon>], k: usize, seed: u64) -> Option<RouteModel> {
+    let mut points = Vec::new();
+    let mut progress = Vec::new();
+    for track in tracks {
+        let n = track.len();
+        if n < 2 {
+            continue;
+        }
+        for (i, p) in track.iter().enumerate() {
+            points.push(*p);
+            progress.push(i as f64 / (n - 1) as f64);
+        }
+    }
+    if points.len() < k || k == 0 {
+        return None;
+    }
+    let result = kmeans(&points, k, 60, seed);
+    // Mean progress per cluster.
+    let mut sums = vec![(0.0f64, 0usize); k];
+    for (i, &c) in result.assignment.iter().enumerate() {
+        sums[c].0 += progress[i];
+        sums[c].1 += 1;
+    }
+    let mut order: Vec<(usize, f64)> = sums
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.1 > 0)
+        .map(|(i, s)| (i, s.0 / s.1 as f64))
+        .collect();
+    order.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite progress"));
+    let waypoints: Vec<LatLon> = order.iter().map(|(i, _)| result.centroids[*i]).collect();
+    let length_km = waypoints
+        .windows(2)
+        .map(|w| haversine_km(w[0], w[1]))
+        .sum();
+    Some(RouteModel {
+        waypoints,
+        length_km,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pol_geo::interpolate;
+
+    /// Synthetic voyages along a great circle with cross-track noise.
+    fn lane_tracks(n_voyages: usize, points_per: usize) -> (Vec<Vec<LatLon>>, LatLon, LatLon) {
+        let a = LatLon::new(36.0, -6.0).unwrap(); // Gibraltar-ish
+        let b = LatLon::new(31.4, 32.3).unwrap(); // Port Said-ish
+        let mut rng = pol_fleetsim::Rng::new(99);
+        let tracks = (0..n_voyages)
+            .map(|_| {
+                (0..points_per)
+                    .map(|i| {
+                        let f = i as f64 / (points_per - 1) as f64;
+                        let p = interpolate(a, b, f);
+                        pol_geo::destination(p, rng.range(0.0, 360.0), rng.f64() * 8.0)
+                    })
+                    .collect()
+            })
+            .collect();
+        (tracks, a, b)
+    }
+
+    #[test]
+    fn recovers_the_lane() {
+        let (tracks, a, b) = lane_tracks(12, 40);
+        let model = extract_route(&tracks, 10, 7).unwrap();
+        assert_eq!(model.waypoints.len(), 10);
+        // Ends near the endpoints.
+        assert!(haversine_km(model.waypoints[0], a) < 300.0);
+        assert!(haversine_km(*model.waypoints.last().unwrap(), b) < 300.0);
+        // Length close to the direct lane length.
+        let direct = haversine_km(a, b);
+        assert!(
+            (model.length_km - direct).abs() < direct * 0.25,
+            "model {} vs direct {direct}",
+            model.length_km
+        );
+        // Points on the lane are near the model.
+        let mid = interpolate(a, b, 0.5);
+        assert!(model.deviation_km(mid) < 250.0);
+        // A point far off the lane is far from the model.
+        let off = LatLon::new(50.0, 10.0).unwrap();
+        assert!(model.deviation_km(off) > 800.0);
+    }
+
+    #[test]
+    fn waypoints_ordered_by_progress() {
+        let (tracks, a, _) = lane_tracks(8, 30);
+        let model = extract_route(&tracks, 8, 3).unwrap();
+        // Distance from origin grows along the waypoint order.
+        let mut prev = -1.0;
+        for w in &model.waypoints {
+            let d = haversine_km(a, *w);
+            assert!(d > prev - 150.0, "ordering violated: {d} after {prev}");
+            prev = prev.max(d);
+        }
+    }
+
+    #[test]
+    fn too_few_points_returns_none() {
+        let tracks = vec![vec![LatLon::new(0.0, 0.0).unwrap()]];
+        assert!(extract_route(&tracks, 5, 1).is_none());
+        assert!(extract_route(&[], 5, 1).is_none());
+    }
+
+    #[test]
+    fn deterministic() {
+        let (tracks, _, _) = lane_tracks(6, 25);
+        let a = extract_route(&tracks, 6, 11).unwrap();
+        let b = extract_route(&tracks, 6, 11).unwrap();
+        let same = a
+            .waypoints
+            .iter()
+            .zip(&b.waypoints)
+            .all(|(x, y)| haversine_km(*x, *y) < 1e-9);
+        assert!(same);
+    }
+}

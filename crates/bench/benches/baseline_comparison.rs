@@ -1,0 +1,57 @@
+//! Grid inventory vs the clustering family (§2's related work): build the
+//! per-cell summaries and, on the same points, run DBSCAN and the k-means
+//! route extraction. The paper's position — the grid method scales
+//! predictably where density-based clustering is eps-sensitive and
+//! quadratic-ish — shows up as the cost gap here.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pol_baselines::{dbscan, extract_route, DbscanParams};
+use pol_bench::{quick_scenario, TRAIN_SEED};
+use pol_fleetsim::scenario::generate;
+use pol_geo::LatLon;
+use pol_hexgrid::{cell_at, Resolution};
+use pol_sketch::hash::FxHashMap;
+
+fn bench_comparison(c: &mut Criterion) {
+    let ds = generate(&quick_scenario(TRAIN_SEED));
+    let points: Vec<LatLon> = ds
+        .positions
+        .iter()
+        .flatten()
+        .map(|r| r.pos)
+        .collect();
+    let res = Resolution::new(6).unwrap();
+
+    for n in [5_000usize, 20_000] {
+        let sample: Vec<LatLon> = points.iter().take(n).copied().collect();
+        let mut g = c.benchmark_group(format!("grid_vs_clustering_{n}"));
+        g.sample_size(10);
+        g.throughput(Throughput::Elements(sample.len() as u64));
+        g.bench_with_input(BenchmarkId::new("grid_summaries", n), &sample, |b, pts| {
+            b.iter(|| {
+                // The inventory's core operation: project + count per cell.
+                let mut cells: FxHashMap<u64, u64> = FxHashMap::default();
+                for p in pts {
+                    *cells.entry(cell_at(*p, res).raw()).or_insert(0) += 1;
+                }
+                std::hint::black_box(cells.len())
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("dbscan_eps5km", n), &sample, |b, pts| {
+            b.iter(|| {
+                let (labels, k) = dbscan(pts, DbscanParams { eps_km: 5.0, min_pts: 5 });
+                std::hint::black_box((labels.len(), k))
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("kmeans_route_k20", n), &sample, |b, pts| {
+            b.iter(|| {
+                let tracks = vec![pts.clone()];
+                std::hint::black_box(extract_route(&tracks, 20, 7).map(|r| r.length_km))
+            })
+        });
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_comparison);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Inventory persistence: serialize/deserialize throughput and the
+//! bytes-per-entry footprint of the "compact data model".
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pol_bench::{build_inventory, quick_scenario, TRAIN_SEED};
+use pol_core::{codec, PipelineConfig};
+
+fn bench_codec(c: &mut Criterion) {
+    let (_, out) = build_inventory(&quick_scenario(TRAIN_SEED), &PipelineConfig::default());
+    let inv = out.inventory;
+    let bytes = codec::to_bytes(&inv);
+    eprintln!(
+        "codec: {} entries, {} records -> {} bytes ({:.0} B/entry, {:.1} B/input-record)",
+        inv.len(),
+        inv.total_records(),
+        bytes.len(),
+        bytes.len() as f64 / inv.len().max(1) as f64,
+        bytes.len() as f64 / inv.total_records().max(1) as f64
+    );
+
+    let mut g = c.benchmark_group("codec");
+    g.sample_size(10);
+    g.throughput(Throughput::Bytes(bytes.len() as u64));
+    g.bench_function("serialize", |b| {
+        b.iter(|| std::hint::black_box(codec::to_bytes(&inv).len()))
+    });
+    g.bench_function("deserialize", |b| {
+        b.iter(|| {
+            let back = codec::from_bytes(&bytes).expect("self-produced bytes decode");
+            std::hint::black_box(back.len())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

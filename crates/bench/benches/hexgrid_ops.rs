@@ -1,0 +1,98 @@
+//! Hexgrid microbenchmarks: the §3.2.1 requirement that the spatial index
+//! be "performant" — latlon→cell is the pipeline's hottest single
+//! operation (once per record per resolution).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pol_geo::LatLon;
+use pol_hexgrid::{cell_at, cell_boundary, cell_center, children, grid_disk, parent, Resolution};
+
+fn bench_hexgrid(c: &mut Criterion) {
+    let res6 = Resolution::new(6).unwrap();
+    let res7 = Resolution::new(7).unwrap();
+    // A deterministic scatter of maritime-looking positions.
+    let points: Vec<LatLon> = (0..10_000)
+        .map(|i| {
+            let lat = -60.0 + ((i * 7919) % 12_000) as f64 / 100.0;
+            let lon = -180.0 + ((i * 104_729) % 36_000) as f64 / 100.0;
+            LatLon::new(lat, lon).unwrap()
+        })
+        .collect();
+    let cells: Vec<_> = points.iter().map(|p| cell_at(*p, res6)).collect();
+
+    let mut g = c.benchmark_group("hexgrid");
+    g.throughput(Throughput::Elements(points.len() as u64));
+    g.bench_function("latlon_to_cell_res6", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for p in &points {
+                acc ^= cell_at(*p, res6).raw();
+            }
+            std::hint::black_box(acc)
+        })
+    });
+    g.bench_function("latlon_to_cell_res7", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for p in &points {
+                acc ^= cell_at(*p, res7).raw();
+            }
+            std::hint::black_box(acc)
+        })
+    });
+    g.bench_function("cell_center", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for c in &cells {
+                acc += cell_center(*c).lat();
+            }
+            std::hint::black_box(acc)
+        })
+    });
+    g.bench_function("parent", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for c in &cells {
+                acc ^= parent(*c).map(|p| p.raw()).unwrap_or(0);
+            }
+            std::hint::black_box(acc)
+        })
+    });
+    g.bench_function("children", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for c in &cells {
+                if let Some(kids) = children(*c) {
+                    acc ^= kids[3].raw();
+                }
+            }
+            std::hint::black_box(acc)
+        })
+    });
+    g.bench_function("boundary", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for c in cells.iter().take(1_000) {
+                acc += cell_boundary(*c)[0].lon();
+            }
+            std::hint::black_box(acc)
+        })
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("hexgrid_disk");
+    for k in [1u32, 3, 8] {
+        g.bench_function(format!("grid_disk_k{k}"), |b| {
+            b.iter(|| {
+                let mut acc = 0usize;
+                for c in cells.iter().take(200) {
+                    acc += grid_disk(*c, k).len();
+                }
+                std::hint::black_box(acc)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_hexgrid);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Pipeline throughput: records/second for the full methodology, swept
+//! over worker threads and partition counts — the engine-substitution
+//! check (the paper's Spark setup scales the same stages over 128 vcores;
+//! here we verify the stage structure parallelises at all and measure the
+//! single-node cost per record).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pol_bench::{port_sites, quick_scenario, TRAIN_SEED};
+use pol_core::PipelineConfig;
+use pol_engine::Engine;
+use pol_fleetsim::scenario::generate;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let ds = generate(&quick_scenario(TRAIN_SEED));
+    let total: usize = ds.positions.iter().map(Vec::len).sum();
+    let cfg = PipelineConfig::default();
+    let ports = port_sites(cfg.port_radius_km);
+
+    let mut g = c.benchmark_group("pipeline_throughput");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(total as u64));
+    for threads in [1usize, 2, 4] {
+        g.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &threads,
+            |b, &threads| {
+                let engine = Engine::new(threads);
+                b.iter(|| {
+                    let out = pol_core::run(
+                        &engine,
+                        ds.positions.clone(),
+                        &ds.statics,
+                        &ports,
+                        &cfg,
+                    );
+                    std::hint::black_box(out.counts.group_entries)
+                });
+            },
+        );
+    }
+    g.finish();
+
+    // Stage split: cleaning alone (the scan-heavy stage).
+    let mut g = c.benchmark_group("pipeline_stages");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(total as u64));
+    g.bench_function("clean_and_enrich", |b| {
+        let engine = Engine::new(2);
+        b.iter(|| {
+            let raw = pol_engine::Dataset::from_partitions(ds.positions.clone());
+            let (cleaned, _) = pol_core::clean::clean_and_enrich(&engine, raw, &ds.statics, &cfg);
+            std::hint::black_box(cleaned.count())
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

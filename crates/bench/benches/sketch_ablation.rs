@@ -1,0 +1,108 @@
+//! Ablation of the statistics substrate: Greenwald–Khanna (what Spark's
+//! `approx_percentile`, and therefore the paper, uses) vs the t-digest
+//! alternative, and HyperLogLog vs exact sets — speed here, accuracy
+//! printed alongside, on an AIS-shaped bimodal speed distribution
+//! (moored mass at ~0 kn plus a cruise mode).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pol_sketch::{Distinct, GkSketch, HyperLogLog, TDigest};
+
+/// Bimodal AIS-like speed stream.
+fn speeds(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| {
+            if i % 3 == 0 {
+                ((i * 31) % 100) as f64 / 200.0 // moored: 0..0.5 kn
+            } else {
+                12.0 + ((i * 17) % 800) as f64 / 100.0 // cruise: 12..20 kn
+            }
+        })
+        .collect()
+}
+
+fn bench_quantiles(c: &mut Criterion) {
+    let data = speeds(100_000);
+    let mut sorted = data.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let truth = |phi: f64| sorted[(phi * (sorted.len() - 1) as f64) as usize];
+
+    // Print accuracy once (criterion output is for speed).
+    let mut gk = GkSketch::new(0.02);
+    let mut td = TDigest::new(100.0);
+    data.iter().for_each(|&x| {
+        gk.add(x);
+        td.add(x);
+    });
+    for phi in [0.1, 0.5, 0.9] {
+        eprintln!(
+            "sketch_ablation p{:.0}: truth {:.3} | GK {:.3} | t-digest {:.3}",
+            phi * 100.0,
+            truth(phi),
+            gk.quantile(phi).unwrap(),
+            td.quantile(phi).unwrap()
+        );
+    }
+
+    let mut g = c.benchmark_group("quantile_sketch_insert");
+    g.throughput(Throughput::Elements(data.len() as u64));
+    g.bench_function("gk_eps_0.02", |b| {
+        b.iter(|| {
+            let mut s = GkSketch::new(0.02);
+            data.iter().for_each(|&x| s.add(x));
+            std::hint::black_box(s.count())
+        })
+    });
+    g.bench_function("tdigest_d100", |b| {
+        b.iter(|| {
+            let mut s = TDigest::new(100.0);
+            data.iter().for_each(|&x| s.add(x));
+            std::hint::black_box(s.count())
+        })
+    });
+    g.bench_function("exact_sort", |b| {
+        b.iter(|| {
+            let mut v = data.clone();
+            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            std::hint::black_box(v[v.len() / 2])
+        })
+    });
+    g.finish();
+}
+
+fn bench_distinct(c: &mut Criterion) {
+    let ids: Vec<u64> = (0..100_000u64).map(|i| (i * 2_654_435_761) % 60_000).collect();
+    let mut hll = HyperLogLog::new(12);
+    ids.iter().for_each(|i| hll.add(i));
+    let exact = ids.iter().collect::<std::collections::HashSet<_>>().len();
+    eprintln!(
+        "sketch_ablation distinct: truth {exact} | HLL(p=12) {:.0}",
+        hll.estimate()
+    );
+
+    let mut g = c.benchmark_group("distinct_count");
+    g.throughput(Throughput::Elements(ids.len() as u64));
+    g.bench_function("hll_p12", |b| {
+        b.iter(|| {
+            let mut s = HyperLogLog::new(12);
+            ids.iter().for_each(|i| s.add(i));
+            std::hint::black_box(s.estimate())
+        })
+    });
+    g.bench_function("adaptive_distinct", |b| {
+        b.iter(|| {
+            let mut s = Distinct::new();
+            ids.iter().for_each(|i| s.add(i));
+            std::hint::black_box(s.estimate())
+        })
+    });
+    g.bench_function("exact_hashset", |b| {
+        b.iter(|| {
+            let s: std::collections::HashSet<_> = ids.iter().collect();
+            std::hint::black_box(s.len())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_quantiles, bench_distinct);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! Evaluates the **§5 future-work extension**: the density-adaptive
+//! hierarchical inventory ("larger cells in open sea areas … high
+//! resolution in dense areas"). Reports the cell-count reduction, the
+//! resulting resolution mix, and a fidelity check: dense-area queries are
+//! still answered at full resolution.
+
+use pol_bench::{banner, build_inventory, experiment_scenario, TRAIN_SEED};
+use pol_core::{AdaptiveConfig, AdaptiveInventory, PipelineConfig};
+use pol_hexgrid::Resolution;
+
+fn main() {
+    banner(
+        "§5 future work — density-adaptive hierarchical inventory",
+        "paper §5 ('non-uniform inventories … adjusting to the density of maritime traffic')",
+    );
+    let (_, out) = build_inventory(&experiment_scenario(TRAIN_SEED), &PipelineConfig::fine());
+    let inv = &out.inventory;
+    let fine_cells = inv.len_of(pol_core::features::GroupingSet::Cell);
+
+    println!();
+    println!(
+        "{:<22} {:>10} {:>10} {:>12} {:>14}",
+        "threshold (rec/cell)", "cells", "vs fine", "resolutions", "records kept"
+    );
+    for threshold in [16u64, 64, 256] {
+        let cfg = AdaptiveConfig {
+            min_records_per_cell: threshold,
+            coarsest: Resolution::new(3).unwrap(),
+        };
+        let adaptive = AdaptiveInventory::build(inv, &cfg);
+        assert_eq!(adaptive.partition_violations(), 0, "partition must be exact");
+        let hist = adaptive.resolution_histogram();
+        let mix = hist
+            .iter()
+            .map(|(r, n)| format!("r{r}:{n}"))
+            .collect::<Vec<_>>()
+            .join(" ");
+        println!(
+            "{:<22} {:>10} {:>9.0}% {:>12} {:>14}",
+            threshold,
+            adaptive.len(),
+            100.0 * adaptive.len() as f64 / fine_cells as f64,
+            hist.len(),
+            adaptive.total_records()
+        );
+        println!("{:>34} mix: {mix}", "");
+    }
+
+    // Fidelity: queries in the busiest port approach stay at res 7;
+    // mid-ocean queries get answered by a pooled coarse cell.
+    let cfg = AdaptiveConfig {
+        min_records_per_cell: 64,
+        coarsest: Resolution::new(3).unwrap(),
+    };
+    let adaptive = AdaptiveInventory::build(inv, &cfg);
+    // Probe the busiest lane cell (guaranteed dense) and an ocean point.
+    let busiest = inv
+        .iter()
+        .filter_map(|(k, s)| match k {
+            pol_core::features::GroupKey::Cell(c) => Some((*c, s.records)),
+            _ => None,
+        })
+        .max_by_key(|(_, r)| *r)
+        .expect("non-empty inventory")
+        .0;
+    let lane_probe = pol_hexgrid::cell_center(busiest);
+    println!();
+    match adaptive.summary_at(lane_probe) {
+        Some((cell, stats)) => println!(
+            "busiest-lane query:       answered at res {} with {} records (kept fine)",
+            cell.resolution().level(),
+            stats.records
+        ),
+        None => println!("busiest-lane query: uncovered (unexpected)"),
+    }
+    let mid_indian = pol_geo::LatLon::new(-8.0, 72.0).unwrap();
+    match adaptive.summary_at(mid_indian) {
+        Some((cell, stats)) => println!(
+            "mid-Indian-Ocean query:   answered at res {} with {} records (pooled)",
+            cell.resolution().level(),
+            stats.records
+        ),
+        None => println!("mid-Indian-Ocean query:   no traffic ever seen there"),
+    }
+    println!();
+    println!(
+        "The adaptive partition keeps port/lane cells at the fine resolution \
+         while pooling sparse ocean cells into parents — the exact proposal of \
+         the paper's future-work section, enabled by the grid's exact \
+         aperture-7 hierarchy. Total records are preserved exactly; only \
+         spatial granularity is traded where nothing needed resolving."
+    );
+    println!("fine inventory: {} cells (res 7); see table above for reductions.", fine_cells);
+}

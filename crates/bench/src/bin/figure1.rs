@@ -1,0 +1,87 @@
+//! Regenerates **Figure 1** — global patterns of life: per-cell average
+//! speed (left panel) and average course (right panel) for the commercial
+//! fleet, at resolution 6. Emits the two plottable CSV layers plus the
+//! summary statistics a reviewer can sanity-check.
+
+use pol_bench::{banner, build_inventory, experiment_scenario, write_csv, TRAIN_SEED};
+use pol_core::features::GroupKey;
+use pol_core::PipelineConfig;
+use pol_hexgrid::cell_center;
+
+fn main() {
+    banner("Figure 1 — global average speed & course per cell", "paper Figure 1");
+    let (_, out) = build_inventory(&experiment_scenario(TRAIN_SEED), &PipelineConfig::default());
+    let inv = &out.inventory;
+
+    let mut speed_rows = Vec::new();
+    let mut course_rows = Vec::new();
+    let mut speed_sum = 0.0;
+    let mut speed_n = 0u64;
+    let mut aligned_cells = 0u64;
+    let mut cells = 0u64;
+    for (key, stats) in inv.iter() {
+        let GroupKey::Cell(cell) = key else { continue };
+        cells += 1;
+        let c = cell_center(*cell);
+        if let Some(mean) = stats.speed.mean() {
+            speed_rows.push(format!(
+                "{},{:.5},{:.5},{:.2},{}",
+                cell,
+                c.lat(),
+                c.lon(),
+                mean,
+                stats.records
+            ));
+            speed_sum += mean;
+            speed_n += 1;
+        }
+        if let (Some(course), Some(r)) =
+            (stats.course.mean_deg(), stats.course.resultant_length())
+        {
+            course_rows.push(format!(
+                "{},{:.5},{:.5},{:.1},{:.3},{}",
+                cell,
+                c.lat(),
+                c.lon(),
+                course,
+                r,
+                stats.records
+            ));
+            if r > 0.8 {
+                aligned_cells += 1;
+            }
+        }
+    }
+    speed_rows.sort();
+    course_rows.sort();
+    let p1 = write_csv(
+        "figure1_speed.csv",
+        "cell,lat,lon,mean_speed_kn,records",
+        &speed_rows,
+    );
+    let p2 = write_csv(
+        "figure1_course.csv",
+        "cell,lat,lon,mean_course_deg,alignment,records",
+        &course_rows,
+    );
+
+    println!();
+    println!("cells in inventory (res 6):        {cells}");
+    println!("cells with speed statistics:       {speed_n}");
+    println!("global mean of cell-mean speeds:   {:.1} kn", speed_sum / speed_n.max(1) as f64);
+    println!(
+        "strongly lane-aligned cells (R>0.8): {} ({:.1}%)",
+        aligned_cells,
+        100.0 * aligned_cells as f64 / cells.max(1) as f64
+    );
+    println!();
+    println!("wrote {}", p1.display());
+    println!("wrote {}", p2.display());
+    println!();
+    println!(
+        "Paper: 7.3 M cells rendered as the two global maps (blue=slow/red=fast; \
+         colour-by-course). These CSVs are the same layers at this run's scale; \
+         open-sea lane cells show cruise speeds (≥ 10 kn) and high alignment, \
+         port-approach cells show low speeds — the visual pattern of Figure 1."
+    );
+}

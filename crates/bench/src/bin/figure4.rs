@@ -1,0 +1,82 @@
+//! Regenerates **Figure 4** — the Baltic-sea regional views: per-cell trip
+//! frequency (top panel), average speed (middle) and average course
+//! (bottom) at the finer resolution 7, where the paper's traffic
+//! separation schemes become visible as opposed course lanes.
+
+use pol_bench::{banner, build_inventory, experiment_scenario, write_csv, TRAIN_SEED};
+use pol_core::features::GroupKey;
+use pol_core::PipelineConfig;
+use pol_geo::BBox;
+use pol_hexgrid::cell_center;
+
+fn main() {
+    banner("Figure 4 — Baltic regional patterns (trips / speed / course)", "paper Figure 4");
+    let (_, out) = build_inventory(&experiment_scenario(TRAIN_SEED), &PipelineConfig::fine());
+    let inv = &out.inventory;
+    let bbox = BBox::baltic();
+
+    let mut trips = Vec::new();
+    let mut speed = Vec::new();
+    let mut course = Vec::new();
+    for (key, stats) in inv.iter() {
+        let GroupKey::Cell(cell) = key else { continue };
+        let c = cell_center(*cell);
+        if !bbox.contains(c) {
+            continue;
+        }
+        trips.push(format!(
+            "{},{:.5},{:.5},{}",
+            cell,
+            c.lat(),
+            c.lon(),
+            stats.trips.estimate()
+        ));
+        if let Some(m) = stats.speed.mean() {
+            speed.push(format!("{},{:.5},{:.5},{:.2}", cell, c.lat(), c.lon(), m));
+        }
+        if let (Some(m), Some(r)) = (stats.course.mean_deg(), stats.course.resultant_length()) {
+            course.push(format!(
+                "{},{:.5},{:.5},{:.1},{:.3}",
+                cell,
+                c.lat(),
+                c.lon(),
+                m,
+                r
+            ));
+        }
+    }
+    trips.sort();
+    speed.sort();
+    course.sort();
+    let p1 = write_csv("figure4_baltic_trips.csv", "cell,lat,lon,trips", &trips);
+    let p2 = write_csv("figure4_baltic_speed.csv", "cell,lat,lon,mean_speed_kn", &speed);
+    let p3 = write_csv(
+        "figure4_baltic_course.csv",
+        "cell,lat,lon,mean_course_deg,alignment",
+        &course,
+    );
+
+    println!();
+    println!("Baltic cells at res 7: {}", trips.len());
+    println!("wrote {}", p1.display());
+    println!("wrote {}", p2.display());
+    println!("wrote {}", p3.display());
+
+    // The Figure-4 narrative checks: lanes (high trip counts on few cells),
+    // loitering near ports (low speeds), opposite-course lanes.
+    let mut trip_counts: Vec<u64> = trips
+        .iter()
+        .map(|r| r.rsplit(',').next().unwrap().parse().unwrap())
+        .collect();
+    trip_counts.sort_unstable_by(|a, b| b.cmp(a));
+    if !trip_counts.is_empty() {
+        let total: u64 = trip_counts.iter().sum();
+        let top10: u64 = trip_counts.iter().take(trip_counts.len() / 10 + 1).sum();
+        println!();
+        println!(
+            "lane concentration: top 10% of cells carry {:.0}% of trips \
+             (the bright routes of the top panel)",
+            100.0 * top10 as f64 / total.max(1) as f64
+        );
+    }
+}

@@ -1,0 +1,208 @@
+//! `polinv` — command-line front end for the Patterns-of-Life inventory.
+//!
+//! ```text
+//! polinv build --out inv.pol [--vessels 150] [--days 14] [--res 6] [--seed 42]
+//! polinv info <inv.pol>
+//! polinv query <inv.pol> <lat> <lon> [--segment container|tanker|...]
+//! polinv top-dest <inv.pol> <LOCODE>
+//! ```
+
+use pol_ais::types::MarketSegment;
+use pol_bench::build_inventory;
+use pol_core::{codec, Inventory, PipelineConfig};
+use pol_fleetsim::emit::EmissionConfig;
+use pol_fleetsim::scenario::ScenarioConfig;
+use pol_fleetsim::WORLD_PORTS;
+use pol_geo::LatLon;
+use pol_hexgrid::{cell_at, Resolution};
+use std::path::Path;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  polinv build --out <file> [--vessels N] [--days D] [--res R] [--seed S]\n  \
+         polinv info <file>\n  \
+         polinv query <file> <lat> <lon> [--segment <name>]\n  \
+         polinv top-dest <file> <LOCODE>"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn segment_by_name(name: &str) -> Option<MarketSegment> {
+    MarketSegment::ALL.into_iter().find(|s| s.name() == name)
+}
+
+fn load(path: &str) -> Result<Inventory, ExitCode> {
+    codec::load(Path::new(path)).map_err(|e| {
+        eprintln!("error: cannot load {path}: {e}");
+        ExitCode::FAILURE
+    })
+}
+
+fn cmd_build(args: &[String]) -> ExitCode {
+    let Some(out_path) = parse_flag(args, "--out") else {
+        return usage();
+    };
+    let vessels = parse_flag(args, "--vessels").and_then(|v| v.parse().ok()).unwrap_or(150);
+    let days = parse_flag(args, "--days").and_then(|v| v.parse().ok()).unwrap_or(14);
+    let res = parse_flag(args, "--res").and_then(|v| v.parse().ok()).unwrap_or(6u8);
+    let seed = parse_flag(args, "--seed").and_then(|v| v.parse().ok()).unwrap_or(42);
+    let Some(resolution) = Resolution::new(res) else {
+        eprintln!("error: resolution {res} out of 0..=15");
+        return ExitCode::FAILURE;
+    };
+    let scenario = ScenarioConfig {
+        seed,
+        n_vessels: vessels,
+        duration_days: days,
+        emission: EmissionConfig { interval_scale: 10.0, ..EmissionConfig::default() },
+        ..ScenarioConfig::default()
+    };
+    let cfg = PipelineConfig::default().with_resolution(resolution);
+    eprintln!("simulating {vessels} vessels over {days} days (seed {seed})...");
+    let (ds, out) = build_inventory(&scenario, &cfg);
+    eprintln!(
+        "pipeline: {} raw -> {} trip records -> {} entries",
+        ds.total_reports(),
+        out.counts.with_trips,
+        out.counts.group_entries
+    );
+    if let Err(e) = codec::save(&out.inventory, Path::new(&out_path)) {
+        eprintln!("error: cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    let cov = out.inventory.coverage();
+    println!(
+        "wrote {out_path}: res {}, {} cells, compression {:.2}%",
+        cov.resolution,
+        cov.occupied_cells,
+        cov.compression * 100.0
+    );
+    ExitCode::SUCCESS
+}
+
+fn cmd_info(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else { return usage() };
+    let inv = match load(path) {
+        Ok(i) => i,
+        Err(e) => return e,
+    };
+    let cov = inv.coverage();
+    println!("inventory {path}");
+    println!("  resolution        {}", cov.resolution);
+    println!("  records           {}", cov.total_records);
+    println!("  occupied cells    {}", cov.occupied_cells);
+    println!("  compression       {:.2}%", cov.compression * 100.0);
+    println!("  grid utilization  {:.4}%", cov.utilization * 100.0);
+    use pol_core::features::GroupingSet::*;
+    for (gs, name) in [(Cell, "(cell)"), (CellType, "(cell, type)"), (CellRoute, "(cell, o, d, type)")] {
+        println!("  entries {:<20} {}", name, inv.len_of(gs));
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_query(args: &[String]) -> ExitCode {
+    let (Some(path), Some(lat), Some(lon)) = (args.first(), args.get(1), args.get(2)) else {
+        return usage();
+    };
+    let (Ok(lat), Ok(lon)) = (lat.parse::<f64>(), lon.parse::<f64>()) else {
+        eprintln!("error: lat/lon must be numbers");
+        return ExitCode::FAILURE;
+    };
+    let Some(pos) = LatLon::new(lat, lon) else {
+        eprintln!("error: coordinates out of range");
+        return ExitCode::FAILURE;
+    };
+    let inv = match load(path) {
+        Ok(i) => i,
+        Err(e) => return e,
+    };
+    let segment = parse_flag(args, "--segment").and_then(|s| segment_by_name(&s));
+    let cell = cell_at(pos, inv.resolution());
+    let stats = match segment {
+        Some(seg) => inv.summary_for(cell, seg),
+        None => inv.summary(cell),
+    };
+    println!("cell {cell} at ({lat}, {lon}){}", match segment {
+        Some(s) => format!(" [{s}]"),
+        None => String::new(),
+    });
+    let Some(stats) = stats else {
+        println!("  no traffic recorded");
+        return ExitCode::SUCCESS;
+    };
+    println!("  records          {}", stats.records);
+    println!("  distinct ships   {}", stats.ships.estimate());
+    println!("  distinct trips   {}", stats.trips.estimate());
+    if let (Some(m), Some(s)) = (stats.speed.mean(), stats.speed.std_dev()) {
+        let mut q = stats.speed_q.clone();
+        println!(
+            "  speed            {m:.1} ± {s:.1} kn (p10 {:.1} / p50 {:.1} / p90 {:.1})",
+            q.quantile(0.1).unwrap_or(0.0),
+            q.quantile(0.5).unwrap_or(0.0),
+            q.quantile(0.9).unwrap_or(0.0)
+        );
+    }
+    if let (Some(c), Some(r)) = (stats.course.mean_deg(), stats.course.resultant_length()) {
+        println!("  course           {c:.0}° (alignment {r:.2})");
+    }
+    if let Some(ata) = stats.ata.mean() {
+        println!("  mean time-to-dest {:.1} h", ata / 3600.0);
+    }
+    for (port, n) in stats.top_destinations(3) {
+        let name = WORLD_PORTS
+            .get(port as usize)
+            .map(|p| p.name)
+            .unwrap_or("?");
+        println!("  top destination  {name} ({n} records)");
+    }
+    for (next, n) in stats.top_transitions(3) {
+        println!("  transition       -> {next} ({n}x)");
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_top_dest(args: &[String]) -> ExitCode {
+    let (Some(path), Some(locode)) = (args.first(), args.get(1)) else {
+        return usage();
+    };
+    let Some((pid, port)) = pol_fleetsim::ports::port_by_locode(locode) else {
+        eprintln!("error: unknown LOCODE {locode}");
+        return ExitCode::FAILURE;
+    };
+    let inv = match load(path) {
+        Ok(i) => i,
+        Err(e) => return e,
+    };
+    let cells = inv.cells_with_top_destination(pid.0, None);
+    println!(
+        "{} cells have {} ({locode}) as their most frequent destination",
+        cells.len(),
+        port.name
+    );
+    for c in cells.iter().take(10) {
+        let p = pol_hexgrid::cell_center(*c);
+        println!("  {c}  ({:.3}, {:.3})", p.lat(), p.lon());
+    }
+    if cells.len() > 10 {
+        println!("  ... and {} more", cells.len() - 10);
+    }
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("build") => cmd_build(&args[1..]),
+        Some("info") => cmd_info(&args[1..]),
+        Some("query") => cmd_query(&args[1..]),
+        Some("top-dest") => cmd_top_dest(&args[1..]),
+        _ => usage(),
+    }
+}

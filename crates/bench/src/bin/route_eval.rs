@@ -1,0 +1,103 @@
+//! Evaluates **§4.1.3b** — route forecasting: for the inventory's
+//! best-covered `(origin, destination, vessel-type)` keys ("known sea
+//! routes", as the paper frames the use case), replay a *fresh* vessel on
+//! the same route (new noise, new speed), build the transition graph, A*
+//! from the 30%-progress position, and score the forecast against the
+//! cells the new vessel actually crossed.
+
+use pol_apps::RouteForecaster;
+use pol_bench::{
+    banner, build_inventory, experiment_scenario, simulate_voyage, top_route_keys,
+    typical_speed_kn, TRAIN_SEED,
+};
+use pol_core::PipelineConfig;
+use pol_fleetsim::{EPOCH_2022, WORLD_PORTS};
+use pol_hexgrid::{cell_at, grid_distance};
+use std::collections::HashSet;
+
+fn main() {
+    banner("§4.1.3 — route forecasting over the transition graph (A*)", "paper §4.1.3");
+    let cfg = PipelineConfig::default();
+    let (_, out) = build_inventory(&experiment_scenario(TRAIN_SEED), &cfg);
+
+    let keys = top_route_keys(&out.inventory, 40, 12);
+    println!();
+    println!("best-covered route keys in the inventory: {}", keys.len());
+
+    let mut forecast_ok = 0u64;
+    let mut attempted = 0u64;
+    let mut on_lane = Vec::new();
+    let mut len_ratio = Vec::new();
+    for (i, (o, d, seg, cells)) in keys.iter().enumerate() {
+        let dest_pos = WORLD_PORTS[*d as usize].pos();
+        let Some((_arrival, reports)) = simulate_voyage(
+            *o,
+            *d,
+            typical_speed_kn(*seg) + (i as f64 % 3.0) - 1.0,
+            EPOCH_2022 + 86_400,
+            9_000 + i as u64,
+        ) else {
+            continue;
+        };
+        if reports.len() < 30 {
+            continue;
+        }
+        attempted += 1;
+        let forecaster = RouteForecaster::build(&out.inventory, *o, *d, *seg, dest_pos);
+        let pivot = reports.len() * 3 / 10;
+        let Some(fc) = forecaster.forecast(reports[pivot].pos, cfg.resolution) else {
+            println!(
+                "  {} -> {} [{seg}] ({cells} cells): off-lane at pivot, no forecast",
+                WORLD_PORTS[*o as usize].name, WORLD_PORTS[*d as usize].name
+            );
+            continue;
+        };
+        forecast_ok += 1;
+        let actual: Vec<_> = reports[pivot..]
+            .iter()
+            .map(|r| cell_at(r.pos, cfg.resolution))
+            .collect();
+        let actual_set: HashSet<_> = actual.iter().copied().collect();
+        let close = fc
+            .cells
+            .iter()
+            .filter(|c| {
+                actual_set.contains(c)
+                    || actual
+                        .iter()
+                        .any(|a| grid_distance(*a, **c).is_some_and(|x| x <= 1))
+            })
+            .count();
+        let frac = close as f64 / fc.cells.len().max(1) as f64;
+        on_lane.push(frac);
+        len_ratio.push(fc.cells.len() as f64 / actual_set.len().max(1) as f64);
+        println!(
+            "  {} -> {} [{seg}] ({cells} key cells): forecast {} cells, {:.0}% on/adjacent to the actual track",
+            WORLD_PORTS[*o as usize].name,
+            WORLD_PORTS[*d as usize].name,
+            fc.cells.len(),
+            frac * 100.0
+        );
+    }
+
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    println!();
+    println!("replayed voyages on known routes: {attempted}");
+    println!(
+        "forecasts produced:               {forecast_ok} ({:.0}%)",
+        100.0 * forecast_ok as f64 / attempted.max(1) as f64
+    );
+    println!(
+        "forecast cells on/adjacent to the actual track: {:.0}% (mean)",
+        100.0 * avg(&on_lane)
+    );
+    println!("forecast/actual distinct-cell length ratio:     {:.2}", avg(&len_ratio));
+    println!();
+    let ok = forecast_ok * 2 >= attempted.max(1) && avg(&on_lane) > 0.5;
+    println!(
+        "[{}] A* over the inventory's observed transitions reconstructs the \
+         historical lane for known routes (the paper's Figure 2f graph made \
+         operational)",
+        if ok { "ok" } else { "MISS" }
+    );
+}

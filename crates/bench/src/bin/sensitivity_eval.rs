@@ -1,0 +1,115 @@
+//! Quantifies the motivation from the authors' prior work [20] (cited in
+//! §2): on density-skewed global AIS data, density-based clustering is
+//! acutely sensitive to its ε parameter — no single value serves both a
+//! dense port approach and a sparse ocean lane — while the grid inventory
+//! has no such parameter: its "resolution" trades only granularity, never
+//! correctness.
+
+use pol_baselines::{dbscan, extract_clusters, optics, DbscanParams, Label, OpticsParams};
+use pol_bench::{banner, quick_scenario, TRAIN_SEED};
+use pol_fleetsim::scenario::generate;
+use pol_geo::LatLon;
+use pol_hexgrid::{cell_at, Resolution};
+
+fn main() {
+    banner(
+        "ε-sensitivity of density clustering vs the grid (the [20] argument)",
+        "paper §2 / Spiliopoulos et al. 2017 [20]",
+    );
+    let ds = generate(&quick_scenario(TRAIN_SEED));
+    let points: Vec<LatLon> = ds
+        .positions
+        .iter()
+        .flatten()
+        .take(30_000)
+        .map(|r| r.pos)
+        .collect();
+
+    // Split the world into "dense" (near any port, < 50 km) and "sparse"
+    // (open sea) points to measure who survives clustering at each ε.
+    let near_port: Vec<bool> = points
+        .iter()
+        .map(|p| {
+            pol_fleetsim::WORLD_PORTS
+                .iter()
+                .any(|port| pol_geo::haversine_km(*p, port.pos()) < 50.0)
+        })
+        .collect();
+    let dense_n = near_port.iter().filter(|x| **x).count();
+    let sparse_n = points.len() - dense_n;
+    println!();
+    println!(
+        "{} points: {} near ports (dense), {} open sea (sparse)",
+        points.len(),
+        dense_n,
+        sparse_n
+    );
+
+    println!();
+    println!(
+        "{:>10} {:>10} {:>16} {:>16}",
+        "eps (km)", "clusters", "dense clustered", "sparse clustered"
+    );
+    let mut rows = Vec::new();
+    for eps in [1.0, 3.0, 10.0, 30.0, 100.0] {
+        let (labels, k) = dbscan(&points, DbscanParams { eps_km: eps, min_pts: 5 });
+        let clustered = |want_dense: bool| -> f64 {
+            let total = if want_dense { dense_n } else { sparse_n };
+            let got = labels
+                .iter()
+                .zip(&near_port)
+                .filter(|(l, d)| **d == want_dense && !matches!(l, Label::Noise))
+                .count();
+            100.0 * got as f64 / total.max(1) as f64
+        };
+        let (dc, sc) = (clustered(true), clustered(false));
+        println!("{eps:>10} {k:>10} {dc:>15.1}% {sc:>15.1}%");
+        rows.push((eps, dc, sc, k));
+    }
+
+    // The skew claim, quantified: the output has no stable plateau — the
+    // cluster count collapses by orders of magnitude across reasonable ε,
+    // so tight ε fragments the lanes into noise while loose ε fuses all
+    // structure into a handful of mega-clusters.
+    println!();
+    let counts: Vec<u32> = rows.iter().map(|r| r.3).collect();
+    let max_k = *counts.iter().max().expect("rows");
+    let min_k = *counts.iter().filter(|k| **k > 0).min().expect("rows");
+    let sensitive = max_k as f64 / min_k.max(1) as f64 > 20.0;
+    println!(
+        "[{}] acute eps-sensitivity: cluster count swings {}x across the sweep \
+         ({max_k} clusters at tight eps -> {min_k} mega-clusters at loose eps); \
+         every choice either fragments the sparse lanes or fuses the route \
+         structure away — the [20] finding",
+        if sensitive { "ok" } else { "MISS" },
+        max_k / min_k.max(1)
+    );
+
+    // OPTICS mitigates by deferring the choice, but the extraction step
+    // still needs the same decision:
+    let order = optics(&points, OpticsParams { max_eps_km: 100.0, min_pts: 5 });
+    let (tight, kt) = extract_clusters(&order, points.len(), 3.0);
+    let (loose, kl) = extract_clusters(&order, points.len(), 60.0);
+    let noise = |ls: &[Label]| ls.iter().filter(|l| matches!(l, Label::Noise)).count();
+    println!();
+    println!(
+        "OPTICS (one run, two extractions): eps'=3 km -> {kt} clusters, {} noise; \
+         eps'=60 km -> {kl} clusters, {} noise",
+        noise(&tight),
+        noise(&loose)
+    );
+
+    // The grid, by contrast: every point lands in exactly one cell at any
+    // resolution; "sensitivity" is only granularity.
+    println!();
+    println!("grid inventory at the same points (no density parameter):");
+    for r in [5u8, 6, 7] {
+        let res = Resolution::new(r).unwrap();
+        let cells: std::collections::HashSet<_> =
+            points.iter().map(|p| cell_at(*p, res)).collect();
+        println!(
+            "  res {r}: {:>6} cells, 100% of points summarised (by construction)",
+            cells.len()
+        );
+    }
+}

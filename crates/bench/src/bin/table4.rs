@@ -1,0 +1,63 @@
+//! Regenerates **Table 4** — "Coverage and Compression results":
+//! per-resolution occupied cells, compression (1 − cells/records) and
+//! grid utilization, plus the §4 claim that querying the inventory needs
+//! > 98 % fewer "hits" than a full scan.
+//!
+//! Shape expectations vs the paper (absolute numbers scale with the
+//! synthetic dataset): compression high at both resolutions and higher at
+//! res 6 than res 7; utilization *decreasing* from res 6 to res 7.
+
+use pol_bench::{banner, build_inventory, experiment_scenario, TRAIN_SEED};
+use pol_core::PipelineConfig;
+use pol_hexgrid::Resolution;
+
+fn main() {
+    banner("Table 4 — Coverage and Compression", "paper §4, Table 4");
+    let scenario = experiment_scenario(TRAIN_SEED);
+
+    println!();
+    println!(
+        "{:<14} {:>12} {:>13} {:>15} {:>12}",
+        "H3-equiv res", "#Cells", "Compression", "H3 Utilization", "records"
+    );
+    let mut rows = Vec::new();
+    for res in [6u8, 7] {
+        let cfg = PipelineConfig::default().with_resolution(Resolution::new(res).unwrap());
+        let (_, out) = build_inventory(&scenario, &cfg);
+        let cov = out.inventory.coverage();
+        println!(
+            "{:<14} {:>12} {:>12.2}% {:>14.4}% {:>12}",
+            res,
+            cov.occupied_cells,
+            cov.compression * 100.0,
+            cov.utilization * 100.0,
+            cov.total_records
+        );
+        rows.push(cov);
+    }
+    println!();
+    println!("Paper (2.7 B records, full 2022 fleet):");
+    println!("  res 6: 7.30 M cells, compression 99.73%, utilization 51.69%");
+    println!("  res 7: 42.47 M cells, compression 98.44%, utilization 42.96%");
+    println!();
+    println!("Shape checks on this run:");
+    let (c6, c7) = (rows[0], rows[1]);
+    let check = |name: &str, ok: bool| {
+        println!("  [{}] {}", if ok { "ok" } else { "MISS" }, name)
+    };
+    check(
+        "compression > 90% at both resolutions (paper: > 98%)",
+        c6.compression > 0.90 && c7.compression > 0.90,
+    );
+    check("res 6 compresses harder than res 7", c6.compression > c7.compression);
+    check("utilization drops as cells shrink (res7 < res6)", c7.utilization < c6.utilization);
+    check("finer grid occupies more cells", c7.occupied_cells > c6.occupied_cells);
+    println!();
+    println!(
+        "Utilization is far below the paper's 51.69%/42.96% because this run \
+         tracks {} vessels for {} days instead of 60 000 vessels for a year — \
+         coverage of the global grid grows with fleet-time. Compression, the \
+         per-record claim, is scale-robust and reproduces directly.",
+        scenario.n_vessels, scenario.duration_days
+    );
+}

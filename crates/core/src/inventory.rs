@@ -1,0 +1,367 @@
+//! The global inventory: the compact, queryable data model the paper
+//! delivers, with the Table-4 coverage/compression accounting.
+
+use crate::features::{CellStats, GroupKey, GroupingSet};
+use pol_ais::types::MarketSegment;
+use pol_engine::Dataset;
+use pol_geo::BBox;
+use pol_hexgrid::{cell_center, num_cells, CellIndex, Resolution};
+use pol_sketch::hash::FxHashMap;
+use pol_sketch::MergeSketch;
+
+/// Coverage and compression figures — one row of the paper's Table 4.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CoverageReport {
+    /// Grid resolution.
+    pub resolution: u8,
+    /// Cells with at least one record (the `#Cells` column).
+    pub occupied_cells: u64,
+    /// All grid cells at this resolution globally.
+    pub total_cells: u64,
+    /// Input records summarised.
+    pub total_records: u64,
+    /// `1 − cells/records` (the `Compression` column).
+    pub compression: f64,
+    /// `cells / total cells` (the `H3 Utilization` column).
+    pub utilization: f64,
+}
+
+/// The queryable global inventory of per-cell statistical summaries.
+pub struct Inventory {
+    resolution: Resolution,
+    entries: FxHashMap<GroupKey, CellStats>,
+    total_records: u64,
+}
+
+impl Inventory {
+    /// Assembles an inventory from the aggregation output.
+    pub fn from_dataset(
+        resolution: Resolution,
+        stats: Dataset<(GroupKey, CellStats)>,
+        total_records: u64,
+    ) -> Inventory {
+        Inventory {
+            resolution,
+            entries: stats.collect().into_iter().collect(),
+            total_records,
+        }
+    }
+
+    /// Builds directly from a key→stats map (deserialization path).
+    pub fn from_entries(
+        resolution: Resolution,
+        entries: FxHashMap<GroupKey, CellStats>,
+        total_records: u64,
+    ) -> Inventory {
+        Inventory {
+            resolution,
+            entries,
+            total_records,
+        }
+    }
+
+    /// The inventory's grid resolution.
+    pub fn resolution(&self) -> Resolution {
+        self.resolution
+    }
+
+    /// Records summarised.
+    pub fn total_records(&self) -> u64 {
+        self.total_records
+    }
+
+    /// Total group-identifier entries across all grouping sets.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the inventory is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Entries belonging to one grouping set.
+    pub fn len_of(&self, gs: GroupingSet) -> usize {
+        self.entries
+            .keys()
+            .filter(|k| k.grouping_set() == gs)
+            .count()
+    }
+
+    /// The all-traffic summary of a cell (GI = `(H3-index)`).
+    pub fn summary(&self, cell: CellIndex) -> Option<&CellStats> {
+        self.entries.get(&GroupKey::Cell(cell))
+    }
+
+    /// The per-vessel-type summary of a cell.
+    pub fn summary_for(&self, cell: CellIndex, segment: MarketSegment) -> Option<&CellStats> {
+        self.entries.get(&GroupKey::CellType(cell, segment))
+    }
+
+    /// The per-route summary of a cell (GI = cell, origin, destination,
+    /// vessel-type) — the key the route-forecasting use case queries.
+    pub fn summary_route(
+        &self,
+        cell: CellIndex,
+        origin: u16,
+        dest: u16,
+        segment: MarketSegment,
+    ) -> Option<&CellStats> {
+        self.entries
+            .get(&GroupKey::CellRoute(cell, origin, dest, segment))
+    }
+
+    /// Raw access to an arbitrary group key.
+    pub fn get(&self, key: &GroupKey) -> Option<&CellStats> {
+        self.entries.get(key)
+    }
+
+    /// Iterates all entries.
+    pub fn iter(&self) -> impl Iterator<Item = (&GroupKey, &CellStats)> {
+        self.entries.iter()
+    }
+
+    /// All occupied cells (the `(H3-index)` grouping set's key space).
+    pub fn cells(&self) -> impl Iterator<Item = CellIndex> + '_ {
+        self.entries.keys().filter_map(|k| match k {
+            GroupKey::Cell(c) => Some(*c),
+            _ => None,
+        })
+    }
+
+    /// All cells whose `(cell, origin, dest, segment)` entry exists — the
+    /// full set of transition locations for a route key (§4.1.3's route
+    /// forecasting retrieves exactly this).
+    pub fn route_cells(
+        &self,
+        origin: u16,
+        dest: u16,
+        segment: MarketSegment,
+    ) -> Vec<CellIndex> {
+        self.entries
+            .keys()
+            .filter_map(|k| match k {
+                GroupKey::CellRoute(c, o, d, s)
+                    if *o == origin && *d == dest && *s == segment =>
+                {
+                    Some(*c)
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Occupied cells whose most frequent destination is `dest`
+    /// (the paper's Figure 6 filter), optionally per segment.
+    pub fn cells_with_top_destination(
+        &self,
+        dest: u16,
+        segment: Option<MarketSegment>,
+    ) -> Vec<CellIndex> {
+        self.entries
+            .iter()
+            .filter_map(|(k, stats)| {
+                let cell = match (k, segment) {
+                    (GroupKey::Cell(c), None) => *c,
+                    (GroupKey::CellType(c, s), Some(want)) if *s == want => *c,
+                    _ => return None,
+                };
+                let top = stats.top_destinations(1);
+                (top.first().map(|(d, _)| *d) == Some(dest)).then_some(cell)
+            })
+            .collect()
+    }
+
+    /// Occupied cells whose centre falls inside a bounding box — the
+    /// regional views of Figure 4.
+    pub fn cells_in(&self, bbox: &BBox) -> Vec<CellIndex> {
+        self.cells()
+            .filter(|c| bbox.contains(cell_center(*c)))
+            .collect()
+    }
+
+    /// The Table-4 row for this inventory.
+    pub fn coverage(&self) -> CoverageReport {
+        let occupied = self.len_of(GroupingSet::Cell) as u64;
+        let total_cells = num_cells(self.resolution);
+        let compression = if self.total_records > 0 {
+            1.0 - occupied as f64 / self.total_records as f64
+        } else {
+            0.0
+        };
+        CoverageReport {
+            resolution: self.resolution.level(),
+            occupied_cells: occupied,
+            total_cells,
+            total_records: self.total_records,
+            compression: compression.max(0.0),
+            utilization: occupied as f64 / total_cells as f64,
+        }
+    }
+
+    /// Merges another inventory (same resolution) into this one — e.g.
+    /// month-by-month builds folded into the year.
+    ///
+    /// # Panics
+    /// When resolutions differ.
+    pub fn merge(&mut self, other: &Inventory) {
+        assert_eq!(
+            self.resolution, other.resolution,
+            "cannot merge inventories at different resolutions"
+        );
+        self.total_records += other.total_records;
+        for (k, v) in &other.entries {
+            match self.entries.get_mut(k) {
+                Some(mine) => mine.merge(v),
+                None => {
+                    self.entries.insert(*k, v.clone());
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::records::{CellPoint, TripPoint};
+    use pol_ais::types::Mmsi;
+    use pol_geo::LatLon;
+    use pol_hexgrid::cell_at;
+
+    fn res() -> Resolution {
+        Resolution::new(6).unwrap()
+    }
+
+    fn point_at(lat: f64, lon: f64, dest: u16, segment: MarketSegment) -> CellPoint {
+        let pos = LatLon::new(lat, lon).unwrap();
+        CellPoint {
+            point: TripPoint {
+                mmsi: Mmsi(5),
+                timestamp: 0,
+                pos,
+                sog_knots: Some(10.0),
+                cog_deg: Some(45.0),
+                heading_deg: Some(45.0),
+                segment,
+                trip_id: 1,
+                origin: 0,
+                dest,
+                eto_secs: 100,
+                ata_secs: 200,
+            },
+            cell: cell_at(pos, res()),
+            next_cell: None,
+        }
+    }
+
+    fn build(points: &[CellPoint]) -> Inventory {
+        let mut entries: FxHashMap<GroupKey, CellStats> = FxHashMap::default();
+        for cp in points {
+            for key in [
+                GroupKey::Cell(cp.cell),
+                GroupKey::CellType(cp.cell, cp.point.segment),
+                GroupKey::CellRoute(cp.cell, cp.point.origin, cp.point.dest, cp.point.segment),
+            ] {
+                entries
+                    .entry(key)
+                    .or_insert_with(|| CellStats::new(0.02, 8))
+                    .observe(cp);
+            }
+        }
+        Inventory::from_entries(res(), entries, points.len() as u64)
+    }
+
+    #[test]
+    fn query_paths() {
+        let seg = MarketSegment::Container;
+        let points = vec![
+            point_at(50.0, -10.0, 3, seg),
+            point_at(50.0, -10.0, 3, seg),
+            point_at(20.0, 60.0, 4, MarketSegment::Tanker),
+        ];
+        let inv = build(&points);
+        let cell = points[0].cell;
+        assert_eq!(inv.summary(cell).unwrap().records, 2);
+        assert_eq!(inv.summary_for(cell, seg).unwrap().records, 2);
+        assert!(inv.summary_for(cell, MarketSegment::Gas).is_none());
+        assert_eq!(inv.summary_route(cell, 0, 3, seg).unwrap().records, 2);
+        assert!(inv.summary_route(cell, 0, 9, seg).is_none());
+        assert_eq!(inv.len_of(GroupingSet::Cell), 2);
+        assert_eq!(inv.route_cells(0, 3, seg), vec![cell]);
+    }
+
+    #[test]
+    fn top_destination_filter() {
+        let seg = MarketSegment::Container;
+        let points = vec![
+            point_at(50.0, -10.0, 3, seg),
+            point_at(50.0, -10.0, 3, seg),
+            point_at(50.0, -10.0, 7, seg),
+            point_at(20.0, 60.0, 7, seg),
+        ];
+        let inv = build(&points);
+        let to3 = inv.cells_with_top_destination(3, None);
+        assert_eq!(to3, vec![points[0].cell]);
+        let to7 = inv.cells_with_top_destination(7, None);
+        assert_eq!(to7, vec![points[3].cell]);
+        let to7_seg = inv.cells_with_top_destination(7, Some(seg));
+        assert_eq!(to7_seg, vec![points[3].cell]);
+    }
+
+    #[test]
+    fn regional_filter() {
+        let points = vec![
+            point_at(60.0, 20.0, 1, MarketSegment::Tanker), // Baltic
+            point_at(-30.0, -40.0, 1, MarketSegment::Tanker), // South Atlantic
+        ];
+        let inv = build(&points);
+        let baltic = inv.cells_in(&BBox::baltic());
+        assert_eq!(baltic, vec![points[0].cell]);
+    }
+
+    #[test]
+    fn coverage_report_arithmetic() {
+        let points: Vec<_> = (0..100)
+            .map(|i| point_at(50.0 + (i % 10) as f64, -10.0, 1, MarketSegment::DryBulk))
+            .collect();
+        let inv = build(&points);
+        let cov = inv.coverage();
+        assert_eq!(cov.resolution, 6);
+        assert_eq!(cov.total_records, 100);
+        assert_eq!(cov.occupied_cells, 10);
+        assert!((cov.compression - 0.9).abs() < 1e-9);
+        assert!(cov.utilization > 0.0 && cov.utilization < 1e-4);
+        assert_eq!(cov.total_cells, num_cells(res()));
+    }
+
+    #[test]
+    fn empty_inventory() {
+        let inv = Inventory::from_entries(res(), FxHashMap::default(), 0);
+        assert!(inv.is_empty());
+        let cov = inv.coverage();
+        assert_eq!(cov.compression, 0.0);
+        assert_eq!(cov.utilization, 0.0);
+    }
+
+    #[test]
+    fn merge_folds_entries() {
+        let seg = MarketSegment::Container;
+        let a = build(&[point_at(50.0, -10.0, 3, seg)]);
+        let b = build(&[point_at(50.0, -10.0, 3, seg), point_at(20.0, 60.0, 4, seg)]);
+        let mut m = build(&[point_at(50.0, -10.0, 3, seg)]);
+        m.merge(&b);
+        assert_eq!(m.total_records, a.total_records + b.total_records);
+        let cell = cell_at(LatLon::new(50.0, -10.0).unwrap(), res());
+        assert_eq!(m.summary(cell).unwrap().records, 2);
+        assert_eq!(m.len_of(GroupingSet::Cell), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "different resolutions")]
+    fn merge_rejects_resolution_mismatch() {
+        let mut a = Inventory::from_entries(res(), FxHashMap::default(), 0);
+        let b = Inventory::from_entries(Resolution::new(7).unwrap(), FxHashMap::default(), 0);
+        a.merge(&b);
+    }
+}

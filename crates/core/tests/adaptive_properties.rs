@@ -1,0 +1,118 @@
+//! Property tests for the density-adaptive inventory: whatever the traffic
+//! shape and threshold, the result is a valid partition that conserves
+//! records and answers every covered query.
+
+use pol_ais::types::{MarketSegment, Mmsi};
+use pol_core::features::{CellStats, GroupKey};
+use pol_core::records::{CellPoint, TripPoint};
+use pol_core::{AdaptiveConfig, AdaptiveInventory, Inventory};
+use pol_geo::LatLon;
+use pol_hexgrid::{cell_at, Resolution};
+use pol_sketch::hash::FxHashMap;
+use proptest::prelude::*;
+
+fn inventory_from_points(points: &[(f64, f64, u16)]) -> Inventory {
+    let res = Resolution::new(6).unwrap();
+    let mut entries: FxHashMap<GroupKey, CellStats> = FxHashMap::default();
+    for (i, (lat, lon, weight)) in points.iter().enumerate() {
+        let pos = LatLon::new(*lat, *lon).unwrap();
+        let cell = cell_at(pos, res);
+        let stats = entries
+            .entry(GroupKey::Cell(cell))
+            .or_insert_with(|| CellStats::new(0.05, 4));
+        for j in 0..*weight {
+            stats.observe(&CellPoint {
+                point: TripPoint {
+                    mmsi: Mmsi(1 + j as u32),
+                    timestamp: (i * 100 + j as usize) as i64,
+                    pos,
+                    sog_knots: Some(11.0),
+                    cog_deg: Some(200.0),
+                    heading_deg: Some(200.0),
+                    segment: MarketSegment::Tanker,
+                    trip_id: j as u64,
+                    origin: 0,
+                    dest: 1,
+                    eto_secs: 1,
+                    ata_secs: 2,
+                },
+                cell,
+                next_cell: None,
+            });
+        }
+    }
+    let total: u64 = entries.values().map(|s| s.records).sum();
+    Inventory::from_entries(res, entries, total)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn partition_valid_and_conservative(
+        points in prop::collection::vec((-55.0f64..65.0, -170.0f64..170.0, 1u16..40), 1..80),
+        threshold in 1u64..500,
+        coarsest in 2u8..6,
+    ) {
+        let inv = inventory_from_points(&points);
+        let cfg = AdaptiveConfig {
+            min_records_per_cell: threshold,
+            coarsest: Resolution::new(coarsest).unwrap(),
+        };
+        let adaptive = AdaptiveInventory::build(&inv, &cfg);
+        // Partition: no cell is an ancestor of another.
+        prop_assert_eq!(adaptive.partition_violations(), 0);
+        // Conservation: total records preserved exactly.
+        let fine_total: u64 = inv
+            .iter()
+            .filter_map(|(k, s)| matches!(k, GroupKey::Cell(_)).then_some(s.records))
+            .sum();
+        prop_assert_eq!(adaptive.total_records(), fine_total);
+        // Never more cells than the input, never fewer than one.
+        let fine_cells = inv.len_of(pol_core::features::GroupingSet::Cell);
+        prop_assert!(adaptive.len() <= fine_cells);
+        prop_assert!(!adaptive.is_empty());
+        // Resolutions stay within [coarsest, fine].
+        for (r, _) in adaptive.resolution_histogram() {
+            prop_assert!(r >= coarsest && r <= 6);
+        }
+    }
+
+    #[test]
+    fn every_observed_point_remains_covered(
+        points in prop::collection::vec((-55.0f64..65.0, -170.0f64..170.0, 1u16..20), 1..50),
+        threshold in 1u64..200,
+    ) {
+        let inv = inventory_from_points(&points);
+        let adaptive = AdaptiveInventory::build(
+            &inv,
+            &AdaptiveConfig { min_records_per_cell: threshold, ..AdaptiveConfig::default() },
+        );
+        for (lat, lon, _) in &points {
+            let pos = LatLon::new(*lat, *lon).unwrap();
+            prop_assert!(
+                adaptive.summary_at(pos).is_some(),
+                "observed point ({lat},{lon}) lost coverage"
+            );
+        }
+    }
+
+    #[test]
+    fn monotone_in_threshold(
+        points in prop::collection::vec((-55.0f64..65.0, -170.0f64..170.0, 1u16..30), 1..60),
+    ) {
+        let inv = inventory_from_points(&points);
+        let mut prev_cells = usize::MAX;
+        for threshold in [1u64, 8, 64, 512, 4096] {
+            let adaptive = AdaptiveInventory::build(
+                &inv,
+                &AdaptiveConfig { min_records_per_cell: threshold, ..AdaptiveConfig::default() },
+            );
+            prop_assert!(
+                adaptive.len() <= prev_cells,
+                "higher threshold must not increase cells"
+            );
+            prev_cells = adaptive.len();
+        }
+    }
+}

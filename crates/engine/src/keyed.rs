@@ -1,0 +1,376 @@
+//! Wide (shuffle) transformations over keyed datasets.
+//!
+//! This is the reduce side of the paper's methodology: grouping-set keys
+//! (Table 2) are hashed to reduce partitions, and per-key statistics are
+//! combined map-side first (`aggregate_by_key`'s `seq` operator) then
+//! merged across partitions (`comb` operator) — Spark's `aggregateByKey`
+//! contract, which is exactly what makes `pol-sketch`'s mergeable
+//! statistics partition-invariant.
+
+use crate::dataset::Dataset;
+use crate::metrics::StageReport;
+use crate::Engine;
+use pol_sketch::hash::{hash64, FxHashMap};
+use std::hash::Hash;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A dataset of `(K, V)` pairs supporting shuffles and keyed aggregation.
+pub struct KeyedDataset<K, V> {
+    inner: Dataset<(K, V)>,
+}
+
+impl<K, V> KeyedDataset<K, V>
+where
+    K: Eq + Hash + Clone + Send + Sync + 'static,
+    V: Send + 'static,
+{
+    /// Wraps a pair dataset.
+    pub fn from_dataset(inner: Dataset<(K, V)>) -> Self {
+        KeyedDataset { inner }
+    }
+
+    /// The underlying pair dataset.
+    pub fn into_inner(self) -> Dataset<(K, V)> {
+        self.inner
+    }
+
+    /// Total record count.
+    pub fn count(&self) -> usize {
+        self.inner.count()
+    }
+
+    /// Hash-partitions records so all pairs of one key land in the same
+    /// partition (the shuffle). Deterministic: uses the workspace's FxHash.
+    pub fn partition_by_key(self, engine: &Engine, stage: &str, num_partitions: usize) -> Self {
+        let num = num_partitions.max(1);
+        let started = Instant::now();
+        let input_records = self.inner.count() as u64;
+        // Map side: split every input partition into `num` buckets.
+        let bucketed: Vec<Vec<Vec<(K, V)>>> =
+            engine
+                .pool()
+                .run_stage(self.inner.into_partitions(), move |_, part| {
+                    let mut buckets: Vec<Vec<(K, V)>> = (0..num).map(|_| Vec::new()).collect();
+                    for (k, v) in part {
+                        let b = (hash64(&k) % num as u64) as usize;
+                        buckets[b].push((k, v));
+                    }
+                    buckets
+                });
+        // Reduce side: transpose-concatenate bucket b of every map output.
+        let mut out: Vec<Vec<(K, V)>> = (0..num).map(|_| Vec::new()).collect();
+        for map_out in bucketed {
+            for (b, bucket) in map_out.into_iter().enumerate() {
+                out[b].extend(bucket);
+            }
+        }
+        let result = Dataset::from_partitions(out);
+        engine.metrics().record(StageReport {
+            name: stage.to_string(),
+            input_records,
+            output_records: result.count() as u64,
+            shuffled_records: input_records,
+            wall: started.elapsed(),
+        });
+        KeyedDataset { inner: result }
+    }
+
+    /// Spark's `aggregateByKey`: builds a per-key accumulator with `seq`
+    /// map-side (one pass per input partition, combiner style), shuffles the
+    /// combiners, then merges them with `comb`.
+    ///
+    /// Correctness requires `comb` to be commutative and associative, and
+    /// `seq`/`comb` to agree (folding values then combining must equal
+    /// folding all values into one accumulator) — the [`pol_sketch`]
+    /// statistics satisfy this by construction.
+    pub fn aggregate_by_key<A, Z, S, C>(
+        self,
+        engine: &Engine,
+        stage: &str,
+        zero: Z,
+        seq: S,
+        comb: C,
+    ) -> Dataset<(K, A)>
+    where
+        A: Send + 'static,
+        Z: Fn() -> A + Send + Sync + 'static,
+        S: Fn(&mut A, V) + Send + Sync + 'static,
+        C: Fn(&mut A, A) + Send + Sync + 'static,
+    {
+        let started = Instant::now();
+        let input_records = self.inner.count() as u64;
+        let num = engine.default_partitions();
+        let zero = Arc::new(zero);
+        let seq = Arc::new(seq);
+        let comb = Arc::new(comb);
+
+        // Map side: per-partition combiners.
+        let z1 = zero.clone();
+        let s1 = seq.clone();
+        let combiners: Vec<FxHashMap<K, A>> =
+            engine
+                .pool()
+                .run_stage(self.inner.into_partitions(), move |_, part| {
+                    let mut acc: FxHashMap<K, A> = FxHashMap::default();
+                    for (k, v) in part {
+                        s1(acc.entry(k).or_insert_with(|| z1()), v);
+                    }
+                    acc
+                });
+        let shuffled: u64 = combiners.iter().map(|m| m.len() as u64).sum();
+
+        // Shuffle combiners by key hash.
+        let mut buckets: Vec<Vec<(K, A)>> = (0..num).map(|_| Vec::new()).collect();
+        for m in combiners {
+            for (k, a) in m {
+                let b = (hash64(&k) % num as u64) as usize;
+                buckets[b].push((k, a));
+            }
+        }
+
+        // Reduce side: merge combiners per key.
+        let c1 = comb.clone();
+        let reduced: Vec<Vec<(K, A)>> = engine.pool().run_stage(buckets, move |_, bucket| {
+            let mut acc: FxHashMap<K, A> = FxHashMap::default();
+            for (k, a) in bucket {
+                match acc.entry(k) {
+                    std::collections::hash_map::Entry::Occupied(mut e) => {
+                        c1(e.get_mut(), a);
+                    }
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(a);
+                    }
+                }
+            }
+            acc.into_iter().collect()
+        });
+        let result = Dataset::from_partitions(reduced);
+        engine.metrics().record(StageReport {
+            name: stage.to_string(),
+            input_records,
+            output_records: result.count() as u64,
+            shuffled_records: shuffled,
+            wall: started.elapsed(),
+        });
+        result
+    }
+
+    /// `reduceByKey`: aggregation where the accumulator is the value type.
+    pub fn reduce_by_key<F>(self, engine: &Engine, stage: &str, f: F) -> Dataset<(K, V)>
+    where
+        V: Clone,
+        F: Fn(&mut V, V) + Send + Sync + 'static,
+    {
+        let f = Arc::new(f);
+        let f2 = f.clone();
+        self.aggregate_by_key(
+            engine,
+            stage,
+            || None::<V>,
+            move |acc, v| match acc {
+                Some(a) => f(a, v),
+                None => *acc = Some(v),
+            },
+            move |acc, other| match (acc.as_mut(), other) {
+                (Some(a), Some(o)) => f2(a, o),
+                (None, o) => *acc = o,
+                (_, None) => {}
+            },
+        )
+        .map(engine, &format!("{stage}:unwrap"), |(k, v)| {
+            (k, v.expect("every key saw at least one value"))
+        })
+    }
+
+    /// `groupByKey`: collects all values per key (use `aggregate_by_key`
+    /// when a bounded accumulator exists — same advice as Spark's docs).
+    pub fn group_by_key(self, engine: &Engine, stage: &str) -> Dataset<(K, Vec<V>)> {
+        self.aggregate_by_key(
+            engine,
+            stage,
+            Vec::new,
+            |acc, v| acc.push(v),
+            |acc, mut other| acc.append(&mut other),
+        )
+    }
+
+    /// Number of distinct keys.
+    pub fn count_keys(self, engine: &Engine, stage: &str) -> usize {
+        self.aggregate_by_key(engine, stage, || (), |_, _| (), |_, _| ())
+            .count()
+    }
+
+    /// Inner join on key with `other` (both sides shuffled to the same
+    /// partitioning).
+    pub fn join<W>(
+        self,
+        engine: &Engine,
+        stage: &str,
+        other: KeyedDataset<K, W>,
+    ) -> Dataset<(K, (V, W))>
+    where
+        V: Clone,
+        W: Clone + Send + 'static,
+    {
+        let started = Instant::now();
+        let input_records = (self.count() + other.count()) as u64;
+        let num = engine.default_partitions();
+        let left = self
+            .partition_by_key(engine, &format!("{stage}:shuffle-left"), num)
+            .inner
+            .into_partitions();
+        let right = other
+            .partition_by_key(engine, &format!("{stage}:shuffle-right"), num)
+            .inner
+            .into_partitions();
+        let zipped: Vec<(Vec<(K, V)>, Vec<(K, W)>)> = left.into_iter().zip(right).collect();
+        let joined: Vec<Vec<(K, (V, W))>> = engine.pool().run_stage(zipped, |_, (l, r)| {
+            let mut by_key: FxHashMap<K, Vec<W>> = FxHashMap::default();
+            for (k, w) in r {
+                by_key.entry(k).or_default().push(w);
+            }
+            let mut out = Vec::new();
+            for (k, v) in l {
+                if let Some(ws) = by_key.get(&k) {
+                    for w in ws {
+                        out.push((k.clone(), (v.clone(), w.clone())));
+                    }
+                }
+            }
+            out
+        });
+        let result = Dataset::from_partitions(joined);
+        engine.metrics().record(StageReport {
+            name: stage.to_string(),
+            input_records,
+            output_records: result.count() as u64,
+            shuffled_records: input_records,
+            wall: started.elapsed(),
+        });
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn words() -> Vec<(&'static str, u64)> {
+        let text = "the quick brown fox jumps over the lazy dog the fox";
+        text.split(' ').map(|w| (w, 1u64)).collect()
+    }
+
+    #[test]
+    fn word_count_via_reduce_by_key() {
+        let e = Engine::new(4);
+        let d = Dataset::from_vec(words(), 3).into_keyed();
+        let mut out = d.reduce_by_key(&e, "wc", |a, b| *a += b).collect();
+        out.sort();
+        let the = out.iter().find(|(w, _)| *w == "the").unwrap();
+        assert_eq!(the.1, 3);
+        let fox = out.iter().find(|(w, _)| *w == "fox").unwrap();
+        assert_eq!(fox.1, 2);
+        assert_eq!(out.len(), 8);
+    }
+
+    #[test]
+    fn partition_by_key_collocates() {
+        let e = Engine::new(4);
+        let data: Vec<(u32, u32)> = (0..200).map(|i| (i % 10, i)).collect();
+        let shuffled = Dataset::from_vec(data, 7)
+            .into_keyed()
+            .partition_by_key(&e, "shuffle", 4);
+        let parts = shuffled.into_inner().into_partitions();
+        assert_eq!(parts.len(), 4);
+        // Every key appears in exactly one partition.
+        let mut seen: std::collections::HashMap<u32, usize> = Default::default();
+        for (pi, p) in parts.iter().enumerate() {
+            for (k, _) in p {
+                if let Some(prev) = seen.insert(*k, pi) {
+                    assert_eq!(prev, pi, "key {k} split across partitions");
+                }
+            }
+        }
+        assert_eq!(parts.iter().map(Vec::len).sum::<usize>(), 200);
+    }
+
+    #[test]
+    fn aggregate_by_key_counts_and_sums() {
+        let e = Engine::new(3);
+        let data: Vec<(u8, f64)> = (0..1000).map(|i| ((i % 5) as u8, i as f64)).collect();
+        let expect_sum: f64 = (0..1000).filter(|i| i % 5 == 2).map(|i| i as f64).sum();
+        let out = Dataset::from_vec(data, 8)
+            .into_keyed()
+            .aggregate_by_key(
+                &e,
+                "agg",
+                || (0u64, 0.0f64),
+                |acc, v| {
+                    acc.0 += 1;
+                    acc.1 += v;
+                },
+                |acc, o| {
+                    acc.0 += o.0;
+                    acc.1 += o.1;
+                },
+            )
+            .collect();
+        assert_eq!(out.len(), 5);
+        let two = out.iter().find(|(k, _)| *k == 2).unwrap();
+        assert_eq!(two.1 .0, 200);
+        assert!((two.1 .1 - expect_sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn group_by_key_collects_all() {
+        let e = Engine::new(2);
+        let d = Dataset::from_vec(vec![(1, "a"), (2, "b"), (1, "c")], 2).into_keyed();
+        let mut out = d.group_by_key(&e, "group").collect();
+        out.sort_by_key(|(k, _)| *k);
+        assert_eq!(out.len(), 2);
+        let mut ones = out[0].1.clone();
+        ones.sort();
+        assert_eq!(ones, vec!["a", "c"]);
+    }
+
+    #[test]
+    fn count_keys_counts_distinct() {
+        let e = Engine::new(2);
+        let d = Dataset::from_vec((0..100u32).map(|i| (i % 7, i)).collect::<Vec<_>>(), 5)
+            .into_keyed();
+        assert_eq!(d.count_keys(&e, "keys"), 7);
+    }
+
+    #[test]
+    fn join_inner() {
+        let e = Engine::new(2);
+        let left = Dataset::from_vec(vec![(1, "l1"), (2, "l2"), (3, "l3")], 2).into_keyed();
+        let right =
+            Dataset::from_vec(vec![(2, "r2a"), (2, "r2b"), (4, "r4")], 2).into_keyed();
+        let mut out = left.join(&e, "join", right).collect();
+        out.sort();
+        assert_eq!(out, vec![(2, ("l2", "r2a")), (2, ("l2", "r2b"))]);
+    }
+
+    #[test]
+    fn key_by_builds_pairs() {
+        let e = Engine::new(2);
+        let d = Dataset::from_vec(vec!["aa", "b", "ccc"], 2);
+        let keyed = d.key_by(&e, "len", |s| s.len());
+        let mut out = keyed.into_inner().collect();
+        out.sort();
+        assert_eq!(out, vec![(1, "b"), (2, "aa"), (3, "ccc")]);
+    }
+
+    #[test]
+    fn shuffle_metrics_recorded() {
+        let e = Engine::new(2);
+        let d = Dataset::from_vec((0..50u32).map(|i| (i % 3, i)).collect::<Vec<_>>(), 4)
+            .into_keyed();
+        let _ = d.partition_by_key(&e, "the-shuffle", 2);
+        let stages = e.metrics().report();
+        let s = stages.iter().find(|s| s.name == "the-shuffle").unwrap();
+        assert_eq!(s.shuffled_records, 50);
+    }
+}

@@ -1,0 +1,109 @@
+//! # pol-engine — an in-process data-parallel MapReduce engine
+//!
+//! The paper executes its methodology on Apache Spark, using exactly two of
+//! Spark's capabilities (§3.3.4): *partitioned parallel transformation*
+//! (the map phase over the grouping set) and *combiner-based keyed
+//! aggregation* (the reduce phase producing per-cell statistics). This crate
+//! provides those capabilities in-process:
+//!
+//! * [`Engine`] — the execution context: a fixed [`pool::ThreadPool`] plus
+//!   per-stage [`metrics::JobMetrics`] (records in/out, shuffle volume,
+//!   wall time — the observability Figure 3 of the paper sketches),
+//! * [`Dataset`] — a partitioned collection with narrow transformations
+//!   (`map`, `filter`, `flat_map`, `map_partitions`,
+//!   `sort_within_partitions`) that never move data between partitions,
+//! * [`KeyedDataset`] — wide transformations: hash-partition shuffle,
+//!   `aggregate_by_key` (seq/comb operators, i.e. Spark's `aggregateByKey`),
+//!   `reduce_by_key`, `group_by_key` and inner `join`.
+//!
+//! The core correctness property (tested): **keyed aggregation is
+//! partition- and thread-count-invariant** — it equals a sequential fold of
+//! the same records, as long as the combine operator is commutative and
+//! associative (which every `pol-sketch` statistic is).
+
+pub mod dataset;
+pub mod keyed;
+pub mod metrics;
+pub mod pool;
+
+pub use dataset::Dataset;
+pub use keyed::KeyedDataset;
+pub use metrics::{JobMetrics, StageReport};
+pub use pool::ThreadPool;
+
+use std::sync::Arc;
+
+/// The execution context: thread pool + metrics. Clone-cheap (shared
+/// internals), like a `SparkContext` handle.
+#[derive(Clone)]
+pub struct Engine {
+    pool: Arc<ThreadPool>,
+    metrics: Arc<JobMetrics>,
+    default_partitions: usize,
+}
+
+impl Engine {
+    /// Creates an engine with `threads` worker threads; partition count for
+    /// new datasets defaults to `2 × threads`.
+    pub fn new(threads: usize) -> Engine {
+        let threads = threads.max(1);
+        Engine {
+            pool: Arc::new(ThreadPool::new(threads)),
+            metrics: Arc::new(JobMetrics::default()),
+            default_partitions: threads * 2,
+        }
+    }
+
+    /// An engine sized to the machine.
+    pub fn with_available_parallelism() -> Engine {
+        let n = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        Engine::new(n)
+    }
+
+    /// Worker-thread count.
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// Default partition count for new datasets.
+    pub fn default_partitions(&self) -> usize {
+        self.default_partitions
+    }
+
+    /// The engine's accumulated stage metrics.
+    pub fn metrics(&self) -> &JobMetrics {
+        &self.metrics
+    }
+
+    pub(crate) fn pool(&self) -> &ThreadPool {
+        &self.pool
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engine_basics() {
+        let e = Engine::new(3);
+        assert_eq!(e.threads(), 3);
+        assert_eq!(e.default_partitions(), 6);
+        let e0 = Engine::new(0);
+        assert_eq!(e0.threads(), 1, "clamped to one thread");
+    }
+
+    #[test]
+    fn engine_clone_shares_metrics() {
+        let e = Engine::new(2);
+        let e2 = e.clone();
+        let d = Dataset::from_vec(vec![1, 2, 3], 2);
+        let _ = d.map(&e2, "probe", |x| x + 1).collect();
+        assert!(
+            e.metrics().report().iter().any(|s| s.name == "probe"),
+            "metrics visible through the original handle"
+        );
+    }
+}

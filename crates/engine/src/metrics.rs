@@ -1,0 +1,113 @@
+//! Per-stage execution accounting — the observability surface of the
+//! engine (what Spark's UI shows per stage; what Figure 3 of the paper
+//! sketches as the execution flow).
+
+use parking_lot::Mutex;
+use std::time::Duration;
+
+/// A completed stage's accounting.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StageReport {
+    /// Stage name (the pipeline step, e.g. `"clean"`, `"aggregate"`).
+    pub name: String,
+    /// Records entering the stage.
+    pub input_records: u64,
+    /// Records leaving the stage.
+    pub output_records: u64,
+    /// Records moved across partitions (0 for narrow stages).
+    pub shuffled_records: u64,
+    /// Wall-clock time of the stage.
+    pub wall: Duration,
+}
+
+/// Accumulates [`StageReport`]s across a job. Shared by all clones of an
+/// [`crate::Engine`].
+#[derive(Default)]
+pub struct JobMetrics {
+    stages: Mutex<Vec<StageReport>>,
+}
+
+impl JobMetrics {
+    /// Records a completed stage.
+    pub fn record(&self, report: StageReport) {
+        self.stages.lock().push(report);
+    }
+
+    /// Snapshot of all stages so far, in completion order.
+    pub fn report(&self) -> Vec<StageReport> {
+        self.stages.lock().clone()
+    }
+
+    /// Total wall time across stages (stages on the same pool serialize, so
+    /// this approximates job time).
+    pub fn total_wall(&self) -> Duration {
+        self.stages.lock().iter().map(|s| s.wall).sum()
+    }
+
+    /// Drops all recorded stages.
+    pub fn clear(&self) {
+        self.stages.lock().clear();
+    }
+
+    /// Renders a compact text table (one line per stage).
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "stage                          in_records  out_records    shuffled   wall_ms\n",
+        );
+        for s in self.stages.lock().iter() {
+            out.push_str(&format!(
+                "{:<30} {:>11} {:>12} {:>11} {:>9.1}\n",
+                s.name,
+                s.input_records,
+                s.output_records,
+                s.shuffled_records,
+                s.wall.as_secs_f64() * 1e3
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stage(name: &str, wall_ms: u64) -> StageReport {
+        StageReport {
+            name: name.into(),
+            input_records: 10,
+            output_records: 8,
+            shuffled_records: 0,
+            wall: Duration::from_millis(wall_ms),
+        }
+    }
+
+    #[test]
+    fn record_and_report() {
+        let m = JobMetrics::default();
+        m.record(stage("a", 5));
+        m.record(stage("b", 7));
+        let r = m.report();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r[0].name, "a");
+        assert_eq!(m.total_wall(), Duration::from_millis(12));
+    }
+
+    #[test]
+    fn clear_resets() {
+        let m = JobMetrics::default();
+        m.record(stage("a", 5));
+        m.clear();
+        assert!(m.report().is_empty());
+        assert_eq!(m.total_wall(), Duration::ZERO);
+    }
+
+    #[test]
+    fn render_contains_stage_names() {
+        let m = JobMetrics::default();
+        m.record(stage("clean", 1));
+        let text = m.render();
+        assert!(text.contains("clean"));
+        assert!(text.lines().count() >= 2);
+    }
+}

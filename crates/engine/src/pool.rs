@@ -1,0 +1,170 @@
+//! A fixed-size worker pool over crossbeam channels.
+//!
+//! Deliberately simple: an unbounded MPMC job channel consumed by `n`
+//! workers. Stages submit one job per partition and gather results over a
+//! private result channel, so a stage's wall time is the longest partition
+//! (the same straggler behaviour a Spark stage exhibits).
+
+use crossbeam::channel::{unbounded, Sender};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// The fixed-size thread pool.
+pub struct ThreadPool {
+    sender: Option<Sender<Job>>,
+    handles: Vec<JoinHandle<()>>,
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// Spawns `threads` workers (at least one).
+    pub fn new(threads: usize) -> ThreadPool {
+        let threads = threads.max(1);
+        let (sender, receiver) = unbounded::<Job>();
+        let handles = (0..threads)
+            .map(|i| {
+                let rx = receiver.clone();
+                std::thread::Builder::new()
+                    .name(format!("pol-worker-{i}"))
+                    .spawn(move || {
+                        while let Ok(job) = rx.recv() {
+                            job();
+                        }
+                    })
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        ThreadPool {
+            sender: Some(sender),
+            handles,
+            threads,
+        }
+    }
+
+    /// Number of workers.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Submits a job.
+    pub fn execute<F: FnOnce() + Send + 'static>(&self, job: F) {
+        self.sender
+            .as_ref()
+            .expect("pool alive")
+            .send(Box::new(job))
+            .expect("workers alive");
+    }
+
+    /// Runs one closure per item of `inputs` on the pool and returns the
+    /// results in input order. This is the engine's stage primitive.
+    pub fn run_stage<I, R, F>(&self, inputs: Vec<I>, f: F) -> Vec<R>
+    where
+        I: Send + 'static,
+        R: Send + 'static,
+        F: Fn(usize, I) -> R + Send + Sync + 'static,
+    {
+        let n = inputs.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let f = std::sync::Arc::new(f);
+        let (tx, rx) = unbounded::<(usize, R)>();
+        for (idx, input) in inputs.into_iter().enumerate() {
+            let f = f.clone();
+            let tx = tx.clone();
+            self.execute(move || {
+                let out = f(idx, input);
+                // Receiver outlives all jobs within this call; a send error
+                // can only happen if the caller's thread panicked.
+                let _ = tx.send((idx, out));
+            });
+        }
+        drop(tx);
+        let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        for _ in 0..n {
+            let (idx, r) = rx.recv().expect("all stage jobs complete");
+            slots[idx] = Some(r);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every slot filled"))
+            .collect()
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        drop(self.sender.take()); // closes the channel; workers drain & exit
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn executes_all_jobs() {
+        let pool = ThreadPool::new(4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let (tx, rx) = unbounded();
+        for _ in 0..100 {
+            let c = counter.clone();
+            let tx = tx.clone();
+            pool.execute(move || {
+                c.fetch_add(1, Ordering::SeqCst);
+                tx.send(()).unwrap();
+            });
+        }
+        for _ in 0..100 {
+            rx.recv().unwrap();
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn run_stage_preserves_order() {
+        let pool = ThreadPool::new(8);
+        let inputs: Vec<u64> = (0..64).collect();
+        let out = pool.run_stage(inputs, |idx, x| {
+            // Vary the work so completion order differs from input order.
+            std::thread::sleep(std::time::Duration::from_micros((64 - idx as u64) * 10));
+            x * 2
+        });
+        assert_eq!(out, (0..64).map(|x| x * 2).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn run_stage_empty() {
+        let pool = ThreadPool::new(2);
+        let out: Vec<u32> = pool.run_stage(Vec::<u32>::new(), |_, x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn more_jobs_than_threads() {
+        let pool = ThreadPool::new(1);
+        let out = pool.run_stage((0..100u32).collect::<Vec<_>>(), |_, x| x + 1);
+        assert_eq!(out.len(), 100);
+        assert_eq!(out[99], 100);
+    }
+
+    #[test]
+    fn drop_joins_cleanly() {
+        let pool = ThreadPool::new(3);
+        let done = Arc::new(AtomicUsize::new(0));
+        for _ in 0..10 {
+            let d = done.clone();
+            pool.execute(move || {
+                d.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        drop(pool); // must drain queued jobs before joining
+        assert_eq!(done.load(Ordering::SeqCst), 10);
+    }
+}

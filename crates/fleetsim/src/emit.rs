@@ -1,0 +1,296 @@
+//! AIS report emission: turns a vessel's activity calendar into the
+//! positional-report stream a receiving network would archive.
+//!
+//! Fidelity to the protocol (§3.1.1 of the paper):
+//!
+//! * class-A reporting intervals depend on speed — 2 s above 23 kn, 6 s
+//!   above 14 kn, 10 s under way below that, and 3 min when moored/anchored
+//!   (scaled by [`EmissionConfig::interval_scale`] to keep laptop-scale
+//!   volumes),
+//! * GPS jitter on every fix,
+//! * reception dropout (terrestrial/satellite coverage is imperfect),
+//! * rare corrupt records — speed spikes, bogus courses, position
+//!   teleports, duplicated timestamps — exactly the defects the paper's
+//!   cleaning step (§3.3.1) is built to reject.
+
+use crate::ports::WORLD_PORTS;
+use crate::rng::Rng;
+use crate::voyage::Activity;
+use pol_ais::types::{Mmsi, NavStatus};
+use pol_ais::PositionReport;
+use pol_geo::{destination, LatLon};
+
+/// Emission tuning.
+#[derive(Clone, Copy, Debug)]
+pub struct EmissionConfig {
+    /// Multiplies every protocol interval (30 ⇒ a 10 s interval becomes
+    /// 5 min). 1.0 reproduces true protocol rates — and the paper's
+    /// billions of rows.
+    pub interval_scale: f64,
+    /// Probability that an emitted report is never received.
+    pub dropout: f64,
+    /// GPS noise, standard deviation in metres.
+    pub gps_noise_m: f64,
+    /// Probability that a received report is corrupted.
+    pub corrupt_rate: f64,
+}
+
+impl Default for EmissionConfig {
+    fn default() -> Self {
+        EmissionConfig {
+            interval_scale: 30.0,
+            dropout: 0.05,
+            gps_noise_m: 30.0,
+            corrupt_rate: 0.000_5,
+        }
+    }
+}
+
+/// Protocol reporting interval (seconds) for a state.
+pub fn protocol_interval_secs(sog_knots: f64, status: NavStatus) -> f64 {
+    if status.is_stationary() {
+        180.0
+    } else if sog_knots > 23.0 {
+        2.0
+    } else if sog_knots > 14.0 {
+        6.0
+    } else {
+        10.0
+    }
+}
+
+/// Emits the received report stream for one vessel's calendar over
+/// `[start, end)`. Reports come out time-ordered except for the rare
+/// corrupt duplicates/swaps that cleaning must handle.
+pub fn emit_reports(
+    mmsi: Mmsi,
+    activities: &[Activity],
+    start: i64,
+    end: i64,
+    cfg: &EmissionConfig,
+    rng: &mut Rng,
+) -> Vec<PositionReport> {
+    let mut out = Vec::new();
+    for act in activities {
+        let a0 = act.from().max(start);
+        let a1 = act.to().min(end);
+        if a0 >= a1 {
+            continue;
+        }
+        let mut t = a0;
+        while t < a1 {
+            let (pos, sog, cog, status) = match act {
+                Activity::InPort { port, .. } => {
+                    let p = WORLD_PORTS[port.0 as usize].pos();
+                    (p, 0.0, 0.0, NavStatus::Moored)
+                }
+                Activity::Voyage(plan) => {
+                    let k = plan
+                        .kinematics_at(t)
+                        .expect("t within the voyage window");
+                    (k.pos, k.sog_knots, k.cog_deg, k.nav_status)
+                }
+            };
+            let interval = protocol_interval_secs(sog, status) * cfg.interval_scale;
+            if !rng.chance(cfg.dropout) {
+                let report = observe(mmsi, t, pos, sog, cog, status, cfg, rng);
+                if rng.chance(cfg.corrupt_rate) {
+                    corrupt(report, &mut out, rng);
+                } else {
+                    out.push(report);
+                }
+            }
+            t += (interval.max(1.0)).round() as i64;
+        }
+    }
+    out
+}
+
+/// Applies GPS noise and small instrument noise to a true state.
+#[allow(clippy::too_many_arguments)]
+fn observe(
+    mmsi: Mmsi,
+    t: i64,
+    pos: LatLon,
+    sog: f64,
+    cog: f64,
+    status: NavStatus,
+    cfg: &EmissionConfig,
+    rng: &mut Rng,
+) -> PositionReport {
+    let jitter_km = (cfg.gps_noise_m / 1000.0) * rng.normal().abs();
+    let noisy_pos = destination(pos, rng.range(0.0, 360.0), jitter_km);
+    let heading = if status.is_stationary() {
+        None
+    } else {
+        Some((cog + rng.normal_with(0.0, 2.0)).rem_euclid(360.0))
+    };
+    PositionReport {
+        mmsi,
+        timestamp: t,
+        pos: noisy_pos,
+        sog_knots: Some((sog + rng.normal_with(0.0, 0.2)).clamp(0.0, 102.2)),
+        cog_deg: Some((cog + rng.normal_with(0.0, 1.0)).rem_euclid(360.0)),
+        heading_deg: heading,
+        nav_status: status,
+    }
+}
+
+/// Injects one of the defect classes the cleaning step must reject.
+fn corrupt(mut report: PositionReport, out: &mut Vec<PositionReport>, rng: &mut Rng) {
+    match rng.below(4) {
+        0 => {
+            // Speed spike beyond the protocol maximum.
+            report.sog_knots = Some(rng.range(110.0, 500.0));
+            out.push(report);
+        }
+        1 => {
+            // Course outside [0, 360).
+            report.cog_deg = Some(rng.range(360.0, 720.0));
+            out.push(report);
+        }
+        2 => {
+            // Position teleport: an infeasible jump (> 50 kn implied speed).
+            report.pos = LatLon::wrapped(
+                report.pos.lat() + rng.range(3.0, 8.0),
+                report.pos.lon() + rng.range(3.0, 8.0),
+            );
+            out.push(report);
+        }
+        _ => {
+            // Duplicate with out-of-order timestamp.
+            let mut dup = report;
+            dup.timestamp -= 120;
+            out.push(report);
+            out.push(dup);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lanes::{LaneGraph, RouteOptions};
+    use crate::ports::port_by_locode;
+    use crate::voyage::VoyagePlan;
+
+    fn calendar() -> Vec<Activity> {
+        let (o, _) = port_by_locode("NLRTM").unwrap();
+        let (d, _) = port_by_locode("GBFXT").unwrap();
+        let route = LaneGraph::global()
+            .route(o, d, RouteOptions::default())
+            .unwrap();
+        let dep = 1_640_995_200 + 3_600;
+        let plan = VoyagePlan {
+            origin: o,
+            dest: d,
+            departure: dep,
+            speed_kn: 14.0,
+            route,
+        };
+        let arr = plan.arrival();
+        vec![
+            Activity::InPort { port: o, from: 1_640_995_200, to: dep },
+            Activity::Voyage(plan),
+            Activity::InPort { port: d, from: arr, to: arr + 86_400 },
+        ]
+    }
+
+    fn no_defects() -> EmissionConfig {
+        EmissionConfig {
+            interval_scale: 30.0,
+            dropout: 0.0,
+            gps_noise_m: 0.0,
+            corrupt_rate: 0.0,
+        }
+    }
+
+    #[test]
+    fn protocol_intervals() {
+        assert_eq!(protocol_interval_secs(25.0, NavStatus::UnderWayUsingEngine), 2.0);
+        assert_eq!(protocol_interval_secs(18.0, NavStatus::UnderWayUsingEngine), 6.0);
+        assert_eq!(protocol_interval_secs(8.0, NavStatus::UnderWayUsingEngine), 10.0);
+        assert_eq!(protocol_interval_secs(0.0, NavStatus::Moored), 180.0);
+    }
+
+    #[test]
+    fn emits_ordered_valid_reports() {
+        let mut rng = Rng::new(5);
+        let acts = calendar();
+        let start = acts[0].from();
+        let end = acts[2].to();
+        let reports = emit_reports(Mmsi(123_456_789), &acts, start, end, &no_defects(), &mut rng);
+        assert!(reports.len() > 100, "got {}", reports.len());
+        for w in reports.windows(2) {
+            assert!(w[0].timestamp <= w[1].timestamp);
+        }
+        for r in &reports {
+            assert!(r.in_protocol_ranges(), "{r:?}");
+        }
+        // Both moored and under-way phases present.
+        assert!(reports.iter().any(|r| r.nav_status == NavStatus::Moored));
+        assert!(reports
+            .iter()
+            .any(|r| r.nav_status == NavStatus::UnderWayUsingEngine));
+    }
+
+    #[test]
+    fn moored_reports_are_sparser() {
+        let mut rng = Rng::new(6);
+        let acts = calendar();
+        let cfg = no_defects();
+        let reports = emit_reports(Mmsi(1), &acts, acts[0].from(), acts[2].to(), &cfg, &mut rng);
+        let moored: Vec<_> = reports
+            .iter()
+            .filter(|r| r.nav_status == NavStatus::Moored)
+            .collect();
+        let underway: Vec<_> = reports
+            .iter()
+            .filter(|r| r.nav_status == NavStatus::UnderWayUsingEngine)
+            .collect();
+        // Moored interval = 180 s × 30 vs ≤ 10 s × 30 under way: per hour
+        // under way must report ≥ 10× as often.
+        let moored_span = (moored.last().unwrap().timestamp - moored[0].timestamp).max(1);
+        let uw_span = (underway.last().unwrap().timestamp - underway[0].timestamp).max(1);
+        let moored_rate = moored.len() as f64 / moored_span as f64;
+        let uw_rate = underway.len() as f64 / uw_span as f64;
+        assert!(uw_rate > moored_rate * 5.0, "{uw_rate} vs {moored_rate}");
+    }
+
+    #[test]
+    fn dropout_thins_the_stream() {
+        let acts = calendar();
+        let (start, end) = (acts[0].from(), acts[2].to());
+        let full = emit_reports(Mmsi(1), &acts, start, end, &no_defects(), &mut Rng::new(7));
+        let mut half_cfg = no_defects();
+        half_cfg.dropout = 0.5;
+        let half = emit_reports(Mmsi(1), &acts, start, end, &half_cfg, &mut Rng::new(7));
+        let ratio = half.len() as f64 / full.len() as f64;
+        assert!((0.4..0.6).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn corruption_injects_cleanable_defects() {
+        let acts = calendar();
+        let (start, end) = (acts[0].from(), acts[2].to());
+        let mut cfg = no_defects();
+        cfg.corrupt_rate = 0.2; // exaggerate for the test
+        let reports = emit_reports(Mmsi(1), &acts, start, end, &cfg, &mut Rng::new(8));
+        let out_of_range = reports.iter().filter(|r| !r.in_protocol_ranges()).count();
+        assert!(out_of_range > 0, "expected corrupt records");
+        let out_of_order = reports
+            .windows(2)
+            .filter(|w| w[0].timestamp > w[1].timestamp)
+            .count();
+        assert!(out_of_order > 0, "expected out-of-order duplicates");
+    }
+
+    #[test]
+    fn window_clips_emission() {
+        let acts = calendar();
+        let mut rng = Rng::new(9);
+        let mid = (acts[0].from() + acts[2].to()) / 2;
+        let reports = emit_reports(Mmsi(1), &acts, acts[0].from(), mid, &no_defects(), &mut rng);
+        assert!(reports.iter().all(|r| r.timestamp < mid));
+    }
+}

@@ -1,0 +1,155 @@
+//! The synthetic commercial fleet — the stand-in for the paper's
+//! 60 000-vessel static inventory.
+
+use crate::rng::Rng;
+use pol_ais::types::{MarketSegment, Mmsi};
+use pol_ais::StaticReport;
+
+/// Static particulars of one simulated vessel.
+#[derive(Clone, Debug)]
+pub struct VesselSpec {
+    pub mmsi: Mmsi,
+    pub name: String,
+    pub segment: MarketSegment,
+    /// Gross tonnage.
+    pub grt: u32,
+    /// Design (service) speed in knots.
+    pub design_speed_kn: f64,
+}
+
+impl VesselSpec {
+    /// The vessel's static report (what the AIS type-5/vessel-DB join
+    /// yields in the paper's enrichment step).
+    pub fn static_report(&self) -> StaticReport {
+        StaticReport {
+            mmsi: self.mmsi,
+            imo: Some(9_000_000 + self.mmsi.0 % 1_000_000),
+            name: self.name.clone(),
+            ship_type: self.segment.representative_code(),
+            gross_tonnage: self.grt,
+        }
+    }
+}
+
+/// The fleet generator.
+pub struct Fleet;
+
+/// Fleet mix: share, design-speed mean/std (kn), GRT range — per segment,
+/// approximating the world commercial fleet's composition.
+const MIX: &[(MarketSegment, f64, f64, f64, u32, u32)] = &[
+    (MarketSegment::Container, 0.22, 17.5, 2.0, 8_000, 230_000),
+    (MarketSegment::DryBulk, 0.28, 12.5, 1.0, 20_000, 200_000),
+    (MarketSegment::Tanker, 0.22, 13.0, 1.2, 8_000, 160_000),
+    (MarketSegment::Gas, 0.05, 17.0, 1.5, 50_000, 170_000),
+    (MarketSegment::GeneralCargo, 0.18, 14.0, 2.0, 5_100, 60_000),
+    (MarketSegment::Passenger, 0.05, 20.0, 2.0, 20_000, 230_000),
+];
+
+const NAME_HEADS: &[&str] = &[
+    "EVER", "MAERSK", "MSC", "CMA", "COSCO", "HAPAG", "ONE", "NYK", "GOLDEN", "STAR",
+    "PACIFIC", "ATLANTIC", "NORDIC", "AEGEAN", "BALTIC", "IONIAN",
+];
+const NAME_TAILS: &[&str] = &[
+    "GLORY", "FORTUNE", "PIONEER", "TRADER", "EXPRESS", "HORIZON", "SPIRIT", "HARMONY",
+    "VOYAGER", "NAVIGATOR", "TRIUMPH", "DAWN", "WAVE", "CREST", "SUMMIT", "LEGACY",
+];
+
+impl Fleet {
+    /// Generates `n` commercial vessels deterministically from `rng`.
+    pub fn generate(rng: &mut Rng, n: usize) -> Vec<VesselSpec> {
+        let weights: Vec<f64> = MIX.iter().map(|m| m.1).collect();
+        (0..n)
+            .map(|i| {
+                let (segment, _, sp_mean, sp_std, grt_lo, grt_hi) = MIX[rng.weighted(&weights)];
+                // Log-uniform tonnage: the world fleet is bottom-heavy.
+                let grt = (grt_lo as f64
+                    * ((grt_hi as f64 / grt_lo as f64).powf(rng.f64())))
+                .round() as u32;
+                let design_speed_kn = rng.normal_with(sp_mean, sp_std).clamp(9.0, 25.0);
+                let name = format!(
+                    "{} {} {}",
+                    NAME_HEADS[rng.below(NAME_HEADS.len())],
+                    NAME_TAILS[rng.below(NAME_TAILS.len())],
+                    i + 1
+                );
+                VesselSpec {
+                    // 9-digit MMSIs in a realistic MID-prefixed space.
+                    mmsi: Mmsi(200_000_000 + i as u32 * 37 + 11),
+                    name,
+                    segment,
+                    grt,
+                    design_speed_kn,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_count_with_unique_mmsi() {
+        let mut rng = Rng::new(1);
+        let fleet = Fleet::generate(&mut rng, 500);
+        assert_eq!(fleet.len(), 500);
+        let mmsis: std::collections::HashSet<_> = fleet.iter().map(|v| v.mmsi).collect();
+        assert_eq!(mmsis.len(), 500);
+    }
+
+    #[test]
+    fn all_vessels_are_commercial_fleet() {
+        let mut rng = Rng::new(2);
+        for v in Fleet::generate(&mut rng, 300) {
+            let s = v.static_report();
+            assert!(s.is_commercial_fleet(), "{v:?}");
+            assert_eq!(s.segment(), v.segment);
+            assert!((9.0..=25.0).contains(&v.design_speed_kn));
+        }
+    }
+
+    #[test]
+    fn segment_mix_roughly_matches() {
+        let mut rng = Rng::new(3);
+        let fleet = Fleet::generate(&mut rng, 5_000);
+        let bulk = fleet
+            .iter()
+            .filter(|v| v.segment == MarketSegment::DryBulk)
+            .count() as f64
+            / 5_000.0;
+        assert!((0.24..0.32).contains(&bulk), "dry-bulk share {bulk}");
+        let gas = fleet
+            .iter()
+            .filter(|v| v.segment == MarketSegment::Gas)
+            .count() as f64
+            / 5_000.0;
+        assert!((0.02..0.08).contains(&gas), "gas share {gas}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = Fleet::generate(&mut Rng::new(7), 50);
+        let b = Fleet::generate(&mut Rng::new(7), 50);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.mmsi, y.mmsi);
+            assert_eq!(x.segment, y.segment);
+            assert_eq!(x.grt, y.grt);
+            assert_eq!(x.design_speed_kn, y.design_speed_kn);
+        }
+    }
+
+    #[test]
+    fn container_ships_are_fast() {
+        let fleet = Fleet::generate(&mut Rng::new(11), 3_000);
+        let avg = |seg: MarketSegment| {
+            let v: Vec<f64> = fleet
+                .iter()
+                .filter(|x| x.segment == seg)
+                .map(|x| x.design_speed_kn)
+                .collect();
+            v.iter().sum::<f64>() / v.len() as f64
+        };
+        assert!(avg(MarketSegment::Container) > avg(MarketSegment::DryBulk) + 2.0);
+    }
+}

@@ -1,0 +1,47 @@
+//! # pol-fleetsim — the data substrate
+//!
+//! The paper's inventory is built from a proprietary archive: every
+//! positional report MarineTraffic (Kpler) received in 2022 — 2.7 billion
+//! records from ~60 000 commercial vessels (Table 1). That archive cannot
+//! ship with a reproduction, so this crate builds the closest synthetic
+//! equivalent that exercises the same code paths:
+//!
+//! * [`rng`] — an own splitmix64/xoshiro256** PRNG so datasets are
+//!   bit-reproducible from a seed across toolchains,
+//! * [`ports`] — ~110 real-world major ports with true coordinates and
+//!   traffic weights (the paper's "Port Information" input),
+//! * [`lanes`] — a hand-curated ocean waypoint graph with the real
+//!   chokepoints (Suez, Panama, Malacca, Gibraltar, Dover, Bosporus,
+//!   Hormuz, Cape of Good Hope, Cape Horn…) and a Dijkstra router;
+//!   canal edges carry flags so disruption scenarios can close them,
+//! * [`fleet`] — a commercial fleet sampled per market segment with
+//!   realistic speed and tonnage profiles (the "Vessel Static information"
+//!   input),
+//! * [`voyage`] — port-to-port movement along routed legs with harbour
+//!   slow-downs and port dwell,
+//! * [`emit`] — AIS-protocol-faithful report emission: class-A reporting
+//!   intervals by speed/status, GPS noise, reception dropout, and the
+//!   occasional corrupt field the cleaning step (§3.3.1) must reject,
+//! * [`scenario`] — packaged datasets: a baseline "year", a COVID-style
+//!   port closure, and a Suez-style canal blockage with Cape reroute.
+//!
+//! Everything is deterministic given [`scenario::ScenarioConfig::seed`].
+
+pub mod emit;
+pub mod fleet;
+pub mod lanes;
+pub mod nmea_out;
+pub mod ports;
+pub mod rng;
+pub mod scenario;
+pub mod voyage;
+
+pub use fleet::{Fleet, VesselSpec};
+pub use lanes::{LaneGraph, RouteOptions};
+pub use ports::{Port, PortId, WORLD_PORTS};
+pub use rng::Rng;
+pub use scenario::{Dataset, Disruption, ScenarioConfig};
+
+/// Unix timestamp of 2022-01-01T00:00:00Z — the simulated year's origin,
+/// matching the paper's 2022 dataset.
+pub const EPOCH_2022: i64 = 1_640_995_200;

@@ -1,0 +1,341 @@
+//! Packaged dataset scenarios: the baseline "year", a COVID-style port
+//! closure and a Suez-style canal blockage.
+//!
+//! A scenario is fully described by a [`ScenarioConfig`]; generation is
+//! deterministic given the seed and produces the same three inputs the
+//! paper's pipeline consumes (Table 1): per-vessel positional report
+//! streams, the vessel static inventory, and the port table — plus the
+//! *ground truth* voyage list that the use-case evaluations (§4.1.2,
+//! §4.1.3) score against.
+
+use crate::emit::{emit_reports, EmissionConfig};
+use crate::fleet::{Fleet, VesselSpec};
+use crate::lanes::{LaneGraph, RouteOptions};
+use crate::ports::{PortId, WORLD_PORTS};
+use crate::rng::Rng;
+use crate::voyage::{Activity, VoyagePlan};
+use crate::EPOCH_2022;
+use pol_ais::types::Mmsi;
+use pol_ais::{PositionReport, StaticReport};
+
+/// A disruptive event injected into the simulated world.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Disruption {
+    /// A port stops accepting calls during `[from, to)` (COVID-19-style).
+    PortClosure { port: PortId, from: i64, to: i64 },
+    /// The Suez canal is blocked during `[from, to)`; voyages planned in
+    /// the window route via the Cape of Good Hope (Ever-Given-style).
+    SuezBlockage { from: i64, to: i64 },
+}
+
+/// Scenario parameters.
+#[derive(Clone, Debug)]
+pub struct ScenarioConfig {
+    /// Seed of all randomness.
+    pub seed: u64,
+    /// Fleet size (the paper's world has ~60 000; defaults are laptop-
+    /// scale and every experiment reports its scale factor).
+    pub n_vessels: usize,
+    /// Unix start time.
+    pub start: i64,
+    /// Simulated span in days.
+    pub duration_days: u32,
+    /// Emission tuning.
+    pub emission: EmissionConfig,
+    /// Optional disruption.
+    pub disruption: Option<Disruption>,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        ScenarioConfig {
+            seed: 42,
+            n_vessels: 300,
+            start: EPOCH_2022,
+            duration_days: 21,
+            emission: EmissionConfig::default(),
+            disruption: None,
+        }
+    }
+}
+
+impl ScenarioConfig {
+    /// A smaller config for unit tests. The emission interval is kept
+    /// dense enough (≈ 1–3 min under way) that consecutive reports land in
+    /// the same or adjacent res-6 cells, like real AIS traffic does — the
+    /// compression behaviour of Table 4 depends on that.
+    pub fn tiny() -> Self {
+        ScenarioConfig {
+            n_vessels: 20,
+            duration_days: 6,
+            emission: EmissionConfig {
+                interval_scale: 20.0,
+                ..EmissionConfig::default()
+            },
+            ..ScenarioConfig::default()
+        }
+    }
+
+    /// End of the simulated window.
+    pub fn end(&self) -> i64 {
+        self.start + self.duration_days as i64 * 86_400
+    }
+}
+
+/// Ground truth for one completed (or in-progress) voyage.
+#[derive(Clone, Debug)]
+pub struct VoyageTruth {
+    pub mmsi: Mmsi,
+    pub origin: PortId,
+    pub dest: PortId,
+    pub departure: i64,
+    pub arrival: i64,
+    pub distance_km: f64,
+    /// Whether the voyage was re-routed around a closed canal.
+    pub rerouted: bool,
+}
+
+/// A generated dataset: the simulator's analogue of the paper's Table 1.
+pub struct Dataset {
+    /// Positional reports, one partition per vessel (the pipeline's initial
+    /// partitioning in §3.3.1 is by vessel identifier).
+    pub positions: Vec<Vec<PositionReport>>,
+    /// The vessel static inventory.
+    pub statics: Vec<StaticReport>,
+    /// The fleet specs (simulation-side superset of `statics`).
+    pub fleet: Vec<VesselSpec>,
+    /// Ground-truth voyages for evaluation.
+    pub truth: Vec<VoyageTruth>,
+    /// The config that produced this dataset.
+    pub config: ScenarioConfig,
+}
+
+impl Dataset {
+    /// Total positional report count.
+    pub fn total_reports(&self) -> usize {
+        self.positions.iter().map(Vec::len).sum()
+    }
+}
+
+/// Generates a dataset from a scenario config.
+pub fn generate(config: &ScenarioConfig) -> Dataset {
+    let mut rng = Rng::new(config.seed);
+    let fleet = Fleet::generate(&mut rng, config.n_vessels);
+    let graph = LaneGraph::global();
+    let weights: Vec<f64> = WORLD_PORTS.iter().map(|p| p.weight).collect();
+    let start = config.start;
+    let end = config.end();
+
+    let mut positions = Vec::with_capacity(fleet.len());
+    let mut truth = Vec::new();
+
+    for (vi, vessel) in fleet.iter().enumerate() {
+        let mut vrng = rng.fork(vi as u64);
+        let mut activities: Vec<Activity> = Vec::new();
+        // Stagger entry so not every vessel departs at t0; negative lead
+        // lets some vessels already be mid-ocean at the window start.
+        let mut t = start - (vrng.f64() * 5.0 * 86_400.0) as i64;
+        let mut here = pick_port(&mut vrng, &weights, None, config, t);
+        while t < end {
+            // Dwell in port 12 h – 3 days.
+            let dwell = vrng.range(0.5, 3.0) * 86_400.0;
+            let depart = t + dwell as i64;
+            let dest = pick_port(&mut vrng, &weights, Some(here), config, depart);
+            let opts = route_options(config, depart);
+            let Some(route) = graph.route(here, dest, opts) else {
+                break; // unreachable under closures; end this vessel's year
+            };
+            activities.push(Activity::InPort { port: here, from: t, to: depart });
+            let speed = (vessel.design_speed_kn + vrng.normal_with(0.0, 0.5)).clamp(8.0, 25.0);
+            let plan = VoyagePlan {
+                origin: here,
+                dest,
+                departure: depart,
+                speed_kn: speed,
+                route,
+            };
+            let arrival = plan.arrival();
+            if depart < end {
+                truth.push(VoyageTruth {
+                    mmsi: vessel.mmsi,
+                    origin: here,
+                    dest,
+                    departure: depart,
+                    arrival,
+                    distance_km: plan.route.distance_km,
+                    rerouted: opts.avoid_suez || opts.avoid_panama,
+                });
+            }
+            activities.push(Activity::Voyage(plan));
+            here = dest;
+            t = arrival;
+        }
+        positions.push(emit_reports(
+            vessel.mmsi,
+            &activities,
+            start,
+            end,
+            &config.emission,
+            &mut vrng,
+        ));
+    }
+
+    Dataset {
+        positions,
+        statics: fleet.iter().map(VesselSpec::static_report).collect(),
+        fleet,
+        truth,
+        config: config.clone(),
+    }
+}
+
+/// Picks an origin/destination port honouring closures; biases toward a
+/// different port than `not` and respects traffic weights.
+fn pick_port(
+    rng: &mut Rng,
+    weights: &[f64],
+    not: Option<PortId>,
+    config: &ScenarioConfig,
+    at: i64,
+) -> PortId {
+    loop {
+        let cand = PortId(rng.weighted(weights) as u16);
+        if Some(cand) == not {
+            continue;
+        }
+        if let Some(Disruption::PortClosure { port, from, to }) = config.disruption {
+            if cand == port && at >= from && at < to {
+                continue;
+            }
+        }
+        return cand;
+    }
+}
+
+/// Routing options at planning time (canal blockages).
+fn route_options(config: &ScenarioConfig, at: i64) -> RouteOptions {
+    match config.disruption {
+        Some(Disruption::SuezBlockage { from, to }) if at >= from && at < to => RouteOptions {
+            avoid_suez: true,
+            avoid_panama: false,
+        },
+        _ => RouteOptions::default(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ports::port_by_locode;
+
+    #[test]
+    fn tiny_scenario_generates_data() {
+        let ds = generate(&ScenarioConfig::tiny());
+        assert_eq!(ds.positions.len(), 20);
+        assert_eq!(ds.statics.len(), 20);
+        assert!(ds.total_reports() > 1_000, "got {}", ds.total_reports());
+        assert!(!ds.truth.is_empty());
+        // Reports are inside the window.
+        let (s, e) = (ds.config.start, ds.config.end());
+        for part in &ds.positions {
+            for r in part {
+                assert!(r.timestamp >= s && r.timestamp < e);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = generate(&ScenarioConfig::tiny());
+        let b = generate(&ScenarioConfig::tiny());
+        assert_eq!(a.total_reports(), b.total_reports());
+        for (x, y) in a.positions.iter().flatten().zip(b.positions.iter().flatten()) {
+            assert_eq!(x, y);
+        }
+        assert_eq!(a.truth.len(), b.truth.len());
+    }
+
+    #[test]
+    fn different_seed_differs() {
+        let a = generate(&ScenarioConfig::tiny());
+        let mut cfg = ScenarioConfig::tiny();
+        cfg.seed = 43;
+        let b = generate(&cfg);
+        assert_ne!(a.total_reports(), b.total_reports());
+    }
+
+    #[test]
+    fn truth_voyages_are_consistent() {
+        let ds = generate(&ScenarioConfig::tiny());
+        for v in &ds.truth {
+            assert_ne!(v.origin, v.dest);
+            assert!(v.arrival > v.departure);
+            assert!(v.distance_km > 0.0);
+            assert!(ds.fleet.iter().any(|f| f.mmsi == v.mmsi));
+        }
+    }
+
+    #[test]
+    fn port_closure_removes_calls() {
+        let (sin, _) = port_by_locode("SGSIN").unwrap();
+        let mut cfg = ScenarioConfig::tiny();
+        cfg.n_vessels = 40;
+        cfg.disruption = Some(Disruption::PortClosure {
+            port: sin,
+            from: cfg.start,
+            to: cfg.end(),
+        });
+        let ds = generate(&cfg);
+        // No voyage *planned during the closure* targets the closed port.
+        // (Vessels get a pre-window lead-in, so voyages planned before the
+        // closure may still involve it — as in reality, where ships already
+        // bound for a closing port arrive anyway.)
+        for v in ds.truth.iter().filter(|v| v.departure >= cfg.start) {
+            assert_ne!(v.dest, sin, "closed port must receive no new calls");
+        }
+        // And the closure visibly suppresses traffic to the port.
+        let base = generate(&ScenarioConfig { n_vessels: 40, ..ScenarioConfig::tiny() });
+        let calls = |ds: &Dataset| ds.truth.iter().filter(|v| v.dest == sin).count();
+        assert!(calls(&ds) < calls(&base), "{} !< {}", calls(&ds), calls(&base));
+    }
+
+    #[test]
+    fn suez_blockage_marks_reroutes() {
+        let mut cfg = ScenarioConfig::tiny();
+        cfg.n_vessels = 60;
+        cfg.duration_days = 14;
+        cfg.disruption = Some(Disruption::SuezBlockage {
+            from: cfg.start,
+            to: cfg.end(),
+        });
+        let ds = generate(&cfg);
+        // Voyages *planned during* the blockage are rerouted (pre-window
+        // lead-in departures may precede it).
+        assert!(
+            ds.truth
+                .iter()
+                .filter(|v| v.departure >= cfg.start)
+                .all(|v| v.rerouted),
+            "all voyages planned during a full-window blockage are rerouted"
+        );
+        assert!(
+            ds.truth.iter().any(|v| v.rerouted),
+            "blockage produced no reroutes at all"
+        );
+        // And a baseline run has none.
+        let base = generate(&ScenarioConfig::tiny());
+        assert!(base.truth.iter().all(|v| !v.rerouted));
+    }
+
+    #[test]
+    fn statics_join_positions_by_mmsi() {
+        let ds = generate(&ScenarioConfig::tiny());
+        let static_mmsis: std::collections::HashSet<_> =
+            ds.statics.iter().map(|s| s.mmsi).collect();
+        for part in &ds.positions {
+            if let Some(r) = part.first() {
+                assert!(static_mmsis.contains(&r.mmsi));
+            }
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! Voyage kinematics: where a vessel is, how fast, and pointing where, at
+//! any instant of a planned port-to-port passage.
+
+use crate::lanes::Route;
+use crate::ports::PortId;
+use pol_ais::types::NavStatus;
+use pol_geo::LatLon;
+
+/// Distance (km) of the reduced-speed harbour approach/departure zones.
+pub const HARBOUR_ZONE_KM: f64 = 25.0;
+
+/// Speed multiplier inside harbour zones.
+pub const HARBOUR_SPEED_FACTOR: f64 = 0.4;
+
+/// One planned passage.
+#[derive(Clone, Debug)]
+pub struct VoyagePlan {
+    pub origin: PortId,
+    pub dest: PortId,
+    /// Unix departure time (leaving the origin berth).
+    pub departure: i64,
+    /// Cruise speed in knots for this passage.
+    pub speed_kn: f64,
+    /// The routed polyline.
+    pub route: Route,
+}
+
+/// A vessel's instantaneous kinematic state.
+#[derive(Clone, Copy, Debug)]
+pub struct Kinematics {
+    pub pos: LatLon,
+    pub sog_knots: f64,
+    pub cog_deg: f64,
+    pub nav_status: NavStatus,
+}
+
+impl VoyagePlan {
+    /// Cruise speed in km/h.
+    fn cruise_kmh(&self) -> f64 {
+        pol_geo::units::knots_to_kmh(self.speed_kn)
+    }
+
+    /// Total passage duration in seconds, accounting for the slow harbour
+    /// zones at both ends.
+    pub fn duration_secs(&self) -> i64 {
+        let d = self.route.distance_km;
+        let v = self.cruise_kmh();
+        let slow = HARBOUR_ZONE_KM.min(d / 2.0);
+        let cruise = (d - 2.0 * slow).max(0.0);
+        let hours = cruise / v + 2.0 * slow / (v * HARBOUR_SPEED_FACTOR);
+        (hours * 3600.0).ceil() as i64
+    }
+
+    /// Unix arrival time.
+    pub fn arrival(&self) -> i64 {
+        self.departure + self.duration_secs()
+    }
+
+    /// Distance travelled (km) after `dt` seconds under way.
+    fn travelled_km(&self, dt: f64) -> f64 {
+        let d = self.route.distance_km;
+        let v = self.cruise_kmh();
+        let slow_v = v * HARBOUR_SPEED_FACTOR;
+        let slow = HARBOUR_ZONE_KM.min(d / 2.0);
+        let t1 = slow / slow_v * 3600.0; // end of departure zone, secs
+        let cruise = (d - 2.0 * slow).max(0.0);
+        let t2 = t1 + cruise / v * 3600.0; // start of arrival zone
+        if dt <= t1 {
+            slow_v * dt / 3600.0
+        } else if dt <= t2 {
+            slow + v * (dt - t1) / 3600.0
+        } else {
+            (slow + cruise + slow_v * (dt - t2) / 3600.0).min(d)
+        }
+    }
+
+    /// Instantaneous speed (knots) at `dt` seconds into the passage.
+    fn speed_at(&self, dt: f64) -> f64 {
+        let d = self.route.distance_km;
+        let slow = HARBOUR_ZONE_KM.min(d / 2.0);
+        let travelled = self.travelled_km(dt);
+        if travelled < slow || travelled > d - slow {
+            self.speed_kn * HARBOUR_SPEED_FACTOR
+        } else {
+            self.speed_kn
+        }
+    }
+
+    /// Kinematic state at Unix time `t`, or `None` when the vessel is not
+    /// under way on this passage at `t`.
+    pub fn kinematics_at(&self, t: i64) -> Option<Kinematics> {
+        if t < self.departure || t > self.arrival() {
+            return None;
+        }
+        let dt = (t - self.departure) as f64;
+        let travelled = self.travelled_km(dt);
+        Some(Kinematics {
+            pos: self.route.position_at(travelled),
+            sog_knots: self.speed_at(dt),
+            cog_deg: self.route.bearing_at(travelled),
+            nav_status: NavStatus::UnderWayUsingEngine,
+        })
+    }
+}
+
+/// One entry of a vessel's simulated calendar.
+#[derive(Clone, Debug)]
+pub enum Activity {
+    /// Berthed/moored in a port.
+    InPort {
+        port: PortId,
+        from: i64,
+        to: i64,
+    },
+    /// Under way on a passage.
+    Voyage(VoyagePlan),
+}
+
+impl Activity {
+    /// Start time.
+    pub fn from(&self) -> i64 {
+        match self {
+            Activity::InPort { from, .. } => *from,
+            Activity::Voyage(v) => v.departure,
+        }
+    }
+
+    /// End time.
+    pub fn to(&self) -> i64 {
+        match self {
+            Activity::InPort { to, .. } => *to,
+            Activity::Voyage(v) => v.arrival(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lanes::{LaneGraph, RouteOptions};
+    use crate::ports::port_by_locode;
+
+    fn plan(from: &str, to: &str, speed: f64) -> VoyagePlan {
+        let (o, _) = port_by_locode(from).unwrap();
+        let (d, _) = port_by_locode(to).unwrap();
+        let route = LaneGraph::global()
+            .route(o, d, RouteOptions::default())
+            .unwrap();
+        VoyagePlan {
+            origin: o,
+            dest: d,
+            departure: 1_640_995_200,
+            speed_kn: speed,
+            route,
+        }
+    }
+
+    #[test]
+    fn duration_matches_known_passage() {
+        // Rotterdam -> Singapore at 16 kn ≈ 21-24 days.
+        let p = plan("NLRTM", "SGSIN", 16.0);
+        let days = p.duration_secs() as f64 / 86_400.0;
+        assert!((19.0..28.0).contains(&days), "{days} days");
+    }
+
+    #[test]
+    fn kinematics_outside_window_is_none() {
+        let p = plan("NLRTM", "BEANR", 12.0);
+        assert!(p.kinematics_at(p.departure - 1).is_none());
+        assert!(p.kinematics_at(p.arrival() + 1).is_none());
+        assert!(p.kinematics_at(p.departure).is_some());
+        assert!(p.kinematics_at(p.arrival()).is_some());
+    }
+
+    #[test]
+    fn starts_and_ends_at_the_berths() {
+        let p = plan("NLRTM", "SGSIN", 16.0);
+        let (_, rtm) = port_by_locode("NLRTM").unwrap();
+        let (_, sin) = port_by_locode("SGSIN").unwrap();
+        let k0 = p.kinematics_at(p.departure).unwrap();
+        assert!(pol_geo::haversine_km(k0.pos, rtm.pos()) < 1.0);
+        let k1 = p.kinematics_at(p.arrival()).unwrap();
+        assert!(pol_geo::haversine_km(k1.pos, sin.pos()) < 2.0, "{:?}", k1.pos);
+    }
+
+    #[test]
+    fn slow_in_harbour_fast_at_sea() {
+        let p = plan("NLRTM", "SGSIN", 16.0);
+        let early = p.kinematics_at(p.departure + 600).unwrap();
+        assert!(early.sog_knots < 8.0, "harbour speed {}", early.sog_knots);
+        let mid = p.kinematics_at(p.departure + p.duration_secs() / 2).unwrap();
+        assert!((mid.sog_knots - 16.0).abs() < 0.1, "cruise {}", mid.sog_knots);
+        assert_eq!(mid.nav_status, NavStatus::UnderWayUsingEngine);
+    }
+
+    #[test]
+    fn progress_is_monotone() {
+        let p = plan("CNSHA", "USLAX", 18.0);
+        let (_, sha) = port_by_locode("CNSHA").unwrap();
+        let mut prev = 0.0;
+        let n = 40;
+        for i in 0..=n {
+            let t = p.departure + p.duration_secs() * i / n;
+            let k = p.kinematics_at(t).unwrap();
+            let d = pol_geo::haversine_km(sha.pos(), k.pos);
+            // Distance from origin grows along the lane (allow lane wiggle).
+            if i > n / 10 {
+                assert!(d >= prev - 200.0, "step {i}: {d} < {prev}");
+            }
+            prev = prev.max(d);
+        }
+    }
+
+    #[test]
+    fn activity_window_accessors() {
+        let p = plan("NLRTM", "BEANR", 12.0);
+        let arr = p.arrival();
+        let a = Activity::Voyage(p);
+        assert_eq!(a.from(), 1_640_995_200);
+        assert_eq!(a.to(), arr);
+        let ip = Activity::InPort {
+            port: PortId(0),
+            from: 5,
+            to: 10,
+        };
+        assert_eq!(ip.from(), 5);
+        assert_eq!(ip.to(), 10);
+    }
+}

@@ -1,0 +1,126 @@
+//! Property tests for the data substrate: whatever the seed, the simulator
+//! must produce datasets the pipeline's contracts hold for.
+
+use pol_fleetsim::emit::EmissionConfig;
+use pol_fleetsim::lanes::{LaneGraph, RouteOptions};
+use pol_fleetsim::ports::{PortId, WORLD_PORTS};
+use pol_fleetsim::scenario::{generate, ScenarioConfig};
+use proptest::prelude::*;
+
+fn tiny_cfg(seed: u64) -> ScenarioConfig {
+    ScenarioConfig {
+        seed,
+        n_vessels: 6,
+        duration_days: 4,
+        emission: EmissionConfig {
+            interval_scale: 60.0,
+            ..EmissionConfig::default()
+        },
+        ..ScenarioConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn any_seed_yields_valid_reports(seed in 0u64..10_000) {
+        let ds = generate(&tiny_cfg(seed));
+        prop_assert_eq!(ds.positions.len(), 6);
+        let mut reports = 0usize;
+        for (vi, part) in ds.positions.iter().enumerate() {
+            for r in part {
+                reports += 1;
+                prop_assert_eq!(r.mmsi, ds.fleet[vi].mmsi);
+                prop_assert!(r.timestamp >= ds.config.start);
+                prop_assert!(r.timestamp < ds.config.end());
+                // Positions are always valid LatLon by construction; speeds
+                // may exceed protocol range only via corruption injection.
+            }
+        }
+        prop_assert!(reports > 100, "suspiciously few reports: {reports}");
+    }
+
+    #[test]
+    fn out_of_order_fraction_is_bounded_by_corruption(seed in 0u64..5_000) {
+        let mut cfg = tiny_cfg(seed);
+        cfg.emission.corrupt_rate = 0.0;
+        let ds = generate(&cfg);
+        for part in &ds.positions {
+            for w in part.windows(2) {
+                prop_assert!(w[0].timestamp <= w[1].timestamp,
+                    "uncorrupted streams are time-ordered");
+            }
+        }
+    }
+
+    #[test]
+    fn truth_windows_nest_and_orient(seed in 0u64..5_000) {
+        let ds = generate(&tiny_cfg(seed));
+        for v in &ds.truth {
+            prop_assert!(v.arrival > v.departure);
+            prop_assert_ne!(v.origin, v.dest);
+            prop_assert!(v.distance_km > 0.0);
+            prop_assert!((v.origin.0 as usize) < WORLD_PORTS.len());
+            prop_assert!((v.dest.0 as usize) < WORLD_PORTS.len());
+        }
+        // Per vessel, voyages are disjoint in time and chain ports.
+        for vessel in &ds.fleet {
+            let mut voyages: Vec<_> = ds.truth.iter().filter(|v| v.mmsi == vessel.mmsi).collect();
+            voyages.sort_by_key(|v| v.departure);
+            for w in voyages.windows(2) {
+                prop_assert!(w[0].arrival <= w[1].departure, "voyages overlap");
+                prop_assert_eq!(w[0].dest, w[1].origin, "voyages must chain");
+            }
+        }
+    }
+
+    #[test]
+    fn routing_is_symmetric_in_distance(a in 0u16..126, b in 0u16..126) {
+        prop_assume!(a != b);
+        let g = LaneGraph::global();
+        let ab = g.route(PortId(a), PortId(b), RouteOptions::default());
+        let ba = g.route(PortId(b), PortId(a), RouteOptions::default());
+        match (ab, ba) {
+            (Some(x), Some(y)) => {
+                prop_assert!((x.distance_km - y.distance_km).abs() < 1e-6,
+                    "{} vs {}", x.distance_km, y.distance_km);
+            }
+            (None, None) => {}
+            _ => prop_assert!(false, "asymmetric reachability"),
+        }
+    }
+
+    #[test]
+    fn route_polyline_length_matches_reported(a in 0u16..126, b in 0u16..126) {
+        prop_assume!(a != b);
+        let g = LaneGraph::global();
+        if let Some(r) = g.route(PortId(a), PortId(b), RouteOptions::default()) {
+            let polyline: f64 = r
+                .points
+                .windows(2)
+                .map(|w| pol_geo::haversine_km(w[0], w[1]))
+                .sum();
+            prop_assert!((polyline - r.distance_km).abs() < 1.0,
+                "polyline {polyline} vs reported {}", r.distance_km);
+            // Never shorter than the great circle.
+            let gc = pol_geo::haversine_km(r.points[0], *r.points.last().unwrap());
+            prop_assert!(r.distance_km >= gc - 1.0);
+        }
+    }
+
+    #[test]
+    fn avoiding_canals_never_shortens(a in 0u16..126, b in 0u16..126) {
+        prop_assume!(a != b);
+        let g = LaneGraph::global();
+        let open = g.route(PortId(a), PortId(b), RouteOptions::default());
+        let closed = g.route(
+            PortId(a),
+            PortId(b),
+            RouteOptions { avoid_suez: true, avoid_panama: true },
+        );
+        if let (Some(o), Some(c)) = (open, closed) {
+            prop_assert!(c.distance_km >= o.distance_km - 1e-6);
+        }
+    }
+}

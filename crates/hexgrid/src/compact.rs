@@ -1,0 +1,181 @@
+//! `compact` / `uncompact` — the H3 API's hierarchical set compression,
+//! reproduced on this grid's exact aperture-7 hierarchy.
+//!
+//! `compact` replaces every complete group of seven siblings by its parent,
+//! recursively, so large contiguous regions (geofences, covered-area
+//! exports) are stored in the fewest mixed-resolution cells. `uncompact`
+//! inverts it back to a uniform resolution. Because the hierarchy is an
+//! exact integer partition (unlike H3's approximate geometric containment),
+//! `uncompact(compact(S), res) == S` holds exactly for any set `S` of
+//! res-`res` cells.
+
+use crate::grid::children;
+use crate::index::{CellIndex, Resolution};
+use crate::lattice::parent_axial;
+use std::collections::{HashMap as FxHashMap, HashSet as FxHashSet};
+
+/// Compacts a set of same-resolution cells into the minimal equivalent
+/// mixed-resolution set.
+///
+/// # Panics
+/// When the input cells are not all at the same resolution.
+pub fn compact(cells: &[CellIndex]) -> Vec<CellIndex> {
+    let Some(first) = cells.first() else {
+        return Vec::new();
+    };
+    let res = first.resolution();
+    assert!(
+        cells.iter().all(|c| c.resolution() == res),
+        "compact requires uniform input resolution"
+    );
+    let mut out: Vec<CellIndex> = Vec::new();
+    let mut level: FxHashSet<CellIndex> = cells.iter().copied().collect();
+    let mut current = res;
+    while current.level() > 0 && !level.is_empty() {
+        // Count children present per parent.
+        let mut groups: FxHashMap<CellIndex, u8> = FxHashMap::default();
+        let parent_res = current.coarser().expect("level > 0");
+        for cell in &level {
+            let (pax, _) = parent_axial(cell.axial());
+            if let Some(p) = CellIndex::from_axial(pax, parent_res) {
+                *groups.entry(p).or_insert(0) += 1;
+            }
+        }
+        let mut next: FxHashSet<CellIndex> = FxHashSet::default();
+        for (p, count) in groups {
+            debug_assert!(count <= 7);
+            if count == 7 {
+                next.insert(p);
+            } else {
+                // Emit the incomplete group's members as-is.
+                for c in children(p).expect("parent has children") {
+                    if level.contains(&c) {
+                        out.push(c);
+                    }
+                }
+            }
+        }
+        level = next;
+        current = parent_res;
+    }
+    out.extend(level);
+    out.sort_unstable();
+    out
+}
+
+/// Expands a mixed-resolution set back to uniform `res` cells.
+/// Cells already finer than `res` are rejected.
+///
+/// # Panics
+/// When any input cell is finer than `res`.
+pub fn uncompact(cells: &[CellIndex], res: Resolution) -> Vec<CellIndex> {
+    let mut out = Vec::new();
+    for &cell in cells {
+        assert!(
+            cell.resolution() <= res,
+            "uncompact target {res} is coarser than cell {cell}"
+        );
+        let mut frontier = vec![cell];
+        while frontier[0].resolution() < res {
+            frontier = frontier
+                .into_iter()
+                .flat_map(|c| children(c).expect("resolution < res ≤ 15"))
+                .collect();
+        }
+        out.extend(frontier);
+    }
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::{cell_at, grid_disk};
+    use pol_geo::LatLon;
+
+    fn res(r: u8) -> Resolution {
+        Resolution::new(r).unwrap()
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert!(compact(&[]).is_empty());
+        let c = cell_at(LatLon::new(10.0, 10.0).unwrap(), res(6));
+        assert_eq!(compact(&[c]), vec![c]);
+        assert_eq!(uncompact(&[c], res(6)), vec![c]);
+    }
+
+    #[test]
+    fn full_sibling_group_compacts_to_parent() {
+        let p = cell_at(LatLon::new(10.0, 10.0).unwrap(), res(5));
+        let kids = children(p).unwrap();
+        let compacted = compact(&kids);
+        assert_eq!(compacted, vec![p]);
+    }
+
+    #[test]
+    fn incomplete_group_stays_fine() {
+        let p = cell_at(LatLon::new(10.0, 10.0).unwrap(), res(5));
+        let kids = children(p).unwrap();
+        let six = &kids[..6];
+        let compacted = compact(six);
+        assert_eq!(compacted.len(), 6);
+        assert!(compacted.iter().all(|c| c.resolution().level() == 6));
+    }
+
+    #[test]
+    fn multi_level_compaction() {
+        // All 49 grandchildren of one res-4 cell collapse to it.
+        let g = cell_at(LatLon::new(40.0, -30.0).unwrap(), res(4));
+        let mut grandkids = Vec::new();
+        for c in children(g).unwrap() {
+            grandkids.extend(children(c).unwrap());
+        }
+        assert_eq!(grandkids.len(), 49);
+        assert_eq!(compact(&grandkids), vec![g]);
+    }
+
+    #[test]
+    fn round_trip_on_a_disk() {
+        let center = cell_at(LatLon::new(51.0, 1.5).unwrap(), res(6));
+        let mut disk = grid_disk(center, 6); // 127 cells: mixed groups
+        disk.sort_unstable();
+        let compacted = compact(&disk);
+        assert!(compacted.len() < disk.len(), "{} !< {}", compacted.len(), disk.len());
+        let mut back = uncompact(&compacted, res(6));
+        back.sort_unstable();
+        assert_eq!(back, disk, "exact round trip");
+    }
+
+    #[test]
+    fn compacted_set_partitions() {
+        // No cell in the output is an ancestor of another.
+        let center = cell_at(LatLon::new(-20.0, 60.0).unwrap(), res(6));
+        let disk = grid_disk(center, 8);
+        let compacted = compact(&disk);
+        let set: FxHashSet<CellIndex> = compacted.iter().copied().collect();
+        for &c in &compacted {
+            let mut cur = c;
+            while let Some(p) = crate::grid::parent(cur) {
+                assert!(!set.contains(&p), "ancestor {p} of {c} in output");
+                cur = p;
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "uniform input resolution")]
+    fn mixed_input_rejected() {
+        let a = cell_at(LatLon::new(0.0, 0.0).unwrap(), res(5));
+        let b = cell_at(LatLon::new(0.0, 0.0).unwrap(), res(6));
+        let _ = compact(&[a, b]);
+    }
+
+    #[test]
+    #[should_panic(expected = "coarser than cell")]
+    fn uncompact_rejects_finer_input() {
+        let c = cell_at(LatLon::new(0.0, 0.0).unwrap(), res(6));
+        let _ = uncompact(&[c], res(5));
+    }
+}

@@ -1,0 +1,304 @@
+//! The 64-bit cell index.
+//!
+//! Layout (H3-like, from the most significant bit):
+//!
+//! ```text
+//! bits 63..58   reserved, always 0
+//! bits 57..54   resolution (0..=15)
+//! bits 53..45   base cell id (9 bits, < 512)
+//! bits 44..42   resolution-1 digit   (0..=6, or 7 = unused)
+//! bits 41..39   resolution-2 digit
+//!   …                                (3 bits per level)
+//! bits  2..0    resolution-15 digit
+//! ```
+//!
+//! Digits for levels deeper than the cell's resolution are set to `7`
+//! (0b111), so each cell has a single canonical `u64` and coarse/fine cells
+//! never collide. Within one resolution, indices sort so that whole subtrees
+//! are contiguous (children of one parent cluster together) — a property
+//! range scans over the inventory exploit.
+
+use crate::lattice::{child_axial, parent_axial, Axial, Lattice, MAX_RES};
+use std::fmt;
+
+/// A grid resolution, `0..=15`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Resolution(u8);
+
+impl Resolution {
+    /// Creates a resolution; `None` if above 15.
+    pub const fn new(r: u8) -> Option<Self> {
+        if r <= MAX_RES {
+            Some(Self(r))
+        } else {
+            None
+        }
+    }
+
+    /// The raw resolution level.
+    #[inline]
+    pub const fn level(self) -> u8 {
+        self.0
+    }
+
+    /// One resolution coarser, if any.
+    pub const fn coarser(self) -> Option<Resolution> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(Resolution(self.0 - 1))
+        }
+    }
+
+    /// One resolution finer, if any.
+    pub const fn finer(self) -> Option<Resolution> {
+        if self.0 == MAX_RES {
+            None
+        } else {
+            Some(Resolution(self.0 + 1))
+        }
+    }
+}
+
+impl fmt::Display for Resolution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Error returned when a raw `u64` is not a valid cell index.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InvalidCellIndex(pub u64);
+
+impl fmt::Display for InvalidCellIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid cell index {:#018x}", self.0)
+    }
+}
+
+impl std::error::Error for InvalidCellIndex {}
+
+const RES_SHIFT: u32 = 54;
+const BASE_SHIFT: u32 = 45;
+const DIGIT_BITS: u32 = 3;
+
+/// A cell of the global hexagonal grid, packed into 64 bits.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CellIndex(u64);
+
+impl CellIndex {
+    /// Builds an index from its components. `digits[i]` is the digit for
+    /// resolution level `i + 1`; only the first `res` entries are read.
+    pub(crate) fn from_parts(res: Resolution, base: u16, digits: &[u8]) -> CellIndex {
+        debug_assert!(base < 512);
+        debug_assert!(digits.len() >= res.level() as usize);
+        let mut v = (res.level() as u64) << RES_SHIFT | (base as u64) << BASE_SHIFT;
+        for level in 1..=MAX_RES as usize {
+            let d = if level <= res.level() as usize {
+                debug_assert!(digits[level - 1] < 7);
+                digits[level - 1] as u64
+            } else {
+                7
+            };
+            v |= d << (DIGIT_BITS * (MAX_RES as u32 - level as u32));
+        }
+        CellIndex(v)
+    }
+
+    /// Validates and wraps a raw 64-bit value.
+    pub fn from_raw(raw: u64) -> Result<CellIndex, InvalidCellIndex> {
+        let err = InvalidCellIndex(raw);
+        if raw >> (RES_SHIFT + 4) != 0 {
+            return Err(err);
+        }
+        let res = ((raw >> RES_SHIFT) & 0xF) as u8;
+        let base = ((raw >> BASE_SHIFT) & 0x1FF) as u16;
+        let lattice = Lattice::get();
+        if lattice.base_axial(base).is_none() {
+            return Err(err);
+        }
+        for level in 1..=MAX_RES {
+            let d = (raw >> (DIGIT_BITS * (MAX_RES - level) as u32)) & 0b111;
+            let used = level <= res;
+            if used && d == 7 {
+                return Err(err);
+            }
+            if !used && d != 7 {
+                return Err(err);
+            }
+        }
+        Ok(CellIndex(raw))
+    }
+
+    /// The raw 64-bit representation.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The cell's resolution.
+    #[inline]
+    pub fn resolution(self) -> Resolution {
+        Resolution(((self.0 >> RES_SHIFT) & 0xF) as u8)
+    }
+
+    /// The resolution-0 ancestor's id.
+    #[inline]
+    pub fn base_cell(self) -> u16 {
+        ((self.0 >> BASE_SHIFT) & 0x1FF) as u16
+    }
+
+    /// Digit at a resolution level in `1..=res` (`None` outside that range).
+    #[inline]
+    pub fn digit(self, level: u8) -> Option<u8> {
+        if level == 0 || level > self.resolution().level() {
+            return None;
+        }
+        Some(((self.0 >> (DIGIT_BITS * (MAX_RES - level) as u32)) & 0b111) as u8)
+    }
+
+    /// Axial coordinates of this cell in its resolution's lattice.
+    pub fn axial(self) -> Axial {
+        let lattice = Lattice::get();
+        let mut ax = lattice
+            .base_axial(self.base_cell())
+            .expect("validated index has a known base cell");
+        for level in 1..=self.resolution().level() {
+            let d = self.digit(level).expect("level within resolution");
+            ax = child_axial(ax, d);
+        }
+        ax
+    }
+
+    /// Builds the index for the cell with axial coordinates `ax` at `res`,
+    /// or `None` when the coordinate chain walks off the base-cell table
+    /// (i.e. the coordinates do not correspond to a point on Earth).
+    pub fn from_axial(ax: Axial, res: Resolution) -> Option<CellIndex> {
+        let lattice = Lattice::get();
+        let mut digits = [0u8; MAX_RES as usize];
+        let mut cur = ax;
+        for level in (1..=res.level()).rev() {
+            let (p, d) = parent_axial(cur);
+            digits[level as usize - 1] = d;
+            cur = p;
+        }
+        let base = lattice.base_id(cur)?;
+        Some(CellIndex::from_parts(res, base, &digits))
+    }
+}
+
+impl fmt::Debug for CellIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CellIndex({:015x})", self.0)
+    }
+}
+
+impl fmt::Display for CellIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:015x}", self.0)
+    }
+}
+
+impl std::str::FromStr for CellIndex {
+    type Err = InvalidCellIndex;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let raw = u64::from_str_radix(s, 16).map_err(|_| InvalidCellIndex(0))?;
+        CellIndex::from_raw(raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lattice::Lattice;
+
+    #[test]
+    fn resolution_bounds() {
+        assert!(Resolution::new(0).is_some());
+        assert!(Resolution::new(15).is_some());
+        assert!(Resolution::new(16).is_none());
+        assert_eq!(Resolution::new(0).unwrap().coarser(), None);
+        assert_eq!(Resolution::new(15).unwrap().finer(), None);
+        assert_eq!(
+            Resolution::new(4).unwrap().finer().unwrap().level(),
+            5
+        );
+    }
+
+    #[test]
+    fn parts_round_trip() {
+        let res = Resolution::new(5).unwrap();
+        let digits = [3u8, 0, 6, 2, 5];
+        let c = CellIndex::from_parts(res, 42, &digits);
+        assert_eq!(c.resolution(), res);
+        assert_eq!(c.base_cell(), 42);
+        for (i, d) in digits.iter().enumerate() {
+            assert_eq!(c.digit(i as u8 + 1), Some(*d));
+        }
+        assert_eq!(c.digit(0), None);
+        assert_eq!(c.digit(6), None);
+    }
+
+    #[test]
+    fn raw_validation() {
+        let res = Resolution::new(3).unwrap();
+        let c = CellIndex::from_parts(res, 7, &[1, 2, 3]);
+        assert_eq!(CellIndex::from_raw(c.raw()), Ok(c));
+        // Flipping an unused digit away from 7 invalidates.
+        let bad = c.raw() & !0b111; // level-15 digit -> 0
+        assert!(CellIndex::from_raw(bad).is_err());
+        // Reserved high bits must be zero.
+        assert!(CellIndex::from_raw(c.raw() | 1 << 63).is_err());
+        // Unknown base cell.
+        let worst = (3u64) << 54 | (511u64) << 45 | 0x1FFFFFFFFFF8 >> 1; // garbage
+        let _ = CellIndex::from_raw(worst); // must not panic
+    }
+
+    #[test]
+    fn axial_round_trip_via_digits() {
+        let lattice = Lattice::get();
+        let res = Resolution::new(7).unwrap();
+        for id in (0..lattice.base_cell_count() as u16).step_by(17) {
+            let base_ax = lattice.base_axial(id).unwrap();
+            // Descend to an arbitrary res-7 descendant.
+            let mut ax = base_ax;
+            for d in [1u8, 4, 0, 6, 2, 3, 5] {
+                ax = crate::lattice::child_axial(ax, d);
+            }
+            let idx = CellIndex::from_axial(ax, res).unwrap();
+            assert_eq!(idx.axial(), ax);
+            assert_eq!(idx.base_cell(), id);
+        }
+    }
+
+    #[test]
+    fn display_parse_round_trip() {
+        let c = CellIndex::from_parts(Resolution::new(6).unwrap(), 13, &[1, 2, 3, 4, 5, 6]);
+        let s = c.to_string();
+        assert_eq!(s.len(), 15);
+        let back: CellIndex = s.parse().unwrap();
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn same_resolution_ordering_clusters_siblings() {
+        // Among cells of one resolution, the 7 children of a parent form a
+        // contiguous block: no child of a *different* parent sorts between
+        // them. (Range scans over a subtree rely on this.)
+        let res3 = Resolution::new(3).unwrap();
+        let mine: Vec<u64> = (0..7)
+            .map(|d| CellIndex::from_parts(res3, 10, &[2, 5, d]).raw())
+            .collect();
+        let lo = *mine.iter().min().unwrap();
+        let hi = *mine.iter().max().unwrap();
+        // Children of the neighbouring parents (2,4) and (2,6) must fall
+        // strictly outside [lo, hi].
+        for other_parent_digit in [4u8, 6] {
+            for d in 0..7 {
+                let o = CellIndex::from_parts(res3, 10, &[2, other_parent_digit, d]).raw();
+                assert!(o < lo || o > hi, "foreign child inside sibling block");
+            }
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Grid-level statistics: cell counts, areas and edge lengths per
+//! resolution. These are the denominators of the paper's Table 4
+//! ("H3 Utilization") and the knobs of §3.3.3's resolution choice.
+
+use crate::index::Resolution;
+use crate::lattice::BASE_CELL_AREA_DIVISOR;
+use pol_geo::EARTH_SURFACE_KM2;
+
+/// Nominal number of cells covering the globe at a resolution:
+/// `122 · 7^res` by the area calibration (H3 itself has `2 + 120·7^res`;
+/// within 2 % at every resolution).
+pub fn num_cells(res: Resolution) -> u64 {
+    (BASE_CELL_AREA_DIVISOR as u64) * 7u64.pow(res.level() as u32)
+}
+
+/// Exact spherical area of every cell at a resolution, in km².
+/// (Exact because the lattice lives on an equal-area projection.)
+pub fn avg_cell_area_km2(res: Resolution) -> f64 {
+    EARTH_SURFACE_KM2 / (BASE_CELL_AREA_DIVISOR * 7f64.powi(res.level() as i32))
+}
+
+/// Planar edge length (= circumradius) of cells at a resolution, in km.
+pub fn avg_edge_length_km(res: Resolution) -> f64 {
+    // A = (3√3/2)·s²  ⇒  s = √(2A / 3√3)
+    (2.0 * avg_cell_area_km2(res) / (3.0 * 3f64.sqrt())).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn res(r: u8) -> Resolution {
+        Resolution::new(r).unwrap()
+    }
+
+    #[test]
+    fn cell_counts_match_h3_scale() {
+        // H3: res 6 → 14,117,882 cells; res 7 → 98,825,162.
+        let n6 = num_cells(res(6));
+        let n7 = num_cells(res(7));
+        assert!((n6 as f64 / 14_117_882.0 - 1.0).abs() < 0.02, "res6: {n6}");
+        assert!((n7 as f64 / 98_825_162.0 - 1.0).abs() < 0.02, "res7: {n7}");
+        assert_eq!(n7, n6 * 7);
+    }
+
+    #[test]
+    fn areas_match_h3_scale() {
+        // H3 average hexagon areas: res 6 ≈ 36.13 km², res 7 ≈ 5.16 km².
+        let a6 = avg_cell_area_km2(res(6));
+        let a7 = avg_cell_area_km2(res(7));
+        assert!((a6 - 36.1).abs() < 1.0, "res6 area {a6}");
+        assert!((a7 - 5.16).abs() < 0.2, "res7 area {a7}");
+    }
+
+    #[test]
+    fn area_times_count_is_earth() {
+        for r in 0..=15u8 {
+            let total = avg_cell_area_km2(res(r)) * num_cells(res(r)) as f64;
+            assert!((total - EARTH_SURFACE_KM2).abs() / EARTH_SURFACE_KM2 < 1e-9);
+        }
+    }
+
+    #[test]
+    fn edge_length_decreases_by_sqrt7() {
+        for r in 0..15u8 {
+            let ratio = avg_edge_length_km(res(r)) / avg_edge_length_km(res(r + 1));
+            assert!((ratio - 7f64.sqrt()).abs() < 1e-9);
+        }
+    }
+}

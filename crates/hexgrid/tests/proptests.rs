@@ -1,0 +1,151 @@
+//! Property tests for the hexagonal grid: the §5 DESIGN.md invariants.
+
+use pol_geo::{haversine_km, LatLon};
+use pol_hexgrid::{
+    avg_edge_length_km, cell_at, cell_boundary, cell_center, children, grid_disk, grid_distance,
+    neighbors, parent, parent_at, CellIndex, Resolution,
+};
+use proptest::prelude::*;
+
+fn arb_latlon() -> impl Strategy<Value = LatLon> {
+    // Shipping latitudes: the equal-area lattice distorts *shape* near the
+    // poles (areas stay exact); tight metric assertions hold mid-latitude.
+    (-70.0f64..70.0, -180.0f64..180.0).prop_map(|(lat, lon)| LatLon::new(lat, lon).unwrap())
+}
+
+fn arb_res() -> impl Strategy<Value = Resolution> {
+    (0u8..=9).prop_map(|r| Resolution::new(r).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn encode_decode_round_trip(p in arb_latlon(), res in arb_res()) {
+        let c = cell_at(p, res);
+        prop_assert_eq!(CellIndex::from_raw(c.raw()), Ok(c));
+        let s = c.to_string();
+        let back: CellIndex = s.parse().unwrap();
+        prop_assert_eq!(back, c);
+    }
+
+    #[test]
+    fn center_round_trip(p in arb_latlon(), res in arb_res()) {
+        let c = cell_at(p, res);
+        let c2 = cell_at(cell_center(c), res);
+        if c2 != c {
+            // The one permitted exception: cells in the antimeridian seam
+            // column, whose centre can lie past ±180° and wrap to the other
+            // edge of the lattice (documented substitution trade-off).
+            let center = cell_center(c);
+            let cell_width_deg = pol_hexgrid::avg_edge_length_km(res) * 2.0
+                / (111.19 * center.lat_rad().cos().max(0.05));
+            prop_assert!(
+                180.0 - center.lon().abs() < cell_width_deg,
+                "non-seam cell failed round trip: {} -> {} (centre {center:?})",
+                c,
+                c2
+            );
+        }
+    }
+
+    #[test]
+    fn containment_radius(p in arb_latlon(), res in 3u8..=9) {
+        let res = Resolution::new(res).unwrap();
+        let c = cell_at(p, res);
+        let d = haversine_km(cell_center(c), p);
+        // Planar distance ≤ circumradius; spherical distance stretches by at
+        // most ~1/cos(lat) in the x direction at |lat| ≤ 70° ⇒ factor ≤ 3.
+        prop_assert!(d <= avg_edge_length_km(res) * 3.0,
+            "{d} km from centre at res {}", res.level());
+    }
+
+    #[test]
+    fn parent_child_inverse(p in arb_latlon(), res in 1u8..=9) {
+        let res = Resolution::new(res).unwrap();
+        let c = cell_at(p, res);
+        let par = parent(c).expect("res ≥ 1 has a parent");
+        prop_assert_eq!(par.resolution().level(), res.level() - 1);
+        let kids = children(par).expect("res ≤ 14 has children");
+        prop_assert!(kids.contains(&c), "cell must be among its parent's children");
+        for k in kids {
+            prop_assert_eq!(parent(k), Some(par));
+        }
+    }
+
+    #[test]
+    fn ancestor_chain_consistent(p in arb_latlon()) {
+        let c9 = cell_at(p, Resolution::new(9).unwrap());
+        // parent_at must agree with iterated parent() at every level.
+        let mut cur = c9;
+        for level in (0..9u8).rev() {
+            cur = parent(cur).unwrap();
+            prop_assert_eq!(parent_at(c9, Resolution::new(level).unwrap()), Some(cur));
+        }
+    }
+
+    #[test]
+    fn neighbor_symmetry(p in arb_latlon(), res in 1u8..=8) {
+        let res = Resolution::new(res).unwrap();
+        let c = cell_at(p, res);
+        let ns = neighbors(c);
+        prop_assert!(ns.len() == 6, "interior cells have 6 neighbours");
+        for n in ns {
+            prop_assert!(neighbors(n).contains(&c));
+            prop_assert_eq!(grid_distance(c, n), Some(1));
+        }
+    }
+
+    #[test]
+    fn disk_size_and_membership(p in arb_latlon(), k in 0u32..4) {
+        let res = Resolution::new(5).unwrap();
+        let c = cell_at(p, res);
+        let disk = grid_disk(c, k);
+        let expect = 1 + 3 * k as usize * (k as usize + 1);
+        prop_assert!(disk.len() <= expect);
+        // Away from seam/poles it's exactly the hexagonal number.
+        if p.lon().abs() < 150.0 && p.lat().abs() < 60.0 {
+            prop_assert_eq!(disk.len(), expect);
+        }
+        for m in &disk {
+            prop_assert!(grid_distance(c, *m).unwrap() <= k as u64);
+        }
+    }
+
+    #[test]
+    fn grid_distance_triangle(a in arb_latlon(), b in arb_latlon(), c in arb_latlon()) {
+        let res = Resolution::new(4).unwrap();
+        let (ca, cb, cc) = (cell_at(a, res), cell_at(b, res), cell_at(c, res));
+        let ab = grid_distance(ca, cb).unwrap();
+        let bc = grid_distance(cb, cc).unwrap();
+        let ac = grid_distance(ca, cc).unwrap();
+        prop_assert!(ac <= ab + bc);
+    }
+
+    #[test]
+    fn boundary_contains_centerish(p in arb_latlon(), res in 2u8..=8) {
+        let res = Resolution::new(res).unwrap();
+        let c = cell_at(p, res);
+        let b = cell_boundary(c);
+        // All six vertices at comparable distance from the centre.
+        let center = cell_center(c);
+        let ds: Vec<f64> = b.iter().map(|v| haversine_km(center, *v)).collect();
+        let lo = ds.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = ds.iter().cloned().fold(0.0, f64::max);
+        // The equal-area projection stretches N-S vs E-W by 1/cos²(lat).
+        let limit = 1.3 / p.lat_rad().cos().powi(2) + 0.3;
+        prop_assert!(hi / lo < limit, "degenerate boundary {}..{} at lat {}", lo, hi, p.lat());
+    }
+
+    #[test]
+    fn same_point_nested_resolutions(p in arb_latlon()) {
+        // The res-7 cell of a point descends (by parent_at) to the same
+        // res-6 region the point maps to, within one cell of slack (the
+        // hierarchy is exact in index space; point assignment of *border*
+        // points may differ by one cell, as in H3).
+        let c7 = cell_at(p, Resolution::new(7).unwrap());
+        let via_parent = parent_at(c7, Resolution::new(6).unwrap()).unwrap();
+        let direct = cell_at(p, Resolution::new(6).unwrap());
+        prop_assert!(grid_distance(via_parent, direct).unwrap() <= 1);
+    }
+}

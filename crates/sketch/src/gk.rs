@@ -1,0 +1,329 @@
+//! Greenwald–Khanna ε-approximate quantile summary.
+//!
+//! This is the algorithm behind Spark's `approx_percentile`, i.e. the
+//! "Perc." column of Table 3 (10th/50th/90th percentiles of speed, ETO and
+//! ATA per cell). A sketch with parameter `ε` answers any quantile query
+//! with rank error at most `ε·n`. Merging two sketches adds their error
+//! bounds (`ε₁·n₁ + ε₂·n₂` in rank), which is the standard behaviour also
+//! exhibited by Spark's `QuantileSummaries`.
+
+use crate::MergeSketch;
+
+#[derive(Clone, Copy, Debug, PartialEq)]
+struct Tuple {
+    /// Observed value.
+    v: f64,
+    /// Number of observations represented by this tuple.
+    g: u64,
+    /// Uncertainty of this tuple's rank.
+    delta: u64,
+}
+
+/// The GK quantile sketch.
+#[derive(Clone, Debug)]
+pub struct GkSketch {
+    epsilon: f64,
+    n: u64,
+    tuples: Vec<Tuple>, // sorted by v
+    buffer: Vec<f64>,
+}
+
+/// Buffered insertions between merge passes (amortises the O(s) insert).
+const BUFFER_CAP: usize = 512;
+
+impl GkSketch {
+    /// Creates a sketch with rank-error bound `epsilon` (e.g. `0.01`).
+    ///
+    /// # Panics
+    /// When `epsilon` is not in `(0, 0.5)`.
+    pub fn new(epsilon: f64) -> Self {
+        assert!(
+            epsilon > 0.0 && epsilon < 0.5,
+            "epsilon {epsilon} out of (0, 0.5)"
+        );
+        // No preallocation: the inventory holds one sketch per (cell, key)
+        // and most see only a handful of values.
+        Self {
+            epsilon,
+            n: 0,
+            tuples: Vec::new(),
+            buffer: Vec::new(),
+        }
+    }
+
+    /// The sketch's rank-error parameter.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n + self.buffer.len() as u64
+    }
+
+    /// Adds one observation. Non-finite values are ignored.
+    #[inline]
+    pub fn add(&mut self, x: f64) {
+        if !x.is_finite() {
+            return;
+        }
+        self.buffer.push(x);
+        if self.buffer.len() >= BUFFER_CAP {
+            self.flush();
+        }
+    }
+
+    fn flush(&mut self) {
+        if self.buffer.is_empty() {
+            return;
+        }
+        let mut batch = std::mem::take(&mut self.buffer);
+        batch.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+        let mut merged = Vec::with_capacity(self.tuples.len() + batch.len());
+        let mut ti = 0;
+        for x in batch {
+            while ti < self.tuples.len() && self.tuples[ti].v <= x {
+                merged.push(self.tuples[ti]);
+                ti += 1;
+            }
+            self.n += 1;
+            let delta = if merged.is_empty() || ti == self.tuples.len() {
+                0 // new min or max is exact
+            } else {
+                (2.0 * self.epsilon * self.n as f64).floor() as u64
+            };
+            merged.push(Tuple { v: x, g: 1, delta });
+        }
+        merged.extend_from_slice(&self.tuples[ti..]);
+        self.tuples = merged;
+        self.compress();
+    }
+
+    fn compress(&mut self) {
+        if self.tuples.len() < 3 {
+            return;
+        }
+        let threshold = (2.0 * self.epsilon * self.n as f64).floor() as u64;
+        let mut out: Vec<Tuple> = Vec::with_capacity(self.tuples.len());
+        // Keep the first tuple (exact minimum); greedily fold forward.
+        out.push(self.tuples[0]);
+        for i in 1..self.tuples.len() {
+            let cur = self.tuples[i];
+            let can_fold = out.len() > 1;
+            let last = out.last_mut().expect("seeded with first tuple");
+            // Never fold the exact-minimum tuple into its successor, and
+            // never exceed the error budget.
+            if can_fold && last.g + cur.g + cur.delta <= threshold {
+                let g = last.g + cur.g;
+                *last = Tuple { v: cur.v, g, delta: cur.delta };
+            } else {
+                out.push(cur);
+            }
+        }
+        self.tuples = out;
+    }
+
+    /// The value at quantile `phi ∈ [0, 1]`, with rank error ≤ `ε·n`
+    /// (plus merge degradation, see [`MergeSketch`] impl). `None` when empty.
+    pub fn quantile(&mut self, phi: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&phi), "quantile {phi} out of [0,1]");
+        self.flush();
+        if self.tuples.is_empty() {
+            return None;
+        }
+        let target = (phi * self.n as f64).ceil().max(1.0) as u64;
+        let allowed = (self.epsilon * self.n as f64) as u64;
+        // Standard GK query: return the last tuple whose maximum possible
+        // rank stays within target + ε·n.
+        let mut rmin = 0u64;
+        let mut answer = self.tuples[0].v;
+        for t in &self.tuples {
+            rmin += t.g;
+            if rmin + t.delta > target + allowed {
+                return Some(answer);
+            }
+            answer = t.v;
+        }
+        Some(answer)
+    }
+
+    /// Number of stored tuples (the space usage; O(1/ε · log(εn))).
+    pub fn tuple_count(&mut self) -> usize {
+        self.flush();
+        self.tuples.len()
+    }
+
+    /// Raw parts `(epsilon, n, tuples as (v, g, delta))` after flushing
+    /// (serialization support).
+    pub fn parts(&mut self) -> (f64, u64, Vec<(f64, u64, u64)>) {
+        self.flush();
+        (
+            self.epsilon,
+            self.n,
+            self.tuples.iter().map(|t| (t.v, t.g, t.delta)).collect(),
+        )
+    }
+
+    /// Reconstructs a sketch from raw parts; `None` when the tuples are not
+    /// sorted by value or the counts are inconsistent.
+    pub fn from_parts(epsilon: f64, n: u64, tuples: Vec<(f64, u64, u64)>) -> Option<GkSketch> {
+        if !(epsilon > 0.0 && epsilon < 0.5) {
+            return None;
+        }
+        let mut total_g = 0u64;
+        for w in tuples.windows(2) {
+            if w[0].0 > w[1].0 {
+                return None;
+            }
+        }
+        for t in &tuples {
+            if !t.0.is_finite() {
+                return None;
+            }
+            total_g += t.1;
+        }
+        if total_g != n {
+            return None;
+        }
+        Some(GkSketch {
+            epsilon,
+            n,
+            tuples: tuples
+                .into_iter()
+                .map(|(v, g, delta)| Tuple { v, g, delta })
+                .collect(),
+            buffer: Vec::new(),
+        })
+    }
+}
+
+impl MergeSketch for GkSketch {
+    fn merge(&mut self, other: &Self) {
+        let mut other = other.clone();
+        other.flush();
+        self.flush();
+        // Merge-sort the tuple lists; g and delta survive unchanged (the
+        // classical mergeable-summary combination). Rank error becomes the
+        // sum of both sketches' absolute errors.
+        let mut merged = Vec::with_capacity(self.tuples.len() + other.tuples.len());
+        let (a, b) = (&self.tuples, &other.tuples);
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            if a[i].v <= b[j].v {
+                merged.push(a[i]);
+                i += 1;
+            } else {
+                merged.push(b[j]);
+                j += 1;
+            }
+        }
+        merged.extend_from_slice(&a[i..]);
+        merged.extend_from_slice(&b[j..]);
+        self.tuples = merged;
+        self.n += other.n;
+        self.compress();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rank_of(sorted: &[f64], v: f64) -> f64 {
+        sorted.iter().filter(|&&x| x <= v).count() as f64
+    }
+
+    #[test]
+    #[should_panic(expected = "out of (0, 0.5)")]
+    fn bad_epsilon() {
+        let _ = GkSketch::new(0.6);
+    }
+
+    #[test]
+    fn empty_returns_none() {
+        let mut g = GkSketch::new(0.01);
+        assert_eq!(g.quantile(0.5), None);
+        assert_eq!(g.count(), 0);
+    }
+
+    #[test]
+    fn single_value() {
+        let mut g = GkSketch::new(0.01);
+        g.add(42.0);
+        assert_eq!(g.quantile(0.0), Some(42.0));
+        assert_eq!(g.quantile(0.5), Some(42.0));
+        assert_eq!(g.quantile(1.0), Some(42.0));
+    }
+
+    #[test]
+    fn rank_error_within_epsilon() {
+        let eps = 0.01;
+        let n = 20_000;
+        let mut g = GkSketch::new(eps);
+        // Deterministic shuffled-ish stream.
+        let mut data: Vec<f64> = (0..n).map(|i| ((i * 7919) % n) as f64).collect();
+        for &x in &data {
+            g.add(x);
+        }
+        data.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for phi in [0.1, 0.5, 0.9, 0.01, 0.99] {
+            let v = g.quantile(phi).unwrap();
+            let r = rank_of(&data, v);
+            let err = (r - phi * n as f64).abs() / n as f64;
+            assert!(err <= eps + 1e-9, "phi={phi} v={v} rank err {err}");
+        }
+    }
+
+    #[test]
+    fn space_is_sublinear() {
+        let mut g = GkSketch::new(0.01);
+        for i in 0..100_000 {
+            g.add((i % 1000) as f64);
+        }
+        let tuples = g.tuple_count();
+        assert!(tuples < 2_000, "stored {tuples} tuples for 100k values");
+    }
+
+    #[test]
+    fn merged_error_within_two_epsilon() {
+        let eps = 0.01;
+        let n = 10_000;
+        let mut a = GkSketch::new(eps);
+        let mut b = GkSketch::new(eps);
+        let mut data: Vec<f64> = (0..2 * n).map(|i| ((i * 104_729) % (2 * n)) as f64).collect();
+        for (i, &x) in data.iter().enumerate() {
+            if i % 2 == 0 {
+                a.add(x);
+            } else {
+                b.add(x);
+            }
+        }
+        a.merge(&b);
+        data.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        for phi in [0.1, 0.5, 0.9] {
+            let v = a.quantile(phi).unwrap();
+            let r = rank_of(&data, v);
+            let err = (r - phi * 2.0 * n as f64).abs() / (2.0 * n as f64);
+            assert!(err <= 2.0 * eps + 1e-9, "phi={phi} err {err}");
+        }
+    }
+
+    #[test]
+    fn extremes_are_exactish() {
+        let mut g = GkSketch::new(0.05);
+        for i in 0..1000 {
+            g.add(i as f64);
+        }
+        assert_eq!(g.quantile(0.0), Some(0.0));
+        let hi = g.quantile(1.0).unwrap();
+        assert!(hi >= 999.0 - 50.0, "p100 {hi}");
+    }
+
+    #[test]
+    fn ignores_non_finite() {
+        let mut g = GkSketch::new(0.01);
+        g.add(f64::NAN);
+        g.add(1.0);
+        assert_eq!(g.count(), 1);
+    }
+}

@@ -1,0 +1,301 @@
+//! SpaceSaving heavy hitters (Metwally, Agrawal & El Abbadi 2005) — the
+//! "Top-N" column of Table 3.
+//!
+//! The inventory stores, per cell and grouping key, the most frequent
+//! origins, destinations and outgoing cell transitions. Exact counting of
+//! all values per cell would defeat the "compact data model" goal, so each
+//! cell keeps a bounded [`SpaceSaving`] sketch: at most `capacity` counters,
+//! with the classic guarantee that any item with true frequency
+//! `> n / capacity` is present, and every reported count overestimates the
+//! true count by at most the stored `error`.
+
+use crate::hash::FxHashMap;
+use crate::MergeSketch;
+use std::hash::Hash;
+
+/// One monitored item: an (over-)estimated count and its maximum
+/// overestimation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Counter {
+    /// Estimated count (true count ≤ `count`, ≥ `count - error`).
+    pub count: u64,
+    /// Maximum overestimation baked into `count`.
+    pub error: u64,
+}
+
+/// The SpaceSaving sketch over items of type `T`.
+#[derive(Clone, Debug)]
+pub struct SpaceSaving<T: Eq + Hash + Clone> {
+    capacity: usize,
+    items: FxHashMap<T, Counter>,
+    total: u64,
+}
+
+impl<T: Eq + Hash + Clone> SpaceSaving<T> {
+    /// Creates a sketch tracking at most `capacity` items.
+    ///
+    /// # Panics
+    /// When `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        Self {
+            capacity,
+            items: FxHashMap::default(),
+            total: 0,
+        }
+    }
+
+    /// Observes one occurrence of `item`.
+    pub fn add(&mut self, item: T) {
+        self.add_weighted(item, 1);
+    }
+
+    /// Observes `weight` occurrences of `item`.
+    pub fn add_weighted(&mut self, item: T, weight: u64) {
+        if weight == 0 {
+            return;
+        }
+        self.total += weight;
+        if let Some(c) = self.items.get_mut(&item) {
+            c.count += weight;
+            return;
+        }
+        if self.items.len() < self.capacity {
+            self.items.insert(item, Counter { count: weight, error: 0 });
+            return;
+        }
+        // Evict the minimum counter; the newcomer inherits its count as error.
+        let (min_key, min_count) = self
+            .items
+            .iter()
+            .min_by_key(|(_, c)| c.count)
+            .map(|(k, c)| (k.clone(), c.count))
+            .expect("non-empty at capacity");
+        self.items.remove(&min_key);
+        self.items.insert(
+            item,
+            Counter {
+                count: min_count + weight,
+                error: min_count,
+            },
+        );
+    }
+
+    /// Total weight observed (including evicted items).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of monitored items (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when nothing has been observed.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The estimated count for an item currently monitored.
+    pub fn estimate(&self, item: &T) -> Option<Counter> {
+        self.items.get(item).copied()
+    }
+
+    /// The `n` heaviest items, descending by estimated count.
+    /// Ties break on lower error (more certain first).
+    pub fn top(&self, n: usize) -> Vec<(T, Counter)> {
+        let mut all: Vec<(T, Counter)> =
+            self.items.iter().map(|(k, c)| (k.clone(), *c)).collect();
+        all.sort_by(|a, b| b.1.count.cmp(&a.1.count).then(a.1.error.cmp(&b.1.error)));
+        all.truncate(n);
+        all
+    }
+
+    /// The single most frequent item, if any.
+    pub fn top1(&self) -> Option<(T, Counter)> {
+        self.top(1).pop()
+    }
+
+    /// Iterates over all monitored items.
+    pub fn iter(&self) -> impl Iterator<Item = (&T, &Counter)> {
+        self.items.iter()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Reconstructs a sketch from raw parts (deserialization).
+    ///
+    /// # Panics
+    /// When `capacity == 0` or more items than capacity are supplied.
+    pub fn from_parts(capacity: usize, total: u64, items: Vec<(T, Counter)>) -> SpaceSaving<T> {
+        assert!(capacity > 0, "capacity must be positive");
+        assert!(items.len() <= capacity, "items exceed capacity");
+        SpaceSaving {
+            capacity,
+            items: items.into_iter().collect(),
+            total,
+        }
+    }
+}
+
+impl<T: Eq + Hash + Clone> MergeSketch for SpaceSaving<T> {
+    /// Merges two sketches (Agarwal et al., "Mergeable Summaries").
+    ///
+    /// An item missing from one *at-capacity* sketch may have been observed
+    /// there and evicted, with true count at most that sketch's minimum
+    /// counter — so absent items are credited `min_count` as both count and
+    /// error. This preserves the one-sided guarantee
+    /// `count ≥ true ≥ count − error`. A sketch below capacity is exact, so
+    /// its credit is zero.
+    fn merge(&mut self, other: &Self) {
+        let credit = |s: &Self| -> u64 {
+            if s.items.len() < s.capacity {
+                0
+            } else {
+                s.items.values().map(|c| c.count).min().unwrap_or(0)
+            }
+        };
+        let self_credit = credit(self);
+        let other_credit = credit(other);
+        self.total += other.total;
+        // Items monitored by `other`: add counts; items new to `self` get
+        // `self_credit` for what self may have evicted.
+        for (k, c) in &other.items {
+            match self.items.get_mut(k) {
+                Some(e) => {
+                    e.count += c.count;
+                    e.error += c.error;
+                }
+                None => {
+                    self.items.insert(
+                        k.clone(),
+                        Counter {
+                            count: c.count + self_credit,
+                            error: c.error + self_credit,
+                        },
+                    );
+                }
+            }
+        }
+        // Items only in `self` get `other_credit` for what other may have
+        // evicted.
+        for (k, e) in self.items.iter_mut() {
+            if !other.items.contains_key(k) {
+                e.count += other_credit;
+                e.error += other_credit;
+            }
+        }
+        if self.items.len() > self.capacity {
+            let mut all: Vec<(T, Counter)> = self.items.drain().collect();
+            all.sort_by(|a, b| b.1.count.cmp(&a.1.count));
+            all.truncate(self.capacity);
+            self.items = all.into_iter().collect();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = SpaceSaving::<u32>::new(0);
+    }
+
+    #[test]
+    fn exact_when_under_capacity() {
+        let mut s = SpaceSaving::new(10);
+        for _ in 0..5 {
+            s.add("a");
+        }
+        for _ in 0..3 {
+            s.add("b");
+        }
+        s.add("c");
+        assert_eq!(s.estimate(&"a"), Some(Counter { count: 5, error: 0 }));
+        assert_eq!(s.estimate(&"b"), Some(Counter { count: 3, error: 0 }));
+        assert_eq!(s.top1().unwrap().0, "a");
+        assert_eq!(s.total(), 9);
+    }
+
+    #[test]
+    fn heavy_hitter_survives_eviction_pressure() {
+        let mut s = SpaceSaving::new(4);
+        // "hot" appears 100 times among 200 singletons.
+        for i in 0..200u32 {
+            s.add(format!("noise{i}"));
+            if i % 2 == 0 {
+                s.add("hot".to_string());
+            }
+        }
+        let top = s.top(1);
+        assert_eq!(top[0].0, "hot");
+        let c = top[0].1;
+        // Overestimates, never underestimates beyond the error bound.
+        assert!(c.count >= 100, "count {}", c.count);
+        assert!(c.count - c.error <= 100);
+    }
+
+    #[test]
+    fn overestimation_bounded_by_n_over_k() {
+        let mut s = SpaceSaving::new(8);
+        for i in 0..1000u32 {
+            s.add(i % 100);
+        }
+        for (_, c) in s.iter() {
+            assert!(c.error <= 1000 / 8, "error {}", c.error);
+        }
+    }
+
+    #[test]
+    fn top_order_and_truncation() {
+        let mut s = SpaceSaving::new(10);
+        for (item, n) in [("x", 7), ("y", 9), ("z", 2)] {
+            for _ in 0..n {
+                s.add(item);
+            }
+        }
+        let top = s.top(2);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].0, "y");
+        assert_eq!(top[1].0, "x");
+    }
+
+    #[test]
+    fn merge_preserves_heavy_hitters() {
+        let mut a = SpaceSaving::new(5);
+        let mut b = SpaceSaving::new(5);
+        for _ in 0..50 {
+            a.add("big".to_string());
+        }
+        for i in 0..20u32 {
+            a.add(format!("n{i}"));
+        }
+        for _ in 0..60 {
+            b.add("big".to_string());
+        }
+        for i in 20..40u32 {
+            b.add(format!("n{i}"));
+        }
+        a.merge(&b);
+        assert_eq!(a.top1().unwrap().0, "big");
+        assert!(a.len() <= 5);
+        assert_eq!(a.total(), 150);
+        let c = a.estimate(&"big".to_string()).unwrap();
+        assert!(c.count >= 110);
+    }
+
+    #[test]
+    fn weighted_adds() {
+        let mut s = SpaceSaving::new(3);
+        s.add_weighted("w", 10);
+        s.add_weighted("w", 0); // no-op
+        assert_eq!(s.estimate(&"w").unwrap().count, 10);
+        assert_eq!(s.total(), 10);
+    }
+}

@@ -1,0 +1,207 @@
+//! Exact single-pass moments: Welford's online algorithm with Chan's
+//! parallel merge.
+
+use crate::MergeSketch;
+
+/// Count / mean / variance / min / max in one pass, mergeable across shards
+/// with no loss (Chan, Golub & LeVeque's pairwise update).
+///
+/// Backs every "Mean"/"Std" entry of the paper's Table 3 (speed, ETO, ATA).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Welford {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Welford {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation. Non-finite values are ignored (AIS cleaning
+    /// rejects them upstream; this is defence in depth).
+    #[inline]
+    pub fn add(&mut self, x: f64) {
+        if !x.is_finite() {
+            return;
+        }
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean; `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.mean)
+    }
+
+    /// Population variance; `None` when empty.
+    pub fn variance(&self) -> Option<f64> {
+        (self.count > 0).then(|| (self.m2 / self.count as f64).max(0.0))
+    }
+
+    /// Population standard deviation; `None` when empty.
+    pub fn std_dev(&self) -> Option<f64> {
+        self.variance().map(f64::sqrt)
+    }
+
+    /// Smallest observation; `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation; `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Raw sum of squared deviations (serialization support).
+    pub fn m2(&self) -> f64 {
+        self.m2
+    }
+
+    /// Reconstructs an accumulator from its raw parts (deserialization).
+    pub fn from_parts(count: u64, mean: f64, m2: f64, min: f64, max: f64) -> Welford {
+        if count == 0 {
+            return Welford::new();
+        }
+        Welford {
+            count,
+            mean,
+            m2,
+            min,
+            max,
+        }
+    }
+}
+
+impl MergeSketch for Welford {
+    fn merge(&mut self, other: &Self) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let n = n1 + n2;
+        self.mean += delta * n2 / n;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / n;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_yields_none() {
+        let w = Welford::new();
+        assert_eq!(w.count(), 0);
+        assert_eq!(w.mean(), None);
+        assert_eq!(w.std_dev(), None);
+        assert_eq!(w.min(), None);
+        assert_eq!(w.max(), None);
+    }
+
+    #[test]
+    fn known_values() {
+        let mut w = Welford::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            w.add(x);
+        }
+        assert_eq!(w.count(), 8);
+        assert!((w.mean().unwrap() - 5.0).abs() < 1e-12);
+        assert!((w.std_dev().unwrap() - 2.0).abs() < 1e-12);
+        assert_eq!(w.min(), Some(2.0));
+        assert_eq!(w.max(), Some(9.0));
+    }
+
+    #[test]
+    fn ignores_non_finite() {
+        let mut w = Welford::new();
+        w.add(1.0);
+        w.add(f64::NAN);
+        w.add(f64::INFINITY);
+        assert_eq!(w.count(), 1);
+        assert_eq!(w.mean(), Some(1.0));
+    }
+
+    #[test]
+    fn merge_equals_single_pass() {
+        let data: Vec<f64> = (0..1000).map(|i| ((i * 37) % 101) as f64 * 0.25).collect();
+        let mut whole = Welford::new();
+        for &x in &data {
+            whole.add(x);
+        }
+        for split in [1, 13, 500, 999] {
+            let mut a = Welford::new();
+            let mut b = Welford::new();
+            for &x in &data[..split] {
+                a.add(x);
+            }
+            for &x in &data[split..] {
+                b.add(x);
+            }
+            a.merge(&b);
+            assert_eq!(a.count(), whole.count());
+            assert!((a.mean().unwrap() - whole.mean().unwrap()).abs() < 1e-9);
+            assert!((a.variance().unwrap() - whole.variance().unwrap()).abs() < 1e-6);
+            assert_eq!(a.min(), whole.min());
+            assert_eq!(a.max(), whole.max());
+        }
+    }
+
+    #[test]
+    fn merge_identity_and_commutativity() {
+        let mut a = Welford::new();
+        for x in [1.0, 2.0, 3.0] {
+            a.add(x);
+        }
+        let b = {
+            let mut b = Welford::new();
+            for x in [10.0, 20.0] {
+                b.add(x);
+            }
+            b
+        };
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert!((ab.mean().unwrap() - ba.mean().unwrap()).abs() < 1e-12);
+        assert!((ab.variance().unwrap() - ba.variance().unwrap()).abs() < 1e-9);
+        // identity
+        let mut with_empty = a.clone();
+        with_empty.merge(&Welford::new());
+        assert_eq!(with_empty, a);
+        let mut empty = Welford::new();
+        empty.merge(&a);
+        assert_eq!(empty, a);
+    }
+}

@@ -1,0 +1,174 @@
+//! Property tests: every sketch is a commutative monoid under `merge`,
+//! and merging shards is equivalent (within documented error) to a single
+//! pass. These laws are what make the paper's map/reduce decomposition
+//! (§3.3.4) partition-invariant.
+
+use pol_sketch::{
+    AngleHistogram, Circular, Distinct, GkSketch, HyperLogLog, MergeSketch, SpaceSaving, TDigest,
+    Welford,
+};
+use proptest::prelude::*;
+
+fn values() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e4f64..1e4, 1..400)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn welford_partition_invariant(data in values(), split in 0usize..400) {
+        let split = split.min(data.len());
+        let mut whole = Welford::new();
+        data.iter().for_each(|&x| whole.add(x));
+        let mut a = Welford::new();
+        let mut b = Welford::new();
+        data[..split].iter().for_each(|&x| a.add(x));
+        data[split..].iter().for_each(|&x| b.add(x));
+        // commutativity
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(ab.count(), whole.count());
+        prop_assert!((ab.mean().unwrap() - whole.mean().unwrap()).abs() < 1e-6);
+        prop_assert!((ab.mean().unwrap() - ba.mean().unwrap()).abs() < 1e-9);
+        let (va, vw) = (ab.variance().unwrap(), whole.variance().unwrap());
+        prop_assert!((va - vw).abs() <= 1e-6 * (1.0 + vw));
+    }
+
+    #[test]
+    fn welford_associative(x in values(), y in values(), z in values()) {
+        let build = |d: &[f64]| {
+            let mut w = Welford::new();
+            d.iter().for_each(|&v| w.add(v));
+            w
+        };
+        let (a, b, c) = (build(&x), build(&y), build(&z));
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left.count(), right.count());
+        prop_assert!((left.mean().unwrap() - right.mean().unwrap()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn circular_partition_invariant(angles in prop::collection::vec(0.0f64..360.0, 1..300), split in 0usize..300) {
+        let split = split.min(angles.len());
+        let mut whole = Circular::new();
+        angles.iter().for_each(|&a| whole.add(a));
+        let mut l = Circular::new();
+        let mut r = Circular::new();
+        angles[..split].iter().for_each(|&a| l.add(a));
+        angles[split..].iter().for_each(|&a| r.add(a));
+        l.merge(&r);
+        prop_assert_eq!(l.count(), whole.count());
+        match (l.mean_deg(), whole.mean_deg()) {
+            (Some(a), Some(b)) => {
+                let d = (a - b).abs();
+                prop_assert!(d < 1e-6 || (360.0 - d) < 1e-6, "{a} vs {b}");
+            }
+            (None, None) => {}
+            other => prop_assert!(false, "mean mismatch {other:?}"),
+        }
+    }
+
+    #[test]
+    fn angle_histogram_partition_invariant(angles in prop::collection::vec(-720.0f64..720.0, 0..300), split in 0usize..300) {
+        let split = split.min(angles.len());
+        let mut whole = AngleHistogram::new();
+        angles.iter().for_each(|&a| whole.add(a));
+        let mut l = AngleHistogram::new();
+        let mut r = AngleHistogram::new();
+        angles[..split].iter().for_each(|&a| l.add(a));
+        angles[split..].iter().for_each(|&a| r.add(a));
+        l.merge(&r);
+        prop_assert_eq!(l.counts(), whole.counts());
+    }
+
+    #[test]
+    fn hll_merge_commutative_idempotent(xs in prop::collection::vec(0u64..10_000, 1..500), ys in prop::collection::vec(0u64..10_000, 1..500)) {
+        let build = |d: &[u64]| {
+            let mut h = HyperLogLog::new(10);
+            d.iter().for_each(|v| h.add(v));
+            h
+        };
+        let (a, b) = (build(&xs), build(&ys));
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(&ab, &ba);
+        // Idempotent: merging the same sketch again changes nothing.
+        let mut twice = ab.clone();
+        twice.merge(&b);
+        prop_assert_eq!(&twice, &ab);
+    }
+
+    #[test]
+    fn distinct_merge_counts_union(xs in prop::collection::vec(0u32..2_000, 0..600), ys in prop::collection::vec(0u32..2_000, 0..600)) {
+        let mut union: std::collections::HashSet<u32> = xs.iter().copied().collect();
+        union.extend(ys.iter().copied());
+        let build = |d: &[u32]| {
+            let mut s = Distinct::new();
+            d.iter().for_each(|v| s.add(v));
+            s
+        };
+        let mut m = build(&xs);
+        m.merge(&build(&ys));
+        let est = m.estimate() as f64;
+        let truth = union.len() as f64;
+        if truth == 0.0 {
+            prop_assert_eq!(est, 0.0);
+        } else {
+            prop_assert!((est - truth).abs() / truth < 0.1, "est {est} truth {truth}");
+        }
+    }
+
+    #[test]
+    fn spacesaving_total_additive(xs in prop::collection::vec(0u8..30, 0..300), ys in prop::collection::vec(0u8..30, 0..300)) {
+        let build = |d: &[u8]| {
+            let mut s = SpaceSaving::new(8);
+            d.iter().for_each(|&v| s.add(v));
+            s
+        };
+        let mut m = build(&xs);
+        m.merge(&build(&ys));
+        prop_assert_eq!(m.total(), (xs.len() + ys.len()) as u64);
+        // Count estimates never underestimate below count - error.
+        let mut truth = std::collections::HashMap::new();
+        for v in xs.iter().chain(ys.iter()) {
+            *truth.entry(*v).or_insert(0u64) += 1;
+        }
+        for (item, c) in m.iter() {
+            let t = truth.get(item).copied().unwrap_or(0);
+            prop_assert!(c.count >= t, "SpaceSaving must overestimate: {} < {t}", c.count);
+        }
+    }
+
+    #[test]
+    fn gk_rank_error_bound(data in prop::collection::vec(-1e3f64..1e3, 50..2_000), phi in 0.05f64..0.95) {
+        let mut g = GkSketch::new(0.05);
+        data.iter().for_each(|&x| g.add(x));
+        let mut sorted = data.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let v = g.quantile(phi).unwrap();
+        let rank = sorted.iter().filter(|&&x| x <= v).count() as f64;
+        let err = (rank - phi * data.len() as f64).abs() / data.len() as f64;
+        prop_assert!(err <= 0.05 + 1.0 / data.len() as f64, "err {err}");
+    }
+
+    #[test]
+    fn tdigest_between_min_max(data in prop::collection::vec(-1e3f64..1e3, 1..2_000), phi in 0.0f64..=1.0) {
+        let mut t = TDigest::new(50.0);
+        data.iter().for_each(|&x| t.add(x));
+        let v = t.quantile(phi).unwrap();
+        let lo = data.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = data.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9, "{v} outside [{lo}, {hi}]");
+    }
+}
