@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# The conformance gate every PR must pass, runnable locally: formatting,
+# release build, the full test suite, then the repo-specific static
+# analysis (see DESIGN.md §6 "Correctness tooling").
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --all --check"
+cargo fmt --all --check
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "==> cargo run -p xtask -- lint"
+cargo run -q -p xtask -- lint
+
+echo "ci: all gates passed"

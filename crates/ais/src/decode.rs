@@ -43,7 +43,9 @@ pub enum AisMessage {
     PositionA {
         /// Which of types 1/2/3 this was.
         msg_type: u8,
+        /// Reporting vessel.
         mmsi: Mmsi,
+        /// Navigational status field.
         nav_status: NavStatus,
         /// Speed over ground in knots; `None` = not available.
         sog_knots: Option<f64>,
@@ -59,33 +61,52 @@ pub enum AisMessage {
     },
     /// Type 5: class-A static and voyage data.
     StaticVoyage {
+        /// Reporting vessel.
         mmsi: Mmsi,
         /// IMO number; `None` when 0 on the wire.
         imo: Option<u32>,
+        /// Radio callsign, `@`-padding stripped.
         callsign: String,
+        /// Vessel name, `@`-padding stripped.
         name: String,
+        /// Raw AIS ship-type code.
         ship_type: ShipTypeCode,
         /// Overall length derived from the bow+stern dimension fields, m.
         length_m: u32,
         /// Static draught in metres.
         draught_m: f64,
+        /// Declared destination, `@`-padding stripped.
         destination: String,
     },
     /// Type 18: class-B position report.
     PositionB {
+        /// Reporting vessel.
         mmsi: Mmsi,
+        /// Speed over ground in knots; `None` = not available.
         sog_knots: Option<f64>,
+        /// Position; `None` for the "not available" marker.
         pos: Option<LatLon>,
+        /// Course over ground in degrees; `None` = not available.
         cog_deg: Option<f64>,
+        /// True heading in degrees; `None` = not available.
         heading_deg: Option<f64>,
+        /// UTC second of the fix (0–59; 60+ = unavailable markers).
         utc_second: u8,
     },
     /// Type 24 part A: class-B static (name).
-    StaticPartA { mmsi: Mmsi, name: String },
+    StaticPartA {
+        /// Reporting vessel.
+        mmsi: Mmsi,
+        /// Vessel name, `@`-padding stripped.
+        name: String,
+    },
     /// Type 24 part B: class-B static (type & callsign).
     StaticPartB {
+        /// Reporting vessel.
         mmsi: Mmsi,
+        /// Raw AIS ship-type code.
         ship_type: ShipTypeCode,
+        /// Radio callsign, `@`-padding stripped.
         callsign: String,
     },
 }

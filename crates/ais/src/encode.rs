@@ -190,7 +190,10 @@ mod tests {
         let (p, f) = encode_position_b(&r);
         match decode_payload(&p, f).unwrap() {
             AisMessage::PositionB {
-                mmsi, sog_knots, pos, ..
+                mmsi,
+                sog_knots,
+                pos,
+                ..
             } => {
                 assert_eq!(mmsi, r.mmsi);
                 assert!((sog_knots.unwrap() - 14.3).abs() < 0.051);
@@ -274,7 +277,9 @@ mod tests {
         }
         let (pb, fb) = encode_static_24b(&s);
         match decode_payload(&pb, fb).unwrap() {
-            AisMessage::StaticPartB { mmsi, ship_type, .. } => {
+            AisMessage::StaticPartB {
+                mmsi, ship_type, ..
+            } => {
                 assert_eq!(mmsi, s.mmsi);
                 assert_eq!(ship_type, ShipTypeCode(70));
             }

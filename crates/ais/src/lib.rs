@@ -20,6 +20,8 @@
 //! Message types 19 (extended class-B) and the binary/application types are
 //! out of scope: the paper's pipeline never consumes them.
 
+#![deny(missing_docs)]
+
 pub mod csvio;
 pub mod decode;
 pub mod encode;

@@ -25,7 +25,10 @@ impl fmt::Display for NmeaError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Self::Malformed(s) => write!(f, "malformed NMEA sentence: {s:?}"),
-            Self::Checksum(e, c) => write!(f, "checksum mismatch: sentence says {e:02X}, computed {c:02X}"),
+            Self::Checksum(e, c) => write!(
+                f,
+                "checksum mismatch: sentence says {e:02X}, computed {c:02X}"
+            ),
             Self::BadField(name) => write!(f, "unparseable field: {name}"),
         }
     }
@@ -75,16 +78,26 @@ impl Sentence {
         if fields.len() != 7 || !(fields[0] == "AIVDM" || fields[0] == "AIVDO") {
             return Err(NmeaError::Malformed(line.into()));
         }
-        let fragments: u8 = fields[1].parse().map_err(|_| NmeaError::BadField("fragments"))?;
-        let fragment_no: u8 = fields[2].parse().map_err(|_| NmeaError::BadField("fragment_no"))?;
+        let fragments: u8 = fields[1]
+            .parse()
+            .map_err(|_| NmeaError::BadField("fragments"))?;
+        let fragment_no: u8 = fields[2]
+            .parse()
+            .map_err(|_| NmeaError::BadField("fragment_no"))?;
         let message_id = if fields[3].is_empty() {
             None
         } else {
-            Some(fields[3].parse().map_err(|_| NmeaError::BadField("message_id"))?)
+            Some(
+                fields[3]
+                    .parse()
+                    .map_err(|_| NmeaError::BadField("message_id"))?,
+            )
         };
         let channel = fields[4].chars().next();
         let payload = fields[5].to_string();
-        let fill_bits: u8 = fields[6].parse().map_err(|_| NmeaError::BadField("fill_bits"))?;
+        let fill_bits: u8 = fields[6]
+            .parse()
+            .map_err(|_| NmeaError::BadField("fill_bits"))?;
         if fragments == 0 || fragment_no == 0 || fragment_no > fragments || fill_bits > 5 {
             return Err(NmeaError::Malformed(line.into()));
         }
@@ -226,7 +239,7 @@ mod tests {
         assert!(Sentence::parse("AIVDM,1,1,,B,xyz,0*00").is_err()); // no '!'
         assert!(Sentence::parse("!AIVDM,1,1,,B,xyz").is_err()); // no checksum
         assert!(Sentence::parse("!GPGGA,1,1,,B,xyz,0*2A").is_err()); // wrong talker
-        // fill bits out of range (recompute checksum so it passes that stage)
+                                                                     // fill bits out of range (recompute checksum so it passes that stage)
         let body = "AIVDM,1,1,,B,xyz,6";
         let line = format!("!{body}*{:02X}", checksum(body));
         assert!(Sentence::parse(&line).is_err());

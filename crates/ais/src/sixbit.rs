@@ -13,7 +13,12 @@ pub enum SixBitError {
     /// A payload character outside the armouring alphabet.
     BadArmorChar(char),
     /// A read past the end of the bit buffer.
-    OutOfBits { wanted: usize, available: usize },
+    OutOfBits {
+        /// Bits requested by the read.
+        wanted: usize,
+        /// Bits remaining in the buffer.
+        available: usize,
+    },
 }
 
 impl fmt::Display for SixBitError {
@@ -21,7 +26,10 @@ impl fmt::Display for SixBitError {
         match self {
             Self::BadArmorChar(c) => write!(f, "invalid AIS payload character {c:?}"),
             Self::OutOfBits { wanted, available } => {
-                write!(f, "payload too short: wanted {wanted} bits, had {available}")
+                write!(
+                    f,
+                    "payload too short: wanted {wanted} bits, had {available}"
+                )
             }
         }
     }
@@ -187,7 +195,12 @@ impl BitWriter {
         let mut payload = String::with_capacity(self.bits.len() / 6 + 1);
         let mut acc = 0u8;
         let mut nbits = 0;
-        for b in self.bits.iter().copied().chain(std::iter::repeat_n(false, fill)) {
+        for b in self
+            .bits
+            .iter()
+            .copied()
+            .chain(std::iter::repeat_n(false, fill))
+        {
             acc = (acc << 1) | b as u8;
             nbits += 1;
             if nbits == 6 {
@@ -279,7 +292,10 @@ mod tests {
         assert_eq!(r.read_u64(6).unwrap(), 0);
         assert!(matches!(
             r.read_u64(1),
-            Err(SixBitError::OutOfBits { wanted: 1, available: 0 })
+            Err(SixBitError::OutOfBits {
+                wanted: 1,
+                available: 0
+            })
         ));
     }
 

@@ -24,21 +24,37 @@ impl fmt::Display for Mmsi {
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 #[repr(u8)]
 pub enum NavStatus {
+    /// Under way using engine (0).
     UnderWayUsingEngine = 0,
+    /// At anchor (1).
     AtAnchor = 1,
+    /// Not under command (2).
     NotUnderCommand = 2,
+    /// Restricted manoeuvrability (3).
     RestrictedManoeuvrability = 3,
+    /// Constrained by her draught (4).
     ConstrainedByDraught = 4,
+    /// Moored (5).
     Moored = 5,
+    /// Aground (6).
     Aground = 6,
+    /// Engaged in fishing (7).
     EngagedInFishing = 7,
+    /// Under way sailing (8).
     UnderWaySailing = 8,
+    /// Reserved for future use (9).
     Reserved9 = 9,
+    /// Reserved for future use (10).
     Reserved10 = 10,
+    /// Power-driven vessel towing astern (11).
     PowerDrivenTowingAstern = 11,
+    /// Power-driven vessel pushing ahead (12).
     PowerDrivenPushingAhead = 12,
+    /// Reserved for future use (13).
     Reserved13 = 13,
+    /// AIS-SART active (14).
     AisSartActive = 14,
+    /// Undefined / default (15).
     Undefined = 15,
 }
 

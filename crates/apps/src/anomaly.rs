@@ -16,12 +16,20 @@ use pol_hexgrid::cell_at;
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum Anomaly {
     /// Speed z-score beyond the threshold: `(observed_kn, z)`.
-    Speed { observed_kn: f64, z: f64 },
+    Speed {
+        /// Observed speed over ground, knots.
+        observed_kn: f64,
+        /// Z-score against the cell's speed distribution.
+        z: f64,
+    },
     /// Course deviates from a strongly-aligned cell's mean direction:
     /// `(observed_deg, mean_deg, deviation_deg)`.
     Course {
+        /// Observed course over ground, degrees.
         observed_deg: f64,
+        /// The cell's mean direction, degrees.
         mean_deg: f64,
+        /// Angular deviation between the two, degrees.
         deviation_deg: f64,
     },
     /// The cell has no history for this vessel type (off known lanes).
@@ -83,7 +91,10 @@ impl<'a> AnomalyDetector<'a> {
                 let std = std.max(0.5); // floor: protocol quantisation noise
                 let z = (obs - mean) / std;
                 if z.abs() > self.speed_z_threshold {
-                    out.push(Anomaly::Speed { observed_kn: obs, z });
+                    out.push(Anomaly::Speed {
+                        observed_kn: obs,
+                        z,
+                    });
                 }
             }
             if let (Some(obs), Some(mean), Some(r)) = (
@@ -186,7 +197,10 @@ mod tests {
         let (inv, pos) = lane_inventory();
         let det = AnomalyDetector::new(&inv);
         let a = det.assess(pos, Some(30.0), Some(90.0), None);
-        assert!(matches!(a.as_slice(), [Anomaly::Speed { z, .. }] if *z > 3.0), "{a:?}");
+        assert!(
+            matches!(a.as_slice(), [Anomaly::Speed { z, .. }] if *z > 3.0),
+            "{a:?}"
+        );
         // Loitering (0 kn) in a 14 kn lane is also anomalous.
         let a = det.assess(pos, Some(0.0), Some(90.0), None);
         assert!(matches!(a.as_slice(), [Anomaly::Speed { z, .. }] if *z < -3.0));
@@ -198,7 +212,9 @@ mod tests {
         let det = AnomalyDetector::new(&inv);
         let a = det.assess(pos, Some(14.0), Some(270.0), None);
         assert!(
-            a.iter().any(|x| matches!(x, Anomaly::Course { deviation_deg, .. } if *deviation_deg > 170.0)),
+            a.iter().any(
+                |x| matches!(x, Anomaly::Course { deviation_deg, .. } if *deviation_deg > 170.0)
+            ),
             "{a:?}"
         );
     }
@@ -257,7 +273,12 @@ mod tests {
             (pos, Some(14.0), Some(90.0), None), // normal
             (pos, Some(35.0), Some(90.0), None), // speed
             (pos, Some(14.0), Some(88.0), None), // normal
-            (LatLon::new(-40.0, -150.0).unwrap(), Some(14.0), Some(90.0), None), // off-lane
+            (
+                LatLon::new(-40.0, -150.0).unwrap(),
+                Some(14.0),
+                Some(90.0),
+                None,
+            ), // off-lane
         ];
         let rate = det.anomaly_rate(stream);
         assert!((rate - 0.5).abs() < 1e-9, "rate {rate}");

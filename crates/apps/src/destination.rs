@@ -81,12 +81,12 @@ impl<'a> DestinationPredictor<'a> {
         if total <= 0.0 {
             return Vec::new();
         }
-        let mut all: Vec<(u16, f64)> = self
-            .scores
-            .iter()
-            .map(|(p, s)| (*p, s / total))
-            .collect();
-        all.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite scores").then(a.0.cmp(&b.0)));
+        let mut all: Vec<(u16, f64)> = self.scores.iter().map(|(p, s)| (*p, s / total)).collect();
+        all.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("finite scores")
+                .then(a.0.cmp(&b.0))
+        });
         all.truncate(n);
         all
     }
@@ -166,7 +166,10 @@ mod tests {
         }
         let top = p.top(3);
         assert_eq!(top[0].0, 9);
-        assert!(top.iter().any(|(d, _)| *d == 3), "noise port ranked: {top:?}");
+        assert!(
+            top.iter().any(|(d, _)| *d == 3),
+            "noise port ranked: {top:?}"
+        );
         // Scores normalised.
         let sum: f64 = top.iter().map(|(_, s)| s).sum();
         assert!(sum <= 1.0 + 1e-9);

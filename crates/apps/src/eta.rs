@@ -167,7 +167,10 @@ mod tests {
         }
         let mut entries: FxHashMap<GroupKey, CellStats> = FxHashMap::default();
         entries.insert(GroupKey::Cell(cell), stats.clone());
-        entries.insert(GroupKey::CellType(cell, MarketSegment::Container), stats.clone());
+        entries.insert(
+            GroupKey::CellType(cell, MarketSegment::Container),
+            stats.clone(),
+        );
         entries.insert(
             GroupKey::CellRoute(cell, 2, 9, MarketSegment::Container),
             stats,

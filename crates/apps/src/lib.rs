@@ -15,6 +15,8 @@
 //! * [`anomaly`] — the "model of normalcy" (§2): per-cell z-scores for
 //!   speed, circular deviation for course, and off-lane detection.
 
+#![deny(missing_docs)]
+
 pub mod anomaly;
 pub mod destination;
 pub mod eta;

@@ -158,7 +158,11 @@ mod tests {
         let est = ProgressEstimator::new(&inv)
             .estimate(pos, 1_000_000, Some(MarketSegment::Container), Some((2, 9)))
             .unwrap();
-        assert!((est.fraction - 0.25).abs() < 0.03, "fraction {}", est.fraction);
+        assert!(
+            (est.fraction - 0.25).abs() < 0.03,
+            "fraction {}",
+            est.fraction
+        );
         assert!((est.eto_secs - 3_600.0).abs() < 120.0);
         assert!((est.ata_secs - 10_800.0).abs() < 120.0);
         assert!((est.departure_estimate - (1_000_000 - 3_600)).abs() < 120);
@@ -180,7 +184,9 @@ mod tests {
         let pos = LatLon::new(20.0, -30.0).unwrap();
         let inv = inventory_at(pos, 3_600, 10_800, 10);
         let far = LatLon::new(-50.0, 120.0).unwrap();
-        assert!(ProgressEstimator::new(&inv).estimate(far, 0, None, None).is_none());
+        assert!(ProgressEstimator::new(&inv)
+            .estimate(far, 0, None, None)
+            .is_none());
     }
 
     #[test]

@@ -82,7 +82,11 @@ impl RouteForecaster {
     /// destination as the (admissible) heuristic. Succeeds when the current
     /// cell (or a member cell very near it) connects to the destination
     /// area; returns `None` for positions off the historical lane.
-    pub fn forecast(&self, pos: LatLon, resolution: pol_hexgrid::Resolution) -> Option<RouteForecast> {
+    pub fn forecast(
+        &self,
+        pos: LatLon,
+        resolution: pol_hexgrid::Resolution,
+    ) -> Option<RouteForecast> {
         let start = cell_at(pos, resolution);
         let start = if self.members.contains(&start) {
             start
@@ -223,15 +227,20 @@ mod tests {
         assert!(haversine_km(end, dest) < 30.0);
         // Path length is comparable to the remaining great-circle distance.
         let direct = haversine_km(positions[2], dest);
-        assert!(fc.distance_km >= direct * 0.7 && fc.distance_km < direct * 2.0 + 50.0,
-            "distance {} vs direct {direct}", fc.distance_km);
+        assert!(
+            fc.distance_km >= direct * 0.7 && fc.distance_km < direct * 2.0 + 50.0,
+            "distance {} vs direct {direct}",
+            fc.distance_km
+        );
     }
 
     #[test]
     fn forecast_path_follows_observed_transitions() {
         let (inv, positions, dest) = chain_inventory();
         let f = RouteForecaster::build(&inv, 1, 2, SEG, dest);
-        let fc = f.forecast(positions[0], Resolution::new(6).unwrap()).unwrap();
+        let fc = f
+            .forecast(positions[0], Resolution::new(6).unwrap())
+            .unwrap();
         for w in fc.cells.windows(2) {
             let outs = f.edges.get(&w[0]).expect("edge source");
             assert!(outs.iter().any(|(n, _)| *n == w[1]), "unobserved hop");

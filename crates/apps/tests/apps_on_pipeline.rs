@@ -35,7 +35,8 @@ fn world() -> &'static (Dataset, PipelineOutput, PipelineConfig) {
             &ds.statics,
             &ports,
             &cfg,
-        );
+        )
+        .unwrap();
         (ds, out, cfg)
     })
 }
@@ -116,7 +117,10 @@ fn destination_predictor_improves_with_progress_on_training_voyage() {
         p.top(usize::MAX).iter().position(|(d, _)| *d == v.dest.0)
     };
     let late = rank_at(0.95);
-    assert!(late.is_some(), "true destination must be ranked near arrival");
+    assert!(
+        late.is_some(),
+        "true destination must be ranked near arrival"
+    );
     if let (Some(e), Some(l)) = (rank_at(0.3), late) {
         assert!(l <= e, "rank must not degrade with progress: {e} -> {l}");
     }
@@ -126,12 +130,7 @@ fn destination_predictor_improves_with_progress_on_training_voyage() {
 fn route_forecaster_follows_training_lane() {
     let (ds, out, cfg) = world();
     let v = reference_voyage();
-    let seg = ds
-        .fleet
-        .iter()
-        .find(|f| f.mmsi == v.mmsi)
-        .unwrap()
-        .segment;
+    let seg = ds.fleet.iter().find(|f| f.mmsi == v.mmsi).unwrap().segment;
     let dest_pos = WORLD_PORTS[v.dest.0 as usize].pos();
     let f = RouteForecaster::build(&out.inventory, v.origin.0, v.dest.0, seg, dest_pos);
     assert!(f.cell_count() > 10, "training route key materialised");

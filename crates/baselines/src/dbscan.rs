@@ -95,17 +95,17 @@ impl GridIndex {
     fn build(points: &[WorldXY], cell_km: f64) -> GridIndex {
         let mut buckets: FxHashMap<(i64, i64), Vec<usize>> = FxHashMap::default();
         for (i, p) in points.iter().enumerate() {
-            buckets
-                .entry(Self::key(p, cell_km))
-                .or_default()
-                .push(i);
+            buckets.entry(Self::key(p, cell_km)).or_default().push(i);
         }
         GridIndex { cell_km, buckets }
     }
 
     #[inline]
     fn key(p: &WorldXY, cell_km: f64) -> (i64, i64) {
-        ((p.x / cell_km).floor() as i64, (p.y / cell_km).floor() as i64)
+        (
+            (p.x / cell_km).floor() as i64,
+            (p.y / cell_km).floor() as i64,
+        )
     }
 
     /// Collects indices within `eps` of point `i` (including `i`).
@@ -151,7 +151,13 @@ mod tests {
     fn two_blobs_two_clusters() {
         let mut pts = blob((50.0, 0.0), 100, 0.05, 1);
         pts.extend(blob((52.0, 3.0), 100, 0.05, 2));
-        let (labels, n) = dbscan(&pts, DbscanParams { eps_km: 20.0, min_pts: 5 });
+        let (labels, n) = dbscan(
+            &pts,
+            DbscanParams {
+                eps_km: 20.0,
+                min_pts: 5,
+            },
+        );
         assert_eq!(n, 2);
         // Blob membership is homogeneous.
         let first = labels[0];
@@ -166,7 +172,13 @@ mod tests {
         let mut pts = blob((50.0, 0.0), 50, 0.02, 3);
         pts.push(LatLon::new(10.0, 100.0).unwrap());
         pts.push(LatLon::new(-40.0, -100.0).unwrap());
-        let (labels, n) = dbscan(&pts, DbscanParams { eps_km: 15.0, min_pts: 4 });
+        let (labels, n) = dbscan(
+            &pts,
+            DbscanParams {
+                eps_km: 15.0,
+                min_pts: 4,
+            },
+        );
         assert_eq!(n, 1);
         assert_eq!(labels[50], Label::Noise);
         assert_eq!(labels[51], Label::Noise);
@@ -175,7 +187,13 @@ mod tests {
     #[test]
     fn all_noise_when_eps_tiny() {
         let pts = blob((50.0, 0.0), 30, 0.5, 4);
-        let (labels, n) = dbscan(&pts, DbscanParams { eps_km: 0.001, min_pts: 3 });
+        let (labels, n) = dbscan(
+            &pts,
+            DbscanParams {
+                eps_km: 0.001,
+                min_pts: 3,
+            },
+        );
         assert_eq!(n, 0);
         assert!(labels.iter().all(|l| *l == Label::Noise));
     }
@@ -183,14 +201,26 @@ mod tests {
     #[test]
     fn single_cluster_when_eps_huge() {
         let pts = blob((50.0, 0.0), 60, 0.3, 5);
-        let (labels, n) = dbscan(&pts, DbscanParams { eps_km: 10_000.0, min_pts: 3 });
+        let (labels, n) = dbscan(
+            &pts,
+            DbscanParams {
+                eps_km: 10_000.0,
+                min_pts: 3,
+            },
+        );
         assert_eq!(n, 1);
         assert!(labels.iter().all(|l| *l == Label::Cluster(0)));
     }
 
     #[test]
     fn empty_input() {
-        let (labels, n) = dbscan(&[], DbscanParams { eps_km: 1.0, min_pts: 3 });
+        let (labels, n) = dbscan(
+            &[],
+            DbscanParams {
+                eps_km: 1.0,
+                min_pts: 3,
+            },
+        );
         assert!(labels.is_empty());
         assert_eq!(n, 0);
     }
@@ -201,7 +231,13 @@ mod tests {
         let mut pts = blob((50.0, 0.0), 40, 0.01, 6);
         let edge = LatLon::new(50.05, 0.0).unwrap(); // ~5.5 km north
         pts.push(edge);
-        let (labels, _) = dbscan(&pts, DbscanParams { eps_km: 8.0, min_pts: 10 });
+        let (labels, _) = dbscan(
+            &pts,
+            DbscanParams {
+                eps_km: 8.0,
+                min_pts: 10,
+            },
+        );
         assert!(
             matches!(labels[40], Label::Cluster(_)),
             "border point must join the cluster"
@@ -211,7 +247,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "eps must be positive")]
     fn rejects_bad_params() {
-        let _ = dbscan(&[], DbscanParams { eps_km: 0.0, min_pts: 3 });
+        let _ = dbscan(
+            &[],
+            DbscanParams {
+                eps_km: 0.0,
+                min_pts: 3,
+            },
+        );
     }
 
     #[test]
@@ -220,11 +262,17 @@ mod tests {
         // serve both a dense harbour and a sparse ocean lane. With eps
         // tuned for the harbour, the sparse lane fragments into noise.
         let mut pts = blob((51.0, 3.0), 200, 0.01, 7); // dense "harbour"
-        // sparse "lane": points every ~20 km
+                                                       // sparse "lane": points every ~20 km
         for i in 0..30 {
             pts.push(LatLon::new(40.0, 10.0 + i as f64 * 0.25).unwrap());
         }
-        let (labels, _) = dbscan(&pts, DbscanParams { eps_km: 5.0, min_pts: 4 });
+        let (labels, _) = dbscan(
+            &pts,
+            DbscanParams {
+                eps_km: 5.0,
+                min_pts: 4,
+            },
+        );
         let lane_noise = labels[200..].iter().filter(|l| **l == Label::Noise).count();
         assert!(
             lane_noise > 25,

@@ -156,9 +156,9 @@ mod tests {
         assert_ne!(a, b);
         // Centroids land near blob centres.
         let near = |lat: f64, lon: f64| {
-            r.centroids.iter().any(|c| {
-                pol_geo::haversine_km(*c, LatLon::new(lat, lon).unwrap()) < 30.0
-            })
+            r.centroids
+                .iter()
+                .any(|c| pol_geo::haversine_km(*c, LatLon::new(lat, lon).unwrap()) < 30.0)
         };
         assert!(near(50.0, 0.0));
         assert!(near(30.0, 20.0));
@@ -201,6 +201,10 @@ mod tests {
     fn converges_and_reports_iterations() {
         let pts = two_blobs();
         let r = kmeans(&pts, 2, 100, 3);
-        assert!(r.iterations < 100, "should converge early: {}", r.iterations);
+        assert!(
+            r.iterations < 100,
+            "should converge early: {}",
+            r.iterations
+        );
     }
 }

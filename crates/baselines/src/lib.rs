@@ -18,6 +18,8 @@
 //!   direction, model the route as the centroid polyline (the TREAD /
 //!   convex-hull lineage, simplified).
 
+#![deny(missing_docs)]
+
 pub mod dbscan;
 pub mod kmeans;
 pub mod optics;

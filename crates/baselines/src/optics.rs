@@ -151,7 +151,10 @@ impl GridIndex {
 
     #[inline]
     fn key(p: &WorldXY, cell_km: f64) -> (i64, i64) {
-        ((p.x / cell_km).floor() as i64, (p.y / cell_km).floor() as i64)
+        (
+            (p.x / cell_km).floor() as i64,
+            (p.y / cell_km).floor() as i64,
+        )
     }
 
     fn query(&self, points: &[WorldXY], i: usize, eps: f64, out: &mut Vec<(usize, f64)>) {
@@ -197,7 +200,13 @@ mod tests {
     fn ordering_covers_every_point_once() {
         let mut pts = blob((40.0, 5.0), 80, 0.05, 1);
         pts.extend(blob((42.0, 9.0), 60, 0.05, 2));
-        let order = optics(&pts, OpticsParams { max_eps_km: 50.0, min_pts: 5 });
+        let order = optics(
+            &pts,
+            OpticsParams {
+                max_eps_km: 50.0,
+                min_pts: 5,
+            },
+        );
         assert_eq!(order.len(), pts.len());
         let mut seen = vec![false; pts.len()];
         for p in &order {
@@ -210,7 +219,13 @@ mod tests {
     #[test]
     fn dense_points_have_small_reachability() {
         let pts = blob((40.0, 5.0), 100, 0.02, 3);
-        let order = optics(&pts, OpticsParams { max_eps_km: 30.0, min_pts: 5 });
+        let order = optics(
+            &pts,
+            OpticsParams {
+                max_eps_km: 30.0,
+                min_pts: 5,
+            },
+        );
         // All but the first point of the component are reachable cheaply.
         let finite: Vec<f64> = order
             .iter()
@@ -228,9 +243,21 @@ mod tests {
         pts.extend(blob((30.0, -20.0), 70, 0.03, 5));
         pts.push(LatLon::new(-50.0, 100.0).unwrap()); // lone noise point
         let eps = 15.0;
-        let order = optics(&pts, OpticsParams { max_eps_km: 60.0, min_pts: 5 });
+        let order = optics(
+            &pts,
+            OpticsParams {
+                max_eps_km: 60.0,
+                min_pts: 5,
+            },
+        );
         let (labels, k) = extract_clusters(&order, pts.len(), eps);
-        let (dlabels, dk) = dbscan(&pts, DbscanParams { eps_km: eps, min_pts: 5 });
+        let (dlabels, dk) = dbscan(
+            &pts,
+            DbscanParams {
+                eps_km: eps,
+                min_pts: 5,
+            },
+        );
         assert_eq!(k, dk, "same cluster count as DBSCAN at eps'");
         // Same noise set (cluster ids may permute).
         for (a, b) in labels.iter().zip(&dlabels) {
@@ -248,7 +275,13 @@ mod tests {
         // The OPTICS selling point: a dense blob inside a sparse halo.
         let mut pts = blob((40.0, 5.0), 120, 0.01, 6); // dense core
         pts.extend(blob((40.0, 5.0), 60, 0.4, 7)); // sparse halo
-        let order = optics(&pts, OpticsParams { max_eps_km: 120.0, min_pts: 5 });
+        let order = optics(
+            &pts,
+            OpticsParams {
+                max_eps_km: 120.0,
+                min_pts: 5,
+            },
+        );
         let (tight, k_tight) = extract_clusters(&order, pts.len(), 4.0);
         let (loose, k_loose) = extract_clusters(&order, pts.len(), 80.0);
         assert!(k_tight >= 1);
@@ -264,12 +297,24 @@ mod tests {
     #[test]
     #[should_panic(expected = "max_eps must be positive")]
     fn rejects_bad_params() {
-        let _ = optics(&[], OpticsParams { max_eps_km: 0.0, min_pts: 3 });
+        let _ = optics(
+            &[],
+            OpticsParams {
+                max_eps_km: 0.0,
+                min_pts: 3,
+            },
+        );
     }
 
     #[test]
     fn empty_input() {
-        let order = optics(&[], OpticsParams { max_eps_km: 10.0, min_pts: 3 });
+        let order = optics(
+            &[],
+            OpticsParams {
+                max_eps_km: 10.0,
+                min_pts: 3,
+            },
+        );
         assert!(order.is_empty());
         let (labels, k) = extract_clusters(&order, 0, 5.0);
         assert!(labels.is_empty());

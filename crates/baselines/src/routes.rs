@@ -68,10 +68,7 @@ pub fn extract_route(tracks: &[Vec<LatLon>], k: usize, seed: u64) -> Option<Rout
         .collect();
     order.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite progress"));
     let waypoints: Vec<LatLon> = order.iter().map(|(i, _)| result.centroids[*i]).collect();
-    let length_km = waypoints
-        .windows(2)
-        .map(|w| haversine_km(w[0], w[1]))
-        .sum();
+    let length_km = waypoints.windows(2).map(|w| haversine_km(w[0], w[1])).sum();
     Some(RouteModel {
         waypoints,
         length_km,

@@ -14,12 +14,7 @@ use pol_sketch::hash::FxHashMap;
 
 fn bench_comparison(c: &mut Criterion) {
     let ds = generate(&quick_scenario(TRAIN_SEED));
-    let points: Vec<LatLon> = ds
-        .positions
-        .iter()
-        .flatten()
-        .map(|r| r.pos)
-        .collect();
+    let points: Vec<LatLon> = ds.positions.iter().flatten().map(|r| r.pos).collect();
     let res = Resolution::new(6).unwrap();
 
     for n in [5_000usize, 20_000] {
@@ -39,16 +34,26 @@ fn bench_comparison(c: &mut Criterion) {
         });
         g.bench_with_input(BenchmarkId::new("dbscan_eps5km", n), &sample, |b, pts| {
             b.iter(|| {
-                let (labels, k) = dbscan(pts, DbscanParams { eps_km: 5.0, min_pts: 5 });
+                let (labels, k) = dbscan(
+                    pts,
+                    DbscanParams {
+                        eps_km: 5.0,
+                        min_pts: 5,
+                    },
+                );
                 std::hint::black_box((labels.len(), k))
             })
         });
-        g.bench_with_input(BenchmarkId::new("kmeans_route_k20", n), &sample, |b, pts| {
-            b.iter(|| {
-                let tracks = vec![pts.clone()];
-                std::hint::black_box(extract_route(&tracks, 20, 7).map(|r| r.length_km))
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("kmeans_route_k20", n),
+            &sample,
+            |b, pts| {
+                b.iter(|| {
+                    let tracks = vec![pts.clone()];
+                    std::hint::black_box(extract_route(&tracks, 20, 7).map(|r| r.length_km))
+                })
+            },
+        );
         g.finish();
     }
 }

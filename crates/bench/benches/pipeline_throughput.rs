@@ -26,13 +26,9 @@ fn bench_pipeline(c: &mut Criterion) {
             |b, &threads| {
                 let engine = Engine::new(threads);
                 b.iter(|| {
-                    let out = pol_core::run(
-                        &engine,
-                        ds.positions.clone(),
-                        &ds.statics,
-                        &ports,
-                        &cfg,
-                    );
+                    let out =
+                        pol_core::run(&engine, ds.positions.clone(), &ds.statics, &ports, &cfg)
+                            .expect("pipeline run failed");
                     std::hint::black_box(out.counts.group_entries)
                 });
             },
@@ -48,7 +44,8 @@ fn bench_pipeline(c: &mut Criterion) {
         let engine = Engine::new(2);
         b.iter(|| {
             let raw = pol_engine::Dataset::from_partitions(ds.positions.clone());
-            let (cleaned, _) = pol_core::clean::clean_and_enrich(&engine, raw, &ds.statics, &cfg);
+            let (cleaned, _) = pol_core::clean::clean_and_enrich(&engine, raw, &ds.statics, &cfg)
+                .expect("clean stage failed");
             std::hint::black_box(cleaned.count())
         });
     });

@@ -70,7 +70,9 @@ fn bench_quantiles(c: &mut Criterion) {
 }
 
 fn bench_distinct(c: &mut Criterion) {
-    let ids: Vec<u64> = (0..100_000u64).map(|i| (i * 2_654_435_761) % 60_000).collect();
+    let ids: Vec<u64> = (0..100_000u64)
+        .map(|i| (i * 2_654_435_761) % 60_000)
+        .collect();
     let mut hll = HyperLogLog::new(12);
     ids.iter().for_each(|i| hll.add(i));
     let exact = ids.iter().collect::<std::collections::HashSet<_>>().len();

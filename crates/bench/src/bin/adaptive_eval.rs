@@ -28,7 +28,11 @@ fn main() {
             coarsest: Resolution::new(3).unwrap(),
         };
         let adaptive = AdaptiveInventory::build(inv, &cfg);
-        assert_eq!(adaptive.partition_violations(), 0, "partition must be exact");
+        assert_eq!(
+            adaptive.partition_violations(),
+            0,
+            "partition must be exact"
+        );
         let hist = adaptive.resolution_histogram();
         let mix = hist
             .iter()
@@ -90,5 +94,8 @@ fn main() {
          aperture-7 hierarchy. Total records are preserved exactly; only \
          spatial granularity is traded where nothing needed resolving."
     );
-    println!("fine inventory: {} cells (res 7); see table above for reductions.", fine_cells);
+    println!(
+        "fine inventory: {} cells (res 7); see table above for reductions.",
+        fine_cells
+    );
 }

@@ -11,7 +11,10 @@ use pol_core::PipelineConfig;
 use pol_fleetsim::scenario::generate;
 
 fn main() {
-    banner("§4.1.3 — streaming destination prediction", "paper §4.1.3, Figure 6");
+    banner(
+        "§4.1.3 — streaming destination prediction",
+        "paper §4.1.3, Figure 6",
+    );
     let (_, out) = build_inventory(&experiment_scenario(TRAIN_SEED), &PipelineConfig::default());
 
     let mut test_cfg = experiment_scenario(TEST_SEED);
@@ -70,7 +73,8 @@ fn main() {
             100.0 * top3[i] as f64 / total[i].max(1) as f64
         );
     }
-    let improves = top1.last().copied().unwrap_or(0) as f64 / total.last().copied().unwrap_or(1).max(1) as f64
+    let improves = top1.last().copied().unwrap_or(0) as f64
+        / total.last().copied().unwrap_or(1).max(1) as f64
         > top1[0] as f64 / total[0].max(1) as f64;
     println!();
     println!(

@@ -25,7 +25,10 @@ fn anomaly_rate(det: &AnomalyDetector, ds: &pol_fleetsim::scenario::Dataset) -> 
 }
 
 fn main() {
-    banner("Disruption detection — the model of normalcy (COVID / Suez)", "paper §1, §2, §5");
+    banner(
+        "Disruption detection — the model of normalcy (COVID / Suez)",
+        "paper §1, §2, §5",
+    );
     let (_, out) = build_inventory(&experiment_scenario(TRAIN_SEED), &PipelineConfig::default());
     let det = AnomalyDetector::new(&out.inventory);
 
@@ -67,7 +70,11 @@ fn main() {
     println!(
         "  [{}] blockage raises the anomaly rate ({}x)",
         if r_suez > r_normal { "ok" } else { "MISS" },
-        if r_normal > 0.0 { format!("{:.1}", r_suez / r_normal) } else { "∞".into() }
+        if r_normal > 0.0 {
+            format!("{:.1}", r_suez / r_normal)
+        } else {
+            "∞".into()
+        }
     );
 
     // Port-closure signal: arrivals at the port collapse (reports *near*
@@ -96,7 +103,11 @@ fn main() {
     println!("  moored reports <25km: normal {m_normal:>5}   closure {m_covid:>5}");
     println!(
         "  [{}] the closure is visible as a port-call collapse ({:.0}% of normal)",
-        if c_covid * 2 < c_normal.max(1) { "ok" } else { "MISS" },
+        if c_covid * 2 < c_normal.max(1) {
+            "ok"
+        } else {
+            "MISS"
+        },
         100.0 * c_covid as f64 / c_normal.max(1) as f64
     );
     println!();

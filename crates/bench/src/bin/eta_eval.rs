@@ -19,7 +19,10 @@ use pol_core::PipelineConfig;
 use pol_fleetsim::{EPOCH_2022, WORLD_PORTS};
 
 fn main() {
-    banner("§4.1.2 — ETA estimation on known routes", "paper §4.1.2 / Figure 5");
+    banner(
+        "§4.1.2 — ETA estimation on known routes",
+        "paper §4.1.2 / Figure 5",
+    );
     let (_, out) = build_inventory(&experiment_scenario(TRAIN_SEED), &PipelineConfig::default());
     let estimator = EtaEstimator::new(&out.inventory);
 
@@ -85,7 +88,11 @@ fn main() {
     println!(
         "[{}] on known routes, the inventory's historical-ATA estimate beats the \
          great-circle baseline ({:.1} h vs {:.1} h mean MAE)",
-        if inv_total < naive_total { "ok" } else { "MISS" },
+        if inv_total < naive_total {
+            "ok"
+        } else {
+            "MISS"
+        },
         inv_total / fractions.len() as f64,
         naive_total / fractions.len() as f64
     );

@@ -9,7 +9,10 @@ use pol_core::PipelineConfig;
 use pol_hexgrid::cell_center;
 
 fn main() {
-    banner("Figure 1 — global average speed & course per cell", "paper Figure 1");
+    banner(
+        "Figure 1 — global average speed & course per cell",
+        "paper Figure 1",
+    );
     let (_, out) = build_inventory(&experiment_scenario(TRAIN_SEED), &PipelineConfig::default());
     let inv = &out.inventory;
 
@@ -35,8 +38,7 @@ fn main() {
             speed_sum += mean;
             speed_n += 1;
         }
-        if let (Some(course), Some(r)) =
-            (stats.course.mean_deg(), stats.course.resultant_length())
+        if let (Some(course), Some(r)) = (stats.course.mean_deg(), stats.course.resultant_length())
         {
             course_rows.push(format!(
                 "{},{:.5},{:.5},{:.1},{:.3},{}",
@@ -68,7 +70,10 @@ fn main() {
     println!();
     println!("cells in inventory (res 6):        {cells}");
     println!("cells with speed statistics:       {speed_n}");
-    println!("global mean of cell-mean speeds:   {:.1} kn", speed_sum / speed_n.max(1) as f64);
+    println!(
+        "global mean of cell-mean speeds:   {:.1} kn",
+        speed_sum / speed_n.max(1) as f64
+    );
     println!(
         "strongly lane-aligned cells (R>0.8): {} ({:.1}%)",
         aligned_cells,

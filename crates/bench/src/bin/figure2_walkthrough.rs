@@ -42,7 +42,8 @@ fn main() {
         &ds.statics,
         &port_sites(cfg.port_radius_km),
         &cfg,
-    );
+    )
+    .expect("pipeline run failed");
 
     println!();
     println!("(a) raw AIS records in the Channel box ........ {channel_reports}");
@@ -50,14 +51,29 @@ fn main() {
         "    cleaning removed: {} out-of-range, {} infeasible/duplicate, {} non-commercial",
         out.clean_report.out_of_range, out.clean_report.infeasible, out.clean_report.non_commercial
     );
-    println!("    cleaned records ........................... {}", out.counts.cleaned);
-    println!("(b) records with trip semantics ............... {}", out.counts.with_trips);
+    println!(
+        "    cleaned records ........................... {}",
+        out.counts.cleaned
+    );
+    println!(
+        "(b) records with trip semantics ............... {}",
+        out.counts.with_trips
+    );
     println!("    (records outside any port-to-port trip are excluded, as in the paper)");
     println!("(c) trip-enriched records carry ETO / ATA ..... yes (validated in unit tests)");
-    println!("(d) records projected to grid cells ........... {}", out.counts.projected);
-    println!("(e) grouping-set entries materialised ......... {}", out.counts.group_entries);
+    println!(
+        "(d) records projected to grid cells ........... {}",
+        out.counts.projected
+    );
+    println!(
+        "(e) grouping-set entries materialised ......... {}",
+        out.counts.group_entries
+    );
     let cov = out.inventory.coverage();
-    println!("    distinct cells in the box ................. {}", cov.occupied_cells);
+    println!(
+        "    distinct cells in the box ................. {}",
+        cov.occupied_cells
+    );
 
     // (f) the transition graph: pick the busiest cell and show its edges.
     let busiest = out

@@ -10,7 +10,10 @@ use pol_geo::BBox;
 use pol_hexgrid::cell_center;
 
 fn main() {
-    banner("Figure 4 — Baltic regional patterns (trips / speed / course)", "paper Figure 4");
+    banner(
+        "Figure 4 — Baltic regional patterns (trips / speed / course)",
+        "paper Figure 4",
+    );
     let (_, out) = build_inventory(&experiment_scenario(TRAIN_SEED), &PipelineConfig::fine());
     let inv = &out.inventory;
     let bbox = BBox::baltic();
@@ -49,7 +52,11 @@ fn main() {
     speed.sort();
     course.sort();
     let p1 = write_csv("figure4_baltic_trips.csv", "cell,lat,lon,trips", &trips);
-    let p2 = write_csv("figure4_baltic_speed.csv", "cell,lat,lon,mean_speed_kn", &speed);
+    let p2 = write_csv(
+        "figure4_baltic_speed.csv",
+        "cell,lat,lon,mean_speed_kn",
+        &speed,
+    );
     let p3 = write_csv(
         "figure4_baltic_course.csv",
         "cell,lat,lon,mean_course_deg,alignment",

@@ -11,7 +11,10 @@ use pol_geo::haversine_km;
 use pol_hexgrid::cell_center;
 
 fn main() {
-    banner("Figure 5 — global mean time-to-destination per cell", "paper Figure 5");
+    banner(
+        "Figure 5 — global mean time-to-destination per cell",
+        "paper Figure 5",
+    );
     let (_, out) = build_inventory(&experiment_scenario(TRAIN_SEED), &PipelineConfig::default());
     let inv = &out.inventory;
 
@@ -20,7 +23,9 @@ fn main() {
     let mut open_sea = Vec::new(); // > 500 km from every port
     for (key, stats) in inv.iter() {
         let GroupKey::Cell(cell) = key else { continue };
-        let Some(mean_ata) = stats.ata.mean() else { continue };
+        let Some(mean_ata) = stats.ata.mean() else {
+            continue;
+        };
         let c = cell_center(*cell);
         rows.push(format!(
             "{},{:.5},{:.5},{:.2},{}",

@@ -17,7 +17,11 @@ fn main() {
     let (_, out) = build_inventory(&experiment_scenario(TRAIN_SEED), &PipelineConfig::default());
     let inv = &out.inventory;
 
-    let hubs = [("SGSIN", "singapore"), ("CNSHA", "shanghai"), ("NLRTM", "rotterdam")];
+    let hubs = [
+        ("SGSIN", "singapore"),
+        ("CNSHA", "shanghai"),
+        ("NLRTM", "rotterdam"),
+    ];
     let mut rows = Vec::new();
     println!();
     for (locode, label) in hubs {
@@ -43,7 +47,11 @@ fn main() {
         }
     }
     rows.sort();
-    let path = write_csv("figure6_top_destinations.csv", "cell,lat,lon,destination", &rows);
+    let path = write_csv(
+        "figure6_top_destinations.csv",
+        "cell,lat,lon,destination",
+        &rows,
+    );
     println!();
     println!("total coloured cells: {}", rows.len());
     println!("wrote {}", path.display());

@@ -49,10 +49,18 @@ fn cmd_build(args: &[String]) -> ExitCode {
     let Some(out_path) = parse_flag(args, "--out") else {
         return usage();
     };
-    let vessels = parse_flag(args, "--vessels").and_then(|v| v.parse().ok()).unwrap_or(150);
-    let days = parse_flag(args, "--days").and_then(|v| v.parse().ok()).unwrap_or(14);
-    let res = parse_flag(args, "--res").and_then(|v| v.parse().ok()).unwrap_or(6u8);
-    let seed = parse_flag(args, "--seed").and_then(|v| v.parse().ok()).unwrap_or(42);
+    let vessels = parse_flag(args, "--vessels")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(150);
+    let days = parse_flag(args, "--days")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(14);
+    let res = parse_flag(args, "--res")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(6u8);
+    let seed = parse_flag(args, "--seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(42);
     let Some(resolution) = Resolution::new(res) else {
         eprintln!("error: resolution {res} out of 0..=15");
         return ExitCode::FAILURE;
@@ -61,7 +69,10 @@ fn cmd_build(args: &[String]) -> ExitCode {
         seed,
         n_vessels: vessels,
         duration_days: days,
-        emission: EmissionConfig { interval_scale: 10.0, ..EmissionConfig::default() },
+        emission: EmissionConfig {
+            interval_scale: 10.0,
+            ..EmissionConfig::default()
+        },
         ..ScenarioConfig::default()
     };
     let cfg = PipelineConfig::default().with_resolution(resolution);
@@ -88,7 +99,9 @@ fn cmd_build(args: &[String]) -> ExitCode {
 }
 
 fn cmd_info(args: &[String]) -> ExitCode {
-    let Some(path) = args.first() else { return usage() };
+    let Some(path) = args.first() else {
+        return usage();
+    };
     let inv = match load(path) {
         Ok(i) => i,
         Err(e) => return e,
@@ -101,7 +114,11 @@ fn cmd_info(args: &[String]) -> ExitCode {
     println!("  compression       {:.2}%", cov.compression * 100.0);
     println!("  grid utilization  {:.4}%", cov.utilization * 100.0);
     use pol_core::features::GroupingSet::*;
-    for (gs, name) in [(Cell, "(cell)"), (CellType, "(cell, type)"), (CellRoute, "(cell, o, d, type)")] {
+    for (gs, name) in [
+        (Cell, "(cell)"),
+        (CellType, "(cell, type)"),
+        (CellRoute, "(cell, o, d, type)"),
+    ] {
         println!("  entries {:<20} {}", name, inv.len_of(gs));
     }
     ExitCode::SUCCESS
@@ -129,10 +146,13 @@ fn cmd_query(args: &[String]) -> ExitCode {
         Some(seg) => inv.summary_for(cell, seg),
         None => inv.summary(cell),
     };
-    println!("cell {cell} at ({lat}, {lon}){}", match segment {
-        Some(s) => format!(" [{s}]"),
-        None => String::new(),
-    });
+    println!(
+        "cell {cell} at ({lat}, {lon}){}",
+        match segment {
+            Some(s) => format!(" [{s}]"),
+            None => String::new(),
+        }
+    );
     let Some(stats) = stats else {
         println!("  no traffic recorded");
         return ExitCode::SUCCESS;

@@ -16,7 +16,10 @@ use pol_hexgrid::{cell_at, grid_distance};
 use std::collections::HashSet;
 
 fn main() {
-    banner("§4.1.3 — route forecasting over the transition graph (A*)", "paper §4.1.3");
+    banner(
+        "§4.1.3 — route forecasting over the transition graph (A*)",
+        "paper §4.1.3",
+    );
     let cfg = PipelineConfig::default();
     let (_, out) = build_inventory(&experiment_scenario(TRAIN_SEED), &cfg);
 
@@ -91,7 +94,10 @@ fn main() {
         "forecast cells on/adjacent to the actual track: {:.0}% (mean)",
         100.0 * avg(&on_lane)
     );
-    println!("forecast/actual distinct-cell length ratio:     {:.2}", avg(&len_ratio));
+    println!(
+        "forecast/actual distinct-cell length ratio:     {:.2}",
+        avg(&len_ratio)
+    );
     println!();
     let ok = forecast_ok * 2 >= attempted.max(1) && avg(&on_lane) > 0.5;
     println!(

@@ -52,7 +52,13 @@ fn main() {
     );
     let mut rows = Vec::new();
     for eps in [1.0, 3.0, 10.0, 30.0, 100.0] {
-        let (labels, k) = dbscan(&points, DbscanParams { eps_km: eps, min_pts: 5 });
+        let (labels, k) = dbscan(
+            &points,
+            DbscanParams {
+                eps_km: eps,
+                min_pts: 5,
+            },
+        );
         let clustered = |want_dense: bool| -> f64 {
             let total = if want_dense { dense_n } else { sparse_n };
             let got = labels
@@ -87,7 +93,13 @@ fn main() {
 
     // OPTICS mitigates by deferring the choice, but the extraction step
     // still needs the same decision:
-    let order = optics(&points, OpticsParams { max_eps_km: 100.0, min_pts: 5 });
+    let order = optics(
+        &points,
+        OpticsParams {
+            max_eps_km: 100.0,
+            min_pts: 5,
+        },
+    );
     let (tight, kt) = extract_clusters(&order, points.len(), 3.0);
     let (loose, kl) = extract_clusters(&order, points.len(), 60.0);
     let noise = |ls: &[Label]| ls.iter().filter(|l| matches!(l, Label::Noise)).count();
@@ -105,8 +117,7 @@ fn main() {
     println!("grid inventory at the same points (no density parameter):");
     for r in [5u8, 6, 7] {
         let res = Resolution::new(r).unwrap();
-        let cells: std::collections::HashSet<_> =
-            points.iter().map(|p| cell_at(*p, res)).collect();
+        let cells: std::collections::HashSet<_> = points.iter().map(|p| cell_at(*p, res)).collect();
         println!(
             "  res {r}: {:>6} cells, 100% of points summarised (by construction)",
             cells.len()

@@ -42,16 +42,23 @@ fn main() {
     println!();
     println!("Shape checks on this run:");
     let (c6, c7) = (rows[0], rows[1]);
-    let check = |name: &str, ok: bool| {
-        println!("  [{}] {}", if ok { "ok" } else { "MISS" }, name)
-    };
+    let check = |name: &str, ok: bool| println!("  [{}] {}", if ok { "ok" } else { "MISS" }, name);
     check(
         "compression > 90% at both resolutions (paper: > 98%)",
         c6.compression > 0.90 && c7.compression > 0.90,
     );
-    check("res 6 compresses harder than res 7", c6.compression > c7.compression);
-    check("utilization drops as cells shrink (res7 < res6)", c7.utilization < c6.utilization);
-    check("finer grid occupies more cells", c7.occupied_cells > c6.occupied_cells);
+    check(
+        "res 6 compresses harder than res 7",
+        c6.compression > c7.compression,
+    );
+    check(
+        "utilization drops as cells shrink (res7 < res6)",
+        c7.utilization < c6.utilization,
+    );
+    check(
+        "finer grid occupies more cells",
+        c7.occupied_cells > c6.occupied_cells,
+    );
     println!();
     println!(
         "Utilization is far below the paper's 51.69%/42.96% because this run \

@@ -7,6 +7,8 @@
 //! scenario seed and print the paper's reported values next to the
 //! measured ones.
 
+#![deny(missing_docs)]
+
 use pol_core::records::PortSite;
 use pol_core::{PipelineConfig, PipelineOutput};
 use pol_engine::Engine;
@@ -91,7 +93,8 @@ pub fn build_inventory(
         &ds.statics,
         &port_sites(pipeline.port_radius_km),
         pipeline,
-    );
+    )
+    .expect("pipeline run failed");
     (ds, out)
 }
 
@@ -169,11 +172,7 @@ pub fn simulate_voyage(
     use pol_fleetsim::lanes::{LaneGraph, RouteOptions};
     use pol_fleetsim::voyage::{Activity, VoyagePlan};
     use pol_fleetsim::{PortId, Rng};
-    let route = LaneGraph::global().route(
-        PortId(origin),
-        PortId(dest),
-        RouteOptions::default(),
-    )?;
+    let route = LaneGraph::global().route(PortId(origin), PortId(dest), RouteOptions::default())?;
     let plan = VoyagePlan {
         origin: PortId(origin),
         dest: PortId(dest),

@@ -15,8 +15,8 @@
 
 use crate::features::{CellStats, GroupKey};
 use crate::inventory::Inventory;
-use pol_hexgrid::{cell_at, children, parent, CellIndex, Resolution};
 use pol_geo::LatLon;
+use pol_hexgrid::{cell_at, children, parent, CellIndex, Resolution};
 use pol_sketch::hash::FxHashMap;
 use pol_sketch::MergeSketch;
 
@@ -34,7 +34,7 @@ impl Default for AdaptiveConfig {
     fn default() -> Self {
         AdaptiveConfig {
             min_records_per_cell: 64,
-            coarsest: Resolution::new(3).expect("static resolution"),
+            coarsest: Resolution::new_static(3),
         }
     }
 }
@@ -76,11 +76,18 @@ impl AdaptiveInventory {
 
         let mut res = fine;
         while res > cfg.coarsest {
-            // Group the current level by parent.
-            let mut by_parent: FxHashMap<CellIndex, Vec<CellIndex>> = FxHashMap::default();
-            for cell in level.keys() {
-                let p = parent(*cell).expect("res > coarsest ≥ 0");
-                by_parent.entry(p).or_default().push(*cell);
+            // Group the current level by parent, moving the stats along.
+            let mut by_parent: FxHashMap<CellIndex, Vec<(CellIndex, CellStats)>> =
+                FxHashMap::default();
+            for (cell, stats) in level.drain() {
+                match parent(cell) {
+                    Some(p) => by_parent.entry(p).or_default().push((cell, stats)),
+                    // res > coarsest ≥ 0, so a parent always exists; a
+                    // hypothetical res-0 cell is simply final as-is.
+                    None => {
+                        done.insert(cell, stats);
+                    }
+                }
             }
             let mut next: FxHashMap<CellIndex, CellStats> = FxHashMap::default();
             let mut next_blocked: pol_sketch::hash::FxHashSet<CellIndex> =
@@ -91,24 +98,22 @@ impl AdaptiveInventory {
                 }
             };
             for (p, kids) in by_parent {
-                let total: u64 = kids.iter().map(|c| level[c].records).sum();
+                let total: u64 = kids.iter().map(|(_, s)| s.records).sum();
                 if total < cfg.min_records_per_cell && !blocked.contains(&p) {
                     // Sparse and unobstructed: coalesce all siblings into
-                    // the parent.
-                    let mut acc: Option<CellStats> = None;
-                    for c in kids {
-                        let s = level.remove(&c).expect("grouped from level");
-                        match &mut acc {
-                            None => acc = Some(s),
-                            Some(a) => a.merge(&s),
+                    // the parent. Groups are built non-empty, so the fold
+                    // always yields an accumulator.
+                    let mut kids = kids.into_iter();
+                    if let Some((_, mut acc)) = kids.next() {
+                        for (_, s) in kids {
+                            acc.merge(&s);
                         }
+                        next.insert(p, acc);
                     }
-                    next.insert(p, acc.expect("at least one child"));
                 } else {
                     // Dense (or the parent shadows finer finalized cells):
                     // the children are final at this resolution.
-                    for c in kids {
-                        let s = level.remove(&c).expect("grouped from level");
+                    for (c, s) in kids {
                         done.insert(c, s);
                     }
                     block_upward(p, &mut next_blocked);
@@ -121,7 +126,9 @@ impl AdaptiveInventory {
             }
             blocked = next_blocked;
             level = next;
-            res = res.coarser().expect("res > coarsest ≥ 0");
+            // res > coarsest ≥ 0, so there is always a coarser level.
+            let Some(up) = res.coarser() else { break };
+            res = up;
         }
         // Whatever remains at the coarsest level is final.
         done.extend(level);
@@ -213,10 +220,10 @@ pub fn descendants_at(cell: CellIndex, res: Resolution) -> Vec<CellIndex> {
         return Vec::new();
     }
     let mut frontier = vec![cell];
-    while frontier[0].resolution() < res {
+    while frontier.first().is_some_and(|c| c.resolution() < res) {
         frontier = frontier
             .into_iter()
-            .flat_map(|c| children(c).expect("resolution < res ≤ 15"))
+            .flat_map(|c| children(c).into_iter().flatten())
             .collect();
     }
     frontier
@@ -277,7 +284,11 @@ mod tests {
         let inv = mixed_density_inventory();
         let fine_cells = inv.len_of(crate::features::GroupingSet::Cell);
         let adaptive = AdaptiveInventory::build(&inv, &AdaptiveConfig::default());
-        assert!(adaptive.len() < fine_cells, "{} !< {fine_cells}", adaptive.len());
+        assert!(
+            adaptive.len() < fine_cells,
+            "{} !< {fine_cells}",
+            adaptive.len()
+        );
         // Mixed resolutions present.
         let hist = adaptive.resolution_histogram();
         assert!(hist.len() >= 2, "partition not adaptive: {hist:?}");
@@ -322,7 +333,9 @@ mod tests {
         assert!(cell.resolution().level() < 6);
         assert!(stats.records >= 1);
         // Untouched ocean: nothing.
-        assert!(adaptive.summary_at(LatLon::new(70.0, -160.0).unwrap()).is_none());
+        assert!(adaptive
+            .summary_at(LatLon::new(70.0, -160.0).unwrap())
+            .is_none());
     }
 
     #[test]
@@ -344,13 +357,19 @@ mod tests {
         // except empty groups, which don't exist).
         let none = AdaptiveInventory::build(
             &inv,
-            &AdaptiveConfig { min_records_per_cell: 1, ..AdaptiveConfig::default() },
+            &AdaptiveConfig {
+                min_records_per_cell: 1,
+                ..AdaptiveConfig::default()
+            },
         );
         assert_eq!(none.len(), inv.len_of(crate::features::GroupingSet::Cell));
         // Huge threshold: everything pools down to the coarsest level.
         let all = AdaptiveInventory::build(
             &inv,
-            &AdaptiveConfig { min_records_per_cell: u64::MAX, ..AdaptiveConfig::default() },
+            &AdaptiveConfig {
+                min_records_per_cell: u64::MAX,
+                ..AdaptiveConfig::default()
+            },
         );
         assert!(all
             .resolution_histogram()
@@ -362,16 +381,25 @@ mod tests {
 
     #[test]
     fn descendants_expand_correctly() {
-        let cell = cell_at(LatLon::new(10.0, 10.0).unwrap(), Resolution::new(4).unwrap());
+        let cell = cell_at(
+            LatLon::new(10.0, 10.0).unwrap(),
+            Resolution::new(4).unwrap(),
+        );
         let res6 = Resolution::new(6).unwrap();
         let fine = descendants_at(cell, res6);
         assert_eq!(fine.len(), 49, "two levels of aperture 7");
         for f in &fine {
             assert_eq!(f.resolution(), res6);
-            assert_eq!(pol_hexgrid::parent_at(*f, Resolution::new(4).unwrap()), Some(cell));
+            assert_eq!(
+                pol_hexgrid::parent_at(*f, Resolution::new(4).unwrap()),
+                Some(cell)
+            );
         }
         // Identity and degenerate cases.
-        assert_eq!(descendants_at(cell, Resolution::new(4).unwrap()), vec![cell]);
+        assert_eq!(
+            descendants_at(cell, Resolution::new(4).unwrap()),
+            vec![cell]
+        );
         assert!(descendants_at(cell, Resolution::new(3).unwrap()).is_empty());
     }
 }

@@ -10,9 +10,9 @@ use crate::config::PipelineConfig;
 use crate::records::EnrichedReport;
 use pol_ais::types::{MarketSegment, Mmsi};
 use pol_ais::{PositionReport, StaticReport};
-use pol_engine::{Dataset, Engine};
-use pol_geo::units::implied_speed_knots;
+use pol_engine::{Dataset, Engine, EngineError};
 use pol_geo::haversine_km;
+use pol_geo::units::implied_speed_knots;
 use pol_sketch::hash::FxHashMap;
 use std::sync::Arc;
 
@@ -41,14 +41,14 @@ pub fn clean_and_enrich(
     raw: Dataset<PositionReport>,
     statics: &[StaticReport],
     cfg: &PipelineConfig,
-) -> (Dataset<EnrichedReport>, CleanReport) {
+) -> Result<(Dataset<EnrichedReport>, CleanReport), EngineError> {
     let mut report = CleanReport {
         input: raw.count() as u64,
         ..CleanReport::default()
     };
 
     // Protocol range check (positions were validated at parse time).
-    let ranged = raw.filter(engine, "clean:ranges", |r| r.in_protocol_ranges());
+    let ranged = raw.filter(engine, "clean:ranges", |r| r.in_protocol_ranges())?;
     report.out_of_range = report.input - ranged.count() as u64;
 
     // Static-inventory join: MMSI -> segment, commercial flag.
@@ -59,34 +59,31 @@ pub fn clean_and_enrich(
     let lookup = Arc::new(lookup);
     let commercial_only = cfg.commercial_only;
     let lk = lookup.clone();
-    let enriched = ranged.flat_map(engine, "clean:enrich", move |r| {
-        match lk.get(&r.mmsi) {
-            Some((segment, commercial)) if *commercial || !commercial_only => {
-                Some(EnrichedReport {
-                    mmsi: r.mmsi,
-                    timestamp: r.timestamp,
-                    pos: r.pos,
-                    sog_knots: r.sog_knots,
-                    cog_deg: r.cog_deg,
-                    heading_deg: r.heading_deg,
-                    nav_status: r.nav_status,
-                    segment: *segment,
-                })
-            }
-            _ => None,
-        }
-    });
+    let enriched = ranged.flat_map(engine, "clean:enrich", move |r| match lk.get(&r.mmsi) {
+        Some((segment, commercial)) if *commercial || !commercial_only => Some(EnrichedReport {
+            mmsi: r.mmsi,
+            timestamp: r.timestamp,
+            pos: r.pos,
+            sog_knots: r.sog_knots,
+            cog_deg: r.cog_deg,
+            heading_deg: r.heading_deg,
+            nav_status: r.nav_status,
+            segment: *segment,
+        }),
+        _ => None,
+    })?;
     let after_enrich = enriched.count() as u64;
     report.non_commercial = report.input - report.out_of_range - after_enrich;
 
     // Partition by vessel, then order/de-dup/feasibility-filter per vessel.
     let max_kn = cfg.max_feasible_speed_kn;
     let by_vessel = enriched
-        .key_by(engine, "clean:key-by-mmsi", |r| r.mmsi.0)
-        .partition_by_key(engine, "clean:shuffle-by-mmsi", engine.default_partitions());
-    let cleaned = by_vessel
-        .into_inner()
-        .map_partitions(engine, "clean:order-and-feasibility", move |part| {
+        .key_by(engine, "clean:key-by-mmsi", |r| r.mmsi.0)?
+        .partition_by_key(engine, "clean:shuffle-by-mmsi", engine.default_partitions())?;
+    let cleaned = by_vessel.into_inner().map_partitions(
+        engine,
+        "clean:order-and-feasibility",
+        move |part| {
             let mut per_vessel: FxHashMap<u32, Vec<EnrichedReport>> = FxHashMap::default();
             for (mmsi, r) in part {
                 per_vessel.entry(mmsi).or_default().push(r);
@@ -120,7 +117,8 @@ pub fn clean_and_enrich(
                 }
             }
             out
-        });
+        },
+    )?;
     report.output = cleaned.count() as u64;
     // The per-vessel pass removes both defect classes (duplicates and
     // infeasible transitions) in one sweep; the split is not observable
@@ -129,7 +127,7 @@ pub fn clean_and_enrich(
     // separately.)
     report.infeasible = after_enrich - report.output;
 
-    (cleaned, report)
+    Ok((cleaned, report))
 }
 
 #[cfg(test)]
@@ -166,12 +164,8 @@ mod tests {
     ) -> (Vec<EnrichedReport>, CleanReport) {
         let engine = Engine::new(2);
         let cfg = PipelineConfig::default();
-        let (ds, rep) = clean_and_enrich(
-            &engine,
-            Dataset::from_vec(reports, 3),
-            &statics,
-            &cfg,
-        );
+        let (ds, rep) =
+            clean_and_enrich(&engine, Dataset::from_vec(reports, 3), &statics, &cfg).unwrap();
         (ds.collect(), rep)
     }
 
@@ -257,10 +251,7 @@ mod tests {
         let statics = vec![static_report(1, 71, 50_000)];
         // 25 kn ≈ 46.3 km/h: 1.3 km in 100 s is fine.
         let (out, _) = run(
-            vec![
-                report(1, 0, 51.0, 1.0),
-                report(1, 100, 51.0116, 1.0),
-            ],
+            vec![report(1, 0, 51.0, 1.0), report(1, 100, 51.0116, 1.0)],
             statics,
         );
         assert_eq!(out.len(), 2);
@@ -277,7 +268,8 @@ mod tests {
             Dataset::from_vec(vec![report(2, 100, 51.0, 1.0)], 1),
             &statics,
             &cfg,
-        );
+        )
+        .unwrap();
         let out = ds.collect();
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].segment, MarketSegment::Other);

@@ -230,7 +230,10 @@ mod tests {
                 },
                 cell,
                 next_cell: (i % 3 == 0).then(|| {
-                    cell_at(LatLon::new(10.5 + (i % 50) as f64, (i % 120) as f64).unwrap(), res)
+                    cell_at(
+                        LatLon::new(10.5 + (i % 50) as f64, (i % 120) as f64).unwrap(),
+                        res,
+                    )
                 }),
             };
             for key in [
@@ -280,7 +283,10 @@ mod tests {
 
     #[test]
     fn rejects_garbage_and_truncation() {
-        assert!(matches!(from_bytes(b"not an inventory"), Err(CodecError::BadHeader)));
+        assert!(matches!(
+            from_bytes(b"not an inventory"),
+            Err(CodecError::BadHeader)
+        ));
         let bytes = to_bytes(&sample_inventory(50));
         let truncated = &bytes[..bytes.len() - 10];
         assert!(from_bytes(truncated).is_err());
@@ -318,6 +324,10 @@ mod tests {
         // 5 000 records × ~64 B raw ≈ 320 kB; the inventory should not be
         // wildly larger than the raw data at this tiny scale and becomes
         // far smaller at real scale (cells saturate, records keep growing).
-        assert!(bytes.len() < 5_000 * 200, "serialized {} bytes", bytes.len());
+        assert!(
+            bytes.len() < 5_000 * 200,
+            "serialized {} bytes",
+            bytes.len()
+        );
     }
 }

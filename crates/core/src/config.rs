@@ -27,7 +27,7 @@ pub struct PipelineConfig {
 impl Default for PipelineConfig {
     fn default() -> Self {
         PipelineConfig {
-            resolution: Resolution::new(6).expect("static resolution"),
+            resolution: Resolution::new_static(6),
             port_radius_km: 12.0,
             max_feasible_speed_kn: 50.0,
             min_trip_points: 5,
@@ -42,7 +42,7 @@ impl PipelineConfig {
     /// The paper's finer resolution variant (res 7, ≈ 5 km² cells).
     pub fn fine() -> Self {
         PipelineConfig {
-            resolution: Resolution::new(7).expect("static resolution"),
+            resolution: Resolution::new_static(7),
             ..PipelineConfig::default()
         }
     }

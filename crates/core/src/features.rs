@@ -9,11 +9,9 @@
 use crate::config::PipelineConfig;
 use crate::records::CellPoint;
 use pol_ais::types::MarketSegment;
-use pol_engine::{Dataset, Engine};
+use pol_engine::{Dataset, Engine, EngineError};
 use pol_hexgrid::CellIndex;
-use pol_sketch::{
-    AngleHistogram, Circular, Distinct, GkSketch, MergeSketch, SpaceSaving, Welford,
-};
+use pol_sketch::{AngleHistogram, Circular, Distinct, GkSketch, MergeSketch, SpaceSaving, Welford};
 
 /// Which group identifiers (Table 2) the inventory materialises.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -219,7 +217,7 @@ pub fn build_group_stats(
     engine: &Engine,
     projected: Dataset<CellPoint>,
     cfg: &PipelineConfig,
-) -> Dataset<(GroupKey, CellStats)> {
+) -> Result<Dataset<(GroupKey, CellStats)>, EngineError> {
     let eps = cfg.quantile_epsilon;
     let cap = cfg.top_n_capacity;
     projected
@@ -233,7 +231,7 @@ pub fn build_group_stats(
                     cp,
                 ),
             ]
-        })
+        })?
         .into_keyed()
         .aggregate_by_key(
             engine,
@@ -313,7 +311,10 @@ mod tests {
     fn transitions_tracked_when_present() {
         let mut s = CellStats::new(0.02, 8);
         let mut point = cp(1, 10, 12.0, 90.0, 0, 5);
-        let other = cell_at(LatLon::new(48.5, -6.0).unwrap(), Resolution::new(6).unwrap());
+        let other = cell_at(
+            LatLon::new(48.5, -6.0).unwrap(),
+            Resolution::new(6).unwrap(),
+        );
         point.next_cell = Some(other);
         s.observe(&point);
         s.observe(&point);
@@ -325,7 +326,16 @@ mod tests {
     #[test]
     fn merge_equals_single_accumulator() {
         let points: Vec<_> = (0..50)
-            .map(|i| cp(i % 5, (i % 7) as u64, 10.0 + i as f64 % 8.0, (i * 13 % 360) as f64, (i % 3) as u16, (i % 4) as u16))
+            .map(|i| {
+                cp(
+                    i % 5,
+                    (i % 7) as u64,
+                    10.0 + i as f64 % 8.0,
+                    (i * 13 % 360) as f64,
+                    (i % 3) as u16,
+                    (i % 4) as u16,
+                )
+            })
             .collect();
         let mut whole = CellStats::new(0.02, 8);
         points.iter().for_each(|p| whole.observe(p));
@@ -347,14 +357,20 @@ mod tests {
         let engine = Engine::new(2);
         let cfg = PipelineConfig::default();
         let points = vec![cp(1, 10, 12.0, 90.0, 0, 5), cp(2, 11, 13.0, 91.0, 0, 5)];
-        let out = build_group_stats(&engine, Dataset::from_vec(points, 1), &cfg).collect();
+        let out = build_group_stats(&engine, Dataset::from_vec(points, 1), &cfg)
+            .unwrap()
+            .collect();
         // One cell, one segment, one (o,d): exactly 3 group keys.
         assert_eq!(out.len(), 3);
         let mut sets: Vec<GroupingSet> = out.iter().map(|(k, _)| k.grouping_set()).collect();
         sets.sort_by_key(|s| format!("{s:?}"));
         assert_eq!(
             sets,
-            vec![GroupingSet::Cell, GroupingSet::CellRoute, GroupingSet::CellType]
+            vec![
+                GroupingSet::Cell,
+                GroupingSet::CellRoute,
+                GroupingSet::CellType
+            ]
         );
         for (key, stats) in &out {
             assert_eq!(stats.records, 2, "{key:?}");
@@ -370,7 +386,9 @@ mod tests {
         let mut b = cp(2, 11, 13.0, 91.0, 0, 5);
         a.point.segment = MarketSegment::Container;
         b.point.segment = MarketSegment::Tanker;
-        let out = build_group_stats(&engine, Dataset::from_vec(vec![a, b], 1), &cfg).collect();
+        let out = build_group_stats(&engine, Dataset::from_vec(vec![a, b], 1), &cfg)
+            .unwrap()
+            .collect();
         // Cell (1 shared) + CellType (2) + CellRoute (2) = 5 keys.
         assert_eq!(out.len(), 5);
         let cell_key: Vec<_> = out

@@ -132,18 +132,11 @@ impl Inventory {
     /// All cells whose `(cell, origin, dest, segment)` entry exists — the
     /// full set of transition locations for a route key (§4.1.3's route
     /// forecasting retrieves exactly this).
-    pub fn route_cells(
-        &self,
-        origin: u16,
-        dest: u16,
-        segment: MarketSegment,
-    ) -> Vec<CellIndex> {
+    pub fn route_cells(&self, origin: u16, dest: u16, segment: MarketSegment) -> Vec<CellIndex> {
         self.entries
             .keys()
             .filter_map(|k| match k {
-                GroupKey::CellRoute(c, o, d, s)
-                    if *o == origin && *d == dest && *s == segment =>
-                {
+                GroupKey::CellRoute(c, o, d, s) if *o == origin && *d == dest && *s == segment => {
                     Some(*c)
                 }
                 _ => None,

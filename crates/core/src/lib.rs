@@ -24,10 +24,13 @@
 //! reports per-stage record counts — the machine-checkable analogue of the
 //! paper's Figure 2 walkthrough.
 
+#![deny(missing_docs)]
+
 pub mod adaptive;
 pub mod clean;
 pub mod codec;
 pub mod config;
+pub mod error;
 pub mod features;
 pub mod inventory;
 pub mod pipeline;
@@ -37,6 +40,7 @@ pub mod trips;
 
 pub use adaptive::{AdaptiveConfig, AdaptiveInventory};
 pub use config::PipelineConfig;
+pub use error::PipelineError;
 pub use features::{CellStats, GroupKey, GroupingSet};
 pub use inventory::{CoverageReport, Inventory};
 pub use pipeline::{run, PipelineOutput, StageCounts};

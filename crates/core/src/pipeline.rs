@@ -2,6 +2,7 @@
 
 use crate::clean::{clean_and_enrich, CleanReport};
 use crate::config::PipelineConfig;
+use crate::error::PipelineError;
 use crate::features::build_group_stats;
 use crate::inventory::Inventory;
 use crate::project::project;
@@ -47,25 +48,25 @@ pub fn run(
     statics: &[StaticReport],
     ports: &[PortSite],
     cfg: &PipelineConfig,
-) -> PipelineOutput {
+) -> Result<PipelineOutput, PipelineError> {
     let raw = Dataset::from_partitions(positions);
     let raw_count = raw.count() as u64;
 
-    let (cleaned, clean_report) = clean_and_enrich(engine, raw, statics, cfg);
+    let (cleaned, clean_report) = clean_and_enrich(engine, raw, statics, cfg)?;
     let cleaned_count = cleaned.count() as u64;
 
-    let trips = extract_trips(engine, cleaned, ports, cfg);
+    let trips = extract_trips(engine, cleaned, ports, cfg)?;
     let with_trips = trips.count() as u64;
 
-    let projected = project(engine, trips, cfg);
+    let projected = project(engine, trips, cfg)?;
     let projected_count = projected.count() as u64;
 
-    let stats = build_group_stats(engine, projected, cfg);
+    let stats = build_group_stats(engine, projected, cfg)?;
     let group_entries = stats.count() as u64;
 
     let inventory = Inventory::from_dataset(cfg.resolution, stats, projected_count);
 
-    PipelineOutput {
+    Ok(PipelineOutput {
         inventory,
         counts: StageCounts {
             raw: raw_count,
@@ -75,7 +76,7 @@ pub fn run(
             group_entries,
         },
         clean_report,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -110,6 +111,7 @@ mod tests {
             &port_sites(cfg.port_radius_km),
             &cfg,
         )
+        .unwrap()
     }
 
     #[test]
@@ -158,8 +160,15 @@ mod tests {
         let ds = generate(&ScenarioConfig::tiny());
         let cfg = PipelineConfig::default();
         let ports = port_sites(cfg.port_radius_km);
-        let a = run(&Engine::new(1), ds.positions.clone(), &ds.statics, &ports, &cfg);
-        let b = run(&Engine::new(4), ds.positions, &ds.statics, &ports, &cfg);
+        let a = run(
+            &Engine::new(1),
+            ds.positions.clone(),
+            &ds.statics,
+            &ports,
+            &cfg,
+        )
+        .unwrap();
+        let b = run(&Engine::new(4), ds.positions, &ds.statics, &ports, &cfg).unwrap();
         assert_eq!(a.counts, b.counts);
         assert_eq!(
             crate::codec::to_bytes(&a.inventory),
@@ -174,8 +183,8 @@ mod tests {
         let engine = Engine::new(2);
         let c6 = PipelineConfig::default();
         let c7 = PipelineConfig::fine();
-        let out6 = run(&engine, ds.positions.clone(), &ds.statics, &ports, &c6);
-        let out7 = run(&engine, ds.positions, &ds.statics, &ports, &c7);
+        let out6 = run(&engine, ds.positions.clone(), &ds.statics, &ports, &c6).unwrap();
+        let out7 = run(&engine, ds.positions, &ds.statics, &ports, &c7).unwrap();
         let (cov6, cov7) = (out6.inventory.coverage(), out7.inventory.coverage());
         assert!(
             cov7.occupied_cells > cov6.occupied_cells,

@@ -7,7 +7,7 @@
 
 use crate::config::PipelineConfig;
 use crate::records::{CellPoint, TripPoint};
-use pol_engine::{Dataset, Engine};
+use pol_engine::{Dataset, Engine, EngineError};
 use pol_hexgrid::cell_at;
 use pol_sketch::hash::FxHashMap;
 
@@ -16,7 +16,7 @@ pub fn project(
     engine: &Engine,
     trips: Dataset<TripPoint>,
     cfg: &PipelineConfig,
-) -> Dataset<CellPoint> {
+) -> Result<Dataset<CellPoint>, EngineError> {
     let res = cfg.resolution;
     trips.map_partitions(engine, "project:to-cells", move |part| {
         // Group by trip (trips are contiguous per the extraction stage, but
@@ -72,14 +72,22 @@ mod tests {
     fn eastbound_track(n: usize, step_km: f64) -> Vec<TripPoint> {
         let start = LatLon::new(45.0, -30.0).unwrap();
         (0..n)
-            .map(|i| tp(i as i64 * 600, destination(start, 90.0, step_km * i as f64), 1))
+            .map(|i| {
+                tp(
+                    i as i64 * 600,
+                    destination(start, 90.0, step_km * i as f64),
+                    1,
+                )
+            })
             .collect()
     }
 
     fn run(points: Vec<TripPoint>) -> Vec<CellPoint> {
         let engine = Engine::new(2);
         let cfg = PipelineConfig::default();
-        project(&engine, Dataset::from_vec(points, 1), &cfg).collect()
+        project(&engine, Dataset::from_vec(points, 1), &cfg)
+            .unwrap()
+            .collect()
     }
 
     #[test]
@@ -87,10 +95,7 @@ mod tests {
         let out = run(eastbound_track(30, 5.0));
         assert_eq!(out.len(), 30);
         for cp in &out {
-            assert_eq!(
-                cell_at(cp.point.pos, Resolution::new(6).unwrap()),
-                cp.cell
-            );
+            assert_eq!(cell_at(cp.point.pos, Resolution::new(6).unwrap()), cp.cell);
         }
     }
 
@@ -130,28 +135,30 @@ mod tests {
         let mut points = eastbound_track(5, 5.0);
         let far = LatLon::new(-20.0, 60.0).unwrap();
         for i in 0..5 {
-            points.push(tp(10_000 + i * 600, destination(far, 90.0, 5.0 * i as f64), 2));
+            points.push(tp(
+                10_000 + i * 600,
+                destination(far, 90.0, 5.0 * i as f64),
+                2,
+            ));
         }
         let out = run(points);
         let trip1: Vec<_> = out.iter().filter(|c| c.point.trip_id == 1).collect();
-        assert!(trip1.last().unwrap().next_cell.is_none()
-            || trip1.iter().all(|c| {
-                c.next_cell.is_none_or(|n| {
-                    grid_distance(c.cell, n).is_some_and(|d| d < 100)
+        assert!(
+            trip1.last().unwrap().next_cell.is_none()
+                || trip1.iter().all(|c| {
+                    c.next_cell
+                        .is_none_or(|n| grid_distance(c.cell, n).is_some_and(|d| d < 100))
                 })
-            }));
+        );
     }
 
     #[test]
     fn respects_configured_resolution() {
         let engine = Engine::new(1);
         let cfg = PipelineConfig::fine();
-        let out = project(
-            &engine,
-            Dataset::from_vec(eastbound_track(3, 5.0), 1),
-            &cfg,
-        )
-        .collect();
+        let out = project(&engine, Dataset::from_vec(eastbound_track(3, 5.0), 1), &cfg)
+            .unwrap()
+            .collect();
         for cp in out {
             assert_eq!(cp.cell.resolution().level(), 7);
         }

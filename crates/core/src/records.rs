@@ -23,25 +23,40 @@ pub struct PortSite {
 /// plus the vessel-type annotation from the static inventory.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct EnrichedReport {
+    /// Reporting vessel identity.
     pub mmsi: Mmsi,
+    /// Report time, Unix seconds.
     pub timestamp: i64,
+    /// Reported position.
     pub pos: LatLon,
+    /// Speed over ground, knots (if reported).
     pub sog_knots: Option<f64>,
+    /// Course over ground, degrees (if reported).
     pub cog_deg: Option<f64>,
+    /// True heading, degrees (if reported).
     pub heading_deg: Option<f64>,
+    /// Navigational status from the position report.
     pub nav_status: NavStatus,
+    /// Market segment from the static inventory join.
     pub segment: MarketSegment,
 }
 
 /// A report annotated with trip semantics (post §3.3.2).
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct TripPoint {
+    /// Reporting vessel identity.
     pub mmsi: Mmsi,
+    /// Report time, Unix seconds.
     pub timestamp: i64,
+    /// Reported position.
     pub pos: LatLon,
+    /// Speed over ground, knots (if reported).
     pub sog_knots: Option<f64>,
+    /// Course over ground, degrees (if reported).
     pub cog_deg: Option<f64>,
+    /// True heading, degrees (if reported).
     pub heading_deg: Option<f64>,
+    /// Market segment from the static inventory join.
     pub segment: MarketSegment,
     /// Unique trip identifier (vessel-scoped sequence in the high bits).
     pub trip_id: u64,
@@ -66,7 +81,9 @@ impl TripPoint {
 /// next-distinct-cell transition when one exists within the same trip.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct CellPoint {
+    /// The underlying trip point.
     pub point: TripPoint,
+    /// The grid cell containing the point.
     pub cell: CellIndex,
     /// The next distinct cell this vessel entered on the same trip.
     pub next_cell: Option<CellIndex>,

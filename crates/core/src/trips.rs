@@ -11,7 +11,7 @@
 
 use crate::config::PipelineConfig;
 use crate::records::{EnrichedReport, PortSite, TripPoint};
-use pol_engine::{Dataset, Engine};
+use pol_engine::{Dataset, Engine, EngineError};
 use pol_geo::haversine_km;
 use pol_hexgrid::{cell_at, grid_disk, CellIndex, Resolution};
 use pol_sketch::hash::FxHashMap;
@@ -72,7 +72,7 @@ pub fn extract_trips(
     cleaned: Dataset<EnrichedReport>,
     ports: &[PortSite],
     cfg: &PipelineConfig,
-) -> Dataset<TripPoint> {
+) -> Result<Dataset<TripPoint>, EngineError> {
     let geofence = Arc::new(Geofence::build(ports, cfg.resolution));
     let min_points = cfg.min_trip_points;
     cleaned.map_partitions(engine, "trips:extract", move |part| {
@@ -134,9 +134,14 @@ fn emit_trip(
     seq: u32,
     out: &mut Vec<TripPoint>,
 ) {
-    let departure = points.first().expect("non-empty trip").timestamp;
-    let arrival = points.last().expect("non-empty trip").timestamp;
-    let mmsi = points[0].mmsi;
+    // Callers only emit trips with >= min_trip_points records, but stay
+    // total anyway: an empty slice simply emits nothing.
+    let (Some(first), Some(last)) = (points.first(), points.last()) else {
+        return;
+    };
+    let departure = first.timestamp;
+    let arrival = last.timestamp;
+    let mmsi = first.mmsi;
     let trip_id = TripPoint::make_trip_id(mmsi, seq);
     for p in points {
         out.push(TripPoint {
@@ -228,15 +233,16 @@ mod tests {
         let engine = Engine::new(2);
         let mut cfg = PipelineConfig::default();
         cfg.resolution = Resolution::new(7).unwrap();
-        extract_trips(&engine, Dataset::from_vec(reports, 1), &ports(), &cfg).collect()
+        extract_trips(&engine, Dataset::from_vec(reports, 1), &ports(), &cfg)
+            .unwrap()
+            .collect()
     }
 
     #[test]
     fn crossing_yields_one_trip_with_semantics() {
         let out = run(crossing());
         assert!(!out.is_empty());
-        let trip_ids: std::collections::HashSet<u64> =
-            out.iter().map(|p| p.trip_id).collect();
+        let trip_ids: std::collections::HashSet<u64> = out.iter().map(|p| p.trip_id).collect();
         assert_eq!(trip_ids.len(), 1, "exactly one trip");
         for p in &out {
             assert_eq!(p.origin, 0);

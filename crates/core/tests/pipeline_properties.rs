@@ -11,7 +11,6 @@ use pol_engine::{Dataset, Engine};
 use pol_geo::LatLon;
 use pol_hexgrid::Resolution;
 use pol_sketch::hash::FxHashMap;
-use pol_sketch::MergeSketch;
 use proptest::prelude::*;
 
 fn arb_report(mmsi: u32) -> impl Strategy<Value = PositionReport> {
@@ -59,7 +58,8 @@ proptest! {
             Dataset::from_vec(reports, 3),
             &st,
             &cfg,
-        );
+        )
+        .unwrap();
         let once_rows: Vec<_> = once.clone().collect();
         // Re-feed the cleaned output (as raw reports again).
         let raw_again: Vec<PositionReport> = once_rows
@@ -79,7 +79,8 @@ proptest! {
             Dataset::from_vec(raw_again, 2),
             &st,
             &cfg,
-        );
+        )
+        .unwrap();
         let twice_rows: Vec<_> = twice.collect();
         prop_assert_eq!(once_rows, twice_rows);
         prop_assert_eq!(report2.out_of_range + report2.infeasible + report2.non_commercial, 0);

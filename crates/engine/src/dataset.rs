@@ -1,5 +1,6 @@
 //! Partitioned datasets and their narrow transformations.
 
+use crate::error::EngineError;
 use crate::metrics::StageReport;
 use crate::Engine;
 use std::hash::Hash;
@@ -8,8 +9,10 @@ use std::time::Instant;
 /// A partitioned in-memory collection — the engine's RDD analogue.
 ///
 /// Narrow transformations (`map`, `filter`, …) run one task per partition
-/// on the engine's pool and never move records between partitions. Wide
-/// operations live on [`crate::KeyedDataset`].
+/// on the engine's pool and never move records between partitions; each
+/// returns `Result` because partition tasks run on worker threads whose
+/// panics surface as [`EngineError`] rather than tearing the process down.
+/// Wide operations live on [`crate::KeyedDataset`].
 #[derive(Clone, Debug)]
 pub struct Dataset<T> {
     partitions: Vec<Vec<T>>,
@@ -69,7 +72,12 @@ impl<T: Send + 'static> Dataset<T> {
 
     /// The fundamental narrow transformation: one task per partition, each
     /// mapping the whole partition. Everything else is sugar over this.
-    pub fn map_partitions<U, F>(self, engine: &Engine, stage: &str, f: F) -> Dataset<U>
+    pub fn map_partitions<U, F>(
+        self,
+        engine: &Engine,
+        stage: &str,
+        f: F,
+    ) -> Result<Dataset<U>, EngineError>
     where
         U: Send + 'static,
         F: Fn(Vec<T>) -> Vec<U> + Send + Sync + 'static,
@@ -78,7 +86,7 @@ impl<T: Send + 'static> Dataset<T> {
         let input_records = self.count() as u64;
         let out = engine
             .pool()
-            .run_stage(self.partitions, move |_, part| f(part));
+            .run_stage(stage, self.partitions, move |_, part| f(part))?;
         let result = Dataset { partitions: out };
         engine.metrics().record(StageReport {
             name: stage.to_string(),
@@ -87,20 +95,22 @@ impl<T: Send + 'static> Dataset<T> {
             shuffled_records: 0,
             wall: started.elapsed(),
         });
-        result
+        Ok(result)
     }
 
     /// Applies `f` to every record in parallel.
-    pub fn map<U, F>(self, engine: &Engine, stage: &str, f: F) -> Dataset<U>
+    pub fn map<U, F>(self, engine: &Engine, stage: &str, f: F) -> Result<Dataset<U>, EngineError>
     where
         U: Send + 'static,
         F: Fn(T) -> U + Send + Sync + 'static,
     {
-        self.map_partitions(engine, stage, move |part| part.into_iter().map(&f).collect())
+        self.map_partitions(engine, stage, move |part| {
+            part.into_iter().map(&f).collect()
+        })
     }
 
     /// Keeps records matching the predicate.
-    pub fn filter<F>(self, engine: &Engine, stage: &str, f: F) -> Dataset<T>
+    pub fn filter<F>(self, engine: &Engine, stage: &str, f: F) -> Result<Dataset<T>, EngineError>
     where
         F: Fn(&T) -> bool + Send + Sync + 'static,
     {
@@ -110,7 +120,12 @@ impl<T: Send + 'static> Dataset<T> {
     }
 
     /// Maps each record to zero or more outputs.
-    pub fn flat_map<U, I, F>(self, engine: &Engine, stage: &str, f: F) -> Dataset<U>
+    pub fn flat_map<U, I, F>(
+        self,
+        engine: &Engine,
+        stage: &str,
+        f: F,
+    ) -> Result<Dataset<U>, EngineError>
     where
         U: Send + 'static,
         I: IntoIterator<Item = U>,
@@ -123,7 +138,12 @@ impl<T: Send + 'static> Dataset<T> {
 
     /// Sorts every partition independently (the paper sorts each vessel's
     /// reports by timestamp *within* the vessel partition, §3.3.1).
-    pub fn sort_within_partitions<F>(self, engine: &Engine, stage: &str, cmp: F) -> Dataset<T>
+    pub fn sort_within_partitions<F>(
+        self,
+        engine: &Engine,
+        stage: &str,
+        cmp: F,
+    ) -> Result<Dataset<T>, EngineError>
     where
         F: Fn(&T, &T) -> std::cmp::Ordering + Send + Sync + 'static,
     {
@@ -146,15 +166,20 @@ impl<T: Send + 'static> Dataset<T> {
     }
 
     /// Pairs every record with a key — the entry point to wide operations.
-    pub fn key_by<K, F>(self, engine: &Engine, stage: &str, f: F) -> crate::KeyedDataset<K, T>
+    pub fn key_by<K, F>(
+        self,
+        engine: &Engine,
+        stage: &str,
+        f: F,
+    ) -> Result<crate::KeyedDataset<K, T>, EngineError>
     where
         K: Eq + Hash + Clone + Send + Sync + 'static,
         F: Fn(&T) -> K + Send + Sync + 'static,
     {
         let kv = self.map_partitions(engine, stage, move |part| {
             part.into_iter().map(|t| (f(&t), t)).collect()
-        });
-        crate::KeyedDataset::from_dataset(kv)
+        })?;
+        Ok(crate::KeyedDataset::from_dataset(kv))
     }
 }
 
@@ -199,8 +224,11 @@ mod tests {
         let d = Dataset::from_vec((1..=8).collect::<Vec<i64>>(), 3);
         let out = d
             .map(&e, "double", |x| x * 2)
+            .unwrap()
             .filter(&e, "big", |x| *x > 4)
+            .unwrap()
             .flat_map(&e, "dup", |x| vec![x, x])
+            .unwrap()
             .collect();
         let mut expect = Vec::new();
         for x in (1..=8).map(|x| x * 2).filter(|x| *x > 4) {
@@ -214,7 +242,9 @@ mod tests {
     fn sort_within_partitions_is_per_partition() {
         let e = Engine::new(2);
         let d = Dataset::from_partitions(vec![vec![3, 1, 2], vec![9, 7]]);
-        let out = d.sort_within_partitions(&e, "sort", |a, b| a.cmp(b));
+        let out = d
+            .sort_within_partitions(&e, "sort", |a, b| a.cmp(b))
+            .unwrap();
         assert_eq!(out.partitions()[0], vec![1, 2, 3]);
         assert_eq!(out.partitions()[1], vec![7, 9]);
     }
@@ -234,7 +264,7 @@ mod tests {
     fn stage_metrics_recorded() {
         let e = Engine::new(2);
         let d = Dataset::from_vec((0..100).collect::<Vec<i32>>(), 4);
-        let _ = d.filter(&e, "keep-even", |x| x % 2 == 0).collect();
+        let _ = d.filter(&e, "keep-even", |x| x % 2 == 0).unwrap().collect();
         let stages = e.metrics().report();
         let s = stages.iter().find(|s| s.name == "keep-even").unwrap();
         assert_eq!(s.input_records, 100);
@@ -249,12 +279,31 @@ mod tests {
         let d = Dataset::from_vec(vec![(); 4], 4);
         let t0 = Instant::now();
         let _ = d
-            .map(&e, "sleep", |_| std::thread::sleep(std::time::Duration::from_millis(50)))
+            .map(&e, "sleep", |_| {
+                std::thread::sleep(std::time::Duration::from_millis(50))
+            })
+            .unwrap()
             .collect();
         let elapsed = t0.elapsed();
         assert!(
             elapsed < std::time::Duration::from_millis(170),
             "partitions did not run in parallel: {elapsed:?}"
+        );
+    }
+
+    #[test]
+    fn panicking_map_surfaces_as_error() {
+        let e = Engine::new(2);
+        let d = Dataset::from_vec((0..10).collect::<Vec<i32>>(), 4);
+        let err = d
+            .map(&e, "div", |x| 100 / (x % 5 - 4)) // x=4,9 → divide by zero
+            .unwrap_err();
+        assert_eq!(err.stage, "div");
+        // The engine stays usable after the failed stage.
+        let d2 = Dataset::from_vec(vec![1, 2, 3], 2);
+        assert_eq!(
+            d2.map(&e, "ok", |x| x + 1).unwrap().collect(),
+            vec![2, 3, 4]
         );
     }
 }

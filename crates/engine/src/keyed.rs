@@ -6,8 +6,13 @@
 //! merged across partitions (`comb` operator) — Spark's `aggregateByKey`
 //! contract, which is exactly what makes `pol-sketch`'s mergeable
 //! statistics partition-invariant.
+//!
+//! Like the narrow transformations, every shuffle returns `Result`: a
+//! panic inside a user-supplied operator is reported as an
+//! [`EngineError`] instead of aborting the process.
 
 use crate::dataset::Dataset;
+use crate::error::EngineError;
 use crate::metrics::StageReport;
 use crate::Engine;
 use pol_sketch::hash::{hash64, FxHashMap};
@@ -42,7 +47,12 @@ where
 
     /// Hash-partitions records so all pairs of one key land in the same
     /// partition (the shuffle). Deterministic: uses the workspace's FxHash.
-    pub fn partition_by_key(self, engine: &Engine, stage: &str, num_partitions: usize) -> Self {
+    pub fn partition_by_key(
+        self,
+        engine: &Engine,
+        stage: &str,
+        num_partitions: usize,
+    ) -> Result<Self, EngineError> {
         let num = num_partitions.max(1);
         let started = Instant::now();
         let input_records = self.inner.count() as u64;
@@ -50,14 +60,14 @@ where
         let bucketed: Vec<Vec<Vec<(K, V)>>> =
             engine
                 .pool()
-                .run_stage(self.inner.into_partitions(), move |_, part| {
+                .run_stage(stage, self.inner.into_partitions(), move |_, part| {
                     let mut buckets: Vec<Vec<(K, V)>> = (0..num).map(|_| Vec::new()).collect();
                     for (k, v) in part {
                         let b = (hash64(&k) % num as u64) as usize;
                         buckets[b].push((k, v));
                     }
                     buckets
-                });
+                })?;
         // Reduce side: transpose-concatenate bucket b of every map output.
         let mut out: Vec<Vec<(K, V)>> = (0..num).map(|_| Vec::new()).collect();
         for map_out in bucketed {
@@ -73,7 +83,7 @@ where
             shuffled_records: input_records,
             wall: started.elapsed(),
         });
-        KeyedDataset { inner: result }
+        Ok(KeyedDataset { inner: result })
     }
 
     /// Spark's `aggregateByKey`: builds a per-key accumulator with `seq`
@@ -91,7 +101,7 @@ where
         zero: Z,
         seq: S,
         comb: C,
-    ) -> Dataset<(K, A)>
+    ) -> Result<Dataset<(K, A)>, EngineError>
     where
         A: Send + 'static,
         Z: Fn() -> A + Send + Sync + 'static,
@@ -111,13 +121,13 @@ where
         let combiners: Vec<FxHashMap<K, A>> =
             engine
                 .pool()
-                .run_stage(self.inner.into_partitions(), move |_, part| {
+                .run_stage(stage, self.inner.into_partitions(), move |_, part| {
                     let mut acc: FxHashMap<K, A> = FxHashMap::default();
                     for (k, v) in part {
                         s1(acc.entry(k).or_insert_with(|| z1()), v);
                     }
                     acc
-                });
+                })?;
         let shuffled: u64 = combiners.iter().map(|m| m.len() as u64).sum();
 
         // Shuffle combiners by key hash.
@@ -131,20 +141,21 @@ where
 
         // Reduce side: merge combiners per key.
         let c1 = comb.clone();
-        let reduced: Vec<Vec<(K, A)>> = engine.pool().run_stage(buckets, move |_, bucket| {
-            let mut acc: FxHashMap<K, A> = FxHashMap::default();
-            for (k, a) in bucket {
-                match acc.entry(k) {
-                    std::collections::hash_map::Entry::Occupied(mut e) => {
-                        c1(e.get_mut(), a);
-                    }
-                    std::collections::hash_map::Entry::Vacant(e) => {
-                        e.insert(a);
+        let reduced: Vec<Vec<(K, A)>> =
+            engine.pool().run_stage(stage, buckets, move |_, bucket| {
+                let mut acc: FxHashMap<K, A> = FxHashMap::default();
+                for (k, a) in bucket {
+                    match acc.entry(k) {
+                        std::collections::hash_map::Entry::Occupied(mut e) => {
+                            c1(e.get_mut(), a);
+                        }
+                        std::collections::hash_map::Entry::Vacant(e) => {
+                            e.insert(a);
+                        }
                     }
                 }
-            }
-            acc.into_iter().collect()
-        });
+                acc.into_iter().collect()
+            })?;
         let result = Dataset::from_partitions(reduced);
         engine.metrics().record(StageReport {
             name: stage.to_string(),
@@ -153,11 +164,16 @@ where
             shuffled_records: shuffled,
             wall: started.elapsed(),
         });
-        result
+        Ok(result)
     }
 
     /// `reduceByKey`: aggregation where the accumulator is the value type.
-    pub fn reduce_by_key<F>(self, engine: &Engine, stage: &str, f: F) -> Dataset<(K, V)>
+    pub fn reduce_by_key<F>(
+        self,
+        engine: &Engine,
+        stage: &str,
+        f: F,
+    ) -> Result<Dataset<(K, V)>, EngineError>
     where
         V: Clone,
         F: Fn(&mut V, V) + Send + Sync + 'static,
@@ -177,15 +193,21 @@ where
                 (None, o) => *acc = o,
                 (_, None) => {}
             },
-        )
-        .map(engine, &format!("{stage}:unwrap"), |(k, v)| {
-            (k, v.expect("every key saw at least one value"))
+        )?
+        // An accumulator exists only for keys that saw a value, so `None`
+        // is unreachable and the flatten drops nothing.
+        .flat_map(engine, &format!("{stage}:unwrap"), |(k, v)| {
+            v.map(|v| (k, v))
         })
     }
 
     /// `groupByKey`: collects all values per key (use `aggregate_by_key`
     /// when a bounded accumulator exists — same advice as Spark's docs).
-    pub fn group_by_key(self, engine: &Engine, stage: &str) -> Dataset<(K, Vec<V>)> {
+    pub fn group_by_key(
+        self,
+        engine: &Engine,
+        stage: &str,
+    ) -> Result<Dataset<(K, Vec<V>)>, EngineError> {
         self.aggregate_by_key(
             engine,
             stage,
@@ -196,9 +218,10 @@ where
     }
 
     /// Number of distinct keys.
-    pub fn count_keys(self, engine: &Engine, stage: &str) -> usize {
-        self.aggregate_by_key(engine, stage, || (), |_, _| (), |_, _| ())
-            .count()
+    pub fn count_keys(self, engine: &Engine, stage: &str) -> Result<usize, EngineError> {
+        Ok(self
+            .aggregate_by_key(engine, stage, || (), |_, _| (), |_, _| ())?
+            .count())
     }
 
     /// Inner join on key with `other` (both sides shuffled to the same
@@ -208,7 +231,7 @@ where
         engine: &Engine,
         stage: &str,
         other: KeyedDataset<K, W>,
-    ) -> Dataset<(K, (V, W))>
+    ) -> Result<Dataset<(K, (V, W))>, EngineError>
     where
         V: Clone,
         W: Clone + Send + 'static,
@@ -217,29 +240,30 @@ where
         let input_records = (self.count() + other.count()) as u64;
         let num = engine.default_partitions();
         let left = self
-            .partition_by_key(engine, &format!("{stage}:shuffle-left"), num)
+            .partition_by_key(engine, &format!("{stage}:shuffle-left"), num)?
             .inner
             .into_partitions();
         let right = other
-            .partition_by_key(engine, &format!("{stage}:shuffle-right"), num)
+            .partition_by_key(engine, &format!("{stage}:shuffle-right"), num)?
             .inner
             .into_partitions();
         let zipped: Vec<(Vec<(K, V)>, Vec<(K, W)>)> = left.into_iter().zip(right).collect();
-        let joined: Vec<Vec<(K, (V, W))>> = engine.pool().run_stage(zipped, |_, (l, r)| {
-            let mut by_key: FxHashMap<K, Vec<W>> = FxHashMap::default();
-            for (k, w) in r {
-                by_key.entry(k).or_default().push(w);
-            }
-            let mut out = Vec::new();
-            for (k, v) in l {
-                if let Some(ws) = by_key.get(&k) {
-                    for w in ws {
-                        out.push((k.clone(), (v.clone(), w.clone())));
+        let joined: Vec<Vec<(K, (V, W))>> =
+            engine.pool().run_stage(stage, zipped, |_, (l, r)| {
+                let mut by_key: FxHashMap<K, Vec<W>> = FxHashMap::default();
+                for (k, w) in r {
+                    by_key.entry(k).or_default().push(w);
+                }
+                let mut out = Vec::new();
+                for (k, v) in l {
+                    if let Some(ws) = by_key.get(&k) {
+                        for w in ws {
+                            out.push((k.clone(), (v.clone(), w.clone())));
+                        }
                     }
                 }
-            }
-            out
-        });
+                out
+            })?;
         let result = Dataset::from_partitions(joined);
         engine.metrics().record(StageReport {
             name: stage.to_string(),
@@ -248,7 +272,7 @@ where
             shuffled_records: input_records,
             wall: started.elapsed(),
         });
-        result
+        Ok(result)
     }
 }
 
@@ -265,7 +289,7 @@ mod tests {
     fn word_count_via_reduce_by_key() {
         let e = Engine::new(4);
         let d = Dataset::from_vec(words(), 3).into_keyed();
-        let mut out = d.reduce_by_key(&e, "wc", |a, b| *a += b).collect();
+        let mut out = d.reduce_by_key(&e, "wc", |a, b| *a += b).unwrap().collect();
         out.sort();
         let the = out.iter().find(|(w, _)| *w == "the").unwrap();
         assert_eq!(the.1, 3);
@@ -280,7 +304,8 @@ mod tests {
         let data: Vec<(u32, u32)> = (0..200).map(|i| (i % 10, i)).collect();
         let shuffled = Dataset::from_vec(data, 7)
             .into_keyed()
-            .partition_by_key(&e, "shuffle", 4);
+            .partition_by_key(&e, "shuffle", 4)
+            .unwrap();
         let parts = shuffled.into_inner().into_partitions();
         assert_eq!(parts.len(), 4);
         // Every key appears in exactly one partition.
@@ -315,6 +340,7 @@ mod tests {
                     acc.1 += o.1;
                 },
             )
+            .unwrap()
             .collect();
         assert_eq!(out.len(), 5);
         let two = out.iter().find(|(k, _)| *k == 2).unwrap();
@@ -326,7 +352,7 @@ mod tests {
     fn group_by_key_collects_all() {
         let e = Engine::new(2);
         let d = Dataset::from_vec(vec![(1, "a"), (2, "b"), (1, "c")], 2).into_keyed();
-        let mut out = d.group_by_key(&e, "group").collect();
+        let mut out = d.group_by_key(&e, "group").unwrap().collect();
         out.sort_by_key(|(k, _)| *k);
         assert_eq!(out.len(), 2);
         let mut ones = out[0].1.clone();
@@ -337,18 +363,17 @@ mod tests {
     #[test]
     fn count_keys_counts_distinct() {
         let e = Engine::new(2);
-        let d = Dataset::from_vec((0..100u32).map(|i| (i % 7, i)).collect::<Vec<_>>(), 5)
-            .into_keyed();
-        assert_eq!(d.count_keys(&e, "keys"), 7);
+        let d =
+            Dataset::from_vec((0..100u32).map(|i| (i % 7, i)).collect::<Vec<_>>(), 5).into_keyed();
+        assert_eq!(d.count_keys(&e, "keys").unwrap(), 7);
     }
 
     #[test]
     fn join_inner() {
         let e = Engine::new(2);
         let left = Dataset::from_vec(vec![(1, "l1"), (2, "l2"), (3, "l3")], 2).into_keyed();
-        let right =
-            Dataset::from_vec(vec![(2, "r2a"), (2, "r2b"), (4, "r4")], 2).into_keyed();
-        let mut out = left.join(&e, "join", right).collect();
+        let right = Dataset::from_vec(vec![(2, "r2a"), (2, "r2b"), (4, "r4")], 2).into_keyed();
+        let mut out = left.join(&e, "join", right).unwrap().collect();
         out.sort();
         assert_eq!(out, vec![(2, ("l2", "r2a")), (2, ("l2", "r2b"))]);
     }
@@ -357,7 +382,7 @@ mod tests {
     fn key_by_builds_pairs() {
         let e = Engine::new(2);
         let d = Dataset::from_vec(vec!["aa", "b", "ccc"], 2);
-        let keyed = d.key_by(&e, "len", |s| s.len());
+        let keyed = d.key_by(&e, "len", |s| s.len()).unwrap();
         let mut out = keyed.into_inner().collect();
         out.sort();
         assert_eq!(out, vec![(1, "b"), (2, "aa"), (3, "ccc")]);
@@ -366,11 +391,21 @@ mod tests {
     #[test]
     fn shuffle_metrics_recorded() {
         let e = Engine::new(2);
-        let d = Dataset::from_vec((0..50u32).map(|i| (i % 3, i)).collect::<Vec<_>>(), 4)
-            .into_keyed();
-        let _ = d.partition_by_key(&e, "the-shuffle", 2);
+        let d =
+            Dataset::from_vec((0..50u32).map(|i| (i % 3, i)).collect::<Vec<_>>(), 4).into_keyed();
+        let _ = d.partition_by_key(&e, "the-shuffle", 2).unwrap();
         let stages = e.metrics().report();
         let s = stages.iter().find(|s| s.name == "the-shuffle").unwrap();
         assert_eq!(s.shuffled_records, 50);
+    }
+
+    #[test]
+    fn panicking_combiner_surfaces_as_error() {
+        let e = Engine::new(2);
+        let d = Dataset::from_vec(words(), 3).into_keyed();
+        let err = d
+            .reduce_by_key(&e, "explode", |_, _| panic!("combiner bug"))
+            .unwrap_err();
+        assert_eq!(err.stage, "explode");
     }
 }

@@ -21,12 +21,16 @@
 //! the same records, as long as the combine operator is commutative and
 //! associative (which every `pol-sketch` statistic is).
 
+#![deny(missing_docs)]
+
 pub mod dataset;
+pub mod error;
 pub mod keyed;
 pub mod metrics;
 pub mod pool;
 
 pub use dataset::Dataset;
+pub use error::{EngineError, EngineErrorKind};
 pub use keyed::KeyedDataset;
 pub use metrics::{JobMetrics, StageReport};
 pub use pool::ThreadPool;
@@ -100,7 +104,7 @@ mod tests {
         let e = Engine::new(2);
         let e2 = e.clone();
         let d = Dataset::from_vec(vec![1, 2, 3], 2);
-        let _ = d.map(&e2, "probe", |x| x + 1).collect();
+        let _ = d.map(&e2, "probe", |x| x + 1).unwrap().collect();
         assert!(
             e.metrics().report().iter().any(|s| s.name == "probe"),
             "metrics visible through the original handle"

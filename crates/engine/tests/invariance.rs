@@ -34,6 +34,7 @@ proptest! {
                 |acc, v| acc.add(v),
                 |acc, o| acc.merge(&o),
             )
+            .unwrap()
             .collect()
             .into_iter()
             .collect();
@@ -58,7 +59,9 @@ proptest! {
         let mut expect: Vec<i64> = data.iter().map(|x| x * 3 + 1).filter(|x| x % 2 == 1).collect();
         let mut got = Dataset::from_vec(data, partitions)
             .map(&engine, "affine", |x| x * 3 + 1)
+            .unwrap()
             .filter(&engine, "odd", |x| x % 2 == 1)
+            .unwrap()
             .collect();
         expect.sort();
         got.sort();
@@ -76,6 +79,7 @@ proptest! {
         let mut got = Dataset::from_vec(data, partitions)
             .into_keyed()
             .partition_by_key(&engine, "shuffle", out_partitions)
+            .unwrap()
             .into_inner()
             .collect();
         expect.sort();
@@ -95,6 +99,7 @@ proptest! {
         let got: HashMap<u8, u64> = Dataset::from_vec(data, 5)
             .into_keyed()
             .reduce_by_key(&engine, "sum", |a, b| *a += b)
+            .unwrap()
             .collect()
             .into_iter()
             .collect();

@@ -12,6 +12,7 @@ fn large_shuffle_preserves_every_record() {
     let out = Dataset::from_vec(data, 16)
         .into_keyed()
         .partition_by_key(&engine, "big-shuffle", 11)
+        .unwrap()
         .into_inner()
         .collect();
     assert_eq!(out.len(), n);
@@ -30,6 +31,7 @@ fn aggregate_many_keys() {
     let out = Dataset::from_vec(data, 8)
         .into_keyed()
         .reduce_by_key(&engine, "many-keys", |a, b| *a += b)
+        .unwrap()
         .collect();
     assert!(out.len() <= keys as usize);
     let total: u64 = out.iter().map(|(_, v)| *v).sum();
@@ -42,10 +44,12 @@ fn map_partitions_called_once_per_partition() {
     let calls = Arc::new(AtomicUsize::new(0));
     let c = calls.clone();
     let d = Dataset::from_vec((0..100).collect::<Vec<i32>>(), 7);
-    let out = d.map_partitions(&engine, "count-calls", move |p| {
-        c.fetch_add(1, Ordering::SeqCst);
-        p
-    });
+    let out = d
+        .map_partitions(&engine, "count-calls", move |p| {
+            c.fetch_add(1, Ordering::SeqCst);
+            p
+        })
+        .unwrap();
     assert_eq!(out.count(), 100);
     assert_eq!(calls.load(Ordering::SeqCst), 7);
 }
@@ -55,7 +59,7 @@ fn deeply_chained_stages() {
     let engine = Engine::new(2);
     let mut d = Dataset::from_vec((0..10_000i64).collect::<Vec<_>>(), 4);
     for i in 0..20 {
-        d = d.map(&engine, &format!("chain-{i}"), |x| x + 1);
+        d = d.map(&engine, &format!("chain-{i}"), |x| x + 1).unwrap();
     }
     let out = d.collect();
     assert_eq!(out[0], 20);
@@ -69,8 +73,10 @@ fn empty_dataset_through_all_operations() {
     let d: Dataset<(u32, u32)> = Dataset::from_vec(Vec::new(), 4);
     let out = d
         .filter(&engine, "f", |_| true)
+        .unwrap()
         .into_keyed()
         .aggregate_by_key(&engine, "agg", || 0u32, |a, v| *a += v, |a, b| *a += b)
+        .unwrap()
         .collect();
     assert!(out.is_empty());
 }
@@ -84,7 +90,12 @@ fn join_with_skewed_keys() {
     let right: Vec<(u8, &str)> = vec![(7, "a"), (7, "b"), (7, "c"), (2, "z")];
     let out = Dataset::from_vec(left, 5)
         .into_keyed()
-        .join(&engine, "skew-join", Dataset::from_vec(right, 2).into_keyed())
+        .join(
+            &engine,
+            "skew-join",
+            Dataset::from_vec(right, 2).into_keyed(),
+        )
+        .unwrap()
         .collect();
     assert_eq!(out.len(), 3000);
     assert!(out.iter().all(|(k, _)| *k == 7));
@@ -96,7 +107,9 @@ fn metrics_totals_are_consistent() {
     let d = Dataset::from_vec((0..1000u32).collect::<Vec<_>>(), 4);
     let _ = d
         .filter(&engine, "even", |x| x % 2 == 0)
+        .unwrap()
         .map(&engine, "halve", |x| x / 2)
+        .unwrap()
         .collect();
     let stages = engine.metrics().report();
     let even = stages.iter().find(|s| s.name == "even").unwrap();

@@ -85,9 +85,7 @@ pub fn emit_reports(
                     (p, 0.0, 0.0, NavStatus::Moored)
                 }
                 Activity::Voyage(plan) => {
-                    let k = plan
-                        .kinematics_at(t)
-                        .expect("t within the voyage window");
+                    let k = plan.kinematics_at(t).expect("t within the voyage window");
                     (k.pos, k.sog_knots, k.cog_deg, k.nav_status)
                 }
             };
@@ -190,9 +188,17 @@ mod tests {
         };
         let arr = plan.arrival();
         vec![
-            Activity::InPort { port: o, from: 1_640_995_200, to: dep },
+            Activity::InPort {
+                port: o,
+                from: 1_640_995_200,
+                to: dep,
+            },
             Activity::Voyage(plan),
-            Activity::InPort { port: d, from: arr, to: arr + 86_400 },
+            Activity::InPort {
+                port: d,
+                from: arr,
+                to: arr + 86_400,
+            },
         ]
     }
 
@@ -207,9 +213,18 @@ mod tests {
 
     #[test]
     fn protocol_intervals() {
-        assert_eq!(protocol_interval_secs(25.0, NavStatus::UnderWayUsingEngine), 2.0);
-        assert_eq!(protocol_interval_secs(18.0, NavStatus::UnderWayUsingEngine), 6.0);
-        assert_eq!(protocol_interval_secs(8.0, NavStatus::UnderWayUsingEngine), 10.0);
+        assert_eq!(
+            protocol_interval_secs(25.0, NavStatus::UnderWayUsingEngine),
+            2.0
+        );
+        assert_eq!(
+            protocol_interval_secs(18.0, NavStatus::UnderWayUsingEngine),
+            6.0
+        );
+        assert_eq!(
+            protocol_interval_secs(8.0, NavStatus::UnderWayUsingEngine),
+            10.0
+        );
         assert_eq!(protocol_interval_secs(0.0, NavStatus::Moored), 180.0);
     }
 
@@ -219,7 +234,14 @@ mod tests {
         let acts = calendar();
         let start = acts[0].from();
         let end = acts[2].to();
-        let reports = emit_reports(Mmsi(123_456_789), &acts, start, end, &no_defects(), &mut rng);
+        let reports = emit_reports(
+            Mmsi(123_456_789),
+            &acts,
+            start,
+            end,
+            &no_defects(),
+            &mut rng,
+        );
         assert!(reports.len() > 100, "got {}", reports.len());
         for w in reports.windows(2) {
             assert!(w[0].timestamp <= w[1].timestamp);

@@ -8,8 +8,11 @@ use pol_ais::StaticReport;
 /// Static particulars of one simulated vessel.
 #[derive(Clone, Debug)]
 pub struct VesselSpec {
+    /// Vessel identity.
     pub mmsi: Mmsi,
+    /// Vessel name.
     pub name: String,
+    /// Market segment.
     pub segment: MarketSegment,
     /// Gross tonnage.
     pub grt: u32,
@@ -46,12 +49,26 @@ const MIX: &[(MarketSegment, f64, f64, f64, u32, u32)] = &[
 ];
 
 const NAME_HEADS: &[&str] = &[
-    "EVER", "MAERSK", "MSC", "CMA", "COSCO", "HAPAG", "ONE", "NYK", "GOLDEN", "STAR",
-    "PACIFIC", "ATLANTIC", "NORDIC", "AEGEAN", "BALTIC", "IONIAN",
+    "EVER", "MAERSK", "MSC", "CMA", "COSCO", "HAPAG", "ONE", "NYK", "GOLDEN", "STAR", "PACIFIC",
+    "ATLANTIC", "NORDIC", "AEGEAN", "BALTIC", "IONIAN",
 ];
 const NAME_TAILS: &[&str] = &[
-    "GLORY", "FORTUNE", "PIONEER", "TRADER", "EXPRESS", "HORIZON", "SPIRIT", "HARMONY",
-    "VOYAGER", "NAVIGATOR", "TRIUMPH", "DAWN", "WAVE", "CREST", "SUMMIT", "LEGACY",
+    "GLORY",
+    "FORTUNE",
+    "PIONEER",
+    "TRADER",
+    "EXPRESS",
+    "HORIZON",
+    "SPIRIT",
+    "HARMONY",
+    "VOYAGER",
+    "NAVIGATOR",
+    "TRIUMPH",
+    "DAWN",
+    "WAVE",
+    "CREST",
+    "SUMMIT",
+    "LEGACY",
 ];
 
 impl Fleet {
@@ -62,9 +79,8 @@ impl Fleet {
             .map(|i| {
                 let (segment, _, sp_mean, sp_std, grt_lo, grt_hi) = MIX[rng.weighted(&weights)];
                 // Log-uniform tonnage: the world fleet is bottom-heavy.
-                let grt = (grt_lo as f64
-                    * ((grt_hi as f64 / grt_lo as f64).powf(rng.f64())))
-                .round() as u32;
+                let grt = (grt_lo as f64 * ((grt_hi as f64 / grt_lo as f64).powf(rng.f64())))
+                    .round() as u32;
                 let design_speed_kn = rng.normal_with(sp_mean, sp_std).clamp(9.0, 25.0);
                 let name = format!(
                     "{} {} {}",

@@ -78,7 +78,11 @@ impl Route {
         for w in self.points.windows(2) {
             let leg = haversine_km(w[0], w[1]);
             if remaining <= leg || w[1] == *self.points.last().unwrap() {
-                let f = if leg > 0.0 { (remaining / leg).min(1.0) } else { 0.0 };
+                let f = if leg > 0.0 {
+                    (remaining / leg).min(1.0)
+                } else {
+                    0.0
+                };
                 let here = interpolate(w[0], w[1], f);
                 return pol_geo::initial_bearing_deg(here, w[1]);
             }
@@ -405,11 +409,12 @@ impl LaneGraph {
                 .position(|w| w.0 == name)
                 .unwrap_or_else(|| panic!("unknown waypoint {name}"))
         };
-        let add = |adj: &mut Vec<Vec<Edge>>, a: usize, b: usize, canal: Canal, positions: &[LatLon]| {
-            let dist = haversine_km(positions[a], positions[b]);
-            adj[a].push(Edge { to: b, dist, canal });
-            adj[b].push(Edge { to: a, dist, canal });
-        };
+        let add =
+            |adj: &mut Vec<Vec<Edge>>, a: usize, b: usize, canal: Canal, positions: &[LatLon]| {
+                let dist = haversine_km(positions[a], positions[b]);
+                adj[a].push(Edge { to: b, dist, canal });
+                adj[b].push(Edge { to: a, dist, canal });
+            };
         for (a, b, canal) in EDGES {
             let (ia, ib) = (idx_of(a), idx_of(b));
             add(&mut adj, ia, ib, *canal, &positions);
@@ -542,14 +547,20 @@ mod tests {
         let probe = id("NLRTM");
         for i in 0..WORLD_PORTS.len() as u16 {
             let r = g.route(probe, PortId(i), RouteOptions::default());
-            assert!(r.is_some(), "no route Rotterdam -> {}", WORLD_PORTS[i as usize].locode);
+            assert!(
+                r.is_some(),
+                "no route Rotterdam -> {}",
+                WORLD_PORTS[i as usize].locode
+            );
         }
     }
 
     #[test]
     fn rotterdam_singapore_goes_via_suez() {
         let g = LaneGraph::global();
-        let r = g.route(id("NLRTM"), id("SGSIN"), RouteOptions::default()).unwrap();
+        let r = g
+            .route(id("NLRTM"), id("SGSIN"), RouteOptions::default())
+            .unwrap();
         assert!(r.via.contains(&"suez-canal"), "via {:?}", r.via);
         // Real distance ≈ 15 500 km (8 300 nm); our polyline should be close.
         assert!(
@@ -562,17 +573,25 @@ mod tests {
     #[test]
     fn suez_closure_reroutes_via_cape() {
         let g = LaneGraph::global();
-        let open = g.route(id("NLRTM"), id("SGSIN"), RouteOptions::default()).unwrap();
+        let open = g
+            .route(id("NLRTM"), id("SGSIN"), RouteOptions::default())
+            .unwrap();
         let closed = g
             .route(
                 id("NLRTM"),
                 id("SGSIN"),
-                RouteOptions { avoid_suez: true, avoid_panama: false },
+                RouteOptions {
+                    avoid_suez: true,
+                    avoid_panama: false,
+                },
             )
             .unwrap();
         assert!(!closed.via.contains(&"suez-canal"));
-        assert!(closed.via.contains(&"cape-good-hope") || closed.via.contains(&"agulhas"),
-            "via {:?}", closed.via);
+        assert!(
+            closed.via.contains(&"cape-good-hope") || closed.via.contains(&"agulhas"),
+            "via {:?}",
+            closed.via
+        );
         // The 2021 reroute added ~7 000 nm round trip ⇒ one-way ≈ +5-8 000 km.
         let delta = closed.distance_km - open.distance_km;
         assert!((3_000.0..12_000.0).contains(&delta), "delta {delta}");
@@ -581,22 +600,37 @@ mod tests {
     #[test]
     fn shanghai_la_is_transpacific() {
         let g = LaneGraph::global();
-        let r = g.route(id("CNSHA"), id("USLAX"), RouteOptions::default()).unwrap();
+        let r = g
+            .route(id("CNSHA"), id("USLAX"), RouteOptions::default())
+            .unwrap();
         // Great-circle ≈ 10 400 km; lanes detour modestly.
-        assert!((9_500.0..14_000.0).contains(&r.distance_km), "{}", r.distance_km);
-        assert!(r.via.iter().any(|w| w.starts_with("np-mid")), "via {:?}", r.via);
+        assert!(
+            (9_500.0..14_000.0).contains(&r.distance_km),
+            "{}",
+            r.distance_km
+        );
+        assert!(
+            r.via.iter().any(|w| w.starts_with("np-mid")),
+            "via {:?}",
+            r.via
+        );
     }
 
     #[test]
     fn ny_shanghai_uses_panama_and_closure_changes_it() {
         let g = LaneGraph::global();
-        let open = g.route(id("USNYC"), id("CNSHA"), RouteOptions::default()).unwrap();
+        let open = g
+            .route(id("USNYC"), id("CNSHA"), RouteOptions::default())
+            .unwrap();
         assert!(open.via.contains(&"panama-canal"), "via {:?}", open.via);
         let closed = g
             .route(
                 id("USNYC"),
                 id("CNSHA"),
-                RouteOptions { avoid_suez: false, avoid_panama: true },
+                RouteOptions {
+                    avoid_suez: false,
+                    avoid_panama: true,
+                },
             )
             .unwrap();
         assert!(!closed.via.contains(&"panama-canal"));
@@ -606,14 +640,18 @@ mod tests {
     #[test]
     fn short_feeder_route_is_direct() {
         let g = LaneGraph::global();
-        let r = g.route(id("NLRTM"), id("BEANR"), RouteOptions::default()).unwrap();
+        let r = g
+            .route(id("NLRTM"), id("BEANR"), RouteOptions::default())
+            .unwrap();
         assert!(r.distance_km < 400.0, "RTM->ANR {}", r.distance_km);
     }
 
     #[test]
     fn baltic_route_enters_the_baltic() {
         let g = LaneGraph::global();
-        let r = g.route(id("NLRTM"), id("EETLL"), RouteOptions::default()).unwrap();
+        let r = g
+            .route(id("NLRTM"), id("EETLL"), RouteOptions::default())
+            .unwrap();
         // Either around Skagen/the Sound or the implicit Kiel-canal shortcut
         // that Hamburg's Baltic attachment provides — both end up crossing
         // the central Baltic.
@@ -627,7 +665,9 @@ mod tests {
     #[test]
     fn position_along_route_progresses() {
         let g = LaneGraph::global();
-        let r = g.route(id("NLRTM"), id("SGSIN"), RouteOptions::default()).unwrap();
+        let r = g
+            .route(id("NLRTM"), id("SGSIN"), RouteOptions::default())
+            .unwrap();
         let start = r.position_at(0.0);
         let quarter = r.position_at(r.distance_km * 0.25);
         let end = r.position_at(r.distance_km + 500.0); // clamped
@@ -643,7 +683,9 @@ mod tests {
     #[test]
     fn same_port_route_is_trivial() {
         let g = LaneGraph::global();
-        let r = g.route(id("SGSIN"), id("SGSIN"), RouteOptions::default()).unwrap();
+        let r = g
+            .route(id("SGSIN"), id("SGSIN"), RouteOptions::default())
+            .unwrap();
         assert_eq!(r.distance_km, 0.0);
         assert_eq!(r.points.len(), 1);
     }

@@ -27,6 +27,8 @@
 //!
 //! Everything is deterministic given [`scenario::ScenarioConfig::seed`].
 
+#![deny(missing_docs)]
+
 pub mod emit;
 pub mod fleet;
 pub mod lanes;

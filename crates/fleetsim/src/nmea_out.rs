@@ -95,10 +95,7 @@ mod tests {
         let ds = tiny();
         let lines = to_nmea_lines(&ds);
         // Type 5 spans two sentences; fragments are flagged 2,1 and 2,2.
-        let static_fragments = lines
-            .iter()
-            .filter(|l| l.starts_with("!AIVDM,2,"))
-            .count();
+        let static_fragments = lines.iter().filter(|l| l.starts_with("!AIVDM,2,")).count();
         assert_eq!(static_fragments % 2, 0);
         let broadcasts = static_fragments / 2;
         // At least one per vessel; more over two days at the scaled 3h

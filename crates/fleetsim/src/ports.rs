@@ -18,23 +18,41 @@ pub struct PortId(pub u16);
 /// east–west head-haul lanes).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Region {
+    /// North Sea and Atlantic Europe.
     NorthEurope,
+    /// Baltic Sea.
     Baltic,
+    /// Mediterranean Sea.
     Mediterranean,
+    /// Black Sea.
     BlackSea,
+    /// Arabian/Persian Gulf and Red Sea.
     MiddleEast,
+    /// Indian subcontinent.
     SouthAsia,
+    /// Strait of Malacca to the South China Sea rim.
     SoutheastAsia,
+    /// China, Korea, Japan, Taiwan.
     EastAsia,
+    /// Australia and New Zealand.
     Oceania,
+    /// North American east coast.
     NorthAmericaEast,
+    /// North American west coast.
     NorthAmericaWest,
+    /// Gulf of Mexico.
     NorthAmericaGulf,
+    /// South American east coast.
     LatamEast,
+    /// South American west coast.
     LatamWest,
+    /// Caribbean basin.
     Caribbean,
+    /// African west coast.
     AfricaWest,
+    /// African east coast.
     AfricaEast,
+    /// Southern Africa.
     AfricaSouth,
 }
 
@@ -45,8 +63,9 @@ pub struct Port {
     pub locode: &'static str,
     /// Common name.
     pub name: &'static str,
-    /// Harbour coordinates.
+    /// Harbour latitude, degrees.
     pub lat: f64,
+    /// Harbour longitude, degrees.
     pub lon: f64,
     /// Relative traffic weight (arbitrary units).
     pub weight: f64,
@@ -74,144 +93,1026 @@ pub fn port_by_locode(locode: &str) -> Option<(PortId, &'static Port)> {
 /// ample for geofences of 8–15 km radius.
 pub static WORLD_PORTS: &[Port] = &[
     // --- East Asia ---
-    Port { locode: "CNSHA", name: "Shanghai", lat: 31.23, lon: 121.49, weight: 10.0, region: Region::EastAsia },
-    Port { locode: "CNNGB", name: "Ningbo-Zhoushan", lat: 29.87, lon: 121.84, weight: 8.5, region: Region::EastAsia },
-    Port { locode: "CNSZX", name: "Shenzhen", lat: 22.49, lon: 113.90, weight: 7.5, region: Region::EastAsia },
-    Port { locode: "CNCAN", name: "Guangzhou", lat: 22.80, lon: 113.60, weight: 6.5, region: Region::EastAsia },
-    Port { locode: "CNTAO", name: "Qingdao", lat: 36.07, lon: 120.32, weight: 6.5, region: Region::EastAsia },
-    Port { locode: "CNTSN", name: "Tianjin", lat: 38.98, lon: 117.75, weight: 5.5, region: Region::EastAsia },
-    Port { locode: "CNDLC", name: "Dalian", lat: 38.92, lon: 121.65, weight: 4.0, region: Region::EastAsia },
-    Port { locode: "CNXMN", name: "Xiamen", lat: 24.45, lon: 118.07, weight: 4.0, region: Region::EastAsia },
-    Port { locode: "HKHKG", name: "Hong Kong", lat: 22.30, lon: 114.17, weight: 6.0, region: Region::EastAsia },
-    Port { locode: "TWKHH", name: "Kaohsiung", lat: 22.60, lon: 120.28, weight: 4.5, region: Region::EastAsia },
-    Port { locode: "KRPUS", name: "Busan", lat: 35.08, lon: 129.04, weight: 7.0, region: Region::EastAsia },
-    Port { locode: "KRINC", name: "Incheon", lat: 37.45, lon: 126.60, weight: 3.0, region: Region::EastAsia },
-    Port { locode: "KRKWY", name: "Gwangyang", lat: 34.90, lon: 127.70, weight: 2.5, region: Region::EastAsia },
-    Port { locode: "JPTYO", name: "Tokyo", lat: 35.60, lon: 139.79, weight: 3.5, region: Region::EastAsia },
-    Port { locode: "JPYOK", name: "Yokohama", lat: 35.45, lon: 139.65, weight: 3.5, region: Region::EastAsia },
-    Port { locode: "JPNGO", name: "Nagoya", lat: 35.03, lon: 136.85, weight: 3.0, region: Region::EastAsia },
-    Port { locode: "JPUKB", name: "Kobe", lat: 34.67, lon: 135.20, weight: 2.8, region: Region::EastAsia },
-    Port { locode: "JPOSA", name: "Osaka", lat: 34.65, lon: 135.43, weight: 2.5, region: Region::EastAsia },
+    Port {
+        locode: "CNSHA",
+        name: "Shanghai",
+        lat: 31.23,
+        lon: 121.49,
+        weight: 10.0,
+        region: Region::EastAsia,
+    },
+    Port {
+        locode: "CNNGB",
+        name: "Ningbo-Zhoushan",
+        lat: 29.87,
+        lon: 121.84,
+        weight: 8.5,
+        region: Region::EastAsia,
+    },
+    Port {
+        locode: "CNSZX",
+        name: "Shenzhen",
+        lat: 22.49,
+        lon: 113.90,
+        weight: 7.5,
+        region: Region::EastAsia,
+    },
+    Port {
+        locode: "CNCAN",
+        name: "Guangzhou",
+        lat: 22.80,
+        lon: 113.60,
+        weight: 6.5,
+        region: Region::EastAsia,
+    },
+    Port {
+        locode: "CNTAO",
+        name: "Qingdao",
+        lat: 36.07,
+        lon: 120.32,
+        weight: 6.5,
+        region: Region::EastAsia,
+    },
+    Port {
+        locode: "CNTSN",
+        name: "Tianjin",
+        lat: 38.98,
+        lon: 117.75,
+        weight: 5.5,
+        region: Region::EastAsia,
+    },
+    Port {
+        locode: "CNDLC",
+        name: "Dalian",
+        lat: 38.92,
+        lon: 121.65,
+        weight: 4.0,
+        region: Region::EastAsia,
+    },
+    Port {
+        locode: "CNXMN",
+        name: "Xiamen",
+        lat: 24.45,
+        lon: 118.07,
+        weight: 4.0,
+        region: Region::EastAsia,
+    },
+    Port {
+        locode: "HKHKG",
+        name: "Hong Kong",
+        lat: 22.30,
+        lon: 114.17,
+        weight: 6.0,
+        region: Region::EastAsia,
+    },
+    Port {
+        locode: "TWKHH",
+        name: "Kaohsiung",
+        lat: 22.60,
+        lon: 120.28,
+        weight: 4.5,
+        region: Region::EastAsia,
+    },
+    Port {
+        locode: "KRPUS",
+        name: "Busan",
+        lat: 35.08,
+        lon: 129.04,
+        weight: 7.0,
+        region: Region::EastAsia,
+    },
+    Port {
+        locode: "KRINC",
+        name: "Incheon",
+        lat: 37.45,
+        lon: 126.60,
+        weight: 3.0,
+        region: Region::EastAsia,
+    },
+    Port {
+        locode: "KRKWY",
+        name: "Gwangyang",
+        lat: 34.90,
+        lon: 127.70,
+        weight: 2.5,
+        region: Region::EastAsia,
+    },
+    Port {
+        locode: "JPTYO",
+        name: "Tokyo",
+        lat: 35.60,
+        lon: 139.79,
+        weight: 3.5,
+        region: Region::EastAsia,
+    },
+    Port {
+        locode: "JPYOK",
+        name: "Yokohama",
+        lat: 35.45,
+        lon: 139.65,
+        weight: 3.5,
+        region: Region::EastAsia,
+    },
+    Port {
+        locode: "JPNGO",
+        name: "Nagoya",
+        lat: 35.03,
+        lon: 136.85,
+        weight: 3.0,
+        region: Region::EastAsia,
+    },
+    Port {
+        locode: "JPUKB",
+        name: "Kobe",
+        lat: 34.67,
+        lon: 135.20,
+        weight: 2.8,
+        region: Region::EastAsia,
+    },
+    Port {
+        locode: "JPOSA",
+        name: "Osaka",
+        lat: 34.65,
+        lon: 135.43,
+        weight: 2.5,
+        region: Region::EastAsia,
+    },
     // --- Southeast Asia ---
-    Port { locode: "SGSIN", name: "Singapore", lat: 1.26, lon: 103.84, weight: 9.5, region: Region::SoutheastAsia },
-    Port { locode: "MYPKG", name: "Port Klang", lat: 3.00, lon: 101.40, weight: 5.0, region: Region::SoutheastAsia },
-    Port { locode: "MYTPP", name: "Tanjung Pelepas", lat: 1.36, lon: 103.55, weight: 4.0, region: Region::SoutheastAsia },
-    Port { locode: "THLCH", name: "Laem Chabang", lat: 13.08, lon: 100.88, weight: 3.5, region: Region::SoutheastAsia },
-    Port { locode: "VNSGN", name: "Ho Chi Minh City", lat: 10.77, lon: 106.70, weight: 3.0, region: Region::SoutheastAsia },
-    Port { locode: "VNHPH", name: "Haiphong", lat: 20.85, lon: 106.68, weight: 2.5, region: Region::SoutheastAsia },
-    Port { locode: "IDJKT", name: "Jakarta (Tanjung Priok)", lat: -6.10, lon: 106.88, weight: 3.0, region: Region::SoutheastAsia },
-    Port { locode: "IDSUB", name: "Surabaya", lat: -7.20, lon: 112.73, weight: 2.0, region: Region::SoutheastAsia },
-    Port { locode: "PHMNL", name: "Manila", lat: 14.58, lon: 120.96, weight: 2.5, region: Region::SoutheastAsia },
+    Port {
+        locode: "SGSIN",
+        name: "Singapore",
+        lat: 1.26,
+        lon: 103.84,
+        weight: 9.5,
+        region: Region::SoutheastAsia,
+    },
+    Port {
+        locode: "MYPKG",
+        name: "Port Klang",
+        lat: 3.00,
+        lon: 101.40,
+        weight: 5.0,
+        region: Region::SoutheastAsia,
+    },
+    Port {
+        locode: "MYTPP",
+        name: "Tanjung Pelepas",
+        lat: 1.36,
+        lon: 103.55,
+        weight: 4.0,
+        region: Region::SoutheastAsia,
+    },
+    Port {
+        locode: "THLCH",
+        name: "Laem Chabang",
+        lat: 13.08,
+        lon: 100.88,
+        weight: 3.5,
+        region: Region::SoutheastAsia,
+    },
+    Port {
+        locode: "VNSGN",
+        name: "Ho Chi Minh City",
+        lat: 10.77,
+        lon: 106.70,
+        weight: 3.0,
+        region: Region::SoutheastAsia,
+    },
+    Port {
+        locode: "VNHPH",
+        name: "Haiphong",
+        lat: 20.85,
+        lon: 106.68,
+        weight: 2.5,
+        region: Region::SoutheastAsia,
+    },
+    Port {
+        locode: "IDJKT",
+        name: "Jakarta (Tanjung Priok)",
+        lat: -6.10,
+        lon: 106.88,
+        weight: 3.0,
+        region: Region::SoutheastAsia,
+    },
+    Port {
+        locode: "IDSUB",
+        name: "Surabaya",
+        lat: -7.20,
+        lon: 112.73,
+        weight: 2.0,
+        region: Region::SoutheastAsia,
+    },
+    Port {
+        locode: "PHMNL",
+        name: "Manila",
+        lat: 14.58,
+        lon: 120.96,
+        weight: 2.5,
+        region: Region::SoutheastAsia,
+    },
     // --- South Asia ---
-    Port { locode: "LKCMB", name: "Colombo", lat: 6.95, lon: 79.85, weight: 3.5, region: Region::SouthAsia },
-    Port { locode: "INNSA", name: "Nhava Sheva (Mumbai)", lat: 18.95, lon: 72.95, weight: 3.5, region: Region::SouthAsia },
-    Port { locode: "INMUN", name: "Mundra", lat: 22.74, lon: 69.70, weight: 3.0, region: Region::SouthAsia },
-    Port { locode: "INMAA", name: "Chennai", lat: 13.10, lon: 80.30, weight: 2.0, region: Region::SouthAsia },
-    Port { locode: "INVTZ", name: "Visakhapatnam", lat: 17.69, lon: 83.29, weight: 1.5, region: Region::SouthAsia },
-    Port { locode: "PKKHI", name: "Karachi", lat: 24.80, lon: 66.97, weight: 2.0, region: Region::SouthAsia },
-    Port { locode: "BDCGP", name: "Chittagong", lat: 22.30, lon: 91.80, weight: 2.0, region: Region::SouthAsia },
+    Port {
+        locode: "LKCMB",
+        name: "Colombo",
+        lat: 6.95,
+        lon: 79.85,
+        weight: 3.5,
+        region: Region::SouthAsia,
+    },
+    Port {
+        locode: "INNSA",
+        name: "Nhava Sheva (Mumbai)",
+        lat: 18.95,
+        lon: 72.95,
+        weight: 3.5,
+        region: Region::SouthAsia,
+    },
+    Port {
+        locode: "INMUN",
+        name: "Mundra",
+        lat: 22.74,
+        lon: 69.70,
+        weight: 3.0,
+        region: Region::SouthAsia,
+    },
+    Port {
+        locode: "INMAA",
+        name: "Chennai",
+        lat: 13.10,
+        lon: 80.30,
+        weight: 2.0,
+        region: Region::SouthAsia,
+    },
+    Port {
+        locode: "INVTZ",
+        name: "Visakhapatnam",
+        lat: 17.69,
+        lon: 83.29,
+        weight: 1.5,
+        region: Region::SouthAsia,
+    },
+    Port {
+        locode: "PKKHI",
+        name: "Karachi",
+        lat: 24.80,
+        lon: 66.97,
+        weight: 2.0,
+        region: Region::SouthAsia,
+    },
+    Port {
+        locode: "BDCGP",
+        name: "Chittagong",
+        lat: 22.30,
+        lon: 91.80,
+        weight: 2.0,
+        region: Region::SouthAsia,
+    },
     // --- Middle East ---
-    Port { locode: "AEJEA", name: "Jebel Ali (Dubai)", lat: 25.01, lon: 55.06, weight: 5.5, region: Region::MiddleEast },
-    Port { locode: "SAJED", name: "Jeddah", lat: 21.48, lon: 39.18, weight: 3.0, region: Region::MiddleEast },
-    Port { locode: "OMSLL", name: "Salalah", lat: 16.95, lon: 54.00, weight: 2.5, region: Region::MiddleEast },
-    Port { locode: "IRBND", name: "Bandar Abbas", lat: 27.15, lon: 56.21, weight: 2.0, region: Region::MiddleEast },
-    Port { locode: "KWSAA", name: "Shuaiba", lat: 29.03, lon: 48.16, weight: 1.5, region: Region::MiddleEast },
+    Port {
+        locode: "AEJEA",
+        name: "Jebel Ali (Dubai)",
+        lat: 25.01,
+        lon: 55.06,
+        weight: 5.5,
+        region: Region::MiddleEast,
+    },
+    Port {
+        locode: "SAJED",
+        name: "Jeddah",
+        lat: 21.48,
+        lon: 39.18,
+        weight: 3.0,
+        region: Region::MiddleEast,
+    },
+    Port {
+        locode: "OMSLL",
+        name: "Salalah",
+        lat: 16.95,
+        lon: 54.00,
+        weight: 2.5,
+        region: Region::MiddleEast,
+    },
+    Port {
+        locode: "IRBND",
+        name: "Bandar Abbas",
+        lat: 27.15,
+        lon: 56.21,
+        weight: 2.0,
+        region: Region::MiddleEast,
+    },
+    Port {
+        locode: "KWSAA",
+        name: "Shuaiba",
+        lat: 29.03,
+        lon: 48.16,
+        weight: 1.5,
+        region: Region::MiddleEast,
+    },
     // --- Mediterranean ---
-    Port { locode: "EGPSD", name: "Port Said", lat: 31.25, lon: 32.30, weight: 3.0, region: Region::Mediterranean },
-    Port { locode: "EGALY", name: "Alexandria", lat: 31.20, lon: 29.88, weight: 1.8, region: Region::Mediterranean },
-    Port { locode: "GRPIR", name: "Piraeus", lat: 37.94, lon: 23.64, weight: 3.5, region: Region::Mediterranean },
-    Port { locode: "ITGIT", name: "Gioia Tauro", lat: 38.45, lon: 15.90, weight: 2.0, region: Region::Mediterranean },
-    Port { locode: "ITGOA", name: "Genoa", lat: 44.40, lon: 8.92, weight: 2.2, region: Region::Mediterranean },
-    Port { locode: "ESVLC", name: "Valencia", lat: 39.45, lon: -0.32, weight: 3.0, region: Region::Mediterranean },
-    Port { locode: "ESBCN", name: "Barcelona", lat: 41.35, lon: 2.16, weight: 2.2, region: Region::Mediterranean },
-    Port { locode: "ESALG", name: "Algeciras", lat: 36.13, lon: -5.44, weight: 3.2, region: Region::Mediterranean },
-    Port { locode: "MTMAR", name: "Marsaxlokk", lat: 35.83, lon: 14.54, weight: 1.8, region: Region::Mediterranean },
-    Port { locode: "FRMRS", name: "Marseille-Fos", lat: 43.40, lon: 4.90, weight: 2.0, region: Region::Mediterranean },
-    Port { locode: "MATNG", name: "Tanger Med", lat: 35.88, lon: -5.50, weight: 2.8, region: Region::Mediterranean },
-    Port { locode: "TRMER", name: "Mersin", lat: 36.78, lon: 34.64, weight: 1.6, region: Region::Mediterranean },
-    Port { locode: "TRAMR", name: "Ambarli (Istanbul)", lat: 40.97, lon: 28.68, weight: 2.0, region: Region::Mediterranean },
-    Port { locode: "ILHFA", name: "Haifa", lat: 32.82, lon: 35.00, weight: 1.4, region: Region::Mediterranean },
+    Port {
+        locode: "EGPSD",
+        name: "Port Said",
+        lat: 31.25,
+        lon: 32.30,
+        weight: 3.0,
+        region: Region::Mediterranean,
+    },
+    Port {
+        locode: "EGALY",
+        name: "Alexandria",
+        lat: 31.20,
+        lon: 29.88,
+        weight: 1.8,
+        region: Region::Mediterranean,
+    },
+    Port {
+        locode: "GRPIR",
+        name: "Piraeus",
+        lat: 37.94,
+        lon: 23.64,
+        weight: 3.5,
+        region: Region::Mediterranean,
+    },
+    Port {
+        locode: "ITGIT",
+        name: "Gioia Tauro",
+        lat: 38.45,
+        lon: 15.90,
+        weight: 2.0,
+        region: Region::Mediterranean,
+    },
+    Port {
+        locode: "ITGOA",
+        name: "Genoa",
+        lat: 44.40,
+        lon: 8.92,
+        weight: 2.2,
+        region: Region::Mediterranean,
+    },
+    Port {
+        locode: "ESVLC",
+        name: "Valencia",
+        lat: 39.45,
+        lon: -0.32,
+        weight: 3.0,
+        region: Region::Mediterranean,
+    },
+    Port {
+        locode: "ESBCN",
+        name: "Barcelona",
+        lat: 41.35,
+        lon: 2.16,
+        weight: 2.2,
+        region: Region::Mediterranean,
+    },
+    Port {
+        locode: "ESALG",
+        name: "Algeciras",
+        lat: 36.13,
+        lon: -5.44,
+        weight: 3.2,
+        region: Region::Mediterranean,
+    },
+    Port {
+        locode: "MTMAR",
+        name: "Marsaxlokk",
+        lat: 35.83,
+        lon: 14.54,
+        weight: 1.8,
+        region: Region::Mediterranean,
+    },
+    Port {
+        locode: "FRMRS",
+        name: "Marseille-Fos",
+        lat: 43.40,
+        lon: 4.90,
+        weight: 2.0,
+        region: Region::Mediterranean,
+    },
+    Port {
+        locode: "MATNG",
+        name: "Tanger Med",
+        lat: 35.88,
+        lon: -5.50,
+        weight: 2.8,
+        region: Region::Mediterranean,
+    },
+    Port {
+        locode: "TRMER",
+        name: "Mersin",
+        lat: 36.78,
+        lon: 34.64,
+        weight: 1.6,
+        region: Region::Mediterranean,
+    },
+    Port {
+        locode: "TRAMR",
+        name: "Ambarli (Istanbul)",
+        lat: 40.97,
+        lon: 28.68,
+        weight: 2.0,
+        region: Region::Mediterranean,
+    },
+    Port {
+        locode: "ILHFA",
+        name: "Haifa",
+        lat: 32.82,
+        lon: 35.00,
+        weight: 1.4,
+        region: Region::Mediterranean,
+    },
     // --- Black Sea ---
-    Port { locode: "ROCND", name: "Constanta", lat: 44.17, lon: 28.65, weight: 1.6, region: Region::BlackSea },
-    Port { locode: "UAODS", name: "Odesa", lat: 46.49, lon: 30.74, weight: 1.4, region: Region::BlackSea },
-    Port { locode: "RUNVS", name: "Novorossiysk", lat: 44.72, lon: 37.78, weight: 1.8, region: Region::BlackSea },
+    Port {
+        locode: "ROCND",
+        name: "Constanta",
+        lat: 44.17,
+        lon: 28.65,
+        weight: 1.6,
+        region: Region::BlackSea,
+    },
+    Port {
+        locode: "UAODS",
+        name: "Odesa",
+        lat: 46.49,
+        lon: 30.74,
+        weight: 1.4,
+        region: Region::BlackSea,
+    },
+    Port {
+        locode: "RUNVS",
+        name: "Novorossiysk",
+        lat: 44.72,
+        lon: 37.78,
+        weight: 1.8,
+        region: Region::BlackSea,
+    },
     // --- North Europe ---
-    Port { locode: "NLRTM", name: "Rotterdam", lat: 51.95, lon: 4.14, weight: 8.0, region: Region::NorthEurope },
-    Port { locode: "BEANR", name: "Antwerp", lat: 51.28, lon: 4.34, weight: 6.0, region: Region::NorthEurope },
-    Port { locode: "DEHAM", name: "Hamburg", lat: 53.54, lon: 9.98, weight: 5.0, region: Region::NorthEurope },
-    Port { locode: "DEBRV", name: "Bremerhaven", lat: 53.55, lon: 8.58, weight: 3.5, region: Region::NorthEurope },
-    Port { locode: "GBFXT", name: "Felixstowe", lat: 51.96, lon: 1.32, weight: 3.0, region: Region::NorthEurope },
-    Port { locode: "GBSOU", name: "Southampton", lat: 50.90, lon: -1.43, weight: 2.2, region: Region::NorthEurope },
-    Port { locode: "GBLGP", name: "London Gateway", lat: 51.50, lon: 0.49, weight: 1.8, region: Region::NorthEurope },
-    Port { locode: "FRLEH", name: "Le Havre", lat: 49.48, lon: 0.11, weight: 2.5, region: Region::NorthEurope },
-    Port { locode: "FRDKK", name: "Dunkirk", lat: 51.03, lon: 2.20, weight: 1.2, region: Region::NorthEurope },
-    Port { locode: "BEZEE", name: "Zeebrugge", lat: 51.33, lon: 3.20, weight: 1.8, region: Region::NorthEurope },
-    Port { locode: "ESBIO", name: "Bilbao", lat: 43.35, lon: -3.03, weight: 1.0, region: Region::NorthEurope },
-    Port { locode: "PTLIS", name: "Lisbon", lat: 38.70, lon: -9.15, weight: 1.2, region: Region::NorthEurope },
-    Port { locode: "PTSIE", name: "Sines", lat: 37.95, lon: -8.87, weight: 1.4, region: Region::NorthEurope },
+    Port {
+        locode: "NLRTM",
+        name: "Rotterdam",
+        lat: 51.95,
+        lon: 4.14,
+        weight: 8.0,
+        region: Region::NorthEurope,
+    },
+    Port {
+        locode: "BEANR",
+        name: "Antwerp",
+        lat: 51.28,
+        lon: 4.34,
+        weight: 6.0,
+        region: Region::NorthEurope,
+    },
+    Port {
+        locode: "DEHAM",
+        name: "Hamburg",
+        lat: 53.54,
+        lon: 9.98,
+        weight: 5.0,
+        region: Region::NorthEurope,
+    },
+    Port {
+        locode: "DEBRV",
+        name: "Bremerhaven",
+        lat: 53.55,
+        lon: 8.58,
+        weight: 3.5,
+        region: Region::NorthEurope,
+    },
+    Port {
+        locode: "GBFXT",
+        name: "Felixstowe",
+        lat: 51.96,
+        lon: 1.32,
+        weight: 3.0,
+        region: Region::NorthEurope,
+    },
+    Port {
+        locode: "GBSOU",
+        name: "Southampton",
+        lat: 50.90,
+        lon: -1.43,
+        weight: 2.2,
+        region: Region::NorthEurope,
+    },
+    Port {
+        locode: "GBLGP",
+        name: "London Gateway",
+        lat: 51.50,
+        lon: 0.49,
+        weight: 1.8,
+        region: Region::NorthEurope,
+    },
+    Port {
+        locode: "FRLEH",
+        name: "Le Havre",
+        lat: 49.48,
+        lon: 0.11,
+        weight: 2.5,
+        region: Region::NorthEurope,
+    },
+    Port {
+        locode: "FRDKK",
+        name: "Dunkirk",
+        lat: 51.03,
+        lon: 2.20,
+        weight: 1.2,
+        region: Region::NorthEurope,
+    },
+    Port {
+        locode: "BEZEE",
+        name: "Zeebrugge",
+        lat: 51.33,
+        lon: 3.20,
+        weight: 1.8,
+        region: Region::NorthEurope,
+    },
+    Port {
+        locode: "ESBIO",
+        name: "Bilbao",
+        lat: 43.35,
+        lon: -3.03,
+        weight: 1.0,
+        region: Region::NorthEurope,
+    },
+    Port {
+        locode: "PTLIS",
+        name: "Lisbon",
+        lat: 38.70,
+        lon: -9.15,
+        weight: 1.2,
+        region: Region::NorthEurope,
+    },
+    Port {
+        locode: "PTSIE",
+        name: "Sines",
+        lat: 37.95,
+        lon: -8.87,
+        weight: 1.4,
+        region: Region::NorthEurope,
+    },
     // --- Baltic ---
-    Port { locode: "PLGDN", name: "Gdansk", lat: 54.40, lon: 18.67, weight: 2.0, region: Region::Baltic },
-    Port { locode: "SEGOT", name: "Gothenburg", lat: 57.69, lon: 11.90, weight: 1.6, region: Region::Baltic },
-    Port { locode: "DKAAR", name: "Aarhus", lat: 56.15, lon: 10.22, weight: 1.2, region: Region::Baltic },
-    Port { locode: "DKCPH", name: "Copenhagen", lat: 55.68, lon: 12.60, weight: 1.0, region: Region::Baltic },
-    Port { locode: "FIHEL", name: "Helsinki", lat: 60.15, lon: 24.95, weight: 1.2, region: Region::Baltic },
-    Port { locode: "RULED", name: "St Petersburg", lat: 59.88, lon: 30.20, weight: 2.0, region: Region::Baltic },
-    Port { locode: "EETLL", name: "Tallinn", lat: 59.44, lon: 24.75, weight: 1.0, region: Region::Baltic },
-    Port { locode: "LVRIX", name: "Riga", lat: 57.00, lon: 24.10, weight: 0.9, region: Region::Baltic },
-    Port { locode: "LTKLJ", name: "Klaipeda", lat: 55.70, lon: 21.13, weight: 0.9, region: Region::Baltic },
-    Port { locode: "SESTO", name: "Stockholm", lat: 59.32, lon: 18.07, weight: 0.8, region: Region::Baltic },
+    Port {
+        locode: "PLGDN",
+        name: "Gdansk",
+        lat: 54.40,
+        lon: 18.67,
+        weight: 2.0,
+        region: Region::Baltic,
+    },
+    Port {
+        locode: "SEGOT",
+        name: "Gothenburg",
+        lat: 57.69,
+        lon: 11.90,
+        weight: 1.6,
+        region: Region::Baltic,
+    },
+    Port {
+        locode: "DKAAR",
+        name: "Aarhus",
+        lat: 56.15,
+        lon: 10.22,
+        weight: 1.2,
+        region: Region::Baltic,
+    },
+    Port {
+        locode: "DKCPH",
+        name: "Copenhagen",
+        lat: 55.68,
+        lon: 12.60,
+        weight: 1.0,
+        region: Region::Baltic,
+    },
+    Port {
+        locode: "FIHEL",
+        name: "Helsinki",
+        lat: 60.15,
+        lon: 24.95,
+        weight: 1.2,
+        region: Region::Baltic,
+    },
+    Port {
+        locode: "RULED",
+        name: "St Petersburg",
+        lat: 59.88,
+        lon: 30.20,
+        weight: 2.0,
+        region: Region::Baltic,
+    },
+    Port {
+        locode: "EETLL",
+        name: "Tallinn",
+        lat: 59.44,
+        lon: 24.75,
+        weight: 1.0,
+        region: Region::Baltic,
+    },
+    Port {
+        locode: "LVRIX",
+        name: "Riga",
+        lat: 57.00,
+        lon: 24.10,
+        weight: 0.9,
+        region: Region::Baltic,
+    },
+    Port {
+        locode: "LTKLJ",
+        name: "Klaipeda",
+        lat: 55.70,
+        lon: 21.13,
+        weight: 0.9,
+        region: Region::Baltic,
+    },
+    Port {
+        locode: "SESTO",
+        name: "Stockholm",
+        lat: 59.32,
+        lon: 18.07,
+        weight: 0.8,
+        region: Region::Baltic,
+    },
     // --- North America East / Gulf / West ---
-    Port { locode: "USNYC", name: "New York / New Jersey", lat: 40.67, lon: -74.05, weight: 5.0, region: Region::NorthAmericaEast },
-    Port { locode: "USSAV", name: "Savannah", lat: 32.08, lon: -81.09, weight: 3.5, region: Region::NorthAmericaEast },
-    Port { locode: "USORF", name: "Norfolk", lat: 36.90, lon: -76.33, weight: 2.5, region: Region::NorthAmericaEast },
-    Port { locode: "USCHS", name: "Charleston", lat: 32.78, lon: -79.92, weight: 2.2, region: Region::NorthAmericaEast },
-    Port { locode: "USMIA", name: "Miami", lat: 25.77, lon: -80.17, weight: 1.8, region: Region::NorthAmericaEast },
-    Port { locode: "CAMTR", name: "Montreal", lat: 45.55, lon: -73.52, weight: 1.4, region: Region::NorthAmericaEast },
-    Port { locode: "CAHAL", name: "Halifax", lat: 44.64, lon: -63.57, weight: 1.2, region: Region::NorthAmericaEast },
-    Port { locode: "USHOU", name: "Houston", lat: 29.61, lon: -94.93, weight: 3.5, region: Region::NorthAmericaGulf },
-    Port { locode: "USMSY", name: "New Orleans", lat: 29.93, lon: -90.06, weight: 2.0, region: Region::NorthAmericaGulf },
-    Port { locode: "USLAX", name: "Los Angeles", lat: 33.73, lon: -118.26, weight: 5.5, region: Region::NorthAmericaWest },
-    Port { locode: "USLGB", name: "Long Beach", lat: 33.75, lon: -118.20, weight: 4.5, region: Region::NorthAmericaWest },
-    Port { locode: "USOAK", name: "Oakland", lat: 37.80, lon: -122.30, weight: 2.2, region: Region::NorthAmericaWest },
-    Port { locode: "USSEA", name: "Seattle", lat: 47.60, lon: -122.34, weight: 2.0, region: Region::NorthAmericaWest },
-    Port { locode: "CAVAN", name: "Vancouver", lat: 49.29, lon: -123.11, weight: 2.8, region: Region::NorthAmericaWest },
-    Port { locode: "CAPRR", name: "Prince Rupert", lat: 54.30, lon: -130.32, weight: 1.2, region: Region::NorthAmericaWest },
+    Port {
+        locode: "USNYC",
+        name: "New York / New Jersey",
+        lat: 40.67,
+        lon: -74.05,
+        weight: 5.0,
+        region: Region::NorthAmericaEast,
+    },
+    Port {
+        locode: "USSAV",
+        name: "Savannah",
+        lat: 32.08,
+        lon: -81.09,
+        weight: 3.5,
+        region: Region::NorthAmericaEast,
+    },
+    Port {
+        locode: "USORF",
+        name: "Norfolk",
+        lat: 36.90,
+        lon: -76.33,
+        weight: 2.5,
+        region: Region::NorthAmericaEast,
+    },
+    Port {
+        locode: "USCHS",
+        name: "Charleston",
+        lat: 32.78,
+        lon: -79.92,
+        weight: 2.2,
+        region: Region::NorthAmericaEast,
+    },
+    Port {
+        locode: "USMIA",
+        name: "Miami",
+        lat: 25.77,
+        lon: -80.17,
+        weight: 1.8,
+        region: Region::NorthAmericaEast,
+    },
+    Port {
+        locode: "CAMTR",
+        name: "Montreal",
+        lat: 45.55,
+        lon: -73.52,
+        weight: 1.4,
+        region: Region::NorthAmericaEast,
+    },
+    Port {
+        locode: "CAHAL",
+        name: "Halifax",
+        lat: 44.64,
+        lon: -63.57,
+        weight: 1.2,
+        region: Region::NorthAmericaEast,
+    },
+    Port {
+        locode: "USHOU",
+        name: "Houston",
+        lat: 29.61,
+        lon: -94.93,
+        weight: 3.5,
+        region: Region::NorthAmericaGulf,
+    },
+    Port {
+        locode: "USMSY",
+        name: "New Orleans",
+        lat: 29.93,
+        lon: -90.06,
+        weight: 2.0,
+        region: Region::NorthAmericaGulf,
+    },
+    Port {
+        locode: "USLAX",
+        name: "Los Angeles",
+        lat: 33.73,
+        lon: -118.26,
+        weight: 5.5,
+        region: Region::NorthAmericaWest,
+    },
+    Port {
+        locode: "USLGB",
+        name: "Long Beach",
+        lat: 33.75,
+        lon: -118.20,
+        weight: 4.5,
+        region: Region::NorthAmericaWest,
+    },
+    Port {
+        locode: "USOAK",
+        name: "Oakland",
+        lat: 37.80,
+        lon: -122.30,
+        weight: 2.2,
+        region: Region::NorthAmericaWest,
+    },
+    Port {
+        locode: "USSEA",
+        name: "Seattle",
+        lat: 47.60,
+        lon: -122.34,
+        weight: 2.0,
+        region: Region::NorthAmericaWest,
+    },
+    Port {
+        locode: "CAVAN",
+        name: "Vancouver",
+        lat: 49.29,
+        lon: -123.11,
+        weight: 2.8,
+        region: Region::NorthAmericaWest,
+    },
+    Port {
+        locode: "CAPRR",
+        name: "Prince Rupert",
+        lat: 54.30,
+        lon: -130.32,
+        weight: 1.2,
+        region: Region::NorthAmericaWest,
+    },
     // --- Latin America ---
-    Port { locode: "BRSSZ", name: "Santos", lat: -23.98, lon: -46.30, weight: 3.0, region: Region::LatamEast },
-    Port { locode: "BRPNG", name: "Paranagua", lat: -25.50, lon: -48.51, weight: 1.5, region: Region::LatamEast },
-    Port { locode: "BRRIO", name: "Rio de Janeiro", lat: -22.89, lon: -43.18, weight: 1.5, region: Region::LatamEast },
-    Port { locode: "ARBUE", name: "Buenos Aires", lat: -34.60, lon: -58.37, weight: 1.8, region: Region::LatamEast },
-    Port { locode: "UYMVD", name: "Montevideo", lat: -34.90, lon: -56.21, weight: 1.0, region: Region::LatamEast },
-    Port { locode: "PECLL", name: "Callao", lat: -12.05, lon: -77.15, weight: 1.6, region: Region::LatamWest },
-    Port { locode: "CLVAP", name: "Valparaiso", lat: -33.03, lon: -71.63, weight: 1.2, region: Region::LatamWest },
-    Port { locode: "CLSAI", name: "San Antonio", lat: -33.59, lon: -71.62, weight: 1.2, region: Region::LatamWest },
-    Port { locode: "ECGYE", name: "Guayaquil", lat: -2.28, lon: -79.91, weight: 1.2, region: Region::LatamWest },
-    Port { locode: "MXLZC", name: "Lazaro Cardenas", lat: 17.94, lon: -102.18, weight: 1.2, region: Region::LatamWest },
-    Port { locode: "MXZLO", name: "Manzanillo", lat: 19.06, lon: -104.31, weight: 1.4, region: Region::LatamWest },
+    Port {
+        locode: "BRSSZ",
+        name: "Santos",
+        lat: -23.98,
+        lon: -46.30,
+        weight: 3.0,
+        region: Region::LatamEast,
+    },
+    Port {
+        locode: "BRPNG",
+        name: "Paranagua",
+        lat: -25.50,
+        lon: -48.51,
+        weight: 1.5,
+        region: Region::LatamEast,
+    },
+    Port {
+        locode: "BRRIO",
+        name: "Rio de Janeiro",
+        lat: -22.89,
+        lon: -43.18,
+        weight: 1.5,
+        region: Region::LatamEast,
+    },
+    Port {
+        locode: "ARBUE",
+        name: "Buenos Aires",
+        lat: -34.60,
+        lon: -58.37,
+        weight: 1.8,
+        region: Region::LatamEast,
+    },
+    Port {
+        locode: "UYMVD",
+        name: "Montevideo",
+        lat: -34.90,
+        lon: -56.21,
+        weight: 1.0,
+        region: Region::LatamEast,
+    },
+    Port {
+        locode: "PECLL",
+        name: "Callao",
+        lat: -12.05,
+        lon: -77.15,
+        weight: 1.6,
+        region: Region::LatamWest,
+    },
+    Port {
+        locode: "CLVAP",
+        name: "Valparaiso",
+        lat: -33.03,
+        lon: -71.63,
+        weight: 1.2,
+        region: Region::LatamWest,
+    },
+    Port {
+        locode: "CLSAI",
+        name: "San Antonio",
+        lat: -33.59,
+        lon: -71.62,
+        weight: 1.2,
+        region: Region::LatamWest,
+    },
+    Port {
+        locode: "ECGYE",
+        name: "Guayaquil",
+        lat: -2.28,
+        lon: -79.91,
+        weight: 1.2,
+        region: Region::LatamWest,
+    },
+    Port {
+        locode: "MXLZC",
+        name: "Lazaro Cardenas",
+        lat: 17.94,
+        lon: -102.18,
+        weight: 1.2,
+        region: Region::LatamWest,
+    },
+    Port {
+        locode: "MXZLO",
+        name: "Manzanillo",
+        lat: 19.06,
+        lon: -104.31,
+        weight: 1.4,
+        region: Region::LatamWest,
+    },
     // --- Caribbean / Panama ---
-    Port { locode: "PAONX", name: "Colon", lat: 9.36, lon: -79.90, weight: 2.2, region: Region::Caribbean },
-    Port { locode: "PABLB", name: "Balboa", lat: 8.95, lon: -79.57, weight: 2.2, region: Region::Caribbean },
-    Port { locode: "COCTG", name: "Cartagena", lat: 10.40, lon: -75.51, weight: 1.8, region: Region::Caribbean },
-    Port { locode: "JMKIN", name: "Kingston", lat: 17.97, lon: -76.80, weight: 1.4, region: Region::Caribbean },
-    Port { locode: "DOCAU", name: "Caucedo", lat: 18.42, lon: -69.63, weight: 1.0, region: Region::Caribbean },
+    Port {
+        locode: "PAONX",
+        name: "Colon",
+        lat: 9.36,
+        lon: -79.90,
+        weight: 2.2,
+        region: Region::Caribbean,
+    },
+    Port {
+        locode: "PABLB",
+        name: "Balboa",
+        lat: 8.95,
+        lon: -79.57,
+        weight: 2.2,
+        region: Region::Caribbean,
+    },
+    Port {
+        locode: "COCTG",
+        name: "Cartagena",
+        lat: 10.40,
+        lon: -75.51,
+        weight: 1.8,
+        region: Region::Caribbean,
+    },
+    Port {
+        locode: "JMKIN",
+        name: "Kingston",
+        lat: 17.97,
+        lon: -76.80,
+        weight: 1.4,
+        region: Region::Caribbean,
+    },
+    Port {
+        locode: "DOCAU",
+        name: "Caucedo",
+        lat: 18.42,
+        lon: -69.63,
+        weight: 1.0,
+        region: Region::Caribbean,
+    },
     // --- Africa ---
-    Port { locode: "ZADUR", name: "Durban", lat: -29.87, lon: 31.03, weight: 2.2, region: Region::AfricaSouth },
-    Port { locode: "ZACPT", name: "Cape Town", lat: -33.90, lon: 18.43, weight: 1.6, region: Region::AfricaSouth },
-    Port { locode: "NGLOS", name: "Lagos (Apapa)", lat: 6.43, lon: 3.40, weight: 1.6, region: Region::AfricaWest },
-    Port { locode: "GHTEM", name: "Tema", lat: 5.62, lon: 0.00, weight: 1.2, region: Region::AfricaWest },
-    Port { locode: "CIABJ", name: "Abidjan", lat: 5.25, lon: -4.00, weight: 1.2, region: Region::AfricaWest },
-    Port { locode: "SNDKR", name: "Dakar", lat: 14.68, lon: -17.43, weight: 1.0, region: Region::AfricaWest },
-    Port { locode: "AOLAD", name: "Luanda", lat: -8.80, lon: 13.23, weight: 1.0, region: Region::AfricaWest },
-    Port { locode: "TZDAR", name: "Dar es Salaam", lat: -6.82, lon: 39.30, weight: 1.2, region: Region::AfricaEast },
-    Port { locode: "KEMBA", name: "Mombasa", lat: -4.07, lon: 39.66, weight: 1.2, region: Region::AfricaEast },
-    Port { locode: "DJJIB", name: "Djibouti", lat: 11.60, lon: 43.15, weight: 1.4, region: Region::AfricaEast },
+    Port {
+        locode: "ZADUR",
+        name: "Durban",
+        lat: -29.87,
+        lon: 31.03,
+        weight: 2.2,
+        region: Region::AfricaSouth,
+    },
+    Port {
+        locode: "ZACPT",
+        name: "Cape Town",
+        lat: -33.90,
+        lon: 18.43,
+        weight: 1.6,
+        region: Region::AfricaSouth,
+    },
+    Port {
+        locode: "NGLOS",
+        name: "Lagos (Apapa)",
+        lat: 6.43,
+        lon: 3.40,
+        weight: 1.6,
+        region: Region::AfricaWest,
+    },
+    Port {
+        locode: "GHTEM",
+        name: "Tema",
+        lat: 5.62,
+        lon: 0.00,
+        weight: 1.2,
+        region: Region::AfricaWest,
+    },
+    Port {
+        locode: "CIABJ",
+        name: "Abidjan",
+        lat: 5.25,
+        lon: -4.00,
+        weight: 1.2,
+        region: Region::AfricaWest,
+    },
+    Port {
+        locode: "SNDKR",
+        name: "Dakar",
+        lat: 14.68,
+        lon: -17.43,
+        weight: 1.0,
+        region: Region::AfricaWest,
+    },
+    Port {
+        locode: "AOLAD",
+        name: "Luanda",
+        lat: -8.80,
+        lon: 13.23,
+        weight: 1.0,
+        region: Region::AfricaWest,
+    },
+    Port {
+        locode: "TZDAR",
+        name: "Dar es Salaam",
+        lat: -6.82,
+        lon: 39.30,
+        weight: 1.2,
+        region: Region::AfricaEast,
+    },
+    Port {
+        locode: "KEMBA",
+        name: "Mombasa",
+        lat: -4.07,
+        lon: 39.66,
+        weight: 1.2,
+        region: Region::AfricaEast,
+    },
+    Port {
+        locode: "DJJIB",
+        name: "Djibouti",
+        lat: 11.60,
+        lon: 43.15,
+        weight: 1.4,
+        region: Region::AfricaEast,
+    },
     // --- Oceania ---
-    Port { locode: "AUMEL", name: "Melbourne", lat: -37.83, lon: 144.92, weight: 2.0, region: Region::Oceania },
-    Port { locode: "AUSYD", name: "Sydney (Botany)", lat: -33.97, lon: 151.22, weight: 1.8, region: Region::Oceania },
-    Port { locode: "AUBNE", name: "Brisbane", lat: -27.38, lon: 153.17, weight: 1.4, region: Region::Oceania },
-    Port { locode: "AUFRE", name: "Fremantle", lat: -32.05, lon: 115.74, weight: 1.2, region: Region::Oceania },
-    Port { locode: "NZAKL", name: "Auckland", lat: -36.84, lon: 174.77, weight: 1.2, region: Region::Oceania },
-    Port { locode: "NZTRG", name: "Tauranga", lat: -37.64, lon: 176.18, weight: 1.0, region: Region::Oceania },
+    Port {
+        locode: "AUMEL",
+        name: "Melbourne",
+        lat: -37.83,
+        lon: 144.92,
+        weight: 2.0,
+        region: Region::Oceania,
+    },
+    Port {
+        locode: "AUSYD",
+        name: "Sydney (Botany)",
+        lat: -33.97,
+        lon: 151.22,
+        weight: 1.8,
+        region: Region::Oceania,
+    },
+    Port {
+        locode: "AUBNE",
+        name: "Brisbane",
+        lat: -27.38,
+        lon: 153.17,
+        weight: 1.4,
+        region: Region::Oceania,
+    },
+    Port {
+        locode: "AUFRE",
+        name: "Fremantle",
+        lat: -32.05,
+        lon: 115.74,
+        weight: 1.2,
+        region: Region::Oceania,
+    },
+    Port {
+        locode: "NZAKL",
+        name: "Auckland",
+        lat: -36.84,
+        lon: 174.77,
+        weight: 1.2,
+        region: Region::Oceania,
+    },
+    Port {
+        locode: "NZTRG",
+        name: "Tauranga",
+        lat: -37.64,
+        lon: 176.18,
+        weight: 1.0,
+        region: Region::Oceania,
+    },
 ];
 
 #[cfg(test)]
@@ -268,9 +1169,23 @@ mod tests {
     fn all_regions_inhabited() {
         use Region::*;
         for r in [
-            NorthEurope, Baltic, Mediterranean, BlackSea, MiddleEast, SouthAsia,
-            SoutheastAsia, EastAsia, Oceania, NorthAmericaEast, NorthAmericaWest,
-            NorthAmericaGulf, LatamEast, LatamWest, Caribbean, AfricaWest, AfricaEast,
+            NorthEurope,
+            Baltic,
+            Mediterranean,
+            BlackSea,
+            MiddleEast,
+            SouthAsia,
+            SoutheastAsia,
+            EastAsia,
+            Oceania,
+            NorthAmericaEast,
+            NorthAmericaWest,
+            NorthAmericaGulf,
+            LatamEast,
+            LatamWest,
+            Caribbean,
+            AfricaWest,
+            AfricaEast,
             AfricaSouth,
         ] {
             assert!(

@@ -22,10 +22,22 @@ use pol_ais::{PositionReport, StaticReport};
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum Disruption {
     /// A port stops accepting calls during `[from, to)` (COVID-19-style).
-    PortClosure { port: PortId, from: i64, to: i64 },
+    PortClosure {
+        /// The closed port.
+        port: PortId,
+        /// Closure start, Unix seconds.
+        from: i64,
+        /// Closure end, Unix seconds (exclusive).
+        to: i64,
+    },
     /// The Suez canal is blocked during `[from, to)`; voyages planned in
     /// the window route via the Cape of Good Hope (Ever-Given-style).
-    SuezBlockage { from: i64, to: i64 },
+    SuezBlockage {
+        /// Blockage start, Unix seconds.
+        from: i64,
+        /// Blockage end, Unix seconds (exclusive).
+        to: i64,
+    },
 }
 
 /// Scenario parameters.
@@ -85,11 +97,17 @@ impl ScenarioConfig {
 /// Ground truth for one completed (or in-progress) voyage.
 #[derive(Clone, Debug)]
 pub struct VoyageTruth {
+    /// The vessel that sailed the voyage.
     pub mmsi: Mmsi,
+    /// Origin port.
     pub origin: PortId,
+    /// Destination port.
     pub dest: PortId,
+    /// Departure time, Unix seconds.
     pub departure: i64,
+    /// Arrival time, Unix seconds.
     pub arrival: i64,
+    /// Routed distance, km.
     pub distance_km: f64,
     /// Whether the voyage was re-routed around a closed canal.
     pub rerouted: bool,
@@ -145,7 +163,11 @@ pub fn generate(config: &ScenarioConfig) -> Dataset {
             let Some(route) = graph.route(here, dest, opts) else {
                 break; // unreachable under closures; end this vessel's year
             };
-            activities.push(Activity::InPort { port: here, from: t, to: depart });
+            activities.push(Activity::InPort {
+                port: here,
+                from: t,
+                to: depart,
+            });
             let speed = (vessel.design_speed_kn + vrng.normal_with(0.0, 0.5)).clamp(8.0, 25.0);
             let plan = VoyagePlan {
                 origin: here,
@@ -249,7 +271,12 @@ mod tests {
         let a = generate(&ScenarioConfig::tiny());
         let b = generate(&ScenarioConfig::tiny());
         assert_eq!(a.total_reports(), b.total_reports());
-        for (x, y) in a.positions.iter().flatten().zip(b.positions.iter().flatten()) {
+        for (x, y) in a
+            .positions
+            .iter()
+            .flatten()
+            .zip(b.positions.iter().flatten())
+        {
             assert_eq!(x, y);
         }
         assert_eq!(a.truth.len(), b.truth.len());
@@ -294,9 +321,17 @@ mod tests {
             assert_ne!(v.dest, sin, "closed port must receive no new calls");
         }
         // And the closure visibly suppresses traffic to the port.
-        let base = generate(&ScenarioConfig { n_vessels: 40, ..ScenarioConfig::tiny() });
+        let base = generate(&ScenarioConfig {
+            n_vessels: 40,
+            ..ScenarioConfig::tiny()
+        });
         let calls = |ds: &Dataset| ds.truth.iter().filter(|v| v.dest == sin).count();
-        assert!(calls(&ds) < calls(&base), "{} !< {}", calls(&ds), calls(&base));
+        assert!(
+            calls(&ds) < calls(&base),
+            "{} !< {}",
+            calls(&ds),
+            calls(&base)
+        );
     }
 
     #[test]

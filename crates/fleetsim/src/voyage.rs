@@ -15,7 +15,9 @@ pub const HARBOUR_SPEED_FACTOR: f64 = 0.4;
 /// One planned passage.
 #[derive(Clone, Debug)]
 pub struct VoyagePlan {
+    /// Origin port.
     pub origin: PortId,
+    /// Destination port.
     pub dest: PortId,
     /// Unix departure time (leaving the origin berth).
     pub departure: i64,
@@ -28,9 +30,13 @@ pub struct VoyagePlan {
 /// A vessel's instantaneous kinematic state.
 #[derive(Clone, Copy, Debug)]
 pub struct Kinematics {
+    /// Current position.
     pub pos: LatLon,
+    /// Speed over ground, knots.
     pub sog_knots: f64,
+    /// Course over ground, degrees.
     pub cog_deg: f64,
+    /// Navigational status at this instant.
     pub nav_status: NavStatus,
 }
 
@@ -108,8 +114,11 @@ impl VoyagePlan {
 pub enum Activity {
     /// Berthed/moored in a port.
     InPort {
+        /// The port called at.
         port: PortId,
+        /// Berth start, Unix seconds.
         from: i64,
+        /// Berth end, Unix seconds.
         to: i64,
     },
     /// Under way on a passage.
@@ -180,7 +189,11 @@ mod tests {
         let k0 = p.kinematics_at(p.departure).unwrap();
         assert!(pol_geo::haversine_km(k0.pos, rtm.pos()) < 1.0);
         let k1 = p.kinematics_at(p.arrival()).unwrap();
-        assert!(pol_geo::haversine_km(k1.pos, sin.pos()) < 2.0, "{:?}", k1.pos);
+        assert!(
+            pol_geo::haversine_km(k1.pos, sin.pos()) < 2.0,
+            "{:?}",
+            k1.pos
+        );
     }
 
     #[test]
@@ -188,8 +201,14 @@ mod tests {
         let p = plan("NLRTM", "SGSIN", 16.0);
         let early = p.kinematics_at(p.departure + 600).unwrap();
         assert!(early.sog_knots < 8.0, "harbour speed {}", early.sog_knots);
-        let mid = p.kinematics_at(p.departure + p.duration_secs() / 2).unwrap();
-        assert!((mid.sog_knots - 16.0).abs() < 0.1, "cruise {}", mid.sog_knots);
+        let mid = p
+            .kinematics_at(p.departure + p.duration_secs() / 2)
+            .unwrap();
+        assert!(
+            (mid.sog_knots - 16.0).abs() < 0.1,
+            "cruise {}",
+            mid.sog_knots
+        );
         assert_eq!(mid.nav_status, NavStatus::UnderWayUsingEngine);
     }
 

@@ -6,9 +6,13 @@ use crate::latlon::LatLon;
 /// An axis-aligned geographic bounding box. May not cross the antimeridian.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct BBox {
+    /// Southern edge, degrees.
     pub min_lat: f64,
+    /// Western edge, degrees.
     pub min_lon: f64,
+    /// Northern edge, degrees.
     pub max_lat: f64,
+    /// Eastern edge, degrees.
     pub max_lon: f64,
 }
 

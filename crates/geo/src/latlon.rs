@@ -152,7 +152,9 @@ mod tests {
 
     #[test]
     fn normalize_lon_range() {
-        for l in [-720.0, -360.5, -180.0, -0.1, 0.0, 179.9, 180.0, 359.0, 720.3] {
+        for l in [
+            -720.0, -360.5, -180.0, -0.1, 0.0, 179.9, 180.0, 359.0, 720.3,
+        ] {
             let n = normalize_lon(l);
             assert!((-180.0..180.0).contains(&n), "{l} -> {n}");
         }

@@ -15,6 +15,8 @@
 //! [`EARTH_RADIUS_KM`]; at the accuracy AIS analytics needs (cells of
 //! kilometres), the spherical model is standard practice.
 
+#![deny(missing_docs)]
+
 pub mod bbox;
 pub mod latlon;
 pub mod polygon;
@@ -27,6 +29,5 @@ pub use latlon::LatLon;
 pub use polygon::Polygon;
 pub use project::{from_xy, to_xy, WorldXY, WORLD_HEIGHT_KM, WORLD_WIDTH_KM};
 pub use sphere::{
-    destination, haversine_km, initial_bearing_deg, interpolate, EARTH_RADIUS_KM,
-    EARTH_SURFACE_KM2,
+    destination, haversine_km, initial_bearing_deg, interpolate, EARTH_RADIUS_KM, EARTH_SURFACE_KM2,
 };

@@ -24,7 +24,9 @@ pub const WORLD_HEIGHT_KM: f64 = 2.0 * EARTH_RADIUS_KM;
 /// `y ∈ [-WORLD_HEIGHT/2, WORLD_HEIGHT/2]` (sin-latitude axis).
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct WorldXY {
+    /// Longitude-axis coordinate, km (wraps at the antimeridian).
     pub x: f64,
+    /// Sin-latitude-axis coordinate, km.
     pub y: f64,
 }
 
@@ -44,7 +46,10 @@ pub fn from_xy(p: WorldXY) -> LatLon {
     let half_w = WORLD_WIDTH_KM / 2.0;
     let x = (p.x + half_w).rem_euclid(WORLD_WIDTH_KM) - half_w;
     let sin_lat = (p.y / EARTH_RADIUS_KM).clamp(-1.0, 1.0);
-    LatLon::wrapped(sin_lat.asin().to_degrees(), (x / EARTH_RADIUS_KM).to_degrees())
+    LatLon::wrapped(
+        sin_lat.asin().to_degrees(),
+        (x / EARTH_RADIUS_KM).to_degrees(),
+    )
 }
 
 /// Wraps a planar x coordinate into `[-WORLD_WIDTH/2, WORLD_WIDTH/2)`.

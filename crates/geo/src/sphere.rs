@@ -162,7 +162,10 @@ mod tests {
             acc += haversine_km(prev, p);
             prev = p;
         }
-        assert!((acc - total).abs() < 1.0, "piecewise {acc} vs direct {total}");
+        assert!(
+            (acc - total).abs() < 1.0,
+            "piecewise {acc} vs direct {total}"
+        );
     }
 
     #[test]

@@ -36,7 +36,11 @@ pub fn km_to_nm(km: f64) -> f64 {
 /// (a duplicate-timestamp jump — always infeasible).
 pub fn implied_speed_knots(distance_km: f64, seconds: f64) -> f64 {
     if seconds <= 0.0 {
-        return if distance_km > 0.0 { f64::INFINITY } else { 0.0 };
+        return if distance_km > 0.0 {
+            f64::INFINITY
+        } else {
+            0.0
+        };
     }
     kmh_to_knots(distance_km / (seconds / 3600.0))
 }

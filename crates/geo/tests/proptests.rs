@@ -1,7 +1,9 @@
 //! Property tests for the geodesy substrate.
 
 use pol_geo::latlon::{lon_delta, normalize_lon};
-use pol_geo::{destination, from_xy, haversine_km, initial_bearing_deg, interpolate, to_xy, LatLon};
+use pol_geo::{
+    destination, from_xy, haversine_km, initial_bearing_deg, interpolate, to_xy, LatLon,
+};
 use proptest::prelude::*;
 
 fn arb_latlon() -> impl Strategy<Value = LatLon> {

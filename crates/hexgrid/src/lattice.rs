@@ -42,11 +42,14 @@ pub const MAX_RES: u8 = 15;
 /// Axial coordinates of a cell within its resolution's lattice.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct Axial {
+    /// Column coordinate.
     pub q: i64,
+    /// Row coordinate.
     pub r: i64,
 }
 
 impl Axial {
+    /// Creates axial coordinates.
     pub const fn new(q: i64, r: i64) -> Self {
         Self { q, r }
     }
@@ -135,9 +138,13 @@ pub fn child_axial(parent: Axial, digit: u8) -> Axial {
 #[derive(Clone, Copy, Debug)]
 pub struct Basis {
     // b1 = (a, c), b2 = (b, d); centre(q, r) = (a·q + b·r, c·q + d·r).
+    /// Row 1 of basis vector 1.
     pub a: f64,
+    /// Row 1 of basis vector 2.
     pub b: f64,
+    /// Row 2 of basis vector 1.
     pub c: f64,
+    /// Row 2 of basis vector 2.
     pub d: f64,
 }
 
@@ -188,14 +195,7 @@ impl Basis {
         let b1 = (self.a, self.c);
         let b2 = (self.b, self.d);
         let b3 = (b2.0 - b1.0, b2.1 - b1.1); // b2 − b1
-        let n = [
-            b1,
-            b2,
-            b3,
-            (-b1.0, -b1.1),
-            (-b2.0, -b2.1),
-            (-b3.0, -b3.1),
-        ];
+        let n = [b1, b2, b3, (-b1.0, -b1.1), (-b2.0, -b2.1), (-b3.0, -b3.1)];
         std::array::from_fn(|i| {
             let u = n[i];
             let w = n[(i + 1) % 6];
@@ -461,7 +461,10 @@ mod tests {
             let s = b.circumradius();
             for v in vs {
                 let d = (v.x * v.x + v.y * v.y).sqrt();
-                assert!((d - s).abs() / s < 1e-9, "res {res}: vertex radius {d} vs {s}");
+                assert!(
+                    (d - s).abs() / s < 1e-9,
+                    "res {res}: vertex radius {d} vs {s}"
+                );
             }
             // Perimeter edges all equal to s as well (regular hexagon).
             for i in 0..6 {

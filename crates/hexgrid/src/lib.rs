@@ -37,6 +37,8 @@
 //! ~1-cell-wide column over the mid-Pacific. This substitution trade-off is
 //! documented in DESIGN.md.
 
+#![deny(missing_docs)]
+
 pub mod compact;
 pub mod grid;
 pub mod index;

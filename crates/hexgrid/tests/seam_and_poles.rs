@@ -106,15 +106,16 @@ fn full_sphere_sample_unique_centers() {
             let c = cell_at(p, res);
             cells.insert(c);
             let center = cell_center(c);
-            let key = (
-                (center.lat() * 1e7) as i64,
-                (center.lon() * 1e7) as i64,
-            );
+            let key = ((center.lat() * 1e7) as i64, (center.lon() * 1e7) as i64);
             if !cells.contains(&c) {
                 assert!(seen.insert(key), "two cells share a centre");
             }
             seen.insert(key);
         }
     }
-    assert!(cells.len() > 200, "coarse sweep found {} cells", cells.len());
+    assert!(
+        cells.len() > 200,
+        "coarse sweep found {} cells",
+        cells.len()
+    );
 }

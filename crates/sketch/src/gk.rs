@@ -78,7 +78,7 @@ impl GkSketch {
             return;
         }
         let mut batch = std::mem::take(&mut self.buffer);
-        batch.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+        batch.sort_by(f64::total_cmp);
         let mut merged = Vec::with_capacity(self.tuples.len() + batch.len());
         let mut ti = 0;
         for x in batch {
@@ -109,16 +109,22 @@ impl GkSketch {
         out.push(self.tuples[0]);
         for i in 1..self.tuples.len() {
             let cur = self.tuples[i];
-            let can_fold = out.len() > 1;
-            let last = out.last_mut().expect("seeded with first tuple");
             // Never fold the exact-minimum tuple into its successor, and
             // never exceed the error budget.
-            if can_fold && last.g + cur.g + cur.delta <= threshold {
-                let g = last.g + cur.g;
-                *last = Tuple { v: cur.v, g, delta: cur.delta };
-            } else {
-                out.push(cur);
+            if out.len() > 1 {
+                if let Some(last) = out.last_mut() {
+                    if last.g + cur.g + cur.delta <= threshold {
+                        let g = last.g + cur.g;
+                        *last = Tuple {
+                            v: cur.v,
+                            g,
+                            delta: cur.delta,
+                        };
+                        continue;
+                    }
+                }
             }
+            out.push(cur);
         }
         self.tuples = out;
     }
@@ -290,7 +296,9 @@ mod tests {
         let n = 10_000;
         let mut a = GkSketch::new(eps);
         let mut b = GkSketch::new(eps);
-        let mut data: Vec<f64> = (0..2 * n).map(|i| ((i * 104_729) % (2 * n)) as f64).collect();
+        let mut data: Vec<f64> = (0..2 * n)
+            .map(|i| ((i * 104_729) % (2 * n)) as f64)
+            .collect();
         for (i, &x) in data.iter().enumerate() {
             if i % 2 == 0 {
                 a.add(x);

@@ -73,19 +73,18 @@ impl Histogram {
     /// `(bin_lo, bin_hi, count)` triples.
     pub fn bins(&self) -> impl Iterator<Item = (f64, f64, u64)> + '_ {
         let width = (self.hi - self.lo) / self.counts.len() as f64;
-        self.counts
-            .iter()
-            .enumerate()
-            .map(move |(i, &c)| (self.lo + i as f64 * width, self.lo + (i + 1) as f64 * width, c))
+        self.counts.iter().enumerate().map(move |(i, &c)| {
+            (
+                self.lo + i as f64 * width,
+                self.lo + (i + 1) as f64 * width,
+                c,
+            )
+        })
     }
 
     /// Index of the fullest bin, `None` when all bins are empty.
     pub fn mode_bin(&self) -> Option<usize> {
-        let (i, &c) = self
-            .counts
-            .iter()
-            .enumerate()
-            .max_by_key(|(_, c)| **c)?;
+        let (i, &c) = self.counts.iter().enumerate().max_by_key(|(_, c)| **c)?;
         (c > 0).then_some(i)
     }
 }
@@ -96,7 +95,11 @@ impl MergeSketch for Histogram {
     fn merge(&mut self, other: &Self) {
         assert_eq!(self.lo, other.lo, "histogram layout mismatch");
         assert_eq!(self.hi, other.hi, "histogram layout mismatch");
-        assert_eq!(self.counts.len(), other.counts.len(), "histogram layout mismatch");
+        assert_eq!(
+            self.counts.len(),
+            other.counts.len(),
+            "histogram layout mismatch"
+        );
         for (a, b) in self.counts.iter_mut().zip(&other.counts) {
             *a += b;
         }

@@ -23,6 +23,8 @@
 //! engine's combiner-based `aggregate_by_key` needs: shard-local sketches
 //! are built in the map phase and merged associatively in the reduce phase.
 
+#![deny(missing_docs)]
+
 pub mod circular;
 pub mod gk;
 pub mod hash;

@@ -61,16 +61,33 @@ impl<T: Eq + Hash + Clone> SpaceSaving<T> {
             return;
         }
         if self.items.len() < self.capacity {
-            self.items.insert(item, Counter { count: weight, error: 0 });
+            self.items.insert(
+                item,
+                Counter {
+                    count: weight,
+                    error: 0,
+                },
+            );
             return;
         }
         // Evict the minimum counter; the newcomer inherits its count as error.
-        let (min_key, min_count) = self
+        // (At this point len >= capacity >= 1, so a minimum always exists;
+        // an impossible empty map degrades to a plain insert.)
+        let Some((min_key, min_count)) = self
             .items
             .iter()
             .min_by_key(|(_, c)| c.count)
             .map(|(k, c)| (k.clone(), c.count))
-            .expect("non-empty at capacity");
+        else {
+            self.items.insert(
+                item,
+                Counter {
+                    count: weight,
+                    error: 0,
+                },
+            );
+            return;
+        };
         self.items.remove(&min_key);
         self.items.insert(
             item,
@@ -104,8 +121,7 @@ impl<T: Eq + Hash + Clone> SpaceSaving<T> {
     /// The `n` heaviest items, descending by estimated count.
     /// Ties break on lower error (more certain first).
     pub fn top(&self, n: usize) -> Vec<(T, Counter)> {
-        let mut all: Vec<(T, Counter)> =
-            self.items.iter().map(|(k, c)| (k.clone(), *c)).collect();
+        let mut all: Vec<(T, Counter)> = self.items.iter().map(|(k, c)| (k.clone(), *c)).collect();
         all.sort_by(|a, b| b.1.count.cmp(&a.1.count).then(a.1.error.cmp(&b.1.error)));
         all.truncate(n);
         all

@@ -50,7 +50,10 @@ impl TDigest {
         if !x.is_finite() {
             return;
         }
-        self.buffer.push(Centroid { mean: x, weight: 1.0 });
+        self.buffer.push(Centroid {
+            mean: x,
+            weight: 1.0,
+        });
         self.min = self.min.min(x);
         self.max = self.max.max(x);
         self.total_weight += 1.0;
@@ -65,8 +68,7 @@ impl TDigest {
     }
 
     fn scale(&self, q: f64) -> f64 {
-        self.compression / (2.0 * std::f64::consts::PI)
-            * (2.0 * q.clamp(0.0, 1.0) - 1.0).asin()
+        self.compression / (2.0 * std::f64::consts::PI) * (2.0 * q.clamp(0.0, 1.0) - 1.0).asin()
     }
 
     fn compress(&mut self) {
@@ -75,7 +77,7 @@ impl TDigest {
         }
         let mut all = std::mem::take(&mut self.centroids);
         all.append(&mut self.buffer);
-        all.sort_by(|a, b| a.mean.partial_cmp(&b.mean).expect("finite means"));
+        all.sort_by(|a, b| a.mean.total_cmp(&b.mean));
         let total: f64 = all.iter().map(|c| c.weight).sum();
         let mut out: Vec<Centroid> = Vec::with_capacity(self.compression as usize * 2);
         let mut acc = all[0];
@@ -117,7 +119,11 @@ impl TDigest {
             let mid = cum + c.weight / 2.0;
             if target < mid {
                 let span = mid - prev_mid;
-                let frac = if span > 0.0 { (target - prev_mid) / span } else { 0.0 };
+                let frac = if span > 0.0 {
+                    (target - prev_mid) / span
+                } else {
+                    0.0
+                };
                 return Some(prev_mean + frac * (c.mean - prev_mean));
             }
             prev_mid = mid;
@@ -297,7 +303,10 @@ mod tests {
         for phi in [0.1, 0.5, 0.9] {
             let va = a.quantile(phi).unwrap();
             let vw = whole.quantile(phi).unwrap();
-            assert!((va - vw).abs() < 0.02, "phi={phi}: merged {va} vs whole {vw}");
+            assert!(
+                (va - vw).abs() < 0.02,
+                "phi={phi}: merged {va} vs whole {vw}"
+            );
         }
     }
 

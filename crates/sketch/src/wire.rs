@@ -65,12 +65,11 @@ pub fn put_f64(out: &mut Vec<u8>, v: f64) {
 
 /// Reads a raw f64.
 pub fn get_f64(input: &mut &[u8]) -> Result<f64, WireError> {
-    if input.len() < 8 {
+    let Some((bytes, rest)) = input.split_first_chunk::<8>() else {
         return Err(WireError("f64 truncated"));
-    }
-    let (bytes, rest) = input.split_at(8);
+    };
     *input = rest;
-    Ok(f64::from_le_bytes(bytes.try_into().expect("8 bytes")))
+    Ok(f64::from_le_bytes(*bytes))
 }
 
 /// Binary encoding contract for sketches.
@@ -84,11 +83,13 @@ pub trait Wire: Sized {
 impl Wire for Welford {
     fn encode(&self, out: &mut Vec<u8>) {
         put_varint(out, self.count());
-        if self.count() > 0 {
-            put_f64(out, self.mean().expect("non-empty"));
+        // mean/min/max are Some exactly when count > 0, so the decoder's
+        // "count > 0 means four floats follow" contract is preserved.
+        if let (Some(mean), Some(min), Some(max)) = (self.mean(), self.min(), self.max()) {
+            put_f64(out, mean);
             put_f64(out, self.m2());
-            put_f64(out, self.min().expect("non-empty"));
-            put_f64(out, self.max().expect("non-empty"));
+            put_f64(out, min);
+            put_f64(out, max);
         }
     }
 

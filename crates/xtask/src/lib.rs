@@ -1,0 +1,506 @@
+//! # xtask — the workspace conformance linter
+//!
+//! A repo-specific static-analysis pass (pure `std`, no external deps) run
+//! as `cargo run -p xtask -- lint`. It enforces the correctness conventions
+//! the compiler cannot express:
+//!
+//! * **`no_panics`** (R1) — no `.unwrap()` / `.expect(` / `panic!` /
+//!   `todo!` / `unimplemented!` in the hot-path crates (`engine`, `core`,
+//!   `sketch`, `hexgrid`) outside test code. A worker thread that panics
+//!   mid-stage costs an entire pipeline run; fallible paths must return
+//!   typed errors instead.
+//! * **`safety_comment`** (R2) — every `unsafe` token must carry a
+//!   `// SAFETY:` comment on the same line or within the three lines above.
+//! * **`no_f32`** (R3) — no `f32` in the coordinate crates (`geo`,
+//!   `hexgrid`): single precision is ~1 m at equatorial longitudes, which
+//!   silently corrupts cell assignment near cell boundaries.
+//! * **`seqcst_justify`** (R4) — `Ordering::SeqCst` outside test code must
+//!   carry a nearby comment mentioning `SeqCst` that justifies why a
+//!   cheaper ordering is not correct.
+//! * **`lint_wall`** (R5) — every crate's `lib.rs` must open with
+//!   `#![deny(missing_docs)]` and its `Cargo.toml` must opt into the
+//!   workspace lint table (`[lints] workspace = true`).
+//!
+//! ## Escape hatch
+//!
+//! Any diagnostic can be suppressed with a comment of the form
+//! `// lint: allow(<rule>) — <reason>` placed on the offending line or on
+//! one of the six lines above it (so a short comment block above a
+//! multi-line expression covers the whole expression). The reason is
+//! mandatory by convention: the hatch exists for *proven* invariants, not
+//! for convenience.
+//!
+//! ## Scope
+//!
+//! The linter walks `crates/*/` only (vendored shims under `vendor/` are
+//! third-party API stand-ins). Directories named `tests`, `benches` or
+//! `examples` and inline `#[cfg(test)]` modules are exempt from R1 and R4;
+//! R2 applies everywhere; paths containing a `fixtures` component are
+//! skipped entirely (they are lint-rule test *data*, full of deliberate
+//! violations).
+//!
+//! Matching is token-based on a comment- and string-stripped view of each
+//! line, so `"unsafe"` inside a string literal or `panic!` inside a doc
+//! comment never fires.
+
+#![deny(missing_docs)]
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Crates whose non-test code must be panic-free (R1).
+pub const HOT_CRATES: [&str; 4] = ["engine", "core", "sketch", "hexgrid"];
+
+/// Crates whose coordinate math must stay in double precision (R3).
+pub const F64_ONLY_CRATES: [&str; 2] = ["geo", "hexgrid"];
+
+/// The conformance rules, in the order they are documented.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Rule {
+    /// R1: no panicking constructs in hot-path crates.
+    NoPanics,
+    /// R2: `unsafe` requires a `// SAFETY:` comment.
+    SafetyComment,
+    /// R3: no `f32` in coordinate crates.
+    NoF32,
+    /// R4: `SeqCst` requires a justification comment.
+    SeqCstJustify,
+    /// R5: per-crate lint-wall opt-in (`#![deny(missing_docs)]` +
+    /// `[lints] workspace = true`).
+    LintWall,
+}
+
+impl Rule {
+    /// The rule's name as used in diagnostics and allow-comments.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::NoPanics => "no_panics",
+            Rule::SafetyComment => "safety_comment",
+            Rule::NoF32 => "no_f32",
+            Rule::SeqCstJustify => "seqcst_justify",
+            Rule::LintWall => "lint_wall",
+        }
+    }
+}
+
+/// One rule violation at a source location.
+#[derive(Clone, Debug)]
+pub struct Diagnostic {
+    /// File the violation is in (relative to the linted root).
+    pub path: PathBuf,
+    /// 1-based line number.
+    pub line: usize,
+    /// Which rule fired.
+    pub rule: Rule,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path.display(),
+            self.line,
+            self.rule.name(),
+            self.message
+        )
+    }
+}
+
+/// Splits source lines into a code part and a comment part, tracking
+/// multi-line `/* */` comments and removing the contents of string and
+/// char literals from the code part so pattern matching never fires on
+/// text.
+#[derive(Default)]
+struct LineSplitter {
+    in_block_comment: bool,
+}
+
+impl LineSplitter {
+    /// Returns `(code, comment)` for one source line.
+    fn split(&mut self, line: &str) -> (String, String) {
+        let mut code = String::with_capacity(line.len());
+        let mut comment = String::new();
+        let chars: Vec<char> = line.chars().collect();
+        let mut i = 0;
+        while i < chars.len() {
+            if self.in_block_comment {
+                if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                    self.in_block_comment = false;
+                    i += 2;
+                } else {
+                    comment.push(chars[i]);
+                    i += 1;
+                }
+                continue;
+            }
+            let c = chars[i];
+            match c {
+                '/' if chars.get(i + 1) == Some(&'/') => {
+                    // Line comment: the rest of the line is comment text.
+                    comment.extend(&chars[i..]);
+                    break;
+                }
+                '/' if chars.get(i + 1) == Some(&'*') => {
+                    self.in_block_comment = true;
+                    i += 2;
+                }
+                '"' => {
+                    // String literal (possibly preceded by b/r prefixes that
+                    // were already emitted as code): skip to the closing
+                    // quote, honouring backslash escapes.
+                    code.push('"');
+                    i += 1;
+                    while i < chars.len() {
+                        match chars[i] {
+                            '\\' => i += 2,
+                            '"' => {
+                                code.push('"');
+                                i += 1;
+                                break;
+                            }
+                            _ => i += 1,
+                        }
+                    }
+                }
+                '\'' => {
+                    // Char literal vs lifetime: a literal closes within a
+                    // few chars (`'x'`, `'\n'`, `'\u{1F30A}'`).
+                    let rest = &chars[i + 1..];
+                    let close = rest.iter().take(12).position(|&c| c == '\'');
+                    match close {
+                        Some(n) if n > 0 => {
+                            code.push('\'');
+                            code.push('\'');
+                            i += n + 2;
+                        }
+                        _ => {
+                            // A lifetime (or stray quote): keep as code.
+                            code.push('\'');
+                            i += 1;
+                        }
+                    }
+                }
+                _ => {
+                    code.push(c);
+                    i += 1;
+                }
+            }
+        }
+        (code, comment)
+    }
+}
+
+/// A pre-processed source file: per-line code/comment views plus the set of
+/// lines that live inside `#[cfg(test)]` modules.
+struct SourceFile {
+    code: Vec<String>,
+    comment: Vec<String>,
+    in_test_mod: Vec<bool>,
+}
+
+impl SourceFile {
+    fn parse(text: &str) -> SourceFile {
+        let mut splitter = LineSplitter::default();
+        let (mut code, mut comment) = (Vec::new(), Vec::new());
+        for line in text.lines() {
+            let (c, m) = splitter.split(line);
+            code.push(c);
+            comment.push(m);
+        }
+        let in_test_mod = mark_test_mods(&code);
+        SourceFile {
+            code,
+            comment,
+            in_test_mod,
+        }
+    }
+
+    /// Whether an allow-comment for `rule` covers 0-based line `idx`
+    /// (same line or up to six lines above).
+    fn allowed(&self, rule: Rule, idx: usize) -> bool {
+        let needle = format!("lint: allow({})", rule.name());
+        let lo = idx.saturating_sub(6);
+        self.comment[lo..=idx].iter().any(|c| c.contains(&needle))
+    }
+
+    /// Whether any comment in the window `[idx-above, idx]` contains
+    /// `needle` (used for `SAFETY:` and `SeqCst` justifications).
+    fn comment_near(&self, needle: &str, idx: usize, above: usize) -> bool {
+        let lo = idx.saturating_sub(above);
+        self.comment[lo..=idx].iter().any(|c| c.contains(needle))
+    }
+}
+
+/// Marks the lines belonging to `#[cfg(test)]` items by brace tracking:
+/// from a `#[cfg(test)]` attribute to the close of the brace block that
+/// starts on the next code line (or to the first `;` for braceless items).
+fn mark_test_mods(code: &[String]) -> Vec<bool> {
+    let mut flags = vec![false; code.len()];
+    let mut depth: i64 = 0;
+    let mut armed = false;
+    let mut region_close: Option<i64> = None;
+    for (i, line) in code.iter().enumerate() {
+        if line.contains("#[cfg(test)]") {
+            armed = true;
+        }
+        if armed || region_close.is_some() {
+            flags[i] = true;
+        }
+        let opens = line.matches('{').count() as i64;
+        let closes = line.matches('}').count() as i64;
+        if armed {
+            if opens > 0 {
+                region_close = Some(depth);
+                armed = false;
+            } else if line.contains(';') {
+                armed = false;
+            }
+        }
+        depth += opens - closes;
+        if let Some(d) = region_close {
+            if depth <= d {
+                region_close = None;
+            }
+        }
+    }
+    flags
+}
+
+/// Returns 1-based line numbers where `token` appears in `code` with
+/// non-identifier characters (or line edges) on both sides.
+fn token_lines(code: &[String], token: &str) -> Vec<usize> {
+    let is_ident = |c: char| c.is_ascii_alphanumeric() || c == '_';
+    let mut out = Vec::new();
+    for (i, line) in code.iter().enumerate() {
+        let mut from = 0;
+        while let Some(pos) = line[from..].find(token) {
+            let start = from + pos;
+            let end = start + token.len();
+            let ok_before =
+                start == 0 || !is_ident(line[..start].chars().next_back().unwrap_or(' '));
+            let ok_after =
+                end >= line.len() || !is_ident(line[end..].chars().next().unwrap_or(' '));
+            if ok_before && ok_after {
+                out.push(i + 1);
+                break; // one diagnostic per line is enough
+            }
+            from = end;
+        }
+    }
+    out
+}
+
+/// The panicking constructs banned from hot-path crates. `.expect(` and
+/// `.unwrap()` are matched with their punctuation so `unwrap_or` and
+/// `expect_err` stay legal.
+const PANIC_PATTERNS: [&str; 5] = [".unwrap()", ".expect(", "panic!", "todo!", "unimplemented!"];
+
+fn scan_rust_file(
+    rel: &Path,
+    text: &str,
+    crate_name: &str,
+    in_tests_dir: bool,
+    out: &mut Vec<Diagnostic>,
+) {
+    let file = SourceFile::parse(text);
+    let hot = HOT_CRATES.contains(&crate_name);
+    let f64_only = F64_ONLY_CRATES.contains(&crate_name);
+
+    for (i, code) in file.code.iter().enumerate() {
+        let line = i + 1;
+        let testish = in_tests_dir || file.in_test_mod[i];
+
+        // R1 — no panicking constructs on hot paths.
+        if hot && !testish {
+            for pat in PANIC_PATTERNS {
+                let hit = if pat.ends_with('!') {
+                    // Macro: require a non-identifier char before the name.
+                    token_lines(std::slice::from_ref(code), pat)
+                        .first()
+                        .is_some()
+                } else {
+                    code.contains(pat)
+                };
+                if hit && !file.allowed(Rule::NoPanics, i) {
+                    out.push(Diagnostic {
+                        path: rel.to_path_buf(),
+                        line,
+                        rule: Rule::NoPanics,
+                        message: format!(
+                            "`{pat}` in hot-path crate `{crate_name}`: return a typed error \
+                             or add `// lint: allow(no_panics) — <reason>` for a proven invariant"
+                        ),
+                    });
+                    break;
+                }
+            }
+        }
+
+        // R2 — unsafe needs a SAFETY comment (applies everywhere).
+        if !token_lines(std::slice::from_ref(code), "unsafe").is_empty()
+            && !file.comment_near("SAFETY:", i, 3)
+            && !file.allowed(Rule::SafetyComment, i)
+        {
+            out.push(Diagnostic {
+                path: rel.to_path_buf(),
+                line,
+                rule: Rule::SafetyComment,
+                message: "`unsafe` without a `// SAFETY:` comment on the same line \
+                          or within the three lines above"
+                    .to_string(),
+            });
+        }
+
+        // R3 — no f32 in coordinate crates.
+        if f64_only
+            && !token_lines(std::slice::from_ref(code), "f32").is_empty()
+            && !file.allowed(Rule::NoF32, i)
+        {
+            out.push(Diagnostic {
+                path: rel.to_path_buf(),
+                line,
+                rule: Rule::NoF32,
+                message: format!(
+                    "`f32` in coordinate crate `{crate_name}`: single precision corrupts \
+                     cell assignment; use f64"
+                ),
+            });
+        }
+
+        // R4 — SeqCst needs justification (non-test code only).
+        if !testish
+            && !token_lines(std::slice::from_ref(code), "SeqCst").is_empty()
+            && !file.comment_near("SeqCst", i, 3)
+            && !file.allowed(Rule::SeqCstJustify, i)
+        {
+            out.push(Diagnostic {
+                path: rel.to_path_buf(),
+                line,
+                rule: Rule::SeqCstJustify,
+                message: "`Ordering::SeqCst` without a justification comment: state why \
+                          a cheaper ordering is not correct, or relax it"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// Whether a crate manifest opts into the workspace lint table: a
+/// `[lints]` section containing `workspace = true` (before the next
+/// section header).
+fn manifest_opts_into_lints(manifest: &str) -> bool {
+    let mut in_lints = false;
+    for line in manifest.lines() {
+        let t = line.trim();
+        if t.starts_with('[') {
+            in_lints = t == "[lints]";
+            continue;
+        }
+        if in_lints && t.replace(' ', "") == "workspace=true" {
+            return true;
+        }
+    }
+    false
+}
+
+fn walk_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            // Fixture trees are lint-rule test data, not workspace code.
+            if name == "fixtures" || name == "target" {
+                continue;
+            }
+            walk_rs_files(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lints one crate directory (`<root>/crates/<name>`), appending
+/// diagnostics with paths relative to `root`.
+fn lint_crate(root: &Path, crate_dir: &Path, out: &mut Vec<Diagnostic>) -> io::Result<()> {
+    let crate_name = crate_dir
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_default();
+    let rel = |p: &Path| p.strip_prefix(root).unwrap_or(p).to_path_buf();
+
+    // R5 — manifest opts into the workspace lint table.
+    let manifest_path = crate_dir.join("Cargo.toml");
+    let manifest = fs::read_to_string(&manifest_path)?;
+    if !manifest_opts_into_lints(&manifest) {
+        out.push(Diagnostic {
+            path: rel(&manifest_path),
+            line: 1,
+            rule: Rule::LintWall,
+            message: "crate does not opt into the workspace lint table: add \
+                      `[lints]\\nworkspace = true`"
+                .to_string(),
+        });
+    }
+
+    // R5 — lib.rs carries the missing-docs wall explicitly.
+    let lib_path = crate_dir.join("src").join("lib.rs");
+    if lib_path.is_file() {
+        let lib = fs::read_to_string(&lib_path)?;
+        if !lib.contains("#![deny(missing_docs)]") {
+            out.push(Diagnostic {
+                path: rel(&lib_path),
+                line: 1,
+                rule: Rule::LintWall,
+                message: "lib.rs must carry `#![deny(missing_docs)]`".to_string(),
+            });
+        }
+    }
+
+    // R1–R4 over every .rs file in the crate.
+    let mut files = Vec::new();
+    walk_rs_files(crate_dir, &mut files)?;
+    files.sort();
+    for path in files {
+        let in_tests_dir = path
+            .strip_prefix(crate_dir)
+            .ok()
+            .map(|p| {
+                p.components().any(|c| {
+                    matches!(
+                        c.as_os_str().to_string_lossy().as_ref(),
+                        "tests" | "benches" | "examples"
+                    )
+                })
+            })
+            .unwrap_or(false);
+        let text = fs::read_to_string(&path)?;
+        scan_rust_file(&rel(&path), &text, &crate_name, in_tests_dir, out);
+    }
+    Ok(())
+}
+
+/// Runs the full conformance pass over a workspace root, returning all
+/// diagnostics sorted by path and line.
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.is_dir() && p.join("Cargo.toml").is_file())
+        .collect();
+    crate_dirs.sort();
+    let mut out = Vec::new();
+    for dir in crate_dirs {
+        lint_crate(root, &dir, &mut out)?;
+    }
+    out.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    Ok(out)
+}

@@ -1,0 +1,62 @@
+//! Thin CLI over the [`xtask`] conformance linter.
+//!
+//! Usage: `cargo run -p xtask -- lint [--root <dir>]`. Exits 0 when the
+//! tree conforms, 1 with `file:line` diagnostics when it does not, and 2
+//! on usage errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: cargo run -p xtask -- lint [--root <dir>]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(cmd) = args.next() else {
+        return usage();
+    };
+    if cmd != "lint" {
+        eprintln!("unknown command `{cmd}`");
+        return usage();
+    }
+    let mut root: Option<PathBuf> = None;
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return usage(),
+            },
+            _ => {
+                eprintln!("unknown flag `{flag}`");
+                return usage();
+            }
+        }
+    }
+    // When run via `cargo run -p xtask`, the manifest dir is
+    // crates/xtask; the workspace root is two levels up.
+    let root = root.unwrap_or_else(|| {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("..")
+            .join("..")
+    });
+
+    match xtask::lint_workspace(&root) {
+        Ok(diags) if diags.is_empty() => {
+            println!("xtask lint: clean");
+            ExitCode::SUCCESS
+        }
+        Ok(diags) => {
+            for d in &diags {
+                println!("{d}");
+            }
+            println!("xtask lint: {} violation(s)", diags.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("xtask lint: I/O error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

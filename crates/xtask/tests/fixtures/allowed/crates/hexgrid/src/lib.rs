@@ -1,0 +1,25 @@
+//! Hot-path coordinate crate where every hit is hatch-allowed.
+#![deny(missing_docs)]
+
+/// A checked-at-construction invariant justifies the expect.
+pub fn first_digit(digits: &[u8]) -> u8 {
+    // lint: allow(no_panics) — callers construct `digits` non-empty; the
+    // invariant is asserted at parse time.
+    *digits.first().expect("digits are non-empty by construction")
+}
+
+/// The allow comment also covers a multi-line expression below it.
+pub fn compact_level(levels: &[u8]) -> u8 {
+    // lint: allow(no_panics) — same construction invariant as above.
+    levels
+        .iter()
+        .copied()
+        .max()
+        .expect("levels are non-empty by construction")
+}
+
+/// A lossy diagnostic export, hatch-allowed for the whole function.
+// lint: allow(no_f32) — diagnostics only; never fed back into math.
+pub fn lossy_export(x: f64) -> f32 {
+    x as f32
+}

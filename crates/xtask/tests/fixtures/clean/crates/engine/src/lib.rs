@@ -1,0 +1,23 @@
+//! A conforming hot-path crate: no rule fires here.
+#![deny(missing_docs)]
+
+/// Divides, returning `None` on a zero divisor instead of panicking.
+pub fn checked_div(a: u64, b: u64) -> Option<u64> {
+    a.checked_div(b)
+}
+
+// A doc-comment or string mentioning panic! or .unwrap() must not fire:
+/// This API never calls `.unwrap()` and never hits `panic!`.
+pub fn describe() -> &'static str {
+    "no unwrap() here; the word unsafe in a string is fine"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_code_may_unwrap() {
+        assert_eq!(checked_div(8, 2).unwrap(), 4);
+    }
+}

@@ -1,0 +1,5 @@
+//! Integration tests are exempt from no_panics.
+#[test]
+fn unwrap_is_fine_here() {
+    assert_eq!("7".parse::<u32>().unwrap(), 7);
+}

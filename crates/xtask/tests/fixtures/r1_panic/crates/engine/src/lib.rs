@@ -1,0 +1,22 @@
+//! Hot-path crate with one banned unwrap in non-test code.
+#![deny(missing_docs)]
+
+/// Parses a number, panicking on malformed input (the violation).
+pub fn parse(s: &str) -> u32 {
+    s.parse().unwrap()
+}
+
+/// `unwrap_or` is not a panic and must not fire.
+pub fn parse_or_zero(s: &str) -> u32 {
+    s.parse().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_test_mod_is_exempt() {
+        assert_eq!(super::parse("3"), 3);
+        let v: u32 = "4".parse().unwrap();
+        assert_eq!(v, 4);
+    }
+}

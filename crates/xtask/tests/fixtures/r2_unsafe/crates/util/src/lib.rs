@@ -1,0 +1,14 @@
+//! Crate with one undocumented unsafe block.
+#![deny(missing_docs)]
+
+/// Reinterprets bits with a documented invariant (must not fire).
+pub fn bits_ok(x: f64) -> u64 {
+    // SAFETY: f64 and u64 have the same size and any bit pattern is a
+    // valid u64.
+    unsafe { std::mem::transmute(x) }
+}
+
+/// Same operation, missing the SAFETY comment (the violation).
+pub fn bits_bad(x: f64) -> u64 {
+    unsafe { std::mem::transmute(x) }
+}

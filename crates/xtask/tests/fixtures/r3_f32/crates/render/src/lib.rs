@@ -1,0 +1,7 @@
+//! Non-coordinate crate: f32 is allowed here.
+#![deny(missing_docs)]
+
+/// Pixel intensity for figures; precision is irrelevant.
+pub fn intensity(records: u64) -> f32 {
+    (records as f32).ln_1p()
+}

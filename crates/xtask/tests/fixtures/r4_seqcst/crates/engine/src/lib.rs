@@ -1,0 +1,28 @@
+//! Crate with one unjustified SeqCst ordering.
+#![deny(missing_docs)]
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counter bumped with an unjustified strongest ordering (the violation).
+pub fn bump(c: &AtomicU64) -> u64 {
+    c.fetch_add(1, Ordering::SeqCst)
+}
+
+/// Justified use (must not fire).
+pub fn bump_fenced(c: &AtomicU64) -> u64 {
+    // SeqCst: this op must totally order with the flush flag below;
+    // Acquire/Release on two locations does not give a single total order.
+    c.fetch_add(1, Ordering::SeqCst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seqcst_in_tests_is_exempt() {
+        let c = AtomicU64::new(0);
+        c.store(5, Ordering::SeqCst);
+        assert_eq!(bump(&c), 5);
+    }
+}

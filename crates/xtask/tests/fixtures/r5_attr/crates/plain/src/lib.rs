@@ -1,0 +1,4 @@
+//! Documented crate that forgot the missing_docs wall.
+
+/// A documented function.
+pub fn noop() {}

@@ -1,0 +1,5 @@
+//! Crate whose manifest skips the workspace lint table.
+#![deny(missing_docs)]
+
+/// A documented function.
+pub fn noop() {}

@@ -1,0 +1,239 @@
+//! Behavioural tests for every conformance rule: each dirty fixture fires
+//! its rule exactly once, the clean fixture fires nothing, the escape
+//! hatch suppresses, and — the acceptance check — injecting an `unwrap()`
+//! into the real `crates/engine/src/pool.rs` or stripping a `// SAFETY:`
+//! comment turns the lint red with a `file:line` diagnostic.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use xtask::{lint_workspace, Diagnostic, Rule};
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn lint(root: &Path) -> Vec<Diagnostic> {
+    lint_workspace(root).expect("fixture tree readable")
+}
+
+/// 1-based line of the first occurrence of `needle` in a fixture file.
+fn line_of(path: &Path, needle: &str) -> usize {
+    let text = fs::read_to_string(path).expect("fixture file readable");
+    text.lines()
+        .position(|l| l.contains(needle))
+        .map(|i| i + 1)
+        .unwrap_or_else(|| panic!("`{needle}` not found in {}", path.display()))
+}
+
+#[test]
+fn clean_fixture_fires_nothing() {
+    let diags = lint(&fixture("clean"));
+    assert!(diags.is_empty(), "unexpected diagnostics: {diags:?}");
+}
+
+#[test]
+fn r1_no_panics_fires_exactly_once() {
+    let root = fixture("r1_panic");
+    let diags = lint(&root);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    let d = &diags[0];
+    assert_eq!(d.rule, Rule::NoPanics);
+    assert_eq!(d.path, Path::new("crates/engine/src/lib.rs"));
+    assert_eq!(
+        d.line,
+        line_of(&root.join("crates/engine/src/lib.rs"), "s.parse().unwrap()")
+    );
+}
+
+#[test]
+fn r2_safety_comment_fires_exactly_once() {
+    let root = fixture("r2_unsafe");
+    let diags = lint(&root);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    let d = &diags[0];
+    assert_eq!(d.rule, Rule::SafetyComment);
+    assert_eq!(d.path, Path::new("crates/util/src/lib.rs"));
+    // The documented block passes; the undocumented one (the second
+    // transmute) is the hit.
+    let lib = root.join("crates/util/src/lib.rs");
+    let text = fs::read_to_string(&lib).unwrap();
+    let second = text
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| l.contains("unsafe {"))
+        .nth(1)
+        .map(|(i, _)| i + 1)
+        .unwrap();
+    assert_eq!(d.line, second);
+}
+
+#[test]
+fn r3_no_f32_fires_exactly_once_and_only_in_coordinate_crates() {
+    let root = fixture("r3_f32");
+    let diags = lint(&root);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    let d = &diags[0];
+    assert_eq!(d.rule, Rule::NoF32);
+    assert_eq!(d.path, Path::new("crates/geo/src/lib.rs"));
+    assert_eq!(
+        d.line,
+        line_of(&root.join("crates/geo/src/lib.rs"), "-> f32")
+    );
+}
+
+#[test]
+fn r4_seqcst_fires_exactly_once() {
+    let root = fixture("r4_seqcst");
+    let diags = lint(&root);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    let d = &diags[0];
+    assert_eq!(d.rule, Rule::SeqCstJustify);
+    assert_eq!(d.path, Path::new("crates/engine/src/lib.rs"));
+    // The unjustified bump(), not the justified bump_fenced() and not the
+    // test module.
+    let lib = root.join("crates/engine/src/lib.rs");
+    let text = fs::read_to_string(&lib).unwrap();
+    let first = text
+        .lines()
+        .position(|l| l.contains("fetch_add(1, Ordering::SeqCst)"))
+        .unwrap()
+        + 1;
+    assert_eq!(d.line, first);
+}
+
+#[test]
+fn r5_missing_deny_attr_fires_exactly_once() {
+    let diags = lint(&fixture("r5_attr"));
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    let d = &diags[0];
+    assert_eq!(d.rule, Rule::LintWall);
+    assert_eq!(d.path, Path::new("crates/plain/src/lib.rs"));
+    assert_eq!(d.line, 1);
+}
+
+#[test]
+fn r5_missing_manifest_opt_in_fires_exactly_once() {
+    let diags = lint(&fixture("r5_manifest"));
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    let d = &diags[0];
+    assert_eq!(d.rule, Rule::LintWall);
+    assert_eq!(d.path, Path::new("crates/plain/Cargo.toml"));
+}
+
+#[test]
+fn escape_hatch_suppresses_every_covered_rule() {
+    let diags = lint(&fixture("allowed"));
+    assert!(diags.is_empty(), "hatch did not suppress: {diags:?}");
+}
+
+#[test]
+fn the_real_tree_is_clean() {
+    let diags = lint(&repo_root());
+    assert!(
+        diags.is_empty(),
+        "workspace no longer conforms:\n{}",
+        diags
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+/// Builds a scratch workspace containing the real `pol-engine` sources and
+/// returns its root.
+fn scratch_engine_tree(name: &str) -> PathBuf {
+    let root = Path::new(env!("CARGO_TARGET_TMPDIR")).join(name);
+    let engine = root.join("crates/engine");
+    let _ = fs::remove_dir_all(&root);
+    fs::create_dir_all(engine.join("src")).unwrap();
+    let real = repo_root().join("crates/engine");
+    fs::copy(real.join("Cargo.toml"), engine.join("Cargo.toml")).unwrap();
+    for f in [
+        "lib.rs",
+        "pool.rs",
+        "dataset.rs",
+        "keyed.rs",
+        "error.rs",
+        "metrics.rs",
+    ] {
+        let src = real.join("src").join(f);
+        if src.is_file() {
+            fs::copy(&src, engine.join("src").join(f)).unwrap();
+        }
+    }
+    root
+}
+
+#[test]
+fn inserting_unwrap_into_pool_rs_turns_the_lint_red() {
+    let root = scratch_engine_tree("unwrap-in-pool");
+    assert!(
+        lint(&root).is_empty(),
+        "scratch copy of engine must start clean"
+    );
+
+    let pool = root.join("crates/engine/src/pool.rs");
+    let mut text = fs::read_to_string(&pool).unwrap();
+    text.push_str("\n/// Deliberately non-conforming.\npub fn broken() -> u32 {\n    \"7\".parse().unwrap()\n}\n");
+    let bad_line = text.lines().count() - 1;
+    fs::write(&pool, text).unwrap();
+
+    let diags = lint(&root);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    let d = &diags[0];
+    assert_eq!(d.rule, Rule::NoPanics);
+    assert_eq!(d.path, Path::new("crates/engine/src/pool.rs"));
+    assert_eq!(d.line, bad_line);
+    // The rendered diagnostic is the promised file:line form.
+    assert!(d.to_string().starts_with(&format!(
+        "crates/engine/src/pool.rs:{bad_line}: [no_panics]"
+    )));
+}
+
+#[test]
+fn removing_a_safety_comment_turns_the_lint_red() {
+    let root = scratch_engine_tree("safety-removed");
+    let extra = root.join("crates/engine/src/ffi.rs");
+    fs::write(
+        &extra,
+        "//! Scratch module with a documented unsafe block.\n\n\
+         /// Bit-level view of a float.\n\
+         pub fn bits(x: f64) -> u64 {\n\
+         \x20   // SAFETY: f64 and u64 have identical size; all bit\n\
+         \x20   // patterns are valid u64 values.\n\
+         \x20   unsafe { std::mem::transmute(x) }\n\
+         }\n",
+    )
+    .unwrap();
+    assert!(lint(&root).is_empty(), "documented unsafe must pass");
+
+    // Strip the SAFETY comment and lint again.
+    let text = fs::read_to_string(&extra).unwrap();
+    let stripped: String = text
+        .lines()
+        .filter(|l| !l.contains("SAFETY:") && !l.contains("patterns are valid"))
+        .map(|l| format!("{l}\n"))
+        .collect();
+    fs::write(&extra, &stripped).unwrap();
+
+    let diags = lint(&root);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    let d = &diags[0];
+    assert_eq!(d.rule, Rule::SafetyComment);
+    assert_eq!(d.path, Path::new("crates/engine/src/ffi.rs"));
+    assert_eq!(
+        d.line,
+        stripped
+            .lines()
+            .position(|l| l.contains("unsafe {"))
+            .unwrap()
+            + 1
+    );
+}

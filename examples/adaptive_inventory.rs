@@ -36,7 +36,8 @@ fn main() {
         &ds.statics,
         &ports,
         &PipelineConfig::fine(), // res 7
-    );
+    )
+    .expect("pipeline run failed");
     let fine_cells = out
         .inventory
         .len_of(patterns_of_life::core::features::GroupingSet::Cell);

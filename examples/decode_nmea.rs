@@ -19,7 +19,14 @@ fn main() {
     println!("raw:     {wire}");
     let sentence = Sentence::parse(wire).expect("valid NMEA");
     let msg = decode_payload(&sentence.payload, sentence.fill_bits).expect("valid payload");
-    if let AisMessage::PositionA { mmsi, nav_status, sog_knots, pos, .. } = &msg {
+    if let AisMessage::PositionA {
+        mmsi,
+        nav_status,
+        sog_knots,
+        pos,
+        ..
+    } = &msg
+    {
         println!(
             "decoded: type 1, MMSI {mmsi}, status {nav_status:?}, SOG {:?} kn, pos {:?}",
             sog_knots, pos
@@ -62,8 +69,12 @@ fn main() {
         assembled = assembler.push(Sentence::parse(&line).unwrap());
     }
     let (payload, fill) = assembled.expect("complete");
-    if let AisMessage::StaticVoyage { name, destination, draught_m, .. } =
-        decode_payload(&payload, fill).expect("valid")
+    if let AisMessage::StaticVoyage {
+        name,
+        destination,
+        draught_m,
+        ..
+    } = decode_payload(&payload, fill).expect("valid")
     {
         println!("reassembled: name={name:?} destination={destination:?} draught={draught_m} m");
     }

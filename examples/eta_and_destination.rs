@@ -41,7 +41,8 @@ fn main() {
         &train.statics,
         &port_sites(cfg.port_radius_km),
         &cfg,
-    );
+    )
+    .expect("pipeline run failed");
     println!(
         "inventory built: {} entries over {} cells\n",
         out.inventory.len(),
@@ -62,7 +63,11 @@ fn main() {
         .max_by_key(|v| v.arrival - v.departure)
         .expect("voyages exist");
     let vessel = live.fleet.iter().find(|f| f.mmsi == voyage.mmsi).unwrap();
-    let vi = live.fleet.iter().position(|f| f.mmsi == voyage.mmsi).unwrap();
+    let vi = live
+        .fleet
+        .iter()
+        .position(|f| f.mmsi == voyage.mmsi)
+        .unwrap();
     let origin = &WORLD_PORTS[voyage.origin.0 as usize];
     let dest = &WORLD_PORTS[voyage.dest.0 as usize];
     println!(
@@ -96,7 +101,11 @@ fn main() {
         };
         let truth_h = (voyage.arrival - r.timestamp) as f64 / 3600.0;
         let inv_h = eta
-            .estimate(r.pos, Some(vessel.segment), Some((voyage.origin.0, voyage.dest.0)))
+            .estimate(
+                r.pos,
+                Some(vessel.segment),
+                Some((voyage.origin.0, voyage.dest.0)),
+            )
             .map(|e| e.p50_secs / 3600.0);
         let naive_h = naive_eta_secs(r.pos, dest.pos(), vessel.design_speed_kn) / 3600.0;
         // Re-run the predictor up to this report for an honest "at the time"
@@ -108,14 +117,20 @@ fn main() {
         let guess = p
             .best()
             .map(|(port, score)| {
-                format!("{} ({:.0}%)", WORLD_PORTS[port as usize].name, score * 100.0)
+                format!(
+                    "{} ({:.0}%)",
+                    WORLD_PORTS[port as usize].name,
+                    score * 100.0
+                )
             })
             .unwrap_or_else(|| "—".into());
         println!(
             "{:>8.0}% {:>12.1} {:>12} {:>12.1}   {}",
             frac * 100.0,
             truth_h,
-            inv_h.map(|h| format!("{h:.1}")).unwrap_or_else(|| "—".into()),
+            inv_h
+                .map(|h| format!("{h:.1}"))
+                .unwrap_or_else(|| "—".into()),
             naive_h,
             guess
         );

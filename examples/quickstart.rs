@@ -43,7 +43,8 @@ fn main() {
     // 3. Run the methodology: clean → trips → project → aggregate.
     let engine = Engine::with_available_parallelism();
     let cfg = PipelineConfig::default(); // resolution 6, like the paper
-    let out = patterns_of_life::core::run(&engine, ds.positions, &ds.statics, &ports, &cfg);
+    let out = patterns_of_life::core::run(&engine, ds.positions, &ds.statics, &ports, &cfg)
+        .expect("pipeline run failed");
     println!(
         "pipeline: {} raw -> {} cleaned -> {} trip records -> {} group entries",
         out.counts.raw, out.counts.cleaned, out.counts.with_trips, out.counts.group_entries
@@ -72,7 +73,10 @@ fn main() {
                 println!("  mean course    {course:.0}°");
             }
             for (port, n) in stats.top_destinations(3) {
-                println!("  heading to     {} ({n} records)", WORLD_PORTS[port as usize].name);
+                println!(
+                    "  heading to     {} ({n} records)",
+                    WORLD_PORTS[port as usize].name
+                );
             }
         }
         None => println!("\nno traffic crossed the Dover cell in this small run"),

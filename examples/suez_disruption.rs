@@ -20,7 +20,14 @@ fn main() {
     let (sin, _) = patterns_of_life::fleetsim::ports::port_by_locode("SGSIN").unwrap();
     let open = g.route(rtm, sin, RouteOptions::default()).unwrap();
     let closed = g
-        .route(rtm, sin, RouteOptions { avoid_suez: true, avoid_panama: false })
+        .route(
+            rtm,
+            sin,
+            RouteOptions {
+                avoid_suez: true,
+                avoid_panama: false,
+            },
+        )
         .unwrap();
     println!("Rotterdam -> Singapore:");
     println!(
@@ -58,12 +65,21 @@ fn main() {
         &train.statics,
         &ports,
         &PipelineConfig::default(),
-    );
+    )
+    .expect("pipeline run failed");
     let detector = AnomalyDetector::new(&out.inventory);
 
     // Two live fleets: one normal, one sailing through the blockage.
-    let live_normal = generate(&ScenarioConfig { seed: 999, n_vessels: 30, ..normal_cfg.clone() });
-    let mut blocked_cfg = ScenarioConfig { seed: 999, n_vessels: 30, ..normal_cfg };
+    let live_normal = generate(&ScenarioConfig {
+        seed: 999,
+        n_vessels: 30,
+        ..normal_cfg.clone()
+    });
+    let mut blocked_cfg = ScenarioConfig {
+        seed: 999,
+        n_vessels: 30,
+        ..normal_cfg
+    };
     blocked_cfg.disruption = Some(Disruption::SuezBlockage {
         from: blocked_cfg.start,
         to: blocked_cfg.end(),
@@ -73,7 +89,8 @@ fn main() {
     let rate = |ds: &patterns_of_life::fleetsim::scenario::Dataset| {
         detector.anomaly_rate(ds.positions.iter().enumerate().flat_map(|(vi, part)| {
             let seg = ds.fleet[vi].segment;
-            part.iter().map(move |r| (r.pos, r.sog_knots, r.cog_deg, Some(seg)))
+            part.iter()
+                .map(move |r| (r.pos, r.sog_knots, r.cog_deg, Some(seg)))
         }))
     };
     let r_normal = rate(&live_normal);

@@ -1,7 +1,9 @@
 //! Workspace integration test: the complete paper pipeline from simulated
 //! AIS traffic through the inventory to every §4 use case.
 
-use patterns_of_life::apps::{AnomalyDetector, DestinationPredictor, EtaEstimator, RouteForecaster};
+use patterns_of_life::apps::{
+    AnomalyDetector, DestinationPredictor, EtaEstimator, RouteForecaster,
+};
 use patterns_of_life::core::features::{GroupKey, GroupingSet};
 use patterns_of_life::core::records::PortSite;
 use patterns_of_life::core::{codec, PipelineConfig};
@@ -44,7 +46,8 @@ fn world() -> &'static World {
             &dataset.statics,
             &ports,
             &config,
-        );
+        )
+        .unwrap();
         World {
             dataset,
             output,
@@ -59,13 +62,19 @@ fn pipeline_funnel_is_sane() {
     let c = &w.output.counts;
     assert!(c.raw > 100_000, "raw {}", c.raw);
     assert!(c.cleaned <= c.raw);
-    assert!(c.cleaned as f64 > c.raw as f64 * 0.8, "cleaning must not devastate");
+    assert!(
+        c.cleaned as f64 > c.raw as f64 * 0.8,
+        "cleaning must not devastate"
+    );
     assert!(c.with_trips > 0 && c.with_trips <= c.cleaned);
     assert_eq!(c.projected, c.with_trips);
     assert!(c.group_entries > 0);
     // Cleaning accounting adds up.
     let r = &w.output.clean_report;
-    assert_eq!(r.input, r.out_of_range + r.non_commercial + r.infeasible + r.output);
+    assert_eq!(
+        r.input,
+        r.out_of_range + r.non_commercial + r.infeasible + r.output
+    );
 }
 
 #[test]
@@ -126,7 +135,11 @@ fn eta_estimator_works_on_busy_cells() {
         })
         .max_by_key(|(_, s)| s.records)
         .expect("non-empty");
-    assert!(stats.records > 10, "busiest cell only has {}", stats.records);
+    assert!(
+        stats.records > 10,
+        "busiest cell only has {}",
+        stats.records
+    );
     let pos = patterns_of_life::hexgrid::cell_center(busiest);
     let est = EtaEstimator::new(inv)
         .estimate(pos, None, None)
@@ -201,7 +214,12 @@ fn route_forecaster_reconstructs_training_route() {
     if f.cell_count() < 20 {
         return; // voyage straddled the window edge; key sparsely observed
     }
-    let vi = w.dataset.fleet.iter().position(|x| x.mmsi == v.mmsi).unwrap();
+    let vi = w
+        .dataset
+        .fleet
+        .iter()
+        .position(|x| x.mmsi == v.mmsi)
+        .unwrap();
     let mid = w.dataset.positions[vi]
         .iter()
         .filter(|r| r.timestamp >= v.departure && r.timestamp <= v.arrival)
@@ -253,7 +271,10 @@ fn figure6_style_query_returns_hub_cells() {
                 .unwrap()
                 .0
                  .0;
-            w.output.inventory.cells_with_top_destination(id, None).len()
+            w.output
+                .inventory
+                .cells_with_top_destination(id, None)
+                .len()
         })
         .sum();
     assert!(total > 0, "no hub-destined cells at all");

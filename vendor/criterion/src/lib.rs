@@ -1,0 +1,227 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the criterion API subset its benches use: `criterion_group!` /
+//! `criterion_main!`, benchmark groups with `sample_size` / `throughput`,
+//! `bench_function` / `bench_with_input`, and `Bencher::iter`.
+//!
+//! Measurement is deliberately simple — a short calibration pass sizes the
+//! batch, then each sample times a batch and the median ns/iteration is
+//! printed. No statistics beyond that; the benches exist to show relative
+//! magnitudes and catch order-of-magnitude regressions offline.
+
+#![deny(missing_docs)]
+
+use std::fmt::{self, Display};
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement driver passed to bench closures.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: u32,
+    /// Median nanoseconds per iteration of the last `iter` run.
+    last_ns: f64,
+}
+
+impl Bencher {
+    /// Times the closure and records median ns/iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibrate: how many iterations fit in ~2 ms?
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(20));
+        let batch = (Duration::from_millis(2).as_nanos() / once.as_nanos()).clamp(1, 10_000) as u32;
+        let mut per_iter: Vec<f64> = Vec::with_capacity(self.samples as usize);
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            per_iter.push(t.elapsed().as_nanos() as f64 / f64::from(batch));
+        }
+        per_iter.sort_by(f64::total_cmp);
+        self.last_ns = per_iter[per_iter.len() / 2];
+    }
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus a parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id like `name/parameter`.
+    pub fn new(name: impl Display, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            name: format!("{name}/{parameter}"),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// A named group of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    _criterion: &'c mut Criterion,
+    name: String,
+    samples: u32,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(2) as u32;
+        self
+    }
+
+    /// Annotates per-iteration throughput (printed alongside the timing).
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: self.samples,
+            last_ns: 0.0,
+        };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id), b.last_ns, self.throughput);
+        self
+    }
+
+    /// Runs one parameterised benchmark in this group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            samples: self.samples,
+            last_ns: 0.0,
+        };
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id), b.last_ns, self.throughput);
+        self
+    }
+
+    /// Finishes the group (accepted for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn report(label: &str, ns: f64, throughput: Option<Throughput>) {
+    let rate = match throughput {
+        // n items per iteration, ns nanoseconds per iteration:
+        // items/ns == Gitems/s, so ×1000 gives M/s.
+        Some(Throughput::Elements(n)) if ns > 0.0 => {
+            format!("  {:.2} Melem/s", n as f64 / ns * 1000.0)
+        }
+        Some(Throughput::Bytes(n)) if ns > 0.0 => {
+            format!("  {:.2} MB/s", n as f64 / ns * 1000.0)
+        }
+        _ => String::new(),
+    };
+    println!("bench {label:<50} {ns:>12.1} ns/iter{rate}");
+}
+
+/// The benchmark context handed to `criterion_group!` targets.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            samples: 10,
+            throughput: None,
+        }
+    }
+
+    /// Runs an ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: 10,
+            last_ns: 0.0,
+        };
+        f(&mut b);
+        report(&format!("{id}"), b.last_ns, None);
+        self
+    }
+}
+
+/// Declares a group function running each target with a fresh context.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            $(
+                let mut c = $crate::Criterion::default();
+                $target(&mut c);
+            )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn target(c: &mut Criterion) {
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3);
+        g.throughput(Throughput::Elements(4));
+        g.bench_function("sum", |b| b.iter(|| (0..4u64).sum::<u64>()));
+        g.bench_with_input(BenchmarkId::new("scaled", 7), &7u64, |b, n| {
+            b.iter(|| n * 2)
+        });
+        g.finish();
+    }
+
+    criterion_group!(benches, target);
+
+    #[test]
+    fn group_runs() {
+        benches();
+    }
+}
