@@ -17,4 +17,44 @@ cargo test --workspace -q
 echo "==> cargo run -p xtask -- lint"
 cargo run -q -p xtask -- lint
 
+echo "==> pol-serve smoke test (build inventory, serve, polload burst, clean shutdown)"
+smoke_dir=$(mktemp -d)
+trap 'rm -rf "$smoke_dir"' EXIT
+cargo run --release -q -p pol-bench --bin polinv -- \
+  build --out "$smoke_dir/inv.pol" --vessels 10 --days 3 >/dev/null
+mkfifo "$smoke_dir/ctl"
+cargo run --release -q -p pol-bench --bin polinv -- \
+  serve "$smoke_dir/inv.pol" --addr 127.0.0.1:0 \
+  > "$smoke_dir/serve.out" 2> "$smoke_dir/serve.err" < "$smoke_dir/ctl" &
+serve_pid=$!
+exec 9> "$smoke_dir/ctl" # hold the control fifo open; closing it stops the server
+serve_addr=""
+for _ in $(seq 1 100); do
+  serve_addr=$(sed -n 's/^listening on //p' "$smoke_dir/serve.out")
+  if [ -n "$serve_addr" ]; then break; fi
+  sleep 0.1
+done
+if [ -z "$serve_addr" ]; then
+  echo "ci: server never reported its address" >&2
+  exit 1
+fi
+cargo run --release -q -p pol-bench --bin polload -- \
+  --addr "$serve_addr" --threads 4 --requests 2000 \
+  --out "$smoke_dir/BENCH_serve.json" > "$smoke_dir/load.out"
+if ! grep -q '"endpoint": "point_summary"' "$smoke_dir/BENCH_serve.json"; then
+  echo "ci: polload produced no point_summary result" >&2
+  exit 1
+fi
+if grep -q '"rps": 0\.0,' "$smoke_dir/BENCH_serve.json"; then
+  echo "ci: an endpoint reported zero RPS" >&2
+  exit 1
+fi
+exec 9>&- # stdin EOF -> graceful shutdown
+wait "$serve_pid"
+if ! grep -q "shut down after" "$smoke_dir/serve.err"; then
+  echo "ci: server did not shut down cleanly" >&2
+  exit 1
+fi
+echo "pol-serve smoke: $(grep 'aggregate point_summary' "$smoke_dir/load.out")"
+
 echo "ci: all gates passed"

@@ -11,14 +11,18 @@
 //! dominate the tally.
 
 use pol_ais::types::MarketSegment;
-use pol_core::Inventory;
+use pol_core::{Inventory, InventoryQuery};
 use pol_geo::LatLon;
 use pol_hexgrid::cell_at;
 use pol_sketch::hash::FxHashMap;
 
 /// The streaming predictor. One instance per tracked vessel.
-pub struct DestinationPredictor<'a> {
-    inventory: &'a Inventory,
+///
+/// Generic over [`InventoryQuery`] so the same predictor runs against the
+/// in-memory [`Inventory`] or a serving-side store (the `pol-serve`
+/// destination-prediction endpoint replays a track through one of these).
+pub struct DestinationPredictor<'a, I: InventoryQuery = Inventory> {
+    inventory: &'a I,
     segment: Option<MarketSegment>,
     /// Exponential decay applied to the running tally per observation
     /// (1.0 = plain sum; < 1.0 favours recent cells).
@@ -27,9 +31,9 @@ pub struct DestinationPredictor<'a> {
     observations: u64,
 }
 
-impl<'a> DestinationPredictor<'a> {
+impl<'a, I: InventoryQuery> DestinationPredictor<'a, I> {
     /// Creates a predictor for a vessel of the given (optional) segment.
-    pub fn new(inventory: &'a Inventory, segment: Option<MarketSegment>) -> Self {
+    pub fn new(inventory: &'a I, segment: Option<MarketSegment>) -> Self {
         DestinationPredictor {
             inventory,
             segment,

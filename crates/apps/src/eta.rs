@@ -9,7 +9,7 @@
 //! exact cell is unseen.
 
 use pol_ais::types::MarketSegment;
-use pol_core::{CellStats, Inventory};
+use pol_core::{CellStats, Inventory, InventoryQuery};
 use pol_geo::{haversine_km, LatLon};
 use pol_hexgrid::{cell_at, grid_disk, CellIndex};
 
@@ -31,15 +31,19 @@ pub struct EtaEstimate {
 }
 
 /// The inventory-backed ETA estimator.
-pub struct EtaEstimator<'a> {
-    inventory: &'a Inventory,
+///
+/// Generic over [`InventoryQuery`] so the same estimator serves from the
+/// in-memory [`Inventory`] or from a serving-side store (the `pol-serve`
+/// ETA endpoint delegates here against its sharded store).
+pub struct EtaEstimator<'a, I: InventoryQuery = Inventory> {
+    inventory: &'a I,
     /// Widen the query up to this many rings when the cell is unseen.
     pub max_widening: u32,
 }
 
-impl<'a> EtaEstimator<'a> {
-    /// Wraps an inventory.
-    pub fn new(inventory: &'a Inventory) -> Self {
+impl<'a, I: InventoryQuery> EtaEstimator<'a, I> {
+    /// Wraps an inventory-shaped store.
+    pub fn new(inventory: &'a I) -> Self {
         EtaEstimator {
             inventory,
             max_widening: 2,

@@ -5,6 +5,7 @@
 //! polinv info <inv.pol>
 //! polinv query <inv.pol> <lat> <lon> [--segment container|tanker|...]
 //! polinv top-dest <inv.pol> <LOCODE>
+//! polinv serve <inv.pol> [--addr 127.0.0.1:0] [--workers 8] [--shards 8]
 //! ```
 
 use pol_ais::types::MarketSegment;
@@ -23,7 +24,8 @@ fn usage() -> ExitCode {
         "usage:\n  polinv build --out <file> [--vessels N] [--days D] [--res R] [--seed S]\n  \
          polinv info <file>\n  \
          polinv query <file> <lat> <lon> [--segment <name>]\n  \
-         polinv top-dest <file> <LOCODE>"
+         polinv top-dest <file> <LOCODE>\n  \
+         polinv serve <file> [--addr HOST:PORT] [--workers N] [--shards N] [--cache N]"
     );
     ExitCode::from(2)
 }
@@ -216,6 +218,57 @@ fn cmd_top_dest(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn cmd_serve(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        return usage();
+    };
+    let addr = parse_flag(args, "--addr").unwrap_or_else(|| "127.0.0.1:0".into());
+    let config = pol_serve::ServerConfig {
+        worker_threads: parse_flag(args, "--workers")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(8),
+        shards: parse_flag(args, "--shards")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(8),
+        cache_capacity: parse_flag(args, "--cache")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(256),
+        ..pol_serve::ServerConfig::default()
+    };
+    let inv = match load(path) {
+        Ok(i) => i,
+        Err(e) => return e,
+    };
+    let mut server = match pol_serve::Server::start(inv, addr.as_str(), config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // The bound address goes to stdout so scripts (ci.sh) can pick up an
+    // ephemeral port; everything else is stderr chatter.
+    println!("listening on {}", server.local_addr());
+    use std::io::{BufRead, Write};
+    std::io::stdout().flush().ok();
+    eprintln!("serving {path}; close stdin (Ctrl-D) to stop");
+    // std has no portable signal handling: stdin EOF is the shutdown
+    // control signal (ci.sh holds a fifo open and closes it to stop us).
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        if line.is_err() {
+            break;
+        }
+    }
+    let stats = server.metrics().snapshot();
+    server.shutdown();
+    eprintln!(
+        "shut down after {} requests over {} connections ({} busy, {} malformed)",
+        stats.total_requests, stats.connections, stats.busy_rejections, stats.malformed_frames
+    );
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -223,6 +276,7 @@ fn main() -> ExitCode {
         Some("info") => cmd_info(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
         Some("top-dest") => cmd_top_dest(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         _ => usage(),
     }
 }

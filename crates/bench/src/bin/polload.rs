@@ -1,0 +1,326 @@
+//! `polload` — load generator for the `pol-serve` query server.
+//!
+//! ```text
+//! polload [--addr HOST:PORT] [--threads 8] [--requests 20000]
+//!         [--vessels 150] [--days 14] [--seed 42] [--workers 8]
+//!         [--out figures/BENCH_serve.json]
+//! ```
+//!
+//! Without `--addr`, polload builds a res-6 fleetsim inventory in
+//! process, starts a server on an ephemeral loopback port, drives it, and
+//! shuts it down — the self-contained form the CI smoke test runs. With
+//! `--addr` it drives an already-running server (`polinv serve`).
+//!
+//! Each endpoint gets its own burst phase over N concurrent connections
+//! (one per thread); client-side latency is measured per request and
+//! quantiles are exact (sorted), not sketched. Results go to stdout and
+//! to `BENCH_serve.json`.
+
+use pol_ais::types::MarketSegment;
+use pol_bench::build_inventory;
+use pol_core::PipelineConfig;
+use pol_fleetsim::emit::EmissionConfig;
+use pol_fleetsim::scenario::ScenarioConfig;
+use pol_hexgrid::{cell_center, CellIndex, Resolution};
+use pol_serve::{Client, ClientError, Server, ServerConfig};
+use std::io::Write;
+use std::net::SocketAddr;
+use std::process::ExitCode;
+use std::thread;
+use std::time::Instant;
+
+fn parse_flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn parse_or<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> T {
+    parse_flag(args, name)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// One endpoint phase's aggregate result.
+struct PhaseResult {
+    name: &'static str,
+    requests: u64,
+    wall_secs: f64,
+    rps: f64,
+    p50_us: f64,
+    p99_us: f64,
+    max_us: f64,
+}
+
+fn quantile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Drives one endpoint with `threads` concurrent connections issuing
+/// `per_thread` requests each; returns exact aggregate latency stats.
+fn run_phase<F>(
+    addr: SocketAddr,
+    name: &'static str,
+    threads: usize,
+    per_thread: usize,
+    f: F,
+) -> Result<PhaseResult, ClientError>
+where
+    F: Fn(&mut Client, usize, usize) -> Result<(), ClientError> + Sync,
+{
+    let started = Instant::now();
+    let f = &f;
+    let lats: Vec<Vec<f64>> = thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|tid| {
+                s.spawn(move || -> Result<Vec<f64>, ClientError> {
+                    let mut client = Client::connect(addr)?;
+                    let mut lats = Vec::with_capacity(per_thread);
+                    for i in 0..per_thread {
+                        let t = Instant::now();
+                        f(&mut client, tid, i)?;
+                        lats.push(t.elapsed().as_secs_f64() * 1e6);
+                    }
+                    Ok(lats)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("load thread panicked"))
+            .collect::<Result<Vec<_>, _>>()
+    })?;
+    let wall_secs = started.elapsed().as_secs_f64();
+    let mut all: Vec<f64> = lats.into_iter().flatten().collect();
+    all.sort_by(|a, b| a.partial_cmp(b).expect("latency is finite"));
+    let requests = all.len() as u64;
+    Ok(PhaseResult {
+        name,
+        requests,
+        wall_secs,
+        rps: requests as f64 / wall_secs.max(1e-9),
+        p50_us: quantile(&all, 0.50),
+        p99_us: quantile(&all, 0.99),
+        max_us: all.last().copied().unwrap_or(0.0),
+    })
+}
+
+/// Fetches the occupied-cell centres to use as the query-position pool
+/// (works against any server, external or in-process).
+fn position_pool(addr: SocketAddr) -> Result<Vec<(f64, f64)>, ClientError> {
+    let mut client = Client::connect(addr)?;
+    let cells = client.bbox_scan(-89.9, -179.9, 89.9, 179.9)?;
+    let mut pool: Vec<(f64, f64)> = cells
+        .iter()
+        .filter_map(|raw| CellIndex::from_raw(*raw).ok())
+        .map(|c| {
+            let p = cell_center(c);
+            (p.lat(), p.lon())
+        })
+        .collect();
+    if pool.is_empty() {
+        // Empty inventory: fall back to port positions so every phase
+        // still exercises the wire (responses are just all-None).
+        pool = pol_fleetsim::WORLD_PORTS
+            .iter()
+            .map(|p| (p.pos().lat(), p.pos().lon()))
+            .collect();
+    }
+    Ok(pool)
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn write_bench_json(
+    path: &std::path::Path,
+    threads: usize,
+    phases: &[PhaseResult],
+) -> std::io::Result<()> {
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    writeln!(f, "{{")?;
+    writeln!(f, "  \"bench\": \"pol-serve loopback load\",")?;
+    writeln!(f, "  \"threads\": {threads},")?;
+    writeln!(f, "  \"endpoints\": [")?;
+    for (i, p) in phases.iter().enumerate() {
+        let comma = if i + 1 < phases.len() { "," } else { "" };
+        writeln!(
+            f,
+            "    {{\"endpoint\": \"{}\", \"requests\": {}, \"wall_secs\": {:.4}, \
+             \"rps\": {:.1}, \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"max_us\": {:.1}}}{comma}",
+            json_escape(p.name),
+            p.requests,
+            p.wall_secs,
+            p.rps,
+            p.p50_us,
+            p.p99_us,
+            p.max_us
+        )?;
+    }
+    writeln!(f, "  ]")?;
+    writeln!(f, "}}")?;
+    f.flush()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!(
+            "usage: polload [--addr HOST:PORT] [--threads N] [--requests N] \
+             [--vessels N] [--days D] [--seed S] [--workers N] [--out FILE]"
+        );
+        return ExitCode::from(2);
+    }
+    let threads: usize = parse_or(&args, "--threads", 8).max(1);
+    let requests: usize = parse_or(&args, "--requests", 20_000).max(1);
+    let out_path = parse_flag(&args, "--out")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| pol_bench::figures_dir().join("BENCH_serve.json"));
+
+    // Either an external server or a self-contained build-and-serve.
+    let mut own_server: Option<Server> = None;
+    let addr: SocketAddr = match parse_flag(&args, "--addr") {
+        Some(a) => match a.parse() {
+            Ok(addr) => addr,
+            Err(_) => {
+                eprintln!("error: cannot parse --addr {a}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => {
+            let vessels = parse_or(&args, "--vessels", 150);
+            let days = parse_or(&args, "--days", 14);
+            let seed = parse_or(&args, "--seed", 42);
+            let workers: usize = parse_or(&args, "--workers", 8);
+            let scenario = ScenarioConfig {
+                seed,
+                n_vessels: vessels,
+                duration_days: days,
+                emission: EmissionConfig {
+                    interval_scale: 10.0,
+                    ..EmissionConfig::default()
+                },
+                ..ScenarioConfig::default()
+            };
+            let resolution = Resolution::new(6).expect("res 6 valid");
+            let cfg = PipelineConfig::default().with_resolution(resolution);
+            eprintln!("building res-6 inventory ({vessels} vessels, {days} days, seed {seed})...");
+            let (_, out) = build_inventory(&scenario, &cfg);
+            eprintln!(
+                "inventory: {} entries over {} records",
+                out.inventory.len(),
+                out.inventory.total_records()
+            );
+            let server = Server::start(
+                out.inventory,
+                "127.0.0.1:0",
+                ServerConfig {
+                    worker_threads: workers,
+                    ..ServerConfig::default()
+                },
+            )
+            .expect("server start");
+            let addr = server.local_addr();
+            own_server = Some(server);
+            addr
+        }
+    };
+    eprintln!("driving {addr} with {threads} threads x {requests} point-summary requests");
+
+    let pool = position_pool(addr).expect("position pool");
+    let pool = &pool;
+    let pick = |tid: usize, i: usize| pool[(tid + i * 31) % pool.len()];
+
+    let mixed = (requests / 10).max(50);
+    let phases: Vec<PhaseResult> = [
+        run_phase(addr, "ping", threads, mixed, |c, _, _| c.ping()),
+        // The headline phase: the ≥50k req/s aggregate target.
+        run_phase(addr, "point_summary", threads, requests, |c, tid, i| {
+            let (lat, lon) = pick(tid, i);
+            c.point_summary(lat, lon).map(|_| ())
+        }),
+        run_phase(addr, "segment_summary", threads, mixed, |c, tid, i| {
+            let (lat, lon) = pick(tid, i);
+            let seg = MarketSegment::ALL[i % MarketSegment::ALL.len()];
+            c.segment_summary(lat, lon, seg).map(|_| ())
+        }),
+        run_phase(addr, "route_summary", threads, mixed, |c, tid, i| {
+            let (lat, lon) = pick(tid, i);
+            let seg = MarketSegment::ALL[i % MarketSegment::ALL.len()];
+            c.route_summary(lat, lon, (i % 23) as u16, (i % 31) as u16, seg)
+                .map(|_| ())
+        }),
+        run_phase(addr, "bbox_scan", threads, mixed, |c, tid, i| {
+            let (lat, lon) = pick(tid, i);
+            c.bbox_scan(
+                (lat - 1.5).max(-89.9),
+                (lon - 1.5).max(-179.9),
+                (lat + 1.5).min(89.9),
+                (lon + 1.5).min(179.9),
+            )
+            .map(|_| ())
+        }),
+        run_phase(addr, "top_destination_cells", threads, mixed, |c, _, i| {
+            c.top_destination_cells((i % 40) as u16, None).map(|_| ())
+        }),
+        run_phase(addr, "eta", threads, mixed, |c, tid, i| {
+            let (lat, lon) = pick(tid, i);
+            c.eta(lat, lon, None, None).map(|_| ())
+        }),
+        run_phase(addr, "predict_destination", threads, mixed, |c, tid, i| {
+            let track: Vec<(f64, f64)> = (0..4).map(|k| pick(tid, i + k)).collect();
+            c.predict_destination(None, 3, track).map(|_| ())
+        }),
+        run_phase(addr, "stats", threads, mixed, |c, _, _| {
+            c.stats().map(|_| ())
+        }),
+    ]
+    .into_iter()
+    .collect::<Result<_, _>>()
+    .expect("load phase failed");
+
+    println!(
+        "{:<22} {:>9} {:>12} {:>10} {:>10} {:>10}",
+        "endpoint", "requests", "rps", "p50_us", "p99_us", "max_us"
+    );
+    for p in &phases {
+        println!(
+            "{:<22} {:>9} {:>12.0} {:>10.1} {:>10.1} {:>10.1}",
+            p.name, p.requests, p.rps, p.p50_us, p.p99_us, p.max_us
+        );
+    }
+    let point = phases
+        .iter()
+        .find(|p| p.name == "point_summary")
+        .expect("point phase ran");
+    println!(
+        "aggregate point_summary RPS: {:.0} ({} threads; target >= 50000)",
+        point.rps, threads
+    );
+
+    if let Some(mut server) = own_server.take() {
+        let stats = server.metrics().snapshot();
+        server.shutdown();
+        eprintln!(
+            "server: {} requests, {} connections, {} busy, {} malformed, cache {}/{} hit/miss",
+            stats.total_requests,
+            stats.connections,
+            stats.busy_rejections,
+            stats.malformed_frames,
+            stats.cache_hits,
+            stats.cache_misses
+        );
+    }
+
+    if let Err(e) = write_bench_json(&out_path, threads, &phases) {
+        eprintln!("error: cannot write {}: {e}", out_path.display());
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {}", out_path.display());
+    ExitCode::SUCCESS
+}

@@ -18,6 +18,13 @@ use std::path::Path;
 /// File magic.
 pub const MAGIC: &[u8; 8] = b"POLINV1\0";
 
+/// A conservative lower bound on the serialized size of one inventory
+/// entry (tagged key + all sixteen statistics in their empty form). An
+/// empty [`CellStats`] alone encodes to over 70 bytes (checked by a
+/// regression test); 64 keeps headroom for future slimmer encodings while
+/// still bounding allocation to `input_len / 64` entries.
+pub const MIN_ENTRY_BYTES: usize = 64;
+
 /// Errors from loading an inventory.
 #[derive(Debug)]
 pub enum CodecError {
@@ -53,7 +60,11 @@ impl From<WireError> for CodecError {
     }
 }
 
-fn encode_key(key: &GroupKey, out: &mut Vec<u8>) {
+/// Appends the canonical encoding of a [`GroupKey`] to `out`.
+///
+/// Public so transports other than the inventory file (e.g. the
+/// `pol-serve` wire protocol) can reuse the exact on-disk key encoding.
+pub fn encode_group_key(key: &GroupKey, out: &mut Vec<u8>) {
     match key {
         GroupKey::Cell(c) => {
             out.push(0);
@@ -74,7 +85,8 @@ fn encode_key(key: &GroupKey, out: &mut Vec<u8>) {
     }
 }
 
-fn decode_key(input: &mut &[u8]) -> Result<GroupKey, WireError> {
+/// Decodes a [`GroupKey`], advancing `input` past it.
+pub fn decode_group_key(input: &mut &[u8]) -> Result<GroupKey, WireError> {
     let (&tag, rest) = input.split_first().ok_or(WireError("key truncated"))?;
     *input = rest;
     let cell = CellIndex::from_raw(get_varint(input)?).map_err(|_| WireError("bad cell index"))?;
@@ -95,7 +107,12 @@ fn decode_key(input: &mut &[u8]) -> Result<GroupKey, WireError> {
     }
 }
 
-fn encode_stats(s: &CellStats, out: &mut Vec<u8>) {
+/// Appends the canonical encoding of a [`CellStats`] to `out`.
+///
+/// The encoding is deterministic (sketches with set semantics sort their
+/// contents), so equal statistics always produce identical bytes — the
+/// serving layer relies on this to compare summaries by encoding.
+pub fn encode_cell_stats(s: &CellStats, out: &mut Vec<u8>) {
     put_varint(out, s.records);
     s.ships.encode(out);
     s.trips.encode(out);
@@ -114,7 +131,8 @@ fn encode_stats(s: &CellStats, out: &mut Vec<u8>) {
     s.transitions.encode(out);
 }
 
-fn decode_stats(input: &mut &[u8]) -> Result<CellStats, WireError> {
+/// Decodes a [`CellStats`], advancing `input` past it.
+pub fn decode_cell_stats(input: &mut &[u8]) -> Result<CellStats, WireError> {
     Ok(CellStats {
         records: get_varint(input)?,
         ships: Wire::decode(input)?,
@@ -146,8 +164,8 @@ pub fn to_bytes(inv: &Inventory) -> Vec<u8> {
     let mut entries: Vec<(&GroupKey, &CellStats)> = inv.iter().collect();
     entries.sort_by_key(|(k, _)| **k);
     for (k, s) in entries {
-        encode_key(k, &mut out);
-        encode_stats(s, &mut out);
+        encode_group_key(k, &mut out);
+        encode_cell_stats(s, &mut out);
     }
     out
 }
@@ -164,11 +182,19 @@ pub fn from_bytes(bytes: &[u8]) -> Result<Inventory, CodecError> {
     let resolution = Resolution::new(res_raw).ok_or(CodecError::BadHeader)?;
     let total_records = get_varint(&mut input).map_err(CodecError::Wire)?;
     let n = get_varint(&mut input).map_err(CodecError::Wire)? as usize;
+    // Hostile-input guard: the declared entry count must be achievable in
+    // the bytes that actually follow, otherwise a corrupt (or malicious)
+    // header could make us allocate gigabytes before the first decode
+    // error. Every entry is at least MIN_ENTRY_BYTES long, so anything
+    // larger than remaining/MIN_ENTRY_BYTES is provably a lie.
+    if n > input.len() / MIN_ENTRY_BYTES {
+        return Err(CodecError::Wire(WireError("entry count exceeds buffer")));
+    }
     let mut entries = FxHashMap::default();
-    entries.reserve(n.min(1 << 22));
+    entries.reserve(n);
     for _ in 0..n {
-        let key = decode_key(&mut input)?;
-        let stats = decode_stats(&mut input)?;
+        let key = decode_group_key(&mut input)?;
+        let stats = decode_cell_stats(&mut input)?;
         entries.insert(key, stats);
     }
     if !input.is_empty() {
@@ -293,6 +319,77 @@ mod tests {
         let mut extended = bytes.clone();
         extended.push(0);
         assert!(from_bytes(&extended).is_err());
+    }
+
+    #[test]
+    fn min_entry_bound_is_sound() {
+        // The allocation guard divides by MIN_ENTRY_BYTES, so the bound
+        // must never exceed the true minimum entry size.
+        let mut buf = Vec::new();
+        let smallest_key = GroupKey::Cell(cell_at(
+            LatLon::new(0.0, 0.0).unwrap(),
+            Resolution::new(0).unwrap(),
+        ));
+        encode_group_key(&smallest_key, &mut buf);
+        encode_cell_stats(&CellStats::new(0.02, 8), &mut buf);
+        assert!(
+            buf.len() >= MIN_ENTRY_BYTES,
+            "empty entry is {} bytes, below MIN_ENTRY_BYTES={MIN_ENTRY_BYTES}",
+            buf.len()
+        );
+    }
+
+    #[test]
+    fn hostile_entry_count_rejected_before_allocating() {
+        // A header declaring 2^60 entries with a near-empty body must fail
+        // fast with a typed error instead of reserving a huge map.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.push(6); // resolution
+        put_varint(&mut bytes, 0); // total records
+        put_varint(&mut bytes, 1 << 60); // declared entry count
+        bytes.extend_from_slice(&[0u8; 32]); // far fewer bytes than declared
+        match from_bytes(&bytes).err() {
+            Some(CodecError::Wire(WireError(msg))) => {
+                assert!(msg.contains("entry count"), "unexpected error: {msg}")
+            }
+            other => panic!("expected entry-count error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupt_headers_rejected() {
+        // Empty input, short input, wrong magic, truncated after magic,
+        // bad resolution byte: all must be typed errors, never panics.
+        assert!(matches!(from_bytes(&[]), Err(CodecError::BadHeader)));
+        assert!(matches!(
+            from_bytes(&MAGIC[..4]),
+            Err(CodecError::BadHeader)
+        ));
+        let mut wrong_magic = MAGIC.to_vec();
+        wrong_magic[0] = b'X';
+        wrong_magic.push(6);
+        assert!(matches!(
+            from_bytes(&wrong_magic),
+            Err(CodecError::BadHeader)
+        ));
+        assert!(matches!(from_bytes(&MAGIC[..]), Err(CodecError::BadHeader)));
+        let mut bad_res = MAGIC.to_vec();
+        bad_res.push(99); // resolution out of range
+        assert!(matches!(from_bytes(&bad_res), Err(CodecError::BadHeader)));
+    }
+
+    #[test]
+    fn truncated_mid_entry_is_typed_error() {
+        let bytes = to_bytes(&sample_inventory(50));
+        // Chop the stream at many offsets: every prefix must decode to a
+        // typed error (or, for the empty-file prefix, BadHeader).
+        for cut in (0..bytes.len() - 1).step_by(7) {
+            assert!(
+                from_bytes(&bytes[..cut]).is_err(),
+                "prefix of {cut} bytes unexpectedly decoded"
+            );
+        }
     }
 
     #[test]

@@ -26,6 +26,54 @@ pub struct CoverageReport {
     pub utilization: f64,
 }
 
+/// The point-lookup query surface shared by every inventory-shaped store.
+///
+/// The §4 use cases (ETA estimation, destination prediction) only need
+/// cell-keyed lookups at the three grouping-set levels plus the grid
+/// resolution. Abstracting that surface lets the same estimators run
+/// against the in-memory [`Inventory`] *and* against serving-side stores
+/// (e.g. `pol-serve`'s sharded read-only store) without copying data.
+pub trait InventoryQuery {
+    /// The store's grid resolution.
+    fn resolution(&self) -> Resolution;
+    /// The all-traffic summary of a cell.
+    fn summary(&self, cell: CellIndex) -> Option<&CellStats>;
+    /// The per-vessel-type summary of a cell.
+    fn summary_for(&self, cell: CellIndex, segment: MarketSegment) -> Option<&CellStats>;
+    /// The per-route summary of a cell.
+    fn summary_route(
+        &self,
+        cell: CellIndex,
+        origin: u16,
+        dest: u16,
+        segment: MarketSegment,
+    ) -> Option<&CellStats>;
+}
+
+impl InventoryQuery for Inventory {
+    fn resolution(&self) -> Resolution {
+        Inventory::resolution(self)
+    }
+
+    fn summary(&self, cell: CellIndex) -> Option<&CellStats> {
+        Inventory::summary(self, cell)
+    }
+
+    fn summary_for(&self, cell: CellIndex, segment: MarketSegment) -> Option<&CellStats> {
+        Inventory::summary_for(self, cell, segment)
+    }
+
+    fn summary_route(
+        &self,
+        cell: CellIndex,
+        origin: u16,
+        dest: u16,
+        segment: MarketSegment,
+    ) -> Option<&CellStats> {
+        Inventory::summary_route(self, cell, origin, dest, segment)
+    }
+}
+
 /// The queryable global inventory of per-cell statistical summaries.
 pub struct Inventory {
     resolution: Resolution,
@@ -119,6 +167,14 @@ impl Inventory {
     /// Iterates all entries.
     pub fn iter(&self) -> impl Iterator<Item = (&GroupKey, &CellStats)> {
         self.entries.iter()
+    }
+
+    /// Decomposes the inventory into its parts — the inverse of
+    /// [`Inventory::from_entries`]. Serving-side stores use this to
+    /// repartition the entry map (e.g. into hash shards) without cloning
+    /// every sketch.
+    pub fn into_entries(self) -> (Resolution, FxHashMap<GroupKey, CellStats>, u64) {
+        (self.resolution, self.entries, self.total_records)
     }
 
     /// All occupied cells (the `(H3-index)` grouping set's key space).

@@ -42,6 +42,6 @@ pub use adaptive::{AdaptiveConfig, AdaptiveInventory};
 pub use config::PipelineConfig;
 pub use error::PipelineError;
 pub use features::{CellStats, GroupKey, GroupingSet};
-pub use inventory::{CoverageReport, Inventory};
+pub use inventory::{CoverageReport, Inventory, InventoryQuery};
 pub use pipeline::{run, PipelineOutput, StageCounts};
 pub use records::{CellPoint, PortSite, TripPoint};

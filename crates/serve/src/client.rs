@@ -1,0 +1,235 @@
+//! A blocking client for the `pol-serve` wire protocol.
+//!
+//! One [`Client`] owns one connection and issues requests synchronously;
+//! for concurrency, open one client per thread (the load generator in
+//! `pol-bench` does exactly that). Server-side conditions surface as
+//! typed errors: [`ClientError::ServerBusy`] for backpressure shedding,
+//! [`ClientError::ServerError`] for rejected arguments.
+
+use crate::proto::{
+    decode_response, encode_request, read_frame, write_frame, ProtoError, Request, Response,
+    DEFAULT_MAX_FRAME_BYTES,
+};
+use pol_ais::types::MarketSegment;
+use pol_apps::eta::EtaEstimate;
+use pol_core::CellStats;
+use std::fmt;
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Everything a request round-trip can fail with.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport or protocol failure.
+    Proto(ProtoError),
+    /// The server shed this connection under load; retry later.
+    ServerBusy,
+    /// The server rejected the request (message carried from the wire).
+    ServerError(String),
+    /// The server answered with a response type the request cannot
+    /// produce.
+    Unexpected(&'static str),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Proto(e) => write!(f, "client protocol error: {e}"),
+            Self::ServerBusy => write!(f, "server busy, retry later"),
+            Self::ServerError(msg) => write!(f, "server rejected request: {msg}"),
+            Self::Unexpected(what) => write!(f, "unexpected response type: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<ProtoError> for ClientError {
+    fn from(e: ProtoError) -> Self {
+        Self::Proto(e)
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Proto(ProtoError::Io(e))
+    }
+}
+
+/// A blocking connection to a `pol-serve` server.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    max_frame_bytes: usize,
+}
+
+impl Client {
+    /// Connects with the default frame cap and no read timeout.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let read_half = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(read_half),
+            writer: BufWriter::new(stream),
+            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+        })
+    }
+
+    /// Sets a socket read timeout for subsequent requests.
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> Result<(), ClientError> {
+        self.reader.get_ref().set_read_timeout(timeout)?;
+        Ok(())
+    }
+
+    /// Sends one request and reads its response. `Busy` and `Error`
+    /// responses pass through (some callers want to see them raw); the
+    /// typed helpers below turn them into [`ClientError`]s.
+    pub fn request(&mut self, req: &Request) -> Result<Response, ClientError> {
+        let payload = encode_request(req);
+        write_frame(&mut self.writer, &payload).map_err(ProtoError::Io)?;
+        self.writer.flush().map_err(ProtoError::Io)?;
+        let reply = read_frame(&mut self.reader, self.max_frame_bytes)?;
+        Ok(decode_response(&reply)?)
+    }
+
+    fn checked(&mut self, req: &Request) -> Result<Response, ClientError> {
+        match self.request(req)? {
+            Response::Busy => Err(ClientError::ServerBusy),
+            Response::Error(msg) => Err(ClientError::ServerError(msg)),
+            other => Ok(other),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.checked(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            _ => Err(ClientError::Unexpected("wanted Pong")),
+        }
+    }
+
+    /// All-traffic summary of the cell containing `(lat, lon)`.
+    pub fn point_summary(&mut self, lat: f64, lon: f64) -> Result<Option<CellStats>, ClientError> {
+        match self.checked(&Request::PointSummary { lat, lon })? {
+            Response::Summary(s) => Ok(s),
+            _ => Err(ClientError::Unexpected("wanted Summary")),
+        }
+    }
+
+    /// Per-vessel-type summary of the cell containing `(lat, lon)`.
+    pub fn segment_summary(
+        &mut self,
+        lat: f64,
+        lon: f64,
+        segment: MarketSegment,
+    ) -> Result<Option<CellStats>, ClientError> {
+        match self.checked(&Request::SegmentSummary { lat, lon, segment })? {
+            Response::Summary(s) => Ok(s),
+            _ => Err(ClientError::Unexpected("wanted Summary")),
+        }
+    }
+
+    /// Per-route summary of the cell containing `(lat, lon)`.
+    pub fn route_summary(
+        &mut self,
+        lat: f64,
+        lon: f64,
+        origin: u16,
+        dest: u16,
+        segment: MarketSegment,
+    ) -> Result<Option<CellStats>, ClientError> {
+        let req = Request::RouteSummary {
+            lat,
+            lon,
+            origin,
+            dest,
+            segment,
+        };
+        match self.checked(&req)? {
+            Response::Summary(s) => Ok(s),
+            _ => Err(ClientError::Unexpected("wanted Summary")),
+        }
+    }
+
+    /// Occupied cells (raw indices, sorted) inside a bounding box.
+    pub fn bbox_scan(
+        &mut self,
+        min_lat: f64,
+        min_lon: f64,
+        max_lat: f64,
+        max_lon: f64,
+    ) -> Result<Vec<u64>, ClientError> {
+        let req = Request::BboxScan {
+            min_lat,
+            min_lon,
+            max_lat,
+            max_lon,
+        };
+        match self.checked(&req)? {
+            Response::Cells(cells) => Ok(cells),
+            _ => Err(ClientError::Unexpected("wanted Cells")),
+        }
+    }
+
+    /// Occupied cells (raw indices, sorted) whose top destination is
+    /// `dest`.
+    pub fn top_destination_cells(
+        &mut self,
+        dest: u16,
+        segment: Option<MarketSegment>,
+    ) -> Result<Vec<u64>, ClientError> {
+        match self.checked(&Request::TopDestinationCells { dest, segment })? {
+            Response::Cells(cells) => Ok(cells),
+            _ => Err(ClientError::Unexpected("wanted Cells")),
+        }
+    }
+
+    /// ETA estimate for a vessel at `(lat, lon)`.
+    pub fn eta(
+        &mut self,
+        lat: f64,
+        lon: f64,
+        segment: Option<MarketSegment>,
+        route: Option<(u16, u16)>,
+    ) -> Result<Option<EtaEstimate>, ClientError> {
+        let req = Request::Eta {
+            lat,
+            lon,
+            segment,
+            route,
+        };
+        match self.checked(&req)? {
+            Response::Eta(e) => Ok(e),
+            _ => Err(ClientError::Unexpected("wanted Eta")),
+        }
+    }
+
+    /// Ranked destination predictions for a positional track (oldest
+    /// first).
+    pub fn predict_destination(
+        &mut self,
+        segment: Option<MarketSegment>,
+        top_n: u8,
+        track: Vec<(f64, f64)>,
+    ) -> Result<Vec<(u16, f64)>, ClientError> {
+        let req = Request::PredictDestination {
+            segment,
+            top_n,
+            track,
+        };
+        match self.checked(&req)? {
+            Response::Destinations(ranked) => Ok(ranked),
+            _ => Err(ClientError::Unexpected("wanted Destinations")),
+        }
+    }
+
+    /// Server counters and latency summaries.
+    pub fn stats(&mut self) -> Result<crate::metrics::StatsReport, ClientError> {
+        match self.checked(&Request::Stats)? {
+            Response::Stats(report) => Ok(report),
+            _ => Err(ClientError::Unexpected("wanted Stats")),
+        }
+    }
+}

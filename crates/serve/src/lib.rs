@@ -1,0 +1,30 @@
+//! `pol-serve` — a concurrent TCP query server over a loaded inventory.
+//!
+//! The paper's inventory is an offline artefact; this crate puts it
+//! online. A [`server::Server`] owns a hash-sharded read-only
+//! [`store::ShardedStore`], answers point/route/bbox/top-destination
+//! queries plus the `pol-apps` ETA and destination-prediction endpoints
+//! over a versioned length-prefixed binary protocol ([`proto`]), caches
+//! the expensive aggregate scans ([`store::QueryCache`]), and accounts
+//! every request in per-endpoint latency histograms ([`metrics`]).
+//!
+//! Operational posture: bounded worker pool with typed
+//! [`proto::Response::Busy`] backpressure instead of unbounded queueing,
+//! per-frame size caps, socket read/write timeouts, hostile-input-safe
+//! decoding, and clean shutdown on a control signal. The matching
+//! [`client::Client`] and the `polload` load generator in `pol-bench`
+//! drive it.
+
+#![deny(missing_docs)]
+
+pub mod client;
+pub mod metrics;
+pub mod proto;
+pub mod server;
+pub mod store;
+
+pub use client::{Client, ClientError};
+pub use metrics::{Endpoint, EndpointStats, ServerMetrics, StatsReport};
+pub use proto::{ProtoError, Request, Response, PROTO_VERSION};
+pub use server::{InventoryService, Server, ServerConfig};
+pub use store::{QueryCache, ShardedStore};

@@ -1,0 +1,360 @@
+//! Per-endpoint serving metrics: request counters and latency
+//! histograms, exposed through the `STATS` endpoint.
+//!
+//! Latency is tracked per endpoint in a fixed-width
+//! [`pol_sketch::Histogram`] over microseconds (the same machinery the
+//! inventory uses for its 30°-bin course histograms), with a
+//! [`pol_sketch::Welford`] alongside for exact max. Startup work (load,
+//! shard build) is accounted as [`pol_engine::metrics::StageReport`]s in
+//! a [`JobMetrics`], so `STATS` shows the server's build stages in the
+//! same rendering as a pipeline run.
+
+use parking_lot::Mutex;
+use pol_engine::metrics::{JobMetrics, StageReport};
+use pol_sketch::{Histogram, Welford};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Upper edge of the latency histograms, microseconds. Slower requests
+/// land in the overflow counter and report as `HIST_MAX_US`.
+pub const HIST_MAX_US: f64 = 10_000.0;
+
+/// Histogram bin count (10 µs granularity over `0..HIST_MAX_US`).
+pub const HIST_BINS: usize = 1000;
+
+/// A served endpoint, used for routing metrics and in `STATS` replies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Endpoint {
+    /// Liveness probe.
+    Ping,
+    /// All-traffic point summary.
+    PointSummary,
+    /// Per-vessel-type point summary.
+    SegmentSummary,
+    /// Per-route point summary.
+    RouteSummary,
+    /// Bounding-box occupied-cell scan.
+    BboxScan,
+    /// Figure-6 top-destination cell filter.
+    TopDestinationCells,
+    /// ETA estimation.
+    Eta,
+    /// Streaming destination prediction.
+    PredictDestination,
+    /// The stats endpoint itself.
+    Stats,
+}
+
+impl Endpoint {
+    /// Every endpoint, in wire-id order.
+    pub const ALL: [Endpoint; 9] = [
+        Endpoint::Ping,
+        Endpoint::PointSummary,
+        Endpoint::SegmentSummary,
+        Endpoint::RouteSummary,
+        Endpoint::BboxScan,
+        Endpoint::TopDestinationCells,
+        Endpoint::Eta,
+        Endpoint::PredictDestination,
+        Endpoint::Stats,
+    ];
+
+    /// Stable wire id.
+    pub fn id(self) -> u8 {
+        match self {
+            Endpoint::Ping => 0,
+            Endpoint::PointSummary => 1,
+            Endpoint::SegmentSummary => 2,
+            Endpoint::RouteSummary => 3,
+            Endpoint::BboxScan => 4,
+            Endpoint::TopDestinationCells => 5,
+            Endpoint::Eta => 6,
+            Endpoint::PredictDestination => 7,
+            Endpoint::Stats => 8,
+        }
+    }
+
+    /// Inverse of [`Endpoint::id`].
+    pub fn from_id(id: u8) -> Option<Endpoint> {
+        Endpoint::ALL.get(id as usize).copied()
+    }
+
+    /// Human-readable name used in `BENCH_serve.json` and log lines.
+    pub fn name(self) -> &'static str {
+        match self {
+            Endpoint::Ping => "ping",
+            Endpoint::PointSummary => "point_summary",
+            Endpoint::SegmentSummary => "segment_summary",
+            Endpoint::RouteSummary => "route_summary",
+            Endpoint::BboxScan => "bbox_scan",
+            Endpoint::TopDestinationCells => "top_destination_cells",
+            Endpoint::Eta => "eta",
+            Endpoint::PredictDestination => "predict_destination",
+            Endpoint::Stats => "stats",
+        }
+    }
+}
+
+/// One endpoint's row in a [`StatsReport`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct EndpointStats {
+    /// Which endpoint.
+    pub endpoint: Endpoint,
+    /// Requests served.
+    pub count: u64,
+    /// Median latency, microseconds (histogram bin upper edge).
+    pub p50_us: f64,
+    /// 99th-percentile latency, microseconds.
+    pub p99_us: f64,
+    /// Slowest observed request, microseconds (exact).
+    pub max_us: f64,
+}
+
+/// A point-in-time snapshot of the server's counters — the `STATS`
+/// endpoint's reply body.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StatsReport {
+    /// Requests decoded and executed (any endpoint).
+    pub total_requests: u64,
+    /// Connections rejected with [`crate::proto::Response::Busy`].
+    pub busy_rejections: u64,
+    /// Frames that failed to decode.
+    pub malformed_frames: u64,
+    /// Connections accepted.
+    pub connections: u64,
+    /// Aggregate-query cache hits (bbox scans, top-destination filters).
+    pub cache_hits: u64,
+    /// Aggregate-query cache misses.
+    pub cache_misses: u64,
+    /// Per-endpoint counters, in [`Endpoint::ALL`] order, endpoints with
+    /// zero traffic omitted.
+    pub endpoints: Vec<EndpointStats>,
+    /// Startup stage accounting rendered by
+    /// [`pol_engine::metrics::JobMetrics::render`].
+    pub stages: String,
+}
+
+struct EndpointSlot {
+    count: AtomicU64,
+    lat: Mutex<(Histogram, Welford)>,
+}
+
+impl EndpointSlot {
+    fn new() -> EndpointSlot {
+        EndpointSlot {
+            count: AtomicU64::new(0),
+            lat: Mutex::new((Histogram::new(0.0, HIST_MAX_US, HIST_BINS), Welford::new())),
+        }
+    }
+}
+
+/// Shared, thread-safe serving counters. One instance per server.
+pub struct ServerMetrics {
+    slots: Vec<EndpointSlot>,
+    busy_rejections: AtomicU64,
+    malformed_frames: AtomicU64,
+    connections: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    jobs: JobMetrics,
+}
+
+impl Default for ServerMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ServerMetrics {
+    /// Fresh zeroed counters.
+    pub fn new() -> ServerMetrics {
+        ServerMetrics {
+            slots: Endpoint::ALL.iter().map(|_| EndpointSlot::new()).collect(),
+            busy_rejections: AtomicU64::new(0),
+            malformed_frames: AtomicU64::new(0),
+            connections: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            jobs: JobMetrics::default(),
+        }
+    }
+
+    /// Accounts one served request.
+    pub fn record(&self, endpoint: Endpoint, wall: Duration) {
+        if let Some(slot) = self.slots.get(endpoint.id() as usize) {
+            slot.count.fetch_add(1, Ordering::Relaxed);
+            let us = wall.as_secs_f64() * 1e6;
+            let mut lat = slot.lat.lock();
+            lat.0.add(us);
+            lat.1.add(us);
+        }
+    }
+
+    /// Accounts a startup stage (inventory load, shard build, …).
+    pub fn record_stage(&self, report: StageReport) {
+        self.jobs.record(report);
+    }
+
+    /// Counts a busy rejection.
+    pub fn incr_busy(&self) {
+        self.busy_rejections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts an undecodable frame.
+    pub fn incr_malformed(&self) {
+        self.malformed_frames.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts an accepted connection.
+    pub fn incr_connections(&self) {
+        self.connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts an aggregate-cache hit.
+    pub fn incr_cache_hit(&self) {
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts an aggregate-cache miss.
+    pub fn incr_cache_miss(&self) {
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Requests served so far across all endpoints.
+    pub fn total_requests(&self) -> u64 {
+        self.slots
+            .iter()
+            .map(|s| s.count.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Snapshots everything into a wire-encodable report.
+    pub fn snapshot(&self) -> StatsReport {
+        let mut endpoints = Vec::new();
+        for ep in Endpoint::ALL {
+            let Some(slot) = self.slots.get(ep.id() as usize) else {
+                continue;
+            };
+            let count = slot.count.load(Ordering::Relaxed);
+            if count == 0 {
+                continue;
+            }
+            let lat = slot.lat.lock();
+            endpoints.push(EndpointStats {
+                endpoint: ep,
+                count,
+                p50_us: histogram_quantile_us(&lat.0, 0.50),
+                p99_us: histogram_quantile_us(&lat.0, 0.99),
+                max_us: lat.1.max().unwrap_or(0.0),
+            });
+        }
+        StatsReport {
+            total_requests: self.total_requests(),
+            busy_rejections: self.busy_rejections.load(Ordering::Relaxed),
+            malformed_frames: self.malformed_frames.load(Ordering::Relaxed),
+            connections: self.connections.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            endpoints,
+            stages: self.jobs.render(),
+        }
+    }
+}
+
+/// Reads quantile `q` off a latency histogram: the upper edge of the bin
+/// where the cumulative count crosses `q·total` (≤ one bin width of
+/// overestimate). Observations past the histogram range report as
+/// [`HIST_MAX_US`].
+pub fn histogram_quantile_us(h: &Histogram, q: f64) -> f64 {
+    let total = h.total();
+    if total == 0 {
+        return 0.0;
+    }
+    let target = (q.clamp(0.0, 1.0) * total as f64).ceil().max(1.0) as u64;
+    let mut cum = h.underflow();
+    if cum >= target {
+        return 0.0;
+    }
+    for (_, hi, count) in h.bins() {
+        cum += count;
+        if cum >= target {
+            return hi;
+        }
+    }
+    HIST_MAX_US
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoint_ids_round_trip() {
+        for ep in Endpoint::ALL {
+            assert_eq!(Endpoint::from_id(ep.id()), Some(ep));
+        }
+        assert_eq!(Endpoint::from_id(200), None);
+    }
+
+    #[test]
+    fn quantiles_from_histogram() {
+        let mut h = Histogram::new(0.0, HIST_MAX_US, HIST_BINS);
+        for i in 0..100 {
+            h.add(i as f64 * 10.0); // 0, 10, …, 990 µs
+        }
+        let p50 = histogram_quantile_us(&h, 0.5);
+        assert!((400.0..=600.0).contains(&p50), "p50 {p50}");
+        let p99 = histogram_quantile_us(&h, 0.99);
+        assert!((950.0..=1000.0).contains(&p99), "p99 {p99}");
+        assert_eq!(
+            histogram_quantile_us(&Histogram::new(0.0, 1.0, 2), 0.5),
+            0.0
+        );
+    }
+
+    #[test]
+    fn overflow_reports_hist_max() {
+        let mut h = Histogram::new(0.0, HIST_MAX_US, HIST_BINS);
+        for _ in 0..10 {
+            h.add(HIST_MAX_US * 5.0);
+        }
+        assert_eq!(histogram_quantile_us(&h, 0.5), HIST_MAX_US);
+    }
+
+    #[test]
+    fn snapshot_reflects_recordings() {
+        let m = ServerMetrics::new();
+        m.record(Endpoint::PointSummary, Duration::from_micros(100));
+        m.record(Endpoint::PointSummary, Duration::from_micros(300));
+        m.record(Endpoint::Eta, Duration::from_micros(900));
+        m.incr_busy();
+        m.incr_cache_hit();
+        m.incr_cache_miss();
+        m.incr_connections();
+        let snap = m.snapshot();
+        assert_eq!(snap.total_requests, 3);
+        assert_eq!(snap.busy_rejections, 1);
+        assert_eq!(snap.cache_hits, 1);
+        assert_eq!(snap.cache_misses, 1);
+        assert_eq!(snap.connections, 1);
+        assert_eq!(snap.endpoints.len(), 2); // zero-traffic endpoints omitted
+        let point = &snap.endpoints[0];
+        assert_eq!(point.endpoint, Endpoint::PointSummary);
+        assert_eq!(point.count, 2);
+        assert!(point.max_us >= 300.0);
+        assert!(point.p50_us > 0.0 && point.p50_us <= point.p99_us);
+    }
+
+    #[test]
+    fn stages_render_into_snapshot() {
+        let m = ServerMetrics::new();
+        m.record_stage(StageReport {
+            name: "shard".into(),
+            input_records: 10,
+            output_records: 10,
+            shuffled_records: 0,
+            wall: Duration::from_millis(2),
+        });
+        assert!(m.snapshot().stages.contains("shard"));
+    }
+}

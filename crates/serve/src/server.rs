@@ -1,0 +1,500 @@
+//! The concurrent TCP query server.
+//!
+//! One accept thread admits connections onto a bounded
+//! [`pol_engine::ThreadPool`]; each worker owns its connection for its
+//! lifetime and speaks the length-prefixed protocol of [`crate::proto`].
+//! Admission is capped at `worker_threads + max_pending`: a connection
+//! over the cap is answered with a typed [`Response::Busy`] frame and
+//! closed instead of queueing unboundedly — load sheds at the edge, it
+//! does not pile up.
+//!
+//! Graceful shutdown: [`Server::shutdown`] raises a stop flag and pokes
+//! the listener with a loopback connect to unblock `accept`. Connection
+//! workers notice the flag at their next socket read timeout (the
+//! read-timeout interval doubles as the shutdown poll granularity) and
+//! drain; dropping the pool joins them.
+
+use crate::metrics::ServerMetrics;
+use crate::proto::{
+    decode_request, encode_response, write_frame, FrameAccumulator, ProtoError, Request, Response,
+    DEFAULT_MAX_FRAME_BYTES,
+};
+use crate::store::{CacheKey, QueryCache, ShardedStore};
+use parking_lot::Mutex;
+use pol_apps::destination::DestinationPredictor;
+use pol_apps::eta::EtaEstimator;
+use pol_core::{Inventory, InventoryQuery};
+use pol_engine::metrics::StageReport;
+use pol_engine::ThreadPool;
+use pol_geo::{BBox, LatLon};
+use pol_hexgrid::cell_at;
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Tunables for [`Server::start`].
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// Connection worker threads (each owns one connection at a time).
+    pub worker_threads: usize,
+    /// Admitted-but-unserved connections tolerated beyond the workers
+    /// before new arrivals are shed with [`Response::Busy`].
+    pub max_pending: usize,
+    /// Hash shards for the read store.
+    pub shards: usize,
+    /// Aggregate-query cache entries (0 disables the cache).
+    pub cache_capacity: usize,
+    /// Socket read timeout; also the shutdown-flag poll interval.
+    pub read_timeout: Duration,
+    /// Socket write timeout.
+    pub write_timeout: Duration,
+    /// Per-frame size cap, both directions.
+    pub max_frame_bytes: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            worker_threads: 8,
+            max_pending: 64,
+            shards: 8,
+            cache_capacity: 256,
+            read_timeout: Duration::from_millis(100),
+            write_timeout: Duration::from_secs(5),
+            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+        }
+    }
+}
+
+/// The query-execution core: a sharded store, the aggregate cache, and
+/// the metrics sink. Shared by every connection worker; also usable
+/// directly (without sockets) for in-process querying and tests.
+pub struct InventoryService {
+    store: ShardedStore,
+    cache: Mutex<QueryCache>,
+    metrics: Arc<ServerMetrics>,
+}
+
+impl InventoryService {
+    /// Builds the service, sharding `inventory` and recording the build
+    /// as a `StageReport` on `metrics`.
+    pub fn new(inventory: Inventory, config: &ServerConfig, metrics: Arc<ServerMetrics>) -> Self {
+        let records = inventory.len() as u64;
+        let started = Instant::now();
+        let store = ShardedStore::new(inventory, config.shards.max(1));
+        metrics.record_stage(StageReport {
+            name: "shard-build".into(),
+            input_records: records,
+            output_records: store.len() as u64,
+            shuffled_records: 0,
+            wall: started.elapsed(),
+        });
+        InventoryService {
+            store,
+            cache: Mutex::new(QueryCache::new(config.cache_capacity)),
+            metrics,
+        }
+    }
+
+    /// The underlying sharded store.
+    pub fn store(&self) -> &ShardedStore {
+        &self.store
+    }
+
+    /// Executes one request. Invalid arguments (out-of-range coordinates,
+    /// inverted boxes) yield [`Response::Error`], never a transport
+    /// failure.
+    pub fn execute(&self, req: &Request) -> Response {
+        match req {
+            Request::Ping => Response::Pong,
+            Request::PointSummary { lat, lon } => match LatLon::new(*lat, *lon) {
+                Some(pos) => {
+                    let cell = cell_at(pos, self.store.resolution());
+                    Response::Summary(self.store.summary(cell).cloned())
+                }
+                None => Response::Error("coordinates out of range".into()),
+            },
+            Request::SegmentSummary { lat, lon, segment } => match LatLon::new(*lat, *lon) {
+                Some(pos) => {
+                    let cell = cell_at(pos, self.store.resolution());
+                    Response::Summary(self.store.summary_for(cell, *segment).cloned())
+                }
+                None => Response::Error("coordinates out of range".into()),
+            },
+            Request::RouteSummary {
+                lat,
+                lon,
+                origin,
+                dest,
+                segment,
+            } => match LatLon::new(*lat, *lon) {
+                Some(pos) => {
+                    let cell = cell_at(pos, self.store.resolution());
+                    Response::Summary(
+                        self.store
+                            .summary_route(cell, *origin, *dest, *segment)
+                            .cloned(),
+                    )
+                }
+                None => Response::Error("coordinates out of range".into()),
+            },
+            Request::BboxScan {
+                min_lat,
+                min_lon,
+                max_lat,
+                max_lon,
+            } => match BBox::new(*min_lat, *min_lon, *max_lat, *max_lon) {
+                Some(bbox) => {
+                    let key = CacheKey::Bbox([
+                        min_lat.to_bits(),
+                        min_lon.to_bits(),
+                        max_lat.to_bits(),
+                        max_lon.to_bits(),
+                    ]);
+                    let cells = self.cached(key, || {
+                        self.store.cells_in(&bbox).iter().map(|c| c.raw()).collect()
+                    });
+                    Response::Cells(cells.to_vec())
+                }
+                None => Response::Error("invalid bounding box".into()),
+            },
+            Request::TopDestinationCells { dest, segment } => {
+                let key = CacheKey::TopDest(*dest, segment.map(|s| s.id()));
+                let cells = self.cached(key, || {
+                    self.store
+                        .cells_with_top_destination(*dest, *segment)
+                        .iter()
+                        .map(|c| c.raw())
+                        .collect()
+                });
+                Response::Cells(cells.to_vec())
+            }
+            Request::Eta {
+                lat,
+                lon,
+                segment,
+                route,
+            } => match LatLon::new(*lat, *lon) {
+                Some(pos) => {
+                    let estimator = EtaEstimator::new(&self.store);
+                    Response::Eta(estimator.estimate(pos, *segment, *route))
+                }
+                None => Response::Error("coordinates out of range".into()),
+            },
+            Request::PredictDestination {
+                segment,
+                top_n,
+                track,
+            } => {
+                let mut predictor = DestinationPredictor::new(&self.store, *segment);
+                for (lat, lon) in track {
+                    match LatLon::new(*lat, *lon) {
+                        Some(pos) => {
+                            predictor.observe(pos);
+                        }
+                        None => return Response::Error("track coordinate out of range".into()),
+                    }
+                }
+                Response::Destinations(predictor.top(*top_n as usize))
+            }
+            Request::Stats => Response::Stats(self.metrics.snapshot()),
+        }
+    }
+
+    fn cached<F: FnOnce() -> Vec<u64>>(&self, key: CacheKey, compute: F) -> Arc<Vec<u64>> {
+        if let Some(hit) = self.cache.lock().get(&key) {
+            self.metrics.incr_cache_hit();
+            return hit;
+        }
+        // Compute outside the lock: a slow scan must not serialize every
+        // other aggregate query behind it (the race just recomputes).
+        self.metrics.incr_cache_miss();
+        let value = Arc::new(compute());
+        self.cache.lock().put(key, Arc::clone(&value));
+        value
+    }
+}
+
+/// A running server. Dropping it shuts it down.
+pub struct Server {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_handle: Option<JoinHandle<()>>,
+    metrics: Arc<ServerMetrics>,
+}
+
+impl Server {
+    /// Loads `inventory` into a sharded service and starts serving on
+    /// `addr` (use port 0 for an ephemeral port; the bound address is
+    /// available from [`Server::local_addr`]).
+    pub fn start<A: ToSocketAddrs>(
+        inventory: Inventory,
+        addr: A,
+        config: ServerConfig,
+    ) -> io::Result<Server> {
+        let metrics = Arc::new(ServerMetrics::new());
+        let service = Arc::new(InventoryService::new(
+            inventory,
+            &config,
+            Arc::clone(&metrics),
+        ));
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_stop = Arc::clone(&stop);
+        let accept_metrics = Arc::clone(&metrics);
+        let accept_handle = thread::Builder::new()
+            .name("pol-serve-accept".into())
+            .spawn(move || {
+                accept_loop(listener, service, config, accept_stop, accept_metrics);
+            })?;
+        Ok(Server {
+            addr: local,
+            stop,
+            accept_handle: Some(accept_handle),
+            metrics,
+        })
+    }
+
+    /// The address the server is listening on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The server's live counters.
+    pub fn metrics(&self) -> Arc<ServerMetrics> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// Stops accepting, drains in-flight connections, joins all threads.
+    /// Idempotent.
+    pub fn shutdown(&mut self) {
+        if !self.stop.swap(true, Ordering::Relaxed) {
+            // Unblock the accept() call; the loop re-checks the flag
+            // before handling whatever this connect delivers.
+            let _ = TcpStream::connect(self.addr);
+        }
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    service: Arc<InventoryService>,
+    config: ServerConfig,
+    stop: Arc<AtomicBool>,
+    metrics: Arc<ServerMetrics>,
+) {
+    let workers = config.worker_threads.max(1);
+    let pool = ThreadPool::new(workers);
+    let admitted = Arc::new(AtomicUsize::new(0));
+    let admit_cap = workers + config.max_pending;
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                continue;
+            }
+        };
+        if stop.load(Ordering::Relaxed) {
+            break;
+        }
+        if admitted.fetch_add(1, Ordering::Relaxed) >= admit_cap {
+            admitted.fetch_sub(1, Ordering::Relaxed);
+            metrics.incr_busy();
+            reject_busy(stream, &config);
+            continue;
+        }
+        metrics.incr_connections();
+        let service = Arc::clone(&service);
+        let conn_stop = Arc::clone(&stop);
+        let conn_metrics = Arc::clone(&metrics);
+        let conn_admitted = Arc::clone(&admitted);
+        let submitted = pool.execute(move || {
+            handle_connection(stream, &service, &config, &conn_stop, &conn_metrics);
+            conn_admitted.fetch_sub(1, Ordering::Relaxed);
+        });
+        if submitted.is_err() {
+            // Pool shut down underneath us; undo the admission and stop.
+            admitted.fetch_sub(1, Ordering::Relaxed);
+            break;
+        }
+    }
+    // Dropping the pool joins the workers; they observe the stop flag at
+    // their next read timeout and drain.
+    drop(pool);
+}
+
+fn reject_busy(stream: TcpStream, config: &ServerConfig) {
+    let mut stream = stream;
+    let _ = stream.set_write_timeout(Some(config.write_timeout));
+    let payload = encode_response(&Response::Busy);
+    let _ = write_frame(&mut stream, &payload);
+    let _ = stream.flush();
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    service: &InventoryService,
+    config: &ServerConfig,
+    stop: &AtomicBool,
+    metrics: &ServerMetrics,
+) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(config.read_timeout));
+    let _ = stream.set_write_timeout(Some(config.write_timeout));
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    let mut acc = FrameAccumulator::new();
+    while !stop.load(Ordering::Relaxed) {
+        match acc.poll(&mut reader, config.max_frame_bytes) {
+            Ok(Some(payload)) => {
+                if !serve_frame(&payload, service, &mut writer, metrics) {
+                    break;
+                }
+            }
+            Ok(None) => {}
+            Err(ProtoError::Io(e))
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                // Read timeout: no bytes lost (the accumulator keeps its
+                // partial frame); loop around to poll the stop flag.
+            }
+            Err(ProtoError::FrameTooLarge(n)) => {
+                metrics.incr_malformed();
+                let resp = Response::Error(format!("frame of {n} bytes exceeds cap"));
+                let _ = write_response(&mut writer, &resp);
+                break;
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// Decodes, executes, and answers one frame. Returns `false` when the
+/// connection should close (malformed input or a dead peer).
+fn serve_frame<W: Write>(
+    payload: &[u8],
+    service: &InventoryService,
+    writer: &mut W,
+    metrics: &ServerMetrics,
+) -> bool {
+    let started = Instant::now();
+    match decode_request(payload) {
+        Ok(req) => {
+            let endpoint = req.endpoint();
+            let resp = service.execute(&req);
+            let ok = write_response(writer, &resp);
+            metrics.record(endpoint, started.elapsed());
+            ok
+        }
+        Err(e) => {
+            // A peer that cannot frame a request correctly gets one typed
+            // error, then the socket: resynchronising a corrupt binary
+            // stream is not worth the attack surface.
+            metrics.incr_malformed();
+            let _ = write_response(writer, &Response::Error(e.to_string()));
+            false
+        }
+    }
+}
+
+fn write_response<W: Write>(writer: &mut W, resp: &Response) -> bool {
+    let payload = encode_response(resp);
+    write_frame(writer, &payload)
+        .and_then(|()| writer.flush())
+        .is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pol_core::features::{CellStats, GroupKey};
+    use pol_sketch::hash::FxHashMap;
+
+    fn empty_inventory() -> Inventory {
+        let entries: FxHashMap<GroupKey, CellStats> = FxHashMap::default();
+        Inventory::from_entries(pol_hexgrid::Resolution::new(6).unwrap(), entries, 0)
+    }
+
+    #[test]
+    fn invalid_arguments_yield_typed_errors() {
+        let cfg = ServerConfig::default();
+        let svc = InventoryService::new(empty_inventory(), &cfg, Arc::new(ServerMetrics::new()));
+        for req in [
+            Request::PointSummary {
+                lat: 95.0,
+                lon: 0.0,
+            },
+            Request::BboxScan {
+                min_lat: 10.0,
+                min_lon: 0.0,
+                max_lat: -10.0,
+                max_lon: 5.0,
+            },
+            Request::Eta {
+                lat: 0.0,
+                lon: 999.0,
+                segment: None,
+                route: None,
+            },
+            Request::PredictDestination {
+                segment: None,
+                top_n: 1,
+                track: vec![(200.0, 0.0)],
+            },
+        ] {
+            assert!(
+                matches!(svc.execute(&req), Response::Error(_)),
+                "{req:?} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn aggregate_queries_hit_the_cache_on_repeat() {
+        let cfg = ServerConfig::default();
+        let metrics = Arc::new(ServerMetrics::new());
+        let svc = InventoryService::new(empty_inventory(), &cfg, Arc::clone(&metrics));
+        let req = Request::TopDestinationCells {
+            dest: 7,
+            segment: None,
+        };
+        svc.execute(&req);
+        svc.execute(&req);
+        let snap = metrics.snapshot();
+        assert_eq!(snap.cache_misses, 1);
+        assert_eq!(snap.cache_hits, 1);
+    }
+
+    #[test]
+    fn stats_request_reports_stage_accounting() {
+        let cfg = ServerConfig::default();
+        let metrics = Arc::new(ServerMetrics::new());
+        let svc = InventoryService::new(empty_inventory(), &cfg, Arc::clone(&metrics));
+        match svc.execute(&Request::Stats) {
+            Response::Stats(report) => assert!(report.stages.contains("shard-build")),
+            other => panic!("expected stats, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,346 @@
+//! The serving-side read store: a hash-sharded, read-only view of an
+//! [`Inventory`] plus an LRU cache for the expensive aggregate queries.
+//!
+//! Sharding splits the single entry map into `n` smaller maps keyed by a
+//! mix of the cell index. Point lookups touch exactly one shard (smaller
+//! probe footprint, better cache residency under concurrent load);
+//! whole-inventory scans (bbox, top-destination) fan out across shards
+//! and merge. The split is loss-free: every query answers exactly as the
+//! unsharded inventory would, which the loopback integration test
+//! asserts endpoint by endpoint.
+
+use pol_ais::types::MarketSegment;
+use pol_core::features::{CellStats, GroupKey};
+use pol_core::{Inventory, InventoryQuery};
+use pol_geo::BBox;
+use pol_hexgrid::{CellIndex, Resolution};
+use pol_sketch::hash::{mix64, FxHashMap};
+use std::sync::Arc;
+
+/// A read-only inventory split into cell-hash shards.
+pub struct ShardedStore {
+    resolution: Resolution,
+    total_records: u64,
+    entries: usize,
+    shards: Vec<Inventory>,
+}
+
+impl ShardedStore {
+    /// Splits an inventory into `n_shards` (at least 1) hash shards.
+    pub fn new(inventory: Inventory, n_shards: usize) -> ShardedStore {
+        let n = n_shards.max(1);
+        let (resolution, entries, total_records) = inventory.into_entries();
+        let entry_count = entries.len();
+        let mut maps: Vec<FxHashMap<GroupKey, CellStats>> =
+            (0..n).map(|_| FxHashMap::default()).collect();
+        for (key, stats) in entries {
+            let shard = shard_of(key.cell(), n);
+            if let Some(map) = maps.get_mut(shard) {
+                map.insert(key, stats);
+            }
+        }
+        let shards = maps
+            .into_iter()
+            .map(|m| Inventory::from_entries(resolution, m, 0))
+            .collect();
+        ShardedStore {
+            resolution,
+            total_records,
+            entries: entry_count,
+            shards,
+        }
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total group-identifier entries across all shards.
+    pub fn len(&self) -> usize {
+        self.entries
+    }
+
+    /// Whether the store holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+
+    /// Records summarised by the underlying inventory.
+    pub fn total_records(&self) -> u64 {
+        self.total_records
+    }
+
+    fn shard_for(&self, cell: CellIndex) -> &Inventory {
+        let idx = shard_of(cell, self.shards.len());
+        // shard_of is always < len; fall back to shard 0 defensively
+        // rather than indexing (this crate is panic-free by lint).
+        self.shards.get(idx).or(self.shards.first()).unwrap_or_else(
+            // lint: allow(no_panics) — the constructor guarantees at
+            // least one shard; an empty shard vector is unreachable.
+            || unreachable!("ShardedStore built with zero shards"),
+        )
+    }
+
+    /// Occupied cells whose centre falls inside a bounding box, merged
+    /// across shards and sorted for a canonical reply.
+    pub fn cells_in(&self, bbox: &BBox) -> Vec<CellIndex> {
+        let mut cells: Vec<CellIndex> = self.shards.iter().flat_map(|s| s.cells_in(bbox)).collect();
+        cells.sort_unstable();
+        cells
+    }
+
+    /// Occupied cells whose most frequent destination is `dest`, merged
+    /// across shards and sorted for a canonical reply.
+    pub fn cells_with_top_destination(
+        &self,
+        dest: u16,
+        segment: Option<MarketSegment>,
+    ) -> Vec<CellIndex> {
+        let mut cells: Vec<CellIndex> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.cells_with_top_destination(dest, segment))
+            .collect();
+        cells.sort_unstable();
+        cells
+    }
+}
+
+impl InventoryQuery for ShardedStore {
+    fn resolution(&self) -> Resolution {
+        self.resolution
+    }
+
+    fn summary(&self, cell: CellIndex) -> Option<&CellStats> {
+        self.shard_for(cell).summary(cell)
+    }
+
+    fn summary_for(&self, cell: CellIndex, segment: MarketSegment) -> Option<&CellStats> {
+        self.shard_for(cell).summary_for(cell, segment)
+    }
+
+    fn summary_route(
+        &self,
+        cell: CellIndex,
+        origin: u16,
+        dest: u16,
+        segment: MarketSegment,
+    ) -> Option<&CellStats> {
+        self.shard_for(cell)
+            .summary_route(cell, origin, dest, segment)
+    }
+}
+
+fn shard_of(cell: CellIndex, n: usize) -> usize {
+    (mix64(cell.raw()) % n.max(1) as u64) as usize
+}
+
+// ---------------------------------------------------------------------
+// Aggregate-query LRU cache
+// ---------------------------------------------------------------------
+
+/// Cache key for the two scan-shaped queries. Bbox edges are keyed by
+/// their IEEE-754 bit patterns, so any byte-identical request hits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CacheKey {
+    /// `BboxScan` edges as f64 bit patterns (min_lat, min_lon, max_lat,
+    /// max_lon).
+    Bbox([u64; 4]),
+    /// `TopDestinationCells` arguments (dest, segment id).
+    TopDest(u16, Option<u8>),
+}
+
+/// A small least-recently-used cache mapping scan queries to their reply
+/// cell lists. Values are `Arc`-shared so concurrent hits clone a
+/// pointer, not the list.
+pub struct QueryCache {
+    capacity: usize,
+    tick: u64,
+    map: FxHashMap<CacheKey, (Arc<Vec<u64>>, u64)>,
+}
+
+impl QueryCache {
+    /// A cache holding at most `capacity` entries (0 disables caching).
+    pub fn new(capacity: usize) -> QueryCache {
+        QueryCache {
+            capacity,
+            tick: 0,
+            map: FxHashMap::default(),
+        }
+    }
+
+    /// Looks up a key, refreshing its recency on hit.
+    pub fn get(&mut self, key: &CacheKey) -> Option<Arc<Vec<u64>>> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(key).map(|(v, used)| {
+            *used = tick;
+            Arc::clone(v)
+        })
+    }
+
+    /// Inserts a value, evicting the least-recently-used entry when full.
+    pub fn put(&mut self, key: CacheKey, value: Arc<Vec<u64>>) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        if self.map.len() >= self.capacity && !self.map.contains_key(&key) {
+            // Linear eviction scan: the cache is deliberately small
+            // (hundreds of entries), so O(n) beats the bookkeeping cost
+            // of an intrusive list at this size.
+            if let Some(oldest) = self
+                .map
+                .iter()
+                .min_by_key(|(_, (_, used))| *used)
+                .map(|(k, _)| *k)
+            {
+                self.map.remove(&oldest);
+            }
+        }
+        self.map.insert(key, (value, self.tick));
+    }
+
+    /// Entries currently cached.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pol_core::records::{CellPoint, TripPoint};
+    use pol_geo::LatLon;
+    use pol_hexgrid::cell_at;
+
+    fn res() -> Resolution {
+        Resolution::new(6).unwrap()
+    }
+
+    fn sample_inventory(n: usize) -> Inventory {
+        let mut entries: FxHashMap<GroupKey, CellStats> = FxHashMap::default();
+        for i in 0..n {
+            let pos = LatLon::new(-50.0 + (i % 100) as f64, (i % 160) as f64).unwrap();
+            let cell = cell_at(pos, res());
+            let cp = CellPoint {
+                point: TripPoint {
+                    mmsi: pol_ais::types::Mmsi(1 + (i % 7) as u32),
+                    timestamp: i as i64,
+                    pos,
+                    sog_knots: Some(9.0 + (i % 12) as f64),
+                    cog_deg: Some((i * 31 % 360) as f64),
+                    heading_deg: Some((i * 29 % 360) as f64),
+                    segment: MarketSegment::from_id((i % 6) as u8).unwrap(),
+                    trip_id: (i % 11) as u64,
+                    origin: (i % 5) as u16,
+                    dest: (i % 7) as u16,
+                    eto_secs: i as i64 * 30,
+                    ata_secs: (n - i) as i64 * 30,
+                },
+                cell,
+                next_cell: None,
+            };
+            for key in [
+                GroupKey::Cell(cell),
+                GroupKey::CellType(cell, cp.point.segment),
+                GroupKey::CellRoute(cell, cp.point.origin, cp.point.dest, cp.point.segment),
+            ] {
+                entries
+                    .entry(key)
+                    .or_insert_with(|| CellStats::new(0.02, 8))
+                    .observe(&cp);
+            }
+        }
+        Inventory::from_entries(res(), entries, n as u64)
+    }
+
+    #[test]
+    fn sharding_preserves_every_lookup() {
+        let reference = sample_inventory(400);
+        let store = ShardedStore::new(sample_inventory(400), 8);
+        assert_eq!(store.n_shards(), 8);
+        assert_eq!(store.len(), reference.len());
+        assert_eq!(store.total_records(), reference.total_records());
+        assert_eq!(
+            InventoryQuery::resolution(&store),
+            Inventory::resolution(&reference)
+        );
+        for (key, stats) in reference.iter() {
+            let got = match key {
+                GroupKey::Cell(c) => store.summary(*c),
+                GroupKey::CellType(c, s) => store.summary_for(*c, *s),
+                GroupKey::CellRoute(c, o, d, s) => store.summary_route(*c, *o, *d, *s),
+            };
+            let got = got.unwrap_or_else(|| panic!("missing {key:?}"));
+            assert_eq!(got.records, stats.records);
+            assert_eq!(got.top_destinations(3), stats.top_destinations(3));
+        }
+    }
+
+    #[test]
+    fn scans_match_unsharded_inventory() {
+        let reference = sample_inventory(400);
+        let store = ShardedStore::new(sample_inventory(400), 5);
+        let bbox = BBox::new(-20.0, 10.0, 40.0, 120.0).unwrap();
+        let mut want = reference.cells_in(&bbox);
+        want.sort_unstable();
+        assert_eq!(store.cells_in(&bbox), want);
+        for dest in 0..7u16 {
+            let mut want = reference.cells_with_top_destination(dest, None);
+            want.sort_unstable();
+            assert_eq!(store.cells_with_top_destination(dest, None), want, "{dest}");
+        }
+    }
+
+    #[test]
+    fn single_shard_degenerates_gracefully() {
+        let store = ShardedStore::new(sample_inventory(50), 0); // clamped to 1
+        assert_eq!(store.n_shards(), 1);
+        assert!(!store.is_empty());
+    }
+
+    #[test]
+    fn cache_hits_and_lru_eviction() {
+        let mut cache = QueryCache::new(2);
+        let (a, b, c) = (
+            CacheKey::TopDest(1, None),
+            CacheKey::TopDest(2, None),
+            CacheKey::Bbox([0, 1, 2, 3]),
+        );
+        cache.put(a, Arc::new(vec![1]));
+        cache.put(b, Arc::new(vec![2]));
+        assert_eq!(cache.get(&a).map(|v| v[0]), Some(1)); // refresh a
+        cache.put(c, Arc::new(vec![3])); // evicts b (least recent)
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(&b).is_none());
+        assert!(cache.get(&a).is_some());
+        assert!(cache.get(&c).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut cache = QueryCache::new(0);
+        cache.put(CacheKey::TopDest(1, None), Arc::new(vec![1]));
+        assert!(cache.is_empty());
+        assert!(cache.get(&CacheKey::TopDest(1, None)).is_none());
+    }
+
+    #[test]
+    fn updating_existing_key_does_not_evict() {
+        let mut cache = QueryCache::new(2);
+        let (a, b) = (CacheKey::TopDest(1, None), CacheKey::TopDest(2, None));
+        cache.put(a, Arc::new(vec![1]));
+        cache.put(b, Arc::new(vec![2]));
+        cache.put(a, Arc::new(vec![9])); // update in place
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.get(&a).map(|v| v[0]), Some(9));
+        assert!(cache.get(&b).is_some());
+    }
+}

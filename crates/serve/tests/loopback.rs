@@ -1,0 +1,327 @@
+//! End-to-end loopback tests: a real server on an ephemeral port, driven
+//! by concurrent clients, with every response checked against the answer
+//! computed directly on the unsharded `Inventory`. Also covers the
+//! operational contracts: backpressure (`Busy`), malformed-frame
+//! rejection, frame-size caps, and clean shutdown with clients attached.
+
+use pol_ais::types::{MarketSegment, Mmsi};
+use pol_apps::destination::DestinationPredictor;
+use pol_apps::eta::EtaEstimator;
+use pol_core::codec::encode_cell_stats;
+use pol_core::features::{CellStats, GroupKey};
+use pol_core::records::{CellPoint, TripPoint};
+use pol_core::Inventory;
+use pol_geo::{BBox, LatLon};
+use pol_hexgrid::{cell_at, CellIndex, Resolution};
+use pol_serve::proto::{read_frame, write_frame, ProtoError, Request, Response, PROTO_VERSION};
+use pol_serve::{Client, ClientError, Server, ServerConfig};
+use pol_sketch::hash::FxHashMap;
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn res() -> Resolution {
+    Resolution::new(6).unwrap()
+}
+
+/// A deterministic inventory with traffic in all three grouping sets.
+fn sample_inventory(n: usize) -> Inventory {
+    let mut entries: FxHashMap<GroupKey, CellStats> = FxHashMap::default();
+    for i in 0..n {
+        let pos = LatLon::new(-55.0 + (i % 111) as f64, -170.0 + (i % 340) as f64).unwrap();
+        let cell = cell_at(pos, res());
+        let cp = CellPoint {
+            point: TripPoint {
+                mmsi: Mmsi(1 + (i % 9) as u32),
+                timestamp: i as i64 * 60,
+                pos,
+                sog_knots: Some(8.0 + (i % 14) as f64),
+                cog_deg: Some((i * 37 % 360) as f64),
+                heading_deg: Some((i * 41 % 360) as f64),
+                segment: MarketSegment::from_id((i % 7) as u8).unwrap(),
+                trip_id: (i % 13) as u64,
+                origin: (i % 6) as u16,
+                dest: (i % 8) as u16,
+                eto_secs: i as i64 * 45,
+                ata_secs: (n - i) as i64 * 45,
+            },
+            cell,
+            next_cell: None,
+        };
+        for key in [
+            GroupKey::Cell(cell),
+            GroupKey::CellType(cell, cp.point.segment),
+            GroupKey::CellRoute(cell, cp.point.origin, cp.point.dest, cp.point.segment),
+        ] {
+            entries
+                .entry(key)
+                .or_insert_with(|| CellStats::new(0.02, 8))
+                .observe(&cp);
+        }
+    }
+    Inventory::from_entries(res(), entries, n as u64)
+}
+
+/// CellStats has no `PartialEq`; its canonical encoding is deterministic,
+/// so equality-by-encoded-bytes is exact.
+fn stats_bytes(stats: Option<&CellStats>) -> Option<Vec<u8>> {
+    stats.map(|s| {
+        let mut out = Vec::new();
+        encode_cell_stats(s, &mut out);
+        out
+    })
+}
+
+fn test_config() -> ServerConfig {
+    ServerConfig {
+        worker_threads: 6,
+        read_timeout: Duration::from_millis(25),
+        ..ServerConfig::default()
+    }
+}
+
+/// Every request type, from 4 concurrent client threads, each answer
+/// compared against the direct `Inventory` computation.
+#[test]
+fn concurrent_responses_equal_direct_inventory_queries() {
+    const N: usize = 600;
+    let reference = Arc::new(sample_inventory(N));
+    let mut server = Server::start(sample_inventory(N), "127.0.0.1:0", test_config()).unwrap();
+    let addr = server.local_addr();
+
+    std::thread::scope(|s| {
+        for tid in 0..4usize {
+            let reference = Arc::clone(&reference);
+            s.spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                client.ping().unwrap();
+                for j in 0..40usize {
+                    let i = tid * 40 + j;
+                    let pos =
+                        LatLon::new(-55.0 + (i % 111) as f64, -170.0 + (i % 340) as f64).unwrap();
+                    let cell = cell_at(pos, res());
+                    let seg = MarketSegment::from_id((i % 7) as u8).unwrap();
+                    let (origin, dest) = ((i % 6) as u16, (i % 8) as u16);
+
+                    let got = client.point_summary(pos.lat(), pos.lon()).unwrap();
+                    assert_eq!(
+                        stats_bytes(got.as_ref()),
+                        stats_bytes(reference.summary(cell)),
+                        "point {i}"
+                    );
+
+                    let got = client.segment_summary(pos.lat(), pos.lon(), seg).unwrap();
+                    assert_eq!(
+                        stats_bytes(got.as_ref()),
+                        stats_bytes(reference.summary_for(cell, seg)),
+                        "segment {i}"
+                    );
+
+                    let got = client
+                        .route_summary(pos.lat(), pos.lon(), origin, dest, seg)
+                        .unwrap();
+                    assert_eq!(
+                        stats_bytes(got.as_ref()),
+                        stats_bytes(reference.summary_route(cell, origin, dest, seg)),
+                        "route {i}"
+                    );
+
+                    let (lo_lat, lo_lon) = (pos.lat() - 4.0, pos.lon().max(-175.0) - 4.0);
+                    let bbox = BBox::new(lo_lat, lo_lon, lo_lat + 8.0, lo_lon + 8.0).unwrap();
+                    let got = client
+                        .bbox_scan(lo_lat, lo_lon, lo_lat + 8.0, lo_lon + 8.0)
+                        .unwrap();
+                    let mut want: Vec<u64> =
+                        reference.cells_in(&bbox).iter().map(|c| c.raw()).collect();
+                    want.sort_unstable();
+                    assert_eq!(got, want, "bbox {i}");
+
+                    let got = client.top_destination_cells(dest, Some(seg)).unwrap();
+                    let mut want: Vec<u64> = reference
+                        .cells_with_top_destination(dest, Some(seg))
+                        .iter()
+                        .map(|c| c.raw())
+                        .collect();
+                    want.sort_unstable();
+                    assert_eq!(got, want, "top-dest {i}");
+
+                    let got = client
+                        .eta(pos.lat(), pos.lon(), Some(seg), Some((origin, dest)))
+                        .unwrap();
+                    let want = EtaEstimator::new(reference.as_ref()).estimate(
+                        pos,
+                        Some(seg),
+                        Some((origin, dest)),
+                    );
+                    assert_eq!(got, want, "eta {i}");
+
+                    let track: Vec<(f64, f64)> = (0..5)
+                        .map(|k| {
+                            let p = LatLon::new(
+                                -55.0 + ((i + k) % 111) as f64,
+                                -170.0 + ((i + k) % 340) as f64,
+                            )
+                            .unwrap();
+                            (p.lat(), p.lon())
+                        })
+                        .collect();
+                    let got = client.predict_destination(None, 3, track.clone()).unwrap();
+                    let mut predictor = DestinationPredictor::new(reference.as_ref(), None);
+                    for (lat, lon) in &track {
+                        predictor.observe(LatLon::new(*lat, *lon).unwrap());
+                    }
+                    assert_eq!(got, predictor.top(3), "predict {i}");
+                }
+            });
+        }
+    });
+
+    let stats = server.metrics().snapshot();
+    assert!(
+        stats.total_requests >= 4 * 40 * 7,
+        "{}",
+        stats.total_requests
+    );
+    assert_eq!(stats.connections, 4);
+    assert_eq!(stats.malformed_frames, 0);
+    server.shutdown();
+}
+
+/// The `STATS` endpoint reflects traffic and the shard-build stage.
+#[test]
+fn stats_endpoint_reports_counters_and_stages() {
+    let mut server = Server::start(sample_inventory(50), "127.0.0.1:0", test_config()).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    client.ping().unwrap();
+    client.point_summary(10.0, 10.0).unwrap();
+    let report = client.stats().unwrap();
+    assert!(report.total_requests >= 2);
+    assert_eq!(report.connections, 1);
+    assert!(report.stages.contains("shard-build"));
+    assert!(report
+        .endpoints
+        .iter()
+        .any(|e| e.endpoint == pol_serve::Endpoint::PointSummary && e.count == 1));
+    server.shutdown();
+}
+
+/// Connections beyond `worker_threads + max_pending` are shed with a
+/// typed `Busy` frame instead of queueing.
+#[test]
+fn overload_is_rejected_with_busy() {
+    let config = ServerConfig {
+        worker_threads: 1,
+        max_pending: 0,
+        read_timeout: Duration::from_millis(25),
+        ..ServerConfig::default()
+    };
+    let mut server = Server::start(sample_inventory(20), "127.0.0.1:0", config).unwrap();
+    let addr = server.local_addr();
+
+    let mut first = Client::connect(addr).unwrap();
+    first.ping().unwrap(); // guarantees the admission is registered
+    let mut second = Client::connect(addr).unwrap();
+    match second.ping() {
+        Err(ClientError::ServerBusy) => {}
+        other => panic!("expected ServerBusy, got {other:?}"),
+    }
+    assert_eq!(server.metrics().snapshot().busy_rejections, 1);
+
+    // Releasing the first connection frees the slot for a new client.
+    drop(first);
+    std::thread::sleep(Duration::from_millis(150));
+    let mut third = Client::connect(addr).unwrap();
+    third.ping().unwrap();
+    server.shutdown();
+}
+
+/// A frame that fails to decode gets one typed error and the socket.
+#[test]
+fn malformed_frame_answered_then_disconnected() {
+    let mut server = Server::start(sample_inventory(20), "127.0.0.1:0", test_config()).unwrap();
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    write_frame(&mut stream, &[PROTO_VERSION, 250]).unwrap(); // unknown tag
+    stream.flush().unwrap();
+    let reply = read_frame(&mut stream, 1 << 20).unwrap();
+    match pol_serve::proto::decode_response(&reply).unwrap() {
+        Response::Error(msg) => assert!(msg.contains("tag"), "{msg}"),
+        other => panic!("expected Error, got {other:?}"),
+    }
+    // The server closes after a malformed frame.
+    match read_frame(&mut stream, 1 << 20) {
+        Err(ProtoError::ConnectionClosed) | Err(ProtoError::Io(_)) => {}
+        other => panic!("expected closed connection, got {other:?}"),
+    }
+    assert_eq!(server.metrics().snapshot().malformed_frames, 1);
+    server.shutdown();
+}
+
+/// A declared frame length over the cap is rejected without allocating it.
+#[test]
+fn oversized_frame_rejected() {
+    let mut server = Server::start(sample_inventory(20), "127.0.0.1:0", test_config()).unwrap();
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    let huge = (1u32 << 30).to_le_bytes();
+    stream.write_all(&huge).unwrap();
+    stream.flush().unwrap();
+    let reply = read_frame(&mut stream, 1 << 20).unwrap();
+    match pol_serve::proto::decode_response(&reply).unwrap() {
+        Response::Error(msg) => assert!(msg.contains("exceeds"), "{msg}"),
+        other => panic!("expected Error, got {other:?}"),
+    }
+    server.shutdown();
+}
+
+/// Shutdown drains cleanly with a client still attached, and the port
+/// stops answering.
+#[test]
+fn shutdown_is_clean_and_idempotent() {
+    let mut server = Server::start(sample_inventory(20), "127.0.0.1:0", test_config()).unwrap();
+    let addr = server.local_addr();
+    let mut client = Client::connect(addr).unwrap();
+    client.ping().unwrap();
+    server.shutdown();
+    server.shutdown(); // idempotent
+                       // The attached client's next request fails: connection drained.
+    client
+        .set_read_timeout(Some(Duration::from_millis(500)))
+        .unwrap();
+    assert!(client.ping().is_err());
+}
+
+/// Requests round-trip through a real socket even when split into
+/// byte-sized writes (exercises the server's frame accumulator).
+#[test]
+fn fragmented_request_is_reassembled() {
+    let mut server = Server::start(sample_inventory(50), "127.0.0.1:0", test_config()).unwrap();
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    let payload = pol_serve::proto::encode_request(&Request::Ping);
+    let mut framed = Vec::new();
+    write_frame(&mut framed, &payload).unwrap();
+    for b in framed {
+        stream.write_all(&[b]).unwrap();
+        stream.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let reply = read_frame(&mut stream, 1 << 20).unwrap();
+    assert!(matches!(
+        pol_serve::proto::decode_response(&reply).unwrap(),
+        Response::Pong
+    ));
+    server.shutdown();
+}
+
+/// `CellIndex::from_raw` accepts every index a bbox scan returns (the
+/// wire sends raw u64s; clients must be able to reconstruct them).
+#[test]
+fn scanned_cells_reconstruct_as_valid_indices() {
+    let mut server = Server::start(sample_inventory(200), "127.0.0.1:0", test_config()).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let cells = client.bbox_scan(-89.0, -179.0, 89.0, 179.0).unwrap();
+    assert!(!cells.is_empty());
+    for raw in cells {
+        CellIndex::from_raw(raw).unwrap();
+    }
+    server.shutdown();
+}

@@ -1,0 +1,189 @@
+//! Property tests for the wire protocol: every request/response encoding
+//! round-trips, and corrupted or truncated payloads fail typed — never
+//! panic, never over-allocate (mirrors the `core::codec` round-trip
+//! suite).
+
+use pol_ais::types::MarketSegment;
+use pol_apps::eta::EtaEstimate;
+use pol_serve::metrics::{Endpoint, EndpointStats, StatsReport};
+use pol_serve::proto::{
+    decode_request, decode_response, encode_request, encode_response, Request, Response,
+};
+use proptest::prelude::*;
+
+fn arb_segment() -> impl Strategy<Value = MarketSegment> {
+    (0u8..7).prop_map(|id| MarketSegment::from_id(id).expect("id in range"))
+}
+
+fn arb_request() -> impl Strategy<Value = Request> {
+    (
+        0u8..9,
+        (-90.0f64..90.0, -180.0f64..180.0),
+        arb_segment(),
+        (0u16..500, 0u16..500),
+        prop::option::of(arb_segment()),
+        prop::collection::vec((-90.0f64..90.0, -180.0f64..180.0), 0..16),
+        0u8..8,
+    )
+        .prop_map(
+            |(variant, (lat, lon), segment, (origin, dest), opt_seg, track, top_n)| match variant {
+                0 => Request::Ping,
+                1 => Request::PointSummary { lat, lon },
+                2 => Request::SegmentSummary { lat, lon, segment },
+                3 => Request::RouteSummary {
+                    lat,
+                    lon,
+                    origin,
+                    dest,
+                    segment,
+                },
+                4 => Request::BboxScan {
+                    min_lat: lat,
+                    min_lon: lon,
+                    max_lat: (lat + 1.0).min(90.0),
+                    max_lon: (lon + 1.0).min(180.0),
+                },
+                5 => Request::TopDestinationCells {
+                    dest,
+                    segment: opt_seg,
+                },
+                6 => Request::Eta {
+                    lat,
+                    lon,
+                    segment: opt_seg,
+                    route: (origin % 2 == 0).then_some((origin, dest)),
+                },
+                7 => Request::PredictDestination {
+                    segment: opt_seg,
+                    top_n,
+                    track,
+                },
+                _ => Request::Stats,
+            },
+        )
+}
+
+fn arb_eta() -> impl Strategy<Value = EtaEstimate> {
+    (
+        (0.0f64..1e7, 0.0f64..1e7, 0.0f64..1e7, 0.0f64..1e7),
+        0u64..1_000_000,
+        0u32..8,
+    )
+        .prop_map(|((mean, p10, p50, p90), samples, widened)| EtaEstimate {
+            mean_secs: mean,
+            p10_secs: p10,
+            p50_secs: p50,
+            p90_secs: p90,
+            samples,
+            widened,
+        })
+}
+
+fn arb_stats_report() -> impl Strategy<Value = StatsReport> {
+    (
+        (0u64..1 << 40, 0u64..1000, 0u64..1000, 0u64..10_000),
+        (0u64..1 << 30, 0u64..1 << 30),
+        prop::collection::vec(
+            (
+                0u8..9,
+                0u64..1 << 40,
+                (0.0f64..1e4, 0.0f64..1e4, 0.0f64..1e5),
+            ),
+            0..9,
+        ),
+        prop::collection::vec(32u8..127, 0..200),
+    )
+        .prop_map(
+            |((total, busy, malformed, conns), (hits, misses), eps, stage_bytes)| StatsReport {
+                total_requests: total,
+                busy_rejections: busy,
+                malformed_frames: malformed,
+                connections: conns,
+                cache_hits: hits,
+                cache_misses: misses,
+                endpoints: eps
+                    .into_iter()
+                    .map(|(id, count, (p50, p99, max))| EndpointStats {
+                        endpoint: Endpoint::from_id(id).expect("id in range"),
+                        count,
+                        p50_us: p50,
+                        p99_us: p99,
+                        max_us: max,
+                    })
+                    .collect(),
+                stages: String::from_utf8(stage_bytes).expect("ascii"),
+            },
+        )
+}
+
+fn arb_response() -> impl Strategy<Value = Response> {
+    (
+        0u8..6,
+        prop::collection::vec(0u64..u64::MAX, 0..64),
+        prop::option::of(arb_eta()),
+        prop::collection::vec((0u16..1000, 0.0f64..1.0), 0..12),
+        arb_stats_report(),
+        prop::collection::vec(32u8..127, 0..600),
+    )
+        .prop_map(|(variant, cells, eta, ranked, report, msg)| match variant {
+            0 => Response::Pong,
+            1 => Response::Cells(cells),
+            2 => Response::Eta(eta),
+            3 => Response::Destinations(ranked),
+            4 => Response::Stats(report),
+            _ => Response::Error(String::from_utf8(msg).expect("ascii")),
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every request decodes back to itself.
+    #[test]
+    fn request_encoding_round_trips(req in arb_request()) {
+        let bytes = encode_request(&req);
+        prop_assert_eq!(decode_request(&bytes).expect("decodes"), req);
+    }
+
+    /// Every response re-encodes to identical bytes after a decode
+    /// (`Response` holds `CellStats`-adjacent types without `PartialEq`,
+    /// so equality is by canonical encoding — same convention as the
+    /// inventory codec tests).
+    #[test]
+    fn response_encoding_round_trips(resp in arb_response()) {
+        let bytes = encode_response(&resp);
+        let back = decode_response(&bytes).expect("decodes");
+        prop_assert_eq!(encode_response(&back), bytes);
+    }
+
+    /// No strict prefix of a valid request is itself a valid request:
+    /// truncation is always a typed error, never a silent partial decode
+    /// (and never a panic or oversized allocation).
+    #[test]
+    fn truncated_requests_fail_typed(req in arb_request(), cut in 0usize..4096) {
+        let bytes = encode_request(&req);
+        if bytes.len() > 1 {
+            let cut = cut % (bytes.len() - 1);
+            prop_assert!(decode_request(&bytes[..cut]).is_err());
+        }
+    }
+
+    /// Single-byte corruption anywhere in a request payload either decodes
+    /// to some request or fails typed — it must never panic.
+    #[test]
+    fn corrupted_requests_never_panic(req in arb_request(), pos in 0usize..4096, flip in 1u8..255) {
+        let mut bytes = encode_request(&req);
+        let pos = pos % bytes.len();
+        bytes[pos] ^= flip;
+        let _ = decode_request(&bytes); // must return, Ok or Err
+    }
+
+    /// Same for responses, which carry nested variable-length structures.
+    #[test]
+    fn corrupted_responses_never_panic(resp in arb_response(), pos in 0usize..4096, flip in 1u8..255) {
+        let mut bytes = encode_response(&resp);
+        let pos = pos % bytes.len();
+        bytes[pos] ^= flip;
+        let _ = decode_response(&bytes);
+    }
+}

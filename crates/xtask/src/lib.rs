@@ -50,8 +50,9 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-/// Crates whose non-test code must be panic-free (R1).
-pub const HOT_CRATES: [&str; 4] = ["engine", "core", "sketch", "hexgrid"];
+/// Crates whose non-test code must be panic-free (R1). `serve` is hot:
+/// a panic in a connection worker would silently shrink the pool.
+pub const HOT_CRATES: [&str; 5] = ["engine", "core", "sketch", "hexgrid", "serve"];
 
 /// Crates whose coordinate math must stay in double precision (R3).
 pub const F64_ONLY_CRATES: [&str; 2] = ["geo", "hexgrid"];
