@@ -57,4 +57,10 @@ if ! grep -q "shut down after" "$smoke_dir/serve.err"; then
 fi
 echo "pol-serve smoke: $(grep 'aggregate point_summary' "$smoke_dir/load.out")"
 
+echo "==> chaos smoke (fault-injected persistence + serving)"
+cargo test -q -p pol-core --features chaos --test codec_chaos
+cargo test -q -p pol-serve --features chaos --test chaos
+cargo run -q -p pol-bench --features chaos --bin polload -- \
+  --chaos --vessels 20 --days 3 --requests 1000
+
 echo "ci: all gates passed"

@@ -3,10 +3,16 @@
 //! ```text
 //! polinv build --out inv.pol [--vessels 150] [--days 14] [--res 6] [--seed 42]
 //! polinv info <inv.pol>
+//! polinv verify <inv.pol>
 //! polinv query <inv.pol> <lat> <lon> [--segment container|tanker|...]
 //! polinv top-dest <inv.pol> <LOCODE>
 //! polinv serve <inv.pol> [--addr 127.0.0.1:0] [--workers 8] [--shards 8]
 //! ```
+//!
+//! While `serve` is running, its stdin is a tiny control channel: a
+//! `reload <file>` line hot-swaps the snapshot (validated first — a
+//! corrupt file is rejected and the old snapshot keeps serving), and
+//! EOF shuts the server down.
 
 use pol_ais::types::MarketSegment;
 use pol_bench::build_inventory;
@@ -23,6 +29,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  polinv build --out <file> [--vessels N] [--days D] [--res R] [--seed S]\n  \
          polinv info <file>\n  \
+         polinv verify <file>\n  \
          polinv query <file> <lat> <lon> [--segment <name>]\n  \
          polinv top-dest <file> <LOCODE>\n  \
          polinv serve <file> [--addr HOST:PORT] [--workers N] [--shards N] [--cache N]"
@@ -124,6 +131,28 @@ fn cmd_info(args: &[String]) -> ExitCode {
         println!("  entries {:<20} {}", name, inv.len_of(gs));
     }
     ExitCode::SUCCESS
+}
+
+fn cmd_verify(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        return usage();
+    };
+    match codec::verify(Path::new(path)) {
+        Ok(report) => {
+            println!("{path}: OK");
+            println!("  file length       {} bytes", report.file_len);
+            println!("  header crc64      {:016x}", report.header_crc);
+            println!("  entries crc64     {:016x}", report.entries_crc);
+            println!("  resolution        {}", report.resolution);
+            println!("  records           {}", report.total_records);
+            println!("  entries           {}", report.entries);
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{path}: CORRUPT: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn cmd_query(args: &[String]) -> ExitCode {
@@ -251,13 +280,25 @@ fn cmd_serve(args: &[String]) -> ExitCode {
     println!("listening on {}", server.local_addr());
     use std::io::{BufRead, Write};
     std::io::stdout().flush().ok();
-    eprintln!("serving {path}; close stdin (Ctrl-D) to stop");
+    eprintln!("serving {path}; `reload <file>` to hot-swap, close stdin (Ctrl-D) to stop");
     // std has no portable signal handling: stdin EOF is the shutdown
     // control signal (ci.sh holds a fifo open and closes it to stop us).
+    // A `reload <file>` line hot-swaps the snapshot without dropping
+    // connections; a corrupt file is rejected and the old one serves on.
     let stdin = std::io::stdin();
     for line in stdin.lock().lines() {
-        if line.is_err() {
-            break;
+        let Ok(line) = line else { break };
+        if let Some(new_path) = line.trim().strip_prefix("reload ") {
+            let new_path = new_path.trim();
+            match server.reload_from(Path::new(new_path)) {
+                Ok(()) => eprintln!(
+                    "reloaded {new_path} (generation {})",
+                    server.metrics().generation()
+                ),
+                Err(e) => eprintln!("reload rejected, keeping old snapshot: {e}"),
+            }
+        } else if !line.trim().is_empty() {
+            eprintln!("unknown control command (only `reload <file>` is understood)");
         }
     }
     let stats = server.metrics().snapshot();
@@ -274,6 +315,7 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("build") => cmd_build(&args[1..]),
         Some("info") => cmd_info(&args[1..]),
+        Some("verify") => cmd_verify(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
         Some("top-dest") => cmd_top_dest(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),

@@ -4,12 +4,20 @@
 //! polload [--addr HOST:PORT] [--threads 8] [--requests 20000]
 //!         [--vessels 150] [--days 14] [--seed 42] [--workers 8]
 //!         [--out figures/BENCH_serve.json]
+//! polload --chaos [--threads 4] [--requests 2000] [--vessels N] ...
 //! ```
 //!
 //! Without `--addr`, polload builds a res-6 fleetsim inventory in
 //! process, starts a server on an ephemeral loopback port, drives it, and
 //! shuts it down — the self-contained form the CI smoke test runs. With
 //! `--addr` it drives an already-running server (`polinv serve`).
+//!
+//! `--chaos` (needs a build with `--features pol-bench/chaos`) runs the
+//! fault-injection self-test instead: failpoints kill connection workers
+//! and delay reads while a retrying client fleet checks every answer
+//! against a reference inventory. The run fails if chaos ever produced a
+//! wrong answer, if the surfaced-error rate exceeded 10%, or if the
+//! server did not recover fully once the faults were disarmed.
 //!
 //! Each endpoint gets its own burst phase over N concurrent connections
 //! (one per thread); client-side latency is measured per request and
@@ -167,14 +175,243 @@ fn write_bench_json(
     f.flush()
 }
 
+/// Builds the scenario the self-contained modes simulate.
+fn scenario_from(args: &[String]) -> ScenarioConfig {
+    ScenarioConfig {
+        seed: parse_or(args, "--seed", 42),
+        n_vessels: parse_or(args, "--vessels", 150),
+        duration_days: parse_or(args, "--days", 14),
+        emission: EmissionConfig {
+            interval_scale: 10.0,
+            ..EmissionConfig::default()
+        },
+        ..ScenarioConfig::default()
+    }
+}
+
+/// The chaos self-test: a fault-injected server must never return a
+/// wrong answer, must keep the surfaced-error rate bounded, and must
+/// recover fully once the failpoints are disarmed.
+fn run_chaos(args: &[String]) -> ExitCode {
+    use pol_chaos::{configure, reset, stats, FaultAction, Trigger};
+    use pol_core::codec;
+    use pol_geo::LatLon;
+    use pol_hexgrid::cell_at;
+    use pol_serve::{ClientConfig, ProtoError, RetryPolicy};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::time::Duration;
+
+    if !pol_chaos::compiled_in() {
+        eprintln!(
+            "error: fault injection is not compiled into this binary;\n\
+             rebuild with: cargo run -p pol-bench --features chaos --bin polload -- --chaos"
+        );
+        return ExitCode::FAILURE;
+    }
+    if parse_flag(args, "--addr").is_some() {
+        eprintln!(
+            "error: --chaos drives an in-process server (failpoints are per-process); drop --addr"
+        );
+        return ExitCode::FAILURE;
+    }
+    let threads: usize = parse_or(args, "--threads", 4).max(1);
+    let requests: usize = parse_or(args, "--requests", 2_000).max(threads);
+    let workers: usize = parse_or(args, "--workers", 4);
+
+    let scenario = scenario_from(args);
+    let resolution = Resolution::new(6).expect("res 6 valid");
+    let cfg = PipelineConfig::default().with_resolution(resolution);
+    eprintln!(
+        "chaos: building res-6 inventory ({} vessels, {} days, seed {})...",
+        scenario.n_vessels, scenario.duration_days, scenario.seed
+    );
+    let (_, out) = build_inventory(&scenario, &cfg);
+    // Reference copy for answer checking (the original moves into the
+    // server); a codec round trip is the cheapest faithful clone.
+    let reference = codec::from_bytes(&codec::to_bytes(&out.inventory)).expect("codec round trip");
+
+    let server = Server::start(
+        out.inventory,
+        "127.0.0.1:0",
+        ServerConfig {
+            worker_threads: workers,
+            read_timeout: Duration::from_millis(25),
+            drain_timeout: Duration::from_millis(500),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server start");
+    let addr = server.local_addr();
+    let mut server = server;
+
+    let pool = position_pool(addr).expect("position pool");
+    let pool = &pool;
+    let expected = |lat: f64, lon: f64| -> Option<Vec<u8>> {
+        let pos = LatLon::new(lat, lon).expect("pool positions valid");
+        reference
+            .summary(cell_at(pos, reference.resolution()))
+            .map(|s| {
+                let mut buf = Vec::new();
+                codec::encode_cell_stats(s, &mut buf);
+                buf
+            })
+    };
+    let client_config = |seed: u64| ClientConfig {
+        connect_timeout: Duration::from_secs(2),
+        read_timeout: Some(Duration::from_secs(2)),
+        retry: RetryPolicy {
+            max_attempts: 6,
+            base_backoff: Duration::from_millis(5),
+            max_backoff: Duration::from_millis(100),
+            deadline: Duration::from_secs(20),
+            jitter_seed: seed,
+        },
+        ..ClientConfig::default()
+    };
+
+    // Injected kills are deliberate panics (contained by the worker
+    // pool); keep their backtraces out of the run log so real panics
+    // stay visible.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<String>()
+            .is_some_and(|m| m.contains("chaos: failpoint"));
+        if !injected {
+            default_hook(info);
+        }
+    }));
+
+    // Deterministic fault schedule: every 50th served frame dies mid
+    // flight, ~2% of reads stall briefly.
+    reset();
+    configure(
+        "serve.worker.kill",
+        Trigger::EveryNth {
+            n: 50,
+            action: FaultAction::Kill,
+        },
+    );
+    configure(
+        "serve.conn.read_delay",
+        Trigger::Prob {
+            p: 0.02,
+            seed: 0xC0FFEE,
+            action: FaultAction::Delay(Duration::from_millis(2)),
+        },
+    );
+
+    eprintln!(
+        "chaos: driving {addr} with {threads} threads x {} requests",
+        requests / threads
+    );
+    let wrong = AtomicU64::new(0);
+    let errors = AtomicU64::new(0);
+    let per_thread = requests / threads;
+    thread::scope(|s| {
+        for tid in 0..threads {
+            let (wrong, errors, expected) = (&wrong, &errors, &expected);
+            s.spawn(move || {
+                let mut client =
+                    Client::connect_with(addr, client_config(1000 + tid as u64)).expect("connect");
+                for i in 0..per_thread {
+                    let (lat, lon) = pool[(tid + i * 31) % pool.len()];
+                    match client.point_summary(lat, lon) {
+                        Ok(got) => {
+                            let got = got.map(|s| {
+                                let mut buf = Vec::new();
+                                codec::encode_cell_stats(&s, &mut buf);
+                                buf
+                            });
+                            if got != expected(lat, lon) {
+                                wrong.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        Err(
+                            pol_serve::ClientError::ServerBusy
+                            | pol_serve::ClientError::Proto(ProtoError::Io(_))
+                            | pol_serve::ClientError::Proto(ProtoError::ConnectionClosed),
+                        ) => {
+                            errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(e) => panic!("chaos surfaced a non-retryable error: {e}"),
+                    }
+                }
+            });
+        }
+    });
+
+    let kills = stats("serve.worker.kill");
+    let delays = stats("serve.conn.read_delay");
+    let wrong = wrong.load(Ordering::Relaxed);
+    let errors = errors.load(Ordering::Relaxed);
+    let total = (per_thread * threads) as u64;
+
+    // Recovery: with the faults disarmed, the next client must see a
+    // healthy, ready server that still answers from the right snapshot.
+    reset();
+    let mut probe = Client::connect_with(addr, client_config(7)).expect("recovery connect");
+    let mut recovered = probe.ping().is_ok();
+    recovered &= probe
+        .health()
+        .map(|h| h.healthy && !h.draining)
+        .unwrap_or(false);
+    recovered &= probe.ready().unwrap_or(false);
+    for i in 0..50usize {
+        let (lat, lon) = pool[i % pool.len()];
+        let got = probe.point_summary(lat, lon).expect("post-recovery query");
+        let got = got.map(|s| {
+            let mut buf = Vec::new();
+            codec::encode_cell_stats(&s, &mut buf);
+            buf
+        });
+        recovered &= got == expected(lat, lon);
+    }
+    server.shutdown();
+
+    println!("chaos self-test: {total} requests over {threads} threads");
+    println!(
+        "  worker kills     {} fired / {} hits",
+        kills.fired, kills.hits
+    );
+    println!(
+        "  read delays      {} fired / {} hits",
+        delays.fired, delays.hits
+    );
+    println!("  wrong answers    {wrong}");
+    println!(
+        "  surfaced errors  {errors} ({:.2}%)",
+        errors as f64 * 100.0 / total as f64
+    );
+    println!("  recovered        {recovered}");
+
+    let error_budget = total / 10;
+    if wrong == 0 && errors <= error_budget && kills.fired >= 1 && recovered {
+        println!("chaos self-test PASSED");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "chaos self-test FAILED (wrong={wrong}, errors={errors}/{error_budget} budget, \
+             kills fired={}, recovered={recovered})",
+            kills.fired
+        );
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
             "usage: polload [--addr HOST:PORT] [--threads N] [--requests N] \
-             [--vessels N] [--days D] [--seed S] [--workers N] [--out FILE]"
+             [--vessels N] [--days D] [--seed S] [--workers N] [--out FILE]\n       \
+             polload --chaos [--threads N] [--requests N] [--vessels N] [--days D] [--seed S]"
         );
         return ExitCode::from(2);
+    }
+    if args.iter().any(|a| a == "--chaos") {
+        return run_chaos(&args);
     }
     let threads: usize = parse_or(&args, "--threads", 8).max(1);
     let requests: usize = parse_or(&args, "--requests", 20_000).max(1);
@@ -193,23 +430,14 @@ fn main() -> ExitCode {
             }
         },
         None => {
-            let vessels = parse_or(&args, "--vessels", 150);
-            let days = parse_or(&args, "--days", 14);
-            let seed = parse_or(&args, "--seed", 42);
             let workers: usize = parse_or(&args, "--workers", 8);
-            let scenario = ScenarioConfig {
-                seed,
-                n_vessels: vessels,
-                duration_days: days,
-                emission: EmissionConfig {
-                    interval_scale: 10.0,
-                    ..EmissionConfig::default()
-                },
-                ..ScenarioConfig::default()
-            };
+            let scenario = scenario_from(&args);
             let resolution = Resolution::new(6).expect("res 6 valid");
             let cfg = PipelineConfig::default().with_resolution(resolution);
-            eprintln!("building res-6 inventory ({vessels} vessels, {days} days, seed {seed})...");
+            eprintln!(
+                "building res-6 inventory ({} vessels, {} days, seed {})...",
+                scenario.n_vessels, scenario.duration_days, scenario.seed
+            );
             let (_, out) = build_inventory(&scenario, &cfg);
             eprintln!(
                 "inventory: {} entries over {} records",

@@ -1,22 +1,60 @@
-//! Versioned binary persistence for the inventory.
+//! Versioned, crash-safe binary persistence for the inventory.
 //!
-//! Layout: magic `POLINV1\0`, resolution byte, total-record varint, entry
-//! count varint, then per entry a tagged [`GroupKey`] followed by the
-//! [`CellStats`] sketches in fixed order (using `pol-sketch`'s wire
-//! encodings). Everything round-trips by property test.
+//! ## On-disk layout (version 2)
+//!
+//! ```text
+//! magic    b"POLINV2\0"                                   8 bytes
+//! header   u32 LE section length                          4 bytes
+//!          resolution u8, total-record varint,
+//!          entry-count varint                              (length bytes)
+//!          u64 LE CRC-64/XZ of the section bytes           8 bytes
+//! entries  u64 LE section length                           8 bytes
+//!          per entry: tagged GroupKey + CellStats
+//!          sketches in fixed order                         (length bytes)
+//!          u64 LE CRC-64/XZ of the section bytes           8 bytes
+//! footer   u64 LE total file length, b"POLSEAL\0"         16 bytes
+//! ```
+//!
+//! Every section carries its own [`pol_sketch::crc64`] checksum, and the
+//! footer seals the file: a load first proves the file *ends* correctly
+//! (magic + recorded length), so truncation from a torn write is
+//! detected before any section is trusted, then proves each section's
+//! bytes are the bytes that were written. Any single bit flip anywhere
+//! in the file surfaces as a typed [`CodecError`] — property-tested in
+//! `tests/codec_corruption.rs`, audited on demand by `polinv verify`.
+//!
+//! ## Crash-safe writes
+//!
+//! [`save`] never exposes a half-written inventory: bytes go to a
+//! sibling temp file, which is fsynced, atomically renamed over the
+//! destination, and the directory entry is then fsynced. A crash (or an
+//! injected `codec.save.*` failpoint) at any step leaves either the old
+//! complete file or the new complete file, never a torn one, and the
+//! temp file is removed on every failure path.
+//!
+//! Everything round-trips by property test.
 
 use crate::features::{CellStats, GroupKey};
 use crate::inventory::Inventory;
 use pol_ais::types::MarketSegment;
 use pol_hexgrid::{CellIndex, Resolution};
+use pol_sketch::crc64::crc64;
 use pol_sketch::hash::FxHashMap;
 use pol_sketch::wire::{get_varint, put_varint, Wire, WireError};
 use std::fmt;
 use std::io::{self, Read, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 
-/// File magic.
-pub const MAGIC: &[u8; 8] = b"POLINV1\0";
+/// File magic (format version 2: checksummed sections, sealed footer).
+pub const MAGIC: &[u8; 8] = b"POLINV2\0";
+
+/// The magic of the retired unchecksummed version-1 format, recognised
+/// only to produce a precise error.
+pub const MAGIC_V1: &[u8; 8] = b"POLINV1\0";
+
+/// Footer seal magic — the last 8 bytes of every complete inventory file.
+pub const FOOTER_MAGIC: &[u8; 8] = b"POLSEAL\0";
 
 /// A conservative lower bound on the serialized size of one inventory
 /// entry (tagged key + all sixteen statistics in their empty form). An
@@ -25,15 +63,25 @@ pub const MAGIC: &[u8; 8] = b"POLINV1\0";
 /// still bounding allocation to `input_len / 64` entries.
 pub const MIN_ENTRY_BYTES: usize = 64;
 
-/// Errors from loading an inventory.
+/// Errors from loading or verifying an inventory.
 #[derive(Debug)]
 pub enum CodecError {
     /// I/O failure.
     Io(io::Error),
-    /// Structural failure.
+    /// Structural failure inside a checksummed section (an encoder bug
+    /// or an impossibly collided checksum, not ordinary corruption).
     Wire(WireError),
     /// Wrong magic / unsupported version.
     BadHeader,
+    /// The footer seal is missing or inconsistent: the file was
+    /// truncated or torn mid-write and must not be trusted.
+    Unsealed,
+    /// A section's bytes do not match their recorded CRC-64: bit rot or
+    /// in-place corruption.
+    Checksum {
+        /// Which section failed (`"header"` or `"entries"`).
+        section: &'static str,
+    },
 }
 
 impl fmt::Display for CodecError {
@@ -42,6 +90,13 @@ impl fmt::Display for CodecError {
             Self::Io(e) => write!(f, "inventory io error: {e}"),
             Self::Wire(e) => write!(f, "inventory decode error: {e}"),
             Self::BadHeader => write!(f, "not a patterns-of-life inventory file"),
+            Self::Unsealed => write!(
+                f,
+                "inventory file is unsealed: truncated or torn by an interrupted write"
+            ),
+            Self::Checksum { section } => {
+                write!(f, "inventory {section} section failed its CRC-64 check")
+            }
         }
     }
 }
@@ -153,46 +208,163 @@ pub fn decode_cell_stats(input: &mut &[u8]) -> Result<CellStats, WireError> {
     })
 }
 
-/// Serializes an inventory to bytes.
+/// Serializes an inventory to its complete file image (magic through
+/// sealed footer).
 pub fn to_bytes(inv: &Inventory) -> Vec<u8> {
-    let mut out = Vec::new();
-    out.extend_from_slice(MAGIC);
-    out.push(inv.resolution().level());
-    put_varint(&mut out, inv.total_records());
-    put_varint(&mut out, inv.len() as u64);
-    // Deterministic output: sort by key.
+    // Header section.
+    let mut header = Vec::with_capacity(16);
+    header.push(inv.resolution().level());
+    put_varint(&mut header, inv.total_records());
+    put_varint(&mut header, inv.len() as u64);
+
+    // Entries section. Deterministic output: sort by key.
+    let mut body = Vec::new();
     let mut entries: Vec<(&GroupKey, &CellStats)> = inv.iter().collect();
     entries.sort_by_key(|(k, _)| **k);
     for (k, s) in entries {
-        encode_group_key(k, &mut out);
-        encode_cell_stats(s, &mut out);
+        encode_group_key(k, &mut body);
+        encode_cell_stats(s, &mut body);
     }
+
+    let mut out = Vec::with_capacity(MAGIC.len() + header.len() + body.len() + 52);
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&(header.len() as u32).to_le_bytes());
+    out.extend_from_slice(&header);
+    out.extend_from_slice(&crc64(&header).to_le_bytes());
+    out.extend_from_slice(&(body.len() as u64).to_le_bytes());
+    out.extend_from_slice(&body);
+    out.extend_from_slice(&crc64(&body).to_le_bytes());
+    let file_len = out.len() as u64 + 16; // footer included
+    out.extend_from_slice(&file_len.to_le_bytes());
+    out.extend_from_slice(FOOTER_MAGIC);
     out
 }
 
-/// Deserializes an inventory from bytes.
-pub fn from_bytes(bytes: &[u8]) -> Result<Inventory, CodecError> {
-    let mut input = bytes;
-    if input.len() < MAGIC.len() + 1 || &input[..MAGIC.len()] != MAGIC {
+/// The validated sections of a version-2 file image: decoded header
+/// fields, the raw entries bytes, and both section checksums.
+struct Sections<'a> {
+    resolution: Resolution,
+    total_records: u64,
+    declared_entries: usize,
+    entries_bytes: &'a [u8],
+    header_crc: u64,
+    entries_crc: u64,
+}
+
+/// Structurally validates a file image: magic, footer seal, section
+/// framing, and both CRCs. Does **not** decode the entries.
+fn parse_sections(bytes: &[u8]) -> Result<Sections<'_>, CodecError> {
+    // Magic first: "this is not an inventory at all" must win over
+    // "this inventory is damaged" for arbitrary non-inventory input.
+    if bytes.len() < MAGIC.len() {
         return Err(CodecError::BadHeader);
     }
-    input = &input[MAGIC.len()..];
-    let (&res_raw, rest) = input.split_first().ok_or(CodecError::BadHeader)?;
-    input = rest;
+    if &bytes[..MAGIC.len()] != MAGIC {
+        // A v1 file is recognisably an inventory but predates the
+        // checksummed format; it still reads as BadHeader (there is no
+        // way to prove its integrity), just not as random garbage.
+        return Err(CodecError::BadHeader);
+    }
+
+    // Footer seal: the file must end with its own length and the seal
+    // magic, proving the write that produced it ran to completion.
+    if bytes.len() < MAGIC.len() + 16 {
+        return Err(CodecError::Unsealed);
+    }
+    let seal_at = bytes.len() - FOOTER_MAGIC.len();
+    if &bytes[seal_at..] != FOOTER_MAGIC {
+        return Err(CodecError::Unsealed);
+    }
+    let len_at = seal_at - 8;
+    let recorded = u64::from_le_bytes(
+        bytes[len_at..seal_at]
+            .try_into()
+            .map_err(|_| CodecError::Unsealed)?,
+    );
+    if recorded != bytes.len() as u64 {
+        return Err(CodecError::Unsealed);
+    }
+
+    // Header section.
+    let mut at = MAGIC.len();
+    let take = |at: &mut usize, n: usize| -> Result<&[u8], CodecError> {
+        let end = at.checked_add(n).ok_or(CodecError::Unsealed)?;
+        if end > len_at {
+            return Err(CodecError::Unsealed);
+        }
+        let s = &bytes[*at..end];
+        *at = end;
+        Ok(s)
+    };
+    let header_len = u32::from_le_bytes(
+        take(&mut at, 4)?
+            .try_into()
+            .map_err(|_| CodecError::Unsealed)?,
+    ) as usize;
+    let header = take(&mut at, header_len)?;
+    let header_crc = u64::from_le_bytes(
+        take(&mut at, 8)?
+            .try_into()
+            .map_err(|_| CodecError::Unsealed)?,
+    );
+    if crc64(header) != header_crc {
+        return Err(CodecError::Checksum { section: "header" });
+    }
+    let mut h = header;
+    let (&res_raw, rest) = h.split_first().ok_or(CodecError::BadHeader)?;
+    h = rest;
     let resolution = Resolution::new(res_raw).ok_or(CodecError::BadHeader)?;
-    let total_records = get_varint(&mut input).map_err(CodecError::Wire)?;
-    let n = get_varint(&mut input).map_err(CodecError::Wire)? as usize;
-    // Hostile-input guard: the declared entry count must be achievable in
-    // the bytes that actually follow, otherwise a corrupt (or malicious)
-    // header could make us allocate gigabytes before the first decode
-    // error. Every entry is at least MIN_ENTRY_BYTES long, so anything
-    // larger than remaining/MIN_ENTRY_BYTES is provably a lie.
-    if n > input.len() / MIN_ENTRY_BYTES {
+    let total_records = get_varint(&mut h).map_err(CodecError::Wire)?;
+    let declared_entries = get_varint(&mut h).map_err(CodecError::Wire)? as usize;
+    if !h.is_empty() {
+        return Err(CodecError::Wire(WireError("trailing header bytes")));
+    }
+
+    // Entries section.
+    let entries_len = u64::from_le_bytes(
+        take(&mut at, 8)?
+            .try_into()
+            .map_err(|_| CodecError::Unsealed)?,
+    );
+    let entries_len = usize::try_from(entries_len).map_err(|_| CodecError::Unsealed)?;
+    let entries_bytes = take(&mut at, entries_len)?;
+    let entries_crc = u64::from_le_bytes(
+        take(&mut at, 8)?
+            .try_into()
+            .map_err(|_| CodecError::Unsealed)?,
+    );
+    if at != len_at {
+        return Err(CodecError::Unsealed);
+    }
+    if crc64(entries_bytes) != entries_crc {
+        return Err(CodecError::Checksum { section: "entries" });
+    }
+
+    // Hostile-input guard: the declared entry count must be achievable
+    // in the bytes that actually follow, otherwise a corrupt (or
+    // malicious) header could make us allocate gigabytes before the
+    // first decode error. Every entry is at least MIN_ENTRY_BYTES long.
+    if declared_entries > entries_bytes.len() / MIN_ENTRY_BYTES {
         return Err(CodecError::Wire(WireError("entry count exceeds buffer")));
     }
+
+    Ok(Sections {
+        resolution,
+        total_records,
+        declared_entries,
+        entries_bytes,
+        header_crc,
+        entries_crc,
+    })
+}
+
+/// Deserializes an inventory from a complete file image.
+pub fn from_bytes(bytes: &[u8]) -> Result<Inventory, CodecError> {
+    let sections = parse_sections(bytes)?;
+    let mut input = sections.entries_bytes;
     let mut entries = FxHashMap::default();
-    entries.reserve(n);
-    for _ in 0..n {
+    entries.reserve(sections.declared_entries);
+    for _ in 0..sections.declared_entries {
         let key = decode_group_key(&mut input)?;
         let stats = decode_cell_stats(&mut input)?;
         entries.insert(key, stats);
@@ -200,10 +372,55 @@ pub fn from_bytes(bytes: &[u8]) -> Result<Inventory, CodecError> {
     if !input.is_empty() {
         return Err(CodecError::Wire(WireError("trailing bytes")));
     }
-    Ok(Inventory::from_entries(resolution, entries, total_records))
+    Ok(Inventory::from_entries(
+        sections.resolution,
+        entries,
+        sections.total_records,
+    ))
 }
 
-/// Writes an inventory to a writer.
+/// What [`verify`] found in a structurally sound inventory file.
+#[derive(Clone, Debug)]
+pub struct VerifyReport {
+    /// Total file length in bytes, as recorded in the sealed footer.
+    pub file_len: u64,
+    /// The header section's CRC-64 (verified against its bytes).
+    pub header_crc: u64,
+    /// The entries section's CRC-64 (verified against its bytes).
+    pub entries_crc: u64,
+    /// Grid resolution level of the stored inventory.
+    pub resolution: u8,
+    /// Input records summarised by the stored inventory.
+    pub total_records: u64,
+    /// Group-identifier entries decoded from the entries section.
+    pub entries: usize,
+}
+
+/// Audits a file image end to end: footer seal, section CRCs, and a full
+/// decode of every entry (catching logical corruption a checksum of
+/// buggy bytes would bless). Returns what was found; any failure is the
+/// same typed [`CodecError`] a [`load`] would produce.
+pub fn verify_bytes(bytes: &[u8]) -> Result<VerifyReport, CodecError> {
+    let sections = parse_sections(bytes)?;
+    let inv = from_bytes(bytes)?;
+    Ok(VerifyReport {
+        file_len: bytes.len() as u64,
+        header_crc: sections.header_crc,
+        entries_crc: sections.entries_crc,
+        resolution: sections.resolution.level(),
+        total_records: sections.total_records,
+        entries: inv.len(),
+    })
+}
+
+/// Audits an inventory file on disk (see [`verify_bytes`]).
+pub fn verify(path: &Path) -> Result<VerifyReport, CodecError> {
+    let mut buf = Vec::new();
+    std::fs::File::open(path)?.read_to_end(&mut buf)?;
+    verify_bytes(&buf)
+}
+
+/// Writes an inventory's complete file image to a writer.
 pub fn write_to<W: Write>(inv: &Inventory, mut w: W) -> io::Result<()> {
     w.write_all(&to_bytes(inv))
 }
@@ -215,12 +432,65 @@ pub fn read_from<R: Read>(mut r: R) -> Result<Inventory, CodecError> {
     from_bytes(&buf)
 }
 
-/// Saves an inventory to a file.
-pub fn save(inv: &Inventory, path: &Path) -> io::Result<()> {
-    write_to(inv, io::BufWriter::new(std::fs::File::create(path)?))
+/// Distinguishes temp files of concurrent saves within one process.
+static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+fn temp_sibling(path: &Path) -> PathBuf {
+    let stem = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "inventory".to_string());
+    let unique = TMP_COUNTER.fetch_add(1, Ordering::Relaxed);
+    path.with_file_name(format!(".{stem}.tmp.{}.{unique}", std::process::id()))
 }
 
-/// Loads an inventory from a file.
+fn chaos_io(what: &str) -> io::Error {
+    io::Error::other(format!("chaos: injected {what} failure"))
+}
+
+/// Saves an inventory to a file, crash-safely: the bytes are written to
+/// a sibling temp file, fsynced, atomically renamed into place, and the
+/// directory entry is fsynced. Readers of `path` observe either the old
+/// complete file or the new complete file, never a torn one. On any
+/// failure the temp file is removed and `path` is untouched.
+pub fn save(inv: &Inventory, path: &Path) -> io::Result<()> {
+    let bytes = to_bytes(inv);
+    let tmp = temp_sibling(path);
+    let result = write_rename_sync(&bytes, &tmp, path);
+    if result.is_err() {
+        // Failure must not leave a half-written sibling behind.
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+fn write_rename_sync(bytes: &[u8], tmp: &Path, path: &Path) -> io::Result<()> {
+    let mut f = std::fs::File::create(tmp)?;
+    if pol_chaos::fire("codec.save.write") {
+        return Err(chaos_io("write"));
+    }
+    f.write_all(bytes)?;
+    // fsync before rename: the rename must never publish a name whose
+    // bytes are still only in the page cache.
+    f.sync_all()?;
+    drop(f);
+    if pol_chaos::fire("codec.save.rename") {
+        return Err(chaos_io("rename"));
+    }
+    std::fs::rename(tmp, path)?;
+    // Make the rename itself durable by fsyncing the directory entry.
+    // Best-effort: not every platform/filesystem lets a directory be
+    // opened for syncing, and the data itself is already safe on disk.
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        if let Ok(d) = std::fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// Loads an inventory from a file, verifying the footer seal and every
+/// section checksum before trusting a byte of it.
 pub fn load(path: &Path) -> Result<Inventory, CodecError> {
     read_from(io::BufReader::new(std::fs::File::open(path)?))
 }
@@ -308,17 +578,55 @@ mod tests {
     }
 
     #[test]
-    fn rejects_garbage_and_truncation() {
+    fn file_image_is_sealed() {
+        let bytes = to_bytes(&sample_inventory(20));
+        assert_eq!(&bytes[..8], MAGIC);
+        assert_eq!(&bytes[bytes.len() - 8..], FOOTER_MAGIC);
+        let len = u64::from_le_bytes(bytes[bytes.len() - 16..bytes.len() - 8].try_into().unwrap());
+        assert_eq!(len, bytes.len() as u64);
+    }
+
+    #[test]
+    fn rejects_garbage_truncation_and_extension() {
         assert!(matches!(
             from_bytes(b"not an inventory"),
             Err(CodecError::BadHeader)
         ));
         let bytes = to_bytes(&sample_inventory(50));
         let truncated = &bytes[..bytes.len() - 10];
-        assert!(from_bytes(truncated).is_err());
+        assert!(matches!(from_bytes(truncated), Err(CodecError::Unsealed)));
         let mut extended = bytes.clone();
         extended.push(0);
-        assert!(from_bytes(&extended).is_err());
+        assert!(matches!(from_bytes(&extended), Err(CodecError::Unsealed)));
+    }
+
+    #[test]
+    fn any_single_bit_flip_is_detected() {
+        // The acceptance property in miniature (the full sweep is a
+        // proptest): flip one bit anywhere, get a typed error.
+        let bytes = to_bytes(&sample_inventory(10));
+        for byte in (0..bytes.len()).step_by(11) {
+            let mut corrupt = bytes.clone();
+            corrupt[byte] ^= 1 << (byte % 8);
+            assert!(
+                from_bytes(&corrupt).is_err(),
+                "bit flip at byte {byte} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn body_corruption_reports_the_entries_section() {
+        let bytes = to_bytes(&sample_inventory(50));
+        // Flip a bit well inside the entries section (past magic +
+        // header, before the trailer).
+        let mut corrupt = bytes.clone();
+        let mid = bytes.len() / 2;
+        corrupt[mid] ^= 0x10;
+        match from_bytes(&corrupt).err() {
+            Some(CodecError::Checksum { section: "entries" }) => {}
+            other => panic!("expected entries checksum failure, got {other:?}"),
+        }
     }
 
     #[test]
@@ -339,16 +647,33 @@ mod tests {
         );
     }
 
+    /// Builds a structurally valid v2 image around explicit header and
+    /// entries bytes (CRCs and footer computed for the caller, so tests
+    /// can forge *semantically* hostile but *checksum-valid* files).
+    fn forge_image(header: &[u8], entries: &[u8]) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&(header.len() as u32).to_le_bytes());
+        out.extend_from_slice(header);
+        out.extend_from_slice(&crc64(header).to_le_bytes());
+        out.extend_from_slice(&(entries.len() as u64).to_le_bytes());
+        out.extend_from_slice(entries);
+        out.extend_from_slice(&crc64(entries).to_le_bytes());
+        let file_len = out.len() as u64 + 16;
+        out.extend_from_slice(&file_len.to_le_bytes());
+        out.extend_from_slice(FOOTER_MAGIC);
+        out
+    }
+
     #[test]
     fn hostile_entry_count_rejected_before_allocating() {
-        // A header declaring 2^60 entries with a near-empty body must fail
-        // fast with a typed error instead of reserving a huge map.
-        let mut bytes = Vec::new();
-        bytes.extend_from_slice(MAGIC);
-        bytes.push(6); // resolution
-        put_varint(&mut bytes, 0); // total records
-        put_varint(&mut bytes, 1 << 60); // declared entry count
-        bytes.extend_from_slice(&[0u8; 32]); // far fewer bytes than declared
+        // A checksum-valid header declaring 2^60 entries over a tiny
+        // body must fail fast with a typed error instead of reserving a
+        // huge map (CRCs prove integrity, not honesty).
+        let mut header = vec![6u8]; // resolution
+        put_varint(&mut header, 0); // total records
+        put_varint(&mut header, 1 << 60); // declared entry count
+        let bytes = forge_image(&header, &[0u8; 32]);
         match from_bytes(&bytes).err() {
             Some(CodecError::Wire(WireError(msg))) => {
                 assert!(msg.contains("entry count"), "unexpected error: {msg}")
@@ -359,8 +684,8 @@ mod tests {
 
     #[test]
     fn corrupt_headers_rejected() {
-        // Empty input, short input, wrong magic, truncated after magic,
-        // bad resolution byte: all must be typed errors, never panics.
+        // Empty input, short input, wrong magic, v1 magic, truncated
+        // after magic, bad resolution byte: all typed, never panics.
         assert!(matches!(from_bytes(&[]), Err(CodecError::BadHeader)));
         assert!(matches!(
             from_bytes(&MAGIC[..4]),
@@ -373,22 +698,24 @@ mod tests {
             from_bytes(&wrong_magic),
             Err(CodecError::BadHeader)
         ));
-        assert!(matches!(from_bytes(&MAGIC[..]), Err(CodecError::BadHeader)));
-        let mut bad_res = MAGIC.to_vec();
-        bad_res.push(99); // resolution out of range
+        let mut v1 = MAGIC_V1.to_vec();
+        v1.push(6);
+        assert!(matches!(from_bytes(&v1), Err(CodecError::BadHeader)));
+        assert!(matches!(from_bytes(&MAGIC[..]), Err(CodecError::Unsealed)));
+        let bad_res = forge_image(&[99], &[]); // resolution out of range
         assert!(matches!(from_bytes(&bad_res), Err(CodecError::BadHeader)));
     }
 
     #[test]
-    fn truncated_mid_entry_is_typed_error() {
+    fn truncated_at_every_offset_is_typed_error() {
         let bytes = to_bytes(&sample_inventory(50));
         // Chop the stream at many offsets: every prefix must decode to a
-        // typed error (or, for the empty-file prefix, BadHeader).
+        // typed error (BadHeader inside the magic, Unsealed after).
         for cut in (0..bytes.len() - 1).step_by(7) {
-            assert!(
-                from_bytes(&bytes[..cut]).is_err(),
-                "prefix of {cut} bytes unexpectedly decoded"
-            );
+            match from_bytes(&bytes[..cut]).err() {
+                Some(CodecError::BadHeader) | Some(CodecError::Unsealed) => {}
+                other => panic!("prefix of {cut} bytes: expected typed error, got {other:?}"),
+            }
         }
     }
 
@@ -410,6 +737,70 @@ mod tests {
         let back = load(&path).unwrap();
         assert_eq!(back.len(), inv.len());
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn save_overwrites_atomically_and_leaves_no_temp_files() {
+        let dir = std::env::temp_dir().join("pol-codec-atomic-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("inv.pol");
+        save(&sample_inventory(30), &path).unwrap();
+        let first_len = std::fs::metadata(&path).unwrap().len();
+        save(&sample_inventory(120), &path).unwrap();
+        let second_len = std::fs::metadata(&path).unwrap().len();
+        assert!(second_len > first_len);
+        assert!(load(&path).is_ok());
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "temp files left behind: {leftovers:?}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn failed_save_cleans_up_temp_and_preserves_target() {
+        // Force a rename failure without failpoints: renaming a file
+        // over an existing *directory* fails on every platform.
+        let dir = std::env::temp_dir().join("pol-codec-failpath-test");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(dir.join("target.pol")).unwrap();
+        let err = save(&sample_inventory(10), &dir.join("target.pol"));
+        assert!(err.is_err(), "rename onto a directory must fail");
+        assert!(
+            dir.join("target.pol").is_dir(),
+            "failed save must not clobber the destination"
+        );
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "temp files left behind: {leftovers:?}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn verify_passes_fresh_and_flags_flipped() {
+        let inv = sample_inventory(80);
+        let bytes = to_bytes(&inv);
+        let report = verify_bytes(&bytes).unwrap();
+        assert_eq!(report.entries, inv.len());
+        assert_eq!(report.total_records, inv.total_records());
+        assert_eq!(report.resolution, inv.resolution().level());
+        assert_eq!(report.file_len, bytes.len() as u64);
+
+        let mut corrupt = bytes.clone();
+        let mid = corrupt.len() / 2;
+        corrupt[mid] ^= 0x01;
+        assert!(verify_bytes(&corrupt).is_err());
     }
 
     #[test]

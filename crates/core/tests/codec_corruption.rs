@@ -1,0 +1,143 @@
+//! Property tests for the crash-safety contract of `core::codec`
+//! (ISSUE satellite): `load` on truncated, bit-flipped, zero-length or
+//! arbitrary-garbage input must never panic and must always return a
+//! typed [`CodecError`] — with corruption *detected*, not decoded into
+//! a wrong inventory.
+
+use pol_ais::types::{MarketSegment, Mmsi};
+use pol_core::codec::{self, CodecError};
+use pol_core::features::{CellStats, GroupKey};
+use pol_core::inventory::Inventory;
+use pol_core::records::{CellPoint, TripPoint};
+use pol_geo::LatLon;
+use pol_hexgrid::{cell_at, Resolution};
+use pol_sketch::hash::FxHashMap;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// A fixed non-trivial inventory image shared across all properties.
+fn clean_bytes() -> &'static [u8] {
+    static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
+    BYTES.get_or_init(|| {
+        let res = Resolution::new(6).unwrap();
+        let mut entries: FxHashMap<GroupKey, CellStats> = FxHashMap::default();
+        for i in 0..300usize {
+            let pos = LatLon::new(5.0 + (i % 60) as f64, (i % 150) as f64).unwrap();
+            let cell = cell_at(pos, res);
+            let cp = CellPoint {
+                point: TripPoint {
+                    mmsi: Mmsi(200 + (i % 11) as u32),
+                    timestamp: i as i64 * 30,
+                    pos,
+                    sog_knots: Some(4.0 + (i % 14) as f64),
+                    cog_deg: Some((i * 23 % 360) as f64),
+                    heading_deg: Some((i * 29 % 360) as f64),
+                    segment: MarketSegment::from_id((i % 6) as u8).unwrap(),
+                    trip_id: (i % 15) as u64,
+                    origin: (i % 7) as u16,
+                    dest: (i % 9) as u16,
+                    eto_secs: i as i64 * 45,
+                    ata_secs: (300 - i) as i64 * 45,
+                },
+                cell,
+                next_cell: None,
+            };
+            for key in [
+                GroupKey::Cell(cell),
+                GroupKey::CellType(cell, cp.point.segment),
+            ] {
+                entries
+                    .entry(key)
+                    .or_insert_with(|| CellStats::new(0.02, 8))
+                    .observe(&cp);
+            }
+        }
+        codec::to_bytes(&Inventory::from_entries(res, entries, 300))
+    })
+}
+
+/// Is this one of the typed corruption errors (as opposed to a panic,
+/// which proptest would report as a test abort)?
+fn is_typed(err: &CodecError) -> bool {
+    matches!(
+        err,
+        CodecError::BadHeader
+            | CodecError::Unsealed
+            | CodecError::Checksum { .. }
+            | CodecError::Wire(_)
+            | CodecError::Io(_)
+    )
+}
+
+#[test]
+fn zero_length_file_is_typed_error() {
+    match codec::from_bytes(&[]).err() {
+        Some(CodecError::BadHeader) => {}
+        other => panic!("expected BadHeader for empty input, got {other:?}"),
+    }
+}
+
+#[test]
+fn clean_image_loads() {
+    assert!(codec::from_bytes(clean_bytes()).is_ok());
+    assert!(codec::verify_bytes(clean_bytes()).is_ok());
+}
+
+proptest! {
+    /// Every strict prefix of a valid file fails typed — no truncation
+    /// point yields a wrong-but-successful load, none panics.
+    #[test]
+    fn truncation_never_panics_and_always_fails_typed(cut in 0usize..1_000_000) {
+        let bytes = clean_bytes();
+        let cut = cut % bytes.len(); // strict prefix
+        let err = codec::from_bytes(&bytes[..cut])
+            .err()
+            .expect("truncated file must not load");
+        prop_assert!(is_typed(&err), "untyped error for prefix {cut}: {err:?}");
+        prop_assert!(codec::verify_bytes(&bytes[..cut]).is_err());
+    }
+
+    /// Every single-bit flip anywhere in the file is detected and fails
+    /// typed. (This is the strong guarantee the per-section CRC-64 buys:
+    /// without it, flips inside sketch payloads decode "successfully"
+    /// into silently wrong statistics.)
+    #[test]
+    fn single_bit_flip_never_panics_and_always_fails_typed(
+        pos in 0usize..1_000_000,
+        bit in 0u8..8,
+    ) {
+        let bytes = clean_bytes();
+        let pos = pos % bytes.len();
+        let mut corrupt = bytes.to_vec();
+        corrupt[pos] ^= 1 << bit;
+        let err = codec::from_bytes(&corrupt)
+            .err()
+            .expect("bit-flipped file must not load");
+        prop_assert!(is_typed(&err), "untyped error for flip {pos}:{bit}: {err:?}");
+        prop_assert!(codec::verify_bytes(&corrupt).is_err());
+    }
+
+    /// Arbitrary garbage never panics; a load either fails typed or (for
+    /// the astronomically unlikely valid image) succeeds.
+    #[test]
+    fn arbitrary_garbage_never_panics(bytes in prop::collection::vec(0u8..=255, 0..2048)) {
+        match codec::from_bytes(&bytes) {
+            Ok(_) => {}
+            Err(err) => prop_assert!(is_typed(&err), "untyped error: {err:?}"),
+        }
+    }
+
+    /// Garbage wearing a valid magic still never panics — this drives the
+    /// parser into the section framing instead of bailing at byte 0.
+    #[test]
+    fn garbage_behind_valid_magic_never_panics(
+        bytes in prop::collection::vec(0u8..=255, 0..2048),
+    ) {
+        let mut framed = codec::MAGIC.to_vec();
+        framed.extend_from_slice(&bytes);
+        match codec::from_bytes(&framed) {
+            Ok(_) => {}
+            Err(err) => prop_assert!(is_typed(&err), "untyped error: {err:?}"),
+        }
+    }
+}

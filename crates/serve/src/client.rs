@@ -1,10 +1,26 @@
-//! A blocking client for the `pol-serve` wire protocol.
+//! A blocking, self-healing client for the `pol-serve` wire protocol.
 //!
-//! One [`Client`] owns one connection and issues requests synchronously;
-//! for concurrency, open one client per thread (the load generator in
-//! `pol-bench` does exactly that). Server-side conditions surface as
-//! typed errors: [`ClientError::ServerBusy`] for backpressure shedding,
-//! [`ClientError::ServerError`] for rejected arguments.
+//! One [`Client`] owns (at most) one connection and issues requests
+//! synchronously; for concurrency, open one client per thread (the load
+//! generator in `pol-bench` does exactly that). Server-side conditions
+//! surface as typed errors: [`ClientError::ServerBusy`] for backpressure
+//! shedding, [`ClientError::ServerError`] for rejected arguments.
+//!
+//! ## Failure model
+//!
+//! The connection is made with a bounded [`ClientConfig::connect_timeout`]
+//! and carries write (and optionally read) timeouts, so no call blocks
+//! forever on a wedged peer. When a request fails in a *retryable* way —
+//! the transport died (connection reset, closed, timed out) or the server
+//! shed load with `Busy` — and the request is idempotent
+//! ([`Request::is_idempotent`]), the typed helpers transparently
+//! reconnect and retry with exponential backoff and deterministic jitter,
+//! bounded by [`RetryPolicy::max_attempts`] and a total
+//! [`RetryPolicy::deadline`] budget. Non-idempotent requests (none exist
+//! today; the gate is for future mutating endpoints) and non-retryable
+//! errors (a typed `ServerError`, a protocol violation) surface
+//! immediately. A retried request is sent on a **fresh** connection:
+//! there is never a half-written frame to resynchronise.
 
 use crate::proto::{
     decode_response, encode_request, read_frame, write_frame, ProtoError, Request, Response,
@@ -14,16 +30,16 @@ use pol_ais::types::MarketSegment;
 use pol_apps::eta::EtaEstimate;
 use pol_core::CellStats;
 use std::fmt;
-use std::io::{BufReader, BufWriter, Write};
-use std::net::{TcpStream, ToSocketAddrs};
-use std::time::Duration;
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
 
 /// Everything a request round-trip can fail with.
 #[derive(Debug)]
 pub enum ClientError {
-    /// Transport or protocol failure.
+    /// Transport or protocol failure (after retries, if any applied).
     Proto(ProtoError),
-    /// The server shed this connection under load; retry later.
+    /// The server shed this connection under load (after retries).
     ServerBusy,
     /// The server rejected the request (message carried from the wire).
     ServerError(String),
@@ -51,47 +67,233 @@ impl From<ProtoError> for ClientError {
     }
 }
 
-impl From<std::io::Error> for ClientError {
-    fn from(e: std::io::Error) -> Self {
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
         Self::Proto(ProtoError::Io(e))
     }
 }
 
-/// A blocking connection to a `pol-serve` server.
-pub struct Client {
+/// Automatic-retry tuning for idempotent requests.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Total tries, including the first (1 disables retries).
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles per attempt.
+    pub base_backoff: Duration,
+    /// Backoff growth cap.
+    pub max_backoff: Duration,
+    /// Total wall-clock budget across all attempts and backoffs. Once a
+    /// retry could not start before this deadline, the last error
+    /// surfaces instead.
+    pub deadline: Duration,
+    /// Seed of the deterministic jitter stream (each backoff sleeps
+    /// between half and the full computed value).
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(500),
+            deadline: Duration::from_secs(10),
+            jitter_seed: 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+}
+
+/// Connection and resilience tuning for [`Client::connect_with`].
+#[derive(Clone, Copy, Debug)]
+pub struct ClientConfig {
+    /// TCP connect timeout (a black-holed address fails in bounded time
+    /// instead of the kernel's minutes-long default).
+    pub connect_timeout: Duration,
+    /// Socket read timeout for responses (`None`: wait indefinitely).
+    pub read_timeout: Option<Duration>,
+    /// Socket write timeout for requests (`None`: wait indefinitely).
+    pub write_timeout: Option<Duration>,
+    /// Per-frame size cap, both directions.
+    pub max_frame_bytes: usize,
+    /// Retry behaviour for idempotent requests.
+    pub retry: RetryPolicy,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            connect_timeout: Duration::from_secs(5),
+            read_timeout: None,
+            write_timeout: Some(Duration::from_secs(5)),
+            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+            retry: RetryPolicy::default(),
+        }
+    }
+}
+
+struct Conn {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
-    max_frame_bytes: usize,
+}
+
+/// A blocking connection to a `pol-serve` server that reconnects and
+/// retries idempotent requests on transport failure.
+pub struct Client {
+    addrs: Vec<SocketAddr>,
+    config: ClientConfig,
+    conn: Option<Conn>,
+    jitter: u64,
 }
 
 impl Client {
-    /// Connects with the default frame cap and no read timeout.
+    /// Connects with the default [`ClientConfig`] (5 s connect/write
+    /// timeouts, retries on).
     pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Client, ClientError> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
-        let read_half = stream.try_clone()?;
-        Ok(Client {
-            reader: BufReader::new(read_half),
-            writer: BufWriter::new(stream),
-            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
-        })
+        Client::connect_with(addr, ClientConfig::default())
     }
 
-    /// Sets a socket read timeout for subsequent requests.
+    /// Connects with explicit tuning. The address is resolved once; a
+    /// reconnect retries every resolved address in order.
+    pub fn connect_with<A: ToSocketAddrs>(
+        addr: A,
+        config: ClientConfig,
+    ) -> Result<Client, ClientError> {
+        let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+        if addrs.is_empty() {
+            return Err(ClientError::Proto(ProtoError::Io(io::Error::new(
+                io::ErrorKind::AddrNotAvailable,
+                "address resolved to nothing",
+            ))));
+        }
+        let mut client = Client {
+            addrs,
+            config,
+            conn: None,
+            jitter: config.retry.jitter_seed | 1,
+        };
+        client.reconnect()?;
+        Ok(client)
+    }
+
+    /// Drops the current connection (the next request reconnects).
+    pub fn disconnect(&mut self) {
+        self.conn = None;
+    }
+
+    /// Sets the socket read timeout for this and future connections.
     pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> Result<(), ClientError> {
-        self.reader.get_ref().set_read_timeout(timeout)?;
+        self.config.read_timeout = timeout;
+        if let Some(conn) = &self.conn {
+            conn.reader.get_ref().set_read_timeout(timeout)?;
+        }
         Ok(())
     }
 
-    /// Sends one request and reads its response. `Busy` and `Error`
-    /// responses pass through (some callers want to see them raw); the
-    /// typed helpers below turn them into [`ClientError`]s.
+    fn reconnect(&mut self) -> Result<(), ClientError> {
+        self.conn = None;
+        let mut last_err: Option<io::Error> = None;
+        for addr in &self.addrs {
+            match TcpStream::connect_timeout(addr, self.config.connect_timeout) {
+                Ok(stream) => {
+                    stream.set_nodelay(true)?;
+                    stream.set_read_timeout(self.config.read_timeout)?;
+                    stream.set_write_timeout(self.config.write_timeout)?;
+                    let read_half = stream.try_clone()?;
+                    self.conn = Some(Conn {
+                        reader: BufReader::new(read_half),
+                        writer: BufWriter::new(stream),
+                    });
+                    return Ok(());
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err
+            .map(|e| ClientError::Proto(ProtoError::Io(e)))
+            .unwrap_or(ClientError::Unexpected("no addresses to connect to")))
+    }
+
+    /// One request/response exchange on the current connection (lazily
+    /// reconnecting if there is none). No retries: transport errors
+    /// surface directly. [`Client::request`] adds the retry layer.
+    pub fn request_once(&mut self, req: &Request) -> Result<Response, ClientError> {
+        if self.conn.is_none() {
+            self.reconnect()?;
+        }
+        let conn = self
+            .conn
+            .as_mut()
+            .ok_or(ClientError::Unexpected("not connected"))?;
+        let result = (|| {
+            let payload = encode_request(req);
+            write_frame(&mut conn.writer, &payload).map_err(ProtoError::Io)?;
+            conn.writer.flush().map_err(ProtoError::Io)?;
+            let reply = read_frame(&mut conn.reader, self.config.max_frame_bytes)?;
+            decode_response(&reply)
+        })();
+        match result {
+            Ok(resp) => Ok(resp),
+            Err(e) => {
+                // Whatever failed, the stream's framing state is now
+                // unknowable; the connection is poisoned.
+                self.conn = None;
+                Err(e.into())
+            }
+        }
+    }
+
+    /// Sends one request and reads its response, retrying idempotent
+    /// requests on transport failure or `Busy` shedding (each retry on a
+    /// fresh connection, with exponential backoff and jitter, under the
+    /// [`RetryPolicy::deadline`] budget). `Busy` and `Error` responses
+    /// pass through raw once retries are exhausted; the typed helpers
+    /// below turn them into [`ClientError`]s.
     pub fn request(&mut self, req: &Request) -> Result<Response, ClientError> {
-        let payload = encode_request(req);
-        write_frame(&mut self.writer, &payload).map_err(ProtoError::Io)?;
-        self.writer.flush().map_err(ProtoError::Io)?;
-        let reply = read_frame(&mut self.reader, self.max_frame_bytes)?;
-        Ok(decode_response(&reply)?)
+        if !req.is_idempotent() || self.config.retry.max_attempts <= 1 {
+            return self.request_once(req);
+        }
+        let policy = self.config.retry;
+        let deadline = Instant::now() + policy.deadline;
+        let mut backoff = policy.base_backoff;
+        let mut attempt = 1u32;
+        loop {
+            let retryable = match self.request_once(req) {
+                // A Busy response arrives on a connection the server is
+                // about to close; retry from a fresh one.
+                Ok(Response::Busy) => {
+                    self.conn = None;
+                    None
+                }
+                Ok(resp) => return Ok(resp),
+                Err(e @ ClientError::Proto(ProtoError::Io(_)))
+                | Err(e @ ClientError::Proto(ProtoError::ConnectionClosed)) => Some(e),
+                Err(e) => return Err(e),
+            };
+            let sleep = self.jittered(backoff);
+            if attempt >= policy.max_attempts || Instant::now() + sleep >= deadline {
+                return match retryable {
+                    Some(e) => Err(e),
+                    None => Ok(Response::Busy),
+                };
+            }
+            std::thread::sleep(sleep);
+            backoff = (backoff * 2).min(policy.max_backoff);
+            attempt += 1;
+        }
+    }
+
+    /// A deterministic jittered backoff in `[d/2, d]` — full-jitter
+    /// halves, so a fleet of clients created with different seeds does
+    /// not thunder back in lockstep.
+    fn jittered(&mut self, d: Duration) -> Duration {
+        let mut x = self.jitter;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.jitter = x;
+        let nanos = d.as_nanos().min(u64::MAX as u128) as u64;
+        let half = nanos / 2;
+        Duration::from_nanos(half + x.wrapping_mul(0x2545_F491_4F6C_DD1D) % half.max(1))
     }
 
     fn checked(&mut self, req: &Request) -> Result<Response, ClientError> {
@@ -107,6 +309,22 @@ impl Client {
         match self.checked(&Request::Ping)? {
             Response::Pong => Ok(()),
             _ => Err(ClientError::Unexpected("wanted Pong")),
+        }
+    }
+
+    /// Server health: snapshot generation and drain state.
+    pub fn health(&mut self) -> Result<crate::metrics::HealthReport, ClientError> {
+        match self.checked(&Request::Health)? {
+            Response::Health(h) => Ok(h),
+            _ => Err(ClientError::Unexpected("wanted Health")),
+        }
+    }
+
+    /// Readiness probe: `true` while the server accepts traffic.
+    pub fn ready(&mut self) -> Result<bool, ClientError> {
+        match self.checked(&Request::Ready)? {
+            Response::Ready(r) => Ok(r),
+            _ => Err(ClientError::Unexpected("wanted Ready")),
         }
     }
 

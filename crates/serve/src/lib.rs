@@ -23,8 +23,8 @@ pub mod proto;
 pub mod server;
 pub mod store;
 
-pub use client::{Client, ClientError};
-pub use metrics::{Endpoint, EndpointStats, ServerMetrics, StatsReport};
+pub use client::{Client, ClientConfig, ClientError, RetryPolicy};
+pub use metrics::{Endpoint, EndpointStats, HealthReport, ServerMetrics, StatsReport};
 pub use proto::{ProtoError, Request, Response, PROTO_VERSION};
 pub use server::{InventoryService, Server, ServerConfig};
 pub use store::{QueryCache, ShardedStore};

@@ -12,7 +12,7 @@
 use parking_lot::Mutex;
 use pol_engine::metrics::{JobMetrics, StageReport};
 use pol_sketch::{Histogram, Welford};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::Duration;
 
 /// Upper edge of the latency histograms, microseconds. Slower requests
@@ -43,11 +43,15 @@ pub enum Endpoint {
     PredictDestination,
     /// The stats endpoint itself.
     Stats,
+    /// Health probe (process alive, snapshot generation, drain state).
+    Health,
+    /// Readiness probe (accepting and serving traffic).
+    Ready,
 }
 
 impl Endpoint {
     /// Every endpoint, in wire-id order.
-    pub const ALL: [Endpoint; 9] = [
+    pub const ALL: [Endpoint; 11] = [
         Endpoint::Ping,
         Endpoint::PointSummary,
         Endpoint::SegmentSummary,
@@ -57,6 +61,8 @@ impl Endpoint {
         Endpoint::Eta,
         Endpoint::PredictDestination,
         Endpoint::Stats,
+        Endpoint::Health,
+        Endpoint::Ready,
     ];
 
     /// Stable wire id.
@@ -71,6 +77,8 @@ impl Endpoint {
             Endpoint::Eta => 6,
             Endpoint::PredictDestination => 7,
             Endpoint::Stats => 8,
+            Endpoint::Health => 9,
+            Endpoint::Ready => 10,
         }
     }
 
@@ -91,8 +99,24 @@ impl Endpoint {
             Endpoint::Eta => "eta",
             Endpoint::PredictDestination => "predict_destination",
             Endpoint::Stats => "stats",
+            Endpoint::Health => "health",
+            Endpoint::Ready => "ready",
         }
     }
+}
+
+/// The `HEALTH` endpoint's reply body: is the process serving, which
+/// snapshot generation is live, and is the server draining for shutdown.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HealthReport {
+    /// The server is up and executing queries.
+    pub healthy: bool,
+    /// Monotonic snapshot generation (bumped by every successful hot
+    /// reload; starts at 1 for the boot snapshot).
+    pub generation: u64,
+    /// The server is draining connections ahead of shutdown; load
+    /// balancers should route new traffic elsewhere.
+    pub draining: bool,
 }
 
 /// One endpoint's row in a [`StatsReport`].
@@ -126,6 +150,13 @@ pub struct StatsReport {
     pub cache_hits: u64,
     /// Aggregate-query cache misses.
     pub cache_misses: u64,
+    /// Live snapshot generation (see [`HealthReport::generation`]).
+    pub generation: u64,
+    /// Successful hot snapshot reloads.
+    pub reloads_ok: u64,
+    /// Rejected hot reloads (corrupt or unreadable file; the previous
+    /// snapshot stayed live).
+    pub reloads_failed: u64,
     /// Per-endpoint counters, in [`Endpoint::ALL`] order, endpoints with
     /// zero traffic omitted.
     pub endpoints: Vec<EndpointStats>,
@@ -156,6 +187,10 @@ pub struct ServerMetrics {
     connections: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
+    generation: AtomicU64,
+    reloads_ok: AtomicU64,
+    reloads_failed: AtomicU64,
+    draining: AtomicBool,
     jobs: JobMetrics,
 }
 
@@ -175,6 +210,10 @@ impl ServerMetrics {
             connections: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
+            generation: AtomicU64::new(1),
+            reloads_ok: AtomicU64::new(0),
+            reloads_failed: AtomicU64::new(0),
+            draining: AtomicBool::new(false),
             jobs: JobMetrics::default(),
         }
     }
@@ -220,6 +259,43 @@ impl ServerMetrics {
         self.cache_misses.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Accounts a successful hot reload: the generation advances so
+    /// clients can observe which snapshot answered them.
+    pub fn reload_succeeded(&self) {
+        self.reloads_ok.fetch_add(1, Ordering::Relaxed);
+        self.generation.fetch_add(1, Ordering::Release);
+    }
+
+    /// Accounts a rejected hot reload (the old snapshot stayed live, so
+    /// the generation does not move).
+    pub fn reload_failed(&self) {
+        self.reloads_failed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The live snapshot generation.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// Flags the server as draining (shutdown underway).
+    pub fn set_draining(&self) {
+        self.draining.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether the server is draining.
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::Relaxed)
+    }
+
+    /// The `HEALTH` endpoint's view of this server.
+    pub fn health(&self) -> HealthReport {
+        HealthReport {
+            healthy: true,
+            generation: self.generation(),
+            draining: self.is_draining(),
+        }
+    }
+
     /// Requests served so far across all endpoints.
     pub fn total_requests(&self) -> u64 {
         self.slots
@@ -255,6 +331,9 @@ impl ServerMetrics {
             connections: self.connections.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            generation: self.generation(),
+            reloads_ok: self.reloads_ok.load(Ordering::Relaxed),
+            reloads_failed: self.reloads_failed.load(Ordering::Relaxed),
             endpoints,
             stages: self.jobs.render(),
         }

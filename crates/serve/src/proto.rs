@@ -13,7 +13,7 @@
 //! never trusts a frame further than its bytes go. Round-trips are
 //! property-tested (`tests/proto_roundtrip.rs`).
 
-use crate::metrics::{Endpoint, EndpointStats, StatsReport};
+use crate::metrics::{Endpoint, EndpointStats, HealthReport, StatsReport};
 use pol_ais::types::MarketSegment;
 use pol_apps::eta::EtaEstimate;
 use pol_core::codec::{decode_cell_stats, encode_cell_stats};
@@ -22,8 +22,10 @@ use pol_sketch::wire::{get_f64, get_varint, put_f64, put_varint, WireError};
 use std::fmt;
 use std::io::{self, Read, Write};
 
-/// Wire protocol version carried in every payload.
-pub const PROTO_VERSION: u8 = 1;
+/// Wire protocol version carried in every payload. Version 2 added the
+/// `HEALTH`/`READY` probes and the snapshot-generation counters in
+/// `STATS`.
+pub const PROTO_VERSION: u8 = 2;
 
 /// Default per-frame size cap (requests *and* responses).
 pub const DEFAULT_MAX_FRAME_BYTES: usize = 1 << 20;
@@ -157,6 +159,10 @@ pub enum Request {
     },
     /// Server counters and latency histograms.
     Stats,
+    /// Liveness/health probe: snapshot generation and drain state.
+    Health,
+    /// Readiness probe: is the server accepting and serving traffic.
+    Ready,
 }
 
 impl Request {
@@ -172,6 +178,31 @@ impl Request {
             Request::Eta { .. } => Endpoint::Eta,
             Request::PredictDestination { .. } => Endpoint::PredictDestination,
             Request::Stats => Endpoint::Stats,
+            Request::Health => Endpoint::Health,
+            Request::Ready => Endpoint::Ready,
+        }
+    }
+
+    /// Whether retrying this request after a transport failure can be
+    /// observed by anyone (the client's automatic-retry gate).
+    ///
+    /// Every current endpoint is a pure read over an immutable snapshot,
+    /// so all are idempotent — but the match is exhaustive on purpose:
+    /// adding a mutating endpoint forces the author to decide its retry
+    /// semantics here, not inherit "retryable" silently.
+    pub fn is_idempotent(&self) -> bool {
+        match self {
+            Request::Ping
+            | Request::PointSummary { .. }
+            | Request::SegmentSummary { .. }
+            | Request::RouteSummary { .. }
+            | Request::BboxScan { .. }
+            | Request::TopDestinationCells { .. }
+            | Request::Eta { .. }
+            | Request::PredictDestination { .. }
+            | Request::Stats
+            | Request::Health
+            | Request::Ready => true,
         }
     }
 }
@@ -197,6 +228,11 @@ pub enum Response {
     Busy,
     /// The request was understood to be invalid, or could not be decoded.
     Error(String),
+    /// Reply to [`Request::Health`].
+    Health(HealthReport),
+    /// Reply to [`Request::Ready`]: `true` when serving, `false` while
+    /// draining for shutdown.
+    Ready(bool),
 }
 
 // ---------------------------------------------------------------------
@@ -229,6 +265,13 @@ impl FrameAccumulator {
     /// A fresh accumulator with no partial frame.
     pub fn new() -> FrameAccumulator {
         FrameAccumulator::default()
+    }
+
+    /// Whether a frame is partially assembled. A draining server uses
+    /// this to distinguish "idle at a frame boundary, safe to close"
+    /// from "mid-frame, the peer deserves its answer first".
+    pub fn is_partial(&self) -> bool {
+        self.filled > 0 || self.body_len.is_some()
     }
 
     /// Feeds at most one `read` call into the pending frame. Returns
@@ -315,6 +358,14 @@ fn get_byte(input: &mut &[u8]) -> Result<u8, WireError> {
     Ok(b)
 }
 
+fn get_bool(input: &mut &[u8]) -> Result<bool, WireError> {
+    match get_byte(input)? {
+        0 => Ok(false),
+        1 => Ok(true),
+        _ => Err(WireError("bad bool byte")),
+    }
+}
+
 fn get_segment(input: &mut &[u8]) -> Result<MarketSegment, WireError> {
     MarketSegment::from_id(get_byte(input)?).ok_or(WireError("bad segment id"))
 }
@@ -362,6 +413,8 @@ const REQ_TOP_DEST: u8 = 5;
 const REQ_ETA: u8 = 6;
 const REQ_PREDICT: u8 = 7;
 const REQ_STATS: u8 = 8;
+const REQ_HEALTH: u8 = 9;
+const REQ_READY: u8 = 10;
 
 /// Serializes a request payload (version byte + tag + body).
 pub fn encode_request(req: &Request) -> Vec<u8> {
@@ -443,6 +496,8 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             }
         }
         Request::Stats => out.push(REQ_STATS),
+        Request::Health => out.push(REQ_HEALTH),
+        Request::Ready => out.push(REQ_READY),
     }
     out
 }
@@ -520,6 +575,8 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, ProtoError> {
             }
         }
         REQ_STATS => Request::Stats,
+        REQ_HEALTH => Request::Health,
+        REQ_READY => Request::Ready,
         other => return Err(ProtoError::BadTag(other)),
     };
     if !input.is_empty() {
@@ -540,6 +597,8 @@ const RESP_DESTINATIONS: u8 = 4;
 const RESP_STATS: u8 = 5;
 const RESP_BUSY: u8 = 6;
 const RESP_ERROR: u8 = 7;
+const RESP_HEALTH: u8 = 8;
+const RESP_READY: u8 = 9;
 
 /// Serializes a response payload (version byte + tag + body).
 pub fn encode_response(resp: &Response) -> Vec<u8> {
@@ -594,6 +653,16 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
         Response::Error(msg) => {
             out.push(RESP_ERROR);
             put_string(&mut out, msg);
+        }
+        Response::Health(h) => {
+            out.push(RESP_HEALTH);
+            out.push(h.healthy as u8);
+            put_varint(&mut out, h.generation);
+            out.push(h.draining as u8);
+        }
+        Response::Ready(ready) => {
+            out.push(RESP_READY);
+            out.push(*ready as u8);
         }
     }
     out
@@ -665,6 +734,17 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, ProtoError> {
         RESP_STATS => Response::Stats(decode_stats_report(&mut input)?),
         RESP_BUSY => Response::Busy,
         RESP_ERROR => Response::Error(get_string(&mut input, MAX_ERROR_BYTES)?),
+        RESP_HEALTH => {
+            let healthy = get_bool(&mut input)?;
+            let generation = get_varint(&mut input)?;
+            let draining = get_bool(&mut input)?;
+            Response::Health(HealthReport {
+                healthy,
+                generation,
+                draining,
+            })
+        }
+        RESP_READY => Response::Ready(get_bool(&mut input)?),
         other => return Err(ProtoError::BadTag(other)),
     };
     if !input.is_empty() {
@@ -680,6 +760,9 @@ fn encode_stats_report(report: &StatsReport, out: &mut Vec<u8>) {
     put_varint(out, report.connections);
     put_varint(out, report.cache_hits);
     put_varint(out, report.cache_misses);
+    put_varint(out, report.generation);
+    put_varint(out, report.reloads_ok);
+    put_varint(out, report.reloads_failed);
     put_varint(out, report.endpoints.len() as u64);
     for ep in &report.endpoints {
         out.push(ep.endpoint.id());
@@ -700,6 +783,9 @@ fn decode_stats_report(input: &mut &[u8]) -> Result<StatsReport, ProtoError> {
     let connections = get_varint(input)?;
     let cache_hits = get_varint(input)?;
     let cache_misses = get_varint(input)?;
+    let generation = get_varint(input)?;
+    let reloads_ok = get_varint(input)?;
+    let reloads_failed = get_varint(input)?;
     let len = get_varint(input)? as usize;
     // Each endpoint entry is at least 26 bytes (id + count + three f64s).
     if len > input.len() / 26 {
@@ -736,6 +822,9 @@ fn decode_stats_report(input: &mut &[u8]) -> Result<StatsReport, ProtoError> {
         connections,
         cache_hits,
         cache_misses,
+        generation,
+        reloads_ok,
+        reloads_failed,
         endpoints,
         stages,
     })
@@ -835,6 +924,8 @@ mod tests {
                 track: vec![(10.0, 10.0), (10.0, 10.5)],
             },
             Request::Stats,
+            Request::Health,
+            Request::Ready,
         ];
         for req in reqs {
             let bytes = encode_request(&req);
@@ -885,6 +976,13 @@ mod tests {
             Response::Cells(vec![1, 5, 1 << 60]),
             Response::Destinations(vec![(9, 0.75), (3, 0.25)]),
             Response::Error("coordinates out of range".into()),
+            Response::Health(HealthReport {
+                healthy: true,
+                generation: 7,
+                draining: false,
+            }),
+            Response::Ready(true),
+            Response::Ready(false),
         ] {
             let bytes = encode_response(&resp);
             let back = decode_response(&bytes).unwrap();

@@ -20,7 +20,7 @@ use crate::proto::{
     DEFAULT_MAX_FRAME_BYTES,
 };
 use crate::store::{CacheKey, QueryCache, ShardedStore};
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use pol_apps::destination::DestinationPredictor;
 use pol_apps::eta::EtaEstimator;
 use pol_core::{Inventory, InventoryQuery};
@@ -53,6 +53,11 @@ pub struct ServerConfig {
     pub write_timeout: Duration,
     /// Per-frame size cap, both directions.
     pub max_frame_bytes: usize,
+    /// How long a draining connection keeps serving after shutdown is
+    /// requested. In-flight and already-buffered requests are answered
+    /// until the connection goes idle at a frame boundary or this
+    /// deadline passes — whichever comes first.
+    pub drain_timeout: Duration,
 }
 
 impl Default for ServerConfig {
@@ -65,6 +70,7 @@ impl Default for ServerConfig {
             read_timeout: Duration::from_millis(100),
             write_timeout: Duration::from_secs(5),
             max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+            drain_timeout: Duration::from_secs(2),
         }
     }
 }
@@ -201,6 +207,8 @@ impl InventoryService {
                 Response::Destinations(predictor.top(*top_n as usize))
             }
             Request::Stats => Response::Stats(self.metrics.snapshot()),
+            Request::Health => Response::Health(self.metrics.health()),
+            Request::Ready => Response::Ready(!self.metrics.is_draining()),
         }
     }
 
@@ -224,6 +232,8 @@ pub struct Server {
     stop: Arc<AtomicBool>,
     accept_handle: Option<JoinHandle<()>>,
     metrics: Arc<ServerMetrics>,
+    service: Arc<RwLock<Arc<InventoryService>>>,
+    config: ServerConfig,
 }
 
 impl Server {
@@ -236,26 +246,35 @@ impl Server {
         config: ServerConfig,
     ) -> io::Result<Server> {
         let metrics = Arc::new(ServerMetrics::new());
-        let service = Arc::new(InventoryService::new(
+        let service = Arc::new(RwLock::new(Arc::new(InventoryService::new(
             inventory,
             &config,
             Arc::clone(&metrics),
-        ));
+        ))));
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let accept_stop = Arc::clone(&stop);
         let accept_metrics = Arc::clone(&metrics);
+        let accept_service = Arc::clone(&service);
         let accept_handle = thread::Builder::new()
             .name("pol-serve-accept".into())
             .spawn(move || {
-                accept_loop(listener, service, config, accept_stop, accept_metrics);
+                accept_loop(
+                    listener,
+                    accept_service,
+                    config,
+                    accept_stop,
+                    accept_metrics,
+                );
             })?;
         Ok(Server {
             addr: local,
             stop,
             accept_handle: Some(accept_handle),
             metrics,
+            service,
+            config,
         })
     }
 
@@ -269,12 +288,49 @@ impl Server {
         Arc::clone(&self.metrics)
     }
 
+    /// Hot-swaps the served snapshot for `inventory` without dropping a
+    /// single connection: the new inventory is sharded off to the side,
+    /// then an atomic `Arc` swap makes it the live snapshot. Requests
+    /// already executing finish on the old snapshot (their clone keeps
+    /// it alive); every frame decoded after the swap sees the new one.
+    /// The generation counter in `STATS`/`HEALTH` advances.
+    pub fn reload(&self, inventory: Inventory) {
+        let fresh = Arc::new(InventoryService::new(
+            inventory,
+            &self.config,
+            Arc::clone(&self.metrics),
+        ));
+        *self.service.write() = fresh;
+        self.metrics.reload_succeeded();
+    }
+
+    /// Hot-reloads the snapshot from an inventory file. A corrupt,
+    /// truncated, or unreadable file is rejected by the codec's
+    /// checksums *before* anything is swapped: the error is returned,
+    /// `reloads_failed` advances, and the previous snapshot keeps
+    /// serving untouched.
+    pub fn reload_from(&self, path: &std::path::Path) -> Result<(), pol_core::codec::CodecError> {
+        match pol_core::codec::load(path) {
+            Ok(inventory) => {
+                self.reload(inventory);
+                Ok(())
+            }
+            Err(e) => {
+                self.metrics.reload_failed();
+                Err(e)
+            }
+        }
+    }
+
     /// Stops accepting, drains in-flight connections, joins all threads.
     /// Idempotent.
     pub fn shutdown(&mut self) {
         if !self.stop.swap(true, Ordering::Relaxed) {
-            // Unblock the accept() call; the loop re-checks the flag
-            // before handling whatever this connect delivers.
+            // Mark the server draining first so READY flips before the
+            // listener goes away, then unblock the accept() call; the
+            // loop re-checks the flag before handling whatever this
+            // connect delivers.
+            self.metrics.set_draining();
             let _ = TcpStream::connect(self.addr);
         }
         if let Some(handle) = self.accept_handle.take() {
@@ -289,9 +345,23 @@ impl Drop for Server {
     }
 }
 
+/// Releases one admission slot when dropped. Holding the decrement in a
+/// `Drop` guard (instead of a statement after `handle_connection`) keeps
+/// the admission count honest even when a connection worker panics — an
+/// injected `serve.worker.kill` fault unwinds through the pool's
+/// `catch_unwind`, and without the guard every kill would leak a slot
+/// until the cap starved the server into rejecting everyone.
+struct AdmitGuard(Arc<AtomicUsize>);
+
+impl Drop for AdmitGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
 fn accept_loop(
     listener: TcpListener,
-    service: Arc<InventoryService>,
+    service: Arc<RwLock<Arc<InventoryService>>>,
     config: ServerConfig,
     stop: Arc<AtomicBool>,
     metrics: Arc<ServerMetrics>,
@@ -319,18 +389,18 @@ fn accept_loop(
             reject_busy(stream, &config);
             continue;
         }
+        let guard = AdmitGuard(Arc::clone(&admitted));
         metrics.incr_connections();
         let service = Arc::clone(&service);
         let conn_stop = Arc::clone(&stop);
         let conn_metrics = Arc::clone(&metrics);
-        let conn_admitted = Arc::clone(&admitted);
         let submitted = pool.execute(move || {
+            let _admitted = guard;
             handle_connection(stream, &service, &config, &conn_stop, &conn_metrics);
-            conn_admitted.fetch_sub(1, Ordering::Relaxed);
         });
         if submitted.is_err() {
-            // Pool shut down underneath us; undo the admission and stop.
-            admitted.fetch_sub(1, Ordering::Relaxed);
+            // Pool shut down underneath us (the rejected closure was
+            // dropped, releasing its guard); stop accepting.
             break;
         }
     }
@@ -349,7 +419,7 @@ fn reject_busy(stream: TcpStream, config: &ServerConfig) {
 
 fn handle_connection(
     stream: TcpStream,
-    service: &InventoryService,
+    service: &RwLock<Arc<InventoryService>>,
     config: &ServerConfig,
     stop: &AtomicBool,
     metrics: &ServerMetrics,
@@ -363,10 +433,28 @@ fn handle_connection(
     let mut reader = BufReader::new(read_half);
     let mut writer = BufWriter::new(stream);
     let mut acc = FrameAccumulator::new();
-    while !stop.load(Ordering::Relaxed) {
+    // Once shutdown is requested the connection does not slam shut: it
+    // keeps serving until it is idle at a frame boundary (a request the
+    // server accepted gets its answer) or the drain deadline passes
+    // (a peer streaming forever cannot hold shutdown hostage).
+    let mut drain_deadline: Option<Instant> = None;
+    loop {
+        if stop.load(Ordering::Relaxed) && drain_deadline.is_none() {
+            drain_deadline = Some(Instant::now() + config.drain_timeout);
+        }
+        if drain_deadline.is_some_and(|d| Instant::now() >= d) {
+            break;
+        }
+        if pol_chaos::fire("serve.conn.read_delay") {
+            // An Err action models the transport dying under the reader.
+            break;
+        }
         match acc.poll(&mut reader, config.max_frame_bytes) {
             Ok(Some(payload)) => {
-                if !serve_frame(&payload, service, &mut writer, metrics) {
+                // The snapshot is resolved per frame: a hot reload swaps
+                // the Arc between requests, never under one.
+                let snapshot = Arc::clone(&service.read());
+                if !serve_frame(&payload, &snapshot, &mut writer, metrics) {
                     break;
                 }
             }
@@ -378,7 +466,12 @@ fn handle_connection(
                 ) =>
             {
                 // Read timeout: no bytes lost (the accumulator keeps its
-                // partial frame); loop around to poll the stop flag.
+                // partial frame); loop around to poll the stop flag. A
+                // draining connection that hits a timeout with no frame
+                // in progress is idle — safe to close.
+                if drain_deadline.is_some() && !acc.is_partial() {
+                    break;
+                }
             }
             Err(ProtoError::FrameTooLarge(n)) => {
                 metrics.incr_malformed();
@@ -400,6 +493,12 @@ fn serve_frame<W: Write>(
     metrics: &ServerMetrics,
 ) -> bool {
     let started = Instant::now();
+    if pol_chaos::fire("serve.worker.kill") {
+        // Err action: the worker aborts this connection without a reply
+        // (the Kill action panics inside `fire` instead and is contained
+        // by the pool's catch_unwind; either way no locks are held here).
+        return false;
+    }
     match decode_request(payload) {
         Ok(req) => {
             let endpoint = req.endpoint();

@@ -1,0 +1,282 @@
+//! Chaos harness (run with `cargo test -p pol-serve --features chaos
+//! --test chaos`): a client fleet drives a live server while failpoints
+//! kill connection workers and delay reads, and a corrupted snapshot
+//! reload is attempted mid-run. The assertions are the ISSUE's
+//! acceptance bar: **zero** client-visible wrong answers, only typed
+//! retryable errors at a bounded rate, rejected reloads leave the old
+//! snapshot serving, and the server recovers fully once the faults are
+//! disarmed.
+
+use pol_ais::types::{MarketSegment, Mmsi};
+use pol_chaos::{configure, reset, stats, FaultAction, Trigger};
+use pol_core::codec;
+use pol_core::features::{CellStats, GroupKey};
+use pol_core::records::{CellPoint, TripPoint};
+use pol_core::Inventory;
+use pol_geo::LatLon;
+use pol_hexgrid::{cell_at, Resolution};
+use pol_serve::{Client, ClientConfig, ClientError, ProtoError, RetryPolicy, Server, ServerConfig};
+use pol_sketch::hash::FxHashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn res() -> Resolution {
+    Resolution::new(6).unwrap()
+}
+
+fn sample_inventory(n: usize) -> Inventory {
+    let mut entries: FxHashMap<GroupKey, CellStats> = FxHashMap::default();
+    for i in 0..n {
+        let pos = LatLon::new(-50.0 + (i % 101) as f64, -160.0 + (i % 320) as f64).unwrap();
+        let cell = cell_at(pos, res());
+        let cp = CellPoint {
+            point: TripPoint {
+                mmsi: Mmsi(1 + (i % 9) as u32),
+                timestamp: i as i64 * 60,
+                pos,
+                sog_knots: Some(8.0 + (i % 14) as f64),
+                cog_deg: Some((i * 37 % 360) as f64),
+                heading_deg: Some((i * 41 % 360) as f64),
+                segment: MarketSegment::from_id((i % 7) as u8).unwrap(),
+                trip_id: (i % 13) as u64,
+                origin: (i % 6) as u16,
+                dest: (i % 8) as u16,
+                eto_secs: i as i64 * 45,
+                ata_secs: (n - i) as i64 * 45,
+            },
+            cell,
+            next_cell: None,
+        };
+        for key in [
+            GroupKey::Cell(cell),
+            GroupKey::CellType(cell, cp.point.segment),
+        ] {
+            entries
+                .entry(key)
+                .or_insert_with(|| CellStats::new(0.02, 8))
+                .observe(&cp);
+        }
+    }
+    Inventory::from_entries(res(), entries, n as u64)
+}
+
+fn stats_bytes(stats: Option<&CellStats>) -> Option<Vec<u8>> {
+    stats.map(|s| {
+        let mut out = Vec::new();
+        codec::encode_cell_stats(s, &mut out);
+        out
+    })
+}
+
+fn chaos_client_config(seed: u64) -> ClientConfig {
+    ClientConfig {
+        connect_timeout: Duration::from_secs(2),
+        read_timeout: Some(Duration::from_secs(2)),
+        retry: RetryPolicy {
+            max_attempts: 6,
+            base_backoff: Duration::from_millis(5),
+            max_backoff: Duration::from_millis(100),
+            deadline: Duration::from_secs(20),
+            jitter_seed: seed,
+        },
+        ..ClientConfig::default()
+    }
+}
+
+/// Is this one of the errors chaos is *allowed* to surface (transport
+/// died / server shed load), as opposed to a wrong answer or a protocol
+/// violation?
+fn is_retryable_kind(e: &ClientError) -> bool {
+    matches!(
+        e,
+        ClientError::ServerBusy
+            | ClientError::Proto(ProtoError::Io(_))
+            | ClientError::Proto(ProtoError::ConnectionClosed)
+    )
+}
+
+#[test]
+fn fleet_survives_kills_delays_and_corrupt_reload() {
+    const N: usize = 400;
+    const FLEET: usize = 4;
+    const QUERIES: usize = 60;
+
+    let reference = Arc::new(sample_inventory(N));
+    let config = ServerConfig {
+        worker_threads: 4,
+        read_timeout: Duration::from_millis(25),
+        drain_timeout: Duration::from_millis(500),
+        ..ServerConfig::default()
+    };
+    let mut server = Server::start(sample_inventory(N), "127.0.0.1:0", config).unwrap();
+    let addr = server.local_addr();
+
+    // Arm the chaos: every 40th served frame kills its worker job
+    // (contained panic, connection dies without a reply), and reads are
+    // randomly delayed. Seeds fixed for a deterministic fault schedule.
+    reset();
+    configure(
+        "serve.worker.kill",
+        Trigger::EveryNth {
+            n: 40,
+            action: FaultAction::Kill,
+        },
+    );
+    configure(
+        "serve.conn.read_delay",
+        Trigger::Prob {
+            p: 0.02,
+            seed: 0xC0FFEE,
+            action: FaultAction::Delay(Duration::from_millis(2)),
+        },
+    );
+
+    // Mid-run reload attempts happen concurrently with the fleet: a
+    // corrupted snapshot file must be rejected (old snapshot keeps
+    // serving, so answers never change), then a clean reload of the
+    // *same* inventory must land (generation bumps, answers still equal).
+    let wrong_answers = Arc::new(AtomicUsize::new(0));
+    let surfaced_errors = Arc::new(AtomicUsize::new(0));
+    let dir = std::env::temp_dir().join("pol-serve-chaos-test");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+
+    std::thread::scope(|s| {
+        for tid in 0..FLEET {
+            let reference = Arc::clone(&reference);
+            let wrong_answers = Arc::clone(&wrong_answers);
+            let surfaced_errors = Arc::clone(&surfaced_errors);
+            s.spawn(move || {
+                let mut client =
+                    Client::connect_with(addr, chaos_client_config(100 + tid as u64)).unwrap();
+                for j in 0..QUERIES {
+                    let i = tid * QUERIES + j;
+                    let pos =
+                        LatLon::new(-50.0 + (i % 101) as f64, -160.0 + (i % 320) as f64).unwrap();
+                    let cell = cell_at(pos, res());
+                    match client.point_summary(pos.lat(), pos.lon()) {
+                        Ok(got) => {
+                            if stats_bytes(got.as_ref()) != stats_bytes(reference.summary(cell)) {
+                                wrong_answers.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        Err(e) => {
+                            assert!(is_retryable_kind(&e), "non-retryable error surfaced: {e}");
+                            surfaced_errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            });
+        }
+
+        // The reloader runs while the fleet is querying.
+        let corrupt_path = dir.join("corrupt.pol");
+        let mut bytes = codec::to_bytes(&sample_inventory(N));
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&corrupt_path, &bytes).unwrap();
+        let before = server.metrics().generation();
+        assert!(
+            server.reload_from(&corrupt_path).is_err(),
+            "corrupt snapshot must be rejected"
+        );
+        assert_eq!(
+            server.metrics().generation(),
+            before,
+            "rejected reload must not advance the generation"
+        );
+
+        let clean_path = dir.join("clean.pol");
+        codec::save(&sample_inventory(N), &clean_path).unwrap();
+        server.reload_from(&clean_path).unwrap();
+        assert_eq!(server.metrics().generation(), before + 1);
+    });
+
+    // Acceptance: not one wrong answer, and the error budget holds (the
+    // client retries absorb almost every injected fault).
+    let total = FLEET * QUERIES;
+    let errors = surfaced_errors.load(Ordering::Relaxed);
+    assert_eq!(
+        wrong_answers.load(Ordering::Relaxed),
+        0,
+        "chaos must never cause a wrong answer"
+    );
+    assert!(
+        errors <= total / 10,
+        "error rate too high under chaos: {errors}/{total}"
+    );
+
+    // The faults actually happened (this test is not vacuous).
+    assert!(
+        stats("serve.worker.kill").fired >= 1,
+        "kill failpoint never fired: {}",
+        stats("serve.worker.kill")
+    );
+    assert!(stats("serve.conn.read_delay").hits > 0);
+
+    // Full recovery: disarm everything, a fresh client sees every
+    // endpoint healthy and the reload accounting in STATS.
+    reset();
+    let mut client = Client::connect_with(addr, chaos_client_config(999)).unwrap();
+    client.ping().unwrap();
+    let health = client.health().unwrap();
+    assert!(health.healthy && !health.draining);
+    assert!(client.ready().unwrap());
+    let report = client.stats().unwrap();
+    assert_eq!(report.reloads_ok, 1);
+    assert_eq!(report.reloads_failed, 1);
+    for i in 0..20usize {
+        let pos = LatLon::new(-50.0 + (i % 101) as f64, -160.0 + (i % 320) as f64).unwrap();
+        let cell = cell_at(pos, res());
+        let got = client.point_summary(pos.lat(), pos.lon()).unwrap();
+        assert_eq!(
+            stats_bytes(got.as_ref()),
+            stats_bytes(reference.summary(cell)),
+            "post-recovery answer {i}"
+        );
+    }
+
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A kill fault must not leak its admission slot: after many kills, the
+/// server still admits new connections (the `AdmitGuard` contract).
+#[test]
+fn killed_workers_do_not_leak_admission_slots() {
+    let config = ServerConfig {
+        worker_threads: 2,
+        max_pending: 1,
+        read_timeout: Duration::from_millis(25),
+        drain_timeout: Duration::from_millis(300),
+        ..ServerConfig::default()
+    };
+    let mut server = Server::start(sample_inventory(50), "127.0.0.1:0", config).unwrap();
+    let addr = server.local_addr();
+
+    reset();
+    configure("serve.worker.kill", Trigger::Always(FaultAction::Kill));
+    // Every request meets a kill; with retries exhausted each attempt
+    // fails with a transport error. The slots must all be released.
+    for seed in 0..6u64 {
+        let mut cfg = chaos_client_config(seed);
+        cfg.retry.max_attempts = 2;
+        cfg.retry.deadline = Duration::from_secs(3);
+        let mut client = Client::connect_with(addr, cfg).unwrap();
+        let err = client.ping().unwrap_err();
+        assert!(is_retryable_kind(&err), "unexpected error: {err}");
+    }
+    assert!(stats("serve.worker.kill").fired >= 6);
+
+    // Disarmed: the very next connection is admitted and served.
+    reset();
+    let mut client = Client::connect_with(addr, chaos_client_config(42)).unwrap();
+    client.ping().unwrap();
+    assert_eq!(
+        server.metrics().snapshot().busy_rejections,
+        0,
+        "kills leaked admission slots into Busy shedding"
+    );
+    server.shutdown();
+}

@@ -226,7 +226,9 @@ fn overload_is_rejected_with_busy() {
         Err(ClientError::ServerBusy) => {}
         other => panic!("expected ServerBusy, got {other:?}"),
     }
-    assert_eq!(server.metrics().snapshot().busy_rejections, 1);
+    // The client retries Busy on fresh connections before giving up, so
+    // every attempt lands one rejection.
+    assert!(server.metrics().snapshot().busy_rejections >= 1);
 
     // Releasing the first connection frees the slot for a new client.
     drop(first);
@@ -310,6 +312,122 @@ fn fragmented_request_is_reassembled() {
         Response::Pong
     ));
     server.shutdown();
+}
+
+/// A request whose bytes were accepted before shutdown gets its answer:
+/// the draining server serves the in-flight frame instead of resetting
+/// the connection.
+#[test]
+fn shutdown_drains_in_flight_requests() {
+    let config = ServerConfig {
+        worker_threads: 2,
+        read_timeout: Duration::from_millis(25),
+        drain_timeout: Duration::from_secs(2),
+        ..ServerConfig::default()
+    };
+    let mut server = Server::start(sample_inventory(50), "127.0.0.1:0", config).unwrap();
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    stream.set_nodelay(true).unwrap();
+
+    // Deliver the first half of a Ping frame, so shutdown finds this
+    // connection mid-request.
+    let payload = pol_serve::proto::encode_request(&Request::Ping);
+    let mut framed = Vec::new();
+    write_frame(&mut framed, &payload).unwrap();
+    let split = framed.len() / 2;
+    stream.write_all(&framed[..split]).unwrap();
+    stream.flush().unwrap();
+
+    let finisher = std::thread::spawn(move || {
+        // Let shutdown begin, then complete the frame and collect the
+        // answer the drain owes us.
+        std::thread::sleep(Duration::from_millis(150));
+        stream.write_all(&framed[split..]).unwrap();
+        stream.flush().unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(3)))
+            .unwrap();
+        let reply = read_frame(&mut stream, 1 << 20).expect("drained request must be answered");
+        assert!(matches!(
+            pol_serve::proto::decode_response(&reply).unwrap(),
+            Response::Pong
+        ));
+    });
+    std::thread::sleep(Duration::from_millis(50)); // frame half-delivered
+    server.shutdown();
+    finisher.join().unwrap();
+}
+
+/// `HEALTH` and `READY` report the live generation and flip on reload.
+#[test]
+fn health_ready_and_hot_reload() {
+    let reference = Arc::new(sample_inventory(300));
+    let mut server = Server::start(sample_inventory(50), "127.0.0.1:0", test_config()).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    let health = client.health().unwrap();
+    assert!(health.healthy && !health.draining);
+    assert_eq!(health.generation, 1);
+    assert!(client.ready().unwrap());
+
+    // Hot-swap to a bigger snapshot; the attached client sees the new
+    // data on its very next request, same connection.
+    server.reload(sample_inventory(300));
+    let health = client.health().unwrap();
+    assert_eq!(health.generation, 2);
+    let pos = LatLon::new(-50.0, -160.0).unwrap();
+    let cell = cell_at(pos, res());
+    let got = client.point_summary(pos.lat(), pos.lon()).unwrap();
+    assert_eq!(
+        stats_bytes(got.as_ref()),
+        stats_bytes(reference.summary(cell)),
+        "post-reload answers must come from the new snapshot"
+    );
+    let report = client.stats().unwrap();
+    assert_eq!(report.generation, 2);
+    assert_eq!(report.reloads_ok, 1);
+    assert_eq!(report.reloads_failed, 0);
+    server.shutdown();
+}
+
+/// `reload_from` on a corrupt file keeps the old snapshot serving.
+#[test]
+fn corrupt_reload_is_rejected_and_old_snapshot_survives() {
+    use pol_core::codec;
+    let dir = std::env::temp_dir().join("pol-serve-reload-test");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let reference = Arc::new(sample_inventory(50));
+    let mut server = Server::start(sample_inventory(50), "127.0.0.1:0", test_config()).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    let mut bytes = codec::to_bytes(&sample_inventory(300));
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x01; // bit rot
+    let path = dir.join("corrupt.pol");
+    std::fs::write(&path, &bytes).unwrap();
+    assert!(server.reload_from(&path).is_err());
+
+    // Old snapshot still answers, generation unmoved, failure accounted.
+    let pos = LatLon::new(-50.0, -160.0).unwrap();
+    let cell = cell_at(pos, res());
+    let got = client.point_summary(pos.lat(), pos.lon()).unwrap();
+    assert_eq!(
+        stats_bytes(got.as_ref()),
+        stats_bytes(reference.summary(cell))
+    );
+    let report = client.stats().unwrap();
+    assert_eq!(report.generation, 1);
+    assert_eq!(report.reloads_failed, 1);
+
+    // A clean file lands.
+    let clean = dir.join("clean.pol");
+    codec::save(&sample_inventory(300), &clean).unwrap();
+    server.reload_from(&clean).unwrap();
+    assert_eq!(client.stats().unwrap().generation, 2);
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 /// `CellIndex::from_raw` accepts every index a bbox scan returns (the

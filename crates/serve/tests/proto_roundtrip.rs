@@ -5,7 +5,7 @@
 
 use pol_ais::types::MarketSegment;
 use pol_apps::eta::EtaEstimate;
-use pol_serve::metrics::{Endpoint, EndpointStats, StatsReport};
+use pol_serve::metrics::{Endpoint, EndpointStats, HealthReport, StatsReport};
 use pol_serve::proto::{
     decode_request, decode_response, encode_request, encode_response, Request, Response,
 };
@@ -17,7 +17,7 @@ fn arb_segment() -> impl Strategy<Value = MarketSegment> {
 
 fn arb_request() -> impl Strategy<Value = Request> {
     (
-        0u8..9,
+        0u8..11,
         (-90.0f64..90.0, -180.0f64..180.0),
         arb_segment(),
         (0u16..500, 0u16..500),
@@ -58,7 +58,9 @@ fn arb_request() -> impl Strategy<Value = Request> {
                     top_n,
                     track,
                 },
-                _ => Request::Stats,
+                8 => Request::Stats,
+                9 => Request::Health,
+                _ => Request::Ready,
             },
         )
 }
@@ -83,24 +85,34 @@ fn arb_stats_report() -> impl Strategy<Value = StatsReport> {
     (
         (0u64..1 << 40, 0u64..1000, 0u64..1000, 0u64..10_000),
         (0u64..1 << 30, 0u64..1 << 30),
+        (1u64..1 << 20, 0u64..500, 0u64..500),
         prop::collection::vec(
             (
-                0u8..9,
+                0u8..11,
                 0u64..1 << 40,
                 (0.0f64..1e4, 0.0f64..1e4, 0.0f64..1e5),
             ),
-            0..9,
+            0..11,
         ),
         prop::collection::vec(32u8..127, 0..200),
     )
         .prop_map(
-            |((total, busy, malformed, conns), (hits, misses), eps, stage_bytes)| StatsReport {
+            |(
+                (total, busy, malformed, conns),
+                (hits, misses),
+                (generation, reloads_ok, reloads_failed),
+                eps,
+                stage_bytes,
+            )| StatsReport {
                 total_requests: total,
                 busy_rejections: busy,
                 malformed_frames: malformed,
                 connections: conns,
                 cache_hits: hits,
                 cache_misses: misses,
+                generation,
+                reloads_ok,
+                reloads_failed,
                 endpoints: eps
                     .into_iter()
                     .map(|(id, count, (p50, p99, max))| EndpointStats {
@@ -118,21 +130,30 @@ fn arb_stats_report() -> impl Strategy<Value = StatsReport> {
 
 fn arb_response() -> impl Strategy<Value = Response> {
     (
-        0u8..6,
+        0u8..8,
         prop::collection::vec(0u64..u64::MAX, 0..64),
         prop::option::of(arb_eta()),
         prop::collection::vec((0u16..1000, 0.0f64..1.0), 0..12),
         arb_stats_report(),
         prop::collection::vec(32u8..127, 0..600),
+        (1u64..1 << 20, 0u8..4),
     )
-        .prop_map(|(variant, cells, eta, ranked, report, msg)| match variant {
-            0 => Response::Pong,
-            1 => Response::Cells(cells),
-            2 => Response::Eta(eta),
-            3 => Response::Destinations(ranked),
-            4 => Response::Stats(report),
-            _ => Response::Error(String::from_utf8(msg).expect("ascii")),
-        })
+        .prop_map(
+            |(variant, cells, eta, ranked, report, msg, (generation, flags))| match variant {
+                0 => Response::Pong,
+                1 => Response::Cells(cells),
+                2 => Response::Eta(eta),
+                3 => Response::Destinations(ranked),
+                4 => Response::Stats(report),
+                5 => Response::Health(HealthReport {
+                    healthy: flags & 1 != 0,
+                    generation,
+                    draining: flags & 2 != 0,
+                }),
+                6 => Response::Ready(flags & 1 != 0),
+                _ => Response::Error(String::from_utf8(msg).expect("ascii")),
+            },
+        )
 }
 
 proptest! {

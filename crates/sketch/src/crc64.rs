@@ -1,0 +1,141 @@
+//! CRC-64/XZ (aka CRC-64/GO-ECMA): the checksum sealing the inventory
+//! file's sections.
+//!
+//! Parameters: reflected ECMA-182 polynomial `0xC96C5795D7870F42`,
+//! initial value and final XOR `!0`. This is the variant used by `xz`
+//! and Go's `hash/crc64` ECMA table, chosen over CRC-32 because the
+//! inventory body routinely reaches hundreds of megabytes, where a
+//! 32-bit check's collision floor starts to matter, and over a
+//! cryptographic hash because the threat model is bit rot and torn
+//! writes, not an adversary.
+//!
+//! The implementation is a single 256-entry table computed at first use
+//! (`OnceLock`), processing one byte per step — ~1 GB/s, far faster than
+//! the disk writes it guards. Pure `std`, no allocation after init.
+
+use std::sync::OnceLock;
+
+/// The reflected ECMA-182 polynomial.
+const POLY: u64 = 0xC96C_5795_D787_0F42;
+
+fn table() -> &'static [u64; 256] {
+    static TABLE: OnceLock<[u64; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u64; 256];
+        let mut i = 0;
+        while i < 256 {
+            let mut crc = i as u64;
+            let mut bit = 0;
+            while bit < 8 {
+                crc = if crc & 1 == 1 {
+                    (crc >> 1) ^ POLY
+                } else {
+                    crc >> 1
+                };
+                bit += 1;
+            }
+            t[i] = crc;
+            i += 1;
+        }
+        t
+    })
+}
+
+/// A streaming CRC-64/XZ digest.
+///
+/// ```
+/// use pol_sketch::crc64::Crc64;
+/// let mut d = Crc64::new();
+/// d.update(b"123456789");
+/// assert_eq!(d.finish(), 0x995D_C9BB_DF19_39FA); // the standard check value
+/// ```
+#[derive(Clone, Debug)]
+pub struct Crc64 {
+    state: u64,
+}
+
+impl Default for Crc64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Crc64 {
+    /// A fresh digest.
+    pub fn new() -> Crc64 {
+        Crc64 { state: !0 }
+    }
+
+    /// Feeds bytes into the digest.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let t = table();
+        let mut crc = self.state;
+        for &b in bytes {
+            let idx = ((crc ^ b as u64) & 0xFF) as usize;
+            // The index is masked to 0..256; direct indexing cannot
+            // overrun, and `get` would hide that invariant.
+            crc = t[idx] ^ (crc >> 8);
+        }
+        self.state = crc;
+    }
+
+    /// The digest of everything fed so far (the digest stays usable).
+    pub fn finish(&self) -> u64 {
+        !self.state
+    }
+}
+
+/// One-shot convenience over [`Crc64`].
+pub fn crc64(bytes: &[u8]) -> u64 {
+    let mut d = Crc64::new();
+    d.update(bytes);
+    d.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_check_value() {
+        // The canonical CRC-64/XZ check: crc of "123456789".
+        assert_eq!(crc64(b"123456789"), 0x995D_C9BB_DF19_39FA);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(crc64(b""), 0);
+    }
+
+    #[test]
+    fn streaming_equals_one_shot() {
+        let data: Vec<u8> = (0..4096u32).map(|i| (i * 31 % 251) as u8).collect();
+        let mut d = Crc64::new();
+        for chunk in data.chunks(7) {
+            d.update(chunk);
+        }
+        assert_eq!(d.finish(), crc64(&data));
+    }
+
+    #[test]
+    fn detects_every_single_bit_flip() {
+        let data: Vec<u8> = (0..256u32).map(|i| (i * 17 % 256) as u8).collect();
+        let clean = crc64(&data);
+        for byte in 0..data.len() {
+            for bit in 0..8 {
+                let mut corrupt = data.clone();
+                corrupt[byte] ^= 1 << bit;
+                assert_ne!(crc64(&corrupt), clean, "missed flip at {byte}:{bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn finish_is_idempotent() {
+        let mut d = Crc64::new();
+        d.update(b"abc");
+        assert_eq!(d.finish(), d.finish());
+        d.update(b"def");
+        assert_eq!(d.finish(), crc64(b"abcdef"));
+    }
+}

@@ -26,6 +26,7 @@
 #![deny(missing_docs)]
 
 pub mod circular;
+pub mod crc64;
 pub mod gk;
 pub mod hash;
 pub mod histogram;

@@ -52,7 +52,9 @@ use std::path::{Path, PathBuf};
 
 /// Crates whose non-test code must be panic-free (R1). `serve` is hot:
 /// a panic in a connection worker would silently shrink the pool.
-pub const HOT_CRATES: [&str; 5] = ["engine", "core", "sketch", "hexgrid", "serve"];
+/// `chaos` is held to the same bar because its no-op form is compiled
+/// into every hot path (its deliberate Kill panic carries an allow).
+pub const HOT_CRATES: [&str; 6] = ["engine", "core", "sketch", "hexgrid", "serve", "chaos"];
 
 /// Crates whose coordinate math must stay in double precision (R3).
 pub const F64_ONLY_CRATES: [&str; 2] = ["geo", "hexgrid"];
@@ -238,15 +240,20 @@ impl SourceFile {
 }
 
 /// Marks the lines belonging to `#[cfg(test)]` items by brace tracking:
-/// from a `#[cfg(test)]` attribute to the close of the brace block that
-/// starts on the next code line (or to the first `;` for braceless items).
+/// from a `#[cfg(test)]` attribute (including compound forms like
+/// `#[cfg(all(test, feature = "..."))]`, but not `not(test)`) to the
+/// close of the brace block that starts on the next code line (or to the
+/// first `;` for braceless items).
 fn mark_test_mods(code: &[String]) -> Vec<bool> {
     let mut flags = vec![false; code.len()];
     let mut depth: i64 = 0;
     let mut armed = false;
     let mut region_close: Option<i64> = None;
     for (i, line) in code.iter().enumerate() {
-        if line.contains("#[cfg(test)]") {
+        let test_cfg = line.contains("#[cfg(")
+            && !line.contains("not(test")
+            && !token_lines(std::slice::from_ref(line), "test").is_empty();
+        if test_cfg {
             armed = true;
         }
         if armed || region_close.is_some() {
