@@ -57,6 +57,26 @@ if ! grep -q "shut down after" "$smoke_dir/serve.err"; then
 fi
 echo "pol-serve smoke: $(grep 'aggregate point_summary' "$smoke_dir/load.out")"
 
+echo "==> polbuild ingestion smoke (fused vs staged, bit-identity + throughput floor)"
+# The floor is deliberately conservative (~2 orders below a release-build
+# laptop) — it catches a pipeline that stopped scaling, not jitter.
+cargo run --release -q -p pol-bench --bin polbuild -- \
+  --vessels 10 --days 3 --min-rps 5000 \
+  --out "$smoke_dir/BENCH_build.json" > "$smoke_dir/build.out"
+if [ ! -s "$smoke_dir/BENCH_build.json" ]; then
+  echo "ci: polbuild wrote no BENCH_build.json" >&2
+  exit 1
+fi
+if ! grep -q '"bit_identical": true' "$smoke_dir/BENCH_build.json"; then
+  echo "ci: fused executor diverged from staged" >&2
+  exit 1
+fi
+if grep -q '"fused_records_per_sec": 0\.0' "$smoke_dir/BENCH_build.json"; then
+  echo "ci: polbuild reported zero end-to-end throughput" >&2
+  exit 1
+fi
+echo "polbuild smoke: $(cat "$smoke_dir/build.out" | head -1)"
+
 echo "==> chaos smoke (fault-injected persistence + serving)"
 cargo test -q -p pol-core --features chaos --test codec_chaos
 cargo test -q -p pol-serve --features chaos --test chaos

@@ -1,0 +1,365 @@
+//! `polbuild` — the ingestion benchmark: how fast does the build side
+//! turn raw AIS reports into an inventory? (The serving-side counterpart
+//! is `polload`.)
+//!
+//! ```text
+//! polbuild [--vessels N] [--days D] [--seed S] [--res R] [--threads T]
+//!          [--out FILE] [--min-rps X]
+//! ```
+//!
+//! Runs a fleetsim workload through the **staged** reference pipeline
+//! stage by stage (wall time + allocation counters per stage), then
+//! through the **fused** morsel-driven executor end to end, verifies the
+//! two are bit-identical, and writes `figures/BENCH_build.json` with
+//! records/sec per stage and end to end. With `--min-rps` the process
+//! fails unless the fused end-to-end throughput clears the floor — the
+//! CI ingestion gate.
+
+use pol_bench::alloc::{self, CountingAlloc};
+use pol_bench::{figures_dir, port_sites};
+use pol_core::clean::clean_and_enrich;
+use pol_core::features::build_group_stats;
+use pol_core::project::project;
+use pol_core::trips::extract_trips;
+use pol_core::{codec, Inventory, PipelineConfig};
+use pol_engine::{Dataset, Engine};
+use pol_fleetsim::emit::EmissionConfig;
+use pol_fleetsim::scenario::{generate, ScenarioConfig};
+use pol_hexgrid::Resolution;
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn parse_or<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> T {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// One timed pipeline stage.
+struct StageRow {
+    name: &'static str,
+    input_records: u64,
+    output_records: u64,
+    wall_ms: f64,
+    allocs: u64,
+    alloc_bytes: u64,
+}
+
+impl StageRow {
+    fn records_per_sec(&self) -> f64 {
+        if self.wall_ms > 0.0 {
+            self.input_records as f64 / (self.wall_ms / 1e3)
+        } else {
+            0.0
+        }
+    }
+}
+
+fn json_stage(row: &StageRow) -> String {
+    format!(
+        "    {{\"name\": \"{}\", \"input_records\": {}, \"output_records\": {}, \
+         \"wall_ms\": {:.3}, \"records_per_sec\": {:.1}, \"allocs\": {}, \"alloc_bytes\": {}}}",
+        row.name,
+        row.input_records,
+        row.output_records,
+        row.wall_ms,
+        row.records_per_sec(),
+        row.allocs,
+        row.alloc_bytes
+    )
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let vessels = parse_or(&args, "--vessels", 40usize);
+    let days = parse_or(&args, "--days", 7u32);
+    let seed = parse_or(&args, "--seed", 42u64);
+    let res = parse_or(&args, "--res", 6u8);
+    let threads = parse_or(
+        &args,
+        "--threads",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4),
+    );
+    let min_rps = parse_or(&args, "--min-rps", 0.0f64);
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+        .unwrap_or_else(|| figures_dir().join("BENCH_build.json"));
+    let Some(resolution) = Resolution::new(res) else {
+        eprintln!("error: resolution {res} out of 0..=15");
+        return ExitCode::FAILURE;
+    };
+
+    let scenario = ScenarioConfig {
+        seed,
+        n_vessels: vessels,
+        duration_days: days,
+        emission: EmissionConfig {
+            interval_scale: 10.0,
+            ..EmissionConfig::default()
+        },
+        ..ScenarioConfig::default()
+    };
+    let cfg = PipelineConfig::default().with_resolution(resolution);
+    eprintln!("polbuild: simulating {vessels} vessels over {days} days (seed {seed})...");
+    let ds = generate(&scenario);
+    let raw_records: u64 = ds.positions.iter().map(|p| p.len() as u64).sum();
+    let ports = port_sites(cfg.port_radius_km);
+    eprintln!("polbuild: {raw_records} raw reports; staged pass ({threads} threads)...");
+
+    // ---- Staged reference path, one timed stage at a time. ----
+    let engine = Engine::new(threads);
+    let mut stages: Vec<StageRow> = Vec::new();
+    let mut stage = |name: &'static str, input: u64, wall: f64, output: u64, a0, a1| {
+        let d = alloc::AllocSnapshot::since(&a1, a0);
+        stages.push(StageRow {
+            name,
+            input_records: input,
+            output_records: output,
+            wall_ms: wall,
+            allocs: d.allocs,
+            alloc_bytes: d.bytes,
+        });
+    };
+    let staged_t0 = Instant::now();
+    let a0 = alloc::snapshot();
+
+    let t = Instant::now();
+    let (cleaned, clean_report) = match clean_and_enrich(
+        &engine,
+        Dataset::from_partitions(ds.positions.clone()),
+        &ds.statics,
+        &cfg,
+    ) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("error: clean failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let cleaned_count = cleaned.count() as u64;
+    let a1 = alloc::snapshot();
+    stage(
+        "clean",
+        raw_records,
+        t.elapsed().as_secs_f64() * 1e3,
+        cleaned_count,
+        a0,
+        a1,
+    );
+
+    let t = Instant::now();
+    let trips = match extract_trips(&engine, cleaned, &ports, &cfg) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("error: trips failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let with_trips = trips.count() as u64;
+    let a2 = alloc::snapshot();
+    stage(
+        "trips",
+        cleaned_count,
+        t.elapsed().as_secs_f64() * 1e3,
+        with_trips,
+        a1,
+        a2,
+    );
+
+    let t = Instant::now();
+    let projected = match project(&engine, trips, &cfg) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("error: project failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let projected_count = projected.count() as u64;
+    let a3 = alloc::snapshot();
+    stage(
+        "project",
+        with_trips,
+        t.elapsed().as_secs_f64() * 1e3,
+        projected_count,
+        a2,
+        a3,
+    );
+
+    let t = Instant::now();
+    let stats = match build_group_stats(&engine, projected, &cfg) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("error: features failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let group_entries = stats.count() as u64;
+    let staged_inventory = Inventory::from_dataset(cfg.resolution, stats, projected_count);
+    let a4 = alloc::snapshot();
+    stage(
+        "features",
+        projected_count * 3,
+        t.elapsed().as_secs_f64() * 1e3,
+        group_entries,
+        a3,
+        a4,
+    );
+
+    let staged_wall_ms = staged_t0.elapsed().as_secs_f64() * 1e3;
+    let staged_alloc = alloc::AllocSnapshot::since(&a4, a0);
+
+    // ---- Fused executor, end to end. ----
+    eprintln!("polbuild: fused pass...");
+    let fused_engine = Engine::new(threads);
+    let f0 = alloc::snapshot();
+    let fused_t0 = Instant::now();
+    let fused = match pol_core::run_fused(
+        &fused_engine,
+        ds.positions.clone(),
+        &ds.statics,
+        &ports,
+        &cfg,
+    ) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("error: fused run failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let fused_wall_ms = fused_t0.elapsed().as_secs_f64() * 1e3;
+    let fused_alloc = alloc::AllocSnapshot::since(&alloc::snapshot(), f0);
+
+    // ---- Bit-identity check: the benchmark refuses to report a fused
+    // number that does not match the staged oracle. ----
+    let staged_bytes = codec::to_bytes(&staged_inventory);
+    let fused_bytes = codec::to_bytes(&fused.inventory);
+    let counts_match = fused.counts.raw == raw_records
+        && fused.counts.cleaned == cleaned_count
+        && fused.counts.with_trips == with_trips
+        && fused.counts.projected == projected_count
+        && fused.counts.group_entries == group_entries
+        && fused.clean_report == clean_report;
+    if staged_bytes != fused_bytes || !counts_match {
+        eprintln!(
+            "error: fused output diverged from staged (bytes equal: {}, counts equal: {})",
+            staged_bytes == fused_bytes,
+            counts_match
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let rps = |wall_ms: f64| {
+        if wall_ms > 0.0 {
+            raw_records as f64 / (wall_ms / 1e3)
+        } else {
+            0.0
+        }
+    };
+    let staged_rps = rps(staged_wall_ms);
+    let fused_rps = rps(fused_wall_ms);
+    let speedup = if fused_wall_ms > 0.0 {
+        staged_wall_ms / fused_wall_ms
+    } else {
+        0.0
+    };
+
+    // ---- JSON report. ----
+    let mut json = String::from("{\n");
+    json.push_str("  \"benchmark\": \"polbuild\",\n");
+    json.push_str(&format!("  \"threads\": {threads},\n"));
+    json.push_str(&format!("  \"vessels\": {vessels},\n"));
+    json.push_str(&format!("  \"days\": {days},\n"));
+    json.push_str(&format!("  \"seed\": {seed},\n"));
+    json.push_str(&format!("  \"resolution\": {res},\n"));
+    json.push_str(&format!("  \"raw_records\": {raw_records},\n"));
+    json.push_str("  \"bit_identical\": true,\n");
+    json.push_str("  \"staged_stages\": [\n");
+    let rows: Vec<String> = stages.iter().map(json_stage).collect();
+    json.push_str(&rows.join(",\n"));
+    json.push_str("\n  ],\n");
+    json.push_str("  \"fused_stages\": [\n");
+    let frows: Vec<String> = fused_engine
+        .metrics()
+        .report()
+        .iter()
+        .map(|s| {
+            format!(
+                "    {{\"name\": \"{}\", \"input_records\": {}, \"output_records\": {}, \
+                 \"shuffled_records\": {}, \"wall_ms\": {:.3}}}",
+                s.name,
+                s.input_records,
+                s.output_records,
+                s.shuffled_records,
+                s.wall.as_secs_f64() * 1e3
+            )
+        })
+        .collect();
+    json.push_str(&frows.join(",\n"));
+    json.push_str("\n  ],\n");
+    json.push_str("  \"end_to_end\": {\n");
+    json.push_str(&format!(
+        "    \"staged_wall_ms\": {staged_wall_ms:.3},\n    \"staged_records_per_sec\": {staged_rps:.1},\n"
+    ));
+    json.push_str(&format!(
+        "    \"fused_wall_ms\": {fused_wall_ms:.3},\n    \"fused_records_per_sec\": {fused_rps:.1},\n"
+    ));
+    json.push_str(&format!("    \"speedup\": {speedup:.3},\n"));
+    json.push_str(&format!(
+        "    \"staged_allocs\": {},\n    \"staged_alloc_bytes\": {},\n",
+        staged_alloc.allocs, staged_alloc.bytes
+    ));
+    json.push_str(&format!(
+        "    \"fused_allocs\": {},\n    \"fused_alloc_bytes\": {}\n",
+        fused_alloc.allocs, fused_alloc.bytes
+    ));
+    json.push_str("  }\n}\n");
+    if let Some(dir) = out_path.parent() {
+        if !dir.as_os_str().is_empty() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+    }
+    let mut f = match std::fs::File::create(&out_path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: cannot write {}: {e}", out_path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = f.write_all(json.as_bytes()) {
+        eprintln!("error: cannot write {}: {e}", out_path.display());
+        return ExitCode::FAILURE;
+    }
+
+    println!(
+        "polbuild: staged {:.0} rec/s, fused {:.0} rec/s ({speedup:.2}x), \
+         allocs {} -> {} ({:.1}%), bit-identical",
+        staged_rps,
+        fused_rps,
+        staged_alloc.allocs,
+        fused_alloc.allocs,
+        if staged_alloc.allocs > 0 {
+            fused_alloc.allocs as f64 / staged_alloc.allocs as f64 * 100.0
+        } else {
+            0.0
+        }
+    );
+    println!("wrote {}", out_path.display());
+
+    if min_rps > 0.0 && fused_rps < min_rps {
+        eprintln!("error: fused throughput {fused_rps:.0} rec/s below floor {min_rps:.0} rec/s");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

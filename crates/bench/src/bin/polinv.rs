@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! polinv build --out inv.pol [--vessels 150] [--days 14] [--res 6] [--seed 42]
+//!              [--executor fused|staged] [--timings]
 //! polinv info <inv.pol>
 //! polinv verify <inv.pol>
 //! polinv query <inv.pol> <lat> <lon> [--segment container|tanker|...]
@@ -15,19 +16,25 @@
 //! EOF shuts the server down.
 
 use pol_ais::types::MarketSegment;
-use pol_bench::build_inventory;
+use pol_bench::alloc::{self, CountingAlloc};
+use pol_bench::{build_inventory_on, BuildExecutor};
 use pol_core::{codec, Inventory, PipelineConfig};
+use pol_engine::Engine;
 use pol_fleetsim::emit::EmissionConfig;
-use pol_fleetsim::scenario::ScenarioConfig;
+use pol_fleetsim::scenario::{generate, ScenarioConfig};
 use pol_fleetsim::WORLD_PORTS;
 use pol_geo::LatLon;
 use pol_hexgrid::{cell_at, Resolution};
 use std::path::Path;
 use std::process::ExitCode;
 
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  polinv build --out <file> [--vessels N] [--days D] [--res R] [--seed S]\n  \
+        "usage:\n  polinv build --out <file> [--vessels N] [--days D] [--res R] [--seed S] \
+         [--executor fused|staged] [--timings]\n  \
          polinv info <file>\n  \
          polinv verify <file>\n  \
          polinv query <file> <lat> <lon> [--segment <name>]\n  \
@@ -84,15 +91,35 @@ fn cmd_build(args: &[String]) -> ExitCode {
         },
         ..ScenarioConfig::default()
     };
+    let executor = match parse_flag(args, "--executor") {
+        None => BuildExecutor::Fused,
+        Some(name) => match BuildExecutor::from_name(&name) {
+            Some(e) => e,
+            None => {
+                eprintln!("error: unknown executor {name} (expected fused|staged)");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    let timings = args.iter().any(|a| a == "--timings");
     let cfg = PipelineConfig::default().with_resolution(resolution);
     eprintln!("simulating {vessels} vessels over {days} days (seed {seed})...");
-    let (ds, out) = build_inventory(&scenario, &cfg);
+    let ds = generate(&scenario);
+    let engine = Engine::with_available_parallelism();
+    let before = alloc::snapshot();
+    let out = build_inventory_on(&engine, &ds, &cfg, executor);
+    let delta = alloc::snapshot().since(before);
+    engine.metrics().add_counter("alloc.calls", delta.allocs);
+    engine.metrics().add_counter("alloc.bytes", delta.bytes);
     eprintln!(
         "pipeline: {} raw -> {} trip records -> {} entries",
         ds.total_reports(),
         out.counts.with_trips,
         out.counts.group_entries
     );
+    if timings {
+        eprint!("{}", engine.metrics().render());
+    }
     if let Err(e) = codec::save(&out.inventory, Path::new(&out_path)) {
         eprintln!("error: cannot write {out_path}: {e}");
         return ExitCode::FAILURE;

@@ -33,6 +33,69 @@ pub struct CleanReport {
     pub output: u64,
 }
 
+/// MMSI → (segment, commercial flag) lookup table built from the static
+/// inventory — the join side of the enrichment step.
+pub(crate) fn segment_lookup(statics: &[StaticReport]) -> FxHashMap<Mmsi, (MarketSegment, bool)> {
+    statics
+        .iter()
+        .map(|s| (s.mmsi, (s.segment(), s.is_commercial_fleet())))
+        .collect()
+}
+
+/// Annotates one in-range report with its market segment. `None` drops
+/// it: unknown vessel, or non-commercial while `commercial_only` is set.
+pub(crate) fn enrich_one(
+    lookup: &FxHashMap<Mmsi, (MarketSegment, bool)>,
+    commercial_only: bool,
+    r: PositionReport,
+) -> Option<EnrichedReport> {
+    match lookup.get(&r.mmsi) {
+        Some((segment, commercial)) if *commercial || !commercial_only => Some(EnrichedReport {
+            mmsi: r.mmsi,
+            timestamp: r.timestamp,
+            pos: r.pos,
+            sog_knots: r.sog_knots,
+            cog_deg: r.cog_deg,
+            heading_deg: r.heading_deg,
+            nav_status: r.nav_status,
+            segment: *segment,
+        }),
+        _ => None,
+    }
+}
+
+/// One vessel's order/de-dup/feasibility pass: sorts by timestamp, drops
+/// duplicate timestamps and infeasible transitions, appends survivors to
+/// `out` (caller-owned so fused executors can reuse the buffer).
+pub(crate) fn order_and_filter_vessel(
+    mut reports: Vec<EnrichedReport>,
+    max_feasible_speed_kn: f64,
+    out: &mut Vec<EnrichedReport>,
+) {
+    reports.sort_by_key(|r| r.timestamp);
+    let mut last: Option<EnrichedReport> = None;
+    for r in reports {
+        match last {
+            None => {
+                out.push(r);
+                last = Some(r);
+            }
+            Some(prev) => {
+                if r.timestamp == prev.timestamp {
+                    continue; // duplicate
+                }
+                let d = haversine_km(prev.pos, r.pos);
+                let dt = (r.timestamp - prev.timestamp) as f64;
+                if implied_speed_knots(d, dt) > max_feasible_speed_kn {
+                    continue; // infeasible transition
+                }
+                out.push(r);
+                last = Some(r);
+            }
+        }
+    }
+}
+
 /// Runs the full cleaning + enrichment step. Returns the surviving
 /// reports, partitioned by vessel and time-sorted within each vessel, each
 /// annotated with its market segment.
@@ -52,25 +115,11 @@ pub fn clean_and_enrich(
     report.out_of_range = report.input - ranged.count() as u64;
 
     // Static-inventory join: MMSI -> segment, commercial flag.
-    let lookup: FxHashMap<Mmsi, (MarketSegment, bool)> = statics
-        .iter()
-        .map(|s| (s.mmsi, (s.segment(), s.is_commercial_fleet())))
-        .collect();
-    let lookup = Arc::new(lookup);
+    let lookup = Arc::new(segment_lookup(statics));
     let commercial_only = cfg.commercial_only;
     let lk = lookup.clone();
-    let enriched = ranged.flat_map(engine, "clean:enrich", move |r| match lk.get(&r.mmsi) {
-        Some((segment, commercial)) if *commercial || !commercial_only => Some(EnrichedReport {
-            mmsi: r.mmsi,
-            timestamp: r.timestamp,
-            pos: r.pos,
-            sog_knots: r.sog_knots,
-            cog_deg: r.cog_deg,
-            heading_deg: r.heading_deg,
-            nav_status: r.nav_status,
-            segment: *segment,
-        }),
-        _ => None,
+    let enriched = ranged.flat_map(engine, "clean:enrich", move |r| {
+        enrich_one(&lk, commercial_only, r)
     })?;
     let after_enrich = enriched.count() as u64;
     report.non_commercial = report.input - report.out_of_range - after_enrich;
@@ -92,29 +141,8 @@ pub fn clean_and_enrich(
             let mut vessels: Vec<_> = per_vessel.into_iter().collect();
             // Deterministic output order regardless of hash iteration.
             vessels.sort_by_key(|(m, _)| *m);
-            for (_, mut reports) in vessels {
-                reports.sort_by_key(|r| r.timestamp);
-                let mut last: Option<EnrichedReport> = None;
-                for r in reports {
-                    match last {
-                        None => {
-                            out.push(r);
-                            last = Some(r);
-                        }
-                        Some(prev) => {
-                            if r.timestamp == prev.timestamp {
-                                continue; // duplicate
-                            }
-                            let d = haversine_km(prev.pos, r.pos);
-                            let dt = (r.timestamp - prev.timestamp) as f64;
-                            if implied_speed_knots(d, dt) > max_kn {
-                                continue; // infeasible transition
-                            }
-                            out.push(r);
-                            last = Some(r);
-                        }
-                    }
-                }
+            for (_, reports) in vessels {
+                order_and_filter_vessel(reports, max_kn, &mut out);
             }
             out
         },

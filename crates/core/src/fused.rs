@@ -1,0 +1,339 @@
+//! The fused morsel-driven build executor.
+//!
+//! [`crate::pipeline::run`] materializes a full `Dataset` between every
+//! stage: clean → trips → project → group-keys are four barrier-separated
+//! passes, each allocating a complete intermediate copy of the data. At
+//! paper scale (§3.3, 2.7 B reports) those intermediates dominate the
+//! build. [`run_fused`] executes the same methodology as **one pass per
+//! vessel partition**: after a single scan-enrich-shuffle, each partition
+//! task walks its vessels as morsels — clean, trip-extract, project and
+//! fold into the per-key accumulators with scratch buffers reused across
+//! morsels — then hands radix-partitioned combiners to the engine's
+//! parallel shard merge.
+//!
+//! ## Bit-identity with the staged path
+//!
+//! The fused executor is not "approximately" the staged pipeline — it
+//! produces a byte-identical inventory (tested in
+//! `tests/pipeline_properties.rs` and in `crate::pipeline`'s
+//! thread-invariance test). That holds because every ordering decision
+//! the staged path makes is replicated:
+//!
+//! * records scatter to `engine.default_partitions()` buckets by
+//!   `hash64(mmsi) % num` — the same hash, count and input-partition
+//!   concatenation order as `partition_by_key`;
+//! * within a partition, vessels process in ascending-MMSI order and the
+//!   per-vessel clean/extract/project code is literally shared
+//!   ([`crate::clean::order_and_filter_vessel`],
+//!   [`crate::trips::extract_for_vessel`],
+//!   [`crate::project::project_trip`]);
+//! * trip ids are monotone in (mmsi, seq), so per-vessel emission order
+//!   equals the staged path's whole-partition sort by trip id;
+//! * group keys fan out `[Cell, CellType, CellRoute]` per record, giving
+//!   identical accumulator insertion order, and the reduce half is the
+//!   same [`pol_engine::merge_combiner_shards`] the staged
+//!   `aggregate_by_key` uses.
+
+use crate::clean::{enrich_one, order_and_filter_vessel, segment_lookup, CleanReport};
+use crate::config::PipelineConfig;
+use crate::error::PipelineError;
+use crate::features::{CellStats, GroupKey};
+use crate::inventory::Inventory;
+use crate::pipeline::{PipelineOutput, StageCounts};
+use crate::project::project_trip;
+use crate::records::{CellPoint, EnrichedReport, PortSite, TripPoint};
+use crate::trips::{extract_for_vessel, Geofence};
+use pol_ais::{PositionReport, StaticReport};
+use pol_engine::{merge_combiner_shards, radix_partition, Engine, StageReport};
+use pol_sketch::hash::{hash64, FxHashMap};
+use pol_sketch::MergeSketch;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Per-task output of the scan-enrich phase.
+struct ScanOut {
+    /// Enriched records, bucketed by `hash64(mmsi) % num`.
+    buckets: Vec<Vec<EnrichedReport>>,
+    raw: u64,
+    out_of_range: u64,
+}
+
+/// Per-task output of the fused build phase.
+struct BuildOut {
+    /// Radix-partitioned per-key combiners for the parallel shard merge.
+    shards: Vec<Vec<(GroupKey, CellStats)>>,
+    cleaned: u64,
+    with_trips: u64,
+    morsels: u64,
+}
+
+/// Runs the full methodology as a fused single pass per vessel partition.
+/// Same inputs, same outputs — bit-identical inventory, [`StageCounts`]
+/// and [`CleanReport`] — as [`crate::pipeline::run`], with two parallel
+/// phases instead of six barrier-separated stages.
+pub fn run_fused(
+    engine: &Engine,
+    positions: Vec<Vec<PositionReport>>,
+    statics: &[StaticReport],
+    ports: &[PortSite],
+    cfg: &PipelineConfig,
+) -> Result<PipelineOutput, PipelineError> {
+    let num = engine.default_partitions();
+
+    // Phase 1: scan + range-check + enrich + scatter by vessel, one task
+    // per input partition. Replicates `clean:ranges` → `clean:enrich` →
+    // `clean:shuffle-by-mmsi` of the staged path in a single pass.
+    let started = Instant::now();
+    let lookup = Arc::new(segment_lookup(statics));
+    let commercial_only = cfg.commercial_only;
+    let scanned: Vec<ScanOut> =
+        engine.run_tasks("fused:scan-enrich", positions, move |_, part| {
+            let mut buckets: Vec<Vec<EnrichedReport>> = (0..num).map(|_| Vec::new()).collect();
+            let raw = part.len() as u64;
+            let mut out_of_range = 0u64;
+            for r in part {
+                if !r.in_protocol_ranges() {
+                    out_of_range += 1;
+                    continue;
+                }
+                if let Some(e) = enrich_one(&lookup, commercial_only, r) {
+                    // Same scatter as `partition_by_key` keyed by mmsi.
+                    let b = (hash64(&e.mmsi.0) % num as u64) as usize;
+                    buckets[b].push(e);
+                }
+            }
+            ScanOut {
+                buckets,
+                raw,
+                out_of_range,
+            }
+        })?;
+    let raw_count: u64 = scanned.iter().map(|s| s.raw).sum();
+    let out_of_range: u64 = scanned.iter().map(|s| s.out_of_range).sum();
+
+    // Driver-side transpose: concatenate bucket b of every task in input
+    // order — the shuffle's reduce side, pointer moves only.
+    let mut partitions: Vec<Vec<EnrichedReport>> = (0..num).map(|_| Vec::new()).collect();
+    for scan in scanned {
+        for (b, bucket) in scan.buckets.into_iter().enumerate() {
+            partitions[b].extend(bucket);
+        }
+    }
+    let enriched_count: u64 = partitions.iter().map(|p| p.len() as u64).sum();
+    engine.metrics().record(StageReport {
+        name: "fused:scan-enrich".to_string(),
+        input_records: raw_count,
+        output_records: enriched_count,
+        shuffled_records: enriched_count,
+        wall: started.elapsed(),
+    });
+
+    // Phase 2: the fused morsel loop — clean, trip-extract, project and
+    // fold into per-key combiners, one task per vessel partition, scratch
+    // buffers reused across morsels.
+    let started = Instant::now();
+    let geofence = Arc::new(Geofence::build(ports, cfg.resolution));
+    let max_kn = cfg.max_feasible_speed_kn;
+    let min_points = cfg.min_trip_points;
+    let res = cfg.resolution;
+    let eps = cfg.quantile_epsilon;
+    let cap = cfg.top_n_capacity;
+    let built: Vec<BuildOut> = engine.run_tasks("fused:build", partitions, move |_, part| {
+        let mut per_vessel: FxHashMap<u32, Vec<EnrichedReport>> = FxHashMap::default();
+        for r in part {
+            per_vessel.entry(r.mmsi.0).or_default().push(r);
+        }
+        let mut vessels: Vec<_> = per_vessel.into_iter().collect();
+        // Deterministic morsel order regardless of hash iteration.
+        vessels.sort_by_key(|(m, _)| *m);
+        let mut acc: FxHashMap<GroupKey, CellStats> = FxHashMap::default();
+        let mut cleaned_buf: Vec<EnrichedReport> = Vec::new();
+        let mut trip_buf: Vec<TripPoint> = Vec::new();
+        let mut cell_scratch = Vec::new();
+        let mut cell_buf: Vec<CellPoint> = Vec::new();
+        let mut counts = BuildOut {
+            shards: Vec::new(),
+            cleaned: 0,
+            with_trips: 0,
+            morsels: 0,
+        };
+        for (_, reports) in vessels {
+            counts.morsels += 1;
+            cleaned_buf.clear();
+            trip_buf.clear();
+            order_and_filter_vessel(reports, max_kn, &mut cleaned_buf);
+            counts.cleaned += cleaned_buf.len() as u64;
+            extract_for_vessel(&geofence, &cleaned_buf, min_points, &mut trip_buf);
+            counts.with_trips += trip_buf.len() as u64;
+            // Trips emit contiguously in (mmsi, seq) order: project one
+            // trip run at a time and fold straight into the combiners.
+            let mut i = 0;
+            while i < trip_buf.len() {
+                let mut j = i + 1;
+                while j < trip_buf.len() && trip_buf[j].trip_id == trip_buf[i].trip_id {
+                    j += 1;
+                }
+                cell_buf.clear();
+                project_trip(&trip_buf[i..j], res, &mut cell_scratch, &mut cell_buf);
+                for cp in &cell_buf {
+                    let p = &cp.point;
+                    // Same fan-out order as the staged `features` stage.
+                    for key in [
+                        GroupKey::Cell(cp.cell),
+                        GroupKey::CellType(cp.cell, p.segment),
+                        GroupKey::CellRoute(cp.cell, p.origin, p.dest, p.segment),
+                    ] {
+                        acc.entry(key)
+                            .or_insert_with(|| CellStats::new(eps, cap))
+                            .observe(cp);
+                    }
+                }
+                i = j;
+            }
+        }
+        counts.shards = radix_partition(acc, num);
+        counts
+    })?;
+    let cleaned_count: u64 = built.iter().map(|b| b.cleaned).sum();
+    let with_trips: u64 = built.iter().map(|b| b.with_trips).sum();
+    let morsels: u64 = built.iter().map(|b| b.morsels).sum();
+    let projected_count = with_trips; // projection is total
+    engine.metrics().record(StageReport {
+        name: "fused:build".to_string(),
+        input_records: enriched_count,
+        output_records: projected_count,
+        shuffled_records: 0,
+        wall: started.elapsed(),
+    });
+    engine.metrics().add_counter("fused.morsels", morsels);
+
+    // Phase 3: parallel radix shard merge — the same reduce half the
+    // staged `aggregate_by_key` uses, so per-key merge order matches.
+    let started = Instant::now();
+    let sharded: Vec<Vec<Vec<(GroupKey, CellStats)>>> =
+        built.into_iter().map(|b| b.shards).collect();
+    let combiner_entries: u64 = sharded
+        .iter()
+        .flat_map(|w| w.iter())
+        .map(|s| s.len() as u64)
+        .sum();
+    let stats = merge_combiner_shards(
+        engine,
+        "fused:aggregate",
+        sharded,
+        |a: &mut CellStats, o| a.merge(&o),
+    )?;
+    let group_entries = stats.count() as u64;
+    engine.metrics().record(StageReport {
+        name: "fused:aggregate".to_string(),
+        input_records: projected_count * 3,
+        output_records: group_entries,
+        shuffled_records: combiner_entries,
+        wall: started.elapsed(),
+    });
+
+    let inventory = Inventory::from_dataset(cfg.resolution, stats, projected_count);
+    let output = cleaned_count;
+    Ok(PipelineOutput {
+        inventory,
+        counts: StageCounts {
+            raw: raw_count,
+            cleaned: cleaned_count,
+            with_trips,
+            projected: projected_count,
+            group_entries,
+        },
+        clean_report: CleanReport {
+            input: raw_count,
+            out_of_range,
+            duplicates: 0,
+            // Same accounting as the staged path: the per-vessel pass
+            // removes both defect classes in one sweep, reported under
+            // `infeasible`.
+            infeasible: enriched_count - output,
+            non_commercial: raw_count - out_of_range - enriched_count,
+            output,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec;
+    use crate::pipeline::run;
+    use pol_fleetsim::scenario::{generate, ScenarioConfig};
+    use pol_fleetsim::WORLD_PORTS;
+
+    fn port_sites(radius_km: f64) -> Vec<PortSite> {
+        WORLD_PORTS
+            .iter()
+            .enumerate()
+            .map(|(i, p)| PortSite {
+                id: i as u16,
+                name: p.name.to_string(),
+                pos: p.pos(),
+                radius_km,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fused_matches_staged_on_tiny_scenario() {
+        let ds = generate(&ScenarioConfig::tiny());
+        let cfg = PipelineConfig::default();
+        let ports = port_sites(cfg.port_radius_km);
+        let staged = run(
+            &Engine::new(2),
+            ds.positions.clone(),
+            &ds.statics,
+            &ports,
+            &cfg,
+        )
+        .unwrap();
+        let fused = run_fused(&Engine::new(2), ds.positions, &ds.statics, &ports, &cfg).unwrap();
+        assert_eq!(staged.counts, fused.counts);
+        assert_eq!(staged.clean_report, fused.clean_report);
+        assert_eq!(
+            codec::to_bytes(&staged.inventory),
+            codec::to_bytes(&fused.inventory),
+            "fused inventory must be byte-identical to staged"
+        );
+    }
+
+    #[test]
+    fn fused_records_radix_merge_stage_and_morsel_counter() {
+        let ds = generate(&ScenarioConfig::tiny());
+        let cfg = PipelineConfig::default();
+        let ports = port_sites(cfg.port_radius_km);
+        let engine = Engine::new(2);
+        let out = run_fused(&engine, ds.positions, &ds.statics, &ports, &cfg).unwrap();
+        assert!(!out.inventory.is_empty());
+        let stages = engine.metrics().report();
+        for name in ["fused:scan-enrich", "fused:build", "fused:aggregate"] {
+            assert!(stages.iter().any(|s| s.name == name), "{name} missing");
+        }
+        assert!(
+            stages
+                .iter()
+                .any(|s| s.name == "fused:aggregate:radix-merge"),
+            "parallel shard merge must be visible in stage timings"
+        );
+        assert!(engine.metrics().counter("fused.morsels") > 0);
+    }
+
+    #[test]
+    fn fused_empty_input_matches_staged() {
+        let cfg = PipelineConfig::default();
+        let ports = port_sites(cfg.port_radius_km);
+        let staged = run(&Engine::new(2), vec![], &[], &ports, &cfg).unwrap();
+        let fused = run_fused(&Engine::new(2), vec![], &[], &ports, &cfg).unwrap();
+        assert_eq!(staged.counts, fused.counts);
+        assert_eq!(staged.clean_report, fused.clean_report);
+        assert_eq!(
+            codec::to_bytes(&staged.inventory),
+            codec::to_bytes(&fused.inventory)
+        );
+        assert!(fused.inventory.is_empty());
+    }
+}

@@ -79,6 +79,27 @@ pub struct Inventory {
     resolution: Resolution,
     entries: FxHashMap<GroupKey, CellStats>,
     total_records: u64,
+    /// Occupied `(cell)`-grouping-set cells with their centres, sorted by
+    /// centre latitude — built once at construction so bbox queries
+    /// binary-search a latitude band instead of scanning every entry.
+    cell_index: Vec<(pol_geo::LatLon, CellIndex)>,
+}
+
+/// The latitude-sorted cell index backing [`Inventory::cells_in`].
+fn build_cell_index(entries: &FxHashMap<GroupKey, CellStats>) -> Vec<(pol_geo::LatLon, CellIndex)> {
+    let mut index: Vec<(pol_geo::LatLon, CellIndex)> = entries
+        .keys()
+        .filter_map(|k| match k {
+            GroupKey::Cell(c) => Some((cell_center(*c), *c)),
+            _ => None,
+        })
+        .collect();
+    index.sort_by(|a, b| {
+        a.0.lat()
+            .total_cmp(&b.0.lat())
+            .then_with(|| a.1.raw().cmp(&b.1.raw()))
+    });
+    index
 }
 
 impl Inventory {
@@ -88,11 +109,11 @@ impl Inventory {
         stats: Dataset<(GroupKey, CellStats)>,
         total_records: u64,
     ) -> Inventory {
-        Inventory {
+        Inventory::from_entries(
             resolution,
-            entries: stats.collect().into_iter().collect(),
+            stats.collect().into_iter().collect(),
             total_records,
-        }
+        )
     }
 
     /// Builds directly from a key→stats map (deserialization path).
@@ -101,10 +122,12 @@ impl Inventory {
         entries: FxHashMap<GroupKey, CellStats>,
         total_records: u64,
     ) -> Inventory {
+        let cell_index = build_cell_index(&entries);
         Inventory {
             resolution,
             entries,
             total_records,
+            cell_index,
         }
     }
 
@@ -222,10 +245,18 @@ impl Inventory {
     }
 
     /// Occupied cells whose centre falls inside a bounding box — the
-    /// regional views of Figure 4.
+    /// regional views of Figure 4. Binary-searches the latitude-sorted
+    /// cell index to scan only the `[min_lat, max_lat]` band instead of
+    /// every occupied cell. Results come back in index (latitude) order.
     pub fn cells_in(&self, bbox: &BBox) -> Vec<CellIndex> {
-        self.cells()
-            .filter(|c| bbox.contains(cell_center(*c)))
+        let lo = self
+            .cell_index
+            .partition_point(|(center, _)| center.lat() < bbox.min_lat);
+        self.cell_index[lo..]
+            .iter()
+            .take_while(|(center, _)| center.lat() <= bbox.max_lat)
+            .filter(|(center, _)| bbox.contains(*center))
+            .map(|(_, cell)| *cell)
             .collect()
     }
 
@@ -267,6 +298,8 @@ impl Inventory {
                 }
             }
         }
+        // New cells may have appeared: rebuild the bbox-query index.
+        self.cell_index = build_cell_index(&self.entries);
     }
 }
 
@@ -367,6 +400,45 @@ mod tests {
         let inv = build(&points);
         let baltic = inv.cells_in(&BBox::baltic());
         assert_eq!(baltic, vec![points[0].cell]);
+    }
+
+    #[test]
+    fn cells_in_matches_full_scan_and_survives_merge() {
+        let seg = MarketSegment::Tanker;
+        // A latitude ladder spanning the Baltic box boundary plus cells
+        // inside the latitude band but outside the longitude range.
+        let points: Vec<_> = (0..20)
+            .map(|i| point_at(40.0 + i as f64, 20.0, 1, seg))
+            .chain((0..5).map(|i| point_at(56.0 + i as f64, -40.0, 1, seg)))
+            .collect();
+        let mut inv = build(&points);
+        let bbox = BBox::baltic();
+        let brute: std::collections::BTreeSet<CellIndex> = inv
+            .cells()
+            .filter(|c| bbox.contains(cell_center(*c)))
+            .collect();
+        assert!(!brute.is_empty());
+        let indexed: std::collections::BTreeSet<CellIndex> =
+            inv.cells_in(&bbox).into_iter().collect();
+        assert_eq!(indexed, brute);
+        // Latitude ordering from the index.
+        let lats: Vec<f64> = inv
+            .cells_in(&bbox)
+            .iter()
+            .map(|c| cell_center(*c).lat())
+            .collect();
+        assert!(lats.windows(2).all(|w| w[0] <= w[1]));
+        // Merging in new cells must refresh the index.
+        let far = build(&[point_at(58.0, 21.0, 2, seg)]);
+        inv.merge(&far);
+        let brute2: std::collections::BTreeSet<CellIndex> = inv
+            .cells()
+            .filter(|c| bbox.contains(cell_center(*c)))
+            .collect();
+        let indexed2: std::collections::BTreeSet<CellIndex> =
+            inv.cells_in(&bbox).into_iter().collect();
+        assert_eq!(indexed2, brute2);
+        assert!(brute2.len() >= brute.len());
     }
 
     #[test]

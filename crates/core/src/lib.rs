@@ -22,7 +22,9 @@
 //!
 //! [`pipeline::run`] wires all stages over the `pol-engine` executor and
 //! reports per-stage record counts — the machine-checkable analogue of the
-//! paper's Figure 2 walkthrough.
+//! paper's Figure 2 walkthrough. [`fused::run_fused`] executes the same
+//! methodology as a single morsel-driven pass per vessel partition —
+//! bit-identical output, a fraction of the intermediate materialization.
 
 #![deny(missing_docs)]
 
@@ -32,6 +34,7 @@ pub mod codec;
 pub mod config;
 pub mod error;
 pub mod features;
+pub mod fused;
 pub mod inventory;
 pub mod pipeline;
 pub mod project;
@@ -42,6 +45,7 @@ pub use adaptive::{AdaptiveConfig, AdaptiveInventory};
 pub use config::PipelineConfig;
 pub use error::PipelineError;
 pub use features::{CellStats, GroupKey, GroupingSet};
+pub use fused::run_fused;
 pub use inventory::{CoverageReport, Inventory, InventoryQuery};
 pub use pipeline::{run, PipelineOutput, StageCounts};
 pub use records::{CellPoint, PortSite, TripPoint};

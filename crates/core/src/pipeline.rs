@@ -168,12 +168,40 @@ mod tests {
             &cfg,
         )
         .unwrap();
-        let b = run(&Engine::new(4), ds.positions, &ds.statics, &ports, &cfg).unwrap();
+        let b = run(
+            &Engine::new(4),
+            ds.positions.clone(),
+            &ds.statics,
+            &ports,
+            &cfg,
+        )
+        .unwrap();
         assert_eq!(a.counts, b.counts);
-        assert_eq!(
-            crate::codec::to_bytes(&a.inventory),
-            crate::codec::to_bytes(&b.inventory)
-        );
+        let reference = crate::codec::to_bytes(&a.inventory);
+        assert_eq!(reference, crate::codec::to_bytes(&b.inventory));
+        // The fused executor must agree with the staged path — same
+        // inventory bytes, stage counts and clean accounting — at every
+        // thread count (the acceptance bar: 1, 2 and 8 threads).
+        for threads in [1, 2, 8] {
+            let f = crate::fused::run_fused(
+                &Engine::new(threads),
+                ds.positions.clone(),
+                &ds.statics,
+                &ports,
+                &cfg,
+            )
+            .unwrap();
+            assert_eq!(a.counts, f.counts, "fused counts at {threads} threads");
+            assert_eq!(
+                a.clean_report, f.clean_report,
+                "fused clean report at {threads} threads"
+            );
+            assert_eq!(
+                reference,
+                crate::codec::to_bytes(&f.inventory),
+                "fused bytes at {threads} threads"
+            );
+        }
     }
 
     #[test]

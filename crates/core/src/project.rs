@@ -8,8 +8,31 @@
 use crate::config::PipelineConfig;
 use crate::records::{CellPoint, TripPoint};
 use pol_engine::{Dataset, Engine, EngineError};
-use pol_hexgrid::cell_at;
+use pol_hexgrid::{cell_at, CellIndex, Resolution};
 use pol_sketch::hash::FxHashMap;
+
+/// Projects one trip's time-ordered points onto the grid, appending
+/// cell-annotated points (with next-distinct-cell links) to `out`.
+/// `cells` is caller-owned scratch, cleared here — fused executors reuse
+/// it across trips. Shared by the staged path below and [`crate::fused`].
+pub(crate) fn project_trip(
+    points: &[TripPoint],
+    res: Resolution,
+    cells: &mut Vec<CellIndex>,
+    out: &mut Vec<CellPoint>,
+) {
+    cells.clear();
+    cells.extend(points.iter().map(|p| cell_at(p.pos, res)));
+    for (i, (point, cell)) in points.iter().zip(cells.iter()).enumerate() {
+        // Next distinct cell later in the same trip.
+        let next_cell = cells[i..].iter().find(|c| *c != cell).copied();
+        out.push(CellPoint {
+            point: *point,
+            cell: *cell,
+            next_cell,
+        });
+    }
+}
 
 /// Projects trip points onto the grid and wires up per-trip transitions.
 pub fn project(
@@ -28,18 +51,10 @@ pub fn project(
         let mut trips: Vec<_> = by_trip.into_iter().collect();
         trips.sort_by_key(|(id, _)| *id);
         let mut out = Vec::new();
+        let mut cells = Vec::new();
         for (_, mut points) in trips {
             points.sort_by_key(|p| p.timestamp);
-            let cells: Vec<_> = points.iter().map(|p| cell_at(p.pos, res)).collect();
-            for (i, (point, cell)) in points.iter().zip(&cells).enumerate() {
-                // Next distinct cell later in the same trip.
-                let next_cell = cells[i..].iter().find(|c| *c != cell).copied();
-                out.push(CellPoint {
-                    point: *point,
-                    cell: *cell,
-                    next_cell,
-                });
-            }
+            project_trip(&points, res, &mut cells, &mut out);
         }
         out
     })

@@ -94,7 +94,9 @@ pub fn extract_trips(
 }
 
 /// Walks one vessel's time-sorted reports, emitting trip-annotated points.
-fn extract_for_vessel(
+/// Shared by the staged path above and the fused executor
+/// ([`crate::fused`]), which is what keeps the two bit-identical.
+pub(crate) fn extract_for_vessel(
     geofence: &Geofence,
     reports: &[EnrichedReport],
     min_points: usize,

@@ -202,6 +202,71 @@ proptest! {
         prop_assert_eq!(back.len(), inv.len());
     }
 
+    /// The fused single-pass executor is bit-identical to the staged
+    /// pipeline — same inventory bytes, stage counts and clean report —
+    /// over arbitrary multi-vessel inputs at 1, 2 and 8 threads.
+    #[test]
+    fn fused_equals_staged(
+        a in prop::collection::vec(arb_report(501), 0..120),
+        b in prop::collection::vec(arb_report(502), 0..120),
+        c in prop::collection::vec(arb_report(503), 0..120),
+        unknown in prop::collection::vec(arb_report(504), 0..40),
+    ) {
+        let cfg = PipelineConfig::default();
+        // Synthetic ports inside the generator's coordinate window, so
+        // random tracks occasionally complete port-to-port trips.
+        let ports = vec![
+            PortSite {
+                id: 0,
+                name: "PropPortA".into(),
+                pos: LatLon::new(45.0, -5.0).unwrap(),
+                radius_km: 60.0,
+            },
+            PortSite {
+                id: 1,
+                name: "PropPortB".into(),
+                pos: LatLon::new(50.0, 10.0).unwrap(),
+                radius_km: 60.0,
+            },
+        ];
+        // Vessel 504 has no static record: exercises the non-commercial
+        // accounting in both executors.
+        let st = vec![statics(501), statics(502), statics(503)];
+        let mut p0 = a;
+        p0.extend(unknown);
+        let positions = vec![p0, b, c];
+        let staged = pol_core::run(
+            &Engine::new(2),
+            positions.clone(),
+            &st,
+            &ports,
+            &cfg,
+        ).unwrap();
+        let reference = codec::to_bytes(&staged.inventory);
+        for threads in [1usize, 2, 8] {
+            let fused = pol_core::run_fused(
+                &Engine::new(threads),
+                positions.clone(),
+                &st,
+                &ports,
+                &cfg,
+            ).unwrap();
+            prop_assert_eq!(&staged.counts, &fused.counts, "counts at {} threads", threads);
+            prop_assert_eq!(
+                &staged.clean_report,
+                &fused.clean_report,
+                "clean report at {} threads",
+                threads
+            );
+            prop_assert_eq!(
+                &reference,
+                &codec::to_bytes(&fused.inventory),
+                "inventory bytes at {} threads",
+                threads
+            );
+        }
+    }
+
     /// Geofence coverage: a point within 70% of a port's radius is always
     /// attributed to some port; a point 3 radii away to none (other ports
     /// permitting).

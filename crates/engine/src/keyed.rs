@@ -113,12 +113,13 @@ where
         let num = engine.default_partitions();
         let zero = Arc::new(zero);
         let seq = Arc::new(seq);
-        let comb = Arc::new(comb);
 
-        // Map side: per-partition combiners.
+        // Map side: per-partition combiners, radix-partitioned into `num`
+        // shards *inside the worker* so the driver never touches
+        // individual entries — it only moves shard pointers.
         let z1 = zero.clone();
         let s1 = seq.clone();
-        let combiners: Vec<FxHashMap<K, A>> =
+        let sharded: Vec<Vec<Vec<(K, A)>>> =
             engine
                 .pool()
                 .run_stage(stage, self.inner.into_partitions(), move |_, part| {
@@ -126,37 +127,16 @@ where
                     for (k, v) in part {
                         s1(acc.entry(k).or_insert_with(|| z1()), v);
                     }
-                    acc
+                    radix_partition(acc, num)
                 })?;
-        let shuffled: u64 = combiners.iter().map(|m| m.len() as u64).sum();
+        let shuffled: u64 = sharded
+            .iter()
+            .flat_map(|w| w.iter())
+            .map(|s| s.len() as u64)
+            .sum();
 
-        // Shuffle combiners by key hash.
-        let mut buckets: Vec<Vec<(K, A)>> = (0..num).map(|_| Vec::new()).collect();
-        for m in combiners {
-            for (k, a) in m {
-                let b = (hash64(&k) % num as u64) as usize;
-                buckets[b].push((k, a));
-            }
-        }
-
-        // Reduce side: merge combiners per key.
-        let c1 = comb.clone();
-        let reduced: Vec<Vec<(K, A)>> =
-            engine.pool().run_stage(stage, buckets, move |_, bucket| {
-                let mut acc: FxHashMap<K, A> = FxHashMap::default();
-                for (k, a) in bucket {
-                    match acc.entry(k) {
-                        std::collections::hash_map::Entry::Occupied(mut e) => {
-                            c1(e.get_mut(), a);
-                        }
-                        std::collections::hash_map::Entry::Vacant(e) => {
-                            e.insert(a);
-                        }
-                    }
-                }
-                acc.into_iter().collect()
-            })?;
-        let result = Dataset::from_partitions(reduced);
+        // Reduce side: one parallel merge task per shard.
+        let result = merge_combiner_shards(engine, stage, sharded, comb)?;
         engine.metrics().record(StageReport {
             name: stage.to_string(),
             input_records,
@@ -254,11 +234,38 @@ where
                 for (k, w) in r {
                     by_key.entry(k).or_default().push(w);
                 }
+                // How many left records still need each key: the last use
+                // consumes the right-side values instead of cloning them,
+                // and the final pair of every record moves `k`/`v` outright
+                // (a 1:1 join therefore clones nothing in this loop).
+                let mut remaining: FxHashMap<K, usize> = FxHashMap::default();
+                for (k, _) in &l {
+                    if let Some(n) = remaining.get_mut(k) {
+                        *n += 1;
+                    } else if by_key.contains_key(k) {
+                        remaining.insert(k.clone(), 1);
+                    }
+                }
                 let mut out = Vec::new();
                 for (k, v) in l {
-                    if let Some(ws) = by_key.get(&k) {
-                        for w in ws {
-                            out.push((k.clone(), (v.clone(), w.clone())));
+                    let Some(n) = remaining.get_mut(&k) else {
+                        continue; // no match on the right
+                    };
+                    *n -= 1;
+                    if *n == 0 {
+                        let mut ws = by_key.remove(&k).unwrap_or_default();
+                        if let Some(w_last) = ws.pop() {
+                            for w in ws {
+                                out.push((k.clone(), (v.clone(), w)));
+                            }
+                            out.push((k, (v, w_last)));
+                        }
+                    } else if let Some(ws) = by_key.get(&k) {
+                        if let Some((w_last, init)) = ws.split_last() {
+                            for w in init {
+                                out.push((k.clone(), (v.clone(), w.clone())));
+                            }
+                            out.push((k, (v, w_last.clone())));
                         }
                     }
                 }
@@ -274,6 +281,94 @@ where
         });
         Ok(result)
     }
+}
+
+/// Radix-partitions a combiner map into `shards` buckets by key hash —
+/// the map side of the two-phase parallel merge. Entries keep the map's
+/// iteration order within each bucket, which keeps downstream merges
+/// deterministic for a deterministic input partitioning.
+pub fn radix_partition<K, A>(acc: FxHashMap<K, A>, shards: usize) -> Vec<Vec<(K, A)>>
+where
+    K: Eq + Hash,
+{
+    let shards = shards.max(1);
+    let mut out: Vec<Vec<(K, A)>> = (0..shards).map(|_| Vec::new()).collect();
+    for (k, a) in acc {
+        let b = (hash64(&k) % shards as u64) as usize;
+        out[b].push((k, a));
+    }
+    out
+}
+
+/// Merges radix-partitioned combiner shards in parallel — the reduce side
+/// of the two-phase aggregation. `sharded[w][s]` is worker `w`'s shard
+/// `s`; shard `s` of every worker goes to one merge task, so the merge
+/// scales with cores instead of serializing on the driver.
+///
+/// Per key, combiners merge in worker-index order — exactly the order a
+/// sequential driver-side scatter would have produced — so the result is
+/// bit-identical to the pre-radix implementation (and thread-count
+/// invariant whenever the map-side partitioning is data-determined).
+///
+/// Records a `{stage}:radix-merge` [`StageReport`] so the parallel merge
+/// is visible in [`crate::JobMetrics`] stage timings.
+pub fn merge_combiner_shards<K, A, C>(
+    engine: &Engine,
+    stage: &str,
+    sharded: Vec<Vec<Vec<(K, A)>>>,
+    comb: C,
+) -> Result<Dataset<(K, A)>, EngineError>
+where
+    K: Eq + Hash + Send + 'static,
+    A: Send + 'static,
+    C: Fn(&mut A, A) + Send + Sync + 'static,
+{
+    let started = Instant::now();
+    let shards = sharded.iter().map(Vec::len).max().unwrap_or(0);
+    let input_records: u64 = sharded
+        .iter()
+        .flat_map(|w| w.iter())
+        .map(|s| s.len() as u64)
+        .sum();
+    // Transpose: gather shard `s` of every worker, in worker order.
+    // Pointer moves only — the driver never touches individual entries.
+    let mut transposed: Vec<Vec<Vec<(K, A)>>> = (0..shards).map(|_| Vec::new()).collect();
+    for worker in sharded {
+        for (s, shard) in worker.into_iter().enumerate() {
+            transposed[s].push(shard);
+        }
+    }
+    // Errors keep the caller's stage name; only the metrics row carries
+    // the `:radix-merge` suffix.
+    let merge_stage = format!("{stage}:radix-merge");
+    let reduced: Vec<Vec<(K, A)>> =
+        engine
+            .pool()
+            .run_stage(stage, transposed, move |_, buckets| {
+                let mut acc: FxHashMap<K, A> = FxHashMap::default();
+                for bucket in buckets {
+                    for (k, a) in bucket {
+                        match acc.entry(k) {
+                            std::collections::hash_map::Entry::Occupied(mut e) => {
+                                comb(e.get_mut(), a);
+                            }
+                            std::collections::hash_map::Entry::Vacant(e) => {
+                                e.insert(a);
+                            }
+                        }
+                    }
+                }
+                acc.into_iter().collect()
+            })?;
+    let result = Dataset::from_partitions(reduced);
+    engine.metrics().record(StageReport {
+        name: merge_stage,
+        input_records,
+        output_records: result.count() as u64,
+        shuffled_records: input_records,
+        wall: started.elapsed(),
+    });
+    Ok(result)
 }
 
 #[cfg(test)]
@@ -397,6 +492,77 @@ mod tests {
         let stages = e.metrics().report();
         let s = stages.iter().find(|s| s.name == "the-shuffle").unwrap();
         assert_eq!(s.shuffled_records, 50);
+    }
+
+    #[test]
+    fn join_duplicate_keys_preserve_order_and_multiplicity() {
+        let e = Engine::new(2);
+        // Two left records with the same key, three right values: 6 pairs,
+        // each left record fanned out over the right values in order.
+        let left = Dataset::from_vec(vec![(7u32, "a"), (7, "b")], 1).into_keyed();
+        let right = Dataset::from_vec(vec![(7u32, 1), (7, 2), (7, 3)], 1).into_keyed();
+        let out = left.join(&e, "dupjoin", right).unwrap().collect();
+        assert_eq!(
+            out,
+            vec![
+                (7, ("a", 1)),
+                (7, ("a", 2)),
+                (7, ("a", 3)),
+                (7, ("b", 1)),
+                (7, ("b", 2)),
+                (7, ("b", 3)),
+            ]
+        );
+    }
+
+    #[test]
+    fn radix_partition_covers_all_entries() {
+        let mut m: FxHashMap<u32, u64> = FxHashMap::default();
+        for i in 0..100u32 {
+            m.insert(i, u64::from(i) * 2);
+        }
+        let shards = radix_partition(m, 7);
+        assert_eq!(shards.len(), 7);
+        assert_eq!(shards.iter().map(Vec::len).sum::<usize>(), 100);
+        for shard in &shards {
+            for (k, _) in shard {
+                // Entry landed in the shard its hash selects.
+                let want = (hash64(k) % 7) as usize;
+                assert!(shards[want].iter().any(|(k2, _)| k2 == k));
+            }
+        }
+        // Zero shards is clamped to one.
+        let shards = radix_partition(FxHashMap::<u32, u64>::default(), 0);
+        assert_eq!(shards.len(), 1);
+    }
+
+    #[test]
+    fn aggregate_records_radix_merge_stage() {
+        let e = Engine::new(2);
+        let d = Dataset::from_vec((0..50u32).map(|i| (i % 3, 1u64)).collect::<Vec<_>>(), 4)
+            .into_keyed();
+        let _ = d.reduce_by_key(&e, "agg", |a, b| *a += b).unwrap();
+        let stages = e.metrics().report();
+        let merge = stages.iter().find(|s| s.name == "agg:radix-merge");
+        assert!(merge.is_some(), "radix merge stage visible in metrics");
+        assert_eq!(merge.map(|s| s.output_records), Some(3));
+    }
+
+    #[test]
+    fn merge_combiner_shards_merges_in_worker_order() {
+        let e = Engine::new(2);
+        // Two workers, one shard each: worker order must be preserved, so
+        // string concatenation (non-commutative) detects reordering.
+        let sharded = vec![
+            vec![vec![(1u32, "a".to_string())]],
+            vec![vec![(1u32, "b".to_string())]],
+        ];
+        let out = merge_combiner_shards(&e, "mo", sharded, |a: &mut String, o: String| {
+            a.push_str(&o);
+        })
+        .unwrap()
+        .collect();
+        assert_eq!(out, vec![(1, "ab".to_string())]);
     }
 
     #[test]

@@ -31,7 +31,7 @@ pub mod pool;
 
 pub use dataset::Dataset;
 pub use error::{EngineError, EngineErrorKind};
-pub use keyed::KeyedDataset;
+pub use keyed::{merge_combiner_shards, radix_partition, KeyedDataset};
 pub use metrics::{JobMetrics, StageReport};
 pub use pool::ThreadPool;
 
@@ -79,6 +79,25 @@ impl Engine {
     /// The engine's accumulated stage metrics.
     pub fn metrics(&self) -> &JobMetrics {
         &self.metrics
+    }
+
+    /// Runs `f` over `inputs` on the engine's pool, one task per input,
+    /// returning results in input order. Unlike the [`Dataset`]
+    /// transformations this records no metrics — callers that fuse several
+    /// logical stages into one pass (see `pol-core`'s fused executor)
+    /// account for their own record counts.
+    pub fn run_tasks<I, R, F>(
+        &self,
+        stage: &str,
+        inputs: Vec<I>,
+        f: F,
+    ) -> Result<Vec<R>, EngineError>
+    where
+        I: Send + 'static,
+        R: Send + 'static,
+        F: Fn(usize, I) -> R + Send + Sync + 'static,
+    {
+        self.pool.run_stage(stage, inputs, f)
     }
 
     pub(crate) fn pool(&self) -> &ThreadPool {

@@ -3,6 +3,7 @@
 //! sketches as the execution flow).
 
 use parking_lot::Mutex;
+use pol_sketch::hash::FxHashMap;
 use std::time::Duration;
 
 /// A completed stage's accounting.
@@ -25,6 +26,7 @@ pub struct StageReport {
 #[derive(Default)]
 pub struct JobMetrics {
     stages: Mutex<Vec<StageReport>>,
+    counters: Mutex<FxHashMap<String, u64>>,
 }
 
 impl JobMetrics {
@@ -38,18 +40,42 @@ impl JobMetrics {
         self.stages.lock().clone()
     }
 
+    /// Adds `delta` to the named free-form counter (allocation counts,
+    /// morsel counts — anything that is not a per-stage record count).
+    pub fn add_counter(&self, name: &str, delta: u64) {
+        *self.counters.lock().entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Current value of a named counter (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.lock().get(name).copied().unwrap_or(0)
+    }
+
+    /// All named counters, sorted by name for stable output.
+    pub fn counters(&self) -> Vec<(String, u64)> {
+        let mut out: Vec<(String, u64)> = self
+            .counters
+            .lock()
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect();
+        out.sort();
+        out
+    }
+
     /// Total wall time across stages (stages on the same pool serialize, so
     /// this approximates job time).
     pub fn total_wall(&self) -> Duration {
         self.stages.lock().iter().map(|s| s.wall).sum()
     }
 
-    /// Drops all recorded stages.
+    /// Drops all recorded stages and counters.
     pub fn clear(&self) {
         self.stages.lock().clear();
+        self.counters.lock().clear();
     }
 
-    /// Renders a compact text table (one line per stage).
+    /// Renders a compact text table (one line per stage, then counters).
     pub fn render(&self) -> String {
         let mut out = String::from(
             "stage                          in_records  out_records    shuffled   wall_ms\n",
@@ -63,6 +89,13 @@ impl JobMetrics {
                 s.shuffled_records,
                 s.wall.as_secs_f64() * 1e3
             ));
+        }
+        let counters = self.counters();
+        if !counters.is_empty() {
+            out.push_str("counters\n");
+            for (name, value) in counters {
+                out.push_str(&format!("  {name:<30} {value:>12}\n"));
+            }
         }
         out
     }
@@ -109,5 +142,23 @@ mod tests {
         let text = m.render();
         assert!(text.contains("clean"));
         assert!(text.lines().count() >= 2);
+    }
+
+    #[test]
+    fn counters_accumulate_and_clear() {
+        let m = JobMetrics::default();
+        assert_eq!(m.counter("allocs"), 0);
+        m.add_counter("allocs", 3);
+        m.add_counter("allocs", 4);
+        m.add_counter("morsels", 1);
+        assert_eq!(m.counter("allocs"), 7);
+        assert_eq!(
+            m.counters(),
+            vec![("allocs".to_string(), 7), ("morsels".to_string(), 1)]
+        );
+        assert!(m.render().contains("morsels"));
+        m.clear();
+        assert_eq!(m.counter("allocs"), 0);
+        assert!(m.counters().is_empty());
     }
 }
