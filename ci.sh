@@ -57,6 +57,45 @@ if ! grep -q "shut down after" "$smoke_dir/serve.err"; then
 fi
 echo "pol-serve smoke: $(grep 'aggregate point_summary' "$smoke_dir/load.out")"
 
+echo "==> read-path smoke (migrate to POLINV3, serve mmap, batch burst, rps floor)"
+cargo run --release -q -p pol-bench --bin polinv -- \
+  migrate "$smoke_dir/inv.pol" "$smoke_dir/inv.pol3" > "$smoke_dir/migrate.out"
+cargo run --release -q -p pol-bench --bin polinv -- \
+  verify "$smoke_dir/inv.pol3" >/dev/null
+mkfifo "$smoke_dir/ctl3"
+cargo run --release -q -p pol-bench --bin polinv -- \
+  serve "$smoke_dir/inv.pol3" --addr 127.0.0.1:0 \
+  > "$smoke_dir/serve3.out" 2> "$smoke_dir/serve3.err" < "$smoke_dir/ctl3" &
+serve3_pid=$!
+exec 8> "$smoke_dir/ctl3"
+serve3_addr=""
+for _ in $(seq 1 100); do
+  serve3_addr=$(sed -n 's/^listening on //p' "$smoke_dir/serve3.out")
+  if [ -n "$serve3_addr" ]; then break; fi
+  sleep 0.1
+done
+if [ -z "$serve3_addr" ]; then
+  echo "ci: mmap server never reported its address" >&2
+  exit 1
+fi
+# The floor gates batched route-summary throughput — conservative (the
+# committed baseline is ~500k rps on release loopback), catching a read
+# path that stopped amortising, not jitter.
+cargo run --release -q -p pol-bench --bin polload -- \
+  --addr "$serve3_addr" --threads 4 --requests 2000 --batch 32 --min-rps 20000 \
+  --out "$smoke_dir/BENCH_serve3.json" > "$smoke_dir/load3.out"
+if ! grep -q '"endpoint": "route_summary_batch"' "$smoke_dir/BENCH_serve3.json"; then
+  echo "ci: polload produced no batched route_summary result" >&2
+  exit 1
+fi
+exec 8>&- # stdin EOF -> graceful shutdown
+wait "$serve3_pid"
+if ! grep -q "shut down after" "$smoke_dir/serve3.err"; then
+  echo "ci: mmap server did not shut down cleanly" >&2
+  exit 1
+fi
+echo "read-path smoke: $(grep -- '--min-rps gate' "$smoke_dir/load3.out")"
+
 echo "==> polbuild ingestion smoke (fused vs staged, bit-identity + throughput floor)"
 # The floor is deliberately conservative (~2 orders below a release-build
 # laptop) — it catches a pipeline that stopped scaling, not jitter.

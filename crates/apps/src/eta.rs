@@ -12,6 +12,7 @@ use pol_ais::types::MarketSegment;
 use pol_core::{CellStats, Inventory, InventoryQuery};
 use pol_geo::{haversine_km, LatLon};
 use pol_hexgrid::{cell_at, grid_disk, CellIndex};
+use std::borrow::Cow;
 
 /// An ETA estimate with its uncertainty band.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -107,13 +108,15 @@ impl<'a, I: InventoryQuery> EtaEstimator<'a, I> {
         None
     }
 
-    /// Most specific grouping-set entry for a cell.
+    /// Most specific grouping-set entry for a cell. `Cow` because a
+    /// mapped store decodes the stats on demand (owned) while the heap
+    /// inventory hands back a borrow — see [`InventoryQuery`].
     fn lookup(
         &self,
         cell: CellIndex,
         segment: Option<MarketSegment>,
         route: Option<(u16, u16)>,
-    ) -> Option<&CellStats> {
+    ) -> Option<Cow<'_, CellStats>> {
         if let (Some(seg), Some((o, d))) = (segment, route) {
             if let Some(s) = self.inventory.summary_route(cell, o, d, seg) {
                 return Some(s);

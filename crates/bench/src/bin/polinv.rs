@@ -7,8 +7,14 @@
 //! polinv verify <inv.pol>
 //! polinv query <inv.pol> <lat> <lon> [--segment container|tanker|...]
 //! polinv top-dest <inv.pol> <LOCODE>
+//! polinv migrate <inv.pol> <inv.pol3>
 //! polinv serve <inv.pol> [--addr 127.0.0.1:0] [--workers 8] [--shards 8]
 //! ```
+//!
+//! Every reading subcommand sniffs the snapshot format: both POLINV2
+//! (row-oriented) and POLINV3 (columnar, `migrate`'s output) files are
+//! accepted everywhere a `<inv.pol>` appears. `serve` memory-maps a
+//! POLINV3 file zero-copy instead of deserializing it.
 //!
 //! While `serve` is running, its stdin is a tiny control channel: a
 //! `reload <file>` line hot-swaps the snapshot (validated first — a
@@ -39,6 +45,7 @@ fn usage() -> ExitCode {
          polinv verify <file>\n  \
          polinv query <file> <lat> <lon> [--segment <name>]\n  \
          polinv top-dest <file> <LOCODE>\n  \
+         polinv migrate <in.pol> <out.pol3>\n  \
          polinv serve <file> [--addr HOST:PORT] [--workers N] [--shards N] [--cache N]"
     );
     ExitCode::from(2)
@@ -55,7 +62,7 @@ fn segment_by_name(name: &str) -> Option<MarketSegment> {
 }
 
 fn load(path: &str) -> Result<Inventory, ExitCode> {
-    codec::load(Path::new(path)).map_err(|e| {
+    codec::load_any(Path::new(path)).map_err(|e| {
         eprintln!("error: cannot load {path}: {e}");
         ExitCode::FAILURE
     })
@@ -164,6 +171,35 @@ fn cmd_verify(args: &[String]) -> ExitCode {
     let Some(path) = args.first() else {
         return usage();
     };
+    let format = match codec::sniff_file(Path::new(path)) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("{path}: CORRUPT: inventory io error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if matches!(format, Some(codec::SnapshotFormat::V3)) {
+        return match codec::columnar::verify(Path::new(path)) {
+            Ok(report) => {
+                println!("{path}: OK (POLINV3 columnar)");
+                println!("  file length       {} bytes", report.file_len);
+                println!("  resolution        {}", report.resolution);
+                println!("  records           {}", report.total_records);
+                println!("  entries           {}", report.entries);
+                for s in &report.sections {
+                    println!(
+                        "  section {:<10} {:>8} entries  crc64 {:016x}",
+                        s.name, s.entries, s.crc
+                    );
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("{path}: CORRUPT: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     match codec::verify(Path::new(path)) {
         Ok(report) => {
             println!("{path}: OK");
@@ -177,6 +213,48 @@ fn cmd_verify(args: &[String]) -> ExitCode {
         }
         Err(e) => {
             eprintln!("{path}: CORRUPT: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_migrate(args: &[String]) -> ExitCode {
+    let (Some(input), Some(output)) = (args.first(), args.get(1)) else {
+        return usage();
+    };
+    let bytes = match std::fs::read(input) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("error: cannot read {input}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // The byte-level migration keeps every stats blob verbatim (both
+    // formats share the canonical encoding), so queries against the
+    // migrated file are bit-identical to the original.
+    let v3 = match codec::columnar::migrate_v2_bytes(&bytes) {
+        Ok(v3) => v3,
+        Err(e) => {
+            eprintln!("error: cannot migrate {input}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = codec::save_bytes(&v3, Path::new(output)) {
+        eprintln!("error: cannot write {output}: {e}");
+        return ExitCode::FAILURE;
+    }
+    match codec::columnar::verify(Path::new(output)) {
+        Ok(report) => {
+            println!(
+                "migrated {input} -> {output}: {} entries, {} -> {} bytes",
+                report.entries,
+                bytes.len(),
+                v3.len()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: migrated file failed verification: {e}");
             ExitCode::FAILURE
         }
     }
@@ -291,17 +369,22 @@ fn cmd_serve(args: &[String]) -> ExitCode {
             .unwrap_or(256),
         ..pol_serve::ServerConfig::default()
     };
-    let inv = match load(path) {
-        Ok(i) => i,
-        Err(e) => return e,
-    };
-    let mut server = match pol_serve::Server::start(inv, addr.as_str(), config) {
+    // start_snapshot sniffs the format: a POLINV3 file is memory-mapped
+    // zero-copy (validated, not deserialized), POLINV2 takes the full
+    // decode + shard path.
+    let started = std::time::Instant::now();
+    let mut server = match pol_serve::Server::start_snapshot(Path::new(path), addr.as_str(), config)
+    {
         Ok(s) => s,
         Err(e) => {
-            eprintln!("error: cannot bind {addr}: {e}");
+            eprintln!("error: cannot serve {path} on {addr}: {e}");
             return ExitCode::FAILURE;
         }
     };
+    eprintln!(
+        "cold start (load-to-ready): {:.1} ms",
+        started.elapsed().as_secs_f64() * 1e3
+    );
     // The bound address goes to stdout so scripts (ci.sh) can pick up an
     // ephemeral port; everything else is stderr chatter.
     println!("listening on {}", server.local_addr());
@@ -345,6 +428,7 @@ fn main() -> ExitCode {
         Some("verify") => cmd_verify(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
         Some("top-dest") => cmd_top_dest(&args[1..]),
+        Some("migrate") => cmd_migrate(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         _ => usage(),
     }

@@ -3,14 +3,26 @@
 //! ```text
 //! polload [--addr HOST:PORT] [--threads 8] [--requests 20000]
 //!         [--vessels 150] [--days 14] [--seed 42] [--workers 8]
+//!         [--store heap|mmap] [--batch N] [--min-rps X]
 //!         [--out figures/BENCH_serve.json]
 //! polload --chaos [--threads 4] [--requests 2000] [--vessels N] ...
 //! ```
 //!
 //! Without `--addr`, polload builds a res-6 fleetsim inventory in
-//! process, starts a server on an ephemeral loopback port, drives it, and
-//! shuts it down — the self-contained form the CI smoke test runs. With
-//! `--addr` it drives an already-running server (`polinv serve`).
+//! process, saves it as both a POLINV2 and a (migrated) POLINV3
+//! snapshot, measures the cold start (load-to-READY) of each format,
+//! starts a server over the `--store` backend (`heap` deserializes the
+//! POLINV2 file, `mmap` zero-copy-maps the POLINV3 file) on an ephemeral
+//! loopback port, drives it, and shuts it down — the self-contained form
+//! the CI smoke test runs. With `--addr` it drives an already-running
+//! server (`polinv serve`).
+//!
+//! `--batch N` adds protocol-v3 batch phases (`N` sub-requests per
+//! frame); their `rps` counts sub-requests, their latency quantiles are
+//! per *frame*. `--min-rps X` exits non-zero unless the gate phase
+//! (`route_summary_batch` when batching, else `point_summary`) reached
+//! `X` requests per second. Results print alongside a comparison with
+//! whatever `--out` file the previous run committed.
 //!
 //! `--chaos` (needs a build with `--features pol-bench/chaos`) runs the
 //! fault-injection self-test instead: failpoints kill connection workers
@@ -49,13 +61,17 @@ fn parse_or<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> T 
         .unwrap_or(default)
 }
 
-/// One endpoint phase's aggregate result.
+/// One endpoint phase's aggregate result. `requests` counts
+/// sub-requests (`frames * batch`); the latency quantiles are per wire
+/// frame, so a batch phase's p50 is the whole-frame round trip.
 struct PhaseResult {
     name: &'static str,
     requests: u64,
+    batch: usize,
     wall_secs: f64,
     rps: f64,
     p50_us: f64,
+    p95_us: f64,
     p99_us: f64,
     max_us: f64,
 }
@@ -69,12 +85,16 @@ fn quantile(sorted: &[f64], q: f64) -> f64 {
 }
 
 /// Drives one endpoint with `threads` concurrent connections issuing
-/// `per_thread` requests each; returns exact aggregate latency stats.
+/// `per_thread` frames each; returns exact aggregate latency stats.
+/// `batch` is the number of sub-requests each frame carries (1 for the
+/// plain phases) — it scales the reported request count and rps, while
+/// latency stays per frame.
 fn run_phase<F>(
     addr: SocketAddr,
     name: &'static str,
     threads: usize,
     per_thread: usize,
+    batch: usize,
     f: F,
 ) -> Result<PhaseResult, ClientError>
 where
@@ -105,13 +125,15 @@ where
     let wall_secs = started.elapsed().as_secs_f64();
     let mut all: Vec<f64> = lats.into_iter().flatten().collect();
     all.sort_by(|a, b| a.partial_cmp(b).expect("latency is finite"));
-    let requests = all.len() as u64;
+    let requests = (all.len() * batch.max(1)) as u64;
     Ok(PhaseResult {
         name,
         requests,
+        batch: batch.max(1),
         wall_secs,
         rps: requests as f64 / wall_secs.max(1e-9),
         p50_us: quantile(&all, 0.50),
+        p95_us: quantile(&all, 0.95),
         p99_us: quantile(&all, 0.99),
         max_us: all.last().copied().unwrap_or(0.0),
     })
@@ -145,27 +167,46 @@ fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
+/// Cold-start (load-to-READY) measurement for both snapshot formats.
+struct ColdStart {
+    v2_heap_ms: f64,
+    v3_mmap_ms: f64,
+}
+
 fn write_bench_json(
     path: &std::path::Path,
     threads: usize,
+    store: &str,
     phases: &[PhaseResult],
+    cold: Option<&ColdStart>,
 ) -> std::io::Result<()> {
     let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
     writeln!(f, "{{")?;
     writeln!(f, "  \"bench\": \"pol-serve loopback load\",")?;
     writeln!(f, "  \"threads\": {threads},")?;
+    writeln!(f, "  \"store\": \"{}\",", json_escape(store))?;
+    if let Some(c) = cold {
+        writeln!(
+            f,
+            "  \"cold_start\": {{\"v2_heap_ms\": {:.2}, \"v3_mmap_ms\": {:.2}}},",
+            c.v2_heap_ms, c.v3_mmap_ms
+        )?;
+    }
     writeln!(f, "  \"endpoints\": [")?;
     for (i, p) in phases.iter().enumerate() {
         let comma = if i + 1 < phases.len() { "," } else { "" };
         writeln!(
             f,
-            "    {{\"endpoint\": \"{}\", \"requests\": {}, \"wall_secs\": {:.4}, \
-             \"rps\": {:.1}, \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"max_us\": {:.1}}}{comma}",
+            "    {{\"endpoint\": \"{}\", \"requests\": {}, \"batch\": {}, \
+             \"wall_secs\": {:.4}, \"rps\": {:.1}, \"p50_us\": {:.1}, \
+             \"p95_us\": {:.1}, \"p99_us\": {:.1}, \"max_us\": {:.1}}}{comma}",
             json_escape(p.name),
             p.requests,
+            p.batch,
             p.wall_secs,
             p.rps,
             p.p50_us,
+            p.p95_us,
             p.p99_us,
             p.max_us
         )?;
@@ -173,6 +214,54 @@ fn write_bench_json(
     writeln!(f, "  ]")?;
     writeln!(f, "}}")?;
     f.flush()
+}
+
+/// Pulls `(endpoint, rps)` pairs out of a previously written
+/// `BENCH_serve.json` — a narrow hand-rolled scan (no JSON dependency)
+/// that tolerates both the old and new field layouts.
+fn parse_baseline_rps(text: &str) -> Vec<(String, f64)> {
+    let mut pairs = Vec::new();
+    for seg in text.split("\"endpoint\": \"").skip(1) {
+        let Some(name_end) = seg.find('"') else {
+            continue;
+        };
+        let name = seg[..name_end].to_string();
+        let Some(rps_at) = seg.find("\"rps\": ") else {
+            continue;
+        };
+        let digits: String = seg[rps_at + 7..]
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || *c == '.')
+            .collect();
+        if let Ok(rps) = digits.parse::<f64>() {
+            pairs.push((name, rps));
+        }
+    }
+    pairs
+}
+
+/// Prints this run's throughput next to the committed baseline file's
+/// (the `--out` target as it stood before we overwrote it).
+fn print_baseline_comparison(baseline: &[(String, f64)], phases: &[PhaseResult]) {
+    if baseline.is_empty() {
+        return;
+    }
+    println!(
+        "\nvs committed baseline:\n{:<22} {:>12} {:>12} {:>8}",
+        "endpoint", "baseline_rps", "now_rps", "delta"
+    );
+    for p in phases {
+        let Some((_, base)) = baseline.iter().find(|(n, _)| n == p.name) else {
+            println!("{:<22} {:>12} {:>12.0} {:>8}", p.name, "-", p.rps, "new");
+            continue;
+        };
+        let delta = if *base > 0.0 {
+            format!("{:+.1}%", (p.rps / base - 1.0) * 100.0)
+        } else {
+            "n/a".to_string()
+        };
+        println!("{:<22} {:>12.0} {:>12.0} {:>8}", p.name, base, p.rps, delta);
+    }
 }
 
 /// Builds the scenario the self-contained modes simulate.
@@ -405,7 +494,8 @@ fn main() -> ExitCode {
     if args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
             "usage: polload [--addr HOST:PORT] [--threads N] [--requests N] \
-             [--vessels N] [--days D] [--seed S] [--workers N] [--out FILE]\n       \
+             [--vessels N] [--days D] [--seed S] [--workers N] \
+             [--store heap|mmap] [--batch N] [--min-rps X] [--out FILE]\n       \
              polload --chaos [--threads N] [--requests N] [--vessels N] [--days D] [--seed S]"
         );
         return ExitCode::from(2);
@@ -415,12 +505,27 @@ fn main() -> ExitCode {
     }
     let threads: usize = parse_or(&args, "--threads", 8).max(1);
     let requests: usize = parse_or(&args, "--requests", 20_000).max(1);
+    let batch: usize = parse_or(&args, "--batch", 0).min(pol_serve::MAX_BATCH);
+    let min_rps: Option<f64> = parse_flag(&args, "--min-rps").and_then(|v| v.parse().ok());
+    let store_choice = parse_flag(&args, "--store").unwrap_or_else(|| "heap".to_string());
+    if store_choice != "heap" && store_choice != "mmap" {
+        eprintln!("error: --store must be 'heap' or 'mmap', got {store_choice}");
+        return ExitCode::FAILURE;
+    }
     let out_path = parse_flag(&args, "--out")
         .map(std::path::PathBuf::from)
         .unwrap_or_else(|| pol_bench::figures_dir().join("BENCH_serve.json"));
+    // Snapshot the committed results before we overwrite them so the
+    // end-of-run comparison has something to compare against.
+    let baseline = std::fs::read_to_string(&out_path)
+        .map(|t| parse_baseline_rps(&t))
+        .unwrap_or_default();
 
     // Either an external server or a self-contained build-and-serve.
     let mut own_server: Option<Server> = None;
+    let mut cold_start: Option<ColdStart> = None;
+    let mut snap_dir: Option<std::path::PathBuf> = None;
+    let mut store_label = "external".to_string();
     let addr: SocketAddr = match parse_flag(&args, "--addr") {
         Some(a) => match a.parse() {
             Ok(addr) => addr,
@@ -430,6 +535,7 @@ fn main() -> ExitCode {
             }
         },
         None => {
+            use pol_core::codec;
             let workers: usize = parse_or(&args, "--workers", 8);
             let scenario = scenario_from(&args);
             let resolution = Resolution::new(6).expect("res 6 valid");
@@ -444,46 +550,82 @@ fn main() -> ExitCode {
                 out.inventory.len(),
                 out.inventory.total_records()
             );
-            let server = Server::start(
-                out.inventory,
-                "127.0.0.1:0",
-                ServerConfig {
-                    worker_threads: workers,
-                    ..ServerConfig::default()
-                },
-            )
-            .expect("server start");
-            let addr = server.local_addr();
-            own_server = Some(server);
+            // Write both snapshot formats so cold start can be compared
+            // and the chosen backend served from a real file, exactly
+            // like production `polinv migrate` + `polinv serve`.
+            let dir = std::env::temp_dir().join(format!("polload-snap-{}", std::process::id()));
+            std::fs::create_dir_all(&dir).expect("create snapshot dir");
+            let v2_path = dir.join("inv.pol");
+            let v3_path = dir.join("inv.pol3");
+            codec::save(&out.inventory, &v2_path).expect("save POLINV2 snapshot");
+            codec::columnar::save(&out.inventory, &v3_path).expect("save POLINV3 snapshot");
+            snap_dir = Some(dir);
+            drop(out);
+
+            let server_config = || ServerConfig {
+                worker_threads: workers,
+                ..ServerConfig::default()
+            };
+            // Cold start = open snapshot to accepting-connections READY.
+            let t = Instant::now();
+            let heap_server = Server::start_snapshot(&v2_path, "127.0.0.1:0", server_config())
+                .expect("heap server start");
+            let v2_heap_ms = t.elapsed().as_secs_f64() * 1e3;
+            let t = Instant::now();
+            let mmap_server = Server::start_snapshot(&v3_path, "127.0.0.1:0", server_config())
+                .expect("mmap server start");
+            let v3_mmap_ms = t.elapsed().as_secs_f64() * 1e3;
+            eprintln!(
+                "cold start (load-to-READY): POLINV2 heap {v2_heap_ms:.1} ms, \
+                 POLINV3 mmap {v3_mmap_ms:.1} ms ({:.1}x)",
+                v2_heap_ms / v3_mmap_ms.max(1e-9)
+            );
+            cold_start = Some(ColdStart {
+                v2_heap_ms,
+                v3_mmap_ms,
+            });
+
+            let (keep, mut retire) = if store_choice == "mmap" {
+                (mmap_server, heap_server)
+            } else {
+                (heap_server, mmap_server)
+            };
+            retire.shutdown();
+            store_label = store_choice.clone();
+            let addr = keep.local_addr();
+            own_server = Some(keep);
             addr
         }
     };
-    eprintln!("driving {addr} with {threads} threads x {requests} point-summary requests");
+    eprintln!(
+        "driving {addr} ({store_label} store) with {threads} threads x {requests} \
+         point-summary requests"
+    );
 
     let pool = position_pool(addr).expect("position pool");
     let pool = &pool;
     let pick = |tid: usize, i: usize| pool[(tid + i * 31) % pool.len()];
 
     let mixed = (requests / 10).max(50);
-    let phases: Vec<PhaseResult> = [
-        run_phase(addr, "ping", threads, mixed, |c, _, _| c.ping()),
+    let mut phases: Vec<PhaseResult> = [
+        run_phase(addr, "ping", threads, mixed, 1, |c, _, _| c.ping()),
         // The headline phase: the ≥50k req/s aggregate target.
-        run_phase(addr, "point_summary", threads, requests, |c, tid, i| {
+        run_phase(addr, "point_summary", threads, requests, 1, |c, tid, i| {
             let (lat, lon) = pick(tid, i);
             c.point_summary(lat, lon).map(|_| ())
         }),
-        run_phase(addr, "segment_summary", threads, mixed, |c, tid, i| {
+        run_phase(addr, "segment_summary", threads, mixed, 1, |c, tid, i| {
             let (lat, lon) = pick(tid, i);
             let seg = MarketSegment::ALL[i % MarketSegment::ALL.len()];
             c.segment_summary(lat, lon, seg).map(|_| ())
         }),
-        run_phase(addr, "route_summary", threads, mixed, |c, tid, i| {
+        run_phase(addr, "route_summary", threads, mixed, 1, |c, tid, i| {
             let (lat, lon) = pick(tid, i);
             let seg = MarketSegment::ALL[i % MarketSegment::ALL.len()];
             c.route_summary(lat, lon, (i % 23) as u16, (i % 31) as u16, seg)
                 .map(|_| ())
         }),
-        run_phase(addr, "bbox_scan", threads, mixed, |c, tid, i| {
+        run_phase(addr, "bbox_scan", threads, mixed, 1, |c, tid, i| {
             let (lat, lon) = pick(tid, i);
             c.bbox_scan(
                 (lat - 1.5).max(-89.9),
@@ -493,18 +635,30 @@ fn main() -> ExitCode {
             )
             .map(|_| ())
         }),
-        run_phase(addr, "top_destination_cells", threads, mixed, |c, _, i| {
-            c.top_destination_cells((i % 40) as u16, None).map(|_| ())
-        }),
-        run_phase(addr, "eta", threads, mixed, |c, tid, i| {
+        run_phase(
+            addr,
+            "top_destination_cells",
+            threads,
+            mixed,
+            1,
+            |c, _, i| c.top_destination_cells((i % 40) as u16, None).map(|_| ()),
+        ),
+        run_phase(addr, "eta", threads, mixed, 1, |c, tid, i| {
             let (lat, lon) = pick(tid, i);
             c.eta(lat, lon, None, None).map(|_| ())
         }),
-        run_phase(addr, "predict_destination", threads, mixed, |c, tid, i| {
-            let track: Vec<(f64, f64)> = (0..4).map(|k| pick(tid, i + k)).collect();
-            c.predict_destination(None, 3, track).map(|_| ())
-        }),
-        run_phase(addr, "stats", threads, mixed, |c, _, _| {
+        run_phase(
+            addr,
+            "predict_destination",
+            threads,
+            mixed,
+            1,
+            |c, tid, i| {
+                let track: Vec<(f64, f64)> = (0..4).map(|k| pick(tid, i + k)).collect();
+                c.predict_destination(None, 3, track).map(|_| ())
+            },
+        ),
+        run_phase(addr, "stats", threads, mixed, 1, |c, _, _| {
             c.stats().map(|_| ())
         }),
     ]
@@ -512,14 +666,53 @@ fn main() -> ExitCode {
     .collect::<Result<_, _>>()
     .expect("load phase failed");
 
+    if batch >= 2 {
+        // Protocol-v3 batch phases: one frame carries `batch`
+        // sub-requests, amortising the per-frame syscall + framing cost.
+        // rps counts sub-requests so it is comparable with the
+        // single-frame phases above.
+        let batched = [
+            run_phase(
+                addr,
+                "point_summary_batch",
+                threads,
+                (requests / batch).max(50),
+                batch,
+                |c, tid, i| {
+                    let positions: Vec<(f64, f64)> =
+                        (0..batch).map(|k| pick(tid, i * batch + k)).collect();
+                    c.point_summaries(&positions).map(|_| ())
+                },
+            ),
+            run_phase(
+                addr,
+                "route_summary_batch",
+                threads,
+                (requests / batch).max(50),
+                batch,
+                |c, tid, i| {
+                    let positions: Vec<(f64, f64)> =
+                        (0..batch).map(|k| pick(tid, i * batch + k)).collect();
+                    let seg = MarketSegment::ALL[i % MarketSegment::ALL.len()];
+                    c.route_summaries((i % 23) as u16, (i % 31) as u16, seg, &positions)
+                        .map(|_| ())
+                },
+            ),
+        ]
+        .into_iter()
+        .collect::<Result<Vec<_>, _>>()
+        .expect("batch phase failed");
+        phases.extend(batched);
+    }
+
     println!(
-        "{:<22} {:>9} {:>12} {:>10} {:>10} {:>10}",
-        "endpoint", "requests", "rps", "p50_us", "p99_us", "max_us"
+        "{:<22} {:>9} {:>6} {:>12} {:>10} {:>10} {:>10} {:>10}",
+        "endpoint", "requests", "batch", "rps", "p50_us", "p95_us", "p99_us", "max_us"
     );
     for p in &phases {
         println!(
-            "{:<22} {:>9} {:>12.0} {:>10.1} {:>10.1} {:>10.1}",
-            p.name, p.requests, p.rps, p.p50_us, p.p99_us, p.max_us
+            "{:<22} {:>9} {:>6} {:>12.0} {:>10.1} {:>10.1} {:>10.1} {:>10.1}",
+            p.name, p.requests, p.batch, p.rps, p.p50_us, p.p95_us, p.p99_us, p.max_us
         );
     }
     let point = phases
@@ -530,25 +723,54 @@ fn main() -> ExitCode {
         "aggregate point_summary RPS: {:.0} ({} threads; target >= 50000)",
         point.rps, threads
     );
+    print_baseline_comparison(&baseline, &phases);
 
     if let Some(mut server) = own_server.take() {
-        let stats = server.metrics().snapshot();
+        // Ask over the wire so the report carries the store name and
+        // mapped-store counters the service fills in.
+        let report = Client::connect(addr)
+            .and_then(|mut c| c.stats())
+            .unwrap_or_else(|_| server.metrics().snapshot());
         server.shutdown();
-        eprintln!(
-            "server: {} requests, {} connections, {} busy, {} malformed, cache {}/{} hit/miss",
-            stats.total_requests,
-            stats.connections,
-            stats.busy_rejections,
-            stats.malformed_frames,
-            stats.cache_hits,
-            stats.cache_misses
-        );
+        eprintln!("{}", report.render());
+    }
+    if let Some(dir) = snap_dir.take() {
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
-    if let Err(e) = write_bench_json(&out_path, threads, &phases) {
+    if let Err(e) = write_bench_json(
+        &out_path,
+        threads,
+        &store_label,
+        &phases,
+        cold_start.as_ref(),
+    ) {
         eprintln!("error: cannot write {}: {e}", out_path.display());
         return ExitCode::FAILURE;
     }
     println!("wrote {}", out_path.display());
+
+    if let Some(min) = min_rps {
+        let gate_name = if batch >= 2 {
+            "route_summary_batch"
+        } else {
+            "point_summary"
+        };
+        let gate = phases
+            .iter()
+            .find(|p| p.name == gate_name)
+            .expect("gate phase ran");
+        if gate.rps < min {
+            eprintln!(
+                "FAILED --min-rps gate: {gate_name} {:.0} < {min:.0} rps",
+                gate.rps
+            );
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "--min-rps gate passed: {gate_name} {:.0} >= {min:.0} rps",
+            gate.rps
+        );
+    }
     ExitCode::SUCCESS
 }

@@ -34,6 +34,8 @@
 //!
 //! Everything round-trips by property test.
 
+pub mod columnar;
+
 use crate::features::{CellStats, GroupKey};
 use crate::inventory::Inventory;
 use pol_ais::types::MarketSegment;
@@ -79,7 +81,9 @@ pub enum CodecError {
     /// A section's bytes do not match their recorded CRC-64: bit rot or
     /// in-place corruption.
     Checksum {
-        /// Which section failed (`"header"` or `"entries"`).
+        /// Which section failed (`"header"` or `"entries"` for v2 files;
+        /// `"cell"`, `"cell-type"`, `"cell-route"` or `"lat-index"` for
+        /// columnar v3 files).
         section: &'static str,
     },
 }
@@ -454,9 +458,17 @@ fn chaos_io(what: &str) -> io::Error {
 /// complete file or the new complete file, never a torn one. On any
 /// failure the temp file is removed and `path` is untouched.
 pub fn save(inv: &Inventory, path: &Path) -> io::Result<()> {
-    let bytes = to_bytes(inv);
+    save_bytes(&to_bytes(inv), path)
+}
+
+/// Crash-safely writes a complete file image to `path` using the same
+/// temp-sibling + fsync + atomic-rename discipline as [`save`]. Shared
+/// by every snapshot format (v2 here, columnar v3 in
+/// [`columnar::save`]) so the durability guarantees — and the
+/// `codec.save.*` chaos failpoints — cover both.
+pub fn save_bytes(bytes: &[u8], path: &Path) -> io::Result<()> {
     let tmp = temp_sibling(path);
-    let result = write_rename_sync(&bytes, &tmp, path);
+    let result = write_rename_sync(bytes, &tmp, path);
     if result.is_err() {
         // Failure must not leave a half-written sibling behind.
         let _ = std::fs::remove_file(&tmp);
@@ -493,6 +505,51 @@ fn write_rename_sync(bytes: &[u8], tmp: &Path, path: &Path) -> io::Result<()> {
 /// section checksum before trusting a byte of it.
 pub fn load(path: &Path) -> Result<Inventory, CodecError> {
     read_from(io::BufReader::new(std::fs::File::open(path)?))
+}
+
+/// Which snapshot format a file's leading magic bytes announce.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SnapshotFormat {
+    /// Row-oriented POLINV2 (full decode on load).
+    V2,
+    /// Columnar POLINV3 (mmap-friendly, lazily decoded).
+    V3,
+}
+
+/// Identifies the snapshot format from a byte prefix (at least 8
+/// bytes). `None` when the prefix names no known format.
+pub fn sniff_format(prefix: &[u8]) -> Option<SnapshotFormat> {
+    if prefix.len() < MAGIC.len() {
+        return None;
+    }
+    match &prefix[..MAGIC.len()] {
+        m if m == MAGIC => Some(SnapshotFormat::V2),
+        m if m == columnar::MAGIC_V3 => Some(SnapshotFormat::V3),
+        _ => None,
+    }
+}
+
+/// Reads a file's magic and identifies its snapshot format.
+pub fn sniff_file(path: &Path) -> Result<Option<SnapshotFormat>, io::Error> {
+    let mut magic = [0u8; 8];
+    let mut f = std::fs::File::open(path)?;
+    match f.read_exact(&mut magic) {
+        Ok(()) => Ok(sniff_format(&magic)),
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => Ok(None),
+        Err(e) => Err(e),
+    }
+}
+
+/// Loads an inventory from a file of either supported format, sniffing
+/// the magic first — the transparent path for tools that only need a
+/// heap [`Inventory`] and do not care how it was stored.
+pub fn load_any(path: &Path) -> Result<Inventory, CodecError> {
+    match sniff_file(path)? {
+        Some(SnapshotFormat::V3) => columnar::load(path),
+        // Unknown magic still goes through the v2 loader so the error
+        // is the same typed BadHeader a v2 load would produce.
+        _ => load(path),
+    }
 }
 
 #[cfg(test)]

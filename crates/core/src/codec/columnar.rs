@@ -1,0 +1,1077 @@
+//! POLINV3 — the columnar, mmap-friendly snapshot format.
+//!
+//! ## On-disk layout (version 3)
+//!
+//! ```text
+//! magic    b"POLINV3\0"                                  8 bytes
+//! header   u32 LE section length                         4 bytes
+//!          resolution u8, total-record varint,
+//!          section-count varint (= 4), then per section:
+//!            kind u8, entry-count varint,
+//!            offset varint, length varint                (length bytes)
+//!          u64 LE CRC-64/XZ of the header bytes          8 bytes
+//! sections four bodies in directory order, each body
+//!          followed by its u64 LE CRC-64/XZ              (per directory)
+//! footer   u64 LE total file length, b"POLSEAL\0"        16 bytes
+//! ```
+//!
+//! The three grouping-set sections (`cell`, `cell-type`, `cell-route`)
+//! share one body shape, columnar and sorted:
+//!
+//! ```text
+//! keys     entry-count × stride bytes, big-endian,
+//!          strictly ascending (stride: 8 / 9 / 13)
+//! offsets  (entry-count + 1) × u64 LE offsets into blob
+//! blob     concatenated canonical CellStats encodings
+//! ```
+//!
+//! Keys are fixed-stride and big-endian so a lexicographic byte compare
+//! equals the numeric key order — point lookups are a binary search over
+//! the raw key column, touching `O(log n)` cache lines and decoding
+//! nothing. The fourth section (`lat-index`) holds one 24-byte row per
+//! occupied cell — centre latitude f64 LE, centre longitude f64 LE, raw
+//! cell index u64 LE — sorted by latitude, so bbox scans
+//! `partition_point` into a latitude band exactly like the heap
+//! [`Inventory`]'s cell index.
+//!
+//! Directory offsets are relative to the section area (the byte after
+//! the header CRC) and the bodies must tile it contiguously — a reader
+//! seeks straight to any section without scanning, and nothing hides in
+//! gaps. [`Layout::parse`] validates everything eagerly — seal, CRCs,
+//! bounds, key sortedness, offset monotonicity — in one linear pass that
+//! decodes no sketches, which is why opening a POLINV3 snapshot is
+//! drastically cheaper than deserializing a POLINV2 one. Stats decode
+//! lazily per lookup from the blob column.
+//!
+//! Statistics reuse the parent module's canonical
+//! [`encode_cell_stats`](super::encode_cell_stats) bytes, so a POLINV2 →
+//! POLINV3 migration re-encodes every summary to the *identical* bytes
+//! it already had, and every query answered from the mapped file is
+//! bit-identical to the heap inventory's answer.
+
+use super::{
+    decode_cell_stats, encode_cell_stats, save_bytes, CodecError, FOOTER_MAGIC, MIN_ENTRY_BYTES,
+};
+use crate::features::{CellStats, GroupKey};
+use crate::inventory::Inventory;
+use pol_ais::types::MarketSegment;
+use pol_hexgrid::{cell_center, CellIndex, Resolution};
+use pol_sketch::crc64::crc64;
+use pol_sketch::hash::FxHashMap;
+use pol_sketch::wire::{get_varint, put_varint, WireError};
+use std::io::{self, Read};
+use std::ops::Range;
+use std::path::Path;
+
+/// File magic (format version 3: columnar sections, sealed footer).
+pub const MAGIC_V3: &[u8; 8] = b"POLINV3\0";
+
+/// The four sections of a POLINV3 file, in canonical directory order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SectionKind {
+    /// `(H3-index)` grouping set.
+    Cell,
+    /// `(H3-index, vessel-type)` grouping set.
+    CellType,
+    /// `(H3-index, origin, destination, vessel-type)` grouping set.
+    CellRoute,
+    /// Latitude-sorted `(lat, lon, cell)` rows for bbox scans.
+    LatIndex,
+}
+
+impl SectionKind {
+    /// Directory order: every well-formed file stores exactly these.
+    pub const ALL: [SectionKind; 4] = [
+        SectionKind::Cell,
+        SectionKind::CellType,
+        SectionKind::CellRoute,
+        SectionKind::LatIndex,
+    ];
+
+    /// The section's directory tag.
+    pub const fn id(self) -> u8 {
+        match self {
+            SectionKind::Cell => 0,
+            SectionKind::CellType => 1,
+            SectionKind::CellRoute => 2,
+            SectionKind::LatIndex => 3,
+        }
+    }
+
+    /// The fixed byte stride of one key (or one lat-index row).
+    pub const fn stride(self) -> usize {
+        match self {
+            SectionKind::Cell => 8,
+            SectionKind::CellType => 9,
+            SectionKind::CellRoute => 13,
+            SectionKind::LatIndex => 24,
+        }
+    }
+
+    /// Human-readable section name (also the `CodecError::Checksum` tag).
+    pub const fn name(self) -> &'static str {
+        match self {
+            SectionKind::Cell => "cell",
+            SectionKind::CellType => "cell-type",
+            SectionKind::CellRoute => "cell-route",
+            SectionKind::LatIndex => "lat-index",
+        }
+    }
+
+    fn from_id(id: u8) -> Option<SectionKind> {
+        SectionKind::ALL.into_iter().find(|k| k.id() == id)
+    }
+}
+
+/// Appends the fixed-stride big-endian encoding of a [`GroupKey`].
+///
+/// Big-endian field order means a lexicographic byte compare over
+/// encoded keys sorts them exactly like the tuple `(cell, origin, dest,
+/// segment)` — the property [`SectionReader::find`] relies on.
+pub fn encode_fixed_key(key: &GroupKey, out: &mut Vec<u8>) {
+    match key {
+        GroupKey::Cell(c) => out.extend_from_slice(&c.raw().to_be_bytes()),
+        GroupKey::CellType(c, seg) => {
+            out.extend_from_slice(&c.raw().to_be_bytes());
+            out.push(seg.id());
+        }
+        GroupKey::CellRoute(c, o, d, seg) => {
+            out.extend_from_slice(&c.raw().to_be_bytes());
+            out.extend_from_slice(&o.to_be_bytes());
+            out.extend_from_slice(&d.to_be_bytes());
+            out.push(seg.id());
+        }
+    }
+}
+
+/// The exact key bytes a point lookup binary-searches for in the `cell`
+/// section.
+pub fn cell_key(cell: CellIndex) -> [u8; 8] {
+    cell.raw().to_be_bytes()
+}
+
+/// Key bytes for the `cell-type` section.
+pub fn cell_type_key(cell: CellIndex, segment: MarketSegment) -> [u8; 9] {
+    let mut k = [0u8; 9];
+    k[..8].copy_from_slice(&cell.raw().to_be_bytes());
+    k[8] = segment.id();
+    k
+}
+
+/// Key bytes for the `cell-route` section.
+pub fn cell_route_key(cell: CellIndex, origin: u16, dest: u16, segment: MarketSegment) -> [u8; 13] {
+    let mut k = [0u8; 13];
+    k[..8].copy_from_slice(&cell.raw().to_be_bytes());
+    k[8..10].copy_from_slice(&origin.to_be_bytes());
+    k[10..12].copy_from_slice(&dest.to_be_bytes());
+    k[12] = segment.id();
+    k
+}
+
+fn be_u64(b: &[u8]) -> Option<u64> {
+    Some(u64::from_be_bytes(b.get(..8)?.try_into().ok()?))
+}
+
+fn be_u16(b: &[u8]) -> Option<u16> {
+    Some(u16::from_be_bytes(b.get(..2)?.try_into().ok()?))
+}
+
+fn le_u64(b: &[u8]) -> Option<u64> {
+    Some(u64::from_le_bytes(b.get(..8)?.try_into().ok()?))
+}
+
+fn le_f64(b: &[u8]) -> Option<f64> {
+    Some(f64::from_le_bytes(b.get(..8)?.try_into().ok()?))
+}
+
+/// One decoded lat-index row: `(centre lat, centre lon, raw cell)`.
+fn lat_row(rows: &[u8], i: usize) -> Option<(f64, f64, u64)> {
+    let stride = SectionKind::LatIndex.stride();
+    let at = i.checked_mul(stride)?;
+    let row = rows.get(at..at.checked_add(stride)?)?;
+    Some((
+        le_f64(row)?,
+        le_f64(row.get(8..)?)?,
+        le_u64(row.get(16..)?)?,
+    ))
+}
+
+/// Decodes the fixed-stride key of a grouping section back into a
+/// [`GroupKey`]. Returns `None` for the lat-index kind, a wrong-length
+/// slice, or field values that do not name a valid cell/segment.
+pub fn decode_fixed_key(kind: SectionKind, bytes: &[u8]) -> Option<GroupKey> {
+    if bytes.len() != kind.stride() {
+        return None;
+    }
+    let cell = CellIndex::from_raw(be_u64(bytes)?).ok()?;
+    match kind {
+        SectionKind::Cell => Some(GroupKey::Cell(cell)),
+        SectionKind::CellType => {
+            let seg = MarketSegment::from_id(*bytes.get(8)?)?;
+            Some(GroupKey::CellType(cell, seg))
+        }
+        SectionKind::CellRoute => {
+            let origin = be_u16(bytes.get(8..)?)?;
+            let dest = be_u16(bytes.get(10..)?)?;
+            let seg = MarketSegment::from_id(*bytes.get(12)?)?;
+            Some(GroupKey::CellRoute(cell, origin, dest, seg))
+        }
+        SectionKind::LatIndex => None,
+    }
+}
+
+/// The validated extent of one grouping-set section: absolute byte
+/// ranges into the file image for each of its three columns.
+#[derive(Clone, Debug)]
+pub struct GroupSpan {
+    /// Which grouping set the section stores.
+    pub kind: SectionKind,
+    /// Entries in the section.
+    pub count: usize,
+    /// The sorted fixed-stride key column.
+    pub keys: Range<usize>,
+    /// The `(count + 1)` u64 LE offsets into the stats blob.
+    pub offsets: Range<usize>,
+    /// The concatenated canonical stats encodings.
+    pub blob: Range<usize>,
+}
+
+/// A fully validated POLINV3 file layout: where every column lives.
+///
+/// Produced by [`Layout::parse`], which proves the seal, every section
+/// CRC, key sortedness and offset monotonicity before returning — a
+/// reader holding a `Layout` may slice the file with `get()` and treat
+/// any `None` as an encoder bug, never as hostile input.
+#[derive(Clone, Debug)]
+pub struct Layout {
+    /// Grid resolution of the stored inventory.
+    pub resolution: Resolution,
+    /// Input records summarised by the stored inventory.
+    pub total_records: u64,
+    /// The `(H3-index)` grouping-set section.
+    pub cell: GroupSpan,
+    /// The `(H3-index, vessel-type)` grouping-set section.
+    pub cell_type: GroupSpan,
+    /// The `(H3-index, origin, destination, vessel-type)` section.
+    pub cell_route: GroupSpan,
+    /// The latitude-sorted `(lat, lon, cell)` rows.
+    pub lat_rows: Range<usize>,
+    /// Rows in the lat-index (equals `cell.count`).
+    pub lat_count: usize,
+    /// Per-section CRC-64/XZ values, in [`SectionKind::ALL`] order.
+    pub section_crcs: [u64; 4],
+    /// The header section's CRC-64/XZ.
+    pub header_crc: u64,
+}
+
+struct RawSection {
+    kind: SectionKind,
+    count: usize,
+    body: Range<usize>,
+    crc: u64,
+}
+
+fn unsealed() -> CodecError {
+    CodecError::Unsealed
+}
+
+fn wire(msg: &'static str) -> CodecError {
+    CodecError::Wire(WireError(msg))
+}
+
+impl Layout {
+    /// Structurally validates a complete POLINV3 file image.
+    ///
+    /// One linear pass over the bytes: magic, footer seal, header CRC,
+    /// directory sanity (four known sections, contiguous, in order),
+    /// per-section CRC, strictly ascending keys, monotone stats offsets
+    /// that exactly cover the blob, and a lat-index sorted by latitude
+    /// with one row per occupied cell. No sketch is decoded.
+    pub fn parse(bytes: &[u8]) -> Result<Layout, CodecError> {
+        if bytes.len() < MAGIC_V3.len() || &bytes[..MAGIC_V3.len()] != MAGIC_V3 {
+            return Err(CodecError::BadHeader);
+        }
+        // Footer seal: identical discipline to POLINV2 — prove the file
+        // *ends* correctly before trusting anything in the middle.
+        if bytes.len() < MAGIC_V3.len() + 16 {
+            return Err(unsealed());
+        }
+        let seal_at = bytes.len() - FOOTER_MAGIC.len();
+        if &bytes[seal_at..] != FOOTER_MAGIC {
+            return Err(unsealed());
+        }
+        let len_at = seal_at - 8;
+        let recorded = le_u64(&bytes[len_at..]).ok_or_else(unsealed)?;
+        if recorded != bytes.len() as u64 {
+            return Err(unsealed());
+        }
+
+        // Header section.
+        let mut at = MAGIC_V3.len();
+        let take = |at: &mut usize, n: usize| -> Result<&[u8], CodecError> {
+            let end = at.checked_add(n).ok_or_else(unsealed)?;
+            if end > len_at {
+                return Err(unsealed());
+            }
+            let s = &bytes[*at..end];
+            *at = end;
+            Ok(s)
+        };
+        let header_len =
+            u32::from_le_bytes(take(&mut at, 4)?.try_into().map_err(|_| unsealed())?) as usize;
+        let header = take(&mut at, header_len)?;
+        let header_crc = u64::from_le_bytes(take(&mut at, 8)?.try_into().map_err(|_| unsealed())?);
+        if crc64(header) != header_crc {
+            return Err(CodecError::Checksum { section: "header" });
+        }
+        let mut h = header;
+        let (&res_raw, rest) = h.split_first().ok_or(CodecError::BadHeader)?;
+        h = rest;
+        let resolution = Resolution::new(res_raw).ok_or(CodecError::BadHeader)?;
+        let total_records = get_varint(&mut h)?;
+        let n_sections = get_varint(&mut h)? as usize;
+        if n_sections != SectionKind::ALL.len() {
+            return Err(wire("unexpected section count"));
+        }
+        let area_start = at;
+        let area_len = len_at.checked_sub(area_start).ok_or_else(unsealed)?;
+        let mut raw: Vec<RawSection> = Vec::with_capacity(n_sections);
+        let mut expect_off = 0usize;
+        for want in SectionKind::ALL {
+            let (&kind_id, rest) = h.split_first().ok_or(wire("directory truncated"))?;
+            h = rest;
+            let kind = SectionKind::from_id(kind_id).ok_or(wire("unknown section kind"))?;
+            if kind != want {
+                return Err(wire("sections out of canonical order"));
+            }
+            let count = usize::try_from(get_varint(&mut h)?).map_err(|_| wire("huge count"))?;
+            let off = usize::try_from(get_varint(&mut h)?).map_err(|_| wire("huge offset"))?;
+            let len = usize::try_from(get_varint(&mut h)?).map_err(|_| wire("huge length"))?;
+            // Contiguity: bodies tile the section area in directory
+            // order, so nothing can hide between or after them.
+            if off != expect_off {
+                return Err(wire("section directory not contiguous"));
+            }
+            let body_start = area_start.checked_add(off).ok_or_else(unsealed)?;
+            let body_end = body_start.checked_add(len).ok_or_else(unsealed)?;
+            let crc_end = body_end.checked_add(8).ok_or_else(unsealed)?;
+            if crc_end > len_at {
+                return Err(unsealed());
+            }
+            let crc = le_u64(&bytes[body_end..crc_end]).ok_or_else(unsealed)?;
+            if crc64(&bytes[body_start..body_end]) != crc {
+                return Err(CodecError::Checksum {
+                    section: kind.name(),
+                });
+            }
+            expect_off = off
+                .checked_add(len)
+                .and_then(|v| v.checked_add(8))
+                .ok_or_else(unsealed)?;
+            raw.push(RawSection {
+                kind,
+                count,
+                body: body_start..body_end,
+                crc,
+            });
+        }
+        if !h.is_empty() {
+            return Err(wire("trailing header bytes"));
+        }
+        if expect_off != area_len {
+            return Err(unsealed());
+        }
+
+        let mut group_spans: Vec<GroupSpan> = Vec::with_capacity(3);
+        let mut lat_span = 0..0;
+        let mut lat_count = 0usize;
+        let mut section_crcs = [0u64; 4];
+        for (slot, sec) in raw.iter().enumerate() {
+            if let Some(c) = section_crcs.get_mut(slot) {
+                *c = sec.crc;
+            }
+            let stride = sec.kind.stride();
+            let body = &bytes[sec.body.clone()];
+            if sec.kind == SectionKind::LatIndex {
+                // Hostile-count guard + exact tiling of the rows.
+                if sec.count.checked_mul(stride) != Some(body.len()) {
+                    return Err(wire("lat-index length mismatch"));
+                }
+                // Rows sorted by (latitude, cell): the partition_point
+                // the bbox scan runs requires it.
+                for w in 0..sec.count.saturating_sub(1) {
+                    let a = lat_row(body, w).ok_or(wire("lat-index row unreadable"))?;
+                    let b = lat_row(body, w + 1).ok_or(wire("lat-index row unreadable"))?;
+                    let ord = a.0.total_cmp(&b.0).then_with(|| a.2.cmp(&b.2));
+                    if ord != std::cmp::Ordering::Less {
+                        return Err(wire("lat-index not sorted"));
+                    }
+                }
+                lat_span = sec.body.clone();
+                lat_count = sec.count;
+                continue;
+            }
+            // Grouping section: keys, offsets, blob must tile the body.
+            let keys_len = sec
+                .count
+                .checked_mul(stride)
+                .ok_or(wire("huge key column"))?;
+            let offsets_len = sec
+                .count
+                .checked_add(1)
+                .and_then(|n| n.checked_mul(8))
+                .ok_or(wire("huge offset column"))?;
+            let fixed = keys_len
+                .checked_add(offsets_len)
+                .ok_or(wire("huge section"))?;
+            if fixed > body.len() {
+                return Err(wire("entry count exceeds section"));
+            }
+            let blob_len = body.len() - fixed;
+            // Same allocation guard as v2: a count claiming more entries
+            // than the blob could physically hold is hostile. Stats
+            // alone dominate MIN_ENTRY_BYTES, so the v2 bound applies.
+            if sec
+                .count
+                .checked_mul(MIN_ENTRY_BYTES)
+                .map(|need| need > blob_len.saturating_add(keys_len))
+                .unwrap_or(true)
+                && sec.count > 0
+            {
+                return Err(wire("entry count exceeds buffer"));
+            }
+            let keys = &body[..keys_len];
+            let offsets = &body[keys_len..fixed];
+            // Keys strictly ascending: binary-search soundness and entry
+            // uniqueness in one check.
+            for w in 0..sec.count.saturating_sub(1) {
+                let a = keys.get(w * stride..(w + 1) * stride);
+                let b = keys.get((w + 1) * stride..(w + 2) * stride);
+                match (a, b) {
+                    (Some(a), Some(b)) if a < b => {}
+                    _ => return Err(wire("keys not strictly sorted")),
+                }
+            }
+            // Offsets strictly increasing (every entry non-empty),
+            // starting at zero and ending exactly at the blob length.
+            let mut prev: Option<u64> = None;
+            for i in 0..=sec.count {
+                let off = le_u64(offsets.get(i * 8..).unwrap_or(&[]))
+                    .ok_or(wire("offset column unreadable"))?;
+                match prev {
+                    None if off != 0 => return Err(wire("first offset not zero")),
+                    Some(p) if off <= p => return Err(wire("offsets not increasing")),
+                    _ => {}
+                }
+                // The zero-count section's single offset must still be 0.
+                if i == sec.count && off != blob_len as u64 {
+                    return Err(wire("offsets do not cover blob"));
+                }
+                prev = Some(off);
+            }
+            group_spans.push(GroupSpan {
+                kind: sec.kind,
+                count: sec.count,
+                keys: sec.body.start..sec.body.start + keys_len,
+                offsets: sec.body.start + keys_len..sec.body.start + fixed,
+                blob: sec.body.start + fixed..sec.body.end,
+            });
+        }
+        let mut spans = group_spans.into_iter();
+        let (cell, cell_type, cell_route) = match (spans.next(), spans.next(), spans.next()) {
+            (Some(a), Some(b), Some(c)) => (a, b, c),
+            _ => return Err(wire("missing grouping section")),
+        };
+        if lat_count != cell.count {
+            return Err(wire("lat-index row count mismatch"));
+        }
+        Ok(Layout {
+            resolution,
+            total_records,
+            cell,
+            cell_type,
+            cell_route,
+            lat_rows: lat_span,
+            lat_count,
+            section_crcs,
+            header_crc,
+        })
+    }
+}
+
+/// Zero-copy accessor over one validated grouping-set section.
+///
+/// Borrowing both the file bytes and the [`Layout`] span, it answers
+/// point lookups by binary search over the sorted key column and hands
+/// out raw stats byte slices without decoding. All accessors are
+/// panic-free: out-of-range indices return `None`.
+pub struct SectionReader<'a> {
+    kind: SectionKind,
+    count: usize,
+    keys: &'a [u8],
+    offsets: &'a [u8],
+    blob: &'a [u8],
+}
+
+impl<'a> SectionReader<'a> {
+    /// Borrows a section from a file image previously validated by
+    /// [`Layout::parse`]. `None` if the span does not fit `bytes` (an
+    /// encoder bug or a layout from a different file).
+    pub fn new(bytes: &'a [u8], span: &GroupSpan) -> Option<SectionReader<'a>> {
+        Some(SectionReader {
+            kind: span.kind,
+            count: span.count,
+            keys: bytes.get(span.keys.clone())?,
+            offsets: bytes.get(span.offsets.clone())?,
+            blob: bytes.get(span.blob.clone())?,
+        })
+    }
+
+    /// Entries in the section.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Whether the section has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The section's grouping set.
+    pub fn kind(&self) -> SectionKind {
+        self.kind
+    }
+
+    /// The fixed-stride key bytes of entry `i`.
+    pub fn key_at(&self, i: usize) -> Option<&'a [u8]> {
+        let stride = self.kind.stride();
+        let at = i.checked_mul(stride)?;
+        self.keys.get(at..at.checked_add(stride)?)
+    }
+
+    /// The decoded [`GroupKey`] of entry `i`.
+    pub fn group_key_at(&self, i: usize) -> Option<GroupKey> {
+        decode_fixed_key(self.kind, self.key_at(i)?)
+    }
+
+    /// The canonical stats encoding of entry `i`, undecoded.
+    pub fn stats_bytes(&self, i: usize) -> Option<&'a [u8]> {
+        if i >= self.count {
+            return None;
+        }
+        let start = le_u64(self.offsets.get(i * 8..)?)? as usize;
+        let end = le_u64(self.offsets.get((i + 1) * 8..)?)? as usize;
+        self.blob.get(start..end)
+    }
+
+    /// Decodes the stats of entry `i`, requiring the entry's blob slice
+    /// to be fully consumed. `None` on any mismatch — with CRCs already
+    /// verified this can only mean an encoder bug, never corruption.
+    pub fn decode_stats(&self, i: usize) -> Option<CellStats> {
+        let mut input = self.stats_bytes(i)?;
+        let stats = decode_cell_stats(&mut input).ok()?;
+        input.is_empty().then_some(stats)
+    }
+
+    /// Binary-searches the sorted key column for exact `key` bytes.
+    pub fn find(&self, key: &[u8]) -> Option<usize> {
+        let mut lo = 0usize;
+        let mut hi = self.count;
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            match self.key_at(mid)?.cmp(key) {
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Greater => hi = mid,
+                std::cmp::Ordering::Equal => return Some(mid),
+            }
+        }
+        None
+    }
+
+    /// The first index whose key is `>= key` (a `partition_point` over
+    /// the sorted key column) — the start of a range scan.
+    pub fn lower_bound(&self, key: &[u8]) -> usize {
+        let mut lo = 0usize;
+        let mut hi = self.count;
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if self.key_at(mid).map(|k| k < key).unwrap_or(false) {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+}
+
+/// Zero-copy accessor over the latitude-sorted cell rows.
+pub struct LatIndexReader<'a> {
+    rows: &'a [u8],
+    count: usize,
+}
+
+impl<'a> LatIndexReader<'a> {
+    /// Borrows the lat-index from a validated file image.
+    pub fn new(bytes: &'a [u8], layout: &Layout) -> Option<LatIndexReader<'a>> {
+        Some(LatIndexReader {
+            rows: bytes.get(layout.lat_rows.clone())?,
+            count: layout.lat_count,
+        })
+    }
+
+    /// Rows in the index (one per occupied cell).
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Whether the index has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Row `i`: `(centre lat, centre lon, raw cell index)`.
+    pub fn row(&self, i: usize) -> Option<(f64, f64, u64)> {
+        if i >= self.count {
+            return None;
+        }
+        lat_row(self.rows, i)
+    }
+
+    /// The first row whose latitude is `>= lat` — the start of a
+    /// latitude-band scan.
+    pub fn lower_bound_lat(&self, lat: f64) -> usize {
+        let mut lo = 0usize;
+        let mut hi = self.count;
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            let below = self
+                .row(mid)
+                .map(|(l, _, _)| l.total_cmp(&lat) == std::cmp::Ordering::Less)
+                .unwrap_or(false);
+            if below {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+}
+
+fn group_section_body(entries: &[(Vec<u8>, &CellStats)]) -> Vec<u8> {
+    let mut keys = Vec::new();
+    let mut offsets = Vec::with_capacity((entries.len() + 1) * 8);
+    let mut blob = Vec::new();
+    for (kb, stats) in entries {
+        keys.extend_from_slice(kb);
+        offsets.extend_from_slice(&(blob.len() as u64).to_le_bytes());
+        encode_cell_stats(stats, &mut blob);
+    }
+    offsets.extend_from_slice(&(blob.len() as u64).to_le_bytes());
+    let mut body = Vec::with_capacity(keys.len() + offsets.len() + blob.len());
+    body.extend_from_slice(&keys);
+    body.extend_from_slice(&offsets);
+    body.extend_from_slice(&blob);
+    body
+}
+
+/// Serializes an inventory to its complete POLINV3 file image (magic
+/// through sealed footer). Deterministic: equal inventories always
+/// produce identical bytes.
+pub fn to_bytes(inv: &Inventory) -> Vec<u8> {
+    // Partition entries by grouping set and sort by encoded key — the
+    // fixed-stride big-endian encoding makes byte order == key order.
+    let mut groups: [Vec<(Vec<u8>, &CellStats)>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+    let mut lat_rows: Vec<(f64, f64, u64)> = Vec::new();
+    for (key, stats) in inv.iter() {
+        let mut kb = Vec::with_capacity(13);
+        encode_fixed_key(key, &mut kb);
+        let slot = match key {
+            GroupKey::Cell(c) => {
+                let center = cell_center(*c);
+                lat_rows.push((center.lat(), center.lon(), c.raw()));
+                0
+            }
+            GroupKey::CellType(..) => 1,
+            GroupKey::CellRoute(..) => 2,
+        };
+        if let Some(g) = groups.get_mut(slot) {
+            g.push((kb, stats));
+        }
+    }
+    for g in &mut groups {
+        g.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+    }
+    lat_rows.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.2.cmp(&b.2)));
+    let mut lat_body = Vec::with_capacity(lat_rows.len() * SectionKind::LatIndex.stride());
+    for (lat, lon, raw) in &lat_rows {
+        lat_body.extend_from_slice(&lat.to_le_bytes());
+        lat_body.extend_from_slice(&lon.to_le_bytes());
+        lat_body.extend_from_slice(&raw.to_le_bytes());
+    }
+
+    let bodies: [(SectionKind, usize, Vec<u8>); 4] = [
+        (
+            SectionKind::Cell,
+            groups[0].len(),
+            group_section_body(&groups[0]),
+        ),
+        (
+            SectionKind::CellType,
+            groups[1].len(),
+            group_section_body(&groups[1]),
+        ),
+        (
+            SectionKind::CellRoute,
+            groups[2].len(),
+            group_section_body(&groups[2]),
+        ),
+        (SectionKind::LatIndex, lat_rows.len(), lat_body),
+    ];
+
+    let mut header = Vec::with_capacity(64);
+    header.push(inv.resolution().level());
+    put_varint(&mut header, inv.total_records());
+    put_varint(&mut header, bodies.len() as u64);
+    let mut area = Vec::new();
+    for (kind, count, body) in &bodies {
+        header.push(kind.id());
+        put_varint(&mut header, *count as u64);
+        put_varint(&mut header, area.len() as u64);
+        put_varint(&mut header, body.len() as u64);
+        area.extend_from_slice(body);
+        area.extend_from_slice(&crc64(body).to_le_bytes());
+    }
+
+    let mut out = Vec::with_capacity(MAGIC_V3.len() + 4 + header.len() + 8 + area.len() + 16);
+    out.extend_from_slice(MAGIC_V3);
+    out.extend_from_slice(&(header.len() as u32).to_le_bytes());
+    out.extend_from_slice(&header);
+    out.extend_from_slice(&crc64(&header).to_le_bytes());
+    out.extend_from_slice(&area);
+    let file_len = out.len() as u64 + 16; // footer included
+    out.extend_from_slice(&file_len.to_le_bytes());
+    out.extend_from_slice(FOOTER_MAGIC);
+    out
+}
+
+/// Deserializes a POLINV3 file image into a heap [`Inventory`] —
+/// validating the layout, then decoding every entry of every grouping
+/// section (the migration/fallback path; serving reads zero-copy via
+/// [`Layout`] + [`SectionReader`] instead).
+pub fn from_bytes(bytes: &[u8]) -> Result<Inventory, CodecError> {
+    let layout = Layout::parse(bytes)?;
+    let mut entries: FxHashMap<GroupKey, CellStats> = FxHashMap::default();
+    let total: usize = layout.cell.count + layout.cell_type.count + layout.cell_route.count;
+    entries.reserve(total);
+    for span in [&layout.cell, &layout.cell_type, &layout.cell_route] {
+        let reader = SectionReader::new(bytes, span).ok_or(wire("section out of bounds"))?;
+        for i in 0..reader.len() {
+            let key = reader.group_key_at(i).ok_or(wire("bad section key"))?;
+            let mut input = reader.stats_bytes(i).ok_or(wire("bad stats offsets"))?;
+            let stats = decode_cell_stats(&mut input)?;
+            if !input.is_empty() {
+                return Err(wire("trailing stats bytes"));
+            }
+            entries.insert(key, stats);
+        }
+    }
+    Ok(Inventory::from_entries(
+        layout.resolution,
+        entries,
+        layout.total_records,
+    ))
+}
+
+/// What [`verify_bytes`] found in one section of a sound POLINV3 file.
+#[derive(Clone, Debug)]
+pub struct SectionReport {
+    /// Section name (`cell`, `cell-type`, `cell-route`, `lat-index`).
+    pub name: &'static str,
+    /// Entries (or lat-index rows) in the section.
+    pub entries: usize,
+    /// The section's CRC-64/XZ, verified against its bytes.
+    pub crc: u64,
+}
+
+/// What [`verify_bytes`] found in a structurally sound POLINV3 file.
+#[derive(Clone, Debug)]
+pub struct ColumnarReport {
+    /// Total file length in bytes, as recorded in the sealed footer.
+    pub file_len: u64,
+    /// Grid resolution level of the stored inventory.
+    pub resolution: u8,
+    /// Input records summarised by the stored inventory.
+    pub total_records: u64,
+    /// Per-section findings, in directory order.
+    pub sections: Vec<SectionReport>,
+    /// Group-identifier entries decoded across all grouping sections.
+    pub entries: usize,
+}
+
+/// Audits a POLINV3 file image end to end: layout validation plus a
+/// full decode of every entry (catching logical corruption a checksum
+/// of buggy bytes would bless). Any failure is the same typed
+/// [`CodecError`] a load would produce.
+pub fn verify_bytes(bytes: &[u8]) -> Result<ColumnarReport, CodecError> {
+    let layout = Layout::parse(bytes)?;
+    let inv = from_bytes(bytes)?;
+    let counts = [
+        layout.cell.count,
+        layout.cell_type.count,
+        layout.cell_route.count,
+        layout.lat_count,
+    ];
+    let sections = SectionKind::ALL
+        .iter()
+        .zip(counts)
+        .zip(layout.section_crcs)
+        .map(|((kind, entries), crc)| SectionReport {
+            name: kind.name(),
+            entries,
+            crc,
+        })
+        .collect();
+    Ok(ColumnarReport {
+        file_len: bytes.len() as u64,
+        resolution: layout.resolution.level(),
+        total_records: layout.total_records,
+        sections,
+        entries: inv.len(),
+    })
+}
+
+/// Audits a POLINV3 file on disk (see [`verify_bytes`]).
+pub fn verify(path: &Path) -> Result<ColumnarReport, CodecError> {
+    let mut buf = Vec::new();
+    std::fs::File::open(path)?.read_to_end(&mut buf)?;
+    verify_bytes(&buf)
+}
+
+/// Saves an inventory as a POLINV3 file, crash-safely — same temp-file
+/// + fsync + atomic-rename discipline as the v2 [`save`](super::save).
+pub fn save(inv: &Inventory, path: &Path) -> io::Result<()> {
+    save_bytes(&to_bytes(inv), path)
+}
+
+/// Loads a POLINV3 file into a heap [`Inventory`] (full decode).
+pub fn load(path: &Path) -> Result<Inventory, CodecError> {
+    let mut buf = Vec::new();
+    std::fs::File::open(path)?.read_to_end(&mut buf)?;
+    from_bytes(&buf)
+}
+
+/// Converts a POLINV2 file image into a POLINV3 one. The stats bytes
+/// survive verbatim (both formats share the canonical encoding), only
+/// the framing changes — the migration proptest pins query equality.
+pub fn migrate_v2_bytes(v2: &[u8]) -> Result<Vec<u8>, CodecError> {
+    Ok(to_bytes(&super::from_bytes(v2)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::records::{CellPoint, TripPoint};
+    use pol_ais::types::Mmsi;
+    use pol_geo::{BBox, LatLon};
+    use pol_hexgrid::cell_at;
+
+    fn sample_inventory(n: usize) -> Inventory {
+        let res = Resolution::new(6).unwrap();
+        let mut entries: FxHashMap<GroupKey, CellStats> = FxHashMap::default();
+        for i in 0..n {
+            let pos = LatLon::new(-50.0 + (i % 100) as f64, -170.0 + (i % 340) as f64).unwrap();
+            let cell = cell_at(pos, res);
+            let cp = CellPoint {
+                point: TripPoint {
+                    mmsi: Mmsi(100 + (i % 9) as u32),
+                    timestamp: i as i64,
+                    pos,
+                    sog_knots: Some(8.0 + (i % 10) as f64),
+                    cog_deg: Some((i * 17 % 360) as f64),
+                    heading_deg: Some((i * 13 % 360) as f64),
+                    segment: MarketSegment::from_id((i % 6) as u8).unwrap(),
+                    trip_id: (i % 12) as u64,
+                    origin: (i % 4) as u16,
+                    dest: (i % 5) as u16,
+                    eto_secs: i as i64 * 60,
+                    ata_secs: (n - i) as i64 * 60,
+                },
+                cell,
+                next_cell: None,
+            };
+            for key in [
+                GroupKey::Cell(cell),
+                GroupKey::CellType(cell, cp.point.segment),
+                GroupKey::CellRoute(cell, cp.point.origin, cp.point.dest, cp.point.segment),
+            ] {
+                entries
+                    .entry(key)
+                    .or_insert_with(|| CellStats::new(0.02, 8))
+                    .observe(&cp);
+            }
+        }
+        Inventory::from_entries(res, entries, n as u64)
+    }
+
+    fn stats_bytes_of(s: &CellStats) -> Vec<u8> {
+        let mut out = Vec::new();
+        encode_cell_stats(s, &mut out);
+        out
+    }
+
+    #[test]
+    fn round_trip_preserves_every_entry() {
+        let inv = sample_inventory(400);
+        let bytes = to_bytes(&inv);
+        let back = from_bytes(&bytes).unwrap();
+        assert_eq!(back.resolution(), inv.resolution());
+        assert_eq!(back.total_records(), inv.total_records());
+        assert_eq!(back.len(), inv.len());
+        for (key, stats) in inv.iter() {
+            let b = back.get(key).unwrap_or_else(|| panic!("missing {key:?}"));
+            assert_eq!(stats_bytes_of(b), stats_bytes_of(stats));
+        }
+    }
+
+    #[test]
+    fn deterministic_bytes() {
+        assert_eq!(
+            to_bytes(&sample_inventory(200)),
+            to_bytes(&sample_inventory(200))
+        );
+    }
+
+    #[test]
+    fn binary_search_finds_every_key_with_identical_stats() {
+        let inv = sample_inventory(300);
+        let bytes = to_bytes(&inv);
+        let layout = Layout::parse(&bytes).unwrap();
+        for (span, _) in [
+            (&layout.cell, 0),
+            (&layout.cell_type, 1),
+            (&layout.cell_route, 2),
+        ] {
+            let reader = SectionReader::new(&bytes, span).unwrap();
+            for i in 0..reader.len() {
+                let key = reader.group_key_at(i).unwrap();
+                let mut kb = Vec::new();
+                encode_fixed_key(&key, &mut kb);
+                assert_eq!(reader.find(&kb), Some(i));
+                let expect = inv.get(&key).unwrap();
+                let decoded = reader.decode_stats(i).unwrap();
+                assert_eq!(stats_bytes_of(&decoded), stats_bytes_of(expect));
+            }
+            // A key that cannot exist is not found.
+            assert_eq!(reader.find(&vec![0xFF; span.kind.stride()]), None);
+        }
+    }
+
+    #[test]
+    fn lat_index_band_scan_matches_inventory_cells_in() {
+        let inv = sample_inventory(500);
+        let bytes = to_bytes(&inv);
+        let layout = Layout::parse(&bytes).unwrap();
+        let lat = LatIndexReader::new(&bytes, &layout).unwrap();
+        assert_eq!(lat.len(), layout.cell.count);
+        let bbox = BBox::new(-30.0, -60.0, 30.0, 60.0).unwrap();
+        let mut got: Vec<u64> = Vec::new();
+        let mut i = lat.lower_bound_lat(bbox.min_lat);
+        while let Some((la, lo, raw)) = lat.row(i) {
+            if la > bbox.max_lat {
+                break;
+            }
+            if let Some(p) = LatLon::new(la, lo) {
+                if bbox.contains(p) {
+                    got.push(raw);
+                }
+            }
+            i += 1;
+        }
+        got.sort_unstable();
+        let mut want: Vec<u64> = inv.cells_in(&bbox).iter().map(|c| c.raw()).collect();
+        want.sort_unstable();
+        assert!(!want.is_empty());
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn migration_from_v2_is_query_identical() {
+        let inv = sample_inventory(250);
+        let v2 = super::super::to_bytes(&inv);
+        let v3 = migrate_v2_bytes(&v2).unwrap();
+        let from_v3 = from_bytes(&v3).unwrap();
+        assert_eq!(from_v3.len(), inv.len());
+        for (key, stats) in inv.iter() {
+            let b = from_v3.get(key).unwrap();
+            assert_eq!(stats_bytes_of(b), stats_bytes_of(stats));
+        }
+        // Migrating the same v2 image twice is deterministic.
+        assert_eq!(v3, migrate_v2_bytes(&v2).unwrap());
+    }
+
+    #[test]
+    fn empty_inventory_round_trips() {
+        let inv = Inventory::from_entries(Resolution::new(7).unwrap(), FxHashMap::default(), 0);
+        let bytes = to_bytes(&inv);
+        let layout = Layout::parse(&bytes).unwrap();
+        assert_eq!(layout.cell.count, 0);
+        assert_eq!(layout.lat_count, 0);
+        let back = from_bytes(&bytes).unwrap();
+        assert_eq!(back.len(), 0);
+        assert_eq!(back.resolution().level(), 7);
+    }
+
+    #[test]
+    fn rejects_garbage_truncation_and_bit_flips() {
+        assert!(matches!(
+            from_bytes(b"not an inventory"),
+            Err(CodecError::BadHeader)
+        ));
+        // v2 magic is not a v3 file.
+        let v2 = super::super::to_bytes(&sample_inventory(5));
+        assert!(matches!(from_bytes(&v2), Err(CodecError::BadHeader)));
+        let bytes = to_bytes(&sample_inventory(50));
+        for cut in (0..bytes.len() - 1).step_by(13) {
+            match from_bytes(&bytes[..cut]).err() {
+                Some(CodecError::BadHeader) | Some(CodecError::Unsealed) => {}
+                other => panic!("prefix of {cut} bytes: expected typed error, got {other:?}"),
+            }
+        }
+        for byte in (0..bytes.len()).step_by(7) {
+            let mut corrupt = bytes.clone();
+            corrupt[byte] ^= 1 << (byte % 8);
+            assert!(
+                from_bytes(&corrupt).is_err(),
+                "bit flip at byte {byte} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn verify_reports_sections() {
+        let inv = sample_inventory(120);
+        let bytes = to_bytes(&inv);
+        let report = verify_bytes(&bytes).unwrap();
+        assert_eq!(report.entries, inv.len());
+        assert_eq!(report.resolution, inv.resolution().level());
+        assert_eq!(report.sections.len(), 4);
+        assert_eq!(report.sections[0].name, "cell");
+        assert_eq!(report.sections[3].name, "lat-index");
+        assert_eq!(report.sections[0].entries, report.sections[3].entries);
+    }
+
+    #[test]
+    fn file_round_trip_on_disk() {
+        let dir = std::env::temp_dir().join("pol-columnar-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("inv.pol3");
+        let inv = sample_inventory(80);
+        save(&inv, &path).unwrap();
+        let back = load(&path).unwrap();
+        assert_eq!(back.len(), inv.len());
+        assert!(verify(&path).is_ok());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -8,6 +8,7 @@ use pol_geo::BBox;
 use pol_hexgrid::{cell_center, num_cells, CellIndex, Resolution};
 use pol_sketch::hash::FxHashMap;
 use pol_sketch::MergeSketch;
+use std::borrow::Cow;
 
 /// Coverage and compression figures — one row of the paper's Table 4.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -32,14 +33,20 @@ pub struct CoverageReport {
 /// cell-keyed lookups at the three grouping-set levels plus the grid
 /// resolution. Abstracting that surface lets the same estimators run
 /// against the in-memory [`Inventory`] *and* against serving-side stores
-/// (e.g. `pol-serve`'s sharded read-only store) without copying data.
+/// (e.g. `pol-serve`'s sharded read-only store, or its mmap-backed
+/// columnar store).
+///
+/// Lookups return [`Cow`] so heap stores stay zero-copy
+/// (`Cow::Borrowed` straight out of their maps) while zero-*deserialize*
+/// stores — which decode a summary on demand from mapped file bytes —
+/// can hand back `Cow::Owned` through the same surface.
 pub trait InventoryQuery {
     /// The store's grid resolution.
     fn resolution(&self) -> Resolution;
     /// The all-traffic summary of a cell.
-    fn summary(&self, cell: CellIndex) -> Option<&CellStats>;
+    fn summary(&self, cell: CellIndex) -> Option<Cow<'_, CellStats>>;
     /// The per-vessel-type summary of a cell.
-    fn summary_for(&self, cell: CellIndex, segment: MarketSegment) -> Option<&CellStats>;
+    fn summary_for(&self, cell: CellIndex, segment: MarketSegment) -> Option<Cow<'_, CellStats>>;
     /// The per-route summary of a cell.
     fn summary_route(
         &self,
@@ -47,7 +54,7 @@ pub trait InventoryQuery {
         origin: u16,
         dest: u16,
         segment: MarketSegment,
-    ) -> Option<&CellStats>;
+    ) -> Option<Cow<'_, CellStats>>;
 }
 
 impl InventoryQuery for Inventory {
@@ -55,12 +62,12 @@ impl InventoryQuery for Inventory {
         Inventory::resolution(self)
     }
 
-    fn summary(&self, cell: CellIndex) -> Option<&CellStats> {
-        Inventory::summary(self, cell)
+    fn summary(&self, cell: CellIndex) -> Option<Cow<'_, CellStats>> {
+        Inventory::summary(self, cell).map(Cow::Borrowed)
     }
 
-    fn summary_for(&self, cell: CellIndex, segment: MarketSegment) -> Option<&CellStats> {
-        Inventory::summary_for(self, cell, segment)
+    fn summary_for(&self, cell: CellIndex, segment: MarketSegment) -> Option<Cow<'_, CellStats>> {
+        Inventory::summary_for(self, cell, segment).map(Cow::Borrowed)
     }
 
     fn summary_route(
@@ -69,8 +76,8 @@ impl InventoryQuery for Inventory {
         origin: u16,
         dest: u16,
         segment: MarketSegment,
-    ) -> Option<&CellStats> {
-        Inventory::summary_route(self, cell, origin, dest, segment)
+    ) -> Option<Cow<'_, CellStats>> {
+        Inventory::summary_route(self, cell, origin, dest, segment).map(Cow::Borrowed)
     }
 }
 

@@ -1,0 +1,237 @@
+//! Property tests for the POLINV3 columnar snapshot (ISSUE satellite):
+//! the POLINV2 → POLINV3 migration must be query-identical, and
+//! `columnar::from_bytes` / `Layout::parse` on truncated, bit-flipped,
+//! zero-length or arbitrary-garbage input must never panic and must
+//! always return a typed [`CodecError`] — mirrors the POLINV2
+//! corruption suite in `codec_corruption.rs`.
+
+use pol_ais::types::{MarketSegment, Mmsi};
+use pol_core::codec::{self, columnar, CodecError};
+use pol_core::features::{CellStats, GroupKey};
+use pol_core::inventory::Inventory;
+use pol_core::records::{CellPoint, TripPoint};
+use pol_geo::{BBox, LatLon};
+use pol_hexgrid::{cell_at, Resolution};
+use pol_sketch::hash::FxHashMap;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// A fixed non-trivial inventory shared across all properties — traffic
+/// in all three grouping sets so every POLINV3 section is populated.
+fn sample_inventory() -> Inventory {
+    let res = Resolution::new(6).unwrap();
+    let mut entries: FxHashMap<GroupKey, CellStats> = FxHashMap::default();
+    for i in 0..400usize {
+        let pos = LatLon::new(-40.0 + (i % 90) as f64, -120.0 + (i % 240) as f64).unwrap();
+        let cell = cell_at(pos, res);
+        let cp = CellPoint {
+            point: TripPoint {
+                mmsi: Mmsi(500 + (i % 13) as u32),
+                timestamp: i as i64 * 30,
+                pos,
+                sog_knots: Some(3.0 + (i % 17) as f64),
+                cog_deg: Some((i * 19 % 360) as f64),
+                heading_deg: Some((i * 31 % 360) as f64),
+                segment: MarketSegment::from_id((i % 7) as u8).unwrap(),
+                trip_id: (i % 21) as u64,
+                origin: (i % 6) as u16,
+                dest: (i % 9) as u16,
+                eto_secs: i as i64 * 45,
+                ata_secs: (400 - i) as i64 * 45,
+            },
+            cell,
+            next_cell: None,
+        };
+        for key in [
+            GroupKey::Cell(cell),
+            GroupKey::CellType(cell, cp.point.segment),
+            GroupKey::CellRoute(cell, cp.point.origin, cp.point.dest, cp.point.segment),
+        ] {
+            entries
+                .entry(key)
+                .or_insert_with(|| CellStats::new(0.02, 8))
+                .observe(&cp);
+        }
+    }
+    Inventory::from_entries(res, entries, 400)
+}
+
+/// The POLINV2 image of the sample inventory.
+fn v2_bytes() -> &'static [u8] {
+    static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
+    BYTES.get_or_init(|| codec::to_bytes(&sample_inventory()))
+}
+
+/// The migrated POLINV3 image (the corruption target).
+fn v3_bytes() -> &'static [u8] {
+    static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
+    BYTES.get_or_init(|| columnar::migrate_v2_bytes(v2_bytes()).expect("migration succeeds"))
+}
+
+/// CellStats has no `PartialEq`; equality is by canonical encoding.
+fn stats_bytes(stats: Option<&CellStats>) -> Option<Vec<u8>> {
+    stats.map(|s| {
+        let mut out = Vec::new();
+        codec::encode_cell_stats(s, &mut out);
+        out
+    })
+}
+
+fn is_typed(err: &CodecError) -> bool {
+    matches!(
+        err,
+        CodecError::BadHeader
+            | CodecError::Unsealed
+            | CodecError::Checksum { .. }
+            | CodecError::Wire(_)
+            | CodecError::Io(_)
+    )
+}
+
+#[test]
+fn zero_length_file_is_typed_error() {
+    match columnar::from_bytes(&[]).err() {
+        Some(CodecError::BadHeader) => {}
+        other => panic!("expected BadHeader for empty input, got {other:?}"),
+    }
+}
+
+#[test]
+fn clean_image_loads_and_verifies() {
+    assert!(columnar::from_bytes(v3_bytes()).is_ok());
+    let report = columnar::verify_bytes(v3_bytes()).unwrap();
+    assert_eq!(report.entries, sample_inventory().len());
+    assert_eq!(report.total_records, 400);
+    assert_eq!(report.sections.len(), 4);
+}
+
+/// POLINV2 → POLINV3 migration is query-identical: every summary at
+/// every grouping-set level, every bbox scan, and every top-destination
+/// scan answers exactly as the original inventory does.
+#[test]
+fn migration_round_trip_is_query_identical() {
+    let original = sample_inventory();
+    let migrated = columnar::from_bytes(v3_bytes()).unwrap();
+
+    assert_eq!(migrated.resolution(), original.resolution());
+    assert_eq!(migrated.len(), original.len());
+    assert_eq!(migrated.total_records(), original.total_records());
+
+    for i in 0..400usize {
+        let pos = LatLon::new(-40.0 + (i % 90) as f64, -120.0 + (i % 240) as f64).unwrap();
+        let cell = cell_at(pos, original.resolution());
+        let seg = MarketSegment::from_id((i % 7) as u8).unwrap();
+        let (origin, dest) = ((i % 6) as u16, (i % 9) as u16);
+        assert_eq!(
+            stats_bytes(migrated.summary(cell)),
+            stats_bytes(original.summary(cell)),
+            "cell summary {i}"
+        );
+        assert_eq!(
+            stats_bytes(migrated.summary_for(cell, seg)),
+            stats_bytes(original.summary_for(cell, seg)),
+            "segment summary {i}"
+        );
+        assert_eq!(
+            stats_bytes(migrated.summary_route(cell, origin, dest, seg)),
+            stats_bytes(original.summary_route(cell, origin, dest, seg)),
+            "route summary {i}"
+        );
+    }
+
+    let bbox = BBox::new(-35.0, -100.0, 30.0, 80.0).unwrap();
+    assert_eq!(migrated.cells_in(&bbox), original.cells_in(&bbox));
+    // Hash-map iteration order is instance-specific; compare as sorted
+    // sets (the serving layer sorts before answering anyway).
+    let sorted = |mut cells: Vec<pol_hexgrid::CellIndex>| {
+        cells.sort_unstable_by_key(|c| c.raw());
+        cells
+    };
+    for dest in 0..9u16 {
+        assert_eq!(
+            sorted(migrated.cells_with_top_destination(dest, None)),
+            sorted(original.cells_with_top_destination(dest, None)),
+            "top destination {dest}"
+        );
+    }
+}
+
+/// The columnar encoding is canonical: re-encoding a decoded image
+/// reproduces the exact bytes, so migration is idempotent.
+#[test]
+fn columnar_encoding_is_canonical() {
+    let decoded = columnar::from_bytes(v3_bytes()).unwrap();
+    assert_eq!(columnar::to_bytes(&decoded), v3_bytes());
+}
+
+proptest! {
+    /// Every strict prefix of a valid POLINV3 file fails typed — no
+    /// truncation point yields a wrong-but-successful load, none panics.
+    #[test]
+    fn truncation_never_panics_and_always_fails_typed(cut in 0usize..1_000_000) {
+        let bytes = v3_bytes();
+        let cut = cut % bytes.len(); // strict prefix
+        let err = columnar::from_bytes(&bytes[..cut])
+            .err()
+            .expect("truncated file must not load");
+        prop_assert!(is_typed(&err), "untyped error for prefix {cut}: {err:?}");
+        prop_assert!(columnar::verify_bytes(&bytes[..cut]).is_err());
+    }
+
+    /// Every single-bit flip anywhere in the file is detected and fails
+    /// typed — the per-section CRC-64 covers keys, offsets, and blobs.
+    #[test]
+    fn single_bit_flip_never_panics_and_always_fails_typed(
+        pos in 0usize..1_000_000,
+        bit in 0u8..8,
+    ) {
+        let bytes = v3_bytes();
+        let pos = pos % bytes.len();
+        let mut corrupt = bytes.to_vec();
+        corrupt[pos] ^= 1 << bit;
+        let err = columnar::from_bytes(&corrupt)
+            .err()
+            .expect("bit-flipped file must not load");
+        prop_assert!(is_typed(&err), "untyped error for flip {pos}:{bit}: {err:?}");
+        prop_assert!(columnar::verify_bytes(&corrupt).is_err());
+    }
+
+    /// Arbitrary garbage never panics; a load either fails typed or (for
+    /// the astronomically unlikely valid image) succeeds.
+    #[test]
+    fn arbitrary_garbage_never_panics(bytes in prop::collection::vec(0u8..=255, 0..2048)) {
+        match columnar::from_bytes(&bytes) {
+            Ok(_) => {}
+            Err(err) => prop_assert!(is_typed(&err), "untyped error: {err:?}"),
+        }
+    }
+
+    /// Garbage wearing a valid POLINV3 magic still never panics — this
+    /// drives the parser into the directory and section framing instead
+    /// of bailing at byte 0.
+    #[test]
+    fn garbage_behind_valid_magic_never_panics(
+        bytes in prop::collection::vec(0u8..=255, 0..2048),
+    ) {
+        let mut framed = columnar::MAGIC_V3.to_vec();
+        framed.extend_from_slice(&bytes);
+        match columnar::from_bytes(&framed) {
+            Ok(_) => {}
+            Err(err) => prop_assert!(is_typed(&err), "untyped error: {err:?}"),
+        }
+    }
+
+    /// Migration rejects corrupted POLINV2 input typed (never panics,
+    /// never emits a POLINV3 file from bad data).
+    #[test]
+    fn migration_of_corrupt_v2_fails_typed(pos in 0usize..1_000_000, bit in 0u8..8) {
+        let bytes = v2_bytes();
+        let pos = pos % bytes.len();
+        let mut corrupt = bytes.to_vec();
+        corrupt[pos] ^= 1 << bit;
+        let err = columnar::migrate_v2_bytes(&corrupt)
+            .err()
+            .expect("corrupt v2 must not migrate");
+        prop_assert!(is_typed(&err), "untyped error for flip {pos}:{bit}: {err:?}");
+    }
+}

@@ -450,4 +450,73 @@ impl Client {
             _ => Err(ClientError::Unexpected("wanted Stats")),
         }
     }
+
+    /// Sends up to [`crate::proto::MAX_BATCH`] requests in one frame and
+    /// returns their responses in order. A `Busy`/`Error` reply to the
+    /// batch frame itself surfaces as a [`ClientError`]; per-child
+    /// errors come back in the response vector for the caller to
+    /// inspect. The whole batch retries as a unit when every child is
+    /// idempotent.
+    pub fn batch(&mut self, requests: &[Request]) -> Result<Vec<Response>, ClientError> {
+        if requests.len() > crate::proto::MAX_BATCH {
+            return Err(ClientError::Unexpected("batch exceeds MAX_BATCH"));
+        }
+        match self.checked(&Request::Batch(requests.to_vec()))? {
+            Response::Batch(children) => {
+                if children.len() != requests.len() {
+                    return Err(ClientError::Unexpected("batch response count mismatch"));
+                }
+                Ok(children)
+            }
+            _ => Err(ClientError::Unexpected("wanted Batch")),
+        }
+    }
+
+    /// Route-level summaries for many positions in one round-trip — the
+    /// multi-cell query the batching protocol exists for.
+    pub fn route_summaries(
+        &mut self,
+        origin: u16,
+        dest: u16,
+        segment: MarketSegment,
+        positions: &[(f64, f64)],
+    ) -> Result<Vec<Option<CellStats>>, ClientError> {
+        let reqs: Vec<Request> = positions
+            .iter()
+            .map(|&(lat, lon)| Request::RouteSummary {
+                lat,
+                lon,
+                origin,
+                dest,
+                segment,
+            })
+            .collect();
+        self.batch(&reqs)?
+            .into_iter()
+            .map(|resp| match resp {
+                Response::Summary(s) => Ok(s),
+                Response::Error(msg) => Err(ClientError::ServerError(msg)),
+                _ => Err(ClientError::Unexpected("wanted Summary")),
+            })
+            .collect()
+    }
+
+    /// All-traffic summaries for many positions in one round-trip.
+    pub fn point_summaries(
+        &mut self,
+        positions: &[(f64, f64)],
+    ) -> Result<Vec<Option<CellStats>>, ClientError> {
+        let reqs: Vec<Request> = positions
+            .iter()
+            .map(|&(lat, lon)| Request::PointSummary { lat, lon })
+            .collect();
+        self.batch(&reqs)?
+            .into_iter()
+            .map(|resp| match resp {
+                Response::Summary(s) => Ok(s),
+                Response::Error(msg) => Err(ClientError::ServerError(msg)),
+                _ => Err(ClientError::Unexpected("wanted Summary")),
+            })
+            .collect()
+    }
 }

@@ -8,6 +8,14 @@
 //! the expensive aggregate scans ([`store::QueryCache`]), and accounts
 //! every request in per-endpoint latency histograms ([`metrics`]).
 //!
+//! The zero-copy read path: a POLINV3 columnar snapshot can be served
+//! straight off disk through a [`mapped::MappedStore`] — the file is
+//! memory-mapped ([`mmap::MappedFile`]), validated once, and queried by
+//! binary search without deserializing anything up front. The server
+//! sniffs the snapshot format and picks the backend
+//! ([`store::StoreBackend`]); protocol v3 adds request batching
+//! ([`proto::Request::Batch`]) so one frame can carry many lookups.
+//!
 //! Operational posture: bounded worker pool with typed
 //! [`proto::Response::Busy`] backpressure instead of unbounded queueing,
 //! per-frame size caps, socket read/write timeouts, hostile-input-safe
@@ -18,13 +26,17 @@
 #![deny(missing_docs)]
 
 pub mod client;
+pub mod mapped;
 pub mod metrics;
+pub mod mmap;
 pub mod proto;
 pub mod server;
 pub mod store;
 
 pub use client::{Client, ClientConfig, ClientError, RetryPolicy};
+pub use mapped::{MappedCounters, MappedStore};
 pub use metrics::{Endpoint, EndpointStats, HealthReport, ServerMetrics, StatsReport};
-pub use proto::{ProtoError, Request, Response, PROTO_VERSION};
+pub use mmap::MappedFile;
+pub use proto::{ProtoError, Request, Response, MAX_BATCH, PROTO_VERSION};
 pub use server::{InventoryService, Server, ServerConfig};
-pub use store::{QueryCache, ShardedStore};
+pub use store::{QueryCache, ShardedStore, StoreBackend};

@@ -1,0 +1,226 @@
+//! The zero-copy read store over a memory-mapped POLINV3 snapshot.
+//!
+//! Where [`crate::store::ShardedStore`] deserializes a whole snapshot
+//! into heap maps before the first query, `MappedStore` maps the file
+//! ([`crate::mmap::MappedFile`]), validates the columnar layout once
+//! ([`Layout::parse`] — CRCs, seal, sortedness; no sketch decoding),
+//! and then answers:
+//!
+//! * point lookups by binary search over the sorted fixed-stride key
+//!   column of the right grouping-set section, decoding exactly one
+//!   summary from the stats blob;
+//! * bbox scans by `partition_point` into the latitude-sorted cell
+//!   index, exactly like the heap inventory's band scan;
+//! * top-destination scans by a linear walk of one section.
+//!
+//! Cold start is the headline win: load-to-READY is the mmap + one
+//! validation pass instead of decoding every sketch of every entry.
+//! Every answer is bit-identical to the heap store's — both decode the
+//! same canonical stats bytes — which the loopback and migration tests
+//! pin.
+//!
+//! The store counts its work (`lookups`, `scan_entries`,
+//! `decode_errors`) and surfaces the counters through the STATS
+//! endpoint.
+
+use crate::mmap::MappedFile;
+use pol_ais::types::MarketSegment;
+use pol_core::codec::columnar::{
+    cell_key, cell_route_key, cell_type_key, GroupSpan, LatIndexReader, Layout, SectionReader,
+};
+use pol_core::codec::CodecError;
+use pol_core::features::CellStats;
+use pol_core::InventoryQuery;
+use pol_geo::{BBox, LatLon};
+use pol_hexgrid::{CellIndex, Resolution};
+use std::borrow::Cow;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counters describing the work a [`MappedStore`] has done.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MappedCounters {
+    /// Point lookups answered by binary search over the mapped file.
+    pub lookups: u64,
+    /// Section entries / lat-index rows touched by scans.
+    pub scan_entries: u64,
+    /// Per-entry stats decodes that failed after CRC validation — always
+    /// zero unless the encoder is buggy.
+    pub decode_errors: u64,
+}
+
+/// A read-only query store backed by a validated, memory-mapped
+/// POLINV3 snapshot.
+pub struct MappedStore {
+    file: MappedFile,
+    layout: Layout,
+    lookups: AtomicU64,
+    scan_entries: AtomicU64,
+    decode_errors: AtomicU64,
+}
+
+impl MappedStore {
+    /// Maps `path` and validates the POLINV3 layout — seal, every
+    /// section CRC, key sortedness — before any query can touch it.
+    /// The validation reads the mapped bytes themselves, so there is no
+    /// gap between what was checked and what is served.
+    pub fn open(path: &Path) -> Result<MappedStore, CodecError> {
+        let file = MappedFile::open(path)?;
+        let layout = Layout::parse(file.bytes())?;
+        Ok(MappedStore {
+            file,
+            layout,
+            lookups: AtomicU64::new(0),
+            scan_entries: AtomicU64::new(0),
+            decode_errors: AtomicU64::new(0),
+        })
+    }
+
+    /// Whether the bytes are served from a live memory map (false on
+    /// the heap fallback for platforms without mmap).
+    pub fn is_mapped(&self) -> bool {
+        self.file.is_mapped()
+    }
+
+    /// Total group-identifier entries across the grouping sections.
+    pub fn len(&self) -> usize {
+        self.layout.cell.count + self.layout.cell_type.count + self.layout.cell_route.count
+    }
+
+    /// Whether the snapshot holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Records summarised by the underlying inventory.
+    pub fn total_records(&self) -> u64 {
+        self.layout.total_records
+    }
+
+    /// The store's work counters (lookups, scan entries, decode errors).
+    pub fn counters(&self) -> MappedCounters {
+        MappedCounters {
+            lookups: self.lookups.load(Ordering::Relaxed),
+            scan_entries: self.scan_entries.load(Ordering::Relaxed),
+            decode_errors: self.decode_errors.load(Ordering::Relaxed),
+        }
+    }
+
+    fn reader(&self, span: &GroupSpan) -> Option<SectionReader<'_>> {
+        SectionReader::new(self.file.bytes(), span)
+    }
+
+    /// One binary-searched point lookup + on-demand stats decode.
+    fn lookup(&self, span: &GroupSpan, key: &[u8]) -> Option<CellStats> {
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        let reader = self.reader(span)?;
+        let i = reader.find(key)?;
+        let stats = reader.decode_stats(i);
+        if stats.is_none() {
+            // CRC-validated bytes that fail to decode mean an encoder
+            // bug, not corruption; count it, never panic.
+            self.decode_errors.fetch_add(1, Ordering::Relaxed);
+        }
+        stats
+    }
+
+    /// Occupied cells whose centre falls inside a bounding box, sorted
+    /// by raw cell index for a canonical reply (same order as
+    /// [`crate::store::ShardedStore::cells_in`]).
+    pub fn cells_in(&self, bbox: &BBox) -> Vec<CellIndex> {
+        let Some(lat) = LatIndexReader::new(self.file.bytes(), &self.layout) else {
+            return Vec::new();
+        };
+        let mut raws: Vec<u64> = Vec::new();
+        let mut i = lat.lower_bound_lat(bbox.min_lat);
+        let mut touched = 0u64;
+        while let Some((la, lo, raw)) = lat.row(i) {
+            if la > bbox.max_lat {
+                break;
+            }
+            touched += 1;
+            if let Some(center) = LatLon::new(la, lo) {
+                if bbox.contains(center) {
+                    raws.push(raw);
+                }
+            }
+            i += 1;
+        }
+        self.scan_entries.fetch_add(touched, Ordering::Relaxed);
+        raws.sort_unstable();
+        raws.into_iter()
+            .filter_map(|r| CellIndex::from_raw(r).ok())
+            .collect()
+    }
+
+    /// Occupied cells whose most frequent destination is `dest`,
+    /// optionally per segment — a linear walk of one section, replying
+    /// in raw cell order (the section's native order).
+    pub fn cells_with_top_destination(
+        &self,
+        dest: u16,
+        segment: Option<MarketSegment>,
+    ) -> Vec<CellIndex> {
+        let span = match segment {
+            None => &self.layout.cell,
+            Some(_) => &self.layout.cell_type,
+        };
+        let Some(reader) = self.reader(span) else {
+            return Vec::new();
+        };
+        let mut cells = Vec::new();
+        for i in 0..reader.len() {
+            self.scan_entries.fetch_add(1, Ordering::Relaxed);
+            let Some(key) = reader.group_key_at(i) else {
+                continue;
+            };
+            if let (Some(want), pol_core::features::GroupKey::CellType(_, seg)) = (segment, &key) {
+                if *seg != want {
+                    continue;
+                }
+            }
+            let Some(stats) = reader.decode_stats(i) else {
+                self.decode_errors.fetch_add(1, Ordering::Relaxed);
+                continue;
+            };
+            let top = stats.top_destinations(1);
+            if top.first().map(|(d, _)| *d) == Some(dest) {
+                cells.push(key.cell());
+            }
+        }
+        // Keys are sorted by (cell, segment), so cells already ascend;
+        // the sort is a no-op kept for the canonical-reply invariant.
+        cells.sort_unstable();
+        cells
+    }
+}
+
+impl InventoryQuery for MappedStore {
+    fn resolution(&self) -> Resolution {
+        self.layout.resolution
+    }
+
+    fn summary(&self, cell: CellIndex) -> Option<Cow<'_, CellStats>> {
+        self.lookup(&self.layout.cell, &cell_key(cell))
+            .map(Cow::Owned)
+    }
+
+    fn summary_for(&self, cell: CellIndex, segment: MarketSegment) -> Option<Cow<'_, CellStats>> {
+        self.lookup(&self.layout.cell_type, &cell_type_key(cell, segment))
+            .map(Cow::Owned)
+    }
+
+    fn summary_route(
+        &self,
+        cell: CellIndex,
+        origin: u16,
+        dest: u16,
+        segment: MarketSegment,
+    ) -> Option<Cow<'_, CellStats>> {
+        self.lookup(
+            &self.layout.cell_route,
+            &cell_route_key(cell, origin, dest, segment),
+        )
+        .map(Cow::Owned)
+    }
+}

@@ -47,11 +47,14 @@ pub enum Endpoint {
     Health,
     /// Readiness probe (accepting and serving traffic).
     Ready,
+    /// A protocol-v3 batch frame (children are *not* double-counted
+    /// under their own endpoints; the whole frame is one batch request).
+    Batch,
 }
 
 impl Endpoint {
     /// Every endpoint, in wire-id order.
-    pub const ALL: [Endpoint; 11] = [
+    pub const ALL: [Endpoint; 12] = [
         Endpoint::Ping,
         Endpoint::PointSummary,
         Endpoint::SegmentSummary,
@@ -63,6 +66,7 @@ impl Endpoint {
         Endpoint::Stats,
         Endpoint::Health,
         Endpoint::Ready,
+        Endpoint::Batch,
     ];
 
     /// Stable wire id.
@@ -79,6 +83,7 @@ impl Endpoint {
             Endpoint::Stats => 8,
             Endpoint::Health => 9,
             Endpoint::Ready => 10,
+            Endpoint::Batch => 11,
         }
     }
 
@@ -101,6 +106,7 @@ impl Endpoint {
             Endpoint::Stats => "stats",
             Endpoint::Health => "health",
             Endpoint::Ready => "ready",
+            Endpoint::Batch => "batch",
         }
     }
 }
@@ -128,6 +134,8 @@ pub struct EndpointStats {
     pub count: u64,
     /// Median latency, microseconds (histogram bin upper edge).
     pub p50_us: f64,
+    /// 95th-percentile latency, microseconds.
+    pub p95_us: f64,
     /// 99th-percentile latency, microseconds.
     pub p99_us: f64,
     /// Slowest observed request, microseconds (exact).
@@ -157,12 +165,79 @@ pub struct StatsReport {
     /// Rejected hot reloads (corrupt or unreadable file; the previous
     /// snapshot stayed live).
     pub reloads_failed: u64,
+    /// Sub-requests carried inside protocol-v3 `BATCH` frames (each
+    /// batch frame counts once under [`Endpoint::Batch`]; this counter
+    /// accounts its children).
+    pub batched_requests: u64,
+    /// Point lookups the mapped store answered by binary search over the
+    /// snapshot file (zero on the heap backend).
+    pub mapped_lookups: u64,
+    /// Section entries / lat-index rows the mapped store touched during
+    /// scans (zero on the heap backend).
+    pub mapped_scan_entries: u64,
+    /// The live store backend ("sharded-heap" or "mapped-columnar").
+    pub store: String,
     /// Per-endpoint counters, in [`Endpoint::ALL`] order, endpoints with
     /// zero traffic omitted.
     pub endpoints: Vec<EndpointStats>,
     /// Startup stage accounting rendered by
     /// [`pol_engine::metrics::JobMetrics::render`].
     pub stages: String,
+}
+
+impl StatsReport {
+    /// Renders the report as a human-readable table: the counter block,
+    /// then one latency row per endpoint, then the startup stages — the
+    /// `--stats` rendering used by `polinv serve` and `polload`.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "store={} generation={} requests={} batched={} connections={}",
+            self.store,
+            self.generation,
+            self.total_requests,
+            self.batched_requests,
+            self.connections
+        );
+        let _ = writeln!(
+            out,
+            "busy={} malformed={} cache_hit={} cache_miss={} reloads_ok={} reloads_failed={}",
+            self.busy_rejections,
+            self.malformed_frames,
+            self.cache_hits,
+            self.cache_misses,
+            self.reloads_ok,
+            self.reloads_failed
+        );
+        let _ = writeln!(
+            out,
+            "mapped_lookups={} mapped_scan_entries={}",
+            self.mapped_lookups, self.mapped_scan_entries
+        );
+        let _ = writeln!(
+            out,
+            "{:<22} {:>10} {:>9} {:>9} {:>9} {:>9}",
+            "endpoint", "count", "p50_us", "p95_us", "p99_us", "max_us"
+        );
+        for ep in &self.endpoints {
+            let _ = writeln!(
+                out,
+                "{:<22} {:>10} {:>9.1} {:>9.1} {:>9.1} {:>9.1}",
+                ep.endpoint.name(),
+                ep.count,
+                ep.p50_us,
+                ep.p95_us,
+                ep.p99_us,
+                ep.max_us
+            );
+        }
+        if !self.stages.is_empty() {
+            out.push_str(&self.stages);
+        }
+        out
+    }
 }
 
 struct EndpointSlot {
@@ -190,6 +265,7 @@ pub struct ServerMetrics {
     generation: AtomicU64,
     reloads_ok: AtomicU64,
     reloads_failed: AtomicU64,
+    batched_requests: AtomicU64,
     draining: AtomicBool,
     jobs: JobMetrics,
 }
@@ -213,6 +289,7 @@ impl ServerMetrics {
             generation: AtomicU64::new(1),
             reloads_ok: AtomicU64::new(0),
             reloads_failed: AtomicU64::new(0),
+            batched_requests: AtomicU64::new(0),
             draining: AtomicBool::new(false),
             jobs: JobMetrics::default(),
         }
@@ -257,6 +334,11 @@ impl ServerMetrics {
     /// Counts an aggregate-cache miss.
     pub fn incr_cache_miss(&self) {
         self.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Accounts `n` sub-requests carried by one `BATCH` frame.
+    pub fn add_batched(&self, n: u64) {
+        self.batched_requests.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Accounts a successful hot reload: the generation advances so
@@ -320,6 +402,7 @@ impl ServerMetrics {
                 endpoint: ep,
                 count,
                 p50_us: histogram_quantile_us(&lat.0, 0.50),
+                p95_us: histogram_quantile_us(&lat.0, 0.95),
                 p99_us: histogram_quantile_us(&lat.0, 0.99),
                 max_us: lat.1.max().unwrap_or(0.0),
             });
@@ -334,6 +417,12 @@ impl ServerMetrics {
             generation: self.generation(),
             reloads_ok: self.reloads_ok.load(Ordering::Relaxed),
             reloads_failed: self.reloads_failed.load(Ordering::Relaxed),
+            batched_requests: self.batched_requests.load(Ordering::Relaxed),
+            // The store identity and its counters live on the service,
+            // not here; `InventoryService` fills them in before replying.
+            mapped_lookups: 0,
+            mapped_scan_entries: 0,
+            store: String::new(),
             endpoints,
             stages: self.jobs.render(),
         }

@@ -24,8 +24,18 @@ use std::io::{self, Read, Write};
 
 /// Wire protocol version carried in every payload. Version 2 added the
 /// `HEALTH`/`READY` probes and the snapshot-generation counters in
-/// `STATS`.
-pub const PROTO_VERSION: u8 = 2;
+/// `STATS`; version 3 added request batching (`BATCH` frames) and the
+/// read-path counters (`store`, batched/mapped counters, per-endpoint
+/// p95) in `STATS`. Decoders accept
+/// [`MIN_PROTO_VERSION`]`..=`[`PROTO_VERSION`].
+pub const PROTO_VERSION: u8 = 3;
+
+/// Oldest protocol version the decoders still accept. Version-2 peers
+/// never send `BATCH`, so every v2 payload is also a valid v3 payload.
+pub const MIN_PROTO_VERSION: u8 = 2;
+
+/// Upper bound on sub-requests in one `BATCH` frame.
+pub const MAX_BATCH: usize = 256;
 
 /// Default per-frame size cap (requests *and* responses).
 pub const DEFAULT_MAX_FRAME_BYTES: usize = 1 << 20;
@@ -163,6 +173,9 @@ pub enum Request {
     Health,
     /// Readiness probe: is the server accepting and serving traffic.
     Ready,
+    /// Up to [`MAX_BATCH`] sub-requests answered in one
+    /// [`Response::Batch`] frame, in order. Batches do not nest.
+    Batch(Vec<Request>),
 }
 
 impl Request {
@@ -180,6 +193,7 @@ impl Request {
             Request::Stats => Endpoint::Stats,
             Request::Health => Endpoint::Health,
             Request::Ready => Endpoint::Ready,
+            Request::Batch(_) => Endpoint::Batch,
         }
     }
 
@@ -203,6 +217,8 @@ impl Request {
             | Request::Stats
             | Request::Health
             | Request::Ready => true,
+            // A batch is retryable exactly when every child is.
+            Request::Batch(children) => children.iter().all(Request::is_idempotent),
         }
     }
 }
@@ -233,6 +249,9 @@ pub enum Response {
     /// Reply to [`Request::Ready`]: `true` when serving, `false` while
     /// draining for shutdown.
     Ready(bool),
+    /// Reply to [`Request::Batch`]: one response per sub-request, in the
+    /// same order. Batches do not nest.
+    Batch(Vec<Response>),
 }
 
 // ---------------------------------------------------------------------
@@ -415,21 +434,29 @@ const REQ_PREDICT: u8 = 7;
 const REQ_STATS: u8 = 8;
 const REQ_HEALTH: u8 = 9;
 const REQ_READY: u8 = 10;
+const REQ_BATCH: u8 = 11;
 
 /// Serializes a request payload (version byte + tag + body).
 pub fn encode_request(req: &Request) -> Vec<u8> {
     let mut out = vec![PROTO_VERSION];
+    encode_request_body(req, &mut out);
+    out
+}
+
+/// Writes a request's tag + body (no version byte) — shared between the
+/// top-level payload codec and the per-child encoding inside a batch.
+fn encode_request_body(req: &Request, out: &mut Vec<u8>) {
     match req {
         Request::Ping => out.push(REQ_PING),
         Request::PointSummary { lat, lon } => {
             out.push(REQ_POINT);
-            put_f64(&mut out, *lat);
-            put_f64(&mut out, *lon);
+            put_f64(out, *lat);
+            put_f64(out, *lon);
         }
         Request::SegmentSummary { lat, lon, segment } => {
             out.push(REQ_SEGMENT);
-            put_f64(&mut out, *lat);
-            put_f64(&mut out, *lon);
+            put_f64(out, *lat);
+            put_f64(out, *lon);
             out.push(segment.id());
         }
         Request::RouteSummary {
@@ -440,10 +467,10 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             segment,
         } => {
             out.push(REQ_ROUTE);
-            put_f64(&mut out, *lat);
-            put_f64(&mut out, *lon);
-            put_u16(&mut out, *origin);
-            put_u16(&mut out, *dest);
+            put_f64(out, *lat);
+            put_f64(out, *lon);
+            put_u16(out, *origin);
+            put_u16(out, *dest);
             out.push(segment.id());
         }
         Request::BboxScan {
@@ -454,13 +481,13 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
         } => {
             out.push(REQ_BBOX);
             for v in [min_lat, min_lon, max_lat, max_lon] {
-                put_f64(&mut out, *v);
+                put_f64(out, *v);
             }
         }
         Request::TopDestinationCells { dest, segment } => {
             out.push(REQ_TOP_DEST);
-            put_u16(&mut out, *dest);
-            put_opt_segment(&mut out, *segment);
+            put_u16(out, *dest);
+            put_opt_segment(out, *segment);
         }
         Request::Eta {
             lat,
@@ -469,15 +496,15 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             route,
         } => {
             out.push(REQ_ETA);
-            put_f64(&mut out, *lat);
-            put_f64(&mut out, *lon);
-            put_opt_segment(&mut out, *segment);
+            put_f64(out, *lat);
+            put_f64(out, *lon);
+            put_opt_segment(out, *segment);
             match route {
                 None => out.push(0),
                 Some((o, d)) => {
                     out.push(1);
-                    put_u16(&mut out, *o);
-                    put_u16(&mut out, *d);
+                    put_u16(out, *o);
+                    put_u16(out, *d);
                 }
             }
         }
@@ -487,19 +514,28 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             track,
         } => {
             out.push(REQ_PREDICT);
-            put_opt_segment(&mut out, *segment);
+            put_opt_segment(out, *segment);
             out.push(*top_n);
-            put_varint(&mut out, track.len() as u64);
+            put_varint(out, track.len() as u64);
             for (lat, lon) in track {
-                put_f64(&mut out, *lat);
-                put_f64(&mut out, *lon);
+                put_f64(out, *lat);
+                put_f64(out, *lon);
             }
         }
         Request::Stats => out.push(REQ_STATS),
         Request::Health => out.push(REQ_HEALTH),
         Request::Ready => out.push(REQ_READY),
+        Request::Batch(children) => {
+            out.push(REQ_BATCH);
+            put_varint(out, children.len() as u64);
+            for child in children {
+                let mut body = Vec::new();
+                encode_request_body(child, &mut body);
+                put_varint(out, body.len() as u64);
+                out.extend_from_slice(&body);
+            }
+        }
     }
-    out
 }
 
 /// Deserializes a request payload. Rejects unknown versions/tags, counts
@@ -507,45 +543,55 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
 pub fn decode_request(payload: &[u8]) -> Result<Request, ProtoError> {
     let mut input = payload;
     let version = get_byte(&mut input)?;
-    if version != PROTO_VERSION {
+    if !(MIN_PROTO_VERSION..=PROTO_VERSION).contains(&version) {
         return Err(ProtoError::BadVersion(version));
     }
-    let tag = get_byte(&mut input)?;
+    let req = decode_request_body(&mut input, true)?;
+    if !input.is_empty() {
+        return Err(ProtoError::Wire(WireError("trailing bytes")));
+    }
+    Ok(req)
+}
+
+/// Reads a request's tag + body (no version byte). `allow_batch` is
+/// false inside a batch child, so batches cannot nest.
+fn decode_request_body(input: &mut &[u8], allow_batch: bool) -> Result<Request, ProtoError> {
+    let tag = get_byte(input)?;
     let req = match tag {
         REQ_PING => Request::Ping,
         REQ_POINT => Request::PointSummary {
-            lat: get_f64(&mut input)?,
-            lon: get_f64(&mut input)?,
+            lat: get_f64(input)?,
+            lon: get_f64(input)?,
         },
         REQ_SEGMENT => Request::SegmentSummary {
-            lat: get_f64(&mut input)?,
-            lon: get_f64(&mut input)?,
-            segment: get_segment(&mut input)?,
+            lat: get_f64(input)?,
+            lon: get_f64(input)?,
+            segment: get_segment(input)?,
         },
         REQ_ROUTE => Request::RouteSummary {
-            lat: get_f64(&mut input)?,
-            lon: get_f64(&mut input)?,
-            origin: get_u16(&mut input)?,
-            dest: get_u16(&mut input)?,
-            segment: get_segment(&mut input)?,
+            lat: get_f64(input)?,
+            lon: get_f64(input)?,
+            origin: get_u16(input)?,
+            dest: get_u16(input)?,
+            segment: get_segment(input)?,
         },
         REQ_BBOX => Request::BboxScan {
-            min_lat: get_f64(&mut input)?,
-            min_lon: get_f64(&mut input)?,
-            max_lat: get_f64(&mut input)?,
-            max_lon: get_f64(&mut input)?,
+            min_lat: get_f64(input)?,
+            min_lon: get_f64(input)?,
+            max_lat: get_f64(input)?,
+            max_lon: get_f64(input)?,
         },
         REQ_TOP_DEST => Request::TopDestinationCells {
-            dest: get_u16(&mut input)?,
-            segment: get_opt_segment(&mut input)?,
+            dest: get_u16(input)?,
+            segment: get_opt_segment(input)?,
         },
         REQ_ETA => {
-            let lat = get_f64(&mut input)?;
-            let lon = get_f64(&mut input)?;
-            let segment = get_opt_segment(&mut input)?;
-            let route = match get_byte(&mut input)? {
+            let lat = get_f64(input)?;
+            let lon = get_f64(input)?;
+            let segment = get_opt_segment(input)?;
+            let route = match get_byte(input)? {
                 0 => None,
-                1 => Some((get_u16(&mut input)?, get_u16(&mut input)?)),
+                1 => Some((get_u16(input)?, get_u16(input)?)),
                 _ => return Err(ProtoError::Wire(WireError("bad option tag"))),
             };
             Request::Eta {
@@ -556,9 +602,9 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, ProtoError> {
             }
         }
         REQ_PREDICT => {
-            let segment = get_opt_segment(&mut input)?;
-            let top_n = get_byte(&mut input)?;
-            let len = get_varint(&mut input)? as usize;
+            let segment = get_opt_segment(input)?;
+            let top_n = get_byte(input)?;
+            let len = get_varint(input)? as usize;
             // Each track point is exactly 16 bytes; a count that cannot
             // fit the remaining payload is rejected before allocating.
             if len > MAX_TRACK_POINTS || len * 16 > input.len() {
@@ -566,7 +612,7 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, ProtoError> {
             }
             let mut track = Vec::with_capacity(len);
             for _ in 0..len {
-                track.push((get_f64(&mut input)?, get_f64(&mut input)?));
+                track.push((get_f64(input)?, get_f64(input)?));
             }
             Request::PredictDestination {
                 segment,
@@ -577,12 +623,41 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, ProtoError> {
         REQ_STATS => Request::Stats,
         REQ_HEALTH => Request::Health,
         REQ_READY => Request::Ready,
+        REQ_BATCH if allow_batch => Request::Batch(decode_batch(input, decode_request_body)?),
         other => return Err(ProtoError::BadTag(other)),
     };
-    if !input.is_empty() {
-        return Err(ProtoError::Wire(WireError("trailing bytes")));
-    }
     Ok(req)
+}
+
+/// Reads a batch body: a child count, then per-child length-prefixed
+/// tag+body blobs decoded with `decode_child` (batching disallowed, so
+/// batches cannot nest). The count is validated against the bytes that
+/// actually remain — every child costs at least two bytes (length prefix
+/// + tag) — before any allocation.
+fn decode_batch<T>(
+    input: &mut &[u8],
+    decode_child: fn(&mut &[u8], bool) -> Result<T, ProtoError>,
+) -> Result<Vec<T>, ProtoError> {
+    let len = get_varint(input)? as usize;
+    if len > MAX_BATCH || len * 2 > input.len() {
+        return Err(ProtoError::Wire(WireError("batch exceeds buffer")));
+    }
+    let mut children = Vec::with_capacity(len);
+    for _ in 0..len {
+        let child_len = get_varint(input)? as usize;
+        if child_len > input.len() {
+            return Err(ProtoError::Wire(WireError("batch child exceeds buffer")));
+        }
+        let (child_bytes, rest) = input.split_at(child_len);
+        *input = rest;
+        let mut child_input = child_bytes;
+        let child = decode_child(&mut child_input, false)?;
+        if !child_input.is_empty() {
+            return Err(ProtoError::Wire(WireError("trailing bytes in batch child")));
+        }
+        children.push(child);
+    }
+    Ok(children)
 }
 
 // ---------------------------------------------------------------------
@@ -599,10 +674,18 @@ const RESP_BUSY: u8 = 6;
 const RESP_ERROR: u8 = 7;
 const RESP_HEALTH: u8 = 8;
 const RESP_READY: u8 = 9;
+const RESP_BATCH: u8 = 10;
 
 /// Serializes a response payload (version byte + tag + body).
 pub fn encode_response(resp: &Response) -> Vec<u8> {
     let mut out = vec![PROTO_VERSION];
+    encode_response_body(resp, &mut out);
+    out
+}
+
+/// Writes a response's tag + body (no version byte) — shared between the
+/// top-level payload codec and the per-child encoding inside a batch.
+fn encode_response_body(resp: &Response, out: &mut Vec<u8>) {
     match resp {
         Response::Pong => out.push(RESP_PONG),
         Response::Summary(stats) => {
@@ -611,15 +694,15 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
                 None => out.push(0),
                 Some(s) => {
                     out.push(1);
-                    encode_cell_stats(s, &mut out);
+                    encode_cell_stats(s, out);
                 }
             }
         }
         Response::Cells(cells) => {
             out.push(RESP_CELLS);
-            put_varint(&mut out, cells.len() as u64);
+            put_varint(out, cells.len() as u64);
             for c in cells {
-                put_varint(&mut out, *c);
+                put_varint(out, *c);
             }
         }
         Response::Eta(est) => {
@@ -628,44 +711,53 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
                 None => out.push(0),
                 Some(e) => {
                     out.push(1);
-                    put_f64(&mut out, e.mean_secs);
-                    put_f64(&mut out, e.p10_secs);
-                    put_f64(&mut out, e.p50_secs);
-                    put_f64(&mut out, e.p90_secs);
-                    put_varint(&mut out, e.samples);
-                    put_varint(&mut out, e.widened as u64);
+                    put_f64(out, e.mean_secs);
+                    put_f64(out, e.p10_secs);
+                    put_f64(out, e.p50_secs);
+                    put_f64(out, e.p90_secs);
+                    put_varint(out, e.samples);
+                    put_varint(out, e.widened as u64);
                 }
             }
         }
         Response::Destinations(ranked) => {
             out.push(RESP_DESTINATIONS);
-            put_varint(&mut out, ranked.len() as u64);
+            put_varint(out, ranked.len() as u64);
             for (port, score) in ranked {
-                put_u16(&mut out, *port);
-                put_f64(&mut out, *score);
+                put_u16(out, *port);
+                put_f64(out, *score);
             }
         }
         Response::Stats(report) => {
             out.push(RESP_STATS);
-            encode_stats_report(report, &mut out);
+            encode_stats_report(report, out);
         }
         Response::Busy => out.push(RESP_BUSY),
         Response::Error(msg) => {
             out.push(RESP_ERROR);
-            put_string(&mut out, msg);
+            put_string(out, msg);
         }
         Response::Health(h) => {
             out.push(RESP_HEALTH);
             out.push(h.healthy as u8);
-            put_varint(&mut out, h.generation);
+            put_varint(out, h.generation);
             out.push(h.draining as u8);
         }
         Response::Ready(ready) => {
             out.push(RESP_READY);
             out.push(*ready as u8);
         }
+        Response::Batch(children) => {
+            out.push(RESP_BATCH);
+            put_varint(out, children.len() as u64);
+            for child in children {
+                let mut body = Vec::new();
+                encode_response_body(child, &mut body);
+                put_varint(out, body.len() as u64);
+                out.extend_from_slice(&body);
+            }
+        }
     }
-    out
 }
 
 /// Deserializes a response payload with the same hostile-input guards as
@@ -673,38 +765,48 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
 pub fn decode_response(payload: &[u8]) -> Result<Response, ProtoError> {
     let mut input = payload;
     let version = get_byte(&mut input)?;
-    if version != PROTO_VERSION {
+    if !(MIN_PROTO_VERSION..=PROTO_VERSION).contains(&version) {
         return Err(ProtoError::BadVersion(version));
     }
-    let tag = get_byte(&mut input)?;
+    let resp = decode_response_body(&mut input, true)?;
+    if !input.is_empty() {
+        return Err(ProtoError::Wire(WireError("trailing bytes")));
+    }
+    Ok(resp)
+}
+
+/// Reads a response's tag + body (no version byte). `allow_batch` is
+/// false inside a batch child, so batches cannot nest.
+fn decode_response_body(input: &mut &[u8], allow_batch: bool) -> Result<Response, ProtoError> {
+    let tag = get_byte(input)?;
     let resp = match tag {
         RESP_PONG => Response::Pong,
-        RESP_SUMMARY => match get_byte(&mut input)? {
+        RESP_SUMMARY => match get_byte(input)? {
             0 => Response::Summary(None),
-            1 => Response::Summary(Some(decode_cell_stats(&mut input)?)),
+            1 => Response::Summary(Some(decode_cell_stats(input)?)),
             _ => return Err(ProtoError::Wire(WireError("bad option tag"))),
         },
         RESP_CELLS => {
-            let len = get_varint(&mut input)? as usize;
+            let len = get_varint(input)? as usize;
             // Each cell index is at least one varint byte.
             if len > input.len() {
                 return Err(ProtoError::Wire(WireError("cell count exceeds buffer")));
             }
             let mut cells = Vec::with_capacity(len);
             for _ in 0..len {
-                cells.push(get_varint(&mut input)?);
+                cells.push(get_varint(input)?);
             }
             Response::Cells(cells)
         }
-        RESP_ETA => match get_byte(&mut input)? {
+        RESP_ETA => match get_byte(input)? {
             0 => Response::Eta(None),
             1 => {
-                let mean_secs = get_f64(&mut input)?;
-                let p10_secs = get_f64(&mut input)?;
-                let p50_secs = get_f64(&mut input)?;
-                let p90_secs = get_f64(&mut input)?;
-                let samples = get_varint(&mut input)?;
-                let widened = u32::try_from(get_varint(&mut input)?)
+                let mean_secs = get_f64(input)?;
+                let p10_secs = get_f64(input)?;
+                let p50_secs = get_f64(input)?;
+                let p90_secs = get_f64(input)?;
+                let samples = get_varint(input)?;
+                let widened = u32::try_from(get_varint(input)?)
                     .map_err(|_| WireError("widened out of range"))?;
                 Response::Eta(Some(EtaEstimate {
                     mean_secs,
@@ -718,38 +820,36 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, ProtoError> {
             _ => return Err(ProtoError::Wire(WireError("bad option tag"))),
         },
         RESP_DESTINATIONS => {
-            let len = get_varint(&mut input)? as usize;
+            let len = get_varint(input)? as usize;
             // Each ranked entry is at least 9 bytes (varint port + f64).
             if len > input.len() / 9 {
                 return Err(ProtoError::Wire(WireError("ranking exceeds buffer")));
             }
             let mut ranked = Vec::with_capacity(len);
             for _ in 0..len {
-                let port = get_u16(&mut input)?;
-                let score = get_f64(&mut input)?;
+                let port = get_u16(input)?;
+                let score = get_f64(input)?;
                 ranked.push((port, score));
             }
             Response::Destinations(ranked)
         }
-        RESP_STATS => Response::Stats(decode_stats_report(&mut input)?),
+        RESP_STATS => Response::Stats(decode_stats_report(input)?),
         RESP_BUSY => Response::Busy,
-        RESP_ERROR => Response::Error(get_string(&mut input, MAX_ERROR_BYTES)?),
+        RESP_ERROR => Response::Error(get_string(input, MAX_ERROR_BYTES)?),
         RESP_HEALTH => {
-            let healthy = get_bool(&mut input)?;
-            let generation = get_varint(&mut input)?;
-            let draining = get_bool(&mut input)?;
+            let healthy = get_bool(input)?;
+            let generation = get_varint(input)?;
+            let draining = get_bool(input)?;
             Response::Health(HealthReport {
                 healthy,
                 generation,
                 draining,
             })
         }
-        RESP_READY => Response::Ready(get_bool(&mut input)?),
+        RESP_READY => Response::Ready(get_bool(input)?),
+        RESP_BATCH if allow_batch => Response::Batch(decode_batch(input, decode_response_body)?),
         other => return Err(ProtoError::BadTag(other)),
     };
-    if !input.is_empty() {
-        return Err(ProtoError::Wire(WireError("trailing bytes")));
-    }
     Ok(resp)
 }
 
@@ -763,11 +863,16 @@ fn encode_stats_report(report: &StatsReport, out: &mut Vec<u8>) {
     put_varint(out, report.generation);
     put_varint(out, report.reloads_ok);
     put_varint(out, report.reloads_failed);
+    put_varint(out, report.batched_requests);
+    put_varint(out, report.mapped_lookups);
+    put_varint(out, report.mapped_scan_entries);
+    put_string(out, &report.store);
     put_varint(out, report.endpoints.len() as u64);
     for ep in &report.endpoints {
         out.push(ep.endpoint.id());
         put_varint(out, ep.count);
         put_f64(out, ep.p50_us);
+        put_f64(out, ep.p95_us);
         put_f64(out, ep.p99_us);
         put_f64(out, ep.max_us);
     }
@@ -786,9 +891,13 @@ fn decode_stats_report(input: &mut &[u8]) -> Result<StatsReport, ProtoError> {
     let generation = get_varint(input)?;
     let reloads_ok = get_varint(input)?;
     let reloads_failed = get_varint(input)?;
+    let batched_requests = get_varint(input)?;
+    let mapped_lookups = get_varint(input)?;
+    let mapped_scan_entries = get_varint(input)?;
+    let store = get_string(input, MAX_ERROR_BYTES)?;
     let len = get_varint(input)? as usize;
-    // Each endpoint entry is at least 26 bytes (id + count + three f64s).
-    if len > input.len() / 26 {
+    // Each endpoint entry is at least 34 bytes (id + count + four f64s).
+    if len > input.len() / 34 {
         return Err(ProtoError::Wire(WireError("endpoint count exceeds buffer")));
     }
     let mut endpoints = Vec::with_capacity(len);
@@ -797,12 +906,14 @@ fn decode_stats_report(input: &mut &[u8]) -> Result<StatsReport, ProtoError> {
             Endpoint::from_id(get_byte(input)?).ok_or(WireError("unknown endpoint id"))?;
         let count = get_varint(input)?;
         let p50_us = get_f64(input)?;
+        let p95_us = get_f64(input)?;
         let p99_us = get_f64(input)?;
         let max_us = get_f64(input)?;
         endpoints.push(EndpointStats {
             endpoint,
             count,
             p50_us,
+            p95_us,
             p99_us,
             max_us,
         });
@@ -825,6 +936,10 @@ fn decode_stats_report(input: &mut &[u8]) -> Result<StatsReport, ProtoError> {
         generation,
         reloads_ok,
         reloads_failed,
+        batched_requests,
+        mapped_lookups,
+        mapped_scan_entries,
+        store,
         endpoints,
         stages,
     })
@@ -926,11 +1041,84 @@ mod tests {
             Request::Stats,
             Request::Health,
             Request::Ready,
+            Request::Batch(vec![]),
+            Request::Batch(vec![
+                Request::Ping,
+                Request::RouteSummary {
+                    lat: 1.0,
+                    lon: 103.0,
+                    origin: 4,
+                    dest: 77,
+                    segment: MarketSegment::Container,
+                },
+                Request::Eta {
+                    lat: 30.0,
+                    lon: -40.0,
+                    segment: None,
+                    route: None,
+                },
+            ]),
         ];
         for req in reqs {
             let bytes = encode_request(&req);
             assert_eq!(decode_request(&bytes).unwrap(), req, "{req:?}");
         }
+    }
+
+    #[test]
+    fn older_protocol_version_still_decodes() {
+        let mut bytes = encode_request(&Request::PointSummary {
+            lat: 51.5,
+            lon: -0.1,
+        });
+        bytes[0] = MIN_PROTO_VERSION;
+        assert!(decode_request(&bytes).is_ok());
+    }
+
+    #[test]
+    fn nested_batches_rejected() {
+        let nested = Request::Batch(vec![Request::Batch(vec![Request::Ping])]);
+        let bytes = encode_request(&nested);
+        assert!(matches!(
+            decode_request(&bytes),
+            Err(ProtoError::BadTag(REQ_BATCH))
+        ));
+        let nested = Response::Batch(vec![Response::Batch(vec![Response::Pong])]);
+        let bytes = encode_response(&nested);
+        assert!(matches!(
+            decode_response(&bytes),
+            Err(ProtoError::BadTag(RESP_BATCH))
+        ));
+    }
+
+    #[test]
+    fn hostile_batch_counts_rejected() {
+        // Declared child count far beyond the remaining bytes.
+        let mut bytes = vec![PROTO_VERSION, REQ_BATCH];
+        put_varint(&mut bytes, 1 << 30);
+        assert!(decode_request(&bytes).is_err());
+        // Count over the batch cap, even with bytes to match.
+        let mut bytes = vec![PROTO_VERSION, REQ_BATCH];
+        put_varint(&mut bytes, (MAX_BATCH + 1) as u64);
+        bytes.extend(
+            std::iter::repeat([1u8, REQ_PING])
+                .take(MAX_BATCH + 1)
+                .flatten(),
+        );
+        assert!(decode_request(&bytes).is_err());
+        // Child length prefix overrunning the payload.
+        let mut bytes = vec![PROTO_VERSION, REQ_BATCH];
+        put_varint(&mut bytes, 1);
+        put_varint(&mut bytes, 1000);
+        bytes.push(REQ_PING);
+        assert!(decode_request(&bytes).is_err());
+        // Trailing garbage inside a child blob.
+        let mut bytes = vec![PROTO_VERSION, REQ_BATCH];
+        put_varint(&mut bytes, 1);
+        put_varint(&mut bytes, 2);
+        bytes.push(REQ_PING);
+        bytes.push(0xEE);
+        assert!(decode_request(&bytes).is_err());
     }
 
     #[test]
@@ -983,6 +1171,13 @@ mod tests {
             }),
             Response::Ready(true),
             Response::Ready(false),
+            Response::Batch(vec![]),
+            Response::Batch(vec![
+                Response::Pong,
+                Response::Summary(None),
+                Response::Cells(vec![3, 9]),
+                Response::Error("bad child".into()),
+            ]),
         ] {
             let bytes = encode_response(&resp);
             let back = decode_response(&bytes).unwrap();

@@ -14,22 +14,26 @@
 //! read-timeout interval doubles as the shutdown poll granularity) and
 //! drain; dropping the pool joins them.
 
+use crate::mapped::MappedStore;
 use crate::metrics::ServerMetrics;
 use crate::proto::{
     decode_request, encode_response, write_frame, FrameAccumulator, ProtoError, Request, Response,
     DEFAULT_MAX_FRAME_BYTES,
 };
-use crate::store::{CacheKey, QueryCache, ShardedStore};
+use crate::store::{CacheKey, QueryCache, ShardedStore, StoreBackend};
 use parking_lot::{Mutex, RwLock};
 use pol_apps::destination::DestinationPredictor;
 use pol_apps::eta::EtaEstimator;
+use pol_core::codec::{CodecError, SnapshotFormat};
 use pol_core::{Inventory, InventoryQuery};
 use pol_engine::metrics::StageReport;
 use pol_engine::ThreadPool;
 use pol_geo::{BBox, LatLon};
 use pol_hexgrid::cell_at;
+use std::borrow::Cow;
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
@@ -75,11 +79,12 @@ impl Default for ServerConfig {
     }
 }
 
-/// The query-execution core: a sharded store, the aggregate cache, and
-/// the metrics sink. Shared by every connection worker; also usable
-/// directly (without sockets) for in-process querying and tests.
+/// The query-execution core: a store backend (sharded heap or mapped
+/// columnar), the aggregate cache, and the metrics sink. Shared by every
+/// connection worker; also usable directly (without sockets) for
+/// in-process querying and tests.
 pub struct InventoryService {
-    store: ShardedStore,
+    store: StoreBackend,
     cache: Mutex<QueryCache>,
     metrics: Arc<ServerMetrics>,
 }
@@ -99,14 +104,56 @@ impl InventoryService {
             wall: started.elapsed(),
         });
         InventoryService {
-            store,
+            store: StoreBackend::Sharded(store),
             cache: Mutex::new(QueryCache::new(config.cache_capacity)),
             metrics,
         }
     }
 
-    /// The underlying sharded store.
-    pub fn store(&self) -> &ShardedStore {
+    /// Opens a snapshot file behind the right backend, sniffing its
+    /// format: a POLINV3 file is memory-mapped zero-copy (validated, not
+    /// deserialized — the cold-start win), anything else goes through
+    /// the full POLINV2 decode into the sharded heap store. Either path
+    /// records its startup cost as a `StageReport`.
+    pub fn open_snapshot(
+        path: &Path,
+        config: &ServerConfig,
+        metrics: Arc<ServerMetrics>,
+    ) -> Result<Self, CodecError> {
+        match pol_core::codec::sniff_file(path)? {
+            Some(SnapshotFormat::V3) => {
+                let started = Instant::now();
+                let store = MappedStore::open(path)?;
+                metrics.record_stage(StageReport {
+                    name: "mmap-open".into(),
+                    input_records: store.total_records(),
+                    output_records: store.len() as u64,
+                    shuffled_records: 0,
+                    wall: started.elapsed(),
+                });
+                Ok(InventoryService {
+                    store: StoreBackend::Mapped(store),
+                    cache: Mutex::new(QueryCache::new(config.cache_capacity)),
+                    metrics,
+                })
+            }
+            _ => {
+                let started = Instant::now();
+                let inventory = pol_core::codec::load(path)?;
+                metrics.record_stage(StageReport {
+                    name: "snapshot-load".into(),
+                    input_records: inventory.total_records(),
+                    output_records: inventory.len() as u64,
+                    shuffled_records: 0,
+                    wall: started.elapsed(),
+                });
+                Ok(InventoryService::new(inventory, config, metrics))
+            }
+        }
+    }
+
+    /// The underlying store backend.
+    pub fn store(&self) -> &StoreBackend {
         &self.store
     }
 
@@ -119,14 +166,14 @@ impl InventoryService {
             Request::PointSummary { lat, lon } => match LatLon::new(*lat, *lon) {
                 Some(pos) => {
                     let cell = cell_at(pos, self.store.resolution());
-                    Response::Summary(self.store.summary(cell).cloned())
+                    Response::Summary(self.store.summary(cell).map(Cow::into_owned))
                 }
                 None => Response::Error("coordinates out of range".into()),
             },
             Request::SegmentSummary { lat, lon, segment } => match LatLon::new(*lat, *lon) {
                 Some(pos) => {
                     let cell = cell_at(pos, self.store.resolution());
-                    Response::Summary(self.store.summary_for(cell, *segment).cloned())
+                    Response::Summary(self.store.summary_for(cell, *segment).map(Cow::into_owned))
                 }
                 None => Response::Error("coordinates out of range".into()),
             },
@@ -142,7 +189,7 @@ impl InventoryService {
                     Response::Summary(
                         self.store
                             .summary_route(cell, *origin, *dest, *segment)
-                            .cloned(),
+                            .map(Cow::into_owned),
                     )
                 }
                 None => Response::Error("coordinates out of range".into()),
@@ -206,9 +253,27 @@ impl InventoryService {
                 }
                 Response::Destinations(predictor.top(*top_n as usize))
             }
-            Request::Stats => Response::Stats(self.metrics.snapshot()),
+            Request::Stats => {
+                // The metrics snapshot knows nothing about the store;
+                // fill in the backend identity and its read counters.
+                let mut report = self.metrics.snapshot();
+                report.store = self.store.name().to_string();
+                if let Some(c) = self.store.mapped_counters() {
+                    report.mapped_lookups = c.lookups;
+                    report.mapped_scan_entries = c.scan_entries;
+                }
+                Response::Stats(report)
+            }
             Request::Health => Response::Health(self.metrics.health()),
             Request::Ready => Response::Ready(!self.metrics.is_draining()),
+            Request::Batch(children) => {
+                // One BATCH frame = one Endpoint::Batch latency sample
+                // (recorded by the caller); the children are accounted in
+                // the batched_requests counter, not double-counted under
+                // their own endpoints.
+                self.metrics.add_batched(children.len() as u64);
+                Response::Batch(children.iter().map(|child| self.execute(child)).collect())
+            }
         }
     }
 
@@ -246,11 +311,32 @@ impl Server {
         config: ServerConfig,
     ) -> io::Result<Server> {
         let metrics = Arc::new(ServerMetrics::new());
-        let service = Arc::new(RwLock::new(Arc::new(InventoryService::new(
-            inventory,
-            &config,
-            Arc::clone(&metrics),
-        ))));
+        let service = InventoryService::new(inventory, &config, Arc::clone(&metrics));
+        Server::start_with_service(service, metrics, addr, config)
+    }
+
+    /// Starts serving straight off a snapshot file, sniffing its format:
+    /// POLINV3 is memory-mapped zero-copy (validate, don't deserialize),
+    /// POLINV2 is fully decoded into the sharded heap store. This is the
+    /// fast cold-start path `polinv serve` uses.
+    pub fn start_snapshot<A: ToSocketAddrs>(
+        path: &Path,
+        addr: A,
+        config: ServerConfig,
+    ) -> io::Result<Server> {
+        let metrics = Arc::new(ServerMetrics::new());
+        let service = InventoryService::open_snapshot(path, &config, Arc::clone(&metrics))
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        Server::start_with_service(service, metrics, addr, config)
+    }
+
+    fn start_with_service<A: ToSocketAddrs>(
+        service: InventoryService,
+        metrics: Arc<ServerMetrics>,
+        addr: A,
+        config: ServerConfig,
+    ) -> io::Result<Server> {
+        let service = Arc::new(RwLock::new(Arc::new(service)));
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
@@ -304,15 +390,18 @@ impl Server {
         self.metrics.reload_succeeded();
     }
 
-    /// Hot-reloads the snapshot from an inventory file. A corrupt,
-    /// truncated, or unreadable file is rejected by the codec's
+    /// Hot-reloads the snapshot from an inventory file, sniffing its
+    /// format like [`Server::start_snapshot`] (a POLINV3 file swaps in a
+    /// fresh mapped store; POLINV2 decodes into the heap store). A
+    /// corrupt, truncated, or unreadable file is rejected by the codec's
     /// checksums *before* anything is swapped: the error is returned,
     /// `reloads_failed` advances, and the previous snapshot keeps
     /// serving untouched.
-    pub fn reload_from(&self, path: &std::path::Path) -> Result<(), pol_core::codec::CodecError> {
-        match pol_core::codec::load(path) {
-            Ok(inventory) => {
-                self.reload(inventory);
+    pub fn reload_from(&self, path: &Path) -> Result<(), CodecError> {
+        match InventoryService::open_snapshot(path, &self.config, Arc::clone(&self.metrics)) {
+            Ok(service) => {
+                *self.service.write() = Arc::new(service);
+                self.metrics.reload_succeeded();
                 Ok(())
             }
             Err(e) => {

@@ -9,12 +9,14 @@
 //! unsharded inventory would, which the loopback integration test
 //! asserts endpoint by endpoint.
 
+use crate::mapped::{MappedCounters, MappedStore};
 use pol_ais::types::MarketSegment;
 use pol_core::features::{CellStats, GroupKey};
 use pol_core::{Inventory, InventoryQuery};
 use pol_geo::BBox;
 use pol_hexgrid::{CellIndex, Resolution};
 use pol_sketch::hash::{mix64, FxHashMap};
+use std::borrow::Cow;
 use std::sync::Arc;
 
 /// A read-only inventory split into cell-hash shards.
@@ -112,12 +114,14 @@ impl InventoryQuery for ShardedStore {
         self.resolution
     }
 
-    fn summary(&self, cell: CellIndex) -> Option<&CellStats> {
-        self.shard_for(cell).summary(cell)
+    fn summary(&self, cell: CellIndex) -> Option<Cow<'_, CellStats>> {
+        self.shard_for(cell).summary(cell).map(Cow::Borrowed)
     }
 
-    fn summary_for(&self, cell: CellIndex, segment: MarketSegment) -> Option<&CellStats> {
-        self.shard_for(cell).summary_for(cell, segment)
+    fn summary_for(&self, cell: CellIndex, segment: MarketSegment) -> Option<Cow<'_, CellStats>> {
+        self.shard_for(cell)
+            .summary_for(cell, segment)
+            .map(Cow::Borrowed)
     }
 
     fn summary_route(
@@ -126,14 +130,130 @@ impl InventoryQuery for ShardedStore {
         origin: u16,
         dest: u16,
         segment: MarketSegment,
-    ) -> Option<&CellStats> {
+    ) -> Option<Cow<'_, CellStats>> {
         self.shard_for(cell)
             .summary_route(cell, origin, dest, segment)
+            .map(Cow::Borrowed)
     }
 }
 
 fn shard_of(cell: CellIndex, n: usize) -> usize {
     (mix64(cell.raw()) % n.max(1) as u64) as usize
+}
+
+// ---------------------------------------------------------------------
+// Backend dispatch
+// ---------------------------------------------------------------------
+
+/// The two read-store implementations a server can serve from: the heap
+/// [`ShardedStore`] (any snapshot, built by full deserialize) and the
+/// zero-copy [`MappedStore`] (POLINV3 snapshots, opened by mmap +
+/// validation). An enum rather than a trait object because the scan
+/// queries and counters are not part of [`InventoryQuery`], and the
+/// dispatch cost of two arms is nil next to a query.
+pub enum StoreBackend {
+    /// Heap-resident hash shards (POLINV2 fallback / in-process builds).
+    Sharded(ShardedStore),
+    /// Memory-mapped columnar snapshot (POLINV3).
+    Mapped(MappedStore),
+}
+
+impl StoreBackend {
+    /// A short name for metrics and logs.
+    pub fn name(&self) -> &'static str {
+        match self {
+            StoreBackend::Sharded(_) => "sharded-heap",
+            StoreBackend::Mapped(_) => "mapped-columnar",
+        }
+    }
+
+    /// Total group-identifier entries.
+    pub fn len(&self) -> usize {
+        match self {
+            StoreBackend::Sharded(s) => s.len(),
+            StoreBackend::Mapped(m) => m.len(),
+        }
+    }
+
+    /// Whether the store holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Records summarised by the underlying inventory.
+    pub fn total_records(&self) -> u64 {
+        match self {
+            StoreBackend::Sharded(s) => s.total_records(),
+            StoreBackend::Mapped(m) => m.total_records(),
+        }
+    }
+
+    /// Occupied cells whose centre falls inside a bounding box, sorted
+    /// by raw cell index — both backends reply in the same canonical
+    /// order.
+    pub fn cells_in(&self, bbox: &BBox) -> Vec<CellIndex> {
+        match self {
+            StoreBackend::Sharded(s) => s.cells_in(bbox),
+            StoreBackend::Mapped(m) => m.cells_in(bbox),
+        }
+    }
+
+    /// Occupied cells whose most frequent destination is `dest`, sorted
+    /// by raw cell index.
+    pub fn cells_with_top_destination(
+        &self,
+        dest: u16,
+        segment: Option<MarketSegment>,
+    ) -> Vec<CellIndex> {
+        match self {
+            StoreBackend::Sharded(s) => s.cells_with_top_destination(dest, segment),
+            StoreBackend::Mapped(m) => m.cells_with_top_destination(dest, segment),
+        }
+    }
+
+    /// The mapped store's work counters (`None` for the heap backend).
+    pub fn mapped_counters(&self) -> Option<MappedCounters> {
+        match self {
+            StoreBackend::Sharded(_) => None,
+            StoreBackend::Mapped(m) => Some(m.counters()),
+        }
+    }
+}
+
+impl InventoryQuery for StoreBackend {
+    fn resolution(&self) -> Resolution {
+        match self {
+            StoreBackend::Sharded(s) => InventoryQuery::resolution(s),
+            StoreBackend::Mapped(m) => InventoryQuery::resolution(m),
+        }
+    }
+
+    fn summary(&self, cell: CellIndex) -> Option<Cow<'_, CellStats>> {
+        match self {
+            StoreBackend::Sharded(s) => s.summary(cell),
+            StoreBackend::Mapped(m) => m.summary(cell),
+        }
+    }
+
+    fn summary_for(&self, cell: CellIndex, segment: MarketSegment) -> Option<Cow<'_, CellStats>> {
+        match self {
+            StoreBackend::Sharded(s) => s.summary_for(cell, segment),
+            StoreBackend::Mapped(m) => m.summary_for(cell, segment),
+        }
+    }
+
+    fn summary_route(
+        &self,
+        cell: CellIndex,
+        origin: u16,
+        dest: u16,
+        segment: MarketSegment,
+    ) -> Option<Cow<'_, CellStats>> {
+        match self {
+            StoreBackend::Sharded(s) => s.summary_route(cell, origin, dest, segment),
+            StoreBackend::Mapped(m) => m.summary_route(cell, origin, dest, segment),
+        }
+    }
 }
 
 // ---------------------------------------------------------------------

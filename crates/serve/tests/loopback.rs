@@ -430,6 +430,167 @@ fn corrupt_reload_is_rejected_and_old_snapshot_survives() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// A server started from a migrated POLINV3 snapshot (zero-copy mapped
+/// backend) answers every endpoint exactly like the heap-backed server
+/// over the same data, and reports the mapped store through `STATS`.
+#[test]
+fn mmap_snapshot_server_equals_heap_server() {
+    use pol_core::codec::{self, columnar};
+    const N: usize = 400;
+    let dir = std::env::temp_dir().join(format!("pol-serve-mmap-loop-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let v3_path = dir.join("inv.pol3");
+    let v3 = columnar::migrate_v2_bytes(&codec::to_bytes(&sample_inventory(N))).unwrap();
+    std::fs::write(&v3_path, &v3).unwrap();
+
+    let mut heap_server = Server::start(sample_inventory(N), "127.0.0.1:0", test_config()).unwrap();
+    let mut mmap_server = Server::start_snapshot(&v3_path, "127.0.0.1:0", test_config()).unwrap();
+    let mut on_heap = Client::connect(heap_server.local_addr()).unwrap();
+    let mut on_mmap = Client::connect(mmap_server.local_addr()).unwrap();
+
+    for i in 0..60usize {
+        let pos = LatLon::new(-55.0 + (i % 111) as f64, -170.0 + (i % 340) as f64).unwrap();
+        let seg = MarketSegment::from_id((i % 7) as u8).unwrap();
+        let (origin, dest) = ((i % 6) as u16, (i % 8) as u16);
+
+        let a = on_mmap.point_summary(pos.lat(), pos.lon()).unwrap();
+        let b = on_heap.point_summary(pos.lat(), pos.lon()).unwrap();
+        assert_eq!(
+            stats_bytes(a.as_ref()),
+            stats_bytes(b.as_ref()),
+            "point {i}"
+        );
+
+        let a = on_mmap
+            .route_summary(pos.lat(), pos.lon(), origin, dest, seg)
+            .unwrap();
+        let b = on_heap
+            .route_summary(pos.lat(), pos.lon(), origin, dest, seg)
+            .unwrap();
+        assert_eq!(
+            stats_bytes(a.as_ref()),
+            stats_bytes(b.as_ref()),
+            "route {i}"
+        );
+
+        let (lo_lat, lo_lon) = (pos.lat() - 4.0, pos.lon().max(-175.0) - 4.0);
+        let a = on_mmap
+            .bbox_scan(lo_lat, lo_lon, lo_lat + 8.0, lo_lon + 8.0)
+            .unwrap();
+        let b = on_heap
+            .bbox_scan(lo_lat, lo_lon, lo_lat + 8.0, lo_lon + 8.0)
+            .unwrap();
+        assert_eq!(a, b, "bbox {i}");
+
+        let a = on_mmap.top_destination_cells(dest, Some(seg)).unwrap();
+        let b = on_heap.top_destination_cells(dest, Some(seg)).unwrap();
+        assert_eq!(a, b, "top-dest {i}");
+
+        let a = on_mmap
+            .eta(pos.lat(), pos.lon(), Some(seg), Some((origin, dest)))
+            .unwrap();
+        let b = on_heap
+            .eta(pos.lat(), pos.lon(), Some(seg), Some((origin, dest)))
+            .unwrap();
+        assert_eq!(a, b, "eta {i}");
+    }
+
+    // The mapped backend identifies itself and counts its work.
+    let report = on_mmap.stats().unwrap();
+    assert_eq!(report.store, "mapped-columnar");
+    assert!(report.mapped_lookups > 0);
+    assert!(report.mapped_scan_entries > 0);
+    assert!(report.stages.contains("mmap-open"));
+    let report = on_heap.stats().unwrap();
+    assert_eq!(report.store, "sharded-heap");
+    assert_eq!(report.mapped_lookups, 0);
+
+    heap_server.shutdown();
+    mmap_server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A protocol-v3 batch frame answers exactly like the same requests sent
+/// one frame at a time, children are accounted separately from frames,
+/// and oversized batches are refused client-side.
+#[test]
+fn batched_requests_equal_single_requests() {
+    use pol_serve::proto::Request as Req;
+    let reference = Arc::new(sample_inventory(300));
+    let mut server = Server::start(sample_inventory(300), "127.0.0.1:0", test_config()).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    // Mixed batch via the raw API: each child answer must match the
+    // direct inventory computation.
+    let positions: Vec<(f64, f64)> = (0..20usize)
+        .map(|i| {
+            let p = LatLon::new(-55.0 + (i % 111) as f64, -170.0 + (i % 340) as f64).unwrap();
+            (p.lat(), p.lon())
+        })
+        .collect();
+    let batch: Vec<Req> = positions
+        .iter()
+        .map(|(lat, lon)| Req::PointSummary {
+            lat: *lat,
+            lon: *lon,
+        })
+        .chain([Req::Ping])
+        .collect();
+    let replies = client.batch(&batch).unwrap();
+    assert_eq!(replies.len(), positions.len() + 1);
+    assert!(matches!(replies.first(), Some(Response::Summary(_))));
+    assert!(matches!(replies.last(), Some(Response::Pong)));
+
+    // Typed helper: batched point summaries == singles, byte for byte.
+    let batched = client.point_summaries(&positions).unwrap();
+    for (i, (lat, lon)) in positions.iter().enumerate() {
+        let single = client.point_summary(*lat, *lon).unwrap();
+        assert_eq!(
+            stats_bytes(batched[i].as_ref()),
+            stats_bytes(single.as_ref()),
+            "batched point {i}"
+        );
+        let cell = cell_at(LatLon::new(*lat, *lon).unwrap(), res());
+        assert_eq!(
+            stats_bytes(batched[i].as_ref()),
+            stats_bytes(reference.summary(cell)),
+            "batched point vs direct {i}"
+        );
+    }
+
+    // Typed helper: batched route summaries == singles.
+    let seg = MarketSegment::from_id(3).unwrap();
+    let routed = client.route_summaries(2, 5, seg, &positions).unwrap();
+    for (i, (lat, lon)) in positions.iter().enumerate() {
+        let single = client.route_summary(*lat, *lon, 2, 5, seg).unwrap();
+        assert_eq!(
+            stats_bytes(routed[i].as_ref()),
+            stats_bytes(single.as_ref()),
+            "batched route {i}"
+        );
+    }
+
+    // Accounting: one Batch frame per call, children under
+    // batched_requests (never double-counted per endpoint).
+    let report = client.stats().unwrap();
+    assert!(report.batched_requests >= (positions.len() + 1) as u64 + 2 * positions.len() as u64);
+    assert!(report
+        .endpoints
+        .iter()
+        .any(|e| e.endpoint == pol_serve::Endpoint::Batch && e.count >= 3));
+
+    // An over-long batch is refused before touching the wire.
+    let oversized = vec![Req::Ping; pol_serve::MAX_BATCH + 1];
+    assert!(matches!(
+        client.batch(&oversized),
+        Err(ClientError::Unexpected(_))
+    ));
+    // The connection is still healthy afterwards.
+    client.ping().unwrap();
+    server.shutdown();
+}
+
 /// `CellIndex::from_raw` accepts every index a bbox scan returns (the
 /// wire sends raw u64s; clients must be able to reconstruct them).
 #[test]

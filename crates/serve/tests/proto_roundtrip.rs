@@ -15,7 +15,7 @@ fn arb_segment() -> impl Strategy<Value = MarketSegment> {
     (0u8..7).prop_map(|id| MarketSegment::from_id(id).expect("id in range"))
 }
 
-fn arb_request() -> impl Strategy<Value = Request> {
+fn arb_simple_request() -> impl Strategy<Value = Request> {
     (
         0u8..11,
         (-90.0f64..90.0, -180.0f64..180.0),
@@ -65,6 +65,24 @@ fn arb_request() -> impl Strategy<Value = Request> {
         )
 }
 
+fn arb_request() -> impl Strategy<Value = Request> {
+    // Protocol v3: one frame in five carries several simple requests
+    // (nesting is forbidden at the wire level, so children are always
+    // simple).
+    (
+        0u8..5,
+        arb_simple_request(),
+        prop::collection::vec(arb_simple_request(), 0..5),
+    )
+        .prop_map(|(sel, simple, children)| {
+            if sel == 0 {
+                Request::Batch(children)
+            } else {
+                simple
+            }
+        })
+}
+
 fn arb_eta() -> impl Strategy<Value = EtaEstimate> {
     (
         (0.0f64..1e7, 0.0f64..1e7, 0.0f64..1e7, 0.0f64..1e7),
@@ -86,13 +104,15 @@ fn arb_stats_report() -> impl Strategy<Value = StatsReport> {
         (0u64..1 << 40, 0u64..1000, 0u64..1000, 0u64..10_000),
         (0u64..1 << 30, 0u64..1 << 30),
         (1u64..1 << 20, 0u64..500, 0u64..500),
+        (0u64..1 << 30, 0u64..1 << 40, 0u64..1 << 40),
+        prop::collection::vec(32u8..127, 0..32),
         prop::collection::vec(
             (
-                0u8..11,
+                0u8..12,
                 0u64..1 << 40,
-                (0.0f64..1e4, 0.0f64..1e4, 0.0f64..1e5),
+                (0.0f64..1e4, 0.0f64..1e4, 0.0f64..1e4, 0.0f64..1e5),
             ),
-            0..11,
+            0..12,
         ),
         prop::collection::vec(32u8..127, 0..200),
     )
@@ -101,6 +121,8 @@ fn arb_stats_report() -> impl Strategy<Value = StatsReport> {
                 (total, busy, malformed, conns),
                 (hits, misses),
                 (generation, reloads_ok, reloads_failed),
+                (batched, mapped_lookups, mapped_scan_entries),
+                store_bytes,
                 eps,
                 stage_bytes,
             )| StatsReport {
@@ -113,12 +135,17 @@ fn arb_stats_report() -> impl Strategy<Value = StatsReport> {
                 generation,
                 reloads_ok,
                 reloads_failed,
+                batched_requests: batched,
+                mapped_lookups,
+                mapped_scan_entries,
+                store: String::from_utf8(store_bytes).expect("ascii"),
                 endpoints: eps
                     .into_iter()
-                    .map(|(id, count, (p50, p99, max))| EndpointStats {
+                    .map(|(id, count, (p50, p95, p99, max))| EndpointStats {
                         endpoint: Endpoint::from_id(id).expect("id in range"),
                         count,
                         p50_us: p50,
+                        p95_us: p95,
                         p99_us: p99,
                         max_us: max,
                     })
@@ -128,7 +155,7 @@ fn arb_stats_report() -> impl Strategy<Value = StatsReport> {
         )
 }
 
-fn arb_response() -> impl Strategy<Value = Response> {
+fn arb_simple_response() -> impl Strategy<Value = Response> {
     (
         0u8..8,
         prop::collection::vec(0u64..u64::MAX, 0..64),
@@ -154,6 +181,21 @@ fn arb_response() -> impl Strategy<Value = Response> {
                 _ => Response::Error(String::from_utf8(msg).expect("ascii")),
             },
         )
+}
+
+fn arb_response() -> impl Strategy<Value = Response> {
+    (
+        0u8..5,
+        arb_simple_response(),
+        prop::collection::vec(arb_simple_response(), 0..4),
+    )
+        .prop_map(|(sel, simple, children)| {
+            if sel == 0 {
+                Response::Batch(children)
+            } else {
+                simple
+            }
+        })
 }
 
 proptest! {
