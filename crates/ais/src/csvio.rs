@@ -48,17 +48,17 @@ pub fn position_from_row(row: &str, line: usize) -> Result<PositionReport, RowEr
         reason: reason.to_string(),
     };
     let fields: Vec<&str> = row.split(',').collect();
-    if fields.len() != 8 {
+    let [f_mmsi, f_ts, f_lat, f_lon, f_sog, f_cog, f_heading, f_status] = fields[..] else {
         return Err(err("wrong field count"));
-    }
-    let mmsi = fields[0]
+    };
+    let mmsi = f_mmsi
         .parse::<u32>()
         .ok()
         .and_then(Mmsi::new)
         .ok_or_else(|| err("bad mmsi"))?;
-    let timestamp = fields[1].parse::<i64>().map_err(|_| err("bad timestamp"))?;
-    let lat = fields[2].parse::<f64>().map_err(|_| err("bad lat"))?;
-    let lon = fields[3].parse::<f64>().map_err(|_| err("bad lon"))?;
+    let timestamp = f_ts.parse::<i64>().map_err(|_| err("bad timestamp"))?;
+    let lat = f_lat.parse::<f64>().map_err(|_| err("bad lat"))?;
+    let lon = f_lon.parse::<f64>().map_err(|_| err("bad lon"))?;
     let pos = LatLon::new(lat, lon).ok_or_else(|| err("position out of range"))?;
     let opt = |s: &str, name: &str| -> Result<Option<f64>, RowError> {
         if s.is_empty() {
@@ -67,10 +67,10 @@ pub fn position_from_row(row: &str, line: usize) -> Result<PositionReport, RowEr
             s.parse::<f64>().map(Some).map_err(|_| err(name))
         }
     };
-    let sog_knots = opt(fields[4], "bad sog")?;
-    let cog_deg = opt(fields[5], "bad cog")?;
-    let heading_deg = opt(fields[6], "bad heading")?;
-    let status_raw = fields[7].parse::<u8>().map_err(|_| err("bad status"))?;
+    let sog_knots = opt(f_sog, "bad sog")?;
+    let cog_deg = opt(f_cog, "bad cog")?;
+    let heading_deg = opt(f_heading, "bad heading")?;
+    let status_raw = f_status.parse::<u8>().map_err(|_| err("bad status"))?;
     if status_raw > 15 {
         return Err(err("status out of range"));
     }

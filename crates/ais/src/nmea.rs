@@ -75,27 +75,32 @@ impl Sentence {
             return Err(NmeaError::Checksum(expected, computed));
         }
         let fields: Vec<&str> = body.split(',').collect();
-        if fields.len() != 7 || !(fields[0] == "AIVDM" || fields[0] == "AIVDO") {
+        let [talker, f_fragments, f_fragment_no, f_message_id, f_channel, f_payload, f_fill] =
+            fields[..]
+        else {
+            return Err(NmeaError::Malformed(line.into()));
+        };
+        if !(talker == "AIVDM" || talker == "AIVDO") {
             return Err(NmeaError::Malformed(line.into()));
         }
-        let fragments: u8 = fields[1]
+        let fragments: u8 = f_fragments
             .parse()
             .map_err(|_| NmeaError::BadField("fragments"))?;
-        let fragment_no: u8 = fields[2]
+        let fragment_no: u8 = f_fragment_no
             .parse()
             .map_err(|_| NmeaError::BadField("fragment_no"))?;
-        let message_id = if fields[3].is_empty() {
+        let message_id = if f_message_id.is_empty() {
             None
         } else {
             Some(
-                fields[3]
+                f_message_id
                     .parse()
                     .map_err(|_| NmeaError::BadField("message_id"))?,
             )
         };
-        let channel = fields[4].chars().next();
-        let payload = fields[5].to_string();
-        let fill_bits: u8 = fields[6]
+        let channel = f_channel.chars().next();
+        let payload = f_payload.to_string();
+        let fill_bits: u8 = f_fill
             .parse()
             .map_err(|_| NmeaError::BadField("fill_bits"))?;
         if fragments == 0 || fragment_no == 0 || fragment_no > fragments || fill_bits > 5 {
@@ -132,6 +137,8 @@ impl Sentence {
         let chunks: Vec<&str> = payload
             .as_bytes()
             .chunks(MAX_CHARS)
+            // lint: allow(no_unwrap) — sixbit armouring emits only ASCII
+            // bytes, so every 60-byte chunk boundary is a char boundary.
             .map(|c| std::str::from_utf8(c).expect("armoured payload is ASCII"))
             .collect();
         let total = chunks.len().max(1) as u8;
@@ -181,6 +188,8 @@ impl Assembler {
         let idx = (s.fragment_no - 1) as usize;
         slot[idx] = Some(s);
         if slot.iter().all(Option::is_some) {
+            // lint: allow(no_unwrap) — `key` was materialised by the
+            // `entry()` call above and nothing removes it in between.
             let parts = self.pending.remove(&key).expect("just inserted");
             let mut payload = String::new();
             let mut fill = 0;

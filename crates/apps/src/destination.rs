@@ -86,11 +86,7 @@ impl<'a, I: InventoryQuery> DestinationPredictor<'a, I> {
             return Vec::new();
         }
         let mut all: Vec<(u16, f64)> = self.scores.iter().map(|(p, s)| (*p, s / total)).collect();
-        all.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1)
-                .expect("finite scores")
-                .then(a.0.cmp(&b.0))
-        });
+        all.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         all.truncate(n);
         all
     }

@@ -147,7 +147,7 @@ impl RouteForecaster {
             .iter()
             .map(|&c| (c, haversine_km(cell_center(c), pos)))
             .filter(|(_, d)| *d <= max_km)
-            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
             .map(|(c, _)| c)
     }
 }

@@ -100,8 +100,9 @@ fn plus_plus_seed(xy: &[WorldXY], k: usize, seed: u64) -> Vec<WorldXY> {
         (mix64(state) >> 11) as f64 / (1u64 << 53) as f64
     };
     let mut centroids = Vec::with_capacity(k);
-    centroids.push(xy[(rand_f64() * xy.len() as f64) as usize % xy.len()]);
-    let mut d2: Vec<f64> = xy.iter().map(|p| dist2(p, &centroids[0])).collect();
+    let seed_pt = xy[(rand_f64() * xy.len() as f64) as usize % xy.len()];
+    centroids.push(seed_pt);
+    let mut d2: Vec<f64> = xy.iter().map(|p| dist2(p, &seed_pt)).collect();
     while centroids.len() < k {
         let total: f64 = d2.iter().sum();
         let next = if total <= 0.0 {
@@ -121,7 +122,7 @@ fn plus_plus_seed(xy: &[WorldXY], k: usize, seed: u64) -> Vec<WorldXY> {
         };
         centroids.push(next);
         for (p, d) in xy.iter().zip(d2.iter_mut()) {
-            *d = d.min(dist2(p, centroids.last().expect("just pushed")));
+            *d = d.min(dist2(p, &next));
         }
     }
     centroids

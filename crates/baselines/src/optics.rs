@@ -104,7 +104,7 @@ fn core_distance(neighbours: &[(usize, f64)], min_pts: usize) -> f64 {
         return f64::INFINITY;
     }
     let mut ds: Vec<f64> = neighbours.iter().map(|(_, d)| *d).collect();
-    ds.sort_by(|a, b| a.partial_cmp(b).expect("finite distances"));
+    ds.sort_by(|a, b| a.total_cmp(b));
     ds[min_pts - 1]
 }
 

@@ -66,9 +66,13 @@ pub fn extract_route(tracks: &[Vec<LatLon>], k: usize, seed: u64) -> Option<Rout
         .filter(|(_, s)| s.1 > 0)
         .map(|(i, s)| (i, s.0 / s.1 as f64))
         .collect();
-    order.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite progress"));
+    order.sort_by(|a, b| a.1.total_cmp(&b.1));
     let waypoints: Vec<LatLon> = order.iter().map(|(i, _)| result.centroids[*i]).collect();
-    let length_km = waypoints.windows(2).map(|w| haversine_km(w[0], w[1])).sum();
+    let length_km = waypoints
+        .iter()
+        .zip(waypoints.iter().skip(1))
+        .map(|(&a, &b)| haversine_km(a, b))
+        .sum();
     Some(RouteModel {
         waypoints,
         length_km,

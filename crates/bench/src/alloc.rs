@@ -51,27 +51,33 @@ pub struct CountingAlloc;
 
 // SAFETY: every method forwards verbatim to `System`, which upholds the
 // GlobalAlloc contract; the added atomic increments cannot affect the
-// returned memory.
+// returned memory; tested by: counting_alloc_forwards_and_counts.
 unsafe impl GlobalAlloc for CountingAlloc {
-    // SAFETY: caller upholds the GlobalAlloc contract; forwarded verbatim.
+    // SAFETY: caller upholds the GlobalAlloc contract; forwarded verbatim;
+    // tested by: counting_alloc_forwards_and_counts.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::Relaxed);
         BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
-        // SAFETY: same layout, same contract as the caller's.
+        // SAFETY: same layout, same contract as the caller's;
+        // tested by: counting_alloc_forwards_and_counts.
         unsafe { System.alloc(layout) }
     }
 
-    // SAFETY: caller upholds the GlobalAlloc contract; forwarded verbatim.
+    // SAFETY: caller upholds the GlobalAlloc contract; forwarded verbatim;
+    // tested by: counting_alloc_forwards_and_counts.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        // SAFETY: same pointer/layout pair the caller owns.
+        // SAFETY: same pointer/layout pair the caller owns;
+        // tested by: counting_alloc_forwards_and_counts.
         unsafe { System.dealloc(ptr, layout) }
     }
 
-    // SAFETY: caller upholds the GlobalAlloc contract; forwarded verbatim.
+    // SAFETY: caller upholds the GlobalAlloc contract; forwarded verbatim;
+    // tested by: counting_alloc_forwards_and_counts.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::Relaxed);
         BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
-        // SAFETY: same pointer/layout/new_size triple as the caller's.
+        // SAFETY: same pointer/layout/new_size triple as the caller's;
+        // tested by: counting_alloc_forwards_and_counts.
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }

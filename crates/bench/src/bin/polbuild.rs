@@ -3,17 +3,22 @@
 //! is `polload`.)
 //!
 //! ```text
-//! polbuild [--vessels N] [--days D] [--seed S] [--res R] [--threads T]
+//! polbuild [--vessels N] [--days D] [--seed S] [--res R] [--threads T[,T2,...]]
 //!          [--out FILE] [--min-rps X]
 //! ```
 //!
-//! Runs a fleetsim workload through the **staged** reference pipeline
-//! stage by stage (wall time + allocation counters per stage), then
-//! through the **fused** morsel-driven executor end to end, verifies the
-//! two are bit-identical, and writes `figures/BENCH_build.json` with
-//! records/sec per stage and end to end. With `--min-rps` the process
-//! fails unless the fused end-to-end throughput clears the floor — the
-//! CI ingestion gate.
+//! `--threads` takes a comma-separated list of worker counts and sweeps
+//! the whole benchmark across them. For each count the fleetsim workload
+//! runs through the **staged** reference pipeline stage by stage (wall
+//! time + allocation counters per stage), then through the **fused**
+//! morsel-driven executor end to end. The benchmark refuses to report a
+//! number unless (a) staged and fused are bit-identical at every count
+//! and (b) every count produces the same bytes as every other — the
+//! cross-thread check is what proves the radix-partitioned parallel
+//! merge is deterministic, not just fast. `figures/BENCH_build.json`
+//! records the full sweep; the top-level `end_to_end` block (and the
+//! `--min-rps` CI floor) reflect the highest thread count, i.e. the
+//! parallel radix-merge path.
 
 use pol_bench::alloc::{self, CountingAlloc};
 use pol_bench::{figures_dir, port_sites};
@@ -42,6 +47,35 @@ fn parse_or<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> T 
         .unwrap_or(default)
 }
 
+/// Parses `--threads` as a comma-separated list of worker counts
+/// (`--threads 4` and `--threads 1,4,8` both work). `None` on a
+/// malformed list so the caller can reject it instead of silently
+/// benchmarking the wrong configuration.
+fn parse_threads(args: &[String]) -> Option<Vec<usize>> {
+    let Some(raw) = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+    else {
+        let default = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        return Some(vec![default]);
+    };
+    let mut counts = Vec::new();
+    for part in raw.split(',') {
+        match part.trim().parse::<usize>() {
+            Ok(n) if n > 0 => counts.push(n),
+            _ => return None,
+        }
+    }
+    if counts.is_empty() {
+        None
+    } else {
+        Some(counts)
+    }
+}
+
 /// One timed pipeline stage.
 struct StageRow {
     name: &'static str,
@@ -64,7 +98,7 @@ impl StageRow {
 
 fn json_stage(row: &StageRow) -> String {
     format!(
-        "    {{\"name\": \"{}\", \"input_records\": {}, \"output_records\": {}, \
+        "      {{\"name\": \"{}\", \"input_records\": {}, \"output_records\": {}, \
          \"wall_ms\": {:.3}, \"records_per_sec\": {:.1}, \"allocs\": {}, \"alloc_bytes\": {}}}",
         row.name,
         row.input_records,
@@ -76,19 +110,229 @@ fn json_stage(row: &StageRow) -> String {
     )
 }
 
+/// Everything one thread count's staged + fused pass produced.
+struct RunOutcome {
+    threads: usize,
+    stages: Vec<StageRow>,
+    fused_stage_json: Vec<String>,
+    staged_wall_ms: f64,
+    fused_wall_ms: f64,
+    staged_alloc: alloc::AllocSnapshot,
+    fused_alloc: alloc::AllocSnapshot,
+    /// Canonical inventory bytes; identical across all runs by the time
+    /// the report is written.
+    bytes: Vec<u8>,
+    raw_records: u64,
+}
+
+impl RunOutcome {
+    fn staged_rps(&self) -> f64 {
+        rps(self.raw_records, self.staged_wall_ms)
+    }
+    fn fused_rps(&self) -> f64 {
+        rps(self.raw_records, self.fused_wall_ms)
+    }
+    fn speedup(&self) -> f64 {
+        if self.fused_wall_ms > 0.0 {
+            self.staged_wall_ms / self.fused_wall_ms
+        } else {
+            0.0
+        }
+    }
+}
+
+fn rps(records: u64, wall_ms: f64) -> f64 {
+    if wall_ms > 0.0 {
+        records as f64 / (wall_ms / 1e3)
+    } else {
+        0.0
+    }
+}
+
+/// Runs staged + fused at one thread count and verifies they are
+/// bit-identical (the per-count oracle check).
+fn run_once(
+    threads: usize,
+    ds: &pol_fleetsim::scenario::Dataset,
+    ports: &[pol_core::records::PortSite],
+    cfg: &PipelineConfig,
+) -> Result<RunOutcome, String> {
+    let raw_records: u64 = ds.positions.iter().map(|p| p.len() as u64).sum();
+    eprintln!("polbuild: staged pass ({threads} threads)...");
+
+    // ---- Staged reference path, one timed stage at a time. ----
+    let engine = Engine::new(threads);
+    let mut stages: Vec<StageRow> = Vec::new();
+    let mut stage = |name: &'static str, input: u64, wall: f64, output: u64, a0, a1| {
+        let d = alloc::AllocSnapshot::since(&a1, a0);
+        stages.push(StageRow {
+            name,
+            input_records: input,
+            output_records: output,
+            wall_ms: wall,
+            allocs: d.allocs,
+            alloc_bytes: d.bytes,
+        });
+    };
+    let staged_t0 = Instant::now();
+    let a0 = alloc::snapshot();
+
+    let t = Instant::now();
+    let (cleaned, clean_report) = clean_and_enrich(
+        &engine,
+        Dataset::from_partitions(ds.positions.clone()),
+        &ds.statics,
+        cfg,
+    )
+    .map_err(|e| format!("clean failed: {e}"))?;
+    let cleaned_count = cleaned.count() as u64;
+    let a1 = alloc::snapshot();
+    stage(
+        "clean",
+        raw_records,
+        t.elapsed().as_secs_f64() * 1e3,
+        cleaned_count,
+        a0,
+        a1,
+    );
+
+    let t = Instant::now();
+    let trips =
+        extract_trips(&engine, cleaned, ports, cfg).map_err(|e| format!("trips failed: {e}"))?;
+    let with_trips = trips.count() as u64;
+    let a2 = alloc::snapshot();
+    stage(
+        "trips",
+        cleaned_count,
+        t.elapsed().as_secs_f64() * 1e3,
+        with_trips,
+        a1,
+        a2,
+    );
+
+    let t = Instant::now();
+    let projected = project(&engine, trips, cfg).map_err(|e| format!("project failed: {e}"))?;
+    let projected_count = projected.count() as u64;
+    let a3 = alloc::snapshot();
+    stage(
+        "project",
+        with_trips,
+        t.elapsed().as_secs_f64() * 1e3,
+        projected_count,
+        a2,
+        a3,
+    );
+
+    let t = Instant::now();
+    let stats =
+        build_group_stats(&engine, projected, cfg).map_err(|e| format!("features failed: {e}"))?;
+    let group_entries = stats.count() as u64;
+    let staged_inventory = Inventory::from_dataset(cfg.resolution, stats, projected_count);
+    let a4 = alloc::snapshot();
+    stage(
+        "features",
+        projected_count * 3,
+        t.elapsed().as_secs_f64() * 1e3,
+        group_entries,
+        a3,
+        a4,
+    );
+
+    let staged_wall_ms = staged_t0.elapsed().as_secs_f64() * 1e3;
+    let staged_alloc = alloc::AllocSnapshot::since(&a4, a0);
+
+    // ---- Fused executor, end to end. ----
+    eprintln!("polbuild: fused pass ({threads} threads)...");
+    let fused_engine = Engine::new(threads);
+    let f0 = alloc::snapshot();
+    let fused_t0 = Instant::now();
+    let fused = pol_core::run_fused(&fused_engine, ds.positions.clone(), &ds.statics, ports, cfg)
+        .map_err(|e| format!("fused run failed: {e}"))?;
+    let fused_wall_ms = fused_t0.elapsed().as_secs_f64() * 1e3;
+    let fused_alloc = alloc::AllocSnapshot::since(&alloc::snapshot(), f0);
+
+    // ---- Bit-identity check: the benchmark refuses to report a fused
+    // number that does not match the staged oracle. ----
+    let staged_bytes = codec::to_bytes(&staged_inventory);
+    let fused_bytes = codec::to_bytes(&fused.inventory);
+    let counts_match = fused.counts.raw == raw_records
+        && fused.counts.cleaned == cleaned_count
+        && fused.counts.with_trips == with_trips
+        && fused.counts.projected == projected_count
+        && fused.counts.group_entries == group_entries
+        && fused.clean_report == clean_report;
+    if staged_bytes != fused_bytes || !counts_match {
+        return Err(format!(
+            "fused output diverged from staged at {threads} threads \
+             (bytes equal: {}, counts equal: {counts_match})",
+            staged_bytes == fused_bytes,
+        ));
+    }
+
+    let fused_stage_json: Vec<String> = fused_engine
+        .metrics()
+        .report()
+        .iter()
+        .map(|s| {
+            format!(
+                "      {{\"name\": \"{}\", \"input_records\": {}, \"output_records\": {}, \
+                 \"shuffled_records\": {}, \"wall_ms\": {:.3}}}",
+                s.name,
+                s.input_records,
+                s.output_records,
+                s.shuffled_records,
+                s.wall.as_secs_f64() * 1e3
+            )
+        })
+        .collect();
+
+    Ok(RunOutcome {
+        threads,
+        stages,
+        fused_stage_json,
+        staged_wall_ms,
+        fused_wall_ms,
+        staged_alloc,
+        fused_alloc,
+        bytes: staged_bytes,
+        raw_records,
+    })
+}
+
+fn json_end_to_end(run: &RunOutcome, indent: &str) -> String {
+    let mut json = String::new();
+    json.push_str(&format!(
+        "{indent}\"staged_wall_ms\": {:.3},\n{indent}\"staged_records_per_sec\": {:.1},\n",
+        run.staged_wall_ms,
+        run.staged_rps()
+    ));
+    json.push_str(&format!(
+        "{indent}\"fused_wall_ms\": {:.3},\n{indent}\"fused_records_per_sec\": {:.1},\n",
+        run.fused_wall_ms,
+        run.fused_rps()
+    ));
+    json.push_str(&format!("{indent}\"speedup\": {:.3},\n", run.speedup()));
+    json.push_str(&format!(
+        "{indent}\"staged_allocs\": {},\n{indent}\"staged_alloc_bytes\": {},\n",
+        run.staged_alloc.allocs, run.staged_alloc.bytes
+    ));
+    json.push_str(&format!(
+        "{indent}\"fused_allocs\": {},\n{indent}\"fused_alloc_bytes\": {}\n",
+        run.fused_alloc.allocs, run.fused_alloc.bytes
+    ));
+    json
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let vessels = parse_or(&args, "--vessels", 40usize);
     let days = parse_or(&args, "--days", 7u32);
     let seed = parse_or(&args, "--seed", 42u64);
     let res = parse_or(&args, "--res", 6u8);
-    let threads = parse_or(
-        &args,
-        "--threads",
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4),
-    );
+    let Some(thread_counts) = parse_threads(&args) else {
+        eprintln!("error: --threads takes a comma-separated list of positive counts, e.g. 1,4,8");
+        return ExitCode::FAILURE;
+    };
     let min_rps = parse_or(&args, "--min-rps", 0.0f64);
     let out_path = args
         .iter()
@@ -116,214 +360,87 @@ fn main() -> ExitCode {
     let ds = generate(&scenario);
     let raw_records: u64 = ds.positions.iter().map(|p| p.len() as u64).sum();
     let ports = port_sites(cfg.port_radius_km);
-    eprintln!("polbuild: {raw_records} raw reports; staged pass ({threads} threads)...");
-
-    // ---- Staged reference path, one timed stage at a time. ----
-    let engine = Engine::new(threads);
-    let mut stages: Vec<StageRow> = Vec::new();
-    let mut stage = |name: &'static str, input: u64, wall: f64, output: u64, a0, a1| {
-        let d = alloc::AllocSnapshot::since(&a1, a0);
-        stages.push(StageRow {
-            name,
-            input_records: input,
-            output_records: output,
-            wall_ms: wall,
-            allocs: d.allocs,
-            alloc_bytes: d.bytes,
-        });
-    };
-    let staged_t0 = Instant::now();
-    let a0 = alloc::snapshot();
-
-    let t = Instant::now();
-    let (cleaned, clean_report) = match clean_and_enrich(
-        &engine,
-        Dataset::from_partitions(ds.positions.clone()),
-        &ds.statics,
-        &cfg,
-    ) {
-        Ok(x) => x,
-        Err(e) => {
-            eprintln!("error: clean failed: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    let cleaned_count = cleaned.count() as u64;
-    let a1 = alloc::snapshot();
-    stage(
-        "clean",
-        raw_records,
-        t.elapsed().as_secs_f64() * 1e3,
-        cleaned_count,
-        a0,
-        a1,
+    eprintln!(
+        "polbuild: {raw_records} raw reports; sweeping {} thread count(s): {:?}",
+        thread_counts.len(),
+        thread_counts
     );
 
-    let t = Instant::now();
-    let trips = match extract_trips(&engine, cleaned, &ports, &cfg) {
-        Ok(x) => x,
-        Err(e) => {
-            eprintln!("error: trips failed: {e}");
-            return ExitCode::FAILURE;
+    let mut runs: Vec<RunOutcome> = Vec::new();
+    for &threads in &thread_counts {
+        match run_once(threads, &ds, &ports, &cfg) {
+            Ok(run) => runs.push(run),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
         }
-    };
-    let with_trips = trips.count() as u64;
-    let a2 = alloc::snapshot();
-    stage(
-        "trips",
-        cleaned_count,
-        t.elapsed().as_secs_f64() * 1e3,
-        with_trips,
-        a1,
-        a2,
-    );
-
-    let t = Instant::now();
-    let projected = match project(&engine, trips, &cfg) {
-        Ok(x) => x,
-        Err(e) => {
-            eprintln!("error: project failed: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    let projected_count = projected.count() as u64;
-    let a3 = alloc::snapshot();
-    stage(
-        "project",
-        with_trips,
-        t.elapsed().as_secs_f64() * 1e3,
-        projected_count,
-        a2,
-        a3,
-    );
-
-    let t = Instant::now();
-    let stats = match build_group_stats(&engine, projected, &cfg) {
-        Ok(x) => x,
-        Err(e) => {
-            eprintln!("error: features failed: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    let group_entries = stats.count() as u64;
-    let staged_inventory = Inventory::from_dataset(cfg.resolution, stats, projected_count);
-    let a4 = alloc::snapshot();
-    stage(
-        "features",
-        projected_count * 3,
-        t.elapsed().as_secs_f64() * 1e3,
-        group_entries,
-        a3,
-        a4,
-    );
-
-    let staged_wall_ms = staged_t0.elapsed().as_secs_f64() * 1e3;
-    let staged_alloc = alloc::AllocSnapshot::since(&a4, a0);
-
-    // ---- Fused executor, end to end. ----
-    eprintln!("polbuild: fused pass...");
-    let fused_engine = Engine::new(threads);
-    let f0 = alloc::snapshot();
-    let fused_t0 = Instant::now();
-    let fused = match pol_core::run_fused(
-        &fused_engine,
-        ds.positions.clone(),
-        &ds.statics,
-        &ports,
-        &cfg,
-    ) {
-        Ok(x) => x,
-        Err(e) => {
-            eprintln!("error: fused run failed: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    let fused_wall_ms = fused_t0.elapsed().as_secs_f64() * 1e3;
-    let fused_alloc = alloc::AllocSnapshot::since(&alloc::snapshot(), f0);
-
-    // ---- Bit-identity check: the benchmark refuses to report a fused
-    // number that does not match the staged oracle. ----
-    let staged_bytes = codec::to_bytes(&staged_inventory);
-    let fused_bytes = codec::to_bytes(&fused.inventory);
-    let counts_match = fused.counts.raw == raw_records
-        && fused.counts.cleaned == cleaned_count
-        && fused.counts.with_trips == with_trips
-        && fused.counts.projected == projected_count
-        && fused.counts.group_entries == group_entries
-        && fused.clean_report == clean_report;
-    if staged_bytes != fused_bytes || !counts_match {
-        eprintln!(
-            "error: fused output diverged from staged (bytes equal: {}, counts equal: {})",
-            staged_bytes == fused_bytes,
-            counts_match
-        );
-        return ExitCode::FAILURE;
     }
 
-    let rps = |wall_ms: f64| {
-        if wall_ms > 0.0 {
-            raw_records as f64 / (wall_ms / 1e3)
-        } else {
-            0.0
+    // ---- Cross-thread determinism: every worker count must produce the
+    // same inventory bytes, or the parallel radix merge is
+    // schedule-dependent and its numbers are meaningless. ----
+    if let Some((first, rest)) = runs.split_first() {
+        for run in rest {
+            if run.bytes != first.bytes {
+                eprintln!(
+                    "error: inventory bytes differ between {} and {} threads — \
+                     the parallel merge is not deterministic",
+                    first.threads, run.threads
+                );
+                return ExitCode::FAILURE;
+            }
         }
-    };
-    let staged_rps = rps(staged_wall_ms);
-    let fused_rps = rps(fused_wall_ms);
-    let speedup = if fused_wall_ms > 0.0 {
-        staged_wall_ms / fused_wall_ms
-    } else {
-        0.0
+    }
+    // `run_once` succeeded for every count, so at least one run exists;
+    // the floor and headline reflect the widest (last) configuration.
+    let Some(headline) = runs.last() else {
+        eprintln!("error: no thread counts were benchmarked");
+        return ExitCode::FAILURE;
     };
 
     // ---- JSON report. ----
     let mut json = String::from("{\n");
     json.push_str("  \"benchmark\": \"polbuild\",\n");
-    json.push_str(&format!("  \"threads\": {threads},\n"));
+    json.push_str(&format!("  \"threads\": {},\n", headline.threads));
+    json.push_str(&format!(
+        "  \"threads_swept\": [{}],\n",
+        thread_counts
+            .iter()
+            .map(|n| n.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
     json.push_str(&format!("  \"vessels\": {vessels},\n"));
     json.push_str(&format!("  \"days\": {days},\n"));
     json.push_str(&format!("  \"seed\": {seed},\n"));
     json.push_str(&format!("  \"resolution\": {res},\n"));
     json.push_str(&format!("  \"raw_records\": {raw_records},\n"));
     json.push_str("  \"bit_identical\": true,\n");
-    json.push_str("  \"staged_stages\": [\n");
-    let rows: Vec<String> = stages.iter().map(json_stage).collect();
-    json.push_str(&rows.join(",\n"));
-    json.push_str("\n  ],\n");
-    json.push_str("  \"fused_stages\": [\n");
-    let frows: Vec<String> = fused_engine
-        .metrics()
-        .report()
+    json.push_str("  \"cross_thread_identical\": true,\n");
+    json.push_str("  \"sweep\": [\n");
+    let sweep_rows: Vec<String> = runs
         .iter()
-        .map(|s| {
-            format!(
-                "    {{\"name\": \"{}\", \"input_records\": {}, \"output_records\": {}, \
-                 \"shuffled_records\": {}, \"wall_ms\": {:.3}}}",
-                s.name,
-                s.input_records,
-                s.output_records,
-                s.shuffled_records,
-                s.wall.as_secs_f64() * 1e3
-            )
+        .map(|run| {
+            let mut row = String::from("    {\n");
+            row.push_str(&format!("      \"threads\": {},\n", run.threads));
+            row.push_str("      \"staged_stages\": [\n");
+            let rows: Vec<String> = run.stages.iter().map(json_stage).collect();
+            row.push_str(&rows.join(",\n"));
+            row.push_str("\n      ],\n");
+            row.push_str("      \"fused_stages\": [\n");
+            row.push_str(&run.fused_stage_json.join(",\n"));
+            row.push_str("\n      ],\n");
+            row.push_str("      \"end_to_end\": {\n");
+            row.push_str(&json_end_to_end(run, "        "));
+            row.push_str("      }\n    }");
+            row
         })
         .collect();
-    json.push_str(&frows.join(",\n"));
+    json.push_str(&sweep_rows.join(",\n"));
     json.push_str("\n  ],\n");
     json.push_str("  \"end_to_end\": {\n");
-    json.push_str(&format!(
-        "    \"staged_wall_ms\": {staged_wall_ms:.3},\n    \"staged_records_per_sec\": {staged_rps:.1},\n"
-    ));
-    json.push_str(&format!(
-        "    \"fused_wall_ms\": {fused_wall_ms:.3},\n    \"fused_records_per_sec\": {fused_rps:.1},\n"
-    ));
-    json.push_str(&format!("    \"speedup\": {speedup:.3},\n"));
-    json.push_str(&format!(
-        "    \"staged_allocs\": {},\n    \"staged_alloc_bytes\": {},\n",
-        staged_alloc.allocs, staged_alloc.bytes
-    ));
-    json.push_str(&format!(
-        "    \"fused_allocs\": {},\n    \"fused_alloc_bytes\": {}\n",
-        fused_alloc.allocs, fused_alloc.bytes
-    ));
+    json.push_str(&json_end_to_end(headline, "    "));
     json.push_str("  }\n}\n");
     if let Some(dir) = out_path.parent() {
         if !dir.as_os_str().is_empty() {
@@ -342,21 +459,32 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
-    println!(
-        "polbuild: staged {:.0} rec/s, fused {:.0} rec/s ({speedup:.2}x), \
-         allocs {} -> {} ({:.1}%), bit-identical",
-        staged_rps,
-        fused_rps,
-        staged_alloc.allocs,
-        fused_alloc.allocs,
-        if staged_alloc.allocs > 0 {
-            fused_alloc.allocs as f64 / staged_alloc.allocs as f64 * 100.0
-        } else {
-            0.0
-        }
-    );
+    for run in &runs {
+        println!(
+            "polbuild[{} threads]: staged {:.0} rec/s, fused {:.0} rec/s ({:.2}x), \
+             allocs {} -> {} ({:.1}%), bit-identical",
+            run.threads,
+            run.staged_rps(),
+            run.fused_rps(),
+            run.speedup(),
+            run.staged_alloc.allocs,
+            run.fused_alloc.allocs,
+            if run.staged_alloc.allocs > 0 {
+                run.fused_alloc.allocs as f64 / run.staged_alloc.allocs as f64 * 100.0
+            } else {
+                0.0
+            }
+        );
+    }
+    if runs.len() > 1 {
+        println!(
+            "polbuild: all {} thread counts produced identical inventory bytes",
+            runs.len()
+        );
+    }
     println!("wrote {}", out_path.display());
 
+    let fused_rps = headline.fused_rps();
     if min_rps > 0.0 && fused_rps < min_rps {
         eprintln!("error: fused throughput {fused_rps:.0} rec/s below floor {min_rps:.0} rec/s");
         return ExitCode::FAILURE;

@@ -77,6 +77,8 @@ pub fn port_sites(radius_km: f64) -> Vec<PortSite> {
 /// Looks up a simulator port id by LOCODE.
 pub fn port_id(locode: &str) -> u16 {
     pol_fleetsim::ports::port_by_locode(locode)
+        // lint: allow(no_unwrap) — bench harness: a typo'd LOCODE in a
+        // benchmark scenario should abort the run, not be papered over.
         .unwrap_or_else(|| panic!("unknown port {locode}"))
         .0
          .0
@@ -122,6 +124,8 @@ pub fn build_inventory_on(
             pol_core::run_fused(engine, positions, &ds.statics, &ports, pipeline)
         }
     }
+    // lint: allow(no_unwrap) — bench harness: a failed pipeline build
+    // invalidates every number downstream; abort loudly.
     .expect("pipeline run failed")
 }
 
@@ -142,6 +146,8 @@ pub fn figures_dir() -> PathBuf {
     let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .join("../..")
         .join("figures");
+    // lint: allow(no_unwrap) — bench harness: figures/ must be writable
+    // for any result to land; fail fast.
     std::fs::create_dir_all(&dir).expect("create figures dir");
     dir
 }
@@ -149,12 +155,14 @@ pub fn figures_dir() -> PathBuf {
 /// Writes a CSV into `figures/` and returns its path.
 pub fn write_csv(name: &str, header: &str, rows: &[String]) -> PathBuf {
     let path = figures_dir().join(name);
+    // lint: allow(no_unwrap) — bench harness: a partially written figure
+    // CSV is worse than an aborted run.
     let mut f = std::io::BufWriter::new(std::fs::File::create(&path).expect("create csv"));
     writeln!(f, "{header}").expect("write header");
     for r in rows {
         writeln!(f, "{r}").expect("write row");
     }
-    f.flush().expect("flush csv");
+    f.flush().expect("flush csv"); // lint: allow(no_unwrap) — harness policy above
     path
 }
 
@@ -186,6 +194,8 @@ pub fn top_route_keys(
             (
                 o,
                 d,
+                // lint: allow(no_unwrap) — the id was produced by
+                // `MarketSegment::id()` at insert time.
                 pol_ais::types::MarketSegment::from_id(s).expect("stored id valid"),
                 c,
             )

@@ -286,7 +286,7 @@ pub fn fire(name: &str) -> bool {
             false
         }
         Some(FaultAction::Kill) => {
-            // lint: allow(no_panics) — the entire point of a Kill fault
+            // lint: allow(no_unwrap) — the entire point of a Kill fault
             // is a deliberate panic; it only exists behind the
             // `failpoints` feature and is contained by catch_unwind in
             // the worker pool.

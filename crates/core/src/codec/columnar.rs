@@ -154,6 +154,8 @@ pub fn cell_key(cell: CellIndex) -> [u8; 8] {
 pub fn cell_type_key(cell: CellIndex, segment: MarketSegment) -> [u8; 9] {
     let mut k = [0u8; 9];
     k[..8].copy_from_slice(&cell.raw().to_be_bytes());
+    // lint: allow(no_unwrap) — constant index into `[u8; 9]`; rustc
+    // rejects an out-of-bounds constant at compile time.
     k[8] = segment.id();
     k
 }
@@ -164,6 +166,8 @@ pub fn cell_route_key(cell: CellIndex, origin: u16, dest: u16, segment: MarketSe
     k[..8].copy_from_slice(&cell.raw().to_be_bytes());
     k[8..10].copy_from_slice(&origin.to_be_bytes());
     k[10..12].copy_from_slice(&dest.to_be_bytes());
+    // lint: allow(no_unwrap) — constant index into `[u8; 13]`; rustc
+    // rejects an out-of-bounds constant at compile time.
     k[12] = segment.id();
     k
 }
@@ -711,21 +715,18 @@ pub fn to_bytes(inv: &Inventory) -> Vec<u8> {
         lat_body.extend_from_slice(&raw.to_le_bytes());
     }
 
+    let [g_cell, g_cell_type, g_cell_route] = &groups;
     let bodies: [(SectionKind, usize, Vec<u8>); 4] = [
-        (
-            SectionKind::Cell,
-            groups[0].len(),
-            group_section_body(&groups[0]),
-        ),
+        (SectionKind::Cell, g_cell.len(), group_section_body(g_cell)),
         (
             SectionKind::CellType,
-            groups[1].len(),
-            group_section_body(&groups[1]),
+            g_cell_type.len(),
+            group_section_body(g_cell_type),
         ),
         (
             SectionKind::CellRoute,
-            groups[2].len(),
-            group_section_body(&groups[2]),
+            g_cell_route.len(),
+            group_section_body(g_cell_route),
         ),
         (SectionKind::LatIndex, lat_rows.len(), lat_body),
     ];

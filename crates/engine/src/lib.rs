@@ -47,14 +47,25 @@ pub struct Engine {
 }
 
 impl Engine {
-    /// Creates an engine with `threads` worker threads; partition count for
-    /// new datasets defaults to `2 × threads`.
+    /// Default shard count for shuffles and radix-partitioned
+    /// aggregations. Deliberately a constant, NOT a function of the
+    /// worker count: partition composition determines the fold order of
+    /// floating-point accumulators, so a thread-dependent count would
+    /// make the inventory bytes depend on the machine. A fixed 32 keeps
+    /// `same seed ⇒ byte-identical inventory` true across thread counts
+    /// (polbuild's `--threads` sweep gates on exactly this) while still
+    /// giving the merge enough shards to saturate typical worker pools.
+    pub const DEFAULT_PARTITIONS: usize = 32;
+
+    /// Creates an engine with `threads` worker threads; partition count
+    /// for shuffles defaults to the fixed [`Engine::DEFAULT_PARTITIONS`]
+    /// so results never depend on the worker count.
     pub fn new(threads: usize) -> Engine {
         let threads = threads.max(1);
         Engine {
             pool: Arc::new(ThreadPool::new(threads)),
             metrics: Arc::new(JobMetrics::default()),
-            default_partitions: threads * 2,
+            default_partitions: Engine::DEFAULT_PARTITIONS,
         }
     }
 
@@ -113,7 +124,7 @@ mod tests {
     fn engine_basics() {
         let e = Engine::new(3);
         assert_eq!(e.threads(), 3);
-        assert_eq!(e.default_partitions(), 6);
+        assert_eq!(e.default_partitions(), Engine::DEFAULT_PARTITIONS);
         let e0 = Engine::new(0);
         assert_eq!(e0.threads(), 1, "clamped to one thread");
     }

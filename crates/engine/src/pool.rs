@@ -59,7 +59,7 @@ impl ThreadPool {
             match spawned {
                 Ok(h) => handles.push(h),
                 Err(e) if handles.is_empty() && i + 1 == threads => {
-                    // lint: allow(no_panics) — a pool with zero workers
+                    // lint: allow(no_unwrap) — a pool with zero workers
                     // would deadlock every stage; failing construction
                     // loudly is the only sane behaviour here.
                     panic!("cannot spawn any worker thread: {e}");

@@ -85,6 +85,8 @@ pub fn emit_reports(
                     (p, 0.0, 0.0, NavStatus::Moored)
                 }
                 Activity::Voyage(plan) => {
+                    // lint: allow(no_unwrap) — the loop clamps t to
+                    // [a0, a1), the exact window the plan covers.
                     let k = plan.kinematics_at(t).expect("t within the voyage window");
                     (k.pos, k.sog_knots, k.cog_deg, k.nav_status)
                 }

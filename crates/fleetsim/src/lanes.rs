@@ -57,34 +57,40 @@ pub struct Route {
 impl Route {
     /// Position at `travelled_km` along the polyline (clamped to the ends).
     pub fn position_at(&self, travelled_km: f64) -> LatLon {
+        let (Some(&first), Some(&last)) = (self.points.first(), self.points.last()) else {
+            return LatLon::wrapped(0.0, 0.0); // degenerate empty route
+        };
         if travelled_km <= 0.0 {
-            return self.points[0];
+            return first;
         }
         let mut remaining = travelled_km;
-        for w in self.points.windows(2) {
-            let leg = haversine_km(w[0], w[1]);
+        for (&a, &b) in self.points.iter().zip(self.points.iter().skip(1)) {
+            let leg = haversine_km(a, b);
             if remaining <= leg {
                 let f = if leg > 0.0 { remaining / leg } else { 0.0 };
-                return interpolate(w[0], w[1], f);
+                return interpolate(a, b, f);
             }
             remaining -= leg;
         }
-        *self.points.last().expect("route has points")
+        last
     }
 
     /// Bearing of travel at `travelled_km` along the polyline, degrees.
     pub fn bearing_at(&self, travelled_km: f64) -> f64 {
+        let Some(&last) = self.points.last() else {
+            return 0.0;
+        };
         let mut remaining = travelled_km.max(0.0);
-        for w in self.points.windows(2) {
-            let leg = haversine_km(w[0], w[1]);
-            if remaining <= leg || w[1] == *self.points.last().unwrap() {
+        for (&a, &b) in self.points.iter().zip(self.points.iter().skip(1)) {
+            let leg = haversine_km(a, b);
+            if remaining <= leg || b == last {
                 let f = if leg > 0.0 {
                     (remaining / leg).min(1.0)
                 } else {
                     0.0
                 };
-                let here = interpolate(w[0], w[1], f);
-                return pol_geo::initial_bearing_deg(here, w[1]);
+                let here = interpolate(a, b, f);
+                return pol_geo::initial_bearing_deg(here, b);
             }
             remaining -= leg;
         }
@@ -397,6 +403,8 @@ impl LaneGraph {
     fn build() -> LaneGraph {
         let mut positions: Vec<LatLon> = WAYPOINTS
             .iter()
+            // lint: allow(no_unwrap) — WAYPOINTS is a static table above;
+            // every lanes test walks it through this constructor.
             .map(|w| LatLon::new(w.1, w.2).expect("valid waypoint"))
             .collect();
         let mut names: Vec<&'static str> = WAYPOINTS.iter().map(|w| w.0).collect();
@@ -407,6 +415,8 @@ impl LaneGraph {
             WAYPOINTS
                 .iter()
                 .position(|w| w.0 == name)
+                // lint: allow(no_unwrap) — EDGES only names entries of the
+                // WAYPOINTS table in this file; a typo fails every test.
                 .unwrap_or_else(|| panic!("unknown waypoint {name}"))
         };
         let add =
@@ -430,11 +440,15 @@ impl LaneGraph {
             let mut dists: Vec<(usize, f64)> = (0..n_way)
                 .map(|i| (i, haversine_km(positions[node], positions[i])))
                 .collect();
+            // lint: allow(no_unwrap) — haversine over validated LatLons is
+            // always finite, so the comparator never sees a NaN.
             dists.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"));
             // Always attach the nearest waypoint; attach the second only
             // when it is comparably close (a far second attachment tends to
             // cut across a landmass, e.g. a Gulf-of-Mexico port "reaching"
             // the Pacific).
+            // lint: allow(no_unwrap) — `dists` has one entry per backbone
+            // waypoint and the table holds well over two of them.
             add(&mut adj, node, dists[0].0, Canal::None, &positions);
             if dists[1].1 <= dists[0].1 * 1.5 {
                 add(&mut adj, node, dists[1].0, Canal::None, &positions);

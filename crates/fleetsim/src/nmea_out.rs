@@ -17,6 +17,9 @@ pub fn position_line(report: &PositionReport) -> String {
     let (payload, fill) = encode_position_a(report);
     Sentence::wrap(&payload, fill, 0)
         .pop()
+        // lint: allow(no_unwrap) — a type-1 report armours to 28 chars,
+        // well under the 60-char fragmentation limit, so wrap() returns
+        // exactly one sentence.
         .expect("type 1 fits one sentence")
         .to_line()
 }

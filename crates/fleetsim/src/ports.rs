@@ -76,6 +76,8 @@ pub struct Port {
 impl Port {
     /// Position as a validated coordinate.
     pub fn pos(&self) -> LatLon {
+        // lint: allow(no_unwrap) — WORLD_PORTS is the only constructor of
+        // `Port` and its coordinates are range-checked by the port tests.
         LatLon::new(self.lat, self.lon).expect("embedded port coordinates are valid")
     }
 }

@@ -40,11 +40,13 @@ impl BBox {
 
     /// The Baltic-sea region used in the paper's Figure 4 visualisations.
     pub fn baltic() -> Self {
+        // lint: allow(no_unwrap) — literal in-range bounds.
         Self::new(53.5, 9.5, 66.0, 30.5).expect("static bounds")
     }
 
     /// The English Channel region of the paper's Figure 2 walkthrough.
     pub fn english_channel() -> Self {
+        // lint: allow(no_unwrap) — literal in-range bounds.
         Self::new(48.5, -5.5, 51.8, 2.5).expect("static bounds")
     }
 

@@ -82,7 +82,7 @@ impl Polygon {
 /// Zissis et al. the paper builds on.
 pub fn convex_hull(points: &[(f64, f64)]) -> Vec<(f64, f64)> {
     let mut pts: Vec<(f64, f64)> = points.to_vec();
-    pts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    pts.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.total_cmp(&b.1)));
     pts.dedup();
     if pts.len() < 3 {
         return pts;

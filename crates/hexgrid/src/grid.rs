@@ -15,7 +15,7 @@ use std::collections::{HashSet, VecDeque};
 pub fn cell_at(p: LatLon, res: Resolution) -> CellIndex {
     let lattice = Lattice::get();
     let ax = lattice.axial_of(p, res.level());
-    // lint: allow(no_panics) — the base-cell table is built to cover the
+    // lint: allow(no_unwrap) — the base-cell table is built to cover the
     // whole world rectangle plus a drift margin, so a valid LatLon always
     // lands on an indexed base cell; this is a checked-at-construction
     // invariant of the lattice, not an input condition.
@@ -71,7 +71,7 @@ pub fn children(cell: CellIndex) -> Option<[CellIndex; 7]> {
     let res = cell.resolution().finer()?;
     let pax = cell.axial();
     Some(std::array::from_fn(|d| {
-        // lint: allow(no_panics) — every child centre lies inside its
+        // lint: allow(no_unwrap) — every child centre lies inside its
         // parent's hexagon, so children of an indexed cell stay within the
         // base-cell table's drift margin by construction.
         CellIndex::from_axial(child_axial(pax, d as u8), res)

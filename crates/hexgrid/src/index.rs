@@ -40,7 +40,7 @@ impl Resolution {
     /// Intended for static configuration defaults: when used in a `const`
     /// context an out-of-range literal is rejected at compile time, so the
     /// check never reaches a runtime path.
-    // lint: allow(no_panics) — the branch is evaluated at compile time for
+    // lint: allow(no_unwrap) — the branch is evaluated at compile time for
     // const arguments; out-of-range literals fail the build, not the run.
     pub const fn new_static(r: u8) -> Self {
         match Self::new(r) {
@@ -174,14 +174,14 @@ impl CellIndex {
     /// Axial coordinates of this cell in its resolution's lattice.
     pub fn axial(self) -> Axial {
         let lattice = Lattice::get();
-        // lint: allow(no_panics) — a CellIndex can only be constructed
+        // lint: allow(no_unwrap) — a CellIndex can only be constructed
         // through `from_axial`/`new`, which validate the base cell against
         // the lattice table, so the lookup cannot miss.
         let mut ax = lattice
             .base_axial(self.base_cell())
             .expect("validated index has a known base cell");
         for level in 1..=self.resolution().level() {
-            // lint: allow(no_panics) — `level` iterates 1..=resolution, the
+            // lint: allow(no_unwrap) — `level` iterates 1..=resolution, the
             // exact range for which `digit` returns Some.
             let d = self.digit(level).expect("level within resolution");
             ax = child_axial(ax, d);

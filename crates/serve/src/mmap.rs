@@ -69,9 +69,11 @@ pub struct MappedFile {
 
 // SAFETY: the mapping is PROT_READ and never mutated through this type;
 // a shared `&[u8]` over immutable pages is as thread-safe as any other
-// shared slice. The heap variant is a plain Vec.
+// shared slice. The heap variant is a plain Vec;
+// tested by: unix_files_actually_map, concurrent_responses_equal_direct_inventory_queries.
 unsafe impl Send for MappedFile {}
-// SAFETY: see the Send impl — all access is read-only.
+// SAFETY: see the Send impl — all access is read-only;
+// tested by: unix_files_actually_map, concurrent_responses_equal_direct_inventory_queries.
 unsafe impl Sync for MappedFile {}
 
 impl MappedFile {
@@ -88,7 +90,8 @@ impl MappedFile {
             // A MAP_FAILED return is checked before the pointer is used.
             // SAFETY: fd is a valid open descriptor for the whole call;
             // len is the file's current size and non-zero; PROT_READ +
-            // MAP_PRIVATE cannot alias writable memory.
+            // MAP_PRIVATE cannot alias writable memory;
+            // tested by: unix_files_actually_map, maps_file_bytes_exactly.
             let ptr = unsafe {
                 sys::mmap(
                     std::ptr::null_mut(),
@@ -123,7 +126,8 @@ impl MappedFile {
                 // The pages are never written through this type.
                 // SAFETY: ptr/len describe a live PROT_READ mapping that
                 // outlives this borrow (unmapped only in Drop), so the
-                // aliasing rules for &[u8] hold.
+                // aliasing rules for &[u8] hold;
+                // tested by: maps_file_bytes_exactly, view_survives_rename_over_original.
                 unsafe { std::slice::from_raw_parts(ptr.as_ptr(), *len) }
             }
             Backing::Heap(buf) => buf,
@@ -158,7 +162,8 @@ impl Drop for MappedFile {
             Backing::Mapped { ptr, len } => {
                 // SAFETY: exactly the region returned by mmap in open();
                 // dropped once (Drop runs once), and no borrow of the
-                // slice can outlive self.
+                // slice can outlive self;
+                // tested by: view_survives_rename_over_original.
                 unsafe {
                     sys::munmap(ptr.as_ptr() as *mut std::ffi::c_void, *len);
                 }

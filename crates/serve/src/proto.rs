@@ -423,18 +423,30 @@ fn get_string(input: &mut &[u8], max: usize) -> Result<String, WireError> {
 // Request codec
 // ---------------------------------------------------------------------
 
-const REQ_PING: u8 = 0;
-const REQ_POINT: u8 = 1;
-const REQ_SEGMENT: u8 = 2;
-const REQ_ROUTE: u8 = 3;
-const REQ_BBOX: u8 = 4;
-const REQ_TOP_DEST: u8 = 5;
-const REQ_ETA: u8 = 6;
-const REQ_PREDICT: u8 = 7;
-const REQ_STATS: u8 = 8;
-const REQ_HEALTH: u8 = 9;
-const REQ_READY: u8 = 10;
-const REQ_BATCH: u8 = 11;
+/// Tag byte of [`Request::Ping`].
+pub const REQ_PING: u8 = 0;
+/// Tag byte of [`Request::PointSummary`].
+pub const REQ_POINT: u8 = 1;
+/// Tag byte of [`Request::SegmentSummary`].
+pub const REQ_SEGMENT: u8 = 2;
+/// Tag byte of [`Request::RouteSummary`].
+pub const REQ_ROUTE: u8 = 3;
+/// Tag byte of [`Request::BboxScan`].
+pub const REQ_BBOX: u8 = 4;
+/// Tag byte of [`Request::TopDestinationCells`].
+pub const REQ_TOP_DEST: u8 = 5;
+/// Tag byte of [`Request::Eta`].
+pub const REQ_ETA: u8 = 6;
+/// Tag byte of [`Request::PredictDestination`].
+pub const REQ_PREDICT: u8 = 7;
+/// Tag byte of [`Request::Stats`].
+pub const REQ_STATS: u8 = 8;
+/// Tag byte of [`Request::Health`].
+pub const REQ_HEALTH: u8 = 9;
+/// Tag byte of [`Request::Ready`].
+pub const REQ_READY: u8 = 10;
+/// Tag byte of [`Request::Batch`] (protocol v3+).
+pub const REQ_BATCH: u8 = 11;
 
 /// Serializes a request payload (version byte + tag + body).
 pub fn encode_request(req: &Request) -> Vec<u8> {
@@ -664,17 +676,28 @@ fn decode_batch<T>(
 // Response codec
 // ---------------------------------------------------------------------
 
-const RESP_PONG: u8 = 0;
-const RESP_SUMMARY: u8 = 1;
-const RESP_CELLS: u8 = 2;
-const RESP_ETA: u8 = 3;
-const RESP_DESTINATIONS: u8 = 4;
-const RESP_STATS: u8 = 5;
-const RESP_BUSY: u8 = 6;
-const RESP_ERROR: u8 = 7;
-const RESP_HEALTH: u8 = 8;
-const RESP_READY: u8 = 9;
-const RESP_BATCH: u8 = 10;
+/// Tag byte of [`Response::Pong`].
+pub const RESP_PONG: u8 = 0;
+/// Tag byte of [`Response::Summary`].
+pub const RESP_SUMMARY: u8 = 1;
+/// Tag byte of [`Response::Cells`].
+pub const RESP_CELLS: u8 = 2;
+/// Tag byte of [`Response::Eta`].
+pub const RESP_ETA: u8 = 3;
+/// Tag byte of [`Response::Destinations`].
+pub const RESP_DESTINATIONS: u8 = 4;
+/// Tag byte of [`Response::Stats`].
+pub const RESP_STATS: u8 = 5;
+/// Tag byte of [`Response::Busy`].
+pub const RESP_BUSY: u8 = 6;
+/// Tag byte of [`Response::Error`].
+pub const RESP_ERROR: u8 = 7;
+/// Tag byte of [`Response::Health`].
+pub const RESP_HEALTH: u8 = 8;
+/// Tag byte of [`Response::Ready`].
+pub const RESP_READY: u8 = 9;
+/// Tag byte of [`Response::Batch`] (protocol v3+).
+pub const RESP_BATCH: u8 = 10;
 
 /// Serializes a response payload (version byte + tag + body).
 pub fn encode_response(resp: &Response) -> Vec<u8> {

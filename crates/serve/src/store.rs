@@ -78,7 +78,7 @@ impl ShardedStore {
         // shard_of is always < len; fall back to shard 0 defensively
         // rather than indexing (this crate is panic-free by lint).
         self.shards.get(idx).or(self.shards.first()).unwrap_or_else(
-            // lint: allow(no_panics) — the constructor guarantees at
+            // lint: allow(no_unwrap) — the constructor guarantees at
             // least one shard; an empty shard vector is unreachable.
             || unreachable!("ShardedStore built with zero shards"),
         )

@@ -1,0 +1,232 @@
+//! Model-checked concurrency properties of the serve primitives, run
+//! under the vendored loom checker: `RUSTFLAGS="--cfg loom" cargo test
+//! -p pol-serve --test loom_models` (the `analysis` stage of `ci.sh`
+//! does exactly this). Without `--cfg loom` the file compiles to
+//! nothing, so the models never slow the tier-1 suite.
+//!
+//! Each model re-states a primitive from `server.rs` / `pol_engine`'s
+//! pool in loom's shim types, at the granularity where its race lives.
+//! The checker then executes every interleaving (up to the preemption
+//! bound) — a green run is a proof over that schedule space:
+//!
+//! 1. [`hot_reload_never_tears_a_query`] — the `RwLock<Arc<_>>` swap in
+//!    `Server::reload` vs a query pinning the snapshot.
+//! 2. [`admit_guard_never_leaks_a_slot`] — the accept-loop admission
+//!    counter survives a worker kill that unwinds through
+//!    `catch_unwind`, and a concurrent rejected connection.
+//! 3. [`pool_shutdown_drains_every_submitted_job`] — the worker-pool
+//!    drain: every job submitted before shutdown runs exactly once and
+//!    every worker exits.
+#![cfg(loom)]
+
+use loom::sync::atomic::{AtomicUsize, Ordering};
+use loom::sync::{Arc, Condvar, Mutex, RwLock};
+use loom::thread;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Stand-in for `InventoryService`: two fields whose relation a torn
+/// read would break.
+struct Snapshot {
+    generation: u64,
+    checksum: u64,
+}
+
+impl Snapshot {
+    fn new(generation: u64) -> Snapshot {
+        Snapshot {
+            generation,
+            checksum: generation ^ 0xa15_c0de,
+        }
+    }
+
+    fn consistent(&self) -> bool {
+        self.checksum == self.generation ^ 0xa15_c0de
+    }
+}
+
+/// `Server::reload` swaps `Arc<RwLock<Arc<InventoryService>>>` while
+/// queries pin the current snapshot with `Arc::clone(&service.read())`
+/// and keep serving from the pin after the lock is gone. No
+/// interleaving may observe a half-replaced snapshot, and the pinned
+/// generation must be exactly the old or the new one.
+#[test]
+fn hot_reload_never_tears_a_query() {
+    loom::model(|| {
+        let service = Arc::new(RwLock::new(Arc::new(Snapshot::new(1))));
+
+        let writer = {
+            let service = Arc::clone(&service);
+            thread::spawn(move || {
+                let fresh = Arc::new(Snapshot::new(2));
+                *service.write().expect("write lock") = fresh;
+            })
+        };
+        let reader = {
+            let service = Arc::clone(&service);
+            thread::spawn(move || {
+                // Pin the snapshot, then drop the lock before "serving",
+                // exactly as handle_connection does.
+                let pinned = Arc::clone(&service.read().expect("read lock"));
+                assert!(pinned.consistent(), "torn snapshot");
+                assert!(
+                    pinned.generation == 1 || pinned.generation == 2,
+                    "phantom generation {}",
+                    pinned.generation
+                );
+            })
+        };
+
+        writer.join().expect("writer");
+        reader.join().expect("reader");
+        let now = service.read().expect("read lock");
+        assert_eq!(now.generation, 2, "reload must win once both settle");
+        assert!(now.consistent());
+    });
+}
+
+/// The accept loop's admission slot, released by `AdmitGuard::drop`.
+struct AdmitGuard(Arc<AtomicUsize>);
+
+impl Drop for AdmitGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Mirrors `accept_loop`: `admitted.fetch_add` then reject-and-undo
+/// over capacity, otherwise an `AdmitGuard` rides into the worker
+/// closure. One admitted connection's worker is killed mid-job (the
+/// `serve.worker.kill` fault), unwinding through the pool's
+/// `catch_unwind`; another races for the remaining capacity. In every
+/// interleaving each admission must be released exactly once — the
+/// counter returns to zero whether a connection was served, rejected,
+/// or killed.
+#[test]
+fn admit_guard_never_leaks_a_slot() {
+    loom::model(|| {
+        let admitted = Arc::new(AtomicUsize::new(0));
+        let admit_cap = 1;
+
+        let admit = move |admitted: &Arc<AtomicUsize>| -> Option<AdmitGuard> {
+            if admitted.fetch_add(1, Ordering::Relaxed) >= admit_cap {
+                admitted.fetch_sub(1, Ordering::Relaxed);
+                return None; // rejected busy
+            }
+            Some(AdmitGuard(Arc::clone(admitted)))
+        };
+
+        let killed = {
+            let admitted = Arc::clone(&admitted);
+            thread::spawn(move || {
+                let Some(guard) = admit(&admitted) else {
+                    return;
+                };
+                // The pool worker wraps every job in catch_unwind; the
+                // injected kill panics with the guard owned by the job.
+                let _ = catch_unwind(AssertUnwindSafe(move || {
+                    let _admitted = guard;
+                    panic!("serve.worker.kill");
+                }));
+            })
+        };
+        let served = {
+            let admitted = Arc::clone(&admitted);
+            thread::spawn(move || {
+                let Some(guard) = admit(&admitted) else {
+                    return;
+                };
+                let _ = catch_unwind(AssertUnwindSafe(move || {
+                    let _admitted = guard; // serves and returns normally
+                }));
+            })
+        };
+
+        killed.join().expect("killed connection thread");
+        served.join().expect("served connection thread");
+        assert_eq!(
+            admitted.load(Ordering::Relaxed),
+            0,
+            "admission slot leaked or double-released"
+        );
+    });
+}
+
+/// The job queue of the modeled worker pool: closing it is what
+/// `ThreadPool::drop` does by dropping the crossbeam sender.
+struct Chan {
+    jobs: VecDeque<usize>,
+    closed: bool,
+}
+
+/// Mirrors `pol_engine::ThreadPool` shutdown: jobs are submitted, the
+/// channel closes, and dropping the pool joins the workers. Crossbeam's
+/// disconnect semantics let receivers drain buffered messages, so every
+/// job submitted before the close must run exactly once and both
+/// workers must exit — in every interleaving of submit, close, pop, and
+/// wakeup.
+#[test]
+fn pool_shutdown_drains_every_submitted_job() {
+    loom::model(|| {
+        let chan = Arc::new((
+            Mutex::new(Chan {
+                jobs: VecDeque::new(),
+                closed: false,
+            }),
+            Condvar::new(),
+        ));
+        let ran = Arc::new(AtomicUsize::new(0));
+
+        let workers: Vec<_> = (0..2)
+            .map(|_| {
+                let chan = Arc::clone(&chan);
+                let ran = Arc::clone(&ran);
+                thread::spawn(move || {
+                    let (lock, cv) = &*chan;
+                    loop {
+                        let mut st = lock.lock().expect("chan lock");
+                        let job = loop {
+                            if let Some(j) = st.jobs.pop_front() {
+                                break Some(j);
+                            }
+                            if st.closed {
+                                break None;
+                            }
+                            st = cv.wait(st).expect("chan wait");
+                        };
+                        drop(st); // run the job outside the channel lock
+                        match job {
+                            Some(_) => {
+                                ran.fetch_add(1, Ordering::Relaxed);
+                            }
+                            None => return,
+                        }
+                    }
+                })
+            })
+            .collect();
+
+        // Submit two jobs, then close — ThreadPool::drop in two steps.
+        {
+            let (lock, cv) = &*chan;
+            let mut st = lock.lock().expect("chan lock");
+            st.jobs.push_back(1);
+            st.jobs.push_back(2);
+            cv.notify_all();
+        }
+        {
+            let (lock, cv) = &*chan;
+            let mut st = lock.lock().expect("chan lock");
+            st.closed = true;
+            cv.notify_all();
+        }
+        for w in workers {
+            w.join().expect("worker exits");
+        }
+        assert_eq!(
+            ran.load(Ordering::Relaxed),
+            2,
+            "a job submitted before shutdown was dropped or ran twice"
+        );
+    });
+}

@@ -250,3 +250,133 @@ proptest! {
         let _ = decode_response(&bytes);
     }
 }
+
+/// Pins every wire tag byte to its named opcode constant: a reordered
+/// or reused tag is a silent protocol break that round-trip tests alone
+/// cannot see (both sides would shift together). Each encoded payload is
+/// `[version, tag, ...body]`, and each constant must also survive a
+/// decode of a frame built from it — the coverage `xtask`'s
+/// `wire_exhaustive` rule demands.
+#[test]
+fn every_opcode_constant_is_pinned_to_its_frame_tag() {
+    use pol_serve::proto::{
+        PROTO_VERSION, REQ_BATCH, REQ_BBOX, REQ_ETA, REQ_HEALTH, REQ_PING, REQ_POINT, REQ_PREDICT,
+        REQ_READY, REQ_ROUTE, REQ_SEGMENT, REQ_STATS, REQ_TOP_DEST, RESP_BATCH, RESP_BUSY,
+        RESP_CELLS, RESP_DESTINATIONS, RESP_ERROR, RESP_ETA, RESP_HEALTH, RESP_PONG, RESP_READY,
+        RESP_STATS, RESP_SUMMARY,
+    };
+
+    let seg = MarketSegment::from_id(0).expect("segment 0 exists");
+    let requests: Vec<(Request, u8)> = vec![
+        (Request::Ping, REQ_PING),
+        (Request::PointSummary { lat: 1.0, lon: 2.0 }, REQ_POINT),
+        (
+            Request::SegmentSummary {
+                lat: 1.0,
+                lon: 2.0,
+                segment: seg,
+            },
+            REQ_SEGMENT,
+        ),
+        (
+            Request::RouteSummary {
+                lat: 1.0,
+                lon: 2.0,
+                origin: 3,
+                dest: 4,
+                segment: seg,
+            },
+            REQ_ROUTE,
+        ),
+        (
+            Request::BboxScan {
+                min_lat: -1.0,
+                min_lon: -2.0,
+                max_lat: 1.0,
+                max_lon: 2.0,
+            },
+            REQ_BBOX,
+        ),
+        (
+            Request::TopDestinationCells {
+                dest: 7,
+                segment: None,
+            },
+            REQ_TOP_DEST,
+        ),
+        (
+            Request::Eta {
+                lat: 1.0,
+                lon: 2.0,
+                segment: None,
+                route: None,
+            },
+            REQ_ETA,
+        ),
+        (
+            Request::PredictDestination {
+                segment: None,
+                top_n: 3,
+                track: vec![(1.0, 2.0)],
+            },
+            REQ_PREDICT,
+        ),
+        (Request::Stats, REQ_STATS),
+        (Request::Health, REQ_HEALTH),
+        (Request::Ready, REQ_READY),
+        (Request::Batch(vec![Request::Ping]), REQ_BATCH),
+    ];
+    for (req, tag) in requests {
+        let payload = encode_request(&req);
+        assert_eq!(payload[0], PROTO_VERSION);
+        assert_eq!(payload[1], tag, "request tag drifted for {req:?}");
+        let back = decode_request(&payload).expect("pinned payload decodes");
+        assert_eq!(back, req);
+    }
+
+    let responses: Vec<(Response, u8)> = vec![
+        (Response::Pong, RESP_PONG),
+        (Response::Summary(None), RESP_SUMMARY),
+        (Response::Cells(vec![5, 6]), RESP_CELLS),
+        (Response::Eta(None), RESP_ETA),
+        (Response::Destinations(vec![(1, 0.5)]), RESP_DESTINATIONS),
+        (
+            Response::Stats(StatsReport {
+                total_requests: 1,
+                busy_rejections: 0,
+                malformed_frames: 0,
+                connections: 1,
+                cache_hits: 0,
+                cache_misses: 0,
+                generation: 1,
+                reloads_ok: 0,
+                reloads_failed: 0,
+                batched_requests: 0,
+                mapped_lookups: 0,
+                mapped_scan_entries: 0,
+                store: "heap".to_string(),
+                endpoints: Vec::new(),
+                stages: String::new(),
+            }),
+            RESP_STATS,
+        ),
+        (Response::Busy, RESP_BUSY),
+        (Response::Error("nope".to_string()), RESP_ERROR),
+        (
+            Response::Health(HealthReport {
+                healthy: true,
+                generation: 1,
+                draining: false,
+            }),
+            RESP_HEALTH,
+        ),
+        (Response::Ready(true), RESP_READY),
+        (Response::Batch(vec![Response::Pong]), RESP_BATCH),
+    ];
+    for (resp, tag) in responses {
+        let payload = encode_response(&resp);
+        assert_eq!(payload[0], PROTO_VERSION);
+        assert_eq!(payload[1], tag, "response tag drifted for {resp:?}");
+        assert!(decode_response(&payload).is_ok());
+    }
+}

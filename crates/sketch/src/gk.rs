@@ -106,7 +106,10 @@ impl GkSketch {
         let threshold = (2.0 * self.epsilon * self.n as f64).floor() as u64;
         let mut out: Vec<Tuple> = Vec::with_capacity(self.tuples.len());
         // Keep the first tuple (exact minimum); greedily fold forward.
-        out.push(self.tuples[0]);
+        let Some(&first) = self.tuples.first() else {
+            return;
+        };
+        out.push(first);
         for i in 1..self.tuples.len() {
             let cur = self.tuples[i];
             // Never fold the exact-minimum tuple into its successor, and
@@ -142,7 +145,7 @@ impl GkSketch {
         // Standard GK query: return the last tuple whose maximum possible
         // rank stays within target + ε·n.
         let mut rmin = 0u64;
-        let mut answer = self.tuples[0].v;
+        let mut answer = self.tuples.first()?.v;
         for t in &self.tuples {
             rmin += t.g;
             if rmin + t.delta > target + allowed {
@@ -177,8 +180,8 @@ impl GkSketch {
             return None;
         }
         let mut total_g = 0u64;
-        for w in tuples.windows(2) {
-            if w[0].0 > w[1].0 {
+        for (a, b) in tuples.iter().zip(tuples.iter().skip(1)) {
+            if a.0 > b.0 {
                 return None;
             }
         }

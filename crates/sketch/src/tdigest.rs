@@ -80,9 +80,12 @@ impl TDigest {
         all.sort_by(|a, b| a.mean.total_cmp(&b.mean));
         let total: f64 = all.iter().map(|c| c.weight).sum();
         let mut out: Vec<Centroid> = Vec::with_capacity(self.compression as usize * 2);
-        let mut acc = all[0];
+        let mut iter = all.into_iter();
+        let Some(mut acc) = iter.next() else {
+            return;
+        };
         let mut w_before = 0.0; // weight strictly before `acc`
-        for c in all.into_iter().skip(1) {
+        for c in iter {
             let q0 = w_before / total;
             let q1 = (w_before + acc.weight + c.weight) / total;
             if self.scale(q1) - self.scale(q0) <= 1.0 {
@@ -108,7 +111,7 @@ impl TDigest {
             return None;
         }
         if self.centroids.len() == 1 {
-            return Some(self.centroids[0].mean);
+            return self.centroids.first().map(|c| c.mean);
         }
         let target = phi * self.total_weight;
         // Centroid i's mass is centred at cum_i + w_i/2.
@@ -164,8 +167,8 @@ impl TDigest {
         if !(compression >= 10.0) || total_weight < 0.0 {
             return None;
         }
-        for w in centroids.windows(2) {
-            if w[0].0 > w[1].0 {
+        for (a, b) in centroids.iter().zip(centroids.iter().skip(1)) {
+            if a.0 > b.0 {
                 return None;
             }
         }

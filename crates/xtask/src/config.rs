@@ -1,0 +1,169 @@
+//! Workspace analysis configuration, read from `xtask.toml` at the
+//! linted root.
+//!
+//! The parser is a deliberate TOML *subset* (pure std, like the rest of
+//! the linter): `[section]` headers, `key = "string"`, `key = true/false`,
+//! and `key = ["array", "of", "strings"]` — single-line values only,
+//! `#` comments. Unknown sections and keys are hard errors so a typo in
+//! the config cannot silently disable a rule.
+
+use std::fmt;
+
+/// Parsed `xtask.toml`. Every field has a default so a missing file
+/// (fixture trees, bare checkouts) still lints with full strictness.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Directory components exempt from `no_unwrap` (e.g. `src/bin` CLI
+    /// entry points, which may panic on bad arguments at startup).
+    pub no_unwrap_exempt_dirs: Vec<String>,
+    /// The workspace lock acquisition order, outermost first. A lock
+    /// later in this list must never be held when acquiring an earlier
+    /// one. Empty list disables ordering checks.
+    pub lock_order: Vec<String>,
+    /// Files (workspace-relative path suffixes) allowed to use
+    /// `Ordering::SeqCst`. Any SeqCst outside these is an escalation
+    /// flagged by `lock_order` even when justified for `seqcst_justify`.
+    pub seqcst_files: Vec<String>,
+    /// File names subject to `wire_exhaustive` opcode coverage.
+    pub wire_files: Vec<String>,
+    /// Opcode constant prefixes `wire_exhaustive` audits.
+    pub wire_prefixes: Vec<String>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            no_unwrap_exempt_dirs: vec!["src/bin".to_string()],
+            lock_order: Vec::new(),
+            seqcst_files: Vec::new(),
+            wire_files: vec!["proto.rs".to_string()],
+            wire_prefixes: vec!["REQ_".to_string(), "RESP_".to_string()],
+        }
+    }
+}
+
+/// A configuration parse failure (`file:line: message`).
+#[derive(Debug)]
+pub struct ConfigError {
+    /// 1-based line in `xtask.toml`.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "xtask.toml:{}: {}", self.line, self.message)
+    }
+}
+
+impl Config {
+    /// Parses the TOML subset described in the module docs.
+    pub fn parse(text: &str) -> Result<Config, ConfigError> {
+        let mut cfg = Config::default();
+        let mut section = String::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line = i + 1;
+            let t = raw.trim();
+            if t.is_empty() || t.starts_with('#') {
+                continue;
+            }
+            if let Some(name) = t.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+                section = name.trim().to_string();
+                match section.as_str() {
+                    "no_unwrap" | "lock_order" | "wire" => {}
+                    other => {
+                        return Err(ConfigError {
+                            line,
+                            message: format!("unknown section `[{other}]`"),
+                        })
+                    }
+                }
+                continue;
+            }
+            let Some((key, value)) = t.split_once('=') else {
+                return Err(ConfigError {
+                    line,
+                    message: format!("expected `key = value`, got `{t}`"),
+                });
+            };
+            let key = key.trim();
+            let value = value.trim();
+            let slot = match (section.as_str(), key) {
+                ("no_unwrap", "exempt_dirs") => &mut cfg.no_unwrap_exempt_dirs,
+                ("lock_order", "order") => &mut cfg.lock_order,
+                ("lock_order", "seqcst_files") => &mut cfg.seqcst_files,
+                ("wire", "files") => &mut cfg.wire_files,
+                ("wire", "prefixes") => &mut cfg.wire_prefixes,
+                _ => {
+                    return Err(ConfigError {
+                        line,
+                        message: format!("unknown key `{key}` in section `[{section}]`"),
+                    })
+                }
+            };
+            *slot = parse_string_array(value).ok_or(ConfigError {
+                line,
+                message: format!("`{key}` must be a single-line array of strings"),
+            })?;
+        }
+        Ok(cfg)
+    }
+}
+
+/// Parses `["a", "b"]` (or `[]`) into its elements.
+fn parse_string_array(value: &str) -> Option<Vec<String>> {
+    let inner = value.strip_prefix('[')?.strip_suffix(']')?;
+    let inner = inner.trim();
+    if inner.is_empty() {
+        return Some(Vec::new());
+    }
+    let mut out = Vec::new();
+    for part in inner.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue; // tolerate a trailing comma
+        }
+        let s = part.strip_prefix('"')?.strip_suffix('"')?;
+        out.push(s.to_string());
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_real_schema() {
+        let cfg = Config::parse(
+            "# comment\n\
+             [no_unwrap]\n\
+             exempt_dirs = [\"src/bin\"]\n\
+             [lock_order]\n\
+             order = [\"service\", \"cache\"]\n\
+             seqcst_files = []\n\
+             [wire]\n\
+             files = [\"proto.rs\"]\n\
+             prefixes = [\"REQ_\", \"RESP_\"]\n",
+        )
+        .expect("valid config parses");
+        assert_eq!(cfg.lock_order, ["service", "cache"]);
+        assert!(cfg.seqcst_files.is_empty());
+        assert_eq!(cfg.wire_prefixes, ["REQ_", "RESP_"]);
+    }
+
+    #[test]
+    fn unknown_keys_are_hard_errors() {
+        assert!(Config::parse("[lock_order]\nordr = [\"a\"]\n").is_err());
+        assert!(Config::parse("[nope]\n").is_err());
+        assert!(Config::parse("[wire]\nfiles = \"proto.rs\"\n").is_err());
+    }
+
+    #[test]
+    fn missing_file_defaults_are_strict() {
+        let cfg = Config::default();
+        assert_eq!(cfg.wire_files, ["proto.rs"]);
+        assert!(cfg.lock_order.is_empty());
+    }
+}

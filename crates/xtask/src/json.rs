@@ -1,0 +1,71 @@
+//! Machine-readable diagnostic rendering for `lint --format json`.
+//!
+//! The output is a JSON array of `{path, line, rule, message}` objects —
+//! stable field names, one object per diagnostic, sorted the same way as
+//! the text output — so CI can turn diagnostics into annotations without
+//! scraping the human format.
+
+use crate::rules::Diagnostic;
+
+/// Renders diagnostics as a pretty-printed JSON array.
+pub fn render(diags: &[Diagnostic]) -> String {
+    let mut out = String::from("[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n  {");
+        out.push_str(&format!(
+            "\"path\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\"",
+            escape(&d.path.to_string_lossy().replace('\\', "/")),
+            d.line,
+            d.rule.name(),
+            escape(&d.message)
+        ));
+        out.push('}');
+    }
+    if !diags.is_empty() {
+        out.push('\n');
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Rule;
+    use std::path::PathBuf;
+
+    #[test]
+    fn renders_escaped_array() {
+        let diags = vec![Diagnostic {
+            path: PathBuf::from("crates/a/src/lib.rs"),
+            line: 7,
+            rule: Rule::NoUnwrap,
+            message: "a \"quoted\" reason".to_string(),
+        }];
+        let json = render(&diags);
+        assert!(json.contains("\"line\": 7"));
+        assert!(json.contains("\\\"quoted\\\""));
+        assert!(json.starts_with('[') && json.trim_end().ends_with(']'));
+        assert_eq!(render(&[]), "[]\n");
+    }
+}

@@ -1,25 +1,34 @@
 //! # xtask — the workspace conformance linter
 //!
-//! A repo-specific static-analysis pass (pure `std`, no external deps) run
-//! as `cargo run -p xtask -- lint`. It enforces the correctness conventions
-//! the compiler cannot express:
+//! A repo-specific static-analysis pass (pure `std`, no external deps)
+//! run as `cargo run -p xtask -- lint [--format json]`. It enforces the
+//! correctness conventions the compiler cannot express. Each rule lives
+//! in [`rules`] and visits the shared pre-parsed [`source::SourceFile`]
+//! substrate; workspace configuration comes from `xtask.toml` at the
+//! linted root ([`config::Config`]).
 //!
-//! * **`no_panics`** (R1) — no `.unwrap()` / `.expect(` / `panic!` /
-//!   `todo!` / `unimplemented!` in the hot-path crates (`engine`, `core`,
-//!   `sketch`, `hexgrid`) outside test code. A worker thread that panics
-//!   mid-stage costs an entire pipeline run; fallible paths must return
-//!   typed errors instead.
-//! * **`safety_comment`** (R2) — every `unsafe` token must carry a
-//!   `// SAFETY:` comment on the same line or within the three lines above.
-//! * **`no_f32`** (R3) — no `f32` in the coordinate crates (`geo`,
-//!   `hexgrid`): single precision is ~1 m at equatorial longitudes, which
-//!   silently corrupts cell assignment near cell boundaries.
-//! * **`seqcst_justify`** (R4) — `Ordering::SeqCst` outside test code must
-//!   carry a nearby comment mentioning `SeqCst` that justifies why a
-//!   cheaper ordering is not correct.
-//! * **`lint_wall`** (R5) — every crate's `lib.rs` must open with
-//!   `#![deny(missing_docs)]` and its `Cargo.toml` must opt into the
-//!   workspace lint table (`[lints] workspace = true`).
+//! The catalog (see `DESIGN.md` §6 for what each rule *proves*):
+//!
+//! * **`no_unwrap`** (R1) — no panicking constructs (`unwrap`/`expect`/
+//!   panic macros/literal slice indexing) outside test code, in every
+//!   crate; CLI entry points under `[no_unwrap] exempt_dirs` excepted.
+//! * **`safety_comment`** (R2) — every `unsafe` token carries a
+//!   `// SAFETY:` comment on the same line or within three lines above.
+//! * **`unsafe_audit`** (R3) — non-test `unsafe` contracts additionally
+//!   name the exercising test (`tested by: <test>`), and the named test
+//!   must exist somewhere in the workspace.
+//! * **`no_f32`** (R4) — no `f32` in the coordinate crates.
+//! * **`seqcst_justify`** (R5) — `SeqCst` outside test code carries a
+//!   justification comment.
+//! * **`lint_wall`** (R6) — every crate's `lib.rs` opens with
+//!   `#![deny(missing_docs)]` and its manifest opts into the workspace
+//!   lint table.
+//! * **`wire_exhaustive`** (R7) — every wire opcode constant appears in
+//!   encode, decode, and test code.
+//! * **`lock_order`** (R8) — locks acquire in the order declared in
+//!   `xtask.toml`; `SeqCst` stays inside its file allowlist.
+//! * **`allow_audit`** (R9) — escape-hatch comments name real rules and
+//!   carry reasons.
 //!
 //! ## Escape hatch
 //!
@@ -27,375 +36,89 @@
 //! `// lint: allow(<rule>) — <reason>` placed on the offending line or on
 //! one of the six lines above it (so a short comment block above a
 //! multi-line expression covers the whole expression). The reason is
-//! mandatory by convention: the hatch exists for *proven* invariants, not
-//! for convenience.
+//! mandatory — `allow_audit` enforces it — because the hatch exists for
+//! *proven* invariants, not for convenience.
 //!
 //! ## Scope
 //!
 //! The linter walks `crates/*/` only (vendored shims under `vendor/` are
 //! third-party API stand-ins). Directories named `tests`, `benches` or
-//! `examples` and inline `#[cfg(test)]` modules are exempt from R1 and R4;
-//! R2 applies everywhere; paths containing a `fixtures` component are
+//! `examples` and inline `#[cfg(test)]` modules are test code to the
+//! test-sensitive rules; paths containing a `fixtures` component are
 //! skipped entirely (they are lint-rule test *data*, full of deliberate
-//! violations).
+//! violations). A scan that finds **zero** `.rs` files is a hard error,
+//! not a clean pass — a mis-pointed `--root` must not green-light CI.
 //!
-//! Matching is token-based on a comment- and string-stripped view of each
-//! line, so `"unsafe"` inside a string literal or `panic!` inside a doc
-//! comment never fires.
+//! Matching is token-based on a comment- and string-stripped view of
+//! each line, so `"unsafe"` inside a string literal or `panic!` inside a
+//! doc comment never fires.
 
 #![deny(missing_docs)]
+
+pub mod config;
+pub mod json;
+pub mod rules;
+pub mod source;
+
+pub use config::{Config, ConfigError};
+pub use rules::{check_file, Diagnostic, FileCtx, Rule, WorkspaceIndex, ALL_RULES};
+pub use source::SourceFile;
 
 use std::fmt;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-/// Crates whose non-test code must be panic-free (R1). `serve` is hot:
-/// a panic in a connection worker would silently shrink the pool.
-/// `chaos` is held to the same bar because its no-op form is compiled
-/// into every hot path (its deliberate Kill panic carries an allow).
-pub const HOT_CRATES: [&str; 6] = ["engine", "core", "sketch", "hexgrid", "serve", "chaos"];
-
-/// Crates whose coordinate math must stay in double precision (R3).
-pub const F64_ONLY_CRATES: [&str; 2] = ["geo", "hexgrid"];
-
-/// The conformance rules, in the order they are documented.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-pub enum Rule {
-    /// R1: no panicking constructs in hot-path crates.
-    NoPanics,
-    /// R2: `unsafe` requires a `// SAFETY:` comment.
-    SafetyComment,
-    /// R3: no `f32` in coordinate crates.
-    NoF32,
-    /// R4: `SeqCst` requires a justification comment.
-    SeqCstJustify,
-    /// R5: per-crate lint-wall opt-in (`#![deny(missing_docs)]` +
-    /// `[lints] workspace = true`).
-    LintWall,
+/// Why a lint run could not produce a verdict at all (distinct from
+/// "produced diagnostics").
+#[derive(Debug)]
+pub enum LintError {
+    /// Filesystem failure while scanning.
+    Io(io::Error),
+    /// The scan found zero `.rs` files under `<root>/crates` — almost
+    /// certainly a mis-pointed `--root`, and never a clean pass.
+    NoSources {
+        /// The root that was scanned.
+        root: PathBuf,
+    },
+    /// `xtask.toml` at the root failed to parse.
+    Config(ConfigError),
 }
 
-impl Rule {
-    /// The rule's name as used in diagnostics and allow-comments.
-    pub fn name(self) -> &'static str {
-        match self {
-            Rule::NoPanics => "no_panics",
-            Rule::SafetyComment => "safety_comment",
-            Rule::NoF32 => "no_f32",
-            Rule::SeqCstJustify => "seqcst_justify",
-            Rule::LintWall => "lint_wall",
-        }
-    }
-}
-
-/// One rule violation at a source location.
-#[derive(Clone, Debug)]
-pub struct Diagnostic {
-    /// File the violation is in (relative to the linted root).
-    pub path: PathBuf,
-    /// 1-based line number.
-    pub line: usize,
-    /// Which rule fired.
-    pub rule: Rule,
-    /// Human-readable explanation.
-    pub message: String,
-}
-
-impl fmt::Display for Diagnostic {
+impl fmt::Display for LintError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{}:{}: [{}] {}",
-            self.path.display(),
-            self.line,
-            self.rule.name(),
-            self.message
-        )
+        match self {
+            LintError::Io(e) => write!(f, "I/O error: {e}"),
+            LintError::NoSources { root } => write!(
+                f,
+                "no .rs files found under {} — refusing to report a clean \
+                 tree from an empty scan (is --root correct?)",
+                root.join("crates").display()
+            ),
+            LintError::Config(e) => write!(f, "{e}"),
+        }
     }
 }
 
-/// Splits source lines into a code part and a comment part, tracking
-/// multi-line `/* */` comments and removing the contents of string and
-/// char literals from the code part so pattern matching never fires on
-/// text.
-#[derive(Default)]
-struct LineSplitter {
-    in_block_comment: bool,
-}
-
-impl LineSplitter {
-    /// Returns `(code, comment)` for one source line.
-    fn split(&mut self, line: &str) -> (String, String) {
-        let mut code = String::with_capacity(line.len());
-        let mut comment = String::new();
-        let chars: Vec<char> = line.chars().collect();
-        let mut i = 0;
-        while i < chars.len() {
-            if self.in_block_comment {
-                if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
-                    self.in_block_comment = false;
-                    i += 2;
-                } else {
-                    comment.push(chars[i]);
-                    i += 1;
-                }
-                continue;
-            }
-            let c = chars[i];
-            match c {
-                '/' if chars.get(i + 1) == Some(&'/') => {
-                    // Line comment: the rest of the line is comment text.
-                    comment.extend(&chars[i..]);
-                    break;
-                }
-                '/' if chars.get(i + 1) == Some(&'*') => {
-                    self.in_block_comment = true;
-                    i += 2;
-                }
-                '"' => {
-                    // String literal (possibly preceded by b/r prefixes that
-                    // were already emitted as code): skip to the closing
-                    // quote, honouring backslash escapes.
-                    code.push('"');
-                    i += 1;
-                    while i < chars.len() {
-                        match chars[i] {
-                            '\\' => i += 2,
-                            '"' => {
-                                code.push('"');
-                                i += 1;
-                                break;
-                            }
-                            _ => i += 1,
-                        }
-                    }
-                }
-                '\'' => {
-                    // Char literal vs lifetime: a literal closes within a
-                    // few chars (`'x'`, `'\n'`, `'\u{1F30A}'`).
-                    let rest = &chars[i + 1..];
-                    let close = rest.iter().take(12).position(|&c| c == '\'');
-                    match close {
-                        Some(n) if n > 0 => {
-                            code.push('\'');
-                            code.push('\'');
-                            i += n + 2;
-                        }
-                        _ => {
-                            // A lifetime (or stray quote): keep as code.
-                            code.push('\'');
-                            i += 1;
-                        }
-                    }
-                }
-                _ => {
-                    code.push(c);
-                    i += 1;
-                }
-            }
-        }
-        (code, comment)
+impl From<io::Error> for LintError {
+    fn from(e: io::Error) -> Self {
+        LintError::Io(e)
     }
 }
 
-/// A pre-processed source file: per-line code/comment views plus the set of
-/// lines that live inside `#[cfg(test)]` modules.
-struct SourceFile {
-    code: Vec<String>,
-    comment: Vec<String>,
-    in_test_mod: Vec<bool>,
-}
-
-impl SourceFile {
-    fn parse(text: &str) -> SourceFile {
-        let mut splitter = LineSplitter::default();
-        let (mut code, mut comment) = (Vec::new(), Vec::new());
-        for line in text.lines() {
-            let (c, m) = splitter.split(line);
-            code.push(c);
-            comment.push(m);
-        }
-        let in_test_mod = mark_test_mods(&code);
-        SourceFile {
-            code,
-            comment,
-            in_test_mod,
-        }
-    }
-
-    /// Whether an allow-comment for `rule` covers 0-based line `idx`
-    /// (same line or up to six lines above).
-    fn allowed(&self, rule: Rule, idx: usize) -> bool {
-        let needle = format!("lint: allow({})", rule.name());
-        let lo = idx.saturating_sub(6);
-        self.comment[lo..=idx].iter().any(|c| c.contains(&needle))
-    }
-
-    /// Whether any comment in the window `[idx-above, idx]` contains
-    /// `needle` (used for `SAFETY:` and `SeqCst` justifications).
-    fn comment_near(&self, needle: &str, idx: usize, above: usize) -> bool {
-        let lo = idx.saturating_sub(above);
-        self.comment[lo..=idx].iter().any(|c| c.contains(needle))
-    }
-}
-
-/// Marks the lines belonging to `#[cfg(test)]` items by brace tracking:
-/// from a `#[cfg(test)]` attribute (including compound forms like
-/// `#[cfg(all(test, feature = "..."))]`, but not `not(test)`) to the
-/// close of the brace block that starts on the next code line (or to the
-/// first `;` for braceless items).
-fn mark_test_mods(code: &[String]) -> Vec<bool> {
-    let mut flags = vec![false; code.len()];
-    let mut depth: i64 = 0;
-    let mut armed = false;
-    let mut region_close: Option<i64> = None;
-    for (i, line) in code.iter().enumerate() {
-        let test_cfg = line.contains("#[cfg(")
-            && !line.contains("not(test")
-            && !token_lines(std::slice::from_ref(line), "test").is_empty();
-        if test_cfg {
-            armed = true;
-        }
-        if armed || region_close.is_some() {
-            flags[i] = true;
-        }
-        let opens = line.matches('{').count() as i64;
-        let closes = line.matches('}').count() as i64;
-        if armed {
-            if opens > 0 {
-                region_close = Some(depth);
-                armed = false;
-            } else if line.contains(';') {
-                armed = false;
-            }
-        }
-        depth += opens - closes;
-        if let Some(d) = region_close {
-            if depth <= d {
-                region_close = None;
-            }
-        }
-    }
-    flags
-}
-
-/// Returns 1-based line numbers where `token` appears in `code` with
-/// non-identifier characters (or line edges) on both sides.
-fn token_lines(code: &[String], token: &str) -> Vec<usize> {
-    let is_ident = |c: char| c.is_ascii_alphanumeric() || c == '_';
-    let mut out = Vec::new();
-    for (i, line) in code.iter().enumerate() {
-        let mut from = 0;
-        while let Some(pos) = line[from..].find(token) {
-            let start = from + pos;
-            let end = start + token.len();
-            let ok_before =
-                start == 0 || !is_ident(line[..start].chars().next_back().unwrap_or(' '));
-            let ok_after =
-                end >= line.len() || !is_ident(line[end..].chars().next().unwrap_or(' '));
-            if ok_before && ok_after {
-                out.push(i + 1);
-                break; // one diagnostic per line is enough
-            }
-            from = end;
-        }
-    }
-    out
-}
-
-/// The panicking constructs banned from hot-path crates. `.expect(` and
-/// `.unwrap()` are matched with their punctuation so `unwrap_or` and
-/// `expect_err` stay legal.
-const PANIC_PATTERNS: [&str; 5] = [".unwrap()", ".expect(", "panic!", "todo!", "unimplemented!"];
-
-fn scan_rust_file(
-    rel: &Path,
-    text: &str,
-    crate_name: &str,
+/// One parsed workspace file, carried between the index pass and the
+/// rule pass.
+struct ParsedFile {
+    /// Path relative to the linted root.
+    rel: PathBuf,
+    /// Crate directory name.
+    crate_name: String,
+    /// Lives under `tests/`, `benches/` or `examples/`.
     in_tests_dir: bool,
-    out: &mut Vec<Diagnostic>,
-) {
-    let file = SourceFile::parse(text);
-    let hot = HOT_CRATES.contains(&crate_name);
-    let f64_only = F64_ONLY_CRATES.contains(&crate_name);
-
-    for (i, code) in file.code.iter().enumerate() {
-        let line = i + 1;
-        let testish = in_tests_dir || file.in_test_mod[i];
-
-        // R1 — no panicking constructs on hot paths.
-        if hot && !testish {
-            for pat in PANIC_PATTERNS {
-                let hit = if pat.ends_with('!') {
-                    // Macro: require a non-identifier char before the name.
-                    token_lines(std::slice::from_ref(code), pat)
-                        .first()
-                        .is_some()
-                } else {
-                    code.contains(pat)
-                };
-                if hit && !file.allowed(Rule::NoPanics, i) {
-                    out.push(Diagnostic {
-                        path: rel.to_path_buf(),
-                        line,
-                        rule: Rule::NoPanics,
-                        message: format!(
-                            "`{pat}` in hot-path crate `{crate_name}`: return a typed error \
-                             or add `// lint: allow(no_panics) — <reason>` for a proven invariant"
-                        ),
-                    });
-                    break;
-                }
-            }
-        }
-
-        // R2 — unsafe needs a SAFETY comment (applies everywhere).
-        if !token_lines(std::slice::from_ref(code), "unsafe").is_empty()
-            && !file.comment_near("SAFETY:", i, 3)
-            && !file.allowed(Rule::SafetyComment, i)
-        {
-            out.push(Diagnostic {
-                path: rel.to_path_buf(),
-                line,
-                rule: Rule::SafetyComment,
-                message: "`unsafe` without a `// SAFETY:` comment on the same line \
-                          or within the three lines above"
-                    .to_string(),
-            });
-        }
-
-        // R3 — no f32 in coordinate crates.
-        if f64_only
-            && !token_lines(std::slice::from_ref(code), "f32").is_empty()
-            && !file.allowed(Rule::NoF32, i)
-        {
-            out.push(Diagnostic {
-                path: rel.to_path_buf(),
-                line,
-                rule: Rule::NoF32,
-                message: format!(
-                    "`f32` in coordinate crate `{crate_name}`: single precision corrupts \
-                     cell assignment; use f64"
-                ),
-            });
-        }
-
-        // R4 — SeqCst needs justification (non-test code only).
-        if !testish
-            && !token_lines(std::slice::from_ref(code), "SeqCst").is_empty()
-            && !file.comment_near("SeqCst", i, 3)
-            && !file.allowed(Rule::SeqCstJustify, i)
-        {
-            out.push(Diagnostic {
-                path: rel.to_path_buf(),
-                line,
-                rule: Rule::SeqCstJustify,
-                message: "`Ordering::SeqCst` without a justification comment: state why \
-                          a cheaper ordering is not correct, or relax it"
-                    .to_string(),
-            });
-        }
-    }
+    /// Lives under a `no_unwrap` exempt directory.
+    in_exempt_dir: bool,
+    /// Pre-parsed source.
+    file: SourceFile,
 }
 
 /// Whether a crate manifest opts into the workspace lint table: a
@@ -435,16 +158,9 @@ fn walk_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
     Ok(())
 }
 
-/// Lints one crate directory (`<root>/crates/<name>`), appending
-/// diagnostics with paths relative to `root`.
-fn lint_crate(root: &Path, crate_dir: &Path, out: &mut Vec<Diagnostic>) -> io::Result<()> {
-    let crate_name = crate_dir
-        .file_name()
-        .map(|n| n.to_string_lossy().into_owned())
-        .unwrap_or_default();
+/// R6 — manifest + lib.rs lint-wall checks for one crate.
+fn lint_wall_crate(root: &Path, crate_dir: &Path, out: &mut Vec<Diagnostic>) -> io::Result<()> {
     let rel = |p: &Path| p.strip_prefix(root).unwrap_or(p).to_path_buf();
-
-    // R5 — manifest opts into the workspace lint table.
     let manifest_path = crate_dir.join("Cargo.toml");
     let manifest = fs::read_to_string(&manifest_path)?;
     if !manifest_opts_into_lints(&manifest) {
@@ -457,8 +173,6 @@ fn lint_crate(root: &Path, crate_dir: &Path, out: &mut Vec<Diagnostic>) -> io::R
                 .to_string(),
         });
     }
-
-    // R5 — lib.rs carries the missing-docs wall explicitly.
     let lib_path = crate_dir.join("src").join("lib.rs");
     if lib_path.is_file() {
         let lib = fs::read_to_string(&lib_path)?;
@@ -471,33 +185,29 @@ fn lint_crate(root: &Path, crate_dir: &Path, out: &mut Vec<Diagnostic>) -> io::R
             });
         }
     }
-
-    // R1–R4 over every .rs file in the crate.
-    let mut files = Vec::new();
-    walk_rs_files(crate_dir, &mut files)?;
-    files.sort();
-    for path in files {
-        let in_tests_dir = path
-            .strip_prefix(crate_dir)
-            .ok()
-            .map(|p| {
-                p.components().any(|c| {
-                    matches!(
-                        c.as_os_str().to_string_lossy().as_ref(),
-                        "tests" | "benches" | "examples"
-                    )
-                })
-            })
-            .unwrap_or(false);
-        let text = fs::read_to_string(&path)?;
-        scan_rust_file(&rel(&path), &text, &crate_name, in_tests_dir, out);
-    }
     Ok(())
+}
+
+/// Loads `<root>/xtask.toml`, or strict defaults when absent.
+fn load_config(root: &Path) -> Result<Config, LintError> {
+    let path = root.join("xtask.toml");
+    if !path.is_file() {
+        return Ok(Config::default());
+    }
+    let text = fs::read_to_string(&path)?;
+    Config::parse(&text).map_err(LintError::Config)
 }
 
 /// Runs the full conformance pass over a workspace root, returning all
 /// diagnostics sorted by path and line.
-pub fn lint_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
+///
+/// Two passes: the first parses every file and folds it into the
+/// [`WorkspaceIndex`] (test names, per-crate test code) so cross-file
+/// rules (`unsafe_audit`, `wire_exhaustive`) have the whole workspace in
+/// view; the second runs the per-file rules plus the per-crate
+/// `lint_wall` checks.
+pub fn lint_workspace(root: &Path) -> Result<Vec<Diagnostic>, LintError> {
+    let config = load_config(root)?;
     let crates_dir = root.join("crates");
     let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)?
         .filter_map(|e| e.ok())
@@ -505,9 +215,66 @@ pub fn lint_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
         .filter(|p| p.is_dir() && p.join("Cargo.toml").is_file())
         .collect();
     crate_dirs.sort();
+
+    // Pass 1 — parse everything, build the workspace index.
+    let mut workspace = WorkspaceIndex::default();
+    let mut parsed: Vec<ParsedFile> = Vec::new();
+    for crate_dir in &crate_dirs {
+        let crate_name = crate_dir
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let mut files = Vec::new();
+        walk_rs_files(crate_dir, &mut files)?;
+        files.sort();
+        for path in files {
+            let crate_rel = path.strip_prefix(crate_dir).unwrap_or(&path);
+            let crate_rel_str = crate_rel.to_string_lossy().replace('\\', "/");
+            let in_tests_dir = crate_rel.components().any(|c| {
+                matches!(
+                    c.as_os_str().to_string_lossy().as_ref(),
+                    "tests" | "benches" | "examples"
+                )
+            });
+            let in_exempt_dir = config
+                .no_unwrap_exempt_dirs
+                .iter()
+                .any(|d| crate_rel_str.starts_with(&format!("{d}/")));
+            let text = fs::read_to_string(&path)?;
+            let file = SourceFile::parse(&text);
+            let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
+            workspace.absorb(&crate_name, &rel, in_tests_dir, &file);
+            parsed.push(ParsedFile {
+                rel,
+                crate_name: crate_name.clone(),
+                in_tests_dir,
+                in_exempt_dir,
+                file,
+            });
+        }
+    }
+    if parsed.is_empty() {
+        return Err(LintError::NoSources {
+            root: root.to_path_buf(),
+        });
+    }
+
+    // Pass 2 — rules over every file, lint-wall over every crate.
     let mut out = Vec::new();
-    for dir in crate_dirs {
-        lint_crate(root, &dir, &mut out)?;
+    for crate_dir in &crate_dirs {
+        lint_wall_crate(root, crate_dir, &mut out)?;
+    }
+    for p in &parsed {
+        let ctx = FileCtx {
+            rel: &p.rel,
+            crate_name: &p.crate_name,
+            in_tests_dir: p.in_tests_dir,
+            in_exempt_dir: p.in_exempt_dir,
+            file: &p.file,
+            config: &config,
+            workspace: &workspace,
+        };
+        check_file(&ctx, &mut out);
     }
     out.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
     Ok(out)

@@ -1,15 +1,21 @@
 //! Thin CLI over the [`xtask`] conformance linter.
 //!
-//! Usage: `cargo run -p xtask -- lint [--root <dir>]`. Exits 0 when the
-//! tree conforms, 1 with `file:line` diagnostics when it does not, and 2
-//! on usage errors.
+//! Usage: `cargo run -p xtask -- lint [--root <dir>] [--format text|json]`.
+//! Exits 0 when the tree conforms, 1 with diagnostics when it does not,
+//! and 2 on usage errors or hard failures — including a scan that finds
+//! zero `.rs` files, which is never reported as clean.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
-    eprintln!("usage: cargo run -p xtask -- lint [--root <dir>]");
+    eprintln!("usage: cargo run -p xtask -- lint [--root <dir>] [--format text|json]");
     ExitCode::from(2)
+}
+
+enum Format {
+    Text,
+    Json,
 }
 
 fn main() -> ExitCode {
@@ -22,11 +28,17 @@ fn main() -> ExitCode {
         return usage();
     }
     let mut root: Option<PathBuf> = None;
+    let mut format = Format::Text;
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--root" => match args.next() {
                 Some(dir) => root = Some(PathBuf::from(dir)),
                 None => return usage(),
+            },
+            "--format" => match args.next().as_deref() {
+                Some("text") => format = Format::Text,
+                Some("json") => format = Format::Json,
+                _ => return usage(),
             },
             _ => {
                 eprintln!("unknown flag `{flag}`");
@@ -43,19 +55,28 @@ fn main() -> ExitCode {
     });
 
     match xtask::lint_workspace(&root) {
-        Ok(diags) if diags.is_empty() => {
-            println!("xtask lint: clean");
-            ExitCode::SUCCESS
-        }
         Ok(diags) => {
-            for d in &diags {
-                println!("{d}");
+            match format {
+                Format::Json => print!("{}", xtask::json::render(&diags)),
+                Format::Text => {
+                    for d in &diags {
+                        println!("{d}");
+                    }
+                    if diags.is_empty() {
+                        println!("xtask lint: clean");
+                    } else {
+                        println!("xtask lint: {} violation(s)", diags.len());
+                    }
+                }
             }
-            println!("xtask lint: {} violation(s)", diags.len());
-            ExitCode::FAILURE
+            if diags.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
         }
         Err(e) => {
-            eprintln!("xtask lint: I/O error: {e}");
+            eprintln!("xtask lint: {e}");
             ExitCode::from(2)
         }
     }

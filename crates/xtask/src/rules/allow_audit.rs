@@ -1,0 +1,50 @@
+//! R9 `allow_audit` — the escape hatch audits itself.
+//!
+//! `// lint: allow(<rule>) — <reason>` is the only way past the other
+//! rules, so its hygiene is load-bearing:
+//!
+//! * an allow naming a rule the registry does not contain suppresses
+//!   nothing — it is a typo waiting to let a real violation through, and
+//!   is flagged *everywhere*, test code included;
+//! * an allow without a reason is an unproven exception and is flagged in
+//!   non-test code (test-local allows may stay terse — the test itself
+//!   is the context).
+
+use super::{Diagnostic, FileCtx, Rule};
+
+/// Runs the rule over one file.
+pub fn check(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    for (i, allow) in ctx.file.allows.iter().enumerate() {
+        let Some(allow) = allow else { continue };
+        if Rule::from_name(&allow.rule_name).is_none() {
+            ctx.emit(
+                out,
+                Rule::AllowAudit,
+                i,
+                format!(
+                    "`lint: allow({})` names no known rule — it suppresses \
+                     nothing; known rules: {}",
+                    allow.rule_name,
+                    super::ALL_RULES
+                        .iter()
+                        .map(|r| r.name())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ),
+            );
+            continue;
+        }
+        if !allow.has_reason && !ctx.testish(i) {
+            ctx.emit(
+                out,
+                Rule::AllowAudit,
+                i,
+                format!(
+                    "`lint: allow({})` carries no reason: the hatch is for \
+                     proven invariants — state the proof after an em dash",
+                    allow.rule_name
+                ),
+            );
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! The rule registry and the context rules visit.
+//!
+//! Each rule lives in its own module and exposes a
+//! `check(&FileCtx, &mut Vec<Diagnostic>)` pass over one pre-parsed
+//! [`SourceFile`]. The registry ([`Rule`]) is the single source of truth
+//! for rule names — diagnostics, `--format json` output, and the
+//! `// lint: allow(<rule>)` escape hatch all resolve through it, and
+//! `allow_audit` rejects allow-comments naming anything it does not
+//! contain.
+
+pub mod allow_audit;
+pub mod lock_order;
+pub mod no_f32;
+pub mod no_unwrap;
+pub mod safety;
+pub mod seqcst;
+pub mod wire;
+
+use crate::config::Config;
+use crate::source::SourceFile;
+use std::collections::BTreeSet;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// The conformance rules, in the order they are documented.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Rule {
+    /// R1: no panicking constructs (`unwrap`/`expect`/panic macros/
+    /// literal slice indexing) outside test code, workspace-wide.
+    NoUnwrap,
+    /// R2: `unsafe` requires a `// SAFETY:` comment.
+    SafetyComment,
+    /// R3: every `unsafe` contract must name the invariant *and* the
+    /// test that exercises it (`tested by: <test>`).
+    UnsafeAudit,
+    /// R4: no `f32` in coordinate crates.
+    NoF32,
+    /// R5: `SeqCst` requires a justification comment.
+    SeqCstJustify,
+    /// R6: per-crate lint-wall opt-in (`#![deny(missing_docs)]` +
+    /// `[lints] workspace = true`).
+    LintWall,
+    /// R7: every wire opcode constant must appear in encode, decode, and
+    /// test code — catches codec drift when a frame type is added.
+    WireExhaustive,
+    /// R8: locks must be acquired in the order declared in `xtask.toml`,
+    /// and `SeqCst` must not appear outside the declared allowlist.
+    LockOrder,
+    /// R9: escape-hatch hygiene — `// lint: allow(...)` must name a real
+    /// rule and carry a reason.
+    AllowAudit,
+}
+
+/// Every rule, in documentation order.
+pub const ALL_RULES: [Rule; 9] = [
+    Rule::NoUnwrap,
+    Rule::SafetyComment,
+    Rule::UnsafeAudit,
+    Rule::NoF32,
+    Rule::SeqCstJustify,
+    Rule::LintWall,
+    Rule::WireExhaustive,
+    Rule::LockOrder,
+    Rule::AllowAudit,
+];
+
+impl Rule {
+    /// The rule's name as used in diagnostics and allow-comments.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::NoUnwrap => "no_unwrap",
+            Rule::SafetyComment => "safety_comment",
+            Rule::UnsafeAudit => "unsafe_audit",
+            Rule::NoF32 => "no_f32",
+            Rule::SeqCstJustify => "seqcst_justify",
+            Rule::LintWall => "lint_wall",
+            Rule::WireExhaustive => "wire_exhaustive",
+            Rule::LockOrder => "lock_order",
+            Rule::AllowAudit => "allow_audit",
+        }
+    }
+
+    /// Resolves a rule name from an allow-comment.
+    pub fn from_name(name: &str) -> Option<Rule> {
+        ALL_RULES.iter().copied().find(|r| r.name() == name)
+    }
+}
+
+/// One rule violation at a source location.
+#[derive(Clone, Debug)]
+pub struct Diagnostic {
+    /// File the violation is in (relative to the linted root).
+    pub path: PathBuf,
+    /// 1-based line number.
+    pub line: usize,
+    /// Which rule fired.
+    pub rule: Rule,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path.display(),
+            self.line,
+            self.rule.name(),
+            self.message
+        )
+    }
+}
+
+/// Workspace-wide facts gathered in a first pass, shared by rules whose
+/// judgement spans files: the set of test function names and test file
+/// stems (for `unsafe_audit`'s `tested by:` resolution) and per-crate
+/// test code (for `wire_exhaustive`'s round-trip leg).
+#[derive(Default)]
+pub struct WorkspaceIndex {
+    /// Names of `fn` items defined in test code anywhere in the
+    /// workspace, plus the stems of files under `tests/`.
+    pub test_names: BTreeSet<String>,
+    /// Per-crate concatenation of test-code lines (literal-stripped),
+    /// keyed by crate name.
+    pub crate_test_code: std::collections::BTreeMap<String, String>,
+}
+
+impl WorkspaceIndex {
+    /// Folds one parsed file into the index.
+    pub fn absorb(&mut self, crate_name: &str, rel: &Path, in_tests_dir: bool, file: &SourceFile) {
+        if in_tests_dir {
+            if let Some(stem) = rel.file_stem().and_then(|s| s.to_str()) {
+                self.test_names.insert(stem.to_string());
+            }
+        }
+        let mut test_code = String::new();
+        for (i, code) in file.code.iter().enumerate() {
+            if !(in_tests_dir || file.in_test_mod[i]) {
+                continue;
+            }
+            test_code.push_str(code);
+            test_code.push('\n');
+            if let Some(pos) = crate::source::find_token(code, "fn") {
+                let name: String = code[pos + 2..]
+                    .trim_start()
+                    .chars()
+                    .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                    .collect();
+                if !name.is_empty() {
+                    self.test_names.insert(name);
+                }
+            }
+        }
+        if !test_code.is_empty() {
+            self.crate_test_code
+                .entry(crate_name.to_string())
+                .or_default()
+                .push_str(&test_code);
+        }
+    }
+}
+
+/// Everything a per-file rule pass can see.
+pub struct FileCtx<'a> {
+    /// Path relative to the linted root.
+    pub rel: &'a Path,
+    /// Name of the crate directory the file belongs to.
+    pub crate_name: &'a str,
+    /// Whether the file lives under `tests/`, `benches/` or `examples/`.
+    pub in_tests_dir: bool,
+    /// Whether the file lives under a `no_unwrap` exempt directory.
+    pub in_exempt_dir: bool,
+    /// The pre-parsed source.
+    pub file: &'a SourceFile,
+    /// Workspace configuration.
+    pub config: &'a Config,
+    /// Cross-file facts.
+    pub workspace: &'a WorkspaceIndex,
+}
+
+impl FileCtx<'_> {
+    /// Whether 0-based line `idx` is test code (tests dir or cfg(test)).
+    pub fn testish(&self, idx: usize) -> bool {
+        self.in_tests_dir || self.file.in_test_mod[idx]
+    }
+
+    /// Emits a diagnostic unless an allow-comment covers it.
+    pub fn emit(&self, out: &mut Vec<Diagnostic>, rule: Rule, idx: usize, message: String) {
+        if self.file.allowed(rule.name(), idx) {
+            return;
+        }
+        out.push(Diagnostic {
+            path: self.rel.to_path_buf(),
+            line: idx + 1,
+            rule,
+            message,
+        });
+    }
+}
+
+/// Runs every per-file rule over one parsed source file.
+pub fn check_file(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    no_unwrap::check(ctx, out);
+    safety::check(ctx, out);
+    no_f32::check(ctx, out);
+    seqcst::check(ctx, out);
+    wire::check(ctx, out);
+    lock_order::check(ctx, out);
+    allow_audit::check(ctx, out);
+}

@@ -1,0 +1,33 @@
+//! R4 `no_f32` — coordinate math stays in double precision.
+//!
+//! Single precision is ~1 m at equatorial longitudes, which silently
+//! corrupts cell assignment near cell boundaries; the inventory's
+//! bit-identity guarantees die with it. The rule bans the `f32` token in
+//! the coordinate crates.
+
+use super::{Diagnostic, FileCtx, Rule};
+use crate::source::line_has_token;
+
+/// Crates whose coordinate math must stay in double precision.
+pub const F64_ONLY_CRATES: [&str; 2] = ["geo", "hexgrid"];
+
+/// Runs the rule over one file.
+pub fn check(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    if !F64_ONLY_CRATES.contains(&ctx.crate_name) {
+        return;
+    }
+    for (i, code) in ctx.file.code.iter().enumerate() {
+        if line_has_token(code, "f32") {
+            ctx.emit(
+                out,
+                Rule::NoF32,
+                i,
+                format!(
+                    "`f32` in coordinate crate `{}`: single precision corrupts \
+                     cell assignment; use f64",
+                    ctx.crate_name
+                ),
+            );
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! R1 `no_unwrap` — no panicking constructs outside test code.
+//!
+//! Replaces the PR-1 `no_panics` rule: instead of a hot-crate allowlist,
+//! every crate's non-test code is panic-free — a worker that panics
+//! mid-request silently shrinks the serving pool, and the build pipeline
+//! already reports failures as typed errors. Banned forms:
+//!
+//! * `.unwrap()` / `.expect(` (with punctuation, so `unwrap_or` and
+//!   `expect_err` stay legal)
+//! * `panic!` / `todo!` / `unimplemented!` / `unreachable!`
+//! * literal slice indexing (`buf[0]`) — the indexing that panics when a
+//!   length assumption drifts; use `.get(n)`, `.first()`, or a slice
+//!   pattern and handle the short case.
+//!
+//! CLI entry points under the configured exempt directories (default
+//! `src/bin`) may still panic on startup errors. Proven in-bounds
+//! accesses take `// lint: allow(no_unwrap) — <why the index is proven>`.
+
+use super::{Diagnostic, FileCtx, Rule};
+use crate::source::line_has_token;
+
+/// The panicking method calls and macros banned outside tests.
+const PANIC_PATTERNS: [&str; 6] = [
+    ".unwrap()",
+    ".expect(",
+    "panic!",
+    "todo!",
+    "unimplemented!",
+    "unreachable!",
+];
+
+/// Runs the rule over one file.
+pub fn check(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    if ctx.in_exempt_dir {
+        return;
+    }
+    for (i, code) in ctx.file.code.iter().enumerate() {
+        if ctx.testish(i) {
+            continue;
+        }
+        let mut hit: Option<String> = None;
+        for pat in PANIC_PATTERNS {
+            let found = if pat.ends_with('!') {
+                line_has_token(code, pat)
+            } else {
+                code.contains(pat)
+            };
+            if found {
+                hit = Some(format!(
+                    "`{pat}` outside test code: return a typed error, or add \
+                     `// lint: allow(no_unwrap) — <reason>` for a proven invariant"
+                ));
+                break;
+            }
+        }
+        if hit.is_none() && has_literal_index(code) {
+            hit = Some(
+                "literal slice index outside test code panics when the length \
+                 assumption drifts: use `.get(n)`/a slice pattern, or add \
+                 `// lint: allow(no_unwrap) — <why the index is in bounds>`"
+                    .to_string(),
+            );
+        }
+        if let Some(message) = hit {
+            ctx.emit(out, Rule::NoUnwrap, i, message);
+        }
+    }
+}
+
+/// Detects `expr[<integer>]` indexing: a `[` immediately preceded by an
+/// identifier character, `)`, or `]`, whose bracketed content is all
+/// digits (with optional `_` separators). Array types (`[u8; 4]`),
+/// attributes (`#[...]`) and variable indices never match.
+fn has_literal_index(code: &str) -> bool {
+    let bytes = code.as_bytes();
+    for (i, &b) in bytes.iter().enumerate() {
+        if b != b'[' || i == 0 {
+            continue;
+        }
+        let prev = bytes[i - 1];
+        let indexes_expr =
+            prev.is_ascii_alphanumeric() || prev == b'_' || prev == b')' || prev == b']';
+        if !indexes_expr {
+            continue;
+        }
+        let rest = &bytes[i + 1..];
+        let mut digits = 0;
+        for &c in rest {
+            match c {
+                b'0'..=b'9' | b'_' => digits += 1,
+                b']' if digits > 0 => return true,
+                _ => break,
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_index_detection_is_narrow() {
+        assert!(has_literal_index("let x = buf[0];"));
+        assert!(has_literal_index("w[1].0"));
+        assert!(has_literal_index("f(x)[2]"));
+        assert!(has_literal_index("parts[10_0]"));
+        assert!(!has_literal_index("let a: [u8; 4] = [0; 4];"));
+        assert!(!has_literal_index("#[derive(Debug)]"));
+        assert!(!has_literal_index("buf[i]"));
+        assert!(!has_literal_index("buf[n + 1]"));
+        assert!(!has_literal_index("&xs[..4]"));
+    }
+}

@@ -1,0 +1,139 @@
+//! R2 `safety_comment` and R3 `unsafe_audit` — the unsafe contract.
+//!
+//! `safety_comment` demands a `// SAFETY:` comment on the line of every
+//! `unsafe` token or in the contiguous comment block directly above it.
+//!
+//! `unsafe_audit` raises the bar for non-test code: the contract must
+//! name the test that exercises the invariant, with a
+//! `tested by: <name>[, <name>...]` marker inside the comment block
+//! (same line or up to ten lines above, so a multi-line SAFETY argument
+//! counts). Each name must resolve to a test — a `fn` defined in test
+//! code anywhere in the workspace, or a `tests/` file stem. An unsafe
+//! block whose proof rots (the named test is renamed away) turns the
+//! lint red, which is the point: the contract and its evidence move
+//! together or not at all.
+
+use super::{Diagnostic, FileCtx, Rule};
+use crate::source::line_has_token;
+
+/// How far above the `unsafe` token a multi-line SAFETY contract may
+/// start.
+const CONTRACT_WINDOW: usize = 10;
+
+/// Runs both rules over one file.
+pub fn check(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    for (i, code) in ctx.file.code.iter().enumerate() {
+        if !line_has_token(code, "unsafe") {
+            continue;
+        }
+        // R2 — applies everywhere, test code included. The contract may
+        // span several lines: any `SAFETY:` in the contiguous comment
+        // block ending at the `unsafe` line counts.
+        let window = contract_block(ctx, i);
+        if !window.contains("SAFETY:") {
+            ctx.emit(
+                out,
+                Rule::SafetyComment,
+                i,
+                "`unsafe` without a `// SAFETY:` comment on the same line \
+                 or in the contiguous comment block above"
+                    .to_string(),
+            );
+            continue; // the audit needs a contract to audit
+        }
+        // R3 — non-test code must tie the contract to a test.
+        if ctx.testish(i) {
+            continue;
+        }
+        match tested_by_names(&window) {
+            None => ctx.emit(
+                out,
+                Rule::UnsafeAudit,
+                i,
+                "`unsafe` contract names no exercising test: add \
+                 `tested by: <test fn or tests/ file>` to the SAFETY comment"
+                    .to_string(),
+            ),
+            Some(names) => {
+                for name in names {
+                    if !ctx.workspace.test_names.contains(&name) {
+                        ctx.emit(
+                            out,
+                            Rule::UnsafeAudit,
+                            i,
+                            format!(
+                                "SAFETY contract cites `tested by: {name}`, but no test \
+                                 fn or tests/ file of that name exists in the workspace"
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The contract block for the `unsafe` at line `idx`: the line's own
+/// comment plus the contiguous run of comment-bearing lines directly
+/// above it (capped at [`CONTRACT_WINDOW`]). Contiguity stops at the
+/// first comment-free line, so a neighbouring function's contract never
+/// bleeds into this one's window.
+fn contract_block(ctx: &FileCtx<'_>, idx: usize) -> String {
+    let mut lines = vec![ctx.file.comment[idx].as_str()];
+    let mut j = idx;
+    while j > 0 && idx - j < CONTRACT_WINDOW {
+        j -= 1;
+        if ctx.file.comment[j].trim().is_empty() {
+            break;
+        }
+        lines.push(ctx.file.comment[j].as_str());
+    }
+    lines.reverse();
+    lines.join("\n")
+}
+
+/// Extracts the identifiers after a `tested by:` marker. Returns `None`
+/// when the marker is absent, `Some(names)` otherwise (possibly empty,
+/// which the caller treats as unresolved).
+fn tested_by_names(comment_block: &str) -> Option<Vec<String>> {
+    let pos = comment_block.find("tested by:")?;
+    let tail = &comment_block[pos + "tested by:".len()..];
+    // Names run to the end of the marker's sentence: stop at a newline
+    // or a period, split on commas/whitespace.
+    let line = tail
+        .split(['\n', '.'])
+        .next()
+        .unwrap_or("")
+        .replace(" and ", ",");
+    let names: Vec<String> = line
+        .split([',', ' '])
+        .map(|s| s.trim())
+        .filter(|s| !s.is_empty() && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'))
+        .map(|s| s.to_string())
+        .collect();
+    if names.is_empty() {
+        // A bare `tested by:` with nothing resolvable is as good as no
+        // marker at all.
+        return None;
+    }
+    Some(names)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tested_by_parses_lists() {
+        assert_eq!(
+            tested_by_names("SAFETY: fine. tested by: alpha, beta_2"),
+            Some(vec!["alpha".to_string(), "beta_2".to_string()])
+        );
+        assert_eq!(
+            tested_by_names("SAFETY: x.\n tested by: one and two.\n more"),
+            Some(vec!["one".to_string(), "two".to_string()])
+        );
+        assert_eq!(tested_by_names("SAFETY: no marker here"), None);
+        assert_eq!(tested_by_names("tested by: "), None);
+    }
+}

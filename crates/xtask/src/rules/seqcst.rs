@@ -1,0 +1,32 @@
+//! R5 `seqcst_justify` — `Ordering::SeqCst` must be argued for.
+//!
+//! SeqCst is the ordering people reach for when they have not thought
+//! about the ordering; it serializes every store through a global fence
+//! and usually hides a cheaper correct choice. Non-test code using the
+//! token must carry a nearby comment mentioning `SeqCst` that justifies
+//! why Acquire/Release (or Relaxed) is not enough. The separate
+//! `lock_order` rule additionally confines SeqCst to an explicit file
+//! allowlist — this rule is about the *argument*, that one about the
+//! *inventory*.
+
+use super::{Diagnostic, FileCtx, Rule};
+use crate::source::line_has_token;
+
+/// Runs the rule over one file.
+pub fn check(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    for (i, code) in ctx.file.code.iter().enumerate() {
+        if ctx.testish(i) {
+            continue;
+        }
+        if line_has_token(code, "SeqCst") && !ctx.file.comment_near("SeqCst", i, 3) {
+            ctx.emit(
+                out,
+                Rule::SeqCstJustify,
+                i,
+                "`Ordering::SeqCst` without a justification comment: state why \
+                 a cheaper ordering is not correct, or relax it"
+                    .to_string(),
+            );
+        }
+    }
+}

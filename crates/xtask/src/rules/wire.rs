@@ -1,0 +1,107 @@
+//! R7 `wire_exhaustive` — every opcode lives in encode, decode, *and* a
+//! test.
+//!
+//! The wire protocol drifts one forgotten arm at a time: a new request
+//! opcode gets an encoder, the decoder's `match` silently routes it to
+//! the error arm, and the first symptom is a production `bad opcode`
+//! frame. This rule closes the loop mechanically. For every constant
+//! declared in a wire definition file (`[wire] files` in `xtask.toml`,
+//! default `proto.rs`) whose name carries a wire prefix (`REQ_`/`RESP_`
+//! by default), three legs must exist:
+//!
+//! 1. the constant is referenced inside a function whose name contains
+//!    `encode`,
+//! 2. referenced inside a function whose name contains `decode`,
+//! 3. referenced from the crate's test code (a `#[cfg(test)]` module or
+//!    a `tests/` file), so a round-trip actually pins the byte value.
+//!
+//! A missing leg is reported at the constant's declaration line.
+
+use super::{Diagnostic, FileCtx, Rule};
+use crate::source::line_has_token;
+
+/// Runs the rule over one file.
+pub fn check(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    let rel = ctx.rel.to_string_lossy().replace('\\', "/");
+    if !ctx
+        .config
+        .wire_files
+        .iter()
+        .any(|f| rel.ends_with(f.as_str()))
+    {
+        return;
+    }
+    let test_code = ctx
+        .workspace
+        .crate_test_code
+        .get(ctx.crate_name)
+        .map(String::as_str)
+        .unwrap_or("");
+    for (decl_idx, name) in wire_consts(ctx) {
+        let mut missing: Vec<&str> = Vec::new();
+        if !referenced_in_fns(ctx, &name, "encode", decl_idx) {
+            missing.push("an `encode` function");
+        }
+        if !referenced_in_fns(ctx, &name, "decode", decl_idx) {
+            missing.push("a `decode` function");
+        }
+        if !test_code.lines().any(|line| line_has_token(line, &name)) {
+            missing.push("test code (round-trip coverage)");
+        }
+        if !missing.is_empty() {
+            ctx.emit(
+                out,
+                Rule::WireExhaustive,
+                decl_idx,
+                format!(
+                    "wire opcode `{name}` is not referenced from {}: every \
+                     opcode must appear in encode, decode, and a test so a \
+                     new frame type cannot ship half-wired",
+                    missing.join(" or ")
+                ),
+            );
+        }
+    }
+}
+
+/// Collects `(decl_line_idx, name)` for every `const <PREFIX>*` declared
+/// in non-test code of this file.
+fn wire_consts(ctx: &FileCtx<'_>) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    for (i, code) in ctx.file.code.iter().enumerate() {
+        if ctx.testish(i) {
+            continue;
+        }
+        let Some(pos) = crate::source::find_token(code, "const") else {
+            continue;
+        };
+        let name: String = code[pos + "const".len()..]
+            .trim_start()
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+            .collect();
+        if ctx
+            .config
+            .wire_prefixes
+            .iter()
+            .any(|p| name.starts_with(p.as_str()))
+        {
+            out.push((i, name));
+        }
+    }
+    out
+}
+
+/// Whether `name` is referenced (outside its own declaration line) inside
+/// any `fn` whose name contains `fn_fragment`.
+fn referenced_in_fns(ctx: &FileCtx<'_>, name: &str, fn_fragment: &str, decl_idx: usize) -> bool {
+    ctx.file
+        .fn_spans
+        .iter()
+        .filter(|(fn_name, _, _)| fn_name.contains(fn_fragment))
+        .any(|(_, start, end)| {
+            (*start..=*end)
+                .filter(|i| *i != decl_idx)
+                .any(|i| line_has_token(&ctx.file.code[i], name))
+        })
+}

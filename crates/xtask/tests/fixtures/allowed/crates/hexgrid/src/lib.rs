@@ -3,14 +3,14 @@
 
 /// A checked-at-construction invariant justifies the expect.
 pub fn first_digit(digits: &[u8]) -> u8 {
-    // lint: allow(no_panics) — callers construct `digits` non-empty; the
+    // lint: allow(no_unwrap) — callers construct `digits` non-empty; the
     // invariant is asserted at parse time.
     *digits.first().expect("digits are non-empty by construction")
 }
 
 /// The allow comment also covers a multi-line expression below it.
 pub fn compact_level(levels: &[u8]) -> u8 {
-    // lint: allow(no_panics) — same construction invariant as above.
+    // lint: allow(no_unwrap) — same construction invariant as above.
     levels
         .iter()
         .copied()

@@ -1,0 +1,25 @@
+//! Escape hatches inside test code: reasons optional, typos still flagged.
+#![deny(missing_docs)]
+
+/// A documented function so the crate has non-test content.
+pub fn id(x: u64) -> u64 {
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terse_allow_is_fine_in_tests() {
+        // lint: allow(safety_comment)
+        let bits = unsafe { std::mem::transmute::<f64, u64>(1.0) };
+        assert_eq!(id(bits), bits);
+    }
+
+    #[test]
+    fn typo_still_flagged() {
+        // lint: allow(safety_coment) — typo'd rule names suppress nothing.
+        assert_eq!(id(7), 7);
+    }
+}

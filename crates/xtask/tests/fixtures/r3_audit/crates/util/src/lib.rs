@@ -1,0 +1,31 @@
+//! Crate exercising the `unsafe_audit` contract rule.
+#![deny(missing_docs)]
+
+/// Fully audited: SAFETY names the invariant and the test (must not fire).
+pub fn bits_ok(x: f64) -> u64 {
+    // SAFETY: f64 and u64 have the same size and any bit pattern is a
+    // valid u64; tested by: bits_roundtrip.
+    unsafe { std::mem::transmute(x) }
+}
+
+/// Documented but unaudited: no `tested by:` marker (violation one).
+pub fn bits_untested(x: f64) -> u64 {
+    // SAFETY: same-size transmute is always defined for u64.
+    unsafe { std::mem::transmute(x) }
+}
+
+/// Cites a test that does not exist (violation two).
+pub fn bits_rotted(x: f64) -> u64 {
+    // SAFETY: same-size transmute; tested by: a_test_renamed_away.
+    unsafe { std::mem::transmute(x) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_roundtrip() {
+        assert_eq!(f64::from_bits(bits_ok(1.5)), 1.5);
+    }
+}

@@ -1,0 +1,4 @@
+//! Wire crate exercising opcode exhaustiveness.
+#![deny(missing_docs)]
+
+pub mod proto;

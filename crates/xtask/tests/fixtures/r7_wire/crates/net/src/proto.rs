@@ -1,0 +1,39 @@
+//! Toy wire protocol with one fully wired opcode and one half-wired.
+
+/// Fully wired request opcode (must not fire).
+pub const REQ_PING: u8 = 0;
+/// Encoded but never decoded and never round-tripped (the violation).
+pub const REQ_GHOST: u8 = 1;
+
+/// Encodes an opcode marker.
+pub fn encode_op(op: u8) -> Vec<u8> {
+    vec![op]
+}
+
+/// Encodes a ping frame.
+pub fn encode_ping() -> Vec<u8> {
+    encode_op(REQ_PING)
+}
+
+/// Encodes the ghost frame nobody can decode.
+pub fn encode_ghost() -> Vec<u8> {
+    encode_op(REQ_GHOST)
+}
+
+/// Decodes a frame tag.
+pub fn decode_op(buf: &[u8]) -> Option<u8> {
+    match buf.first().copied() {
+        Some(REQ_PING) => Some(REQ_PING),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ping_round_trips() {
+        assert_eq!(decode_op(&encode_ping()), Some(REQ_PING));
+    }
+}

@@ -1,0 +1,9 @@
+//! SeqCst outside the declared allowlist (escalation violation).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Justified for `seqcst_justify`, but the file is not inventoried.
+pub fn bump(c: &AtomicU64) -> u64 {
+    // SeqCst: needs a single total order with the reload flag.
+    c.fetch_add(1, Ordering::SeqCst)
+}

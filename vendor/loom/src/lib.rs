@@ -1,0 +1,28 @@
+//! Offline std-only model checker exposing the loom API subset this
+//! workspace's concurrency models use.
+//!
+//! [`model`] runs a closure under a deterministic scheduler that
+//! serializes the model threads and explores their interleavings by
+//! depth-first search over every scheduling decision, bounded by a
+//! preemption budget (see [`rt`] for the exact search discipline). The
+//! shim types in [`sync`] and [`thread`] mirror their std counterparts
+//! but turn every visible operation — atomic access, lock acquisition
+//! and release, condvar wait/notify, spawn and join — into a scheduling
+//! point.
+//!
+//! ## Fidelity
+//!
+//! The checker is *interleaving-exhaustive* (up to the preemption
+//! bound) and *memory-order-naive*: operations execute sequentially
+//! consistently, so races that only manifest under weaker hardware
+//! orderings are not modeled. Deadlocks, lost wakeups, torn
+//! check-then-act sequences, leaked permits, and double-drops all are.
+//! That trade keeps the checker a few hundred lines of std-only code,
+//! which is what an offline build can afford; the real loom crate is a
+//! drop-in upgrade where networked builds exist.
+
+pub mod rt;
+pub mod sync;
+pub mod thread;
+
+pub use rt::model;

@@ -1,0 +1,568 @@
+//! The model-checking runtime: a deterministic scheduler that serializes
+//! model threads (exactly one runs at a time, handed a token through a
+//! condvar) and explores every schedule by depth-first search over the
+//! choice points, bounded by a preemption budget.
+//!
+//! Every visible operation of the shim types ([`crate::sync`],
+//! [`crate::thread`]) calls into here at a *yield point*, where the
+//! scheduler decides which runnable thread executes next. An iteration
+//! replays a recorded prefix of choices and extends it greedily; after
+//! the iteration the last choice with an unexplored alternative is
+//! bumped and everything after it is re-derived. The search is complete
+//! up to the preemption bound (`LOOM_PREEMPTION_BOUND`, default 3): a
+//! schedule may switch away from a still-runnable thread at most that
+//! many times, which keeps the state space tractable while catching the
+//! races that matter in practice.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize as StdAtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
+
+/// What a live model thread is currently allowed to do.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Run {
+    /// Eligible to be scheduled.
+    Runnable,
+    /// Waiting on a lock or condvar resource.
+    BlockedOnRes(usize),
+    /// Waiting for another thread to finish.
+    BlockedOnJoin(usize),
+    /// Done; never scheduled again this iteration.
+    Finished,
+}
+
+/// Model-level state of one synchronization resource.
+enum Res {
+    /// A mutual-exclusion lock.
+    Mutex { held: bool },
+    /// A readers-writer lock.
+    RwLock { writer: bool, readers: usize },
+    /// A condition variable (state lives in the waiters' `Run`).
+    Condvar,
+}
+
+/// One recorded scheduling decision: which of `options` runnable
+/// threads ran. Backtracking bumps `picked` through `options`.
+#[derive(Clone, Copy)]
+struct Choice {
+    picked: usize,
+    options: usize,
+}
+
+/// Mutable state of the current iteration, all under one lock.
+struct State {
+    threads: Vec<Run>,
+    active: usize,
+    resources: Vec<Res>,
+    schedule: Vec<Choice>,
+    pos: usize,
+    preemptions: usize,
+    bound: usize,
+    iteration_done: bool,
+    failure: Option<String>,
+    abort: bool,
+}
+
+impl State {
+    fn fresh(schedule: Vec<Choice>, bound: usize) -> State {
+        State {
+            threads: vec![Run::Runnable],
+            active: 0,
+            resources: Vec::new(),
+            schedule,
+            pos: 0,
+            preemptions: 0,
+            bound,
+            iteration_done: false,
+            failure: None,
+            abort: false,
+        }
+    }
+}
+
+/// The global runtime: one model runs at a time (guarded by
+/// [`model_lock`]), so a single shared scheduler suffices.
+struct Rt {
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+fn rt() -> &'static Rt {
+    static RT: OnceLock<Rt> = OnceLock::new();
+    RT.get_or_init(|| Rt {
+        state: Mutex::new(State::fresh(Vec::new(), 0)),
+        cv: Condvar::new(),
+    })
+}
+
+/// Serializes whole `model()` invocations across test threads.
+fn model_lock() -> &'static Mutex<()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+}
+
+thread_local! {
+    static TID: std::cell::Cell<usize> = const { std::cell::Cell::new(usize::MAX) };
+}
+
+fn tid() -> usize {
+    let t = TID.with(|c| c.get());
+    assert!(t != usize::MAX, "loom type used outside loom::model");
+    t
+}
+
+fn lock(rt: &Rt) -> MutexGuard<'_, State> {
+    rt.state.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl Rt {
+    /// Picks the next active thread. Called with the state locked, after
+    /// the caller has updated its own `Run` entry.
+    fn schedule_next(&self, s: &mut State, from: usize) {
+        let runnable: Vec<usize> = (0..s.threads.len())
+            .filter(|&i| s.threads[i] == Run::Runnable)
+            .collect();
+        if runnable.is_empty() {
+            if s.threads.iter().all(|t| *t == Run::Finished) {
+                s.iteration_done = true;
+            } else {
+                let blocked: Vec<usize> = (0..s.threads.len())
+                    .filter(|&i| s.threads[i] != Run::Finished)
+                    .collect();
+                s.failure.get_or_insert_with(|| {
+                    format!("deadlock: threads {blocked:?} blocked forever")
+                });
+                s.abort = true;
+                s.iteration_done = true;
+            }
+            self.cv.notify_all();
+            return;
+        }
+        let from_runnable = runnable.contains(&from);
+        let options = if from_runnable && s.preemptions >= s.bound {
+            vec![from]
+        } else {
+            runnable
+        };
+        let picked = if s.pos < s.schedule.len() {
+            s.schedule[s.pos].picked.min(options.len() - 1)
+        } else {
+            s.schedule.push(Choice {
+                picked: 0,
+                options: options.len(),
+            });
+            0
+        };
+        s.pos += 1;
+        let next = options[picked];
+        if next != from && from_runnable {
+            s.preemptions += 1;
+        }
+        s.active = next;
+        self.cv.notify_all();
+    }
+
+    /// Blocks the calling thread until it holds the token again.
+    fn wait_token(&self, mut s: MutexGuard<'_, State>, me: usize) {
+        loop {
+            if s.abort {
+                drop(s);
+                panic!("loom: iteration aborted");
+            }
+            if s.active == me && s.threads[me] == Run::Runnable {
+                return;
+            }
+            s = self.cv.wait(s).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+/// A scheduling decision with no state change — placed before every
+/// visible operation of the shim types.
+pub(crate) fn yield_point() {
+    let me = tid();
+    let r = rt();
+    let mut s = lock(r);
+    if s.abort {
+        // Unwinding out of an aborted iteration: do not reschedule and,
+        // crucially, do not panic again from inside a Drop.
+        return;
+    }
+    r.schedule_next(&mut s, me);
+    r.wait_token(s, me);
+}
+
+/// Registers a new synchronization resource; ids are deterministic
+/// because the model body is deterministic modulo scheduling.
+fn register(res: Res) -> usize {
+    let _ = tid();
+    let r = rt();
+    let mut s = lock(r);
+    s.resources.push(res);
+    s.resources.len() - 1
+}
+
+/// Creates a model mutex.
+pub(crate) fn mutex_create() -> usize {
+    register(Res::Mutex { held: false })
+}
+
+/// Creates a model rwlock.
+pub(crate) fn rwlock_create() -> usize {
+    register(Res::RwLock {
+        writer: false,
+        readers: 0,
+    })
+}
+
+/// Creates a model condvar.
+pub(crate) fn condvar_create() -> usize {
+    register(Res::Condvar)
+}
+
+fn wake_blocked_on(s: &mut State, res: usize) {
+    for t in s.threads.iter_mut() {
+        if *t == Run::BlockedOnRes(res) {
+            *t = Run::Runnable;
+        }
+    }
+}
+
+/// Acquires a model lock via `try_acquire`, blocking (in model terms)
+/// and retrying until it succeeds.
+fn acquire(id: usize, try_acquire: impl Fn(&mut Res) -> bool) {
+    yield_point();
+    let me = tid();
+    let r = rt();
+    loop {
+        let mut s = lock(r);
+        if s.abort {
+            return;
+        }
+        if try_acquire(&mut s.resources[id]) {
+            return;
+        }
+        s.threads[me] = Run::BlockedOnRes(id);
+        r.schedule_next(&mut s, me);
+        r.wait_token(s, me);
+    }
+}
+
+/// Releases a model lock and wakes its waiters; itself a yield point.
+fn release(id: usize, do_release: impl Fn(&mut Res)) {
+    let me = tid();
+    let r = rt();
+    let mut s = lock(r);
+    if s.abort {
+        return;
+    }
+    do_release(&mut s.resources[id]);
+    wake_blocked_on(&mut s, id);
+    r.schedule_next(&mut s, me);
+    r.wait_token(s, me);
+}
+
+/// Locks model mutex `id`.
+pub(crate) fn mutex_lock(id: usize) {
+    acquire(id, |res| match res {
+        Res::Mutex { held } if !*held => {
+            *held = true;
+            true
+        }
+        _ => false,
+    });
+}
+
+/// Unlocks model mutex `id`.
+pub(crate) fn mutex_unlock(id: usize) {
+    release(id, |res| {
+        if let Res::Mutex { held } = res {
+            *held = false;
+        }
+    });
+}
+
+/// Takes a shared read lock on model rwlock `id`.
+pub(crate) fn rwlock_read(id: usize) {
+    acquire(id, |res| match res {
+        Res::RwLock { writer, readers } if !*writer => {
+            *readers += 1;
+            true
+        }
+        _ => false,
+    });
+}
+
+/// Releases a read lock on model rwlock `id`.
+pub(crate) fn rwlock_unlock_read(id: usize) {
+    release(id, |res| {
+        if let Res::RwLock { readers, .. } = res {
+            *readers = readers.saturating_sub(1);
+        }
+    });
+}
+
+/// Takes the exclusive write lock on model rwlock `id`.
+pub(crate) fn rwlock_write(id: usize) {
+    acquire(id, |res| match res {
+        Res::RwLock { writer, readers } if !*writer && *readers == 0 => {
+            *writer = true;
+            true
+        }
+        _ => false,
+    });
+}
+
+/// Releases the write lock on model rwlock `id`.
+pub(crate) fn rwlock_unlock_write(id: usize) {
+    release(id, |res| {
+        if let Res::RwLock { writer, .. } = res {
+            *writer = false;
+        }
+    });
+}
+
+/// Condvar wait: atomically releases model mutex `mutex_id`, blocks on
+/// `cv_id`, and re-acquires the mutex once woken. The caller must have
+/// dropped the std-level guard first.
+pub(crate) fn condvar_wait(cv_id: usize, mutex_id: usize) {
+    // The wait is itself a visible operation: another thread may run —
+    // and fire its notification into the void — between the caller's
+    // last check and the moment this thread is parked. Without this
+    // yield the model could never express a lost wakeup.
+    yield_point();
+    let me = tid();
+    let r = rt();
+    {
+        let mut s = lock(r);
+        if s.abort {
+            return;
+        }
+        if let Res::Mutex { held } = &mut s.resources[mutex_id] {
+            *held = false;
+        }
+        wake_blocked_on(&mut s, mutex_id);
+        s.threads[me] = Run::BlockedOnRes(cv_id);
+        r.schedule_next(&mut s, me);
+        r.wait_token(s, me);
+    }
+    mutex_lock(mutex_id);
+}
+
+/// Wakes every waiter of condvar `cv_id`.
+pub(crate) fn condvar_notify_all(cv_id: usize) {
+    let me = tid();
+    let r = rt();
+    let mut s = lock(r);
+    if s.abort {
+        return;
+    }
+    wake_blocked_on(&mut s, cv_id);
+    r.schedule_next(&mut s, me);
+    r.wait_token(s, me);
+}
+
+/// Wakes the lowest-id waiter of condvar `cv_id` (deterministic).
+pub(crate) fn condvar_notify_one(cv_id: usize) {
+    let me = tid();
+    let r = rt();
+    let mut s = lock(r);
+    if s.abort {
+        return;
+    }
+    for t in s.threads.iter_mut() {
+        if *t == Run::BlockedOnRes(cv_id) {
+            *t = Run::Runnable;
+            break;
+        }
+    }
+    r.schedule_next(&mut s, me);
+    r.wait_token(s, me);
+}
+
+/// Registers a new model thread; returns its id. Not itself a yield
+/// point: the caller must spawn the OS thread first and only then yield,
+/// or the scheduler could hand the token to a thread that does not exist
+/// yet.
+pub(crate) fn register_thread() -> usize {
+    let _ = tid();
+    let r = rt();
+    let mut s = lock(r);
+    s.threads.push(Run::Runnable);
+    s.threads.len() - 1
+}
+
+/// First call from a freshly spawned OS thread: adopt `id` and wait for
+/// the scheduler to hand over the token.
+pub(crate) fn enter_thread(id: usize) {
+    TID.with(|c| c.set(id));
+    let r = rt();
+    let s = lock(r);
+    r.wait_token(s, id);
+}
+
+/// Marks the calling thread finished and hands the token on. Does not
+/// return the token — the OS thread exits afterwards.
+pub(crate) fn finish_thread() {
+    let me = tid();
+    let r = rt();
+    let mut s = lock(r);
+    if s.abort {
+        return;
+    }
+    s.threads[me] = Run::Finished;
+    for t in s.threads.iter_mut() {
+        if *t == Run::BlockedOnJoin(me) {
+            *t = Run::Runnable;
+        }
+    }
+    r.schedule_next(&mut s, me);
+}
+
+/// Records a panic that escaped a model thread as the iteration's
+/// failure and aborts the iteration. Returns without scheduling.
+pub(crate) fn fail_thread(payload: &(dyn std::any::Any + Send)) {
+    let me = tid();
+    let r = rt();
+    let mut s = lock(r);
+    if s.abort {
+        // Our own abort panic unwound back here — not a model failure.
+        return;
+    }
+    let msg = payload
+        .downcast_ref::<&str>()
+        .map(|m| (*m).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_string());
+    s.failure = Some(format!("thread {me} panicked: {msg}"));
+    s.threads[me] = Run::Finished;
+    s.abort = true;
+    s.iteration_done = true;
+    r.cv.notify_all();
+}
+
+/// Blocks (in model terms) until thread `target` finishes.
+pub(crate) fn join_thread(target: usize) {
+    yield_point();
+    let me = tid();
+    let r = rt();
+    let mut s = lock(r);
+    if s.abort {
+        return;
+    }
+    if s.threads[target] == Run::Finished {
+        return;
+    }
+    s.threads[me] = Run::BlockedOnJoin(target);
+    r.schedule_next(&mut s, me);
+    r.wait_token(s, me);
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Runs one iteration under the schedule prefix; returns the extended
+/// schedule and the failure, if any.
+fn run_iteration(
+    f: Arc<dyn Fn() + Send + Sync>,
+    schedule: Vec<Choice>,
+    bound: usize,
+) -> (Vec<Choice>, Option<String>) {
+    let r = rt();
+    {
+        let mut s = lock(r);
+        *s = State::fresh(schedule, bound);
+    }
+    let body = std::thread::Builder::new()
+        .name("loom-model-0".to_string())
+        .spawn(move || {
+            enter_thread(0);
+            match catch_unwind(AssertUnwindSafe(|| f())) {
+                Ok(()) => finish_thread(),
+                Err(p) => fail_thread(p.as_ref()),
+            }
+        });
+    let mut s = lock(r);
+    match body {
+        Ok(handle) => {
+            while !s.iteration_done {
+                s = r.cv.wait(s).unwrap_or_else(PoisonError::into_inner);
+            }
+            let out = std::mem::take(&mut s.schedule);
+            let failure = s.failure.take();
+            drop(s);
+            let _ = handle.join();
+            (out, failure)
+        }
+        Err(e) => (Vec::new(), Some(format!("cannot spawn model thread: {e}"))),
+    }
+}
+
+/// Count of iterations explored by the most recent [`model`] call —
+/// lets a meta-test assert the search actually branched.
+pub fn last_iteration_count() -> usize {
+    ITERS.load(Ordering::Relaxed)
+}
+
+static ITERS: StdAtomicUsize = StdAtomicUsize::new(0);
+
+/// Exhaustively explores the schedules of `f` (up to the preemption
+/// bound) and panics on the first assertion failure, panic, or deadlock,
+/// reporting the iteration that exposed it.
+///
+/// Environment knobs: `LOOM_PREEMPTION_BOUND` (default 3) and
+/// `LOOM_MAX_ITERATIONS` (default 200000 — exceeding it is an error,
+/// not a silent truncation).
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let _serial = model_lock().lock().unwrap_or_else(PoisonError::into_inner);
+    let bound = env_usize("LOOM_PREEMPTION_BOUND", 3);
+    let max_iters = env_usize("LOOM_MAX_ITERATIONS", 200_000);
+    let f: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
+    // Intentional model panics (e.g. a modeled worker kill) would spam
+    // stderr through the default hook on every iteration.
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let mut schedule: Vec<Choice> = Vec::new();
+    let mut iters = 0usize;
+    let outcome = loop {
+        iters += 1;
+        if iters > max_iters {
+            break Some(format!(
+                "schedule space not exhausted after {max_iters} iterations; \
+                 shrink the model or raise LOOM_MAX_ITERATIONS"
+            ));
+        }
+        let (explored, failure) = run_iteration(Arc::clone(&f), schedule, bound);
+        if let Some(msg) = failure {
+            break Some(format!("model failed on iteration {iters}: {msg}"));
+        }
+        schedule = explored;
+        loop {
+            match schedule.last_mut() {
+                None => break,
+                Some(c) if c.picked + 1 < c.options => {
+                    c.picked += 1;
+                    break;
+                }
+                Some(_) => {
+                    schedule.pop();
+                }
+            }
+        }
+        if schedule.is_empty() {
+            break None;
+        }
+    };
+    std::panic::set_hook(prev_hook);
+    ITERS.store(iters, Ordering::Relaxed);
+    if let Some(msg) = outcome {
+        panic!("loom: {msg}");
+    }
+}

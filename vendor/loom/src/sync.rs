@@ -1,0 +1,311 @@
+//! Scheduler-aware shims of the `std::sync` types the models use.
+//!
+//! Each type pairs a *model-level* lock state (owned by the scheduler in
+//! [`crate::rt`], where blocking and waking are scheduling decisions)
+//! with a *std-level* container for the protected data. Because the
+//! scheduler serializes model threads and grants a model lock to at most
+//! the permitted holders, the inner std lock is always uncontended — it
+//! exists to move the data and hand out guards, not to synchronize.
+
+use crate::rt;
+use std::sync::PoisonError;
+
+pub use std::sync::Arc;
+
+pub mod atomic {
+    //! Scheduler-aware atomics: every operation is a yield point, so the
+    //! model explores the interleavings around it. Orderings are
+    //! accepted for API fidelity but the model executes sequentially
+    //! consistently — weaker-memory reorderings are out of scope (see
+    //! the crate docs).
+
+    use crate::rt;
+    pub use std::sync::atomic::Ordering;
+    use std::sync::atomic::{
+        AtomicBool as StdBool, AtomicU64 as StdU64, AtomicUsize as StdUsize, Ordering::SeqCst,
+    };
+
+    macro_rules! atomic_shim {
+        ($(#[$doc:meta])* $name:ident, $std:ident, $prim:ty) => {
+            $(#[$doc])*
+            #[derive(Debug, Default)]
+            pub struct $name {
+                inner: $std,
+            }
+
+            impl $name {
+                /// Creates the atomic with an initial value.
+                pub fn new(v: $prim) -> Self {
+                    Self { inner: $std::new(v) }
+                }
+
+                /// Atomic load (a scheduling point).
+                pub fn load(&self, _order: Ordering) -> $prim {
+                    rt::yield_point();
+                    self.inner.load(SeqCst)
+                }
+
+                /// Atomic store (a scheduling point).
+                pub fn store(&self, v: $prim, _order: Ordering) {
+                    rt::yield_point();
+                    self.inner.store(v, SeqCst);
+                }
+
+                /// Atomic swap (a scheduling point).
+                pub fn swap(&self, v: $prim, _order: Ordering) -> $prim {
+                    rt::yield_point();
+                    self.inner.swap(v, SeqCst)
+                }
+
+                /// Atomic compare-exchange (a scheduling point).
+                pub fn compare_exchange(
+                    &self,
+                    current: $prim,
+                    new: $prim,
+                    _success: Ordering,
+                    _failure: Ordering,
+                ) -> Result<$prim, $prim> {
+                    rt::yield_point();
+                    self.inner.compare_exchange(current, new, SeqCst, SeqCst)
+                }
+            }
+        };
+    }
+
+    atomic_shim!(
+        /// Model `AtomicBool`.
+        AtomicBool,
+        StdBool,
+        bool
+    );
+
+    macro_rules! atomic_arith {
+        ($name:ident, $prim:ty) => {
+            impl $name {
+                /// Atomic add returning the previous value (a scheduling
+                /// point).
+                pub fn fetch_add(&self, v: $prim, _order: Ordering) -> $prim {
+                    rt::yield_point();
+                    self.inner.fetch_add(v, SeqCst)
+                }
+
+                /// Atomic subtract returning the previous value (a
+                /// scheduling point).
+                pub fn fetch_sub(&self, v: $prim, _order: Ordering) -> $prim {
+                    rt::yield_point();
+                    self.inner.fetch_sub(v, SeqCst)
+                }
+            }
+        };
+    }
+
+    atomic_shim!(
+        /// Model `AtomicUsize`.
+        AtomicUsize,
+        StdUsize,
+        usize
+    );
+    atomic_arith!(AtomicUsize, usize);
+
+    atomic_shim!(
+        /// Model `AtomicU64`.
+        AtomicU64,
+        StdU64,
+        u64
+    );
+    atomic_arith!(AtomicU64, u64);
+}
+
+/// Model mutex. Lock/unlock are scheduling points; contention blocks the
+/// model thread in the scheduler.
+#[derive(Debug)]
+pub struct Mutex<T> {
+    id: usize,
+    data: std::sync::Mutex<T>,
+}
+
+/// RAII guard for [`Mutex`]; releases the model lock on drop.
+pub struct MutexGuard<'a, T> {
+    lock: &'a Mutex<T>,
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates the mutex inside a running model.
+    pub fn new(t: T) -> Mutex<T> {
+        Mutex {
+            id: rt::mutex_create(),
+            data: std::sync::Mutex::new(t),
+        }
+    }
+
+    /// Acquires the lock, blocking the model thread while held
+    /// elsewhere. Never poisoned: a panicking model thread aborts the
+    /// whole iteration instead.
+    pub fn lock(&self) -> Result<MutexGuard<'_, T>, PoisonError<MutexGuard<'_, T>>> {
+        rt::mutex_lock(self.id);
+        let inner = self.data.lock().unwrap_or_else(PoisonError::into_inner);
+        Ok(MutexGuard {
+            lock: self,
+            inner: Some(inner),
+        })
+    }
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard still holds data")
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard still holds data")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Free the std-level lock before the model-level release hands
+        // the token to a contender.
+        self.inner = None;
+        rt::mutex_unlock(self.lock.id);
+    }
+}
+
+/// Model readers-writer lock with the same discipline as [`Mutex`].
+#[derive(Debug)]
+pub struct RwLock<T> {
+    id: usize,
+    data: std::sync::RwLock<T>,
+}
+
+/// Shared-read guard for [`RwLock`].
+pub struct RwLockReadGuard<'a, T> {
+    lock: &'a RwLock<T>,
+    inner: Option<std::sync::RwLockReadGuard<'a, T>>,
+}
+
+/// Exclusive-write guard for [`RwLock`].
+pub struct RwLockWriteGuard<'a, T> {
+    lock: &'a RwLock<T>,
+    inner: Option<std::sync::RwLockWriteGuard<'a, T>>,
+}
+
+impl<T> RwLock<T> {
+    /// Creates the rwlock inside a running model.
+    pub fn new(t: T) -> RwLock<T> {
+        RwLock {
+            id: rt::rwlock_create(),
+            data: std::sync::RwLock::new(t),
+        }
+    }
+
+    /// Takes a shared read lock.
+    pub fn read(&self) -> Result<RwLockReadGuard<'_, T>, PoisonError<RwLockReadGuard<'_, T>>> {
+        rt::rwlock_read(self.id);
+        let inner = self.data.read().unwrap_or_else(PoisonError::into_inner);
+        Ok(RwLockReadGuard {
+            lock: self,
+            inner: Some(inner),
+        })
+    }
+
+    /// Takes the exclusive write lock.
+    pub fn write(&self) -> Result<RwLockWriteGuard<'_, T>, PoisonError<RwLockWriteGuard<'_, T>>> {
+        rt::rwlock_write(self.id);
+        let inner = self.data.write().unwrap_or_else(PoisonError::into_inner);
+        Ok(RwLockWriteGuard {
+            lock: self,
+            inner: Some(inner),
+        })
+    }
+}
+
+impl<T> std::ops::Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard still holds data")
+    }
+}
+
+impl<T> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        self.inner = None;
+        rt::rwlock_unlock_read(self.lock.id);
+    }
+}
+
+impl<T> std::ops::Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard still holds data")
+    }
+}
+
+impl<T> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard still holds data")
+    }
+}
+
+impl<T> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        self.inner = None;
+        rt::rwlock_unlock_write(self.lock.id);
+    }
+}
+
+/// Model condition variable: waiting blocks the model thread in the
+/// scheduler, and a notify that nobody awaits is lost, exactly as with
+/// the real thing.
+#[derive(Debug)]
+pub struct Condvar {
+    id: usize,
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Condvar::new()
+    }
+}
+
+impl Condvar {
+    /// Creates the condvar inside a running model.
+    pub fn new() -> Condvar {
+        Condvar {
+            id: rt::condvar_create(),
+        }
+    }
+
+    /// Releases the guard's mutex, waits for a notification, and
+    /// re-acquires the mutex.
+    pub fn wait<'a, T>(
+        &self,
+        mut guard: MutexGuard<'a, T>,
+    ) -> Result<MutexGuard<'a, T>, PoisonError<MutexGuard<'a, T>>> {
+        let lock = guard.lock;
+        // Drop the std guard by hand, then forget the model guard so its
+        // Drop does not also release the model lock — condvar_wait does
+        // that atomically with blocking.
+        guard.inner = None;
+        std::mem::forget(guard);
+        rt::condvar_wait(self.id, lock.id);
+        let inner = lock.data.lock().unwrap_or_else(PoisonError::into_inner);
+        Ok(MutexGuard {
+            lock,
+            inner: Some(inner),
+        })
+    }
+
+    /// Wakes every waiter.
+    pub fn notify_all(&self) {
+        rt::condvar_notify_all(self.id);
+    }
+
+    /// Wakes one waiter (the lowest thread id, deterministically).
+    pub fn notify_one(&self) {
+        rt::condvar_notify_one(self.id);
+    }
+}

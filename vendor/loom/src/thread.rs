@@ -1,0 +1,69 @@
+//! Scheduler-aware threads. A spawned model thread runs on a real OS
+//! thread, but only when the scheduler hands it the token, so every
+//! interleaving the scheduler can express is actually executed.
+
+use crate::rt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Handle to a spawned model thread.
+pub struct JoinHandle<T> {
+    id: usize,
+    result: Arc<Mutex<Option<std::thread::Result<T>>>>,
+    os: Option<std::thread::JoinHandle<()>>,
+}
+
+/// Spawns a model thread and returns its handle.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let id = rt::register_thread();
+    let result: Arc<Mutex<Option<std::thread::Result<T>>>> = Arc::new(Mutex::new(None));
+    let slot = Arc::clone(&result);
+    let os = std::thread::Builder::new()
+        .name(format!("loom-model-{id}"))
+        .spawn(move || {
+            rt::enter_thread(id);
+            match catch_unwind(AssertUnwindSafe(f)) {
+                Ok(v) => {
+                    *slot.lock().unwrap_or_else(PoisonError::into_inner) = Some(Ok(v));
+                    rt::finish_thread();
+                }
+                Err(p) => {
+                    rt::fail_thread(p.as_ref());
+                }
+            }
+        })
+        .expect("spawn loom model thread");
+    // Only now that the OS thread exists may the scheduler pick the new
+    // id; make the hand-off point explicit.
+    rt::yield_point();
+    JoinHandle {
+        id,
+        result,
+        os: Some(os),
+    }
+}
+
+impl<T> JoinHandle<T> {
+    /// Blocks (in model terms) until the thread finishes and returns its
+    /// result, like [`std::thread::JoinHandle::join`].
+    pub fn join(mut self) -> std::thread::Result<T> {
+        rt::join_thread(self.id);
+        if let Some(os) = self.os.take() {
+            let _ = os.join();
+        }
+        self.result
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take()
+            .expect("joined model thread left no result")
+    }
+}
+
+/// An explicit scheduling point, like [`std::thread::yield_now`].
+pub fn yield_now() {
+    rt::yield_point();
+}

@@ -385,7 +385,16 @@ impl ProptestConfig {
 
 impl Default for ProptestConfig {
     fn default() -> Self {
-        ProptestConfig { cases: 64 }
+        // `PROPTEST_CASES` overrides the default case count, matching the
+        // upstream crate's env knob. The `analysis` stage of ci.sh relies
+        // on it to shrink property suites to Miri-feasible sizes without
+        // touching the tests themselves.
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(64);
+        ProptestConfig { cases }
     }
 }
 
