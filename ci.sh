@@ -1,11 +1,17 @@
 #!/usr/bin/env bash
 # The conformance gates every PR must pass, runnable locally.
 #
-#   ./ci.sh [gate|analysis|all]   (default: gate)
+#   ./ci.sh [gate|stream|analysis|all]   (default: gate)
 #
 #   gate     — formatting, release build, full test suite, xtask lint,
 #              and the end-to-end smoke tests (serve, read path, build,
 #              chaos). Tier-1: must pass on stable, fully offline.
+#   stream   — the streaming-ingestion smoke: fleetsim's interleaved
+#              wire through polstream (byte-identity vs the batch build
+#              plus a sustained-ingest rps floor), a polinv audit of
+#              the published delta chain, and a delta hot-reload of a
+#              live server under polload traffic with the freshness
+#              fields checked afterwards.
 #   analysis — the dynamic checkers: loom model checking of the serve
 #              primitives, Miri on the codec property tests, ASan on
 #              the mmap suite, TSan on the loopback server tests.
@@ -16,6 +22,17 @@
 # See DESIGN.md §6 "Correctness tooling" for what each layer proves.
 set -euo pipefail
 cd "$(dirname "$0")"
+
+# Both smoke stages allocate scratch dirs; one trap cleans up whichever
+# exist so `all` never leaks the first stage's directory.
+smoke_dir=""
+stream_dir=""
+cleanup() {
+  [ -n "$smoke_dir" ] && rm -rf "$smoke_dir"
+  [ -n "$stream_dir" ] && rm -rf "$stream_dir"
+  return 0
+}
+trap cleanup EXIT
 
 # The nightly toolchain used by Miri and the sanitizers. CI pins an
 # exact date via POL_NIGHTLY so sanitizer behaviour cannot drift.
@@ -36,7 +53,6 @@ run_gate() {
 
   echo "==> pol-serve smoke test (build inventory, serve, polload burst, clean shutdown)"
   smoke_dir=$(mktemp -d)
-  trap 'rm -rf "$smoke_dir"' EXIT
   cargo run --release -q -p pol-bench --bin polinv -- \
     build --out "$smoke_dir/inv.pol" --vessels 10 --days 3 >/dev/null
   mkfifo "$smoke_dir/ctl"
@@ -144,6 +160,89 @@ run_gate() {
   echo "ci: gate passed"
 }
 
+run_stream() {
+  echo "==> streaming ingest smoke (interleaved wire -> polstream -> byte-identity + rps floor)"
+  stream_dir=$(mktemp -d)
+  # Same philosophy as polbuild's floor: conservative (release laptops
+  # sustain far more), catching an ingest path that stopped scaling.
+  cargo run --release -q -p pol-bench --bin polstream -- \
+    --vessels 10 --days 3 --window-days 1 --min-rps 5000 \
+    --delta-dir "$stream_dir/deltas" --out "$stream_dir/BENCH_stream.json" \
+    > "$stream_dir/stream.out"
+  if ! grep -q '"byte_identical": true' "$stream_dir/BENCH_stream.json"; then
+    echo "ci: streamed inventory diverged from the batch build" >&2
+    exit 1
+  fi
+  if ! grep -q '"late_dropped": 0,' "$stream_dir/BENCH_stream.json"; then
+    echo "ci: the reorder bound dropped records the batch build saw" >&2
+    exit 1
+  fi
+  echo "polstream smoke: $(grep -- '--min-rps gate' "$stream_dir/stream.out")"
+
+  echo "==> delta chain audit (polinv verify walks base + every delta)"
+  cargo run --release -q -p pol-bench --bin polinv -- \
+    verify "$stream_dir/deltas/inventory.polman" > "$stream_dir/verify.out"
+  if ! grep -q 'OK (POLMAN1 delta chain)' "$stream_dir/verify.out"; then
+    echo "ci: polinv did not verify the published delta chain" >&2
+    exit 1
+  fi
+
+  echo "==> delta hot-reload under load (serve the base, swap in the chain mid-burst)"
+  mkfifo "$stream_dir/ctl"
+  cargo run --release -q -p pol-bench --bin polinv -- \
+    serve "$stream_dir/deltas/base.pol" --addr 127.0.0.1:0 \
+    > "$stream_dir/serve.out" 2> "$stream_dir/serve.err" < "$stream_dir/ctl" &
+  stream_serve_pid=$!
+  exec 7> "$stream_dir/ctl" # hold the control fifo open; closing it stops the server
+  stream_addr=""
+  for _ in $(seq 1 100); do
+    stream_addr=$(sed -n 's/^listening on //p' "$stream_dir/serve.out")
+    if [ -n "$stream_addr" ]; then break; fi
+    sleep 0.1
+  done
+  if [ -z "$stream_addr" ]; then
+    echo "ci: chain server never reported its address" >&2
+    exit 1
+  fi
+  # Drive a burst and swap the snapshot for the full base+delta chain
+  # while it runs. polload fails on any dropped or errored request, so
+  # its exit code is the "zero dropped in-flight queries" check; the
+  # loopback test suite proves the zero-wrong-answers half.
+  cargo run --release -q -p pol-bench --bin polload -- \
+    --addr "$stream_addr" --threads 4 --requests 8000 \
+    --out "$stream_dir/BENCH_reload.json" > "$stream_dir/load.out" 2> "$stream_dir/load.err" &
+  load_pid=$!
+  sleep 0.5
+  echo "reload $stream_dir/deltas/inventory.polman" >&7
+  if ! wait "$load_pid"; then
+    echo "ci: polload dropped requests across the delta reload" >&2
+    exit 1
+  fi
+  if ! grep -q "^reloaded $stream_dir/deltas/inventory.polman" "$stream_dir/serve.err"; then
+    echo "ci: server never applied the delta-chain reload" >&2
+    exit 1
+  fi
+  # Freshness probe: a fresh polload run renders the server's STATS
+  # report, which must now carry the reloaded chain's lineage.
+  cargo run --release -q -p pol-bench --bin polload -- \
+    --addr "$stream_addr" --threads 1 --requests 50 \
+    --out "$stream_dir/BENCH_probe.json" > /dev/null 2> "$stream_dir/probe.err"
+  if ! grep -Eq 'delta_generation=[0-9]+ chain_len=([2-9]|[0-9]{2,}) since_reload_secs=[0-9]+' \
+      "$stream_dir/probe.err"; then
+    echo "ci: STATS did not report the reloaded chain's freshness fields" >&2
+    exit 1
+  fi
+  exec 7>&- # stdin EOF -> graceful shutdown
+  wait "$stream_serve_pid"
+  if ! grep -q "shut down after" "$stream_dir/serve.err"; then
+    echo "ci: chain server did not shut down cleanly" >&2
+    exit 1
+  fi
+  echo "delta reload smoke: $(grep -m1 'delta_generation=' "$stream_dir/probe.err")"
+
+  echo "ci: stream passed"
+}
+
 # Prints a loud, documented skip. Every skip names its checker, the
 # missing prerequisite, and where the checker does run for real — a
 # silent skip is indistinguishable from a pass, so none are allowed.
@@ -206,13 +305,15 @@ run_analysis() {
 stage="${1:-gate}"
 case "$stage" in
   gate) run_gate ;;
+  stream) run_stream ;;
   analysis) run_analysis ;;
   all)
     run_gate
+    run_stream
     run_analysis
     ;;
   *)
-    echo "usage: ./ci.sh [gate|analysis|all]" >&2
+    echo "usage: ./ci.sh [gate|stream|analysis|all]" >&2
     exit 2
     ;;
 esac

@@ -11,10 +11,12 @@
 //! polinv serve <inv.pol> [--addr 127.0.0.1:0] [--workers 8] [--shards 8]
 //! ```
 //!
-//! Every reading subcommand sniffs the snapshot format: both POLINV2
-//! (row-oriented) and POLINV3 (columnar, `migrate`'s output) files are
-//! accepted everywhere a `<inv.pol>` appears. `serve` memory-maps a
-//! POLINV3 file zero-copy instead of deserializing it.
+//! Every reading subcommand sniffs the snapshot format: POLINV2
+//! (row-oriented), POLINV3 (columnar, `migrate`'s output), and POLMAN1
+//! delta-chain manifests (`pol-stream`'s output — loaded base plus
+//! deltas, merged) are accepted everywhere a `<inv.pol>` appears.
+//! `verify` on a manifest audits the whole chain file by file. `serve`
+//! memory-maps a POLINV3 file zero-copy instead of deserializing it.
 //!
 //! While `serve` is running, its stdin is a tiny control channel: a
 //! `reload <file>` line hot-swaps the snapshot (validated first — a
@@ -178,6 +180,29 @@ fn cmd_verify(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if matches!(format, Some(codec::SnapshotFormat::Manifest)) {
+        // A POLMAN1 delta chain: walk base + every delta, re-verifying
+        // each file's recorded length + CRC and the merge itself.
+        return match codec::manifest::verify_chain(Path::new(path)) {
+            Ok(report) => {
+                println!("{path}: OK (POLMAN1 delta chain)");
+                println!("  newest generation {}", report.generation);
+                println!("  chain length      {} files", report.files.len());
+                println!("  merged entries    {}", report.merged_entries);
+                for f in &report.files {
+                    println!(
+                        "  gen {:>5}  {:<24} {:>10} bytes  crc64 {:016x}  {:>8} entries",
+                        f.generation, f.name, f.file_len, f.crc, f.entries
+                    );
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("{path}: CORRUPT: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     if matches!(format, Some(codec::SnapshotFormat::V3)) {
         return match codec::columnar::verify(Path::new(path)) {
             Ok(report) => {

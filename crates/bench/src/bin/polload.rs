@@ -179,12 +179,19 @@ fn write_bench_json(
     store: &str,
     phases: &[PhaseResult],
     cold: Option<&ColdStart>,
+    top_dest_before_rps: Option<f64>,
 ) -> std::io::Result<()> {
     let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
     writeln!(f, "{{")?;
     writeln!(f, "  \"bench\": \"pol-serve loopback load\",")?;
     writeln!(f, "  \"threads\": {threads},")?;
     writeln!(f, "  \"store\": \"{}\",", json_escape(store))?;
+    // The before/after record for the precomputed top-K destination
+    // section: "before" is what the previously committed file measured
+    // (the linear-scan cliff when it predates the section).
+    if let Some(before) = top_dest_before_rps {
+        writeln!(f, "  \"top_destination_cells_before_rps\": {before:.1},")?;
+    }
     if let Some(c) = cold {
         writeln!(
             f,
@@ -725,25 +732,54 @@ fn main() -> ExitCode {
     );
     print_baseline_comparison(&baseline, &phases);
 
+    // Ask over the wire so the report carries the store name,
+    // mapped-store counters, and the streaming-freshness fields
+    // (delta_generation / chain_len / since_reload_secs) the service
+    // fills in — external servers included, so a post-reload run shows
+    // the chain lineage it was answered from.
+    let report = Client::connect(addr).and_then(|mut c| c.stats()).ok();
     if let Some(mut server) = own_server.take() {
-        // Ask over the wire so the report carries the store name and
-        // mapped-store counters the service fills in.
-        let report = Client::connect(addr)
-            .and_then(|mut c| c.stats())
-            .unwrap_or_else(|_| server.metrics().snapshot());
+        let report = report
+            .clone()
+            .unwrap_or_else(|| server.metrics().snapshot());
         server.shutdown();
+        eprintln!("{}", report.render());
+    } else if let Some(report) = report {
         eprintln!("{}", report.render());
     }
     if let Some(dir) = snap_dir.take() {
         let _ = std::fs::remove_dir_all(&dir);
     }
 
+    // Carry the committed top_destination_cells throughput forward as
+    // the "before" so the lookup-table speedup stays on record; once a
+    // run with the precomputed section is committed, later runs inherit
+    // its own "before" field if present.
+    let top_dest_before = std::fs::read_to_string(&out_path)
+        .ok()
+        .and_then(|t| {
+            let field = "\"top_destination_cells_before_rps\": ";
+            t.find(field).map(|at| {
+                t[at + field.len()..]
+                    .chars()
+                    .take_while(|c| c.is_ascii_digit() || *c == '.')
+                    .collect::<String>()
+            })
+        })
+        .and_then(|digits| digits.parse::<f64>().ok())
+        .or_else(|| {
+            baseline
+                .iter()
+                .find(|(n, _)| n == "top_destination_cells")
+                .map(|(_, rps)| *rps)
+        });
     if let Err(e) = write_bench_json(
         &out_path,
         threads,
         &store_label,
         &phases,
         cold_start.as_ref(),
+        top_dest_before,
     ) {
         eprintln!("error: cannot write {}: {e}", out_path.display());
         return ExitCode::FAILURE;

@@ -1,0 +1,270 @@
+//! `polstream` — the streaming-ingestion gate: replays a fleetsim
+//! scenario as one globally timestamp-ordered wire (vessel-interleaved,
+//! dropouts and out-of-order corrupt duplicates included), feeds it
+//! through `pol-stream`'s online state machines with periodic delta
+//! publication, and refuses to report a single number unless the closed
+//! streamed inventory is **byte-identical** to the batch build over the
+//! same records.
+//!
+//! ```text
+//! polstream [--vessels 150] [--days 14] [--seed 42] [--threads N]
+//!           [--window-days 2] [--min-rps X]
+//!           [--out figures/BENCH_stream.json]
+//! ```
+//!
+//! The headline metric is sustained ingest throughput (records pushed
+//! per wall second, delta cuts and close included). `--min-rps X` exits
+//! non-zero below the floor — that is the CI gate. Results land in
+//! `BENCH_stream.json` next to the identity verdict and the published
+//! delta chain's lineage, which is verified end to end (`POLMAN1`
+//! manifest, per-file length + CRC, full decode + merge) before being
+//! reported.
+
+use pol_bench::port_sites;
+use pol_core::codec::{self, columnar, manifest};
+use pol_core::{run_fused, PipelineConfig};
+use pol_engine::Engine;
+use pol_fleetsim::emit::EmissionConfig;
+use pol_fleetsim::scenario::{generate, ScenarioConfig};
+use pol_fleetsim::stream::interleave;
+use pol_stream::{DeltaPublisher, StreamConfig, StreamEngine};
+use std::io::Write;
+use std::process::ExitCode;
+use std::time::Instant;
+
+fn parse_flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn parse_or<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> T {
+    parse_flag(args, name)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!(
+            "usage: polstream [--vessels N] [--days D] [--seed S] [--threads N] \
+             [--window-days W] [--min-rps X] [--delta-dir DIR] [--out FILE]"
+        );
+        return ExitCode::from(2);
+    }
+    let vessels: usize = parse_or(&args, "--vessels", 150);
+    let days: u32 = parse_or(&args, "--days", 14);
+    let seed: u64 = parse_or(&args, "--seed", 42);
+    let threads: usize = parse_or(&args, "--threads", 0);
+    let window_days: i64 = parse_or(&args, "--window-days", 2).max(1);
+    let min_rps: Option<f64> = parse_flag(&args, "--min-rps").and_then(|v| v.parse().ok());
+    let out_path = parse_flag(&args, "--out")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| pol_bench::figures_dir().join("BENCH_stream.json"));
+
+    let scenario = ScenarioConfig {
+        seed,
+        n_vessels: vessels,
+        duration_days: days,
+        emission: EmissionConfig {
+            interval_scale: 10.0,
+            ..EmissionConfig::default()
+        },
+        ..ScenarioConfig::default()
+    };
+    eprintln!("simulating {vessels} vessels over {days} days (seed {seed})...");
+    let ds = generate(&scenario);
+    let total_reports = ds.total_reports();
+    let cfg = PipelineConfig::default();
+    let ports = port_sites(cfg.port_radius_km);
+    let engine = if threads == 0 {
+        Engine::with_available_parallelism()
+    } else {
+        Engine::new(threads)
+    };
+
+    // The oracle: the fused batch build over the identical record set.
+    eprintln!("batch oracle: run_fused over {total_reports} reports...");
+    let t = Instant::now();
+    let batch = match run_fused(&engine, ds.positions.clone(), &ds.statics, &ports, &cfg) {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("error: batch oracle failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let batch_secs = t.elapsed().as_secs_f64();
+    let batch_bytes = codec::to_bytes(&batch.inventory);
+
+    // The streamed run: one interleaved wire, watermark-driven release,
+    // a delta snapshot published per event-time window. With
+    // `--delta-dir` the published chain is kept for downstream use
+    // (serving it, `polinv verify`); otherwise it lands in a temp
+    // directory that is cleaned up on success.
+    let keep_deltas = parse_flag(&args, "--delta-dir").map(std::path::PathBuf::from);
+    let delta_dir = keep_deltas.clone().unwrap_or_else(|| {
+        std::env::temp_dir().join(format!("polstream-deltas-{}", std::process::id()))
+    });
+    std::fs::remove_dir_all(&delta_dir).ok();
+    if let Err(e) = std::fs::create_dir_all(&delta_dir) {
+        eprintln!("error: cannot create {}: {e}", delta_dir.display());
+        return ExitCode::FAILURE;
+    }
+    let mut publisher = DeltaPublisher::create(&delta_dir);
+    let window_secs = window_days * 86_400;
+    let mut next_cut = ds.config.start + window_secs;
+    let mut published_records = 0u64;
+
+    eprintln!("streaming {total_reports} interleaved reports (delta window {window_days} d)...");
+    let t = Instant::now();
+    let mut se = StreamEngine::new(&ds.statics, &ports, StreamConfig::default());
+    for r in interleave(ds.positions) {
+        se.push(r);
+        if se.watermark() >= next_cut {
+            let delta = match se.take_window_delta(&engine) {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("error: delta window fold failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            published_records += delta.total_records();
+            if let Err(e) = publisher.publish(&delta) {
+                eprintln!("error: delta publication failed: {e}");
+                return ExitCode::FAILURE;
+            }
+            next_cut += window_secs;
+        }
+    }
+    let out = match se.close(&engine) {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("error: stream close failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let stream_secs = t.elapsed().as_secs_f64();
+    let rps = out.counters.ingested as f64 / stream_secs.max(1e-9);
+
+    // The headline invariant, gated before any number is reported: the
+    // streamed inventory must be byte-identical to the batch build, in
+    // both snapshot formats, with nothing late-dropped on the way.
+    let streamed_bytes = codec::to_bytes(&out.inventory);
+    let identical = batch_bytes == streamed_bytes
+        && columnar::to_bytes(&batch.inventory) == columnar::to_bytes(&out.inventory);
+    if out.counters.late_dropped != 0 {
+        eprintln!(
+            "FAILED: {} records fell behind the reorder bound — the stream saw less data than the batch",
+            out.counters.late_dropped
+        );
+        return ExitCode::FAILURE;
+    }
+    if !identical {
+        eprintln!(
+            "FAILED: streamed inventory diverged from the batch build \
+             ({} vs {} bytes) — refusing to report throughput for a wrong answer",
+            streamed_bytes.len(),
+            batch_bytes.len()
+        );
+        return ExitCode::FAILURE;
+    }
+
+    // The published chain must verify end to end and account exactly for
+    // every trip record that was final at the last cut.
+    let chain = match manifest::verify_chain(publisher.manifest_path()) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("error: published delta chain failed verification: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (merged, info) = match manifest::load_chain(publisher.manifest_path()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: published delta chain failed to load: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if merged.total_records() != published_records {
+        eprintln!(
+            "FAILED: chain replays {} records but {published_records} were published",
+            merged.total_records()
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let c = out.counters;
+    println!(
+        "stream ingest: byte-identical to batch build ({} bytes)",
+        streamed_bytes.len()
+    );
+    println!(
+        "  ingested          {:>10}  ({:.0} records/s sustained, {:.2} s wall)",
+        c.ingested, rps, stream_secs
+    );
+    println!(
+        "  batch oracle      {:>10}  ({:.0} records/s, {:.2} s wall)",
+        c.ingested,
+        c.ingested as f64 / batch_secs.max(1e-9),
+        batch_secs
+    );
+    println!("  out of range      {:>10}", c.out_of_range);
+    println!("  non-commercial    {:>10}", c.non_commercial);
+    println!("  released          {:>10}", c.released);
+    println!("  late dropped      {:>10}", c.late_dropped);
+    println!("  trips finalized   {:>10}", c.trips_finalized);
+    println!("  trip records      {:>10}", c.trip_points);
+    println!(
+        "  delta chain       generation {} over {} files, {} records published",
+        chain.generation, info.chain_len, published_records
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"pol-stream live ingest vs batch build\",\n");
+    json.push_str(&format!("  \"vessels\": {vessels},\n"));
+    json.push_str(&format!("  \"days\": {days},\n"));
+    json.push_str(&format!("  \"seed\": {seed},\n"));
+    json.push_str(&format!("  \"threads\": {},\n", engine.threads()));
+    json.push_str(&format!("  \"byte_identical\": {identical},\n"));
+    json.push_str(&format!("  \"records\": {},\n", c.ingested));
+    json.push_str(&format!("  \"stream_wall_secs\": {stream_secs:.4},\n"));
+    json.push_str(&format!("  \"stream_records_per_sec\": {rps:.1},\n"));
+    json.push_str(&format!("  \"batch_wall_secs\": {batch_secs:.4},\n"));
+    json.push_str(&format!(
+        "  \"batch_records_per_sec\": {:.1},\n",
+        c.ingested as f64 / batch_secs.max(1e-9)
+    ));
+    json.push_str(&format!("  \"late_dropped\": {},\n", c.late_dropped));
+    json.push_str(&format!("  \"trips_finalized\": {},\n", c.trips_finalized));
+    json.push_str(&format!("  \"trip_records\": {},\n", c.trip_points));
+    json.push_str(&format!("  \"delta_window_days\": {window_days},\n"));
+    json.push_str(&format!("  \"delta_generation\": {},\n", chain.generation));
+    json.push_str(&format!("  \"delta_chain_len\": {},\n", info.chain_len));
+    json.push_str(&format!(
+        "  \"delta_published_records\": {published_records}\n"
+    ));
+    json.push_str("}\n");
+    let write = std::fs::File::create(&out_path)
+        .and_then(|mut f| f.write_all(json.as_bytes()).and_then(|()| f.flush()));
+    if let Err(e) = write {
+        eprintln!("error: cannot write {}: {e}", out_path.display());
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {}", out_path.display());
+    if keep_deltas.is_some() {
+        println!("kept delta chain: {}", publisher.manifest_path().display());
+    } else {
+        std::fs::remove_dir_all(&delta_dir).ok();
+    }
+
+    if let Some(min) = min_rps {
+        if rps < min {
+            eprintln!("FAILED --min-rps gate: sustained ingest {rps:.0} < {min:.0} records/s");
+            return ExitCode::FAILURE;
+        }
+        println!("--min-rps gate passed: sustained ingest {rps:.0} >= {min:.0} records/s");
+    }
+    ExitCode::SUCCESS
+}

@@ -34,8 +34,10 @@ pub struct CleanReport {
 }
 
 /// MMSI → (segment, commercial flag) lookup table built from the static
-/// inventory — the join side of the enrichment step.
-pub(crate) fn segment_lookup(statics: &[StaticReport]) -> FxHashMap<Mmsi, (MarketSegment, bool)> {
+/// inventory — the join side of the enrichment step. Public so the
+/// streaming session layer (`pol-stream`) can enrich records with exactly
+/// the batch pipeline's join semantics.
+pub fn segment_lookup(statics: &[StaticReport]) -> FxHashMap<Mmsi, (MarketSegment, bool)> {
     statics
         .iter()
         .map(|s| (s.mmsi, (s.segment(), s.is_commercial_fleet())))
@@ -44,7 +46,7 @@ pub(crate) fn segment_lookup(statics: &[StaticReport]) -> FxHashMap<Mmsi, (Marke
 
 /// Annotates one in-range report with its market segment. `None` drops
 /// it: unknown vessel, or non-commercial while `commercial_only` is set.
-pub(crate) fn enrich_one(
+pub fn enrich_one(
     lookup: &FxHashMap<Mmsi, (MarketSegment, bool)>,
     commercial_only: bool,
     r: PositionReport,
@@ -64,34 +66,67 @@ pub(crate) fn enrich_one(
     }
 }
 
+/// The incremental form of the per-vessel order/de-dup/feasibility pass:
+/// one vessel's reports are fed in nondecreasing-timestamp order and each
+/// call answers whether that report survives.
+///
+/// The batch path ([`order_and_filter_vessel`]) is a timestamp sort
+/// followed by a fold over this exact state machine, so the two cannot
+/// diverge: a streaming session that releases a vessel's records in
+/// timestamp order (ties in arrival order, matching the batch stable
+/// sort) produces the identical surviving sequence.
+#[derive(Clone, Debug)]
+pub struct VesselCleaner {
+    max_feasible_speed_kn: f64,
+    last: Option<EnrichedReport>,
+}
+
+impl VesselCleaner {
+    /// A cleaner with no history, rejecting transitions implying more
+    /// than `max_feasible_speed_kn` knots.
+    pub fn new(max_feasible_speed_kn: f64) -> VesselCleaner {
+        VesselCleaner {
+            max_feasible_speed_kn,
+            last: None,
+        }
+    }
+
+    /// Feeds the vessel's next report (timestamps must be
+    /// nondecreasing). Returns `Some(r)` when the report survives the
+    /// duplicate and feasibility filters, `None` when it is dropped.
+    pub fn push(&mut self, r: EnrichedReport) -> Option<EnrichedReport> {
+        if let Some(prev) = self.last {
+            if r.timestamp == prev.timestamp {
+                return None; // duplicate
+            }
+            let d = haversine_km(prev.pos, r.pos);
+            let dt = (r.timestamp - prev.timestamp) as f64;
+            if implied_speed_knots(d, dt) > self.max_feasible_speed_kn {
+                return None; // infeasible transition
+            }
+        }
+        self.last = Some(r);
+        Some(r)
+    }
+}
+
 /// One vessel's order/de-dup/feasibility pass: sorts by timestamp, drops
 /// duplicate timestamps and infeasible transitions, appends survivors to
-/// `out` (caller-owned so fused executors can reuse the buffer).
-pub(crate) fn order_and_filter_vessel(
+/// `out` (caller-owned so fused executors can reuse the buffer). The
+/// filter itself is a [`VesselCleaner`] fold over the sorted reports —
+/// shared with the streaming session layer by construction.
+pub fn order_and_filter_vessel(
     mut reports: Vec<EnrichedReport>,
     max_feasible_speed_kn: f64,
     out: &mut Vec<EnrichedReport>,
 ) {
+    // Stable sort: among equal timestamps the first report in input
+    // order wins, which is also the streaming release order.
     reports.sort_by_key(|r| r.timestamp);
-    let mut last: Option<EnrichedReport> = None;
+    let mut cleaner = VesselCleaner::new(max_feasible_speed_kn);
     for r in reports {
-        match last {
-            None => {
-                out.push(r);
-                last = Some(r);
-            }
-            Some(prev) => {
-                if r.timestamp == prev.timestamp {
-                    continue; // duplicate
-                }
-                let d = haversine_km(prev.pos, r.pos);
-                let dt = (r.timestamp - prev.timestamp) as f64;
-                if implied_speed_knots(d, dt) > max_feasible_speed_kn {
-                    continue; // infeasible transition
-                }
-                out.push(r);
-                last = Some(r);
-            }
+        if let Some(kept) = cleaner.push(r) {
+            out.push(kept);
         }
     }
 }

@@ -35,6 +35,7 @@
 //! Everything round-trips by property test.
 
 pub mod columnar;
+pub mod manifest;
 
 use crate::features::{CellStats, GroupKey};
 use crate::inventory::Inventory;
@@ -514,6 +515,8 @@ pub enum SnapshotFormat {
     V2,
     /// Columnar POLINV3 (mmap-friendly, lazily decoded).
     V3,
+    /// POLMAN1 delta-chain manifest (base + deltas, merged on load).
+    Manifest,
 }
 
 /// Identifies the snapshot format from a byte prefix (at least 8
@@ -525,6 +528,7 @@ pub fn sniff_format(prefix: &[u8]) -> Option<SnapshotFormat> {
     match &prefix[..MAGIC.len()] {
         m if m == MAGIC => Some(SnapshotFormat::V2),
         m if m == columnar::MAGIC_V3 => Some(SnapshotFormat::V3),
+        m if m == manifest::MAGIC_MANIFEST => Some(SnapshotFormat::Manifest),
         _ => None,
     }
 }
@@ -546,6 +550,7 @@ pub fn sniff_file(path: &Path) -> Result<Option<SnapshotFormat>, io::Error> {
 pub fn load_any(path: &Path) -> Result<Inventory, CodecError> {
     match sniff_file(path)? {
         Some(SnapshotFormat::V3) => columnar::load(path),
+        Some(SnapshotFormat::Manifest) => Ok(manifest::load_chain(path)?.0),
         // Unknown magic still goes through the v2 loader so the error
         // is the same typed BadHeader a v2 load would produce.
         _ => load(path),

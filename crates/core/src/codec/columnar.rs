@@ -6,11 +6,11 @@
 //! magic    b"POLINV3\0"                                  8 bytes
 //! header   u32 LE section length                         4 bytes
 //!          resolution u8, total-record varint,
-//!          section-count varint (= 4), then per section:
+//!          section-count varint (= 5), then per section:
 //!            kind u8, entry-count varint,
 //!            offset varint, length varint                (length bytes)
 //!          u64 LE CRC-64/XZ of the header bytes          8 bytes
-//! sections four bodies in directory order, each body
+//! sections five bodies in directory order, each body
 //!          followed by its u64 LE CRC-64/XZ              (per directory)
 //! footer   u64 LE total file length, b"POLSEAL\0"        16 bytes
 //! ```
@@ -32,7 +32,13 @@
 //! occupied cell — centre latitude f64 LE, centre longitude f64 LE, raw
 //! cell index u64 LE — sorted by latitude, so bbox scans
 //! `partition_point` into a latitude band exactly like the heap
-//! [`Inventory`]'s cell index.
+//! [`Inventory`]'s cell index. The fifth section (`top-dest`) inverts
+//! the top-destination relation: one 11-byte row — destination u16 BE,
+//! segment byte ([`TOP_DEST_ALL_SEGMENTS`] for the all-segments `cell`
+//! grouping), raw cell u64 BE — per grouping entry whose most frequent
+//! destination is that port, sorted as raw byte tuples so the
+//! top-destination-cells query is a `(dest, segment)` prefix range scan
+//! returning cells already in ascending order.
 //!
 //! Directory offsets are relative to the section area (the byte after
 //! the header CRC) and the bodies must tile it contiguously — a reader
@@ -66,7 +72,7 @@ use std::path::Path;
 /// File magic (format version 3: columnar sections, sealed footer).
 pub const MAGIC_V3: &[u8; 8] = b"POLINV3\0";
 
-/// The four sections of a POLINV3 file, in canonical directory order.
+/// The five sections of a POLINV3 file, in canonical directory order.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum SectionKind {
     /// `(H3-index)` grouping set.
@@ -77,15 +83,25 @@ pub enum SectionKind {
     CellRoute,
     /// Latitude-sorted `(lat, lon, cell)` rows for bbox scans.
     LatIndex,
+    /// Inverted top-destination rows `(dest, segment, cell)` for the
+    /// top-destination-cells query — sorted so a `(dest, segment)`
+    /// prefix range scan yields the answer in ascending cell order.
+    TopDest,
 }
+
+/// The segment byte a [`SectionKind::TopDest`] row uses for the
+/// all-segments (`GroupKey::Cell`) grouping. No [`MarketSegment`] id can
+/// collide with it: ids are small contiguous values.
+pub const TOP_DEST_ALL_SEGMENTS: u8 = 0xFF;
 
 impl SectionKind {
     /// Directory order: every well-formed file stores exactly these.
-    pub const ALL: [SectionKind; 4] = [
+    pub const ALL: [SectionKind; 5] = [
         SectionKind::Cell,
         SectionKind::CellType,
         SectionKind::CellRoute,
         SectionKind::LatIndex,
+        SectionKind::TopDest,
     ];
 
     /// The section's directory tag.
@@ -95,16 +111,18 @@ impl SectionKind {
             SectionKind::CellType => 1,
             SectionKind::CellRoute => 2,
             SectionKind::LatIndex => 3,
+            SectionKind::TopDest => 4,
         }
     }
 
-    /// The fixed byte stride of one key (or one lat-index row).
+    /// The fixed byte stride of one key (or one index row).
     pub const fn stride(self) -> usize {
         match self {
             SectionKind::Cell => 8,
             SectionKind::CellType => 9,
             SectionKind::CellRoute => 13,
             SectionKind::LatIndex => 24,
+            SectionKind::TopDest => 11,
         }
     }
 
@@ -115,6 +133,7 @@ impl SectionKind {
             SectionKind::CellType => "cell-type",
             SectionKind::CellRoute => "cell-route",
             SectionKind::LatIndex => "lat-index",
+            SectionKind::TopDest => "top-dest",
         }
     }
 
@@ -220,8 +239,22 @@ pub fn decode_fixed_key(kind: SectionKind, bytes: &[u8]) -> Option<GroupKey> {
             let seg = MarketSegment::from_id(*bytes.get(12)?)?;
             Some(GroupKey::CellRoute(cell, origin, dest, seg))
         }
-        SectionKind::LatIndex => None,
+        SectionKind::LatIndex | SectionKind::TopDest => None,
     }
+}
+
+/// The exact 11-byte row the top-destination query scans for:
+/// destination port BE, segment byte, raw cell BE. Byte order equals
+/// `(dest, segment, cell)` tuple order, so a `(dest, segment)` prefix
+/// delimits one contiguous, cell-ascending run.
+pub fn top_dest_row(dest: u16, segment: u8, cell: u64) -> [u8; 11] {
+    let mut k = [0u8; 11];
+    k[..2].copy_from_slice(&dest.to_be_bytes());
+    // lint: allow(no_unwrap) — constant index into `[u8; 11]`; rustc
+    // rejects an out-of-bounds constant at compile time.
+    k[2] = segment;
+    k[3..].copy_from_slice(&cell.to_be_bytes());
+    k
 }
 
 /// The validated extent of one grouping-set section: absolute byte
@@ -262,8 +295,12 @@ pub struct Layout {
     pub lat_rows: Range<usize>,
     /// Rows in the lat-index (equals `cell.count`).
     pub lat_count: usize,
+    /// The sorted `(dest, segment, cell)` top-destination rows.
+    pub top_dest_rows: Range<usize>,
+    /// Rows in the top-dest index.
+    pub top_dest_count: usize,
     /// Per-section CRC-64/XZ values, in [`SectionKind::ALL`] order.
-    pub section_crcs: [u64; 4],
+    pub section_crcs: [u64; 5],
     /// The header section's CRC-64/XZ.
     pub header_crc: u64,
 }
@@ -287,10 +324,11 @@ impl Layout {
     /// Structurally validates a complete POLINV3 file image.
     ///
     /// One linear pass over the bytes: magic, footer seal, header CRC,
-    /// directory sanity (four known sections, contiguous, in order),
+    /// directory sanity (five known sections, contiguous, in order),
     /// per-section CRC, strictly ascending keys, monotone stats offsets
-    /// that exactly cover the blob, and a lat-index sorted by latitude
-    /// with one row per occupied cell. No sketch is decoded.
+    /// that exactly cover the blob, a lat-index sorted by latitude with
+    /// one row per occupied cell, and strictly ascending top-dest rows.
+    /// No sketch is decoded.
     pub fn parse(bytes: &[u8]) -> Result<Layout, CodecError> {
         if bytes.len() < MAGIC_V3.len() || &bytes[..MAGIC_V3.len()] != MAGIC_V3 {
             return Err(CodecError::BadHeader);
@@ -389,13 +427,35 @@ impl Layout {
         let mut group_spans: Vec<GroupSpan> = Vec::with_capacity(3);
         let mut lat_span = 0..0;
         let mut lat_count = 0usize;
-        let mut section_crcs = [0u64; 4];
+        let mut top_dest_span = 0..0;
+        let mut top_dest_count = 0usize;
+        let mut section_crcs = [0u64; 5];
         for (slot, sec) in raw.iter().enumerate() {
             if let Some(c) = section_crcs.get_mut(slot) {
                 *c = sec.crc;
             }
             let stride = sec.kind.stride();
             let body = &bytes[sec.body.clone()];
+            if sec.kind == SectionKind::TopDest {
+                // Hostile-count guard + exact tiling of the rows.
+                if sec.count.checked_mul(stride) != Some(body.len()) {
+                    return Err(wire("top-dest length mismatch"));
+                }
+                // Rows strictly ascending as raw byte tuples: the prefix
+                // range scan the top-destination query runs requires it,
+                // and it rules out duplicate rows.
+                for w in 0..sec.count.saturating_sub(1) {
+                    let a = body.get(w * stride..(w + 1) * stride);
+                    let b = body.get((w + 1) * stride..(w + 2) * stride);
+                    match (a, b) {
+                        (Some(a), Some(b)) if a < b => {}
+                        _ => return Err(wire("top-dest rows not sorted")),
+                    }
+                }
+                top_dest_span = sec.body.clone();
+                top_dest_count = sec.count;
+                continue;
+            }
             if sec.kind == SectionKind::LatIndex {
                 // Hostile-count guard + exact tiling of the rows.
                 if sec.count.checked_mul(stride) != Some(body.len()) {
@@ -497,6 +557,8 @@ impl Layout {
             cell_route,
             lat_rows: lat_span,
             lat_count,
+            top_dest_rows: top_dest_span,
+            top_dest_count,
             section_crcs,
             header_crc,
         })
@@ -663,6 +725,91 @@ impl<'a> LatIndexReader<'a> {
     }
 }
 
+/// Zero-copy accessor over the sorted `(dest, segment, cell)` rows.
+///
+/// The top-destination-cells query binary-searches to the first row with
+/// the wanted `(dest, segment)` prefix and walks the contiguous run —
+/// `O(log n + answer)` instead of the heap store's full-entry scan.
+pub struct TopDestReader<'a> {
+    rows: &'a [u8],
+    count: usize,
+}
+
+impl<'a> TopDestReader<'a> {
+    /// Borrows the top-dest index from a validated file image.
+    pub fn new(bytes: &'a [u8], layout: &Layout) -> Option<TopDestReader<'a>> {
+        Some(TopDestReader {
+            rows: bytes.get(layout.top_dest_rows.clone())?,
+            count: layout.top_dest_count,
+        })
+    }
+
+    /// Rows in the index.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Whether the index has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The raw 11-byte row at `i`.
+    pub fn row_bytes(&self, i: usize) -> Option<&'a [u8]> {
+        let stride = SectionKind::TopDest.stride();
+        let at = i.checked_mul(stride)?;
+        if i >= self.count {
+            return None;
+        }
+        self.rows.get(at..at.checked_add(stride)?)
+    }
+
+    /// The first row whose bytes are `>= prefix` (compared over the
+    /// prefix length) — the start of a `(dest, segment)` range scan.
+    pub fn lower_bound(&self, prefix: &[u8]) -> usize {
+        let mut lo = 0usize;
+        let mut hi = self.count;
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            let below = self
+                .row_bytes(mid)
+                .and_then(|r| r.get(..prefix.len()))
+                .map(|head| head < prefix)
+                .unwrap_or(false);
+            if below {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    /// All cells whose top destination is `dest` under segment byte
+    /// `segment` ([`TOP_DEST_ALL_SEGMENTS`] for the all-segments
+    /// grouping), in ascending cell order.
+    pub fn cells_for(&self, dest: u16, segment: u8) -> Vec<u64> {
+        let mut prefix = [0u8; 3];
+        prefix[..2].copy_from_slice(&dest.to_be_bytes());
+        // lint: allow(no_unwrap) — constant index into `[u8; 3]`; rustc
+        // rejects an out-of-bounds constant at compile time.
+        prefix[2] = segment;
+        let mut out = Vec::new();
+        let mut i = self.lower_bound(&prefix);
+        while let Some(row) = self.row_bytes(i) {
+            match row.get(..3) {
+                Some(head) if head == prefix => {}
+                _ => break,
+            }
+            if let Some(cell) = be_u64(row.get(3..).unwrap_or(&[])) {
+                out.push(cell);
+            }
+            i += 1;
+        }
+        out
+    }
+}
+
 fn group_section_body(entries: &[(Vec<u8>, &CellStats)]) -> Vec<u8> {
     let mut keys = Vec::new();
     let mut offsets = Vec::with_capacity((entries.len() + 1) * 8);
@@ -688,16 +835,30 @@ pub fn to_bytes(inv: &Inventory) -> Vec<u8> {
     // fixed-stride big-endian encoding makes byte order == key order.
     let mut groups: [Vec<(Vec<u8>, &CellStats)>; 3] = [Vec::new(), Vec::new(), Vec::new()];
     let mut lat_rows: Vec<(f64, f64, u64)> = Vec::new();
+    let mut top_rows: Vec<[u8; 11]> = Vec::new();
     for (key, stats) in inv.iter() {
         let mut kb = Vec::with_capacity(13);
         encode_fixed_key(key, &mut kb);
+        // Invert the top-destination relation for the `cell` and
+        // `cell-type` groupings — the same `top_destinations(1)` the heap
+        // query evaluates per entry, precomputed once at encode time.
+        let top_of = |seg: u8, cell: &CellIndex| {
+            stats
+                .top_destinations(1)
+                .first()
+                .map(|(d, _)| top_dest_row(*d, seg, cell.raw()))
+        };
         let slot = match key {
             GroupKey::Cell(c) => {
                 let center = cell_center(*c);
                 lat_rows.push((center.lat(), center.lon(), c.raw()));
+                top_rows.extend(top_of(TOP_DEST_ALL_SEGMENTS, c));
                 0
             }
-            GroupKey::CellType(..) => 1,
+            GroupKey::CellType(c, seg) => {
+                top_rows.extend(top_of(seg.id(), c));
+                1
+            }
             GroupKey::CellRoute(..) => 2,
         };
         if let Some(g) = groups.get_mut(slot) {
@@ -706,6 +867,11 @@ pub fn to_bytes(inv: &Inventory) -> Vec<u8> {
     }
     for g in &mut groups {
         g.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+    }
+    top_rows.sort_unstable();
+    let mut top_body = Vec::with_capacity(top_rows.len() * SectionKind::TopDest.stride());
+    for row in &top_rows {
+        top_body.extend_from_slice(row);
     }
     lat_rows.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.2.cmp(&b.2)));
     let mut lat_body = Vec::with_capacity(lat_rows.len() * SectionKind::LatIndex.stride());
@@ -716,7 +882,7 @@ pub fn to_bytes(inv: &Inventory) -> Vec<u8> {
     }
 
     let [g_cell, g_cell_type, g_cell_route] = &groups;
-    let bodies: [(SectionKind, usize, Vec<u8>); 4] = [
+    let bodies: [(SectionKind, usize, Vec<u8>); 5] = [
         (SectionKind::Cell, g_cell.len(), group_section_body(g_cell)),
         (
             SectionKind::CellType,
@@ -729,6 +895,7 @@ pub fn to_bytes(inv: &Inventory) -> Vec<u8> {
             group_section_body(g_cell_route),
         ),
         (SectionKind::LatIndex, lat_rows.len(), lat_body),
+        (SectionKind::TopDest, top_rows.len(), top_body),
     ];
 
     let mut header = Vec::with_capacity(64);
@@ -823,6 +990,7 @@ pub fn verify_bytes(bytes: &[u8]) -> Result<ColumnarReport, CodecError> {
         layout.cell_type.count,
         layout.cell_route.count,
         layout.lat_count,
+        layout.top_dest_count,
     ];
     let sections = SectionKind::ALL
         .iter()
@@ -1057,10 +1225,44 @@ mod tests {
         let report = verify_bytes(&bytes).unwrap();
         assert_eq!(report.entries, inv.len());
         assert_eq!(report.resolution, inv.resolution().level());
-        assert_eq!(report.sections.len(), 4);
+        assert_eq!(report.sections.len(), 5);
         assert_eq!(report.sections[0].name, "cell");
         assert_eq!(report.sections[3].name, "lat-index");
+        assert_eq!(report.sections[4].name, "top-dest");
         assert_eq!(report.sections[0].entries, report.sections[3].entries);
+    }
+
+    #[test]
+    fn top_dest_scan_matches_inventory_predicate() {
+        let inv = sample_inventory(500);
+        let bytes = to_bytes(&inv);
+        let layout = Layout::parse(&bytes).unwrap();
+        let reader = TopDestReader::new(&bytes, &layout).unwrap();
+        assert!(reader.len() > 0);
+        // Every (dest, segment) combination the sample can produce, plus
+        // one that cannot exist.
+        for dest in 0..6u16 {
+            let got = reader.cells_for(dest, TOP_DEST_ALL_SEGMENTS);
+            let mut want: Vec<u64> = inv
+                .cells_with_top_destination(dest, None)
+                .iter()
+                .map(|c| c.raw())
+                .collect();
+            want.sort_unstable();
+            assert_eq!(got, want, "all-segments dest {dest}");
+            for seg_id in 0..6u8 {
+                let seg = MarketSegment::from_id(seg_id).unwrap();
+                let got = reader.cells_for(dest, seg_id);
+                let mut want: Vec<u64> = inv
+                    .cells_with_top_destination(dest, Some(seg))
+                    .iter()
+                    .map(|c| c.raw())
+                    .collect();
+                want.sort_unstable();
+                assert_eq!(got, want, "dest {dest} segment {seg_id}");
+            }
+        }
+        assert!(reader.cells_for(999, TOP_DEST_ALL_SEGMENTS).is_empty());
     }
 
     #[test]

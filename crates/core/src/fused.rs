@@ -257,6 +257,83 @@ pub fn run_fused(
     })
 }
 
+/// Folds per-vessel projected cell points into an [`Inventory`], replaying
+/// the fused executor's phase 2–3 ordering exactly: vessels scatter to
+/// `engine.default_partitions()` buckets by `hash64(mmsi) % num`, each
+/// bucket observes its vessels in ascending-MMSI order with the same
+/// `[Cell, CellType, CellRoute]` fan-out per point, and the reduce half is
+/// the same [`pol_engine::merge_combiner_shards`] radix merge.
+///
+/// This is the streaming session layer's (pol-stream) close path: sessions
+/// clean/extract/project incrementally, retain each vessel's cell points
+/// in emission order, and hand them here — producing an inventory
+/// byte-identical to [`run_fused`] over the same records (pinned by
+/// `fold_projected_matches_run_fused` below). `projected_count` is the
+/// total cell-point count recorded as the inventory's record total.
+pub fn fold_projected(
+    engine: &Engine,
+    cfg: &PipelineConfig,
+    per_vessel: Vec<(u32, Vec<CellPoint>)>,
+    projected_count: u64,
+) -> Result<Inventory, PipelineError> {
+    let num = engine.default_partitions();
+    // Same scatter as `run_fused` phase 1: a vessel's bucket depends only
+    // on its MMSI hash, so bucket composition matches the batch shuffle.
+    let mut partitions: Vec<Vec<(u32, Vec<CellPoint>)>> = (0..num).map(|_| Vec::new()).collect();
+    for (mmsi, points) in per_vessel {
+        let b = (hash64(&mmsi) % num as u64) as usize;
+        partitions[b].push((mmsi, points));
+    }
+    let eps = cfg.quantile_epsilon;
+    let cap = cfg.top_n_capacity;
+    let started = Instant::now();
+    let sharded: Vec<Vec<Vec<(GroupKey, CellStats)>>> =
+        engine.run_tasks("stream:fold", partitions, move |_, mut part| {
+            // Deterministic morsel order, as in the fused build phase.
+            part.sort_by_key(|(m, _)| *m);
+            let mut acc: FxHashMap<GroupKey, CellStats> = FxHashMap::default();
+            for (_, points) in part {
+                for cp in &points {
+                    let p = &cp.point;
+                    // Same fan-out order as the staged `features` stage.
+                    for key in [
+                        GroupKey::Cell(cp.cell),
+                        GroupKey::CellType(cp.cell, p.segment),
+                        GroupKey::CellRoute(cp.cell, p.origin, p.dest, p.segment),
+                    ] {
+                        acc.entry(key)
+                            .or_insert_with(|| CellStats::new(eps, cap))
+                            .observe(cp);
+                    }
+                }
+            }
+            radix_partition(acc, num)
+        })?;
+    let combiner_entries: u64 = sharded
+        .iter()
+        .flat_map(|w| w.iter())
+        .map(|s| s.len() as u64)
+        .sum();
+    let stats = merge_combiner_shards(
+        engine,
+        "stream:aggregate",
+        sharded,
+        |a: &mut CellStats, o| a.merge(&o),
+    )?;
+    engine.metrics().record(StageReport {
+        name: "stream:fold".to_string(),
+        input_records: projected_count,
+        output_records: stats.count() as u64,
+        shuffled_records: combiner_entries,
+        wall: started.elapsed(),
+    });
+    Ok(Inventory::from_dataset(
+        cfg.resolution,
+        stats,
+        projected_count,
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -320,6 +397,79 @@ mod tests {
             "parallel shard merge must be visible in stage timings"
         );
         assert!(engine.metrics().counter("fused.morsels") > 0);
+    }
+
+    /// The contract pol-stream's close path rests on: collecting each
+    /// vessel's projected cell points (via the shared incremental helpers,
+    /// in batch order) and handing them to `fold_projected` reproduces the
+    /// fused build byte-for-byte.
+    #[test]
+    fn fold_projected_matches_run_fused() {
+        let ds = generate(&ScenarioConfig::tiny());
+        let cfg = PipelineConfig::default();
+        let ports = port_sites(cfg.port_radius_km);
+        let fused = run_fused(
+            &Engine::new(2),
+            ds.positions.clone(),
+            &ds.statics,
+            &ports,
+            &cfg,
+        )
+        .unwrap();
+
+        // Collect per-vessel cell points exactly as a streaming session
+        // would retain them: per-vessel input order, clean → extract →
+        // project per contiguous trip run.
+        let lookup = segment_lookup(&ds.statics);
+        let mut per_vessel_reports: FxHashMap<u32, Vec<EnrichedReport>> = FxHashMap::default();
+        let mut vessel_order: Vec<u32> = Vec::new();
+        for part in &ds.positions {
+            for r in part {
+                if !r.in_protocol_ranges() {
+                    continue;
+                }
+                if let Some(e) = enrich_one(&lookup, cfg.commercial_only, r.clone()) {
+                    per_vessel_reports
+                        .entry(e.mmsi.0)
+                        .or_insert_with(|| {
+                            vessel_order.push(e.mmsi.0);
+                            Vec::new()
+                        })
+                        .push(e);
+                }
+            }
+        }
+        let geofence = Geofence::build(&ports, cfg.resolution);
+        let mut per_vessel: Vec<(u32, Vec<CellPoint>)> = Vec::new();
+        let mut projected_count = 0u64;
+        for mmsi in vessel_order {
+            let reports = per_vessel_reports.remove(&mmsi).unwrap();
+            let mut cleaned = Vec::new();
+            order_and_filter_vessel(reports, cfg.max_feasible_speed_kn, &mut cleaned);
+            let mut trips = Vec::new();
+            extract_for_vessel(&geofence, &cleaned, cfg.min_trip_points, &mut trips);
+            let mut cells = Vec::new();
+            let mut scratch = Vec::new();
+            let mut i = 0;
+            while i < trips.len() {
+                let mut j = i + 1;
+                while j < trips.len() && trips[j].trip_id == trips[i].trip_id {
+                    j += 1;
+                }
+                project_trip(&trips[i..j], cfg.resolution, &mut scratch, &mut cells);
+                i = j;
+            }
+            projected_count += trips.len() as u64;
+            per_vessel.push((mmsi, cells));
+        }
+        assert_eq!(projected_count, fused.counts.projected);
+
+        let folded = fold_projected(&Engine::new(1), &cfg, per_vessel, projected_count).unwrap();
+        assert_eq!(
+            codec::to_bytes(&fused.inventory),
+            codec::to_bytes(&folded),
+            "fold_projected must reproduce the fused build byte-for-byte"
+        );
     }
 
     #[test]

@@ -14,8 +14,9 @@ use pol_sketch::hash::FxHashMap;
 /// Projects one trip's time-ordered points onto the grid, appending
 /// cell-annotated points (with next-distinct-cell links) to `out`.
 /// `cells` is caller-owned scratch, cleared here — fused executors reuse
-/// it across trips. Shared by the staged path below and [`crate::fused`].
-pub(crate) fn project_trip(
+/// it across trips. Shared by the staged path below, [`crate::fused`]
+/// and the streaming session layer (pol-stream).
+pub fn project_trip(
     points: &[TripPoint],
     res: Resolution,
     cells: &mut Vec<CellIndex>,

@@ -93,40 +93,85 @@ pub fn extract_trips(
     })
 }
 
+/// The incremental form of per-vessel trip extraction: one vessel's
+/// cleaned reports are fed in timestamp order, and each port arrival that
+/// completes a qualifying passage emits the finished trip's points.
+///
+/// The batch path ([`extract_for_vessel`]) is a fold over this exact
+/// state machine, so the two cannot diverge — the property the streaming
+/// byte-identity gate rests on. Trip ids are monotone in `(mmsi, seq)`
+/// exactly as in the batch path because `seq` advances only on emission.
+#[derive(Clone, Debug)]
+pub struct TripTracker {
+    min_points: usize,
+    last_port: Option<u16>,
+    seq: u32,
+    current: Vec<EnrichedReport>,
+}
+
+impl TripTracker {
+    /// A tracker with no port history, dropping passages shorter than
+    /// `min_points` records.
+    pub fn new(min_points: usize) -> TripTracker {
+        TripTracker {
+            min_points,
+            last_port: None,
+            seq: 0,
+            current: Vec::new(),
+        }
+    }
+
+    /// Feeds the vessel's next cleaned report. When it lands in a port
+    /// geofence and closes a qualifying passage, the finished trip's
+    /// annotated points are appended to `out` and `true` is returned.
+    ///
+    /// Records before the first port sighting have no origin and are
+    /// excluded, and an unfinished passage is never emitted (Figure 2b of
+    /// the paper) — dropping the tracker discards its open passage.
+    pub fn push(
+        &mut self,
+        geofence: &Geofence,
+        r: &EnrichedReport,
+        out: &mut Vec<TripPoint>,
+    ) -> bool {
+        match geofence.port_at(r.pos) {
+            Some(port) => {
+                let mut emitted = false;
+                if let Some(origin) = self.last_port {
+                    if self.current.len() >= self.min_points && port != origin {
+                        emit_trip(origin, port, &self.current, self.seq, out);
+                        self.seq += 1;
+                        emitted = true;
+                    }
+                }
+                self.last_port = Some(port);
+                self.current.clear();
+                emitted
+            }
+            None => {
+                if self.last_port.is_some() {
+                    self.current.push(*r);
+                }
+                false
+            }
+        }
+    }
+}
+
 /// Walks one vessel's time-sorted reports, emitting trip-annotated points.
-/// Shared by the staged path above and the fused executor
-/// ([`crate::fused`]), which is what keeps the two bit-identical.
-pub(crate) fn extract_for_vessel(
+/// Shared by the staged path above, the fused executor ([`crate::fused`])
+/// and — through the [`TripTracker`] it folds over — the streaming
+/// session layer, which is what keeps all three bit-identical.
+pub fn extract_for_vessel(
     geofence: &Geofence,
     reports: &[EnrichedReport],
     min_points: usize,
     out: &mut Vec<TripPoint>,
 ) {
-    let mut last_port: Option<u16> = None;
-    let mut seq: u32 = 0;
-    let mut current: Vec<EnrichedReport> = Vec::new();
+    let mut tracker = TripTracker::new(min_points);
     for r in reports {
-        match geofence.port_at(r.pos) {
-            Some(port) => {
-                if let Some(origin) = last_port {
-                    if current.len() >= min_points && port != origin {
-                        emit_trip(origin, port, &current, seq, out);
-                        seq += 1;
-                    }
-                }
-                last_port = Some(port);
-                current.clear();
-            }
-            None => {
-                if last_port.is_some() {
-                    current.push(*r);
-                }
-                // Records before the first port sighting have no origin and
-                // are excluded (Figure 2b of the paper).
-            }
-        }
+        tracker.push(geofence, r, out);
     }
-    // An unfinished passage (no destination port reached) is excluded too.
 }
 
 fn emit_trip(

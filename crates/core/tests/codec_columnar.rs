@@ -102,7 +102,7 @@ fn clean_image_loads_and_verifies() {
     let report = columnar::verify_bytes(v3_bytes()).unwrap();
     assert_eq!(report.entries, sample_inventory().len());
     assert_eq!(report.total_records, 400);
-    assert_eq!(report.sections.len(), 4);
+    assert_eq!(report.sections.len(), 5);
 }
 
 /// POLINV2 → POLINV3 migration is query-identical: every summary at

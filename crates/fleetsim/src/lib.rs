@@ -23,7 +23,10 @@
 //!   intervals by speed/status, GPS noise, reception dropout, and the
 //!   occasional corrupt field the cleaning step (§3.3.1) must reject,
 //! * [`scenario`] — packaged datasets: a baseline "year", a COVID-style
-//!   port closure, and a Suez-style canal blockage with Cape reroute.
+//!   port closure, and a Suez-style canal blockage with Cape reroute,
+//! * [`stream`] — the `--stream` emission mode: a k-way merge of the
+//!   per-vessel partitions into one globally timestamp-ordered,
+//!   vessel-interleaved wire for live-ingestion consumers.
 //!
 //! Everything is deterministic given [`scenario::ScenarioConfig::seed`].
 
@@ -36,6 +39,7 @@ pub mod nmea_out;
 pub mod ports;
 pub mod rng;
 pub mod scenario;
+pub mod stream;
 pub mod voyage;
 
 pub use fleet::{Fleet, VesselSpec};

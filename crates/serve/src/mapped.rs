@@ -11,7 +11,9 @@
 //!   summary from the stats blob;
 //! * bbox scans by `partition_point` into the latitude-sorted cell
 //!   index, exactly like the heap inventory's band scan;
-//! * top-destination scans by a linear walk of one section.
+//! * top-destination scans by binary search into the precomputed
+//!   `(dest, segment, cell)` top-dest section — one contiguous run,
+//!   no stats decoded.
 //!
 //! Cold start is the headline win: load-to-READY is the mmap + one
 //! validation pass instead of decoding every sketch of every entry.
@@ -27,6 +29,7 @@ use crate::mmap::MappedFile;
 use pol_ais::types::MarketSegment;
 use pol_core::codec::columnar::{
     cell_key, cell_route_key, cell_type_key, GroupSpan, LatIndexReader, Layout, SectionReader,
+    TopDestReader, TOP_DEST_ALL_SEGMENTS,
 };
 use pol_core::codec::CodecError;
 use pol_core::features::CellStats;
@@ -154,44 +157,29 @@ impl MappedStore {
     }
 
     /// Occupied cells whose most frequent destination is `dest`,
-    /// optionally per segment — a linear walk of one section, replying
-    /// in raw cell order (the section's native order).
+    /// optionally per segment — a binary search to the `(dest, segment)`
+    /// prefix of the precomputed top-dest section, then one contiguous
+    /// run in ascending cell order. No stats are decoded at query time:
+    /// the encoder evaluated the same `top_destinations(1)` predicate
+    /// per entry when the snapshot was written.
     pub fn cells_with_top_destination(
         &self,
         dest: u16,
         segment: Option<MarketSegment>,
     ) -> Vec<CellIndex> {
-        let span = match segment {
-            None => &self.layout.cell,
-            Some(_) => &self.layout.cell_type,
-        };
-        let Some(reader) = self.reader(span) else {
+        let Some(reader) = TopDestReader::new(self.file.bytes(), &self.layout) else {
             return Vec::new();
         };
-        let mut cells = Vec::new();
-        for i in 0..reader.len() {
-            self.scan_entries.fetch_add(1, Ordering::Relaxed);
-            let Some(key) = reader.group_key_at(i) else {
-                continue;
-            };
-            if let (Some(want), pol_core::features::GroupKey::CellType(_, seg)) = (segment, &key) {
-                if *seg != want {
-                    continue;
-                }
-            }
-            let Some(stats) = reader.decode_stats(i) else {
-                self.decode_errors.fetch_add(1, Ordering::Relaxed);
-                continue;
-            };
-            let top = stats.top_destinations(1);
-            if top.first().map(|(d, _)| *d) == Some(dest) {
-                cells.push(key.cell());
-            }
-        }
-        // Keys are sorted by (cell, segment), so cells already ascend;
-        // the sort is a no-op kept for the canonical-reply invariant.
-        cells.sort_unstable();
-        cells
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        let seg_byte = segment.map(|s| s.id()).unwrap_or(TOP_DEST_ALL_SEGMENTS);
+        let raws = reader.cells_for(dest, seg_byte);
+        self.scan_entries
+            .fetch_add(raws.len() as u64, Ordering::Relaxed);
+        // The section's rows ascend by (dest, segment, cell), so the run
+        // is already in ascending cell order — the canonical reply.
+        raws.into_iter()
+            .filter_map(|r| CellIndex::from_raw(r).ok())
+            .collect()
     }
 }
 

@@ -13,7 +13,7 @@ use parking_lot::Mutex;
 use pol_engine::metrics::{JobMetrics, StageReport};
 use pol_sketch::{Histogram, Welford};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Upper edge of the latency histograms, microseconds. Slower requests
 /// land in the overflow counter and report as `HIST_MAX_US`.
@@ -175,6 +175,15 @@ pub struct StatsReport {
     /// Section entries / lat-index rows the mapped store touched during
     /// scans (zero on the heap backend).
     pub mapped_scan_entries: u64,
+    /// Newest delta generation merged into the live snapshot (0 when the
+    /// snapshot was not loaded from a delta chain).
+    pub delta_generation: u64,
+    /// Files in the loaded delta chain, base included (1 for a plain
+    /// snapshot, 0 when unknown).
+    pub chain_len: u64,
+    /// Whole seconds since the last successful hot reload (since process
+    /// start if none happened yet) — the streaming-freshness signal.
+    pub since_reload_secs: u64,
     /// The live store backend ("sharded-heap" or "mapped-columnar").
     pub store: String,
     /// Per-endpoint counters, in [`Endpoint::ALL`] order, endpoints with
@@ -215,6 +224,11 @@ impl StatsReport {
             out,
             "mapped_lookups={} mapped_scan_entries={}",
             self.mapped_lookups, self.mapped_scan_entries
+        );
+        let _ = writeln!(
+            out,
+            "delta_generation={} chain_len={} since_reload_secs={}",
+            self.delta_generation, self.chain_len, self.since_reload_secs
         );
         let _ = writeln!(
             out,
@@ -266,6 +280,13 @@ pub struct ServerMetrics {
     reloads_ok: AtomicU64,
     reloads_failed: AtomicU64,
     batched_requests: AtomicU64,
+    delta_generation: AtomicU64,
+    chain_len: AtomicU64,
+    /// Process-start anchor for the freshness clock.
+    started: Instant,
+    /// Milliseconds after `started` of the last successful reload
+    /// (0 = never reloaded, so freshness counts from process start).
+    last_reload_millis: AtomicU64,
     draining: AtomicBool,
     jobs: JobMetrics,
 }
@@ -290,6 +311,10 @@ impl ServerMetrics {
             reloads_ok: AtomicU64::new(0),
             reloads_failed: AtomicU64::new(0),
             batched_requests: AtomicU64::new(0),
+            delta_generation: AtomicU64::new(0),
+            chain_len: AtomicU64::new(0),
+            started: Instant::now(),
+            last_reload_millis: AtomicU64::new(0),
             draining: AtomicBool::new(false),
             jobs: JobMetrics::default(),
         }
@@ -342,10 +367,30 @@ impl ServerMetrics {
     }
 
     /// Accounts a successful hot reload: the generation advances so
-    /// clients can observe which snapshot answered them.
+    /// clients can observe which snapshot answered them, and the
+    /// freshness clock restarts.
     pub fn reload_succeeded(&self) {
         self.reloads_ok.fetch_add(1, Ordering::Relaxed);
         self.generation.fetch_add(1, Ordering::Release);
+        let millis = self.started.elapsed().as_millis() as u64;
+        self.last_reload_millis.store(millis, Ordering::Relaxed);
+    }
+
+    /// Records the delta-chain lineage of the live snapshot: the newest
+    /// merged delta generation and the chain length (base included).
+    /// Called whenever a snapshot or chain is loaded or hot-reloaded.
+    pub fn set_chain(&self, delta_generation: u64, chain_len: u64) {
+        self.delta_generation
+            .store(delta_generation, Ordering::Relaxed);
+        self.chain_len.store(chain_len, Ordering::Relaxed);
+    }
+
+    /// Whole seconds since the last successful reload (since process
+    /// start if none happened yet).
+    pub fn since_reload_secs(&self) -> u64 {
+        let now = self.started.elapsed().as_millis() as u64;
+        let last = self.last_reload_millis.load(Ordering::Relaxed);
+        now.saturating_sub(last) / 1000
     }
 
     /// Accounts a rejected hot reload (the old snapshot stayed live, so
@@ -418,6 +463,9 @@ impl ServerMetrics {
             reloads_ok: self.reloads_ok.load(Ordering::Relaxed),
             reloads_failed: self.reloads_failed.load(Ordering::Relaxed),
             batched_requests: self.batched_requests.load(Ordering::Relaxed),
+            delta_generation: self.delta_generation.load(Ordering::Relaxed),
+            chain_len: self.chain_len.load(Ordering::Relaxed),
+            since_reload_secs: self.since_reload_secs(),
             // The store identity and its counters live on the service,
             // not here; `InventoryService` fills them in before replying.
             mapped_lookups: 0,

@@ -26,12 +26,13 @@ use std::io::{self, Read, Write};
 /// `HEALTH`/`READY` probes and the snapshot-generation counters in
 /// `STATS`; version 3 added request batching (`BATCH` frames) and the
 /// read-path counters (`store`, batched/mapped counters, per-endpoint
-/// p95) in `STATS`. Decoders accept
-/// [`MIN_PROTO_VERSION`]`..=`[`PROTO_VERSION`].
-pub const PROTO_VERSION: u8 = 3;
+/// p95) in `STATS`; version 4 added the streaming-freshness fields
+/// (`delta_generation`, `chain_len`, `since_reload_secs`) in `STATS`.
+/// Decoders accept [`MIN_PROTO_VERSION`]`..=`[`PROTO_VERSION`].
+pub const PROTO_VERSION: u8 = 4;
 
 /// Oldest protocol version the decoders still accept. Version-2 peers
-/// never send `BATCH`, so every v2 payload is also a valid v3 payload.
+/// never send `BATCH`, so every v2 payload is also a valid v4 payload.
 pub const MIN_PROTO_VERSION: u8 = 2;
 
 /// Upper bound on sub-requests in one `BATCH` frame.
@@ -889,6 +890,9 @@ fn encode_stats_report(report: &StatsReport, out: &mut Vec<u8>) {
     put_varint(out, report.batched_requests);
     put_varint(out, report.mapped_lookups);
     put_varint(out, report.mapped_scan_entries);
+    put_varint(out, report.delta_generation);
+    put_varint(out, report.chain_len);
+    put_varint(out, report.since_reload_secs);
     put_string(out, &report.store);
     put_varint(out, report.endpoints.len() as u64);
     for ep in &report.endpoints {
@@ -917,6 +921,9 @@ fn decode_stats_report(input: &mut &[u8]) -> Result<StatsReport, ProtoError> {
     let batched_requests = get_varint(input)?;
     let mapped_lookups = get_varint(input)?;
     let mapped_scan_entries = get_varint(input)?;
+    let delta_generation = get_varint(input)?;
+    let chain_len = get_varint(input)?;
+    let since_reload_secs = get_varint(input)?;
     let store = get_string(input, MAX_ERROR_BYTES)?;
     let len = get_varint(input)? as usize;
     // Each endpoint entry is at least 34 bytes (id + count + four f64s).
@@ -962,6 +969,9 @@ fn decode_stats_report(input: &mut &[u8]) -> Result<StatsReport, ProtoError> {
         batched_requests,
         mapped_lookups,
         mapped_scan_entries,
+        delta_generation,
+        chain_len,
+        since_reload_secs,
         store,
         endpoints,
         stages,

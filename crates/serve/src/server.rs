@@ -112,9 +112,12 @@ impl InventoryService {
 
     /// Opens a snapshot file behind the right backend, sniffing its
     /// format: a POLINV3 file is memory-mapped zero-copy (validated, not
-    /// deserialized — the cold-start win), anything else goes through
-    /// the full POLINV2 decode into the sharded heap store. Either path
-    /// records its startup cost as a `StageReport`.
+    /// deserialized — the cold-start win), a POLMAN1 delta-chain
+    /// manifest is loaded base-plus-deltas into the sharded heap store
+    /// (recording the chain lineage for the `STATS` freshness fields),
+    /// and anything else goes through the full POLINV2 decode into the
+    /// sharded heap store. Every path records its startup cost as a
+    /// `StageReport`.
     pub fn open_snapshot(
         path: &Path,
         config: &ServerConfig,
@@ -131,11 +134,25 @@ impl InventoryService {
                     shuffled_records: 0,
                     wall: started.elapsed(),
                 });
+                metrics.set_chain(0, 1);
                 Ok(InventoryService {
                     store: StoreBackend::Mapped(store),
                     cache: Mutex::new(QueryCache::new(config.cache_capacity)),
                     metrics,
                 })
+            }
+            Some(SnapshotFormat::Manifest) => {
+                let started = Instant::now();
+                let (inventory, info) = pol_core::codec::manifest::load_chain(path)?;
+                metrics.record_stage(StageReport {
+                    name: "chain-load".into(),
+                    input_records: info.chain_len,
+                    output_records: inventory.len() as u64,
+                    shuffled_records: 0,
+                    wall: started.elapsed(),
+                });
+                metrics.set_chain(info.generation, info.chain_len);
+                Ok(InventoryService::new(inventory, config, metrics))
             }
             _ => {
                 let started = Instant::now();
@@ -147,6 +164,7 @@ impl InventoryService {
                     shuffled_records: 0,
                     wall: started.elapsed(),
                 });
+                metrics.set_chain(0, 1);
                 Ok(InventoryService::new(inventory, config, metrics))
             }
         }
@@ -387,16 +405,19 @@ impl Server {
             Arc::clone(&self.metrics),
         ));
         *self.service.write() = fresh;
+        self.metrics.set_chain(0, 1);
         self.metrics.reload_succeeded();
     }
 
     /// Hot-reloads the snapshot from an inventory file, sniffing its
     /// format like [`Server::start_snapshot`] (a POLINV3 file swaps in a
-    /// fresh mapped store; POLINV2 decodes into the heap store). A
-    /// corrupt, truncated, or unreadable file is rejected by the codec's
-    /// checksums *before* anything is swapped: the error is returned,
-    /// `reloads_failed` advances, and the previous snapshot keeps
-    /// serving untouched.
+    /// fresh mapped store; a POLMAN1 manifest merges its base + delta
+    /// chain and records the lineage in the `STATS` freshness fields;
+    /// POLINV2 decodes into the heap store). A corrupt, truncated, or
+    /// unreadable file — anywhere in a chain — is rejected by the
+    /// codec's checksums *before* anything is swapped: the error is
+    /// returned, `reloads_failed` advances, and the previous snapshot
+    /// keeps serving untouched.
     pub fn reload_from(&self, path: &Path) -> Result<(), CodecError> {
         match InventoryService::open_snapshot(path, &self.config, Arc::clone(&self.metrics)) {
             Ok(service) => {

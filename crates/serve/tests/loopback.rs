@@ -604,3 +604,172 @@ fn scanned_cells_reconstruct_as_valid_indices() {
     }
     server.shutdown();
 }
+
+/// The streaming-ingestion serving contract: reloading a POLMAN1 delta
+/// chain under sustained concurrent load drops no in-flight query and
+/// never returns a wrong answer — every response matches either the
+/// pre-reload chain or the post-reload one, and once `reload_from`
+/// returns, fresh requests see the extended chain with its lineage in
+/// the `STATS` freshness fields.
+#[test]
+fn delta_chain_hot_reload_under_load_loses_no_query() {
+    use pol_core::codec::manifest::{Manifest, ManifestEntry};
+    use pol_core::codec::{self, columnar, save_bytes};
+    use pol_sketch::crc64::crc64;
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+    let dir = std::env::temp_dir().join("pol-serve-chain-reload");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let base = sample_inventory(400);
+    let delta = sample_inventory(150); // overlaps the base: real merges
+    let merged = {
+        // Inventory has no Clone; a codec round trip is a faithful copy.
+        let mut m = codec::from_bytes(&codec::to_bytes(&base)).unwrap();
+        m.merge(&delta);
+        m
+    };
+
+    let entry_for = |name: &str, inv: &Inventory| {
+        let bytes = columnar::to_bytes(inv);
+        save_bytes(&bytes, &dir.join(name)).unwrap();
+        (bytes.len() as u64, crc64(&bytes))
+    };
+    let (base_len, base_crc) = entry_for("base.pol3", &base);
+    let manifest_path = dir.join("inventory.polman");
+    let base_entry = ManifestEntry {
+        generation: 0,
+        file_len: base_len,
+        crc: base_crc,
+        name: "base.pol3".into(),
+    };
+    pol_core::codec::manifest::save(
+        &Manifest {
+            entries: vec![base_entry.clone()],
+        },
+        &manifest_path,
+    )
+    .unwrap();
+
+    let mut server = Server::start_snapshot(&manifest_path, "127.0.0.1:0", test_config()).unwrap();
+    let addr = server.local_addr();
+    let mut probe = Client::connect(addr).unwrap();
+    let before = probe.stats().unwrap();
+    assert_eq!(before.delta_generation, 0);
+    assert_eq!(before.chain_len, 1);
+
+    // Query positions that hit occupied cells of the base inventory.
+    let pool: Vec<(f64, f64)> = (0..400usize)
+        .step_by(7)
+        .map(|i| (-55.0 + (i % 111) as f64, -170.0 + (i % 340) as f64))
+        .collect();
+
+    let stop = AtomicBool::new(false);
+    let reloaded = AtomicBool::new(false);
+    let wrong = AtomicU64::new(0);
+    let errors = AtomicU64::new(0);
+    let served = AtomicU64::new(0);
+    let post_reload_new = AtomicU64::new(0);
+
+    std::thread::scope(|s| {
+        for tid in 0..3usize {
+            let (base, merged, pool) = (&base, &merged, &pool);
+            let (stop, reloaded, wrong, errors, served, post_reload_new) =
+                (&stop, &reloaded, &wrong, &errors, &served, &post_reload_new);
+            s.spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                let mut i = tid;
+                while !stop.load(Ordering::Relaxed) {
+                    let (lat, lon) = pool[i % pool.len()];
+                    i += 1;
+                    let cell = cell_at(LatLon::new(lat, lon).unwrap(), res());
+                    // Mark *before* issuing: if the answer comes back
+                    // new-chain after this point, the swap is proven to
+                    // have happened without dropping the request.
+                    let was_reloaded = reloaded.load(Ordering::Relaxed);
+                    match client.point_summary(lat, lon) {
+                        Ok(got) => {
+                            served.fetch_add(1, Ordering::Relaxed);
+                            let got = stats_bytes(got.as_ref());
+                            let old = stats_bytes(base.summary(cell));
+                            let new = stats_bytes(merged.summary(cell));
+                            if got != old && got != new {
+                                wrong.fetch_add(1, Ordering::Relaxed);
+                            }
+                            if was_reloaded && got == new && new != old {
+                                post_reload_new.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        Err(_) => {
+                            errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            });
+        }
+
+        // Let the load establish itself, then extend the chain on disk
+        // (delta file first, manifest second) and hot-swap it.
+        while served.load(Ordering::Relaxed) < 300 {
+            std::thread::yield_now();
+        }
+        let (delta_len, delta_crc) = entry_for("delta-00001.pol3", &delta);
+        pol_core::codec::manifest::save(
+            &Manifest {
+                entries: vec![
+                    base_entry,
+                    ManifestEntry {
+                        generation: 1,
+                        file_len: delta_len,
+                        crc: delta_crc,
+                        name: "delta-00001.pol3".into(),
+                    },
+                ],
+            },
+            &manifest_path,
+        )
+        .unwrap();
+        server.reload_from(&manifest_path).unwrap();
+        reloaded.store(true, Ordering::Relaxed);
+
+        // Keep the load running across the swap, then stop.
+        let after_swap = served.load(Ordering::Relaxed);
+        while served.load(Ordering::Relaxed) < after_swap + 300 {
+            std::thread::yield_now();
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    assert_eq!(
+        wrong.load(Ordering::Relaxed),
+        0,
+        "wrong answers under reload"
+    );
+    assert_eq!(
+        errors.load(Ordering::Relaxed),
+        0,
+        "dropped in-flight queries"
+    );
+    assert!(
+        post_reload_new.load(Ordering::Relaxed) > 0,
+        "post-reload answers never surfaced the extended chain"
+    );
+
+    // A fresh request sees the new chain and its lineage.
+    let report = probe.stats().unwrap();
+    assert_eq!(report.delta_generation, 1);
+    assert_eq!(report.chain_len, 2);
+    assert_eq!(report.reloads_ok, 1);
+    assert_eq!(report.reloads_failed, 0);
+    let (lat, lon) = pool[0];
+    let cell = cell_at(LatLon::new(lat, lon).unwrap(), res());
+    assert_eq!(
+        stats_bytes(probe.point_summary(lat, lon).unwrap().as_ref()),
+        stats_bytes(merged.summary(cell)),
+        "fresh post-reload answers must come from the merged chain"
+    );
+
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -105,6 +105,7 @@ fn arb_stats_report() -> impl Strategy<Value = StatsReport> {
         (0u64..1 << 30, 0u64..1 << 30),
         (1u64..1 << 20, 0u64..500, 0u64..500),
         (0u64..1 << 30, 0u64..1 << 40, 0u64..1 << 40),
+        (0u64..1 << 30, 0u64..1 << 16, 0u64..1 << 24),
         prop::collection::vec(32u8..127, 0..32),
         prop::collection::vec(
             (
@@ -122,6 +123,7 @@ fn arb_stats_report() -> impl Strategy<Value = StatsReport> {
                 (hits, misses),
                 (generation, reloads_ok, reloads_failed),
                 (batched, mapped_lookups, mapped_scan_entries),
+                (delta_generation, chain_len, since_reload_secs),
                 store_bytes,
                 eps,
                 stage_bytes,
@@ -138,6 +140,9 @@ fn arb_stats_report() -> impl Strategy<Value = StatsReport> {
                 batched_requests: batched,
                 mapped_lookups,
                 mapped_scan_entries,
+                delta_generation,
+                chain_len,
+                since_reload_secs,
                 store: String::from_utf8(store_bytes).expect("ascii"),
                 endpoints: eps
                     .into_iter()
@@ -354,6 +359,9 @@ fn every_opcode_constant_is_pinned_to_its_frame_tag() {
                 batched_requests: 0,
                 mapped_lookups: 0,
                 mapped_scan_entries: 0,
+                delta_generation: 0,
+                chain_len: 1,
+                since_reload_secs: 0,
                 store: "heap".to_string(),
                 endpoints: Vec::new(),
                 stages: String::new(),

@@ -1,0 +1,220 @@
+//! Delta snapshot publication: POLINV3 windows chained by a POLMAN1
+//! manifest.
+//!
+//! A [`DeltaPublisher`] owns one publication directory. The first
+//! publication writes the chain base (`base.pol`, generation 0); each
+//! later one appends `delta-NNNNN.pol` with the next generation. The
+//! crash-safety order is the load-bearing part:
+//!
+//! 1. the snapshot file is written first, through
+//!    [`pol_core::codec::save_bytes`]'s temp-sibling + fsync + atomic
+//!    rename discipline (and its `codec.save.*` chaos failpoints);
+//! 2. only then is the manifest rewritten, by the same discipline.
+//!
+//! The manifest is the commit record: it names each file with its exact
+//! length and CRC-64, and [`pol_core::codec::manifest::load_chain`]
+//! re-verifies both before decoding a byte. A crash or injected fault
+//! between the two steps leaves at worst an orphaned snapshot file the
+//! old manifest never references — readers keep loading the previous
+//! chain, never a torn or half-published one (pinned by the chaos
+//! tests).
+//!
+//! [`merge_chain`] is the in-memory equivalent of a chain load: it
+//! canonicalizes by sorting on generation before folding, so the merged
+//! bytes depend only on the *set* of `(generation, delta)` pairs —
+//! never on arrival order. The permutation proptest in
+//! `tests/delta_chain.rs` pins that.
+
+use pol_core::codec::manifest::{self, Manifest, ManifestEntry};
+use pol_core::codec::{columnar, save_bytes};
+use pol_core::Inventory;
+use pol_sketch::crc64::crc64;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// File name of the chain manifest inside a publication directory.
+pub const MANIFEST_NAME: &str = "inventory.polman";
+
+/// Publishes a growing delta chain into one directory: snapshot files
+/// first, manifest second, both atomically.
+pub struct DeltaPublisher {
+    dir: PathBuf,
+    manifest_path: PathBuf,
+    manifest: Manifest,
+}
+
+impl DeltaPublisher {
+    /// A publisher over `dir` (which must exist) with an empty chain.
+    /// Nothing is written until the first [`publish`](Self::publish).
+    pub fn create(dir: &Path) -> DeltaPublisher {
+        DeltaPublisher {
+            dir: dir.to_path_buf(),
+            manifest_path: dir.join(MANIFEST_NAME),
+            manifest: Manifest {
+                entries: Vec::new(),
+            },
+        }
+    }
+
+    /// Path of the chain manifest (what `pol-serve` opens and reloads).
+    pub fn manifest_path(&self) -> &Path {
+        &self.manifest_path
+    }
+
+    /// Files published so far (0 before the base exists).
+    pub fn chain_len(&self) -> usize {
+        self.manifest.entries.len()
+    }
+
+    /// Newest published generation, `None` before the base exists.
+    pub fn generation(&self) -> Option<u64> {
+        self.manifest.entries.last().map(|e| e.generation)
+    }
+
+    /// Publishes one snapshot as the next chain link and commits it to
+    /// the manifest. On any error the directory still holds a fully
+    /// valid chain: either the previous manifest (at worst plus one
+    /// orphaned, unreferenced file) or the new one. Returns the
+    /// published generation.
+    pub fn publish(&mut self, inv: &Inventory) -> io::Result<u64> {
+        let generation = self.manifest.entries.len() as u64;
+        let name = if generation == 0 {
+            "base.pol".to_string()
+        } else {
+            format!("delta-{generation:05}.pol")
+        };
+        let bytes = columnar::to_bytes(inv);
+        // Snapshot first: until the manifest names it, it does not exist
+        // as far as any reader is concerned.
+        save_bytes(&bytes, &self.dir.join(&name))?;
+        self.manifest.entries.push(ManifestEntry {
+            generation,
+            file_len: bytes.len() as u64,
+            crc: crc64(&bytes),
+            name,
+        });
+        match manifest::save(&self.manifest, &self.manifest_path) {
+            Ok(()) => Ok(generation),
+            Err(e) => {
+                // Roll the in-memory chain back to what is on disk; the
+                // snapshot file stays behind as an orphan the old
+                // manifest never references.
+                self.manifest.entries.pop();
+                Err(e)
+            }
+        }
+    }
+}
+
+/// Merges a set of `(generation, inventory)` deltas into one inventory,
+/// canonicalizing by ascending generation first — the same order
+/// [`pol_core::codec::manifest::load_chain`] applies on disk. Because
+/// of that canonicalization the output bytes are independent of the
+/// input order (generations must be distinct, as a manifest
+/// guarantees). Returns `None` for an empty set. All parts must share
+/// one grid resolution, as chain loading enforces.
+pub fn merge_chain(mut parts: Vec<(u64, Inventory)>) -> Option<Inventory> {
+    parts.sort_by_key(|(generation, _)| *generation);
+    let mut iter = parts.into_iter();
+    let (_, mut merged) = iter.next()?;
+    for (_, delta) in iter {
+        merged.merge(&delta);
+    }
+    Some(merged)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pol_ais::types::{MarketSegment, Mmsi};
+    use pol_core::features::{CellStats, GroupKey};
+    use pol_core::records::{CellPoint, TripPoint};
+    use pol_geo::LatLon;
+    use pol_hexgrid::{cell_at, Resolution};
+    use pol_sketch::hash::FxHashMap;
+
+    fn window_inventory(n: usize, salt: u64) -> Inventory {
+        let res = Resolution::new(6).unwrap();
+        let mut entries: FxHashMap<GroupKey, CellStats> = FxHashMap::default();
+        for i in 0..n {
+            let k = i as u64 + salt * 1_000;
+            let pos = LatLon::new(10.0 + (k % 50) as f64 * 0.9, (k % 90) as f64).unwrap();
+            let cell = cell_at(pos, res);
+            let cp = CellPoint {
+                point: TripPoint {
+                    mmsi: Mmsi(200_000_000 + (k % 9) as u32),
+                    timestamp: k as i64,
+                    pos,
+                    sog_knots: Some(8.0 + (k % 11) as f64),
+                    cog_deg: Some((k % 360) as f64),
+                    heading_deg: None,
+                    segment: MarketSegment::from_id((k % 6) as u8).unwrap(),
+                    trip_id: k % 4,
+                    origin: (k % 5) as u16,
+                    dest: (k % 7) as u16,
+                    eto_secs: k as i64,
+                    ata_secs: 1_000 - k as i64,
+                },
+                cell,
+                next_cell: None,
+            };
+            entries
+                .entry(GroupKey::Cell(cell))
+                .or_insert_with(|| CellStats::new(0.02, 8))
+                .observe(&cp);
+        }
+        Inventory::from_entries(res, entries, n as u64)
+    }
+
+    #[test]
+    fn publisher_grows_a_loadable_chain() {
+        let dir = std::env::temp_dir().join("pol-stream-delta-grow");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut publisher = DeltaPublisher::create(&dir);
+        assert_eq!(publisher.generation(), None);
+
+        assert_eq!(publisher.publish(&window_inventory(50, 0)).unwrap(), 0);
+        assert_eq!(publisher.publish(&window_inventory(30, 1)).unwrap(), 1);
+        assert_eq!(publisher.publish(&window_inventory(20, 2)).unwrap(), 2);
+        assert_eq!(publisher.chain_len(), 3);
+        assert_eq!(publisher.generation(), Some(2));
+
+        let (merged, info) = manifest::load_chain(publisher.manifest_path()).unwrap();
+        assert_eq!(info.generation, 2);
+        assert_eq!(info.chain_len, 3);
+        assert_eq!(merged.total_records(), 100);
+
+        let report = manifest::verify_chain(publisher.manifest_path()).unwrap();
+        assert_eq!(report.files.len(), 3);
+        assert_eq!(report.merged_entries, merged.len());
+    }
+
+    #[test]
+    fn chain_load_equals_merge_chain() {
+        let dir = std::env::temp_dir().join("pol-stream-delta-eq");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut publisher = DeltaPublisher::create(&dir);
+        for salt in 0..4 {
+            publisher.publish(&window_inventory(40, salt)).unwrap();
+        }
+        let (from_disk, _) = manifest::load_chain(publisher.manifest_path()).unwrap();
+        let in_memory = merge_chain(
+            (0..4)
+                .map(|salt| (salt, window_inventory(40, salt)))
+                .collect(),
+        )
+        .unwrap();
+        assert_eq!(
+            columnar::to_bytes(&from_disk),
+            columnar::to_bytes(&in_memory),
+            "disk chain load and in-memory merge must agree byte-for-byte"
+        );
+    }
+
+    #[test]
+    fn merge_chain_empty_is_none() {
+        assert!(merge_chain(Vec::new()).is_none());
+    }
+}

@@ -1,0 +1,156 @@
+//! Chaos tests for delta publication (run with
+//! `cargo test -p pol-stream --features chaos --test chaos`): injected
+//! write and rename failures at any step of a publish must never
+//! produce a loadable-but-wrong chain — readers either see the old
+//! manifest (intact, fully verifiable) or the new one.
+
+#![cfg(feature = "chaos")]
+
+use pol_ais::types::{MarketSegment, Mmsi};
+use pol_chaos::{configure, remove, stats, FaultAction, Trigger};
+use pol_core::codec::{columnar, manifest};
+use pol_core::features::{CellStats, GroupKey};
+use pol_core::records::{CellPoint, TripPoint};
+use pol_core::Inventory;
+use pol_geo::LatLon;
+use pol_hexgrid::{cell_at, Resolution};
+use pol_sketch::hash::FxHashMap;
+use pol_stream::DeltaPublisher;
+use std::path::Path;
+
+fn window_inventory(n: usize, salt: u64) -> Inventory {
+    let res = Resolution::new(6).unwrap();
+    let mut entries: FxHashMap<GroupKey, CellStats> = FxHashMap::default();
+    for i in 0..n {
+        let k = i as u64 + salt * 500;
+        let pos = LatLon::new(5.0 + (k % 60) as f64, (k % 120) as f64).unwrap();
+        let cell = cell_at(pos, res);
+        let cp = CellPoint {
+            point: TripPoint {
+                mmsi: Mmsi(200_000_000 + (k % 5) as u32),
+                timestamp: k as i64,
+                pos,
+                sog_knots: Some(9.0),
+                cog_deg: Some((k % 360) as f64),
+                heading_deg: None,
+                segment: MarketSegment::from_id((k % 6) as u8).unwrap(),
+                trip_id: k % 2,
+                origin: 0,
+                dest: 1,
+                eto_secs: 0,
+                ata_secs: 0,
+            },
+            cell,
+            next_cell: None,
+        };
+        entries
+            .entry(GroupKey::Cell(cell))
+            .or_insert_with(|| CellStats::new(0.02, 8))
+            .observe(&cp);
+    }
+    Inventory::from_entries(res, entries, n as u64)
+}
+
+/// Asserts the chain at `path` is fully sound and at `generation` with
+/// `chain_len` files, returning the merged inventory's canonical bytes.
+fn assert_chain(path: &Path, generation: u64, chain_len: u64) -> Vec<u8> {
+    let report = manifest::verify_chain(path).unwrap();
+    assert_eq!(report.generation, generation);
+    assert_eq!(report.files.len(), chain_len as usize);
+    let (merged, info) = manifest::load_chain(path).unwrap();
+    assert_eq!(info.generation, generation);
+    assert_eq!(info.chain_len, chain_len);
+    columnar::to_bytes(&merged)
+}
+
+fn fresh_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(name);
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn injected_snapshot_write_failure_keeps_old_chain_loadable() {
+    let dir = fresh_dir("pol-stream-chaos-write");
+    let mut publisher = DeltaPublisher::create(&dir);
+    publisher.publish(&window_inventory(40, 0)).unwrap();
+    publisher.publish(&window_inventory(25, 1)).unwrap();
+    let before = assert_chain(publisher.manifest_path(), 1, 2);
+
+    // The snapshot write itself fails — before the manifest is touched.
+    configure("codec.save.write", Trigger::OneShot(FaultAction::Err));
+    let err = publisher.publish(&window_inventory(30, 2));
+    assert!(err.is_err(), "injected snapshot write failure must surface");
+    assert_eq!(stats("codec.save.write").fired, 1);
+    remove("codec.save.write");
+
+    // The old chain is untouched: same generation, same merged bytes.
+    assert_eq!(publisher.chain_len(), 2);
+    assert_eq!(assert_chain(publisher.manifest_path(), 1, 2), before);
+
+    // Disarmed, the retry extends the chain normally.
+    assert_eq!(publisher.publish(&window_inventory(30, 2)).unwrap(), 2);
+    assert_chain(publisher.manifest_path(), 2, 3);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn injected_manifest_failure_leaves_orphan_but_valid_old_chain() {
+    let dir = fresh_dir("pol-stream-chaos-manifest");
+    let mut publisher = DeltaPublisher::create(&dir);
+    publisher.publish(&window_inventory(40, 0)).unwrap();
+    let before = assert_chain(publisher.manifest_path(), 0, 1);
+
+    // Hit 1 is the snapshot file, hit 2 the manifest rewrite: the
+    // worst case — a fully written new delta the commit never blessed.
+    configure(
+        "codec.save.write",
+        Trigger::NthHit {
+            n: 2,
+            action: FaultAction::Err,
+        },
+    );
+    assert!(publisher.publish(&window_inventory(25, 1)).is_err());
+    assert_eq!(stats("codec.save.write").fired, 1);
+    remove("codec.save.write");
+
+    // The orphaned delta file exists but the manifest never names it:
+    // the chain still loads exactly as before.
+    assert_eq!(publisher.chain_len(), 1);
+    assert_eq!(assert_chain(publisher.manifest_path(), 0, 1), before);
+
+    // Recovery: the next publish reuses the generation slot and commits.
+    assert_eq!(publisher.publish(&window_inventory(25, 1)).unwrap(), 1);
+    assert_chain(publisher.manifest_path(), 1, 2);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn injected_rename_failure_never_blesses_a_torn_manifest() {
+    let dir = fresh_dir("pol-stream-chaos-rename");
+    let mut publisher = DeltaPublisher::create(&dir);
+    publisher.publish(&window_inventory(40, 0)).unwrap();
+    publisher.publish(&window_inventory(30, 1)).unwrap();
+    let before = assert_chain(publisher.manifest_path(), 1, 2);
+
+    // Fail the manifest's atomic rename — after its temp file is fully
+    // written and fsynced.
+    configure(
+        "codec.save.rename",
+        Trigger::NthHit {
+            n: 2,
+            action: FaultAction::Err,
+        },
+    );
+    assert!(publisher.publish(&window_inventory(20, 2)).is_err());
+    remove("codec.save.rename");
+
+    assert_eq!(assert_chain(publisher.manifest_path(), 1, 2), before);
+    // No temp debris anywhere in the publication directory.
+    assert!(std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .all(|e| !e.file_name().to_string_lossy().contains(".tmp.")));
+    std::fs::remove_dir_all(&dir).ok();
+}
