@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # The conformance gates every PR must pass, runnable locally.
 #
-#   ./ci.sh [gate|stream|analysis|all]   (default: gate)
+#   ./ci.sh [gate|stream|recovery|analysis|all]   (default: gate)
 #
 #   gate     — formatting, release build, full test suite, xtask lint,
 #              and the end-to-end smoke tests (serve, read path, build,
@@ -12,6 +12,14 @@
 #              the published delta chain, and a delta hot-reload of a
 #              live server under polload traffic with the freshness
 #              fields checked afterwards.
+#   recovery — the crash-recovery gate: polstream journals the wire to
+#              a POLWAL1 directory and SIGABRTs itself mid-run
+#              (--kill-after); a second invocation --recovers from the
+#              checkpoint + journal suffix, resumes the wire, and must
+#              close byte-identical to the batch build with the delta
+#              chain byte-identical to an uninterrupted oracle, within
+#              a bounded recovery latency. The surviving chain is then
+#              audited with polinv verify.
 #   analysis — the dynamic checkers: loom model checking of the serve
 #              primitives, Miri on the codec property tests, ASan on
 #              the mmap suite, TSan on the loopback server tests.
@@ -23,13 +31,15 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
-# Both smoke stages allocate scratch dirs; one trap cleans up whichever
-# exist so `all` never leaks the first stage's directory.
+# The smoke stages allocate scratch dirs; one trap cleans up whichever
+# exist so `all` never leaks an earlier stage's directory.
 smoke_dir=""
 stream_dir=""
+recovery_dir=""
 cleanup() {
   [ -n "$smoke_dir" ] && rm -rf "$smoke_dir"
   [ -n "$stream_dir" ] && rm -rf "$stream_dir"
+  [ -n "$recovery_dir" ] && rm -rf "$recovery_dir"
   return 0
 }
 trap cleanup EXIT
@@ -151,9 +161,10 @@ run_gate() {
   fi
   echo "polbuild smoke: $(cat "$smoke_dir/build.out" | head -1)"
 
-  echo "==> chaos smoke (fault-injected persistence + serving)"
+  echo "==> chaos smoke (fault-injected persistence + serving + journaling)"
   cargo test -q -p pol-core --features chaos --test codec_chaos
   cargo test -q -p pol-serve --features chaos --test chaos
+  cargo test -q -p pol-stream --features chaos --test chaos
   cargo run -q -p pol-bench --features chaos --bin polload -- \
     --chaos --vessels 20 --days 3 --requests 1000
 
@@ -175,6 +186,12 @@ run_stream() {
   fi
   if ! grep -q '"late_dropped": 0,' "$stream_dir/BENCH_stream.json"; then
     echo "ci: the reorder bound dropped records the batch build saw" >&2
+    exit 1
+  fi
+  # The ingestion vitals line: nothing may have fallen behind the
+  # reorder bound on the smoke wire.
+  if ! grep -q '^progress: .*late_dropped=0 ' "$stream_dir/stream.out"; then
+    echo "ci: polstream progress output did not report late_dropped=0" >&2
     exit 1
   fi
   echo "polstream smoke: $(grep -- '--min-rps gate' "$stream_dir/stream.out")"
@@ -243,6 +260,69 @@ run_stream() {
   echo "ci: stream passed"
 }
 
+run_recovery() {
+  echo "==> crash-recovery gate (journal, SIGABRT mid-run, recover, reconverge)"
+  recovery_dir=$(mktemp -d)
+  # Life 1: journal the wire and abort after 15k records — far enough
+  # to have durable WAL segments, a checkpoint, and published deltas on
+  # disk, and early enough that a real journal suffix remains to replay.
+  if cargo run --release -q -p pol-bench --bin polstream -- \
+      --vessels 10 --days 3 --window-days 1 \
+      --wal-dir "$recovery_dir/wal" --checkpoint-every 5000 --kill-after 13500 \
+      --out "$recovery_dir/BENCH_kill.json" \
+      > "$recovery_dir/kill.out" 2> "$recovery_dir/kill.err"; then
+    echo "ci: polstream --kill-after exited cleanly instead of aborting" >&2
+    exit 1
+  fi
+  if ! grep -q -- '--kill-after 13500: aborting' "$recovery_dir/kill.err"; then
+    echo "ci: polstream died before the scripted kill point" >&2
+    cat "$recovery_dir/kill.err" >&2
+    exit 1
+  fi
+  if ! ls "$recovery_dir/wal/"wal-*.polwal >/dev/null 2>&1; then
+    echo "ci: the killed run left no journal segment behind" >&2
+    exit 1
+  fi
+
+  # Life 2: recover from the checkpoint + journal suffix, resume the
+  # wire, and hold the run to the full gate set — batch byte-identity,
+  # chain byte-identity vs an uninterrupted oracle, bounded recovery
+  # latency, and the rps floor.
+  cargo run --release -q -p pol-bench --bin polstream -- \
+    --vessels 10 --days 3 --window-days 1 \
+    --wal-dir "$recovery_dir/wal" --checkpoint-every 5000 --recover \
+    --max-recovery-secs 60 --min-rps 5000 \
+    --out "$recovery_dir/BENCH_stream_recovery.json" \
+    > "$recovery_dir/recover.out"
+  if ! grep -q '"byte_identical": true' "$recovery_dir/BENCH_stream_recovery.json"; then
+    echo "ci: recovered inventory diverged from the batch build" >&2
+    exit 1
+  fi
+  if ! grep -q '"recovered": true' "$recovery_dir/BENCH_stream_recovery.json"; then
+    echo "ci: the recovery run did not record itself as recovered" >&2
+    exit 1
+  fi
+  if ! grep -q 'recovery gate passed' "$recovery_dir/recover.out"; then
+    echo "ci: the recovered delta chain was not proven byte-identical" >&2
+    exit 1
+  fi
+  if ! grep -q '^progress: .*late_dropped=0 ' "$recovery_dir/recover.out"; then
+    echo "ci: recovered run progress did not report late_dropped=0" >&2
+    exit 1
+  fi
+
+  echo "==> surviving chain audit (polinv verify walks base + every delta)"
+  cargo run --release -q -p pol-bench --bin polinv -- \
+    verify "$recovery_dir/wal/inventory.polman" > "$recovery_dir/verify.out"
+  if ! grep -q 'OK (POLMAN1 delta chain)' "$recovery_dir/verify.out"; then
+    echo "ci: polinv did not verify the recovered delta chain" >&2
+    exit 1
+  fi
+  echo "recovery smoke: $(grep -m1 '  recovery ' "$recovery_dir/recover.out")"
+
+  echo "ci: recovery passed"
+}
+
 # Prints a loud, documented skip. Every skip names its checker, the
 # missing prerequisite, and where the checker does run for real — a
 # silent skip is indistinguishable from a pass, so none are allowed.
@@ -306,14 +386,16 @@ stage="${1:-gate}"
 case "$stage" in
   gate) run_gate ;;
   stream) run_stream ;;
+  recovery) run_recovery ;;
   analysis) run_analysis ;;
   all)
     run_gate
     run_stream
+    run_recovery
     run_analysis
     ;;
   *)
-    echo "usage: ./ci.sh [gate|stream|analysis|all]" >&2
+    echo "usage: ./ci.sh [gate|stream|recovery|analysis|all]" >&2
     exit 2
     ;;
 esac

@@ -9,6 +9,8 @@
 //! ```text
 //! polstream [--vessels 150] [--days 14] [--seed 42] [--threads N]
 //!           [--window-days 2] [--min-rps X]
+//!           [--wal-dir DIR] [--checkpoint-every N] [--kill-after N]
+//!           [--recover] [--max-recovery-secs X]
 //!           [--out figures/BENCH_stream.json]
 //! ```
 //!
@@ -19,6 +21,21 @@
 //! delta chain's lineage, which is verified end to end (`POLMAN1`
 //! manifest, per-file length + CRC, full decode + merge) before being
 //! reported.
+//!
+//! **Crash safety.** With `--wal-dir DIR` every wire record is
+//! journaled (POLWAL1) before the engine applies it, with a POLCKP1
+//! checkpoint every `--checkpoint-every` records; deltas are published
+//! into the same directory unless `--delta-dir` overrides.
+//! `--kill-after N` aborts the process (`SIGABRT`, no cleanup) after
+//! pushing N records — the chaos half of the recovery gate. A later
+//! run with `--recover` restores the checkpoint, replays the journal
+//! suffix, reconciles the published chain exactly-once, resumes the
+//! wire where the durable journal ends, and then holds the recovered
+//! run to a *stricter* gate: the closed inventory must match the batch
+//! build byte for byte **and** every chain file must match an
+//! uninterrupted in-process streamed oracle byte for byte.
+//! `--max-recovery-secs X` additionally bounds the restore+replay
+//! latency, which is reported as `recovery_secs` in the JSON.
 
 use pol_bench::port_sites;
 use pol_core::codec::{self, columnar, manifest};
@@ -27,8 +44,12 @@ use pol_engine::Engine;
 use pol_fleetsim::emit::EmissionConfig;
 use pol_fleetsim::scenario::{generate, ScenarioConfig};
 use pol_fleetsim::stream::interleave;
-use pol_stream::{DeltaPublisher, StreamConfig, StreamEngine};
+use pol_stream::{
+    recover, DeltaPublisher, JournaledEngine, StreamConfig, StreamEngine, StreamOutput, WalConfig,
+    WindowSpec,
+};
 use std::io::Write;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Instant;
 
@@ -44,12 +65,38 @@ fn parse_or<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> T 
         .unwrap_or(default)
 }
 
+/// One `progress:` line — machine-greppable ingestion vitals. The CI
+/// stream stage asserts `late_dropped=0` on the final one.
+fn progress(ingested: u64, buffered: usize, late_dropped: u64, ckpt_age: Option<u64>) {
+    let age = match ckpt_age {
+        Some(a) => a.to_string(),
+        None => "n/a".to_string(),
+    };
+    println!(
+        "progress: ingested={ingested} buffered={buffered} late_dropped={late_dropped} \
+         ckpt_age_records={age}"
+    );
+}
+
+/// Reads every chain file named by the manifest in `dir`, in
+/// generation order.
+fn chain_file_bytes(dir: &Path) -> std::io::Result<Vec<(String, Vec<u8>)>> {
+    let man = manifest::load(&dir.join(pol_stream::MANIFEST_NAME))
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    man.entries
+        .iter()
+        .map(|e| Ok((e.name.clone(), std::fs::read(dir.join(&e.name))?)))
+        .collect()
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
             "usage: polstream [--vessels N] [--days D] [--seed S] [--threads N] \
-             [--window-days W] [--min-rps X] [--delta-dir DIR] [--out FILE]"
+             [--window-days W] [--min-rps X] [--delta-dir DIR] [--wal-dir DIR] \
+             [--checkpoint-every N] [--kill-after N] [--recover] \
+             [--max-recovery-secs X] [--out FILE]"
         );
         return ExitCode::from(2);
     }
@@ -59,9 +106,20 @@ fn main() -> ExitCode {
     let threads: usize = parse_or(&args, "--threads", 0);
     let window_days: i64 = parse_or(&args, "--window-days", 2).max(1);
     let min_rps: Option<f64> = parse_flag(&args, "--min-rps").and_then(|v| v.parse().ok());
+    let wal_dir = parse_flag(&args, "--wal-dir").map(PathBuf::from);
+    let checkpoint_every: u64 = parse_or(&args, "--checkpoint-every", 20_000);
+    let kill_after: Option<u64> = parse_flag(&args, "--kill-after").and_then(|v| v.parse().ok());
+    let recover_mode = args.iter().any(|a| a == "--recover");
+    let max_recovery_secs: Option<f64> =
+        parse_flag(&args, "--max-recovery-secs").and_then(|v| v.parse().ok());
+    let progress_every: u64 = parse_or(&args, "--progress-every", 100_000);
     let out_path = parse_flag(&args, "--out")
         .map(std::path::PathBuf::from)
         .unwrap_or_else(|| pol_bench::figures_dir().join("BENCH_stream.json"));
+    if (recover_mode || kill_after.is_some()) && wal_dir.is_none() {
+        eprintln!("error: --recover and --kill-after require --wal-dir");
+        return ExitCode::from(2);
+    }
 
     let scenario = ScenarioConfig {
         seed,
@@ -83,76 +141,247 @@ fn main() -> ExitCode {
     } else {
         Engine::new(threads)
     };
+    let window_secs = window_days * 86_400;
+    let spec = WindowSpec {
+        start_ts: ds.config.start,
+        window_secs,
+    };
 
     // The oracle: the fused batch build over the identical record set.
-    eprintln!("batch oracle: run_fused over {total_reports} reports...");
-    let t = Instant::now();
-    let batch = match run_fused(&engine, ds.positions.clone(), &ds.statics, &ports, &cfg) {
-        Ok(out) => out,
-        Err(e) => {
-            eprintln!("error: batch oracle failed: {e}");
+    // A --kill-after run aborts before any gate, so it skips the oracle.
+    let (batch_bytes, batch_columnar, batch_secs) = if kill_after.is_none() {
+        eprintln!("batch oracle: run_fused over {total_reports} reports...");
+        let t = Instant::now();
+        let batch = match run_fused(&engine, ds.positions.clone(), &ds.statics, &ports, &cfg) {
+            Ok(out) => out,
+            Err(e) => {
+                eprintln!("error: batch oracle failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        (
+            codec::to_bytes(&batch.inventory),
+            columnar::to_bytes(&batch.inventory),
+            t.elapsed().as_secs_f64(),
+        )
+    } else {
+        (Vec::new(), Vec::new(), 0.0)
+    };
+
+    // Deltas land next to the journal when one exists (so a kill/
+    // recover cycle is self-contained in one directory), else in
+    // --delta-dir, else in a temp directory cleaned up on success.
+    let keep_deltas = parse_flag(&args, "--delta-dir").map(std::path::PathBuf::from);
+    let delta_dir = keep_deltas
+        .clone()
+        .or_else(|| wal_dir.clone())
+        .unwrap_or_else(|| {
+            std::env::temp_dir().join(format!("polstream-deltas-{}", std::process::id()))
+        });
+    if !recover_mode {
+        if wal_dir.is_none() {
+            std::fs::remove_dir_all(&delta_dir).ok();
+        }
+        if let Err(e) = std::fs::create_dir_all(&delta_dir) {
+            eprintln!("error: cannot create {}: {e}", delta_dir.display());
             return ExitCode::FAILURE;
         }
-    };
-    let batch_secs = t.elapsed().as_secs_f64();
-    let batch_bytes = codec::to_bytes(&batch.inventory);
-
-    // The streamed run: one interleaved wire, watermark-driven release,
-    // a delta snapshot published per event-time window. With
-    // `--delta-dir` the published chain is kept for downstream use
-    // (serving it, `polinv verify`); otherwise it lands in a temp
-    // directory that is cleaned up on success.
-    let keep_deltas = parse_flag(&args, "--delta-dir").map(std::path::PathBuf::from);
-    let delta_dir = keep_deltas.clone().unwrap_or_else(|| {
-        std::env::temp_dir().join(format!("polstream-deltas-{}", std::process::id()))
-    });
-    std::fs::remove_dir_all(&delta_dir).ok();
-    if let Err(e) = std::fs::create_dir_all(&delta_dir) {
-        eprintln!("error: cannot create {}: {e}", delta_dir.display());
-        return ExitCode::FAILURE;
     }
-    let mut publisher = DeltaPublisher::create(&delta_dir);
-    let window_secs = window_days * 86_400;
-    let mut next_cut = ds.config.start + window_secs;
     let mut published_records = 0u64;
+    // The recovery gate replays the whole wire once more, so only that
+    // mode pays for a second copy of the positions.
+    let oracle_positions = if recover_mode {
+        Some(ds.positions.clone())
+    } else {
+        None
+    };
 
     eprintln!("streaming {total_reports} interleaved reports (delta window {window_days} d)...");
     let t = Instant::now();
-    let mut se = StreamEngine::new(&ds.statics, &ports, StreamConfig::default());
-    for r in interleave(ds.positions) {
-        se.push(r);
-        if se.watermark() >= next_cut {
-            let delta = match se.take_window_delta(&engine) {
-                Ok(d) => d,
+    let mut recovery_secs = 0.0f64;
+    let mut recovery_report = None;
+
+    // Drive the wire through whichever engine the flags select. Every
+    // mode shares one cut schedule (`spec`), so their chains line up
+    // byte for byte.
+    let out: StreamOutput;
+    let final_ckpt_age: Option<u64>;
+    match &wal_dir {
+        None => {
+            let mut se = StreamEngine::new(&ds.statics, &ports, StreamConfig::default());
+            let mut publisher = DeltaPublisher::create(&delta_dir);
+            let mut cuts = 0u64;
+            for r in interleave(ds.positions) {
+                se.push(r);
+                let c = se.counters();
+                if progress_every > 0 && c.ingested % progress_every == 0 {
+                    progress(c.ingested, se.buffered(), c.late_dropped, None);
+                }
+                while se.watermark() >= spec.cut_at(cuts) {
+                    let delta = match se.take_window_delta(&engine) {
+                        Ok(d) => d,
+                        Err(e) => {
+                            eprintln!("error: delta window fold failed: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    };
+                    published_records += delta.total_records();
+                    if let Err(e) = publisher.publish_at(cuts, &delta) {
+                        eprintln!("error: delta publication failed: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                    cuts += 1;
+                }
+            }
+            let c = se.counters();
+            progress(c.ingested, se.buffered(), c.late_dropped, None);
+            out = match se.close(&engine) {
+                Ok(out) => out,
                 Err(e) => {
-                    eprintln!("error: delta window fold failed: {e}");
+                    eprintln!("error: stream close failed: {e}");
                     return ExitCode::FAILURE;
                 }
             };
-            published_records += delta.total_records();
-            if let Err(e) = publisher.publish(&delta) {
-                eprintln!("error: delta publication failed: {e}");
-                return ExitCode::FAILURE;
+            final_ckpt_age = None;
+        }
+        Some(wal) => {
+            let (mut je, mut publisher) = if recover_mode {
+                let tr = Instant::now();
+                let (publisher, swept) = match DeltaPublisher::open(&delta_dir) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        eprintln!("error: cannot reopen delta chain: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                let mut publisher = publisher;
+                for orphan in &swept.removed {
+                    eprintln!("recovery: swept orphaned snapshot {orphan}");
+                }
+                let recovered = recover(
+                    wal,
+                    &engine,
+                    &ds.statics,
+                    &ports,
+                    StreamConfig::default(),
+                    WalConfig::default(),
+                    checkpoint_every,
+                    Some((&mut publisher, spec)),
+                );
+                let (je, report) = match recovered {
+                    Ok(r) => r,
+                    Err(e) => {
+                        eprintln!("error: recovery failed: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                recovery_secs = tr.elapsed().as_secs_f64();
+                eprintln!(
+                    "recovered in {recovery_secs:.3} s: checkpoint_found={} \
+                     wal_seq={} batches_replayed={} records_replayed={} torn_bytes={} \
+                     deltas_already_durable={} deltas_published={}",
+                    report.checkpoint_found,
+                    report.checkpoint_wal_seq,
+                    report.batches_replayed,
+                    report.records_replayed,
+                    report.torn_bytes,
+                    report.deltas_already_durable,
+                    report.deltas_published,
+                );
+                recovery_report = Some(report);
+                (je, publisher)
+            } else {
+                let se = StreamEngine::new(&ds.statics, &ports, StreamConfig::default());
+                let je = match JournaledEngine::create(
+                    wal,
+                    se,
+                    WalConfig::default(),
+                    checkpoint_every,
+                ) {
+                    Ok(je) => je,
+                    Err(e) => {
+                        eprintln!("error: cannot create journal in {}: {e}", wal.display());
+                        return ExitCode::FAILURE;
+                    }
+                };
+                (je, DeltaPublisher::create(&delta_dir))
+            };
+
+            // Resume the wire where the durable journal ends (index 0 on
+            // a fresh run): no duplicate, no gap.
+            let skip = usize::try_from(je.counters().ingested).unwrap_or(usize::MAX);
+            let mut pushed_here = 0u64;
+            for r in interleave(ds.positions).skip(skip) {
+                if let Err(e) = je.push(r) {
+                    eprintln!("error: journaled push failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+                pushed_here += 1;
+                let c = je.counters();
+                if progress_every > 0 && c.ingested % progress_every == 0 {
+                    progress(
+                        c.ingested,
+                        je.engine().buffered(),
+                        c.late_dropped,
+                        Some(je.records_since_checkpoint()),
+                    );
+                }
+                if kill_after == Some(pushed_here) {
+                    let c = je.counters();
+                    eprintln!(
+                        "--kill-after {pushed_here}: aborting with {} records journaled, \
+                         {} window cuts published",
+                        c.ingested,
+                        je.window_cuts()
+                    );
+                    std::io::stderr().flush().ok();
+                    std::io::stdout().flush().ok();
+                    // A real kill: no seal, no close, no Drop handlers.
+                    std::process::abort();
+                }
+                while je.watermark() >= spec.cut_at(je.window_cuts()) {
+                    let gen = je.window_cuts();
+                    let delta = match je.take_window_delta(&engine) {
+                        Ok(d) => d,
+                        Err(e) => {
+                            eprintln!("error: delta window fold failed: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    };
+                    published_records += delta.total_records();
+                    if let Err(e) = publisher.publish_at(gen, &delta) {
+                        eprintln!("error: delta publication failed: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
             }
-            next_cut += window_secs;
+            let c = je.counters();
+            progress(
+                c.ingested,
+                je.engine().buffered(),
+                c.late_dropped,
+                Some(je.records_since_checkpoint()),
+            );
+            final_ckpt_age = Some(je.records_since_checkpoint());
+            out = match je.close(&engine) {
+                Ok(out) => out,
+                Err(e) => {
+                    eprintln!("error: journaled stream close failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
         }
     }
-    let out = match se.close(&engine) {
-        Ok(out) => out,
-        Err(e) => {
-            eprintln!("error: stream close failed: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
     let stream_secs = t.elapsed().as_secs_f64();
     let rps = out.counters.ingested as f64 / stream_secs.max(1e-9);
+    let _ = final_ckpt_age;
 
     // The headline invariant, gated before any number is reported: the
     // streamed inventory must be byte-identical to the batch build, in
     // both snapshot formats, with nothing late-dropped on the way.
     let streamed_bytes = codec::to_bytes(&out.inventory);
-    let identical = batch_bytes == streamed_bytes
-        && columnar::to_bytes(&batch.inventory) == columnar::to_bytes(&out.inventory);
+    let identical =
+        batch_bytes == streamed_bytes && batch_columnar == columnar::to_bytes(&out.inventory);
     if out.counters.late_dropped != 0 {
         eprintln!(
             "FAILED: {} records fell behind the reorder bound — the stream saw less data than the batch",
@@ -172,26 +401,107 @@ fn main() -> ExitCode {
 
     // The published chain must verify end to end and account exactly for
     // every trip record that was final at the last cut.
-    let chain = match manifest::verify_chain(publisher.manifest_path()) {
+    let manifest_path = delta_dir.join(pol_stream::MANIFEST_NAME);
+    let chain = match manifest::verify_chain(&manifest_path) {
         Ok(report) => report,
         Err(e) => {
             eprintln!("error: published delta chain failed verification: {e}");
             return ExitCode::FAILURE;
         }
     };
-    let (merged, info) = match manifest::load_chain(publisher.manifest_path()) {
+    for (gen, file) in chain.files.iter().enumerate() {
+        if file.generation != gen as u64 {
+            eprintln!(
+                "FAILED: chain generations not contiguous: file {} holds generation {}",
+                gen, file.generation
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+    let (merged, info) = match manifest::load_chain(&manifest_path) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("error: published delta chain failed to load: {e}");
             return ExitCode::FAILURE;
         }
     };
-    if merged.total_records() != published_records {
+    if recover_mode {
+        // The recovered run cannot count records the pre-crash process
+        // published, so the exactly-once gate is stricter instead: the
+        // chain on disk must be byte-identical — file for file — to an
+        // uninterrupted in-process streamed run over the same wire.
+        eprintln!("recovery gate: replaying an uninterrupted in-process oracle chain...");
+        let oracle_dir =
+            std::env::temp_dir().join(format!("polstream-oracle-{}", std::process::id()));
+        std::fs::remove_dir_all(&oracle_dir).ok();
+        if let Err(e) = std::fs::create_dir_all(&oracle_dir) {
+            eprintln!("error: cannot create {}: {e}", oracle_dir.display());
+            return ExitCode::FAILURE;
+        }
+        let oracle_wire = match oracle_positions {
+            Some(p) => p,
+            None => {
+                eprintln!("error: oracle wire missing in recover mode");
+                return ExitCode::FAILURE;
+            }
+        };
+        let mut se = StreamEngine::new(&ds.statics, &ports, StreamConfig::default());
+        let mut oracle_publisher = DeltaPublisher::create(&oracle_dir);
+        let mut cuts = 0u64;
+        for r in interleave(oracle_wire) {
+            se.push(r);
+            while se.watermark() >= spec.cut_at(cuts) {
+                let delta = match se.take_window_delta(&engine) {
+                    Ok(d) => d,
+                    Err(e) => {
+                        eprintln!("error: oracle window fold failed: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                if let Err(e) = oracle_publisher.publish_at(cuts, &delta) {
+                    eprintln!("error: oracle publication failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+                cuts += 1;
+            }
+        }
+        let (got, want) = match (chain_file_bytes(&delta_dir), chain_file_bytes(&oracle_dir)) {
+            (Ok(g), Ok(w)) => (g, w),
+            (Err(e), _) | (_, Err(e)) => {
+                eprintln!("error: cannot compare chains: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        std::fs::remove_dir_all(&oracle_dir).ok();
+        if got != want {
+            eprintln!(
+                "FAILED: recovered chain diverged from the uninterrupted oracle \
+                 ({} vs {} files) — a generation was duplicated, skipped, or rewritten",
+                got.len(),
+                want.len()
+            );
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "recovery gate passed: {} chain files byte-identical to the uninterrupted oracle",
+            got.len()
+        );
+        published_records = merged.total_records();
+    } else if merged.total_records() != published_records {
         eprintln!(
             "FAILED: chain replays {} records but {published_records} were published",
             merged.total_records()
         );
         return ExitCode::FAILURE;
+    }
+    if let Some(max) = max_recovery_secs {
+        if recovery_secs > max {
+            eprintln!(
+                "FAILED --max-recovery-secs gate: recovery took {recovery_secs:.3} s > {max:.3} s"
+            );
+            return ExitCode::FAILURE;
+        }
+        println!("--max-recovery-secs gate passed: {recovery_secs:.3} s <= {max:.3} s");
     }
 
     let c = out.counters;
@@ -219,6 +529,13 @@ fn main() -> ExitCode {
         "  delta chain       generation {} over {} files, {} records published",
         chain.generation, info.chain_len, published_records
     );
+    if let Some(report) = &recovery_report {
+        println!(
+            "  recovery          {:.3} s ({} batches / {} records replayed, {} deltas already durable)",
+            recovery_secs, report.batches_replayed, report.records_replayed,
+            report.deltas_already_durable
+        );
+    }
 
     let mut json = String::new();
     json.push_str("{\n");
@@ -243,8 +560,17 @@ fn main() -> ExitCode {
     json.push_str(&format!("  \"delta_generation\": {},\n", chain.generation));
     json.push_str(&format!("  \"delta_chain_len\": {},\n", info.chain_len));
     json.push_str(&format!(
-        "  \"delta_published_records\": {published_records}\n"
+        "  \"delta_published_records\": {published_records},\n"
     ));
+    json.push_str(&format!("  \"wal_enabled\": {},\n", wal_dir.is_some()));
+    json.push_str(&format!("  \"recovered\": {recover_mode},\n"));
+    json.push_str(&format!("  \"recovery_secs\": {recovery_secs:.4},\n"));
+    let (replayed_b, replayed_r) = recovery_report
+        .as_ref()
+        .map(|r| (r.batches_replayed, r.records_replayed))
+        .unwrap_or((0, 0));
+    json.push_str(&format!("  \"recovery_batches_replayed\": {replayed_b},\n"));
+    json.push_str(&format!("  \"recovery_records_replayed\": {replayed_r}\n"));
     json.push_str("}\n");
     let write = std::fs::File::create(&out_path)
         .and_then(|mut f| f.write_all(json.as_bytes()).and_then(|()| f.flush()));
@@ -253,8 +579,8 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     println!("wrote {}", out_path.display());
-    if keep_deltas.is_some() {
-        println!("kept delta chain: {}", publisher.manifest_path().display());
+    if keep_deltas.is_some() || wal_dir.is_some() {
+        println!("kept delta chain: {}", manifest_path.display());
     } else {
         std::fs::remove_dir_all(&delta_dir).ok();
     }

@@ -91,6 +91,24 @@ impl VesselCleaner {
         }
     }
 
+    /// Reconstructs a cleaner mid-stream from checkpointed state: the
+    /// speed threshold plus the last surviving report ([`Self::last`]).
+    /// `VesselCleaner::resume(kn, c.last())` behaves identically to `c`
+    /// — the whole state is that one report.
+    pub fn resume(max_feasible_speed_kn: f64, last: Option<EnrichedReport>) -> VesselCleaner {
+        VesselCleaner {
+            max_feasible_speed_kn,
+            last,
+        }
+    }
+
+    /// The last surviving report — the anchor the next duplicate and
+    /// feasibility decisions are made against. This is the cleaner's
+    /// entire mutable state, which is what makes it checkpointable.
+    pub fn last(&self) -> Option<EnrichedReport> {
+        self.last
+    }
+
     /// Feeds the vessel's next report (timestamps must be
     /// nondecreasing). Returns `Some(r)` when the report survives the
     /// duplicate and feasibility filters, `None` when it is dropped.

@@ -36,6 +36,7 @@
 
 pub mod columnar;
 pub mod manifest;
+pub mod wal;
 
 use crate::features::{CellStats, GroupKey};
 use crate::inventory::Inventory;

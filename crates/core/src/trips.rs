@@ -121,6 +121,31 @@ impl TripTracker {
         }
     }
 
+    /// Reconstructs a tracker mid-stream from checkpointed state (see
+    /// [`Self::state`]). `TripTracker::resume` over a tracker's own
+    /// `state()` behaves identically to the original — the three fields
+    /// are its entire mutable state, which is what makes it
+    /// checkpointable.
+    pub fn resume(
+        min_points: usize,
+        last_port: Option<u16>,
+        seq: u32,
+        current: Vec<EnrichedReport>,
+    ) -> TripTracker {
+        TripTracker {
+            min_points,
+            last_port,
+            seq,
+            current,
+        }
+    }
+
+    /// The checkpointable mid-stream state: the last port sighted, the
+    /// emitted-trip sequence counter, and the open (unemitted) passage.
+    pub fn state(&self) -> (Option<u16>, u32, &[EnrichedReport]) {
+        (self.last_port, self.seq, &self.current)
+    }
+
     /// Feeds the vessel's next cleaned report. When it lands in a port
     /// geofence and closes a qualifying passage, the finished trip's
     /// annotated points are appended to `out` and `true` is returned.

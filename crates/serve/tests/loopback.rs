@@ -773,3 +773,157 @@ fn delta_chain_hot_reload_under_load_loses_no_query() {
     server.shutdown();
     std::fs::remove_dir_all(&dir).ok();
 }
+
+/// The crash-recovery serving contract: an ingester journals the wire,
+/// publishes a few window deltas, and dies mid-run (no seal, no close).
+/// `pol-serve` keeps answering from the surviving chain; a second
+/// ingester life recovers from the journal + checkpoint, resumes the
+/// wire exactly-once, extends the chain, and a single hot reload brings
+/// the server to the recovered lineage — with every answer byte-equal
+/// to the chain merged directly from disk.
+#[test]
+fn ingester_crash_recovery_extends_the_served_chain() {
+    use pol_core::codec::manifest;
+    use pol_core::records::PortSite;
+    use pol_fleetsim::scenario::{generate, ScenarioConfig};
+    use pol_fleetsim::stream::interleave;
+    use pol_fleetsim::WORLD_PORTS;
+    use pol_stream::{
+        recover, DeltaPublisher, JournaledEngine, StreamConfig, StreamEngine, WalConfig, WindowSpec,
+    };
+
+    let dir = std::env::temp_dir().join("pol-serve-crash-recovery");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let ds = generate(&ScenarioConfig::tiny());
+    let stream_cfg = StreamConfig::default();
+    let resolution = stream_cfg.pipeline.resolution;
+    let ports: Vec<PortSite> = WORLD_PORTS
+        .iter()
+        .enumerate()
+        .map(|(i, p)| PortSite {
+            id: i as u16,
+            name: p.name.to_string(),
+            pos: p.pos(),
+            radius_km: stream_cfg.pipeline.port_radius_km,
+        })
+        .collect();
+    let wire: Vec<_> = interleave(ds.positions).collect();
+    let spec = WindowSpec {
+        start_ts: ds.config.start,
+        window_secs: 86_400,
+    };
+    let engine = pol_engine::Engine::new(2);
+
+    // Life 1: journal + publish until two generations are durable, then
+    // abandon everything mid-run — the in-process equivalent of a kill.
+    let se = StreamEngine::new(&ds.statics, &ports, stream_cfg.clone());
+    let mut je = JournaledEngine::create(&dir, se, WalConfig::default(), 1_000).unwrap();
+    let mut publisher = DeltaPublisher::create(&dir);
+    let mut killed_at = 0usize;
+    for (i, r) in wire.iter().enumerate() {
+        je.push(r.clone()).unwrap();
+        while je.watermark() >= spec.cut_at(je.window_cuts()) {
+            let generation = je.window_cuts();
+            let delta = je.take_window_delta(&engine).unwrap();
+            publisher.publish_at(generation, &delta).unwrap();
+        }
+        if je.window_cuts() >= 2 {
+            killed_at = i + 1;
+            break;
+        }
+    }
+    assert!(killed_at > 0, "wire too short to publish two windows");
+    let cuts_at_kill = je.window_cuts();
+    drop(je);
+    drop(publisher);
+
+    // The survivors serve immediately.
+    let manifest_path = dir.join(pol_stream::MANIFEST_NAME);
+    let mut server = Server::start_snapshot(&manifest_path, "127.0.0.1:0", test_config()).unwrap();
+    let addr = server.local_addr();
+    let mut probe = Client::connect(addr).unwrap();
+    let before = probe.stats().unwrap();
+    assert_eq!(before.chain_len, cuts_at_kill);
+    assert_eq!(before.delta_generation, cuts_at_kill - 1);
+
+    // Life 2: recover from journal + checkpoint, resume the wire where
+    // the durable journal ends, publish the remaining windows, close.
+    let (mut publisher, swept) = DeltaPublisher::open(&dir).unwrap();
+    assert!(swept.removed.is_empty(), "no orphans were planted");
+    let (mut je, report) = recover(
+        &dir,
+        &engine,
+        &ds.statics,
+        &ports,
+        stream_cfg.clone(),
+        WalConfig::default(),
+        1_000,
+        Some((&mut publisher, spec)),
+    )
+    .unwrap();
+    assert_eq!(report.deltas_published, 0, "recovery must not re-publish");
+    let resume_at = usize::try_from(je.counters().ingested).unwrap();
+    assert!(resume_at <= killed_at, "recovery overshot the wire");
+    for r in wire.iter().skip(resume_at).cloned() {
+        je.push(r).unwrap();
+        while je.watermark() >= spec.cut_at(je.window_cuts()) {
+            let generation = je.window_cuts();
+            let delta = je.take_window_delta(&engine).unwrap();
+            publisher.publish_at(generation, &delta).unwrap();
+        }
+    }
+    let final_cuts = je.window_cuts();
+    assert!(final_cuts > cuts_at_kill, "the resumed wire grew no window");
+    let out = je.close(&engine).unwrap();
+    assert_eq!(out.counters.late_dropped, 0);
+    assert_eq!(out.counters.ingested, wire.len() as u64);
+
+    // One hot reload brings the server to the recovered lineage.
+    server.reload_from(&manifest_path).unwrap();
+    let after = probe.stats().unwrap();
+    assert_eq!(after.chain_len, final_cuts);
+    assert_eq!(after.delta_generation, final_cuts - 1);
+    assert_eq!(after.reloads_ok, 1);
+    assert_eq!(after.reloads_failed, 0);
+
+    // Every served answer must match the chain merged straight from
+    // disk — the recovered generations included.
+    let (merged, info) = manifest::load_chain(&manifest_path).unwrap();
+    assert_eq!(info.chain_len, final_cuts);
+    manifest::verify_chain(&manifest_path).unwrap();
+    // Probe the cells the server itself reports occupied (retained trip
+    // points are cleaned wire records, so wire positions land in them),
+    // plus a spread of arbitrary wire positions for the `None` side.
+    let served_cells: std::collections::HashSet<u64> = probe
+        .bbox_scan(-89.0, -179.0, 89.0, 179.0)
+        .unwrap()
+        .into_iter()
+        .collect();
+    assert!(!served_cells.is_empty(), "recovered chain serves no cells");
+    let mut probed_cells = std::collections::HashSet::new();
+    let mut occupied = 0usize;
+    let stride = (wire.len() / 64).max(1);
+    let hits = wire
+        .iter()
+        .filter(|r| served_cells.contains(&cell_at(r.pos, resolution).raw()))
+        .take(512);
+    for r in hits.chain(wire.iter().step_by(stride)) {
+        let cell = cell_at(r.pos, resolution);
+        if !probed_cells.insert(cell.raw()) {
+            continue;
+        }
+        let got = probe.point_summary(r.pos.lat(), r.pos.lon()).unwrap();
+        assert_eq!(
+            stats_bytes(got.as_ref()),
+            stats_bytes(merged.summary(cell)),
+            "served answer diverged from the recovered chain"
+        );
+        occupied += usize::from(merged.summary(cell).is_some());
+    }
+    assert!(occupied > 0, "probe set never hit an occupied cell");
+
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -26,7 +26,7 @@
 //! `tests/delta_chain.rs` pins that.
 
 use pol_core::codec::manifest::{self, Manifest, ManifestEntry};
-use pol_core::codec::{columnar, save_bytes};
+use pol_core::codec::{columnar, save_bytes, CodecError};
 use pol_core::Inventory;
 use pol_sketch::crc64::crc64;
 use std::io;
@@ -34,6 +34,27 @@ use std::path::{Path, PathBuf};
 
 /// File name of the chain manifest inside a publication directory.
 pub const MANIFEST_NAME: &str = "inventory.polman";
+
+/// What an orphan sweep removed: snapshot files present in the
+/// publication directory but unreferenced by the manifest — the debris
+/// a crash between snapshot write and manifest commit leaves behind.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SweepReport {
+    /// File names deleted by the sweep.
+    pub removed: Vec<String>,
+}
+
+/// What [`DeltaPublisher::publish_at`] decided for a generation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PublishOutcome {
+    /// The generation was the next link and is now durably committed.
+    Published,
+    /// The generation is already in the on-disk manifest — a recovery
+    /// replay re-derived a window the pre-crash run had committed.
+    /// Nothing was written (the chain's bytes are deterministic in the
+    /// record prefix, so the durable copy is identical).
+    AlreadyDurable,
+}
 
 /// Publishes a growing delta chain into one directory: snapshot files
 /// first, manifest second, both atomically.
@@ -54,6 +75,59 @@ impl DeltaPublisher {
                 entries: Vec::new(),
             },
         }
+    }
+
+    /// A publisher resuming the chain already committed in `dir`: the
+    /// on-disk manifest (if any) is the truth, and any snapshot file it
+    /// does not reference — the debris of a publish that crashed
+    /// between snapshot write and manifest commit — is swept away so it
+    /// can never shadow a future generation's file name. This is the
+    /// recovery-path constructor.
+    pub fn open(dir: &Path) -> Result<(DeltaPublisher, SweepReport), CodecError> {
+        let manifest_path = dir.join(MANIFEST_NAME);
+        let manifest = match manifest::load(&manifest_path) {
+            Ok(m) => m,
+            Err(CodecError::Io(e)) if e.kind() == io::ErrorKind::NotFound => Manifest {
+                entries: Vec::new(),
+            },
+            Err(e) => return Err(e),
+        };
+        let publisher = DeltaPublisher {
+            dir: dir.to_path_buf(),
+            manifest_path,
+            manifest,
+        };
+        let swept = publisher.sweep_orphans().map_err(CodecError::Io)?;
+        Ok((publisher, swept))
+    }
+
+    /// Deletes every `*.pol` snapshot in the publication directory the
+    /// manifest does not reference, reporting what was removed. Safe at
+    /// any time: an unreferenced snapshot is invisible to readers by
+    /// construction (the manifest is the commit record), so removing it
+    /// cannot change what any chain load observes.
+    pub fn sweep_orphans(&self) -> io::Result<SweepReport> {
+        let mut removed = Vec::new();
+        for entry in std::fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            if !entry.file_type()?.is_file() {
+                continue;
+            }
+            let name = match entry.file_name().into_string() {
+                Ok(n) => n,
+                Err(_) => continue,
+            };
+            if !name.ends_with(".pol") {
+                continue;
+            }
+            if self.manifest.entries.iter().any(|e| e.name == name) {
+                continue;
+            }
+            std::fs::remove_file(entry.path())?;
+            removed.push(name);
+        }
+        removed.sort();
+        Ok(SweepReport { removed })
     }
 
     /// Path of the chain manifest (what `pol-serve` opens and reloads).
@@ -103,6 +177,29 @@ impl DeltaPublisher {
                 Err(e)
             }
         }
+    }
+
+    /// Exactly-once publication for recovery replay: publishes `gen`
+    /// only if it is the next chain link. A generation the manifest
+    /// already holds is reported [`PublishOutcome::AlreadyDurable`] and
+    /// left untouched — the replay re-derived a window the pre-crash
+    /// run committed, and deterministic replay makes the durable bytes
+    /// identical. A generation *past* the next link means the journal
+    /// and the chain disagree (a skipped window) and is refused — that
+    /// chain would have a hole no merge could repair.
+    pub fn publish_at(&mut self, gen: u64, inv: &Inventory) -> io::Result<PublishOutcome> {
+        let next = self.manifest.entries.len() as u64;
+        if gen < next {
+            return Ok(PublishOutcome::AlreadyDurable);
+        }
+        if gen > next {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("delta generation gap: journal derived {gen} but chain holds {next}"),
+            ));
+        }
+        self.publish(inv)?;
+        Ok(PublishOutcome::Published)
     }
 }
 
@@ -216,5 +313,54 @@ mod tests {
     #[test]
     fn merge_chain_empty_is_none() {
         assert!(merge_chain(Vec::new()).is_none());
+    }
+
+    #[test]
+    fn open_sweeps_orphans_and_resumes_the_chain() {
+        let dir = std::env::temp_dir().join("pol-stream-delta-orphans");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut publisher = DeltaPublisher::create(&dir);
+        publisher.publish(&window_inventory(40, 0)).unwrap();
+        publisher.publish(&window_inventory(25, 1)).unwrap();
+        // Plant the debris of a publish that crashed before its
+        // manifest commit, plus a non-snapshot bystander.
+        std::fs::write(dir.join("delta-00002.pol"), b"torn half-published bytes").unwrap();
+        std::fs::write(dir.join("notes.txt"), b"not a snapshot").unwrap();
+
+        let (mut reopened, swept) = DeltaPublisher::open(&dir).unwrap();
+        assert_eq!(swept.removed, vec!["delta-00002.pol".to_string()]);
+        assert!(
+            !dir.join("delta-00002.pol").exists(),
+            "orphan must be deleted"
+        );
+        assert!(dir.join("notes.txt").exists(), "bystanders are untouched");
+        assert_eq!(reopened.chain_len(), 2);
+        assert_eq!(reopened.generation(), Some(1));
+
+        // The resumed publisher continues the chain exactly where the
+        // manifest left it — the orphan's name is reusable again.
+        assert_eq!(
+            reopened.publish_at(1, &window_inventory(9, 9)).unwrap(),
+            PublishOutcome::AlreadyDurable,
+        );
+        assert_eq!(
+            reopened.publish_at(2, &window_inventory(20, 2)).unwrap(),
+            PublishOutcome::Published,
+        );
+        let gap = reopened.publish_at(4, &window_inventory(5, 4));
+        assert!(gap.is_err(), "a generation gap must be refused");
+        let report = manifest::verify_chain(reopened.manifest_path()).unwrap();
+        assert_eq!(report.files.len(), 3);
+    }
+
+    #[test]
+    fn open_on_empty_dir_is_an_empty_chain() {
+        let dir = std::env::temp_dir().join("pol-stream-delta-open-empty");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let (publisher, swept) = DeltaPublisher::open(&dir).unwrap();
+        assert_eq!(publisher.chain_len(), 0);
+        assert!(swept.removed.is_empty());
     }
 }

@@ -305,6 +305,131 @@ impl StreamEngine {
         fold_projected(engine, &self.cfg.pipeline, per_vessel, window_points)
     }
 
+    /// Captures the engine's complete mutable state for a POLCKP1
+    /// checkpoint. `wal_seq` and `window_cuts` are the journal layer's
+    /// bookkeeping (batches applied, delta windows cut) — the engine
+    /// itself does not track them but recovery needs them bound to the
+    /// exact engine state they describe.
+    ///
+    /// Everything the remaining records' processing depends on is
+    /// captured: the per-vessel reorder buffers (with arrival sequence
+    /// numbers, preserving release tie-breaks), frontiers, cleaner and
+    /// tracker state, retained cell points and window marks, plus the
+    /// engine-wide arrival counter, event clock, and counters. The
+    /// transient `trip_buf`/`cell_scratch` are always empty between
+    /// pushes and are deliberately absent.
+    pub fn snapshot_state(&self, wal_seq: u64, window_cuts: u64) -> crate::checkpoint::EngineState {
+        let c = &self.counters;
+        let sessions = self
+            .sessions
+            .iter()
+            .map(|(&mmsi, s)| {
+                let (last_port, trip_seq, open) = s.tracker.state();
+                crate::checkpoint::SessionState {
+                    mmsi,
+                    frontier: s.frontier,
+                    window_mark: s.window_mark as u64,
+                    cleaner_last: s.cleaner.last(),
+                    last_port,
+                    trip_seq,
+                    open_passage: open.to_vec(),
+                    retained: s.retained.clone(),
+                    buffer: s
+                        .buffer
+                        .iter()
+                        .map(|(&(ts, seq), &r)| (ts, seq, r))
+                        .collect(),
+                }
+            })
+            .collect();
+        crate::checkpoint::EngineState {
+            resolution: self.cfg.pipeline.resolution.level(),
+            reorder_bound_secs: self.cfg.reorder_bound_secs,
+            wal_seq,
+            window_cuts,
+            arrival_seq: self.arrival_seq,
+            max_event_ts: self.max_event_ts,
+            counters: [
+                c.ingested,
+                c.out_of_range,
+                c.non_commercial,
+                c.released,
+                c.late_dropped,
+                c.trips_finalized,
+                c.trip_points,
+            ],
+            sessions,
+        }
+    }
+
+    /// Rebuilds an engine from a checkpointed [`EngineState`]
+    /// (the inverse of [`StreamEngine::snapshot_state`]). Refuses a
+    /// checkpoint whose resolution or reorder-bound echo disagrees with
+    /// `cfg` — replaying a journal against different semantics would
+    /// silently diverge from the pre-crash run.
+    ///
+    /// [`EngineState`]: crate::checkpoint::EngineState
+    pub fn from_state(
+        statics: &[StaticReport],
+        ports: &[PortSite],
+        cfg: StreamConfig,
+        state: &crate::checkpoint::EngineState,
+    ) -> Result<StreamEngine, &'static str> {
+        if state.resolution != cfg.pipeline.resolution.level() {
+            return Err("checkpoint grid resolution does not match the configured pipeline");
+        }
+        if state.reorder_bound_secs != cfg.reorder_bound_secs {
+            return Err("checkpoint reorder bound does not match the configured pipeline");
+        }
+        let mut engine = StreamEngine::new(statics, ports, cfg);
+        engine.arrival_seq = state.arrival_seq;
+        engine.max_event_ts = state.max_event_ts;
+        let [ingested, out_of_range, non_commercial, released, late_dropped, trips_finalized, trip_points] =
+            state.counters;
+        engine.counters = IngestCounters {
+            ingested,
+            out_of_range,
+            non_commercial,
+            released,
+            late_dropped,
+            trips_finalized,
+            trip_points,
+        };
+        for s in &state.sessions {
+            let window_mark = usize::try_from(s.window_mark)
+                .map_err(|_| "checkpoint window mark out of range")?;
+            if window_mark > s.retained.len() {
+                return Err("checkpoint window mark past retained points");
+            }
+            let session = VesselSession {
+                buffer: s
+                    .buffer
+                    .iter()
+                    .map(|&(ts, seq, r)| ((ts, seq), r))
+                    .collect(),
+                frontier: s.frontier,
+                cleaner: VesselCleaner::resume(
+                    engine.cfg.pipeline.max_feasible_speed_kn,
+                    s.cleaner_last,
+                ),
+                tracker: TripTracker::resume(
+                    engine.cfg.pipeline.min_trip_points,
+                    s.last_port,
+                    s.trip_seq,
+                    s.open_passage.clone(),
+                ),
+                trip_buf: Vec::new(),
+                cell_scratch: Vec::new(),
+                retained: s.retained.clone(),
+                window_mark,
+            };
+            if engine.sessions.insert(s.mmsi, session).is_some() {
+                return Err("checkpoint holds duplicate vessel sessions");
+            }
+        }
+        Ok(engine)
+    }
+
     /// Closes the stream: treats the watermark as infinite, drains and
     /// finalizes everything, and folds all retained cell points into
     /// the final inventory via [`fold_projected`] — byte-identical to

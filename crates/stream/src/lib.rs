@@ -15,7 +15,17 @@
 //! * [`delta`] — periodic, mergeable inventory deltas published as
 //!   POLINV3 snapshots chained by a POLMAN1 manifest
 //!   ([`pol_core::codec::manifest`]), which `pol-serve` hot-reloads
-//!   without dropping in-flight queries.
+//!   without dropping in-flight queries;
+//! * [`journal`] — a POLWAL1 write-ahead journal
+//!   ([`pol_core::codec::wal`]) that makes every pushed record durable
+//!   *before* the engine applies it, wrapped with the engine as
+//!   [`journal::JournaledEngine`];
+//! * [`checkpoint`] — POLCKP1 snapshots of the whole engine state, so
+//!   recovery replays only the journal suffix past the checkpoint;
+//! * [`recover`] — the crash-recovery path: checkpoint restore +
+//!   journal replay + exactly-once delta-chain reconciliation,
+//!   reconverging byte-identically to a run that never crashed (see
+//!   DESIGN.md §10 for the failure model and crash matrix).
 //!
 //! ## The identity contract
 //!
@@ -44,8 +54,14 @@
 
 #![deny(missing_docs)]
 
+pub mod checkpoint;
 pub mod delta;
 pub mod ingest;
+pub mod journal;
+pub mod recover;
 
-pub use delta::{merge_chain, DeltaPublisher, MANIFEST_NAME};
+pub use checkpoint::{EngineState, SessionState, CHECKPOINT_NAME};
+pub use delta::{merge_chain, DeltaPublisher, PublishOutcome, SweepReport, MANIFEST_NAME};
 pub use ingest::{IngestCounters, StreamConfig, StreamEngine, StreamOutput};
+pub use journal::{JournalError, JournaledEngine, WalConfig, WalLoad, WalReader, WalWriter};
+pub use recover::{recover, RecoveryReport, WindowSpec};

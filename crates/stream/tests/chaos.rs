@@ -1,22 +1,39 @@
-//! Chaos tests for delta publication (run with
-//! `cargo test -p pol-stream --features chaos --test chaos`): injected
-//! write and rename failures at any step of a publish must never
-//! produce a loadable-but-wrong chain — readers either see the old
-//! manifest (intact, fully verifiable) or the new one.
+//! Chaos tests for delta publication and the write-ahead journal (run
+//! with `cargo test -p pol-stream --features chaos --test chaos`):
+//! injected write, sync, rename, and seal failures at any step of a
+//! publish, journal append, or checkpoint must never produce
+//! loadable-but-wrong state — readers either see the old artifact
+//! (intact, fully verifiable) or the new one, and a crash at any
+//! failpoint recovers byte-identically.
+//!
+//! Failpoint configuration is process-global, so every test takes the
+//! [`GATE`] mutex for its whole body.
 
 #![cfg(feature = "chaos")]
 
-use pol_ais::types::{MarketSegment, Mmsi};
+use pol_ais::types::{MarketSegment, Mmsi, NavStatus};
+use pol_ais::PositionReport;
 use pol_chaos::{configure, remove, stats, FaultAction, Trigger};
 use pol_core::codec::{columnar, manifest};
 use pol_core::features::{CellStats, GroupKey};
-use pol_core::records::{CellPoint, TripPoint};
+use pol_core::records::{CellPoint, PortSite, TripPoint};
 use pol_core::Inventory;
+use pol_engine::Engine;
+use pol_fleetsim::scenario::{generate, ScenarioConfig};
+use pol_fleetsim::stream::interleave;
+use pol_fleetsim::WORLD_PORTS;
 use pol_geo::LatLon;
 use pol_hexgrid::{cell_at, Resolution};
 use pol_sketch::hash::FxHashMap;
-use pol_stream::DeltaPublisher;
+use pol_stream::{
+    checkpoint, recover, DeltaPublisher, JournaledEngine, StreamConfig, StreamEngine, WalConfig,
+    WalReader, WalWriter, WindowSpec, CHECKPOINT_NAME,
+};
 use std::path::Path;
+use std::sync::Mutex;
+
+/// Serializes every test in this binary: failpoints are global state.
+static GATE: Mutex<()> = Mutex::new(());
 
 fn window_inventory(n: usize, salt: u64) -> Inventory {
     let res = Resolution::new(6).unwrap();
@@ -72,6 +89,7 @@ fn fresh_dir(name: &str) -> std::path::PathBuf {
 
 #[test]
 fn injected_snapshot_write_failure_keeps_old_chain_loadable() {
+    let _gate = GATE.lock().unwrap();
     let dir = fresh_dir("pol-stream-chaos-write");
     let mut publisher = DeltaPublisher::create(&dir);
     publisher.publish(&window_inventory(40, 0)).unwrap();
@@ -97,6 +115,7 @@ fn injected_snapshot_write_failure_keeps_old_chain_loadable() {
 
 #[test]
 fn injected_manifest_failure_leaves_orphan_but_valid_old_chain() {
+    let _gate = GATE.lock().unwrap();
     let dir = fresh_dir("pol-stream-chaos-manifest");
     let mut publisher = DeltaPublisher::create(&dir);
     publisher.publish(&window_inventory(40, 0)).unwrap();
@@ -128,6 +147,7 @@ fn injected_manifest_failure_leaves_orphan_but_valid_old_chain() {
 
 #[test]
 fn injected_rename_failure_never_blesses_a_torn_manifest() {
+    let _gate = GATE.lock().unwrap();
     let dir = fresh_dir("pol-stream-chaos-rename");
     let mut publisher = DeltaPublisher::create(&dir);
     publisher.publish(&window_inventory(40, 0)).unwrap();
@@ -153,4 +173,322 @@ fn injected_rename_failure_never_blesses_a_torn_manifest() {
         .filter_map(|e| e.ok())
         .all(|e| !e.file_name().to_string_lossy().contains(".tmp.")));
     std::fs::remove_dir_all(&dir).ok();
+}
+
+fn wire_report(mmsi: u32, ts: i64) -> PositionReport {
+    PositionReport {
+        mmsi: Mmsi(mmsi),
+        timestamp: ts,
+        pos: LatLon::new(12.0 + (ts % 60) as f64, -30.0 + (ts % 120) as f64).unwrap(),
+        sog_knots: Some((ts % 30) as f64),
+        cog_deg: Some((ts % 360) as f64),
+        heading_deg: None,
+        nav_status: NavStatus::UnderWayUsingEngine,
+    }
+}
+
+#[test]
+fn wal_append_write_fault_preserves_the_pending_frame() {
+    let _gate = GATE.lock().unwrap();
+    let dir = fresh_dir("pol-stream-chaos-wal-append");
+    let cfg = WalConfig {
+        batch_records: 8,
+        group_commit_batches: 1,
+        ..WalConfig::default()
+    };
+    let mut w = WalWriter::create(&dir, cfg).unwrap();
+    for i in 0..7 {
+        w.push(wire_report(200_000_001, i)).unwrap();
+    }
+    configure("wal.append.write", Trigger::OneShot(FaultAction::Err));
+    assert!(
+        w.push(wire_report(200_000_001, 7)).is_err(),
+        "the eighth record completes a frame and hits the failpoint"
+    );
+    remove("wal.append.write");
+    // The frame went back to the buffer: nothing silently dropped.
+    assert_eq!(w.pending_records(), 8);
+    w.flush().unwrap();
+    drop(w);
+    let load = WalReader::load(&dir).unwrap();
+    assert_eq!(load.records(), 8, "the retried flush covers every record");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn wal_sync_fault_surfaces_and_the_retry_makes_records_durable() {
+    let _gate = GATE.lock().unwrap();
+    let dir = fresh_dir("pol-stream-chaos-wal-sync");
+    let cfg = WalConfig {
+        batch_records: 4,
+        group_commit_batches: 1,
+        ..WalConfig::default()
+    };
+    let mut w = WalWriter::create(&dir, cfg).unwrap();
+    for i in 0..3 {
+        w.push(wire_report(200_000_001, i)).unwrap();
+    }
+    configure("wal.append.sync", Trigger::OneShot(FaultAction::Err));
+    assert!(w.push(wire_report(200_000_001, 3)).is_err());
+    remove("wal.append.sync");
+    // The frame is appended; only the fsync failed. A retried flush
+    // makes it durable without duplicating it.
+    assert_eq!(w.pending_records(), 0);
+    w.flush().unwrap();
+    drop(w);
+    let load = WalReader::load(&dir).unwrap();
+    assert_eq!(load.records(), 4);
+    assert_eq!(load.batches.len(), 1, "the frame must not be re-appended");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn wal_seal_fault_poisons_rotation_but_recovery_heals_the_tail() {
+    let _gate = GATE.lock().unwrap();
+    let dir = fresh_dir("pol-stream-chaos-wal-seal");
+    let cfg = WalConfig {
+        batch_records: 4,
+        group_commit_batches: 1,
+        max_segment_bytes: 256, // rotate after a frame or two
+    };
+    let mut w = WalWriter::create(&dir, cfg).unwrap();
+    configure("wal.seal", Trigger::OneShot(FaultAction::Err));
+    let mut pushed = 0i64;
+    let err = loop {
+        match w.push(wire_report(200_000_001, pushed)) {
+            Ok(()) => pushed += 1,
+            Err(e) => break e,
+        }
+        assert!(
+            pushed < 10_000,
+            "rotation must eventually hit the failpoint"
+        );
+    };
+    remove("wal.seal");
+    assert!(format!("{err}").contains("journal segment"));
+    // The writer is poisoned: later appends fail typed, never reorder.
+    for i in 0..4 {
+        let r = w.push(wire_report(200_000_001, pushed + i));
+        if let Err(e) = r {
+            assert!(format!("{e}").contains("poisoned"));
+            break;
+        }
+    }
+    drop(w);
+    // The durable prefix still serves, and a resume continues appending
+    // into the unsealed (never-rotated) tail.
+    let load = WalReader::load(&dir).unwrap();
+    let durable = load.records();
+    assert!(durable > 0);
+    let mut w = WalWriter::resume(&dir, cfg, &load).unwrap();
+    for i in 0..8 {
+        w.push(wire_report(200_000_001, 20_000 + i)).unwrap();
+    }
+    w.seal().unwrap();
+    let load = WalReader::load(&dir).unwrap();
+    assert_eq!(load.records(), durable + 8);
+    assert_eq!(load.torn_bytes, 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn checkpoint_save_fault_keeps_the_previous_checkpoint() {
+    let _gate = GATE.lock().unwrap();
+    let dir = fresh_dir("pol-stream-chaos-ckpt");
+    let statics = vec![pol_ais::StaticReport {
+        mmsi: Mmsi(200_000_001),
+        imo: None,
+        name: "TEST".to_string(),
+        ship_type: pol_ais::types::ShipTypeCode(70),
+        gross_tonnage: 30_000,
+    }];
+    let se = StreamEngine::new(&statics, &[], StreamConfig::default());
+    let mut je = JournaledEngine::create(&dir, se, WalConfig::default(), 0).unwrap();
+    for i in 0..50 {
+        je.push(wire_report(200_000_001, i * 60)).unwrap();
+    }
+    je.checkpoint().unwrap();
+    let first = checkpoint::load(&dir.join(CHECKPOINT_NAME))
+        .unwrap()
+        .unwrap();
+
+    for i in 50..100 {
+        je.push(wire_report(200_000_001, i * 60)).unwrap();
+    }
+    configure("codec.save.write", Trigger::OneShot(FaultAction::Err));
+    assert!(je.checkpoint().is_err());
+    remove("codec.save.write");
+    // Atomic save discipline: the failed checkpoint never replaced the
+    // durable one.
+    let after = checkpoint::load(&dir.join(CHECKPOINT_NAME))
+        .unwrap()
+        .unwrap();
+    assert_eq!(after, first, "previous checkpoint must survive the fault");
+
+    // Disarmed, the retry supersedes it.
+    je.checkpoint().unwrap();
+    let healed = checkpoint::load(&dir.join(CHECKPOINT_NAME))
+        .unwrap()
+        .unwrap();
+    assert!(healed.wal_seq > first.wal_seq);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The full sweep: crash the journaled pipeline at every WAL and
+/// checkpoint/publish failpoint, recover in place, resume the wire,
+/// and demand byte-identity with an uninterrupted run — inventory,
+/// counters, and every chain file.
+#[test]
+fn crash_at_every_failpoint_reconverges_byte_identically() {
+    let _gate = GATE.lock().unwrap();
+    let scenario = ScenarioConfig::tiny();
+    let ds = generate(&scenario);
+    let pipeline = pol_core::PipelineConfig::default();
+    let ports: Vec<PortSite> = WORLD_PORTS
+        .iter()
+        .enumerate()
+        .map(|(i, p)| PortSite {
+            id: i as u16,
+            name: p.name.to_string(),
+            pos: p.pos(),
+            radius_km: pipeline.port_radius_km,
+        })
+        .collect();
+    let wire: Vec<PositionReport> = interleave(ds.positions).collect();
+    let spec = WindowSpec {
+        start_ts: ds.config.start,
+        window_secs: 2 * 86_400,
+    };
+    let wal_cfg = WalConfig {
+        batch_records: 64,
+        group_commit_batches: 4,
+        max_segment_bytes: 64 << 10,
+    };
+    let engine = Engine::new(2);
+
+    // Uninterrupted oracle with the identical cut schedule.
+    let oracle_dir = fresh_dir("pol-stream-chaos-sweep-oracle");
+    let (oracle_bytes, oracle_counters) = {
+        let se = StreamEngine::new(&ds.statics, &ports, StreamConfig::default());
+        let mut je = JournaledEngine::create(&oracle_dir, se, wal_cfg, 400).unwrap();
+        let mut publisher = DeltaPublisher::create(&oracle_dir);
+        for &r in &wire {
+            je.push(r).unwrap();
+            while je.watermark() >= spec.cut_at(je.window_cuts()) {
+                let gen = je.window_cuts();
+                let delta = je.take_window_delta(&engine).unwrap();
+                publisher.publish_at(gen, &delta).unwrap();
+            }
+        }
+        let out = je.close(&engine).unwrap();
+        (pol_core::codec::to_bytes(&out.inventory), out.counters)
+    };
+    let oracle_chain: Vec<(String, Vec<u8>)> =
+        manifest::load(&oracle_dir.join(pol_stream::MANIFEST_NAME))
+            .unwrap()
+            .entries
+            .iter()
+            .map(|e| {
+                (
+                    e.name.clone(),
+                    std::fs::read(oracle_dir.join(&e.name)).unwrap(),
+                )
+            })
+            .collect();
+
+    let failpoints: &[(&str, u64)] = &[
+        ("wal.append.write", 1),
+        ("wal.append.write", 9),
+        ("wal.append.sync", 1),
+        ("wal.append.sync", 3),
+        ("wal.seal", 1),
+        ("codec.save.write", 1),
+        ("codec.save.write", 4),
+        ("codec.save.rename", 1),
+        ("codec.save.rename", 3),
+    ];
+    for &(name, n) in failpoints {
+        let dir = fresh_dir(&format!(
+            "pol-stream-chaos-sweep-{}-{n}",
+            name.replace('.', "-")
+        ));
+        configure(
+            name,
+            Trigger::NthHit {
+                n,
+                action: FaultAction::Err,
+            },
+        );
+        // Drive until the injected fault kills the run (or the wire
+        // ends first — also a valid sweep point).
+        {
+            let se = StreamEngine::new(&ds.statics, &ports, StreamConfig::default());
+            let mut je = JournaledEngine::create(&dir, se, wal_cfg, 400).unwrap();
+            let mut publisher = DeltaPublisher::create(&dir);
+            'wire: for &r in &wire {
+                if je.push(r).is_err() {
+                    break 'wire;
+                }
+                while je.watermark() >= spec.cut_at(je.window_cuts()) {
+                    let gen = je.window_cuts();
+                    let delta = match je.take_window_delta(&engine) {
+                        Ok(d) => d,
+                        Err(_) => break 'wire,
+                    };
+                    if publisher.publish_at(gen, &delta).is_err() {
+                        break 'wire;
+                    }
+                }
+            }
+        }
+        remove(name);
+
+        let (mut publisher, _) = DeltaPublisher::open(&dir).unwrap();
+        let (mut je, _report) = recover(
+            &dir,
+            &engine,
+            &ds.statics,
+            &ports,
+            StreamConfig::default(),
+            wal_cfg,
+            400,
+            Some((&mut publisher, spec)),
+        )
+        .unwrap();
+        let resume_at = usize::try_from(je.counters().ingested).unwrap();
+        for &r in &wire[resume_at..] {
+            je.push(r).unwrap();
+            while je.watermark() >= spec.cut_at(je.window_cuts()) {
+                let gen = je.window_cuts();
+                let delta = je.take_window_delta(&engine).unwrap();
+                publisher.publish_at(gen, &delta).unwrap();
+            }
+        }
+        let out = je.close(&engine).unwrap();
+        assert_eq!(
+            pol_core::codec::to_bytes(&out.inventory),
+            oracle_bytes,
+            "{name} hit {n}: inventory must reconverge byte-identically"
+        );
+        assert_eq!(
+            out.counters, oracle_counters,
+            "{name} hit {n}: exactly-once counter accounting"
+        );
+        let chain: Vec<(String, Vec<u8>)> = manifest::load(&dir.join(pol_stream::MANIFEST_NAME))
+            .unwrap()
+            .entries
+            .iter()
+            .map(|e| (e.name.clone(), std::fs::read(dir.join(&e.name)).unwrap()))
+            .collect();
+        assert_eq!(
+            chain, oracle_chain,
+            "{name} hit {n}: the published chain must match file for file"
+        );
+        let verify = manifest::verify_chain(&dir.join(pol_stream::MANIFEST_NAME)).unwrap();
+        for (gen, file) in verify.files.iter().enumerate() {
+            assert_eq!(file.generation, gen as u64);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    std::fs::remove_dir_all(&oracle_dir).ok();
 }
