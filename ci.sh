@@ -139,13 +139,19 @@ run_gate() {
   fi
   echo "read-path smoke: $(grep -- '--min-rps gate' "$smoke_dir/load3.out")"
 
-  echo "==> polbuild ingestion smoke (fused vs staged, bit-identity + throughput floor)"
-  # The floor is deliberately conservative (~2 orders below a release-build
-  # laptop) — it catches a pipeline that stopped scaling, not jitter.
-  # --threads sweeps the staged/fused pair across worker counts so the
-  # radix-merge parallel path is exercised, not just the sequential one.
+  echo "==> polbuild ingestion smoke (fused vs staged, bit-identity + throughput + speedup floors)"
+  # The rps floor is deliberately conservative (~2 orders below a
+  # release-build laptop) — it catches a pipeline that stopped scaling,
+  # not jitter. --threads sweeps the staged/fused pair across worker
+  # counts so the radix-merge parallel path is exercised, not just the
+  # sequential one. --min-speedup 1.0 is the tentpole acceptance bar:
+  # the fused executor must beat (or tie) the staged pipeline at EVERY
+  # swept thread count; --repeat 3 takes the min-of-3 wall time per
+  # executor so a neighbour stealing the CPU mid-pass cannot fail the
+  # gate on scheduling noise.
   cargo run --release -q -p pol-bench --bin polbuild -- \
     --vessels 10 --days 3 --threads 1,4 --min-rps 5000 \
+    --min-speedup 1.0 --repeat 3 \
     --out "$smoke_dir/BENCH_build.json" > "$smoke_dir/build.out"
   if [ ! -s "$smoke_dir/BENCH_build.json" ]; then
     echo "ci: polbuild wrote no BENCH_build.json" >&2

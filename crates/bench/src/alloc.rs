@@ -2,7 +2,9 @@
 //!
 //! Wraps the system allocator with relaxed atomic counters so `polbuild`
 //! (and `polinv build --timings`) can report allocations and bytes per
-//! pipeline stage — the cost the fused executor exists to avoid. Install
+//! pipeline stage — the cost the fused executor exists to avoid. Every
+//! call also feeds `pol_engine::profile::note_alloc`, the thread-local
+//! counters behind `polbuild --profile`'s per-worker breakdown. Install
 //! it in a binary with:
 //!
 //! ```ignore
@@ -58,6 +60,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::Relaxed);
         BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        pol_engine::profile::note_alloc(layout.size());
         // SAFETY: same layout, same contract as the caller's;
         // tested by: counting_alloc_forwards_and_counts.
         unsafe { System.alloc(layout) }
@@ -76,6 +79,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::Relaxed);
         BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        pol_engine::profile::note_alloc(new_size);
         // SAFETY: same pointer/layout/new_size triple as the caller's;
         // tested by: counting_alloc_forwards_and_counts.
         unsafe { System.realloc(ptr, layout, new_size) }

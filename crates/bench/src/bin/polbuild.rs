@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! polbuild [--vessels N] [--days D] [--seed S] [--res R] [--threads T[,T2,...]]
-//!          [--out FILE] [--min-rps X]
+//!          [--out FILE] [--min-rps X] [--min-speedup X] [--repeat N] [--profile]
 //! ```
 //!
 //! `--threads` takes a comma-separated list of worker counts and sweeps
@@ -18,7 +18,16 @@
 //! merge is deterministic, not just fast. `figures/BENCH_build.json`
 //! records the full sweep; the top-level `end_to_end` block (and the
 //! `--min-rps` CI floor) reflect the highest thread count, i.e. the
-//! parallel radix-merge path.
+//! parallel radix-merge path. `--min-speedup` is stricter: it gates on
+//! `end_to_end.speedup` at EVERY swept count, so a fused regression at
+//! one thread count fails the run even if the headline count is fine.
+//! `--profile` prints the engine's per-stage per-worker task breakdown
+//! (wall time, allocations, bytes — fed by this binary's counting
+//! allocator) after each pass. `--repeat N` (default 3) runs each thread
+//! count N times and reports the fastest staged and fastest fused pass —
+//! min-of-N is the noise-robust estimator on shared hardware, where a
+//! neighbour's CPU burst during one pass would otherwise flip a speedup
+//! ratio that has nothing to do with the code under test.
 
 use pol_bench::alloc::{self, CountingAlloc};
 use pol_bench::{figures_dir, port_sites};
@@ -156,6 +165,7 @@ fn run_once(
     ds: &pol_fleetsim::scenario::Dataset,
     ports: &[pol_core::records::PortSite],
     cfg: &PipelineConfig,
+    profile: bool,
 ) -> Result<RunOutcome, String> {
     let raw_records: u64 = ds.positions.iter().map(|p| p.len() as u64).sum();
     eprintln!("polbuild: staged pass ({threads} threads)...");
@@ -174,13 +184,16 @@ fn run_once(
             alloc_bytes: d.bytes,
         });
     };
+    // Clone the input outside the timed region: the copy is identical
+    // for both paths and only adds allocator noise to the comparison.
+    let staged_input = ds.positions.clone();
     let staged_t0 = Instant::now();
     let a0 = alloc::snapshot();
 
     let t = Instant::now();
     let (cleaned, clean_report) = clean_and_enrich(
         &engine,
-        Dataset::from_partitions(ds.positions.clone()),
+        Dataset::from_partitions(staged_input),
         &ds.statics,
         cfg,
     )
@@ -240,16 +253,25 @@ fn run_once(
 
     let staged_wall_ms = staged_t0.elapsed().as_secs_f64() * 1e3;
     let staged_alloc = alloc::AllocSnapshot::since(&a4, a0);
+    if profile {
+        eprintln!("polbuild: staged profile ({threads} threads)");
+        eprint!("{}", engine.metrics().render_profile());
+    }
 
     // ---- Fused executor, end to end. ----
     eprintln!("polbuild: fused pass ({threads} threads)...");
     let fused_engine = Engine::new(threads);
+    let fused_input = ds.positions.clone();
     let f0 = alloc::snapshot();
     let fused_t0 = Instant::now();
-    let fused = pol_core::run_fused(&fused_engine, ds.positions.clone(), &ds.statics, ports, cfg)
+    let fused = pol_core::run_fused(&fused_engine, fused_input, &ds.statics, ports, cfg)
         .map_err(|e| format!("fused run failed: {e}"))?;
     let fused_wall_ms = fused_t0.elapsed().as_secs_f64() * 1e3;
     let fused_alloc = alloc::AllocSnapshot::since(&alloc::snapshot(), f0);
+    if profile {
+        eprintln!("polbuild: fused profile ({threads} threads)");
+        eprint!("{}", fused_engine.metrics().render_profile());
+    }
 
     // ---- Bit-identity check: the benchmark refuses to report a fused
     // number that does not match the staged oracle. ----
@@ -299,6 +321,47 @@ fn run_once(
     })
 }
 
+/// Runs `run_once` `repeats` times at one thread count and keeps the
+/// fastest staged pass and the fastest fused pass (each with its stage
+/// rows and allocation counters). Every repeat still passes the
+/// bit-identity oracle, and all repeats must agree on the inventory
+/// bytes before their timings are comparable at all.
+fn run_best_of(
+    repeats: usize,
+    threads: usize,
+    ds: &pol_fleetsim::scenario::Dataset,
+    ports: &[pol_core::records::PortSite],
+    cfg: &PipelineConfig,
+    profile: bool,
+) -> Result<RunOutcome, String> {
+    let mut best: Option<RunOutcome> = None;
+    for rep in 0..repeats.max(1) {
+        let run = run_once(threads, ds, ports, cfg, profile && rep == 0)?;
+        best = Some(match best.take() {
+            None => run,
+            Some(mut b) => {
+                if run.bytes != b.bytes {
+                    return Err(format!(
+                        "inventory bytes differ between repeats at {threads} threads"
+                    ));
+                }
+                if run.staged_wall_ms < b.staged_wall_ms {
+                    b.staged_wall_ms = run.staged_wall_ms;
+                    b.stages = run.stages;
+                    b.staged_alloc = run.staged_alloc;
+                }
+                if run.fused_wall_ms < b.fused_wall_ms {
+                    b.fused_wall_ms = run.fused_wall_ms;
+                    b.fused_stage_json = run.fused_stage_json;
+                    b.fused_alloc = run.fused_alloc;
+                }
+                b
+            }
+        });
+    }
+    best.ok_or_else(|| "no repeats ran".to_string())
+}
+
 fn json_end_to_end(run: &RunOutcome, indent: &str) -> String {
     let mut json = String::new();
     json.push_str(&format!(
@@ -334,6 +397,9 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     };
     let min_rps = parse_or(&args, "--min-rps", 0.0f64);
+    let min_speedup = parse_or(&args, "--min-speedup", 0.0f64);
+    let repeats = parse_or(&args, "--repeat", 3usize).max(1);
+    let profile = args.iter().any(|a| a == "--profile");
     let out_path = args
         .iter()
         .position(|a| a == "--out")
@@ -368,7 +434,7 @@ fn main() -> ExitCode {
 
     let mut runs: Vec<RunOutcome> = Vec::new();
     for &threads in &thread_counts {
-        match run_once(threads, &ds, &ports, &cfg) {
+        match run_best_of(repeats, threads, &ds, &ports, &cfg, profile) {
             Ok(run) => runs.push(run),
             Err(e) => {
                 eprintln!("error: {e}");
@@ -416,6 +482,7 @@ fn main() -> ExitCode {
     json.push_str(&format!("  \"seed\": {seed},\n"));
     json.push_str(&format!("  \"resolution\": {res},\n"));
     json.push_str(&format!("  \"raw_records\": {raw_records},\n"));
+    json.push_str(&format!("  \"repeats\": {repeats},\n"));
     json.push_str("  \"bit_identical\": true,\n");
     json.push_str("  \"cross_thread_identical\": true,\n");
     json.push_str("  \"sweep\": [\n");
@@ -488,6 +555,24 @@ fn main() -> ExitCode {
     if min_rps > 0.0 && fused_rps < min_rps {
         eprintln!("error: fused throughput {fused_rps:.0} rec/s below floor {min_rps:.0} rec/s");
         return ExitCode::FAILURE;
+    }
+    // The speedup floor applies at EVERY swept count: "fused is faster"
+    // must hold whether the build runs sequentially or wide.
+    if min_speedup > 0.0 {
+        let mut failed = false;
+        for run in &runs {
+            if run.speedup() < min_speedup {
+                eprintln!(
+                    "error: fused speedup {:.3}x at {} threads below floor {min_speedup:.2}x",
+                    run.speedup(),
+                    run.threads
+                );
+                failed = true;
+            }
+        }
+        if failed {
+            return ExitCode::FAILURE;
+        }
     }
     ExitCode::SUCCESS
 }

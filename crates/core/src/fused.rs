@@ -21,12 +21,21 @@
 //!
 //! * records scatter to `engine.default_partitions()` buckets by
 //!   `hash64(mmsi) % num` — the same hash, count and input-partition
-//!   concatenation order as `partition_by_key`;
-//! * within a partition, vessels process in ascending-MMSI order and the
-//!   per-vessel clean/extract/project code is literally shared
-//!   ([`crate::clean::order_and_filter_vessel`],
-//!   [`crate::trips::extract_for_vessel`],
-//!   [`crate::project::project_trip`]);
+//!   concatenation order as `partition_by_key`. The scatter is two-pass
+//!   (count, then write into exactly-sized per-worker buckets) and the
+//!   driver moves whole chunk vectors, never records, so workers share
+//!   nothing;
+//! * within a partition, one unstable sort over `(mmsi, timestamp,
+//!   arrival index)` replaces per-vessel grouping + per-vessel stable
+//!   timestamp sort: the arrival index makes the key total (no equal
+//!   keys), so the order is exactly ascending-MMSI vessels, each stably
+//!   time-sorted — what [`crate::clean::order_and_filter_vessel`]
+//!   produces vessel by vessel;
+//! * the per-vessel machinery is literally shared: cleaning folds the
+//!   same [`crate::clean::VesselCleaner`] state machine, trip extraction
+//!   folds the same [`crate::trips::TripTracker`] (via
+//!   [`crate::trips::extract_for_vessel_with`], reusing one tracker
+//!   across morsels), projection is [`crate::project::project_trip`];
 //! * trip ids are monotone in (mmsi, seq), so per-vessel emission order
 //!   equals the staged path's whole-partition sort by trip id;
 //! * group keys fan out `[Cell, CellType, CellRoute]` per record, giving
@@ -34,7 +43,7 @@
 //!   same [`pol_engine::merge_combiner_shards`] the staged
 //!   `aggregate_by_key` uses.
 
-use crate::clean::{enrich_one, order_and_filter_vessel, segment_lookup, CleanReport};
+use crate::clean::{enrich_one, segment_lookup, CleanReport, VesselCleaner};
 use crate::config::PipelineConfig;
 use crate::error::PipelineError;
 use crate::features::{CellStats, GroupKey};
@@ -42,13 +51,49 @@ use crate::inventory::Inventory;
 use crate::pipeline::{PipelineOutput, StageCounts};
 use crate::project::project_trip;
 use crate::records::{CellPoint, EnrichedReport, PortSite, TripPoint};
-use crate::trips::{extract_for_vessel, Geofence};
+use crate::trips::{extract_for_vessel_with, Geofence, TripTracker};
 use pol_ais::{PositionReport, StaticReport};
 use pol_engine::{merge_combiner_shards, radix_partition, Engine, StageReport};
+use pol_hexgrid::CellIndex;
 use pol_sketch::hash::{hash64, FxHashMap};
 use pol_sketch::MergeSketch;
+use std::cell::RefCell;
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Per-worker scratch for the fused build phase, held in a `thread_local`
+/// so each pool worker allocates its large transient buffers once and
+/// reuses them for every task it runs. This matters beyond the allocation
+/// *count*: the buffers are hundreds of KB each, which the system
+/// allocator services with `mmap`/`munmap` — and concurrent unmapping
+/// serializes workers on the process memory-map lock. Reuse only changes
+/// where the bytes live, never what they are, so bit-identity is
+/// untouched.
+#[derive(Default)]
+struct BuildScratch {
+    /// Concatenated shuffle chunks for the current bucket.
+    records: Vec<EnrichedReport>,
+    /// `(mmsi, timestamp, arrival index)` sort keys over `records`.
+    keys: Vec<(u32, i64, u32)>,
+    /// Per-vessel cleaned reports.
+    cleaned: Vec<EnrichedReport>,
+    /// Per-vessel trip points.
+    trips: Vec<TripPoint>,
+    /// Per-trip projected cell points.
+    cells: Vec<CellPoint>,
+    /// `project_trip`'s cell-index working set.
+    cell_scratch: Vec<CellIndex>,
+    /// The shared trip state machine (its in-progress buffer grows to the
+    /// largest vessel, so it is worth keeping warm too). `None` until the
+    /// worker's first task; `TripTracker::reset` re-arms it per morsel.
+    tracker: Option<TripTracker>,
+}
+
+thread_local! {
+    static BUILD_SCRATCH: RefCell<BuildScratch> = RefCell::new(BuildScratch::default());
+    /// Scan-phase scratch: the enrich pass's survivor buffer.
+    static SCAN_SCRATCH: RefCell<Vec<EnrichedReport>> = const { RefCell::new(Vec::new()) };
+}
 
 /// Per-task output of the scan-enrich phase.
 struct ScanOut {
@@ -88,38 +133,62 @@ pub fn run_fused(
     let commercial_only = cfg.commercial_only;
     let scanned: Vec<ScanOut> =
         engine.run_tasks("fused:scan-enrich", positions, move |_, part| {
-            let mut buckets: Vec<Vec<EnrichedReport>> = (0..num).map(|_| Vec::new()).collect();
             let raw = part.len() as u64;
             let mut out_of_range = 0u64;
-            for r in part {
-                if !r.in_protocol_ranges() {
-                    out_of_range += 1;
-                    continue;
+            SCAN_SCRATCH.with(|scratch| {
+                // Pass 1: enrich into the worker's reusable buffer,
+                // counting each survivor's destination bucket.
+                let mut enriched = scratch.borrow_mut();
+                enriched.clear();
+                enriched.reserve(part.len());
+                let mut counts = vec![0usize; num];
+                for r in part {
+                    if !r.in_protocol_ranges() {
+                        out_of_range += 1;
+                        continue;
+                    }
+                    if let Some(e) = enrich_one(&lookup, commercial_only, r) {
+                        // Same scatter as `partition_by_key` keyed by mmsi.
+                        counts[(hash64(&e.mmsi.0) % num as u64) as usize] += 1;
+                        enriched.push(e);
+                    }
                 }
-                if let Some(e) = enrich_one(&lookup, commercial_only, r) {
-                    // Same scatter as `partition_by_key` keyed by mmsi.
+                // Pass 2: scatter into exactly-sized worker-local buckets —
+                // same record order, no growth reallocation, nothing shared
+                // across workers.
+                let mut buckets: Vec<Vec<EnrichedReport>> =
+                    counts.iter().map(|&c| Vec::with_capacity(c)).collect();
+                for e in enriched.drain(..) {
                     let b = (hash64(&e.mmsi.0) % num as u64) as usize;
                     buckets[b].push(e);
                 }
-            }
-            ScanOut {
-                buckets,
-                raw,
-                out_of_range,
-            }
+                ScanOut {
+                    buckets,
+                    raw,
+                    out_of_range,
+                }
+            })
         })?;
     let raw_count: u64 = scanned.iter().map(|s| s.raw).sum();
     let out_of_range: u64 = scanned.iter().map(|s| s.out_of_range).sum();
 
-    // Driver-side transpose: concatenate bucket b of every task in input
-    // order — the shuffle's reduce side, pointer moves only.
-    let mut partitions: Vec<Vec<EnrichedReport>> = (0..num).map(|_| Vec::new()).collect();
+    // Driver-side transpose: gather bucket b of every task in input order
+    // — the shuffle's reduce side. The driver moves chunk *vectors*, never
+    // records; each build task concatenates its own chunks, so the copy
+    // work parallelizes instead of serializing on the driver.
+    let tasks = scanned.len();
+    let mut partitions: Vec<Vec<Vec<EnrichedReport>>> =
+        (0..num).map(|_| Vec::with_capacity(tasks)).collect();
     for scan in scanned {
         for (b, bucket) in scan.buckets.into_iter().enumerate() {
-            partitions[b].extend(bucket);
+            partitions[b].push(bucket);
         }
     }
-    let enriched_count: u64 = partitions.iter().map(|p| p.len() as u64).sum();
+    let enriched_count: u64 = partitions
+        .iter()
+        .flat_map(|p| p.iter())
+        .map(|c| c.len() as u64)
+        .sum();
     engine.metrics().record(StageReport {
         name: "fused:scan-enrich".to_string(),
         input_records: raw_count,
@@ -138,61 +207,104 @@ pub fn run_fused(
     let res = cfg.resolution;
     let eps = cfg.quantile_epsilon;
     let cap = cfg.top_n_capacity;
-    let built: Vec<BuildOut> = engine.run_tasks("fused:build", partitions, move |_, part| {
-        let mut per_vessel: FxHashMap<u32, Vec<EnrichedReport>> = FxHashMap::default();
-        for r in part {
-            per_vessel.entry(r.mmsi.0).or_default().push(r);
-        }
-        let mut vessels: Vec<_> = per_vessel.into_iter().collect();
-        // Deterministic morsel order regardless of hash iteration.
-        vessels.sort_by_key(|(m, _)| *m);
-        let mut acc: FxHashMap<GroupKey, CellStats> = FxHashMap::default();
-        let mut cleaned_buf: Vec<EnrichedReport> = Vec::new();
-        let mut trip_buf: Vec<TripPoint> = Vec::new();
-        let mut cell_scratch = Vec::new();
-        let mut cell_buf: Vec<CellPoint> = Vec::new();
-        let mut counts = BuildOut {
-            shards: Vec::new(),
-            cleaned: 0,
-            with_trips: 0,
-            morsels: 0,
-        };
-        for (_, reports) in vessels {
-            counts.morsels += 1;
-            cleaned_buf.clear();
-            trip_buf.clear();
-            order_and_filter_vessel(reports, max_kn, &mut cleaned_buf);
-            counts.cleaned += cleaned_buf.len() as u64;
-            extract_for_vessel(&geofence, &cleaned_buf, min_points, &mut trip_buf);
-            counts.with_trips += trip_buf.len() as u64;
-            // Trips emit contiguously in (mmsi, seq) order: project one
-            // trip run at a time and fold straight into the combiners.
+    let built: Vec<BuildOut> = engine.run_tasks("fused:build", partitions, move |_, chunks| {
+        BUILD_SCRATCH.with(|scratch| {
+            let s = &mut *scratch.borrow_mut();
+            // Concatenate the shuffle chunks once (task order = the staged
+            // shuffle's input-partition concatenation order) into the
+            // worker's reusable buffer.
+            let total: usize = chunks.iter().map(Vec::len).sum();
+            let records = &mut s.records;
+            records.clear();
+            records.reserve(total);
+            for chunk in chunks {
+                records.extend(chunk);
+            }
+            // One unstable sort over (mmsi, timestamp, arrival index)
+            // replaces the per-vessel hash grouping + per-vessel stable
+            // timestamp sort: the arrival index makes the key total (no
+            // equal keys, so instability is unobservable), and within a
+            // vessel (timestamp, arrival) order is exactly the stable time
+            // sort of its arrival-ordered records — what
+            // `order_and_filter_vessel` feeds the cleaner vessel by vessel.
+            let keys = &mut s.keys;
+            keys.clear();
+            keys.extend(
+                records
+                    .iter()
+                    .enumerate()
+                    .map(|(i, r)| (r.mmsi.0, r.timestamp, i as u32)),
+            );
+            keys.sort_unstable();
+            let mut acc: FxHashMap<GroupKey, CellStats> = FxHashMap::default();
+            let cleaned_buf = &mut s.cleaned;
+            let trip_buf = &mut s.trips;
+            let cell_buf = &mut s.cells;
+            let cell_scratch = &mut s.cell_scratch;
+            let tracker = s
+                .tracker
+                .get_or_insert_with(|| TripTracker::new(min_points));
+            let mut counts = BuildOut {
+                shards: Vec::new(),
+                cleaned: 0,
+                with_trips: 0,
+                morsels: 0,
+            };
+            // Walk vessels as runs of equal MMSI — ascending-MMSI morsel
+            // order, every scratch buffer reused across morsels.
             let mut i = 0;
-            while i < trip_buf.len() {
+            while i < keys.len() {
+                let mmsi = keys[i].0;
                 let mut j = i + 1;
-                while j < trip_buf.len() && trip_buf[j].trip_id == trip_buf[i].trip_id {
+                while j < keys.len() && keys[j].0 == mmsi {
                     j += 1;
                 }
-                cell_buf.clear();
-                project_trip(&trip_buf[i..j], res, &mut cell_scratch, &mut cell_buf);
-                for cp in &cell_buf {
-                    let p = &cp.point;
-                    // Same fan-out order as the staged `features` stage.
-                    for key in [
-                        GroupKey::Cell(cp.cell),
-                        GroupKey::CellType(cp.cell, p.segment),
-                        GroupKey::CellRoute(cp.cell, p.origin, p.dest, p.segment),
-                    ] {
-                        acc.entry(key)
-                            .or_insert_with(|| CellStats::new(eps, cap))
-                            .observe(cp);
+                counts.morsels += 1;
+                cleaned_buf.clear();
+                trip_buf.clear();
+                // Clean: fold the shared VesselCleaner state machine over
+                // the time-sorted run (identical to
+                // `order_and_filter_vessel`).
+                let mut cleaner = VesselCleaner::new(max_kn);
+                for k in &keys[i..j] {
+                    if let Some(kept) = cleaner.push(records[k.2 as usize]) {
+                        cleaned_buf.push(kept);
                     }
+                }
+                counts.cleaned += cleaned_buf.len() as u64;
+                tracker.reset(min_points);
+                extract_for_vessel_with(tracker, &geofence, cleaned_buf, trip_buf);
+                counts.with_trips += trip_buf.len() as u64;
+                // Trips emit contiguously in (mmsi, seq) order: project one
+                // trip run at a time and fold straight into the combiners.
+                let mut ti = 0;
+                while ti < trip_buf.len() {
+                    let mut tj = ti + 1;
+                    while tj < trip_buf.len() && trip_buf[tj].trip_id == trip_buf[ti].trip_id {
+                        tj += 1;
+                    }
+                    cell_buf.clear();
+                    project_trip(&trip_buf[ti..tj], res, cell_scratch, cell_buf);
+                    for cp in cell_buf.iter() {
+                        let p = &cp.point;
+                        // Same fan-out order as the staged `features` stage.
+                        for key in [
+                            GroupKey::Cell(cp.cell),
+                            GroupKey::CellType(cp.cell, p.segment),
+                            GroupKey::CellRoute(cp.cell, p.origin, p.dest, p.segment),
+                        ] {
+                            acc.entry(key)
+                                .or_insert_with(|| CellStats::new(eps, cap))
+                                .observe(cp);
+                        }
+                    }
+                    ti = tj;
                 }
                 i = j;
             }
-        }
-        counts.shards = radix_partition(acc, num);
-        counts
+            counts.shards = radix_partition(acc, num);
+            counts
+        })
     })?;
     let cleaned_count: u64 = built.iter().map(|b| b.cleaned).sum();
     let with_trips: u64 = built.iter().map(|b| b.with_trips).sum();
@@ -337,8 +449,10 @@ pub fn fold_projected(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::clean::order_and_filter_vessel;
     use crate::codec;
     use crate::pipeline::run;
+    use crate::trips::extract_for_vessel;
     use pol_fleetsim::scenario::{generate, ScenarioConfig};
     use pol_fleetsim::WORLD_PORTS;
 

@@ -181,8 +181,11 @@ mod tests {
         assert_eq!(reference, crate::codec::to_bytes(&b.inventory));
         // The fused executor must agree with the staged path — same
         // inventory bytes, stage counts and clean accounting — at every
-        // thread count (the acceptance bar: 1, 2 and 8 threads).
-        for threads in [1, 2, 8] {
+        // thread count, including pools far wider than the partition
+        // count's parallelism sweet spot (16 threads exercises workers
+        // that never receive a task, and the per-worker scratch arenas
+        // at maximum pool width).
+        for threads in [1, 2, 8, 16] {
             let f = crate::fused::run_fused(
                 &Engine::new(threads),
                 ds.positions.clone(),

@@ -13,14 +13,21 @@ use crate::config::PipelineConfig;
 use crate::records::{EnrichedReport, PortSite, TripPoint};
 use pol_engine::{Dataset, Engine, EngineError};
 use pol_geo::haversine_km;
-use pol_hexgrid::{cell_at, grid_disk, CellIndex, Resolution};
+use pol_hexgrid::{cell_at, cell_axial_at, grid_disk, Resolution};
 use pol_sketch::hash::FxHashMap;
 use std::sync::Arc;
 
 /// The hex-grid port geofence.
+///
+/// Keyed by *axial coordinates* at the geofence resolution rather than by
+/// full [`pol_hexgrid::CellIndex`]: within one resolution axial coordinates
+/// identify a cell uniquely, and [`pol_hexgrid::cell_axial_at`] skips the
+/// digit walk and base-cell probe that dominate `cell_at`. `port_at` runs
+/// once per cleaned report in every build path, so halving its cost moves
+/// the whole pipeline.
 pub struct Geofence {
     resolution: Resolution,
-    cell_to_port: FxHashMap<CellIndex, u16>,
+    axial_to_port: FxHashMap<(i64, i64), u16>,
 }
 
 impl Geofence {
@@ -30,7 +37,7 @@ impl Geofence {
     /// so that small radii still get a few cells of coverage.
     pub fn build(ports: &[PortSite], resolution: Resolution) -> Geofence {
         let edge = pol_hexgrid::avg_edge_length_km(resolution);
-        let mut cell_to_port = FxHashMap::default();
+        let mut axial_to_port = FxHashMap::default();
         for port in ports {
             let center = cell_at(port.pos, resolution);
             // k rings to cover the radius (edge ≈ circumradius; ring k
@@ -39,28 +46,28 @@ impl Geofence {
             for cell in grid_disk(center, k) {
                 let c = pol_hexgrid::cell_center(cell);
                 if haversine_km(c, port.pos) <= port.radius_km + edge {
+                    let ax = cell.axial();
                     // First writer wins: overlapping ports keep the earlier
                     // (conventionally bigger) port.
-                    cell_to_port.entry(cell).or_insert(port.id);
+                    axial_to_port.entry((ax.q, ax.r)).or_insert(port.id);
                 }
             }
         }
         Geofence {
             resolution,
-            cell_to_port,
+            axial_to_port,
         }
     }
 
     /// The port whose geofence contains the position, if any.
     pub fn port_at(&self, pos: pol_geo::LatLon) -> Option<u16> {
-        self.cell_to_port
-            .get(&cell_at(pos, self.resolution))
-            .copied()
+        let ax = cell_axial_at(pos, self.resolution);
+        self.axial_to_port.get(&(ax.q, ax.r)).copied()
     }
 
     /// Number of geofence cells.
     pub fn cell_count(&self) -> usize {
-        self.cell_to_port.len()
+        self.axial_to_port.len()
     }
 }
 
@@ -146,6 +153,16 @@ impl TripTracker {
         (self.last_port, self.seq, &self.current)
     }
 
+    /// Resets to a fresh tracker for the next vessel, retaining the open
+    /// passage buffer's capacity — the fused executor reuses one tracker
+    /// across vessel morsels so the steady state allocates nothing.
+    pub fn reset(&mut self, min_points: usize) {
+        self.min_points = min_points;
+        self.last_port = None;
+        self.seq = 0;
+        self.current.clear();
+    }
+
     /// Feeds the vessel's next cleaned report. When it lands in a port
     /// geofence and closes a qualifying passage, the finished trip's
     /// annotated points are appended to `out` and `true` is returned.
@@ -194,6 +211,18 @@ pub fn extract_for_vessel(
     out: &mut Vec<TripPoint>,
 ) {
     let mut tracker = TripTracker::new(min_points);
+    extract_for_vessel_with(&mut tracker, geofence, reports, out);
+}
+
+/// [`extract_for_vessel`] with a caller-owned tracker (call
+/// [`TripTracker::reset`] between vessels), so the passage buffer's
+/// capacity survives across morsels instead of reallocating per vessel.
+pub fn extract_for_vessel_with(
+    tracker: &mut TripTracker,
+    geofence: &Geofence,
+    reports: &[EnrichedReport],
+    out: &mut Vec<TripPoint>,
+) {
     for r in reports {
         tracker.push(geofence, r, out);
     }
@@ -373,6 +402,29 @@ mod tests {
         reports.push(rep(1200, pol_geo::interpolate(ps[0].pos, ps[1].pos, 0.6)));
         reports.push(rep(1800, ps[1].pos));
         assert!(run(reports).is_empty());
+    }
+
+    #[test]
+    fn reset_tracker_matches_fresh_tracker() {
+        let g = Geofence::build(&ports(), Resolution::new(7).unwrap());
+        let reports = crossing();
+        let mut fresh = Vec::new();
+        extract_for_vessel(&g, &reports, 5, &mut fresh);
+        assert!(!fresh.is_empty());
+        // Dirty a tracker mid-passage, then reset: it must replay exactly
+        // like a new one (the fused executor's reuse pattern).
+        let mut tracker = TripTracker::new(3);
+        let mut scratch = Vec::new();
+        extract_for_vessel_with(
+            &mut tracker,
+            &g,
+            &reports[..reports.len() / 2],
+            &mut scratch,
+        );
+        tracker.reset(5);
+        let mut reused = Vec::new();
+        extract_for_vessel_with(&mut tracker, &g, &reports, &mut reused);
+        assert_eq!(fresh, reused);
     }
 
     #[test]

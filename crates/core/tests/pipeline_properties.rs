@@ -243,9 +243,10 @@ proptest! {
             &cfg,
         ).unwrap();
         let reference = codec::to_bytes(&staged.inventory);
-        for threads in [1usize, 2, 8] {
+        for threads in [1usize, 2, 8, 16] {
+            let engine = Engine::new(threads);
             let fused = pol_core::run_fused(
-                &Engine::new(threads),
+                &engine,
                 positions.clone(),
                 &st,
                 &ports,
@@ -262,6 +263,23 @@ proptest! {
                 &reference,
                 &codec::to_bytes(&fused.inventory),
                 "inventory bytes at {} threads",
+                threads
+            );
+            // Second run on the SAME engine: the per-worker scratch
+            // arenas are now warm, so this exercises the buffer-reuse
+            // path (stale capacity, retained trip trackers) rather than
+            // the cold-allocation path.
+            let warm = pol_core::run_fused(
+                &engine,
+                positions.clone(),
+                &st,
+                &ports,
+                &cfg,
+            ).unwrap();
+            prop_assert_eq!(
+                &reference,
+                &codec::to_bytes(&warm.inventory),
+                "warm-scratch inventory bytes at {} threads",
                 threads
             );
         }

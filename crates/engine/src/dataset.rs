@@ -84,9 +84,7 @@ impl<T: Send + 'static> Dataset<T> {
     {
         let started = Instant::now();
         let input_records = self.count() as u64;
-        let out = engine
-            .pool()
-            .run_stage(stage, self.partitions, move |_, part| f(part))?;
+        let out = engine.run_tasks(stage, self.partitions, move |_, part| f(part))?;
         let result = Dataset { partitions: out };
         engine.metrics().record(StageReport {
             name: stage.to_string(),

@@ -58,16 +58,14 @@ where
         let input_records = self.inner.count() as u64;
         // Map side: split every input partition into `num` buckets.
         let bucketed: Vec<Vec<Vec<(K, V)>>> =
-            engine
-                .pool()
-                .run_stage(stage, self.inner.into_partitions(), move |_, part| {
-                    let mut buckets: Vec<Vec<(K, V)>> = (0..num).map(|_| Vec::new()).collect();
-                    for (k, v) in part {
-                        let b = (hash64(&k) % num as u64) as usize;
-                        buckets[b].push((k, v));
-                    }
-                    buckets
-                })?;
+            engine.run_tasks(stage, self.inner.into_partitions(), move |_, part| {
+                let mut buckets: Vec<Vec<(K, V)>> = (0..num).map(|_| Vec::new()).collect();
+                for (k, v) in part {
+                    let b = (hash64(&k) % num as u64) as usize;
+                    buckets[b].push((k, v));
+                }
+                buckets
+            })?;
         // Reduce side: transpose-concatenate bucket b of every map output.
         let mut out: Vec<Vec<(K, V)>> = (0..num).map(|_| Vec::new()).collect();
         for map_out in bucketed {
@@ -120,15 +118,13 @@ where
         let z1 = zero.clone();
         let s1 = seq.clone();
         let sharded: Vec<Vec<Vec<(K, A)>>> =
-            engine
-                .pool()
-                .run_stage(stage, self.inner.into_partitions(), move |_, part| {
-                    let mut acc: FxHashMap<K, A> = FxHashMap::default();
-                    for (k, v) in part {
-                        s1(acc.entry(k).or_insert_with(|| z1()), v);
-                    }
-                    radix_partition(acc, num)
-                })?;
+            engine.run_tasks(stage, self.inner.into_partitions(), move |_, part| {
+                let mut acc: FxHashMap<K, A> = FxHashMap::default();
+                for (k, v) in part {
+                    s1(acc.entry(k).or_insert_with(|| z1()), v);
+                }
+                radix_partition(acc, num)
+            })?;
         let shuffled: u64 = sharded
             .iter()
             .flat_map(|w| w.iter())
@@ -228,49 +224,48 @@ where
             .inner
             .into_partitions();
         let zipped: Vec<(Vec<(K, V)>, Vec<(K, W)>)> = left.into_iter().zip(right).collect();
-        let joined: Vec<Vec<(K, (V, W))>> =
-            engine.pool().run_stage(stage, zipped, |_, (l, r)| {
-                let mut by_key: FxHashMap<K, Vec<W>> = FxHashMap::default();
-                for (k, w) in r {
-                    by_key.entry(k).or_default().push(w);
+        let joined: Vec<Vec<(K, (V, W))>> = engine.run_tasks(stage, zipped, |_, (l, r)| {
+            let mut by_key: FxHashMap<K, Vec<W>> = FxHashMap::default();
+            for (k, w) in r {
+                by_key.entry(k).or_default().push(w);
+            }
+            // How many left records still need each key: the last use
+            // consumes the right-side values instead of cloning them,
+            // and the final pair of every record moves `k`/`v` outright
+            // (a 1:1 join therefore clones nothing in this loop).
+            let mut remaining: FxHashMap<K, usize> = FxHashMap::default();
+            for (k, _) in &l {
+                if let Some(n) = remaining.get_mut(k) {
+                    *n += 1;
+                } else if by_key.contains_key(k) {
+                    remaining.insert(k.clone(), 1);
                 }
-                // How many left records still need each key: the last use
-                // consumes the right-side values instead of cloning them,
-                // and the final pair of every record moves `k`/`v` outright
-                // (a 1:1 join therefore clones nothing in this loop).
-                let mut remaining: FxHashMap<K, usize> = FxHashMap::default();
-                for (k, _) in &l {
-                    if let Some(n) = remaining.get_mut(k) {
-                        *n += 1;
-                    } else if by_key.contains_key(k) {
-                        remaining.insert(k.clone(), 1);
+            }
+            let mut out = Vec::new();
+            for (k, v) in l {
+                let Some(n) = remaining.get_mut(&k) else {
+                    continue; // no match on the right
+                };
+                *n -= 1;
+                if *n == 0 {
+                    let mut ws = by_key.remove(&k).unwrap_or_default();
+                    if let Some(w_last) = ws.pop() {
+                        for w in ws {
+                            out.push((k.clone(), (v.clone(), w)));
+                        }
+                        out.push((k, (v, w_last)));
+                    }
+                } else if let Some(ws) = by_key.get(&k) {
+                    if let Some((w_last, init)) = ws.split_last() {
+                        for w in init {
+                            out.push((k.clone(), (v.clone(), w.clone())));
+                        }
+                        out.push((k, (v, w_last.clone())));
                     }
                 }
-                let mut out = Vec::new();
-                for (k, v) in l {
-                    let Some(n) = remaining.get_mut(&k) else {
-                        continue; // no match on the right
-                    };
-                    *n -= 1;
-                    if *n == 0 {
-                        let mut ws = by_key.remove(&k).unwrap_or_default();
-                        if let Some(w_last) = ws.pop() {
-                            for w in ws {
-                                out.push((k.clone(), (v.clone(), w)));
-                            }
-                            out.push((k, (v, w_last)));
-                        }
-                    } else if let Some(ws) = by_key.get(&k) {
-                        if let Some((w_last, init)) = ws.split_last() {
-                            for w in init {
-                                out.push((k.clone(), (v.clone(), w.clone())));
-                            }
-                            out.push((k, (v, w_last.clone())));
-                        }
-                    }
-                }
-                out
-            })?;
+            }
+            out
+        })?;
         let result = Dataset::from_partitions(joined);
         engine.metrics().record(StageReport {
             name: stage.to_string(),
@@ -287,12 +282,21 @@ where
 /// the map side of the two-phase parallel merge. Entries keep the map's
 /// iteration order within each bucket, which keeps downstream merges
 /// deterministic for a deterministic input partitioning.
+///
+/// Two passes: a counting pass sizes every bucket exactly, so the scatter
+/// pass never reallocates (the classic radix-sort layout; with 32 shards a
+/// growth-doubling scatter was a measurable share of build-phase
+/// allocations).
 pub fn radix_partition<K, A>(acc: FxHashMap<K, A>, shards: usize) -> Vec<Vec<(K, A)>>
 where
     K: Eq + Hash,
 {
     let shards = shards.max(1);
-    let mut out: Vec<Vec<(K, A)>> = (0..shards).map(|_| Vec::new()).collect();
+    let mut counts = vec![0usize; shards];
+    for k in acc.keys() {
+        counts[(hash64(k) % shards as u64) as usize] += 1;
+    }
+    let mut out: Vec<Vec<(K, A)>> = counts.iter().map(|&c| Vec::with_capacity(c)).collect();
     for (k, a) in acc {
         let b = (hash64(&k) % shards as u64) as usize;
         out[b].push((k, a));
@@ -341,25 +345,22 @@ where
     // Errors keep the caller's stage name; only the metrics row carries
     // the `:radix-merge` suffix.
     let merge_stage = format!("{stage}:radix-merge");
-    let reduced: Vec<Vec<(K, A)>> =
-        engine
-            .pool()
-            .run_stage(stage, transposed, move |_, buckets| {
-                let mut acc: FxHashMap<K, A> = FxHashMap::default();
-                for bucket in buckets {
-                    for (k, a) in bucket {
-                        match acc.entry(k) {
-                            std::collections::hash_map::Entry::Occupied(mut e) => {
-                                comb(e.get_mut(), a);
-                            }
-                            std::collections::hash_map::Entry::Vacant(e) => {
-                                e.insert(a);
-                            }
-                        }
+    let reduced: Vec<Vec<(K, A)>> = engine.run_tasks(stage, transposed, move |_, buckets| {
+        let mut acc: FxHashMap<K, A> = FxHashMap::default();
+        for bucket in buckets {
+            for (k, a) in bucket {
+                match acc.entry(k) {
+                    std::collections::hash_map::Entry::Occupied(mut e) => {
+                        comb(e.get_mut(), a);
+                    }
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(a);
                     }
                 }
-                acc.into_iter().collect()
-            })?;
+            }
+        }
+        acc.into_iter().collect()
+    })?;
     let result = Dataset::from_partitions(reduced);
     engine.metrics().record(StageReport {
         name: merge_stage,

@@ -28,14 +28,16 @@ pub mod error;
 pub mod keyed;
 pub mod metrics;
 pub mod pool;
+pub mod profile;
 
 pub use dataset::Dataset;
 pub use error::{EngineError, EngineErrorKind};
 pub use keyed::{merge_combiner_shards, radix_partition, KeyedDataset};
-pub use metrics::{JobMetrics, StageReport};
+pub use metrics::{JobMetrics, StageReport, TaskProfile};
 pub use pool::ThreadPool;
 
 use std::sync::Arc;
+use std::time::Instant;
 
 /// The execution context: thread pool + metrics. Clone-cheap (shared
 /// internals), like a `SparkContext` handle.
@@ -94,9 +96,11 @@ impl Engine {
 
     /// Runs `f` over `inputs` on the engine's pool, one task per input,
     /// returning results in input order. Unlike the [`Dataset`]
-    /// transformations this records no metrics — callers that fuse several
-    /// logical stages into one pass (see `pol-core`'s fused executor)
-    /// account for their own record counts.
+    /// transformations this records no [`StageReport`] — callers that fuse
+    /// several logical stages into one pass (see `pol-core`'s fused
+    /// executor) account for their own record counts. It does record one
+    /// [`TaskProfile`] per task (worker, wall, allocation deltas), which is
+    /// what `polbuild --profile` renders.
     pub fn run_tasks<I, R, F>(
         &self,
         stage: &str,
@@ -108,11 +112,24 @@ impl Engine {
         R: Send + 'static,
         F: Fn(usize, I) -> R + Send + Sync + 'static,
     {
-        self.pool.run_stage(stage, inputs, f)
-    }
-
-    pub(crate) fn pool(&self) -> &ThreadPool {
-        &self.pool
+        let metrics = self.metrics.clone();
+        let name: Arc<str> = Arc::from(stage);
+        self.pool.run_stage(stage, inputs, move |idx, input| {
+            let (a0, b0) = profile::thread_totals();
+            let started = Instant::now();
+            let out = f(idx, input);
+            let wall = started.elapsed();
+            let (a1, b1) = profile::thread_totals();
+            metrics.record_task(TaskProfile {
+                stage: name.to_string(),
+                task: idx,
+                worker: profile::current_worker(),
+                wall,
+                allocs: a1 - a0,
+                alloc_bytes: b1 - b0,
+            });
+            out
+        })
     }
 }
 
@@ -127,6 +144,25 @@ mod tests {
         assert_eq!(e.default_partitions(), Engine::DEFAULT_PARTITIONS);
         let e0 = Engine::new(0);
         assert_eq!(e0.threads(), 1, "clamped to one thread");
+    }
+
+    #[test]
+    fn run_tasks_records_worker_attributed_profiles() {
+        let e = Engine::new(2);
+        let out = e
+            .run_tasks("probe", vec![1u32, 2, 3], |_, x| x * 2)
+            .unwrap();
+        assert_eq!(out, vec![2, 4, 6]);
+        let profiles = e.metrics().task_profiles();
+        let probe: Vec<_> = profiles.iter().filter(|t| t.stage == "probe").collect();
+        assert_eq!(probe.len(), 3, "one profile per task");
+        for t in &probe {
+            assert!(t.worker.is_some(), "tasks run on tagged pool workers");
+            assert!(t.worker.unwrap() < 2);
+        }
+        let tasks: std::collections::BTreeSet<usize> = probe.iter().map(|t| t.task).collect();
+        assert_eq!(tasks, (0..3).collect());
+        assert!(e.metrics().render_profile().contains("probe"));
     }
 
     #[test]

@@ -47,8 +47,9 @@ pub mod stats;
 
 pub use compact::{compact, uncompact};
 pub use grid::{
-    cell_at, cell_boundary, cell_center, cells_in_bbox, children, grid_disk, grid_distance,
-    neighbors, parent, parent_at,
+    cell_at, cell_axial_at, cell_boundary, cell_center, cells_in_bbox, children, grid_disk,
+    grid_distance, neighbors, parent, parent_at,
 };
 pub use index::{CellIndex, InvalidCellIndex, Resolution};
+pub use lattice::Axial;
 pub use stats::{avg_cell_area_km2, avg_edge_length_km, num_cells};

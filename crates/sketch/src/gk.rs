@@ -25,11 +25,22 @@ pub struct GkSketch {
     epsilon: f64,
     n: u64,
     tuples: Vec<Tuple>, // sorted by v
-    buffer: Vec<f64>,
+    /// First [`INLINE_CAP`] buffered values, stored inline: the inventory
+    /// holds one sketch per (cell, key) and most see only a handful of
+    /// values, so the common case never touches the heap.
+    inline: [f64; INLINE_CAP],
+    inline_len: u8,
+    /// Buffered values past the inline capacity. Cleared (capacity
+    /// retained) on flush, so a hot sketch allocates once and then runs
+    /// allocation-free.
+    spill: Vec<f64>,
 }
 
 /// Buffered insertions between merge passes (amortises the O(s) insert).
 const BUFFER_CAP: usize = 512;
+
+/// Buffered values held inline before spilling to the heap.
+const INLINE_CAP: usize = 16;
 
 impl GkSketch {
     /// Creates a sketch with rank-error bound `epsilon` (e.g. `0.01`).
@@ -41,13 +52,13 @@ impl GkSketch {
             epsilon > 0.0 && epsilon < 0.5,
             "epsilon {epsilon} out of (0, 0.5)"
         );
-        // No preallocation: the inventory holds one sketch per (cell, key)
-        // and most see only a handful of values.
         Self {
             epsilon,
             n: 0,
             tuples: Vec::new(),
-            buffer: Vec::new(),
+            inline: [0.0; INLINE_CAP],
+            inline_len: 0,
+            spill: Vec::new(),
         }
     }
 
@@ -56,9 +67,14 @@ impl GkSketch {
         self.epsilon
     }
 
+    /// Values currently buffered (inline + spill).
+    fn buffered(&self) -> usize {
+        self.inline_len as usize + self.spill.len()
+    }
+
     /// Number of observations.
     pub fn count(&self) -> u64 {
-        self.n + self.buffer.len() as u64
+        self.n + self.buffered() as u64
     }
 
     /// Adds one observation. Non-finite values are ignored.
@@ -67,21 +83,35 @@ impl GkSketch {
         if !x.is_finite() {
             return;
         }
-        self.buffer.push(x);
-        if self.buffer.len() >= BUFFER_CAP {
+        // Invariant: the spill is only non-empty while the inline buffer
+        // is full, so buffered insertion order is inline-then-spill.
+        if (self.inline_len as usize) < INLINE_CAP {
+            self.inline[self.inline_len as usize] = x;
+            self.inline_len += 1;
+        } else {
+            self.spill.push(x);
+        }
+        if self.buffered() >= BUFFER_CAP {
             self.flush();
         }
     }
 
     fn flush(&mut self) {
-        if self.buffer.is_empty() {
+        if self.buffered() == 0 {
             return;
         }
-        let mut batch = std::mem::take(&mut self.buffer);
-        batch.sort_by(f64::total_cmp);
-        let mut merged = Vec::with_capacity(self.tuples.len() + batch.len());
+        // Gather the batch in one sortable slice. Appending the inline
+        // values after the spill permutes the pre-sort order, which is
+        // immaterial: `total_cmp`-equal f64s are bit-identical, so the
+        // sorted value sequence (and with it every derived tuple) is
+        // independent of both the pre-sort order and sort stability.
+        self.spill
+            .extend_from_slice(&self.inline[..self.inline_len as usize]);
+        self.inline_len = 0;
+        self.spill.sort_unstable_by(f64::total_cmp);
+        let mut merged = Vec::with_capacity(self.tuples.len() + self.spill.len());
         let mut ti = 0;
-        for x in batch {
+        for &x in &self.spill {
             while ti < self.tuples.len() && self.tuples[ti].v <= x {
                 merged.push(self.tuples[ti]);
                 ti += 1;
@@ -96,6 +126,7 @@ impl GkSketch {
         }
         merged.extend_from_slice(&self.tuples[ti..]);
         self.tuples = merged;
+        self.spill.clear();
         self.compress();
     }
 
@@ -104,32 +135,28 @@ impl GkSketch {
             return;
         }
         let threshold = (2.0 * self.epsilon * self.n as f64).floor() as u64;
-        let mut out: Vec<Tuple> = Vec::with_capacity(self.tuples.len());
-        // Keep the first tuple (exact minimum); greedily fold forward.
-        let Some(&first) = self.tuples.first() else {
-            return;
-        };
-        out.push(first);
+        // In-place greedy forward fold: `w` is the write cursor; the first
+        // tuple (exact minimum) is kept and never folded into.
+        let mut w = 1;
         for i in 1..self.tuples.len() {
             let cur = self.tuples[i];
             // Never fold the exact-minimum tuple into its successor, and
             // never exceed the error budget.
-            if out.len() > 1 {
-                if let Some(last) = out.last_mut() {
-                    if last.g + cur.g + cur.delta <= threshold {
-                        let g = last.g + cur.g;
-                        *last = Tuple {
-                            v: cur.v,
-                            g,
-                            delta: cur.delta,
-                        };
-                        continue;
-                    }
+            if w > 1 {
+                let last = self.tuples[w - 1];
+                if last.g + cur.g + cur.delta <= threshold {
+                    self.tuples[w - 1] = Tuple {
+                        v: cur.v,
+                        g: last.g + cur.g,
+                        delta: cur.delta,
+                    };
+                    continue;
                 }
             }
-            out.push(cur);
+            self.tuples[w] = cur;
+            w += 1;
         }
-        self.tuples = out;
+        self.tuples.truncate(w);
     }
 
     /// The value at quantile `phi ∈ [0, 1]`, with rank error ≤ `ε·n`
@@ -201,13 +228,28 @@ impl GkSketch {
                 .into_iter()
                 .map(|(v, g, delta)| Tuple { v, g, delta })
                 .collect(),
-            buffer: Vec::new(),
+            inline: [0.0; INLINE_CAP],
+            inline_len: 0,
+            spill: Vec::new(),
         })
     }
 }
 
 impl MergeSketch for GkSketch {
     fn merge(&mut self, other: &Self) {
+        if other.tuples.is_empty() {
+            // Pure-buffer other (never flushed): replaying its buffered
+            // values as plain insertions is exact — no tuple lists need to
+            // exist, so small-sketch merges stay allocation-free. This is
+            // the common case for per-cell sketches merged across shards.
+            for &x in &other.inline[..other.inline_len as usize] {
+                self.add(x);
+            }
+            for &x in &other.spill {
+                self.add(x);
+            }
+            return;
+        }
         let mut other = other.clone();
         other.flush();
         self.flush();
@@ -328,6 +370,20 @@ mod tests {
         assert_eq!(g.quantile(0.0), Some(0.0));
         let hi = g.quantile(1.0).unwrap();
         assert!(hi >= 999.0 - 50.0, "p100 {hi}");
+    }
+
+    #[test]
+    fn flush_boundary_counts_inline_and_spill_together() {
+        // The inline buffer and the spill vector jointly count toward
+        // BUFFER_CAP, so flush points are unchanged by the inline refit.
+        let mut g = GkSketch::new(0.01);
+        for i in 0..(BUFFER_CAP * 3 + 17) {
+            g.add(i as f64);
+        }
+        assert_eq!(g.count(), (BUFFER_CAP * 3 + 17) as u64);
+        assert_eq!(g.quantile(0.0), Some(0.0));
+        let hi = g.quantile(1.0).unwrap();
+        assert!(hi >= (BUFFER_CAP * 3) as f64, "p100 {hi}");
     }
 
     #[test]

@@ -110,6 +110,83 @@ pub const DEFAULT_EXACT_LIMIT: usize = 256;
 /// Default HLL precision used after promotion.
 pub const DEFAULT_HLL_PRECISION: u8 = 12;
 
+/// Hashes held inline by a [`SmallSet`] before spilling to the heap.
+const SMALL_INLINE: usize = 16;
+
+/// A tiny hash set for [`Distinct`]'s exact phase: the first
+/// [`SMALL_INLINE`] hashes live inline (no heap), the rest spill to an
+/// `FxHashSet`. Most inventory cells see only a handful of distinct ships
+/// and trips, so the common case allocates nothing.
+#[derive(Clone, Debug, Default)]
+pub struct SmallSet {
+    inline: [u64; SMALL_INLINE],
+    len: u8,
+    spill: FxHashSet<u64>,
+}
+
+impl SmallSet {
+    /// An empty set.
+    pub fn new() -> SmallSet {
+        SmallSet::default()
+    }
+
+    /// Whether `h` is in the set.
+    pub fn contains(&self, h: u64) -> bool {
+        self.inline[..self.len as usize].contains(&h) || self.spill.contains(&h)
+    }
+
+    /// Inserts `h`; returns `true` when it was not present.
+    pub fn insert(&mut self, h: u64) -> bool {
+        if self.contains(h) {
+            return false;
+        }
+        if (self.len as usize) < SMALL_INLINE {
+            self.inline[self.len as usize] = h;
+            self.len += 1;
+        } else {
+            self.spill.insert(h);
+        }
+        true
+    }
+
+    /// Number of distinct hashes.
+    pub fn len(&self) -> usize {
+        self.len as usize + self.spill.len()
+    }
+
+    /// True when the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterates over the hashes (inline first, then spill; no order
+    /// guarantee — callers that need canonical output must sort).
+    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        self.inline[..self.len as usize]
+            .iter()
+            .copied()
+            .chain(self.spill.iter().copied())
+    }
+}
+
+impl PartialEq for SmallSet {
+    /// Set equality — storage split between inline and spill is not
+    /// observable.
+    fn eq(&self, other: &Self) -> bool {
+        self.len() == other.len() && self.iter().all(|h| other.contains(h))
+    }
+}
+
+impl FromIterator<u64> for SmallSet {
+    fn from_iter<I: IntoIterator<Item = u64>>(iter: I) -> SmallSet {
+        let mut s = SmallSet::new();
+        for h in iter {
+            s.insert(h);
+        }
+        s
+    }
+}
+
 /// Exact-until-promoted distinct counter over pre-hashed identities.
 ///
 /// Stores 64-bit hashes, not the values, so the memory bound is crisp and
@@ -117,7 +194,7 @@ pub const DEFAULT_HLL_PRECISION: u8 = 12;
 #[derive(Clone, Debug, PartialEq)]
 pub enum Distinct {
     /// Exact phase: the set of hashes seen so far.
-    Exact(FxHashSet<u64>),
+    Exact(SmallSet),
     /// Approximate phase after exceeding the exact limit.
     Approx(HyperLogLog),
 }
@@ -131,7 +208,7 @@ impl Default for Distinct {
 impl Distinct {
     /// A fresh, exact counter.
     pub fn new() -> Self {
-        Distinct::Exact(FxHashSet::default())
+        Distinct::Exact(SmallSet::new())
     }
 
     /// Observes a value.
@@ -146,7 +223,7 @@ impl Distinct {
                 set.insert(h);
                 if set.len() > DEFAULT_EXACT_LIMIT {
                     let mut hll = HyperLogLog::new(DEFAULT_HLL_PRECISION);
-                    for &v in set.iter() {
+                    for v in set.iter() {
                         hll.add_hash(v);
                     }
                     *self = Distinct::Approx(hll);
@@ -174,13 +251,12 @@ impl MergeSketch for Distinct {
     fn merge(&mut self, other: &Self) {
         match (&mut *self, other) {
             (Distinct::Exact(a), Distinct::Exact(b)) => {
-                for &h in b.iter() {
-                    // Route through add_hash to honour promotion.
+                for h in b.iter() {
                     a.insert(h);
                 }
                 if a.len() > DEFAULT_EXACT_LIMIT {
                     let mut hll = HyperLogLog::new(DEFAULT_HLL_PRECISION);
-                    for &v in a.iter() {
+                    for v in a.iter() {
                         hll.add_hash(v);
                     }
                     *self = Distinct::Approx(hll);
@@ -188,13 +264,13 @@ impl MergeSketch for Distinct {
             }
             (Distinct::Exact(a), Distinct::Approx(b)) => {
                 let mut hll = b.clone();
-                for &v in a.iter() {
+                for v in a.iter() {
                     hll.add_hash(v);
                 }
                 *self = Distinct::Approx(hll);
             }
             (Distinct::Approx(a), Distinct::Exact(b)) => {
-                for &v in b.iter() {
+                for v in b.iter() {
                     a.add_hash(v);
                 }
             }
@@ -257,6 +333,26 @@ mod tests {
         }
         a.merge(&b);
         assert_eq!(a, u, "register-wise max must equal union sketch");
+    }
+
+    #[test]
+    fn small_set_spills_past_inline_capacity() {
+        let mut s = SmallSet::new();
+        for h in 0..40u64 {
+            assert!(s.insert(h), "first insert of {h}");
+        }
+        for h in 0..40u64 {
+            assert!(!s.insert(h), "duplicate insert of {h}");
+            assert!(s.contains(h));
+        }
+        assert_eq!(s.len(), 40);
+        let mut all: Vec<u64> = s.iter().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..40u64).collect::<Vec<_>>());
+        // Set equality ignores the inline/spill storage split.
+        let rev: SmallSet = (0..40u64).rev().collect();
+        assert_eq!(s, rev);
+        assert_ne!(s, SmallSet::new());
     }
 
     #[test]

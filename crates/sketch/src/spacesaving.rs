@@ -9,7 +9,7 @@
 //! `> n / capacity` is present, and every reported count overestimates the
 //! true count by at most the stored `error`.
 
-use crate::hash::FxHashMap;
+use crate::hash::{hash64, FxHashMap};
 use crate::MergeSketch;
 use std::hash::Hash;
 
@@ -23,11 +23,29 @@ pub struct Counter {
     pub error: u64,
 }
 
+/// Capacity at or below which monitored items are stored inline (no heap).
+/// The pipeline default `top_n_capacity` is 8, so inventory builds keep all
+/// three per-cell Top-N sketches allocation-free.
+const INLINE_SLOTS: usize = 8;
+
+/// Counter storage: a fixed slot array for small capacities, a hash map
+/// beyond that. The variant is decided once by `capacity` and never changes.
+#[derive(Clone, Debug)]
+enum Slots<T> {
+    /// `slots[..len]` are `Some`, the rest `None`. Eviction replaces the
+    /// first minimal slot in slot order, so the layout is deterministic.
+    Inline {
+        slots: [Option<(T, Counter)>; INLINE_SLOTS],
+        len: u8,
+    },
+    Heap(FxHashMap<T, Counter>),
+}
+
 /// The SpaceSaving sketch over items of type `T`.
 #[derive(Clone, Debug)]
 pub struct SpaceSaving<T: Eq + Hash + Clone> {
     capacity: usize,
-    items: FxHashMap<T, Counter>,
+    slots: Slots<T>,
     total: u64,
 }
 
@@ -40,8 +58,19 @@ impl<T: Eq + Hash + Clone> SpaceSaving<T> {
         assert!(capacity > 0, "capacity must be positive");
         Self {
             capacity,
-            items: FxHashMap::default(),
+            slots: Self::empty_slots(capacity),
             total: 0,
+        }
+    }
+
+    fn empty_slots(capacity: usize) -> Slots<T> {
+        if capacity <= INLINE_SLOTS {
+            Slots::Inline {
+                slots: std::array::from_fn(|_| None),
+                len: 0,
+            }
+        } else {
+            Slots::Heap(FxHashMap::default())
         }
     }
 
@@ -56,46 +85,86 @@ impl<T: Eq + Hash + Clone> SpaceSaving<T> {
             return;
         }
         self.total += weight;
-        if let Some(c) = self.items.get_mut(&item) {
-            c.count += weight;
-            return;
+        let capacity = self.capacity;
+        match &mut self.slots {
+            Slots::Inline { slots, len } => {
+                let used = *len as usize;
+                if let Some((_, c)) = slots[..used].iter_mut().flatten().find(|(k, _)| *k == item) {
+                    c.count += weight;
+                    return;
+                }
+                if used < capacity {
+                    slots[used] = Some((
+                        item,
+                        Counter {
+                            count: weight,
+                            error: 0,
+                        },
+                    ));
+                    *len += 1;
+                    return;
+                }
+                // Evict the first minimal counter in slot order; the
+                // newcomer takes its slot and inherits its count as error.
+                // (`slots[..used]` are all `Some` by the len invariant; a
+                // zero-capacity sketch has nothing to evict and drops.)
+                let count_at =
+                    |e: &Option<(T, Counter)>| e.as_ref().map_or(u64::MAX, |s| s.1.count);
+                let Some(min_i) = (0..used).min_by_key(|&i| count_at(&slots[i])) else {
+                    return;
+                };
+                let min_count = slots[min_i].as_ref().map_or(0, |s| s.1.count);
+                slots[min_i] = Some((
+                    item,
+                    Counter {
+                        count: min_count + weight,
+                        error: min_count,
+                    },
+                ));
+            }
+            Slots::Heap(items) => {
+                if let Some(c) = items.get_mut(&item) {
+                    c.count += weight;
+                    return;
+                }
+                if items.len() < capacity {
+                    items.insert(
+                        item,
+                        Counter {
+                            count: weight,
+                            error: 0,
+                        },
+                    );
+                    return;
+                }
+                // Evict the minimum counter; the newcomer inherits its count
+                // as error. (At this point len >= capacity >= 1, so a minimum
+                // always exists; an impossible empty map degrades to a plain
+                // insert.)
+                let Some((min_key, min_count)) = items
+                    .iter()
+                    .min_by_key(|(_, c)| c.count)
+                    .map(|(k, c)| (k.clone(), c.count))
+                else {
+                    items.insert(
+                        item,
+                        Counter {
+                            count: weight,
+                            error: 0,
+                        },
+                    );
+                    return;
+                };
+                items.remove(&min_key);
+                items.insert(
+                    item,
+                    Counter {
+                        count: min_count + weight,
+                        error: min_count,
+                    },
+                );
+            }
         }
-        if self.items.len() < self.capacity {
-            self.items.insert(
-                item,
-                Counter {
-                    count: weight,
-                    error: 0,
-                },
-            );
-            return;
-        }
-        // Evict the minimum counter; the newcomer inherits its count as error.
-        // (At this point len >= capacity >= 1, so a minimum always exists;
-        // an impossible empty map degrades to a plain insert.)
-        let Some((min_key, min_count)) = self
-            .items
-            .iter()
-            .min_by_key(|(_, c)| c.count)
-            .map(|(k, c)| (k.clone(), c.count))
-        else {
-            self.items.insert(
-                item,
-                Counter {
-                    count: weight,
-                    error: 0,
-                },
-            );
-            return;
-        };
-        self.items.remove(&min_key);
-        self.items.insert(
-            item,
-            Counter {
-                count: min_count + weight,
-                error: min_count,
-            },
-        );
     }
 
     /// Total weight observed (including evicted items).
@@ -105,24 +174,42 @@ impl<T: Eq + Hash + Clone> SpaceSaving<T> {
 
     /// Number of monitored items (≤ capacity).
     pub fn len(&self) -> usize {
-        self.items.len()
+        match &self.slots {
+            Slots::Inline { len, .. } => *len as usize,
+            Slots::Heap(items) => items.len(),
+        }
     }
 
     /// True when nothing has been observed.
     pub fn is_empty(&self) -> bool {
-        self.items.is_empty()
+        self.len() == 0
     }
 
     /// The estimated count for an item currently monitored.
     pub fn estimate(&self, item: &T) -> Option<Counter> {
-        self.items.get(item).copied()
+        match &self.slots {
+            Slots::Inline { slots, len } => slots[..*len as usize]
+                .iter()
+                .flatten()
+                .find(|(k, _)| k == item)
+                .map(|(_, c)| *c),
+            Slots::Heap(items) => items.get(item).copied(),
+        }
     }
 
     /// The `n` heaviest items, descending by estimated count.
-    /// Ties break on lower error (more certain first).
+    /// Ties break on lower error (more certain first), then on item hash so
+    /// the order is a function of the contents alone — a freshly built sketch
+    /// and one decoded from wire bytes rank full ties identically even though
+    /// their storage iteration orders differ.
     pub fn top(&self, n: usize) -> Vec<(T, Counter)> {
-        let mut all: Vec<(T, Counter)> = self.items.iter().map(|(k, c)| (k.clone(), *c)).collect();
-        all.sort_by(|a, b| b.1.count.cmp(&a.1.count).then(a.1.error.cmp(&b.1.error)));
+        let mut all: Vec<(T, Counter)> = self.iter().map(|(k, c)| (k.clone(), *c)).collect();
+        all.sort_by(|a, b| {
+            b.1.count
+                .cmp(&a.1.count)
+                .then(a.1.error.cmp(&b.1.error))
+                .then_with(|| hash64(&a.0).cmp(&hash64(&b.0)))
+        });
         all.truncate(n);
         all
     }
@@ -132,9 +219,24 @@ impl<T: Eq + Hash + Clone> SpaceSaving<T> {
         self.top(1).pop()
     }
 
-    /// Iterates over all monitored items.
+    /// Iterates over all monitored items (slot order for inline storage,
+    /// map order otherwise — callers needing canonical output must sort).
     pub fn iter(&self) -> impl Iterator<Item = (&T, &Counter)> {
-        self.items.iter()
+        let (inline, heap): (&[Option<(T, Counter)>], Option<&FxHashMap<T, Counter>>) =
+            match &self.slots {
+                Slots::Inline { slots, len } => (&slots[..*len as usize], None),
+                Slots::Heap(items) => (&[], Some(items)),
+            };
+        inline
+            .iter()
+            .flatten()
+            .map(|(k, c)| (k, c))
+            .chain(heap.into_iter().flatten())
+    }
+
+    /// Whether `item` is currently monitored.
+    fn contains(&self, item: &T) -> bool {
+        self.estimate(item).is_some()
     }
 
     /// The configured capacity.
@@ -149,9 +251,19 @@ impl<T: Eq + Hash + Clone> SpaceSaving<T> {
     pub fn from_parts(capacity: usize, total: u64, items: Vec<(T, Counter)>) -> SpaceSaving<T> {
         assert!(capacity > 0, "capacity must be positive");
         assert!(items.len() <= capacity, "items exceed capacity");
+        let mut slots = Self::empty_slots(capacity);
+        match &mut slots {
+            Slots::Inline { slots, len } => {
+                for (i, entry) in items.into_iter().enumerate() {
+                    slots[i] = Some(entry);
+                    *len += 1;
+                }
+            }
+            Slots::Heap(map) => map.extend(items),
+        }
         SpaceSaving {
             capacity,
-            items: items.into_iter().collect(),
+            slots,
             total,
         }
     }
@@ -168,47 +280,104 @@ impl<T: Eq + Hash + Clone> MergeSketch for SpaceSaving<T> {
     /// its credit is zero.
     fn merge(&mut self, other: &Self) {
         let credit = |s: &Self| -> u64 {
-            if s.items.len() < s.capacity {
+            if s.len() < s.capacity {
                 0
             } else {
-                s.items.values().map(|c| c.count).min().unwrap_or(0)
+                s.iter().map(|(_, c)| c.count).min().unwrap_or(0)
             }
         };
         let self_credit = credit(self);
         let other_credit = credit(other);
         self.total += other.total;
-        // Items monitored by `other`: add counts; items new to `self` get
-        // `self_credit` for what self may have evicted.
-        for (k, c) in &other.items {
-            match self.items.get_mut(k) {
-                Some(e) => {
-                    e.count += c.count;
-                    e.error += c.error;
+        let capacity = self.capacity;
+        match &mut self.slots {
+            Slots::Inline { slots, len } => {
+                // The union can temporarily hold up to 2×capacity items, so
+                // merge through a stack scratch twice the inline size: self's
+                // slots first, then other's new items in other's iteration
+                // order.
+                let orig = *len as usize;
+                let mut scratch: [Option<(T, Counter)>; 2 * INLINE_SLOTS] =
+                    std::array::from_fn(|_| None);
+                for (i, slot) in slots[..orig].iter_mut().enumerate() {
+                    scratch[i] = slot.take();
                 }
-                None => {
-                    self.items.insert(
-                        k.clone(),
-                        Counter {
-                            count: c.count + self_credit,
-                            error: c.error + self_credit,
-                        },
-                    );
+                *len = 0;
+                let mut n = orig;
+                // Items monitored by `other`: add counts; items new to
+                // `self` get `self_credit` for what self may have evicted.
+                for (k, c) in other.iter() {
+                    if let Some((_, e)) = scratch[..n].iter_mut().flatten().find(|(sk, _)| sk == k)
+                    {
+                        e.count += c.count;
+                        e.error += c.error;
+                    } else {
+                        scratch[n] = Some((
+                            k.clone(),
+                            Counter {
+                                count: c.count + self_credit,
+                                error: c.error + self_credit,
+                            },
+                        ));
+                        n += 1;
+                    }
+                }
+                // Items only in `self` get `other_credit` for what other may
+                // have evicted.
+                for entry in scratch[..orig].iter_mut().flatten() {
+                    if !other.contains(&entry.0) {
+                        entry.1.count += other_credit;
+                        entry.1.error += other_credit;
+                    }
+                }
+                if n > capacity {
+                    // Stable sort keeps ties in self-then-other order.
+                    // (`scratch[..n]` are all `Some`; `None` sorting last is
+                    // harmless either way.)
+                    let count_at = |e: &Option<(T, Counter)>| e.as_ref().map_or(0, |s| s.1.count);
+                    scratch[..n].sort_by(|a, b| count_at(b).cmp(&count_at(a)));
+                    n = capacity;
+                }
+                for (i, entry) in scratch[..n].iter_mut().enumerate() {
+                    slots[i] = entry.take();
+                }
+                *len = n as u8;
+            }
+            Slots::Heap(items) => {
+                // Items monitored by `other`: add counts; items new to
+                // `self` get `self_credit` for what self may have evicted.
+                for (k, c) in other.iter() {
+                    match items.get_mut(k) {
+                        Some(e) => {
+                            e.count += c.count;
+                            e.error += c.error;
+                        }
+                        None => {
+                            items.insert(
+                                k.clone(),
+                                Counter {
+                                    count: c.count + self_credit,
+                                    error: c.error + self_credit,
+                                },
+                            );
+                        }
+                    }
+                }
+                // Items only in `self` get `other_credit` for what other may
+                // have evicted.
+                for (k, e) in items.iter_mut() {
+                    if !other.contains(k) {
+                        e.count += other_credit;
+                        e.error += other_credit;
+                    }
+                }
+                if items.len() > capacity {
+                    let mut all: Vec<(T, Counter)> = items.drain().collect();
+                    all.sort_by(|a, b| b.1.count.cmp(&a.1.count));
+                    all.truncate(capacity);
+                    items.extend(all);
                 }
             }
-        }
-        // Items only in `self` get `other_credit` for what other may have
-        // evicted.
-        for (k, e) in self.items.iter_mut() {
-            if !other.items.contains_key(k) {
-                e.count += other_credit;
-                e.error += other_credit;
-            }
-        }
-        if self.items.len() > self.capacity {
-            let mut all: Vec<(T, Counter)> = self.items.drain().collect();
-            all.sort_by(|a, b| b.1.count.cmp(&a.1.count));
-            all.truncate(self.capacity);
-            self.items = all.into_iter().collect();
         }
     }
 }
@@ -304,6 +473,70 @@ mod tests {
         assert_eq!(a.total(), 150);
         let c = a.estimate(&"big".to_string()).unwrap();
         assert!(c.count >= 110);
+    }
+
+    #[test]
+    fn inline_eviction_replaces_first_minimum_slot() {
+        let mut s = SpaceSaving::new(2);
+        s.add("a");
+        s.add("b");
+        s.add("c"); // evicts "a": first minimal counter in slot order
+        assert!(s.estimate(&"a").is_none());
+        assert_eq!(s.estimate(&"b"), Some(Counter { count: 1, error: 0 }));
+        assert_eq!(s.estimate(&"c"), Some(Counter { count: 2, error: 1 }));
+        assert_eq!(s.total(), 3);
+    }
+
+    #[test]
+    fn heap_storage_evicts_and_merges_like_inline() {
+        // capacity > INLINE_SLOTS exercises the hash-map variant.
+        let mut a = SpaceSaving::new(INLINE_SLOTS + 1);
+        let mut b = SpaceSaving::new(INLINE_SLOTS + 1);
+        for _ in 0..50 {
+            a.add("big".to_string());
+        }
+        for i in 0..30u32 {
+            a.add(format!("n{i}"));
+        }
+        for _ in 0..60 {
+            b.add("big".to_string());
+        }
+        for i in 30..60u32 {
+            b.add(format!("n{i}"));
+        }
+        a.merge(&b);
+        assert_eq!(a.top1().unwrap().0, "big");
+        assert!(a.len() <= INLINE_SLOTS + 1);
+        assert_eq!(a.total(), 170);
+        let c = a.estimate(&"big".to_string()).unwrap();
+        assert!(c.count >= 110);
+        assert!(c.count - c.error <= 110);
+    }
+
+    #[test]
+    fn inline_merge_overflow_keeps_heaviest() {
+        // Two full inline sketches with disjoint items: the union overflows
+        // the capacity and must keep the heaviest, ties in self-then-other
+        // order.
+        let mut a = SpaceSaving::new(3);
+        let mut b = SpaceSaving::new(3);
+        for (item, n) in [("a1", 10u32), ("a2", 2), ("a3", 2)] {
+            for _ in 0..n {
+                a.add(item);
+            }
+        }
+        for (item, n) in [("b1", 9u32), ("b2", 8), ("b3", 1)] {
+            for _ in 0..n {
+                b.add(item);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.total(), 32);
+        // a1: 10 + other_credit(1); b1: 9 + self_credit(2); b2: 8 + 2.
+        assert_eq!(a.estimate(&"a1").map(|c| c.count), Some(11));
+        assert_eq!(a.estimate(&"b1").map(|c| c.count), Some(11));
+        assert_eq!(a.estimate(&"b2").map(|c| c.count), Some(10));
     }
 
     #[test]

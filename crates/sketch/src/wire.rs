@@ -7,9 +7,8 @@
 
 use crate::circular::Circular;
 use crate::gk::GkSketch;
-use crate::hash::FxHashSet;
 use crate::histogram::AngleHistogram;
-use crate::hll::{Distinct, HyperLogLog};
+use crate::hll::{Distinct, HyperLogLog, SmallSet};
 use crate::spacesaving::{Counter, SpaceSaving};
 use crate::tdigest::TDigest;
 use crate::welford::Welford;
@@ -244,8 +243,8 @@ impl Wire for Distinct {
             Distinct::Exact(set) => {
                 out.push(0);
                 put_varint(out, set.len() as u64);
-                // Sort for canonical output (sets iterate in hash order).
-                let mut hashes: Vec<u64> = set.iter().copied().collect();
+                // Sort for canonical output (sets iterate in storage order).
+                let mut hashes: Vec<u64> = set.iter().collect();
                 hashes.sort_unstable();
                 for h in hashes {
                     put_varint(out, h);
@@ -267,7 +266,7 @@ impl Wire for Distinct {
                 if len > input.len() {
                     return Err(WireError("distinct set exceeds buffer"));
                 }
-                let mut set = FxHashSet::default();
+                let mut set = SmallSet::new();
                 for _ in 0..len {
                     set.insert(get_varint(input)?);
                 }
