@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # The conformance gates every PR must pass, runnable locally.
 #
-#   ./ci.sh [gate|stream|recovery|analysis|all]   (default: gate)
+#   ./ci.sh [gate|stream|recovery|reactor|analysis|all]   (default: gate)
 #
 #   gate     — formatting, release build, full test suite, xtask lint,
 #              and the end-to-end smoke tests (serve, read path, build,
@@ -20,6 +20,14 @@
 #              chain byte-identical to an uninterrupted oracle, within
 #              a bounded recovery latency. The surviving chain is then
 #              audited with polinv verify.
+#   reactor  — the event-loop scalability gate: a reactor-core server
+#              holds 10 000 open sockets (95% idle, the rest driven
+#              hard) behind an rps floor, hot-swaps its snapshot under
+#              a concurrent burst, survives the fault-injected chaos
+#              self-test on the same core, and drains cleanly on stdin
+#              EOF. The 10k descriptors are split across the polinv
+#              server process and the polload driver so the container's
+#              fd ceiling holds.
 #   analysis — the dynamic checkers: loom model checking of the serve
 #              primitives, Miri on the codec property tests, ASan on
 #              the mmap suite, TSan on the loopback server tests.
@@ -36,10 +44,12 @@ cd "$(dirname "$0")"
 smoke_dir=""
 stream_dir=""
 recovery_dir=""
+reactor_dir=""
 cleanup() {
   [ -n "$smoke_dir" ] && rm -rf "$smoke_dir"
   [ -n "$stream_dir" ] && rm -rf "$stream_dir"
   [ -n "$recovery_dir" ] && rm -rf "$recovery_dir"
+  [ -n "$reactor_dir" ] && rm -rf "$reactor_dir"
   return 0
 }
 trap cleanup EXIT
@@ -329,6 +339,76 @@ run_recovery() {
   echo "ci: recovery passed"
 }
 
+run_reactor() {
+  echo "==> reactor scalability gate (10k open sockets, rps floor, reload under load, chaos, drain)"
+  reactor_dir=$(mktemp -d)
+  cargo run --release -q -p pol-bench --bin polinv -- \
+    build --out "$reactor_dir/inv.pol" --vessels 10 --days 3 >/dev/null
+  cargo run --release -q -p pol-bench --bin polinv -- \
+    migrate "$reactor_dir/inv.pol" "$reactor_dir/inv.pol3" >/dev/null
+  mkfifo "$reactor_dir/ctl"
+  cargo run --release -q -p pol-bench --bin polinv -- \
+    serve "$reactor_dir/inv.pol3" --core reactor --addr 127.0.0.1:0 \
+    > "$reactor_dir/serve.out" 2> "$reactor_dir/serve.err" < "$reactor_dir/ctl" &
+  reactor_pid=$!
+  exec 6> "$reactor_dir/ctl" # hold the control fifo open; closing it stops the server
+  reactor_addr=""
+  for _ in $(seq 1 100); do
+    reactor_addr=$(sed -n 's/^listening on //p' "$reactor_dir/serve.out")
+    if [ -n "$reactor_addr" ]; then break; fi
+    sleep 0.1
+  done
+  if [ -z "$reactor_addr" ]; then
+    echo "ci: reactor server never reported its address" >&2
+    exit 1
+  fi
+  # The 10k-socket burst: 95% of the fleet sits silent in the readiness
+  # table while the rest is driven in rotation. The floor is roughly an
+  # order of magnitude under the committed single-core baseline
+  # (figures/BENCH_serve.json records ~9k rps at 10k sockets), so it
+  # catches a reactor that stopped scaling, not scheduler jitter.
+  cargo run --release -q -p pol-bench --bin polload -- \
+    --addr "$reactor_addr" --connections 10000 --idle-frac 0.95 \
+    --threads 4 --requests 20000 --min-rps 1000 \
+    --out "$reactor_dir/BENCH_conn.json" > "$reactor_dir/conn.out"
+  if ! grep -q '"connections": 10000' "$reactor_dir/BENCH_conn.json"; then
+    echo "ci: the connection bench recorded no 10k row" >&2
+    exit 1
+  fi
+  # Hot reload while a fresh burst is in flight: no request may be
+  # dropped across the swap (polload exits non-zero on any error).
+  cargo run --release -q -p pol-bench --bin polload -- \
+    --addr "$reactor_addr" --threads 4 --requests 6000 \
+    --out "$reactor_dir/BENCH_reload.json" > /dev/null 2>&1 &
+  reactor_load_pid=$!
+  sleep 0.3
+  echo "reload $reactor_dir/inv.pol3" >&6
+  if ! wait "$reactor_load_pid"; then
+    echo "ci: polload dropped requests across the reactor reload" >&2
+    exit 1
+  fi
+  if ! grep -q "^reloaded $reactor_dir/inv.pol3" "$reactor_dir/serve.err"; then
+    echo "ci: reactor server never applied the reload" >&2
+    exit 1
+  fi
+  # The kill/delay chaos pass on the same core (failpoints are
+  # per-process, so this runs the in-process self-test; the default
+  # server core is the reactor).
+  cargo run -q -p pol-bench --features chaos --bin polload -- \
+    --chaos --vessels 10 --days 3 --requests 500 > "$reactor_dir/chaos.out"
+  # Clean drain: stdin EOF, then the shutdown line must appear even
+  # after carrying 10k sockets.
+  exec 6>&- # stdin EOF -> graceful shutdown
+  wait "$reactor_pid"
+  if ! grep -q "shut down after" "$reactor_dir/serve.err"; then
+    echo "ci: reactor server did not drain cleanly" >&2
+    exit 1
+  fi
+  echo "reactor smoke: $(grep -- '--min-rps gate' "$reactor_dir/conn.out")"
+
+  echo "ci: reactor passed"
+}
+
 # Prints a loud, documented skip. Every skip names its checker, the
 # missing prerequisite, and where the checker does run for real — a
 # silent skip is indistinguishable from a pass, so none are allowed.
@@ -393,15 +473,17 @@ case "$stage" in
   gate) run_gate ;;
   stream) run_stream ;;
   recovery) run_recovery ;;
+  reactor) run_reactor ;;
   analysis) run_analysis ;;
   all)
     run_gate
     run_stream
     run_recovery
+    run_reactor
     run_analysis
     ;;
   *)
-    echo "usage: ./ci.sh [gate|stream|recovery|analysis|all]" >&2
+    echo "usage: ./ci.sh [gate|stream|recovery|reactor|analysis|all]" >&2
     exit 2
     ;;
 esac

@@ -4,7 +4,10 @@
 //! polload [--addr HOST:PORT] [--threads 8] [--requests 20000]
 //!         [--vessels 150] [--days 14] [--seed 42] [--workers 8]
 //!         [--store heap|mmap] [--batch N] [--min-rps X]
+//!         [--server-core reactor|threaded]
 //!         [--out figures/BENCH_serve.json]
+//! polload --connections 10000 [--idle-frac 0.95] [--addr HOST:PORT] ...
+//! polload --conn-sweep [--threads 8] [--requests 20000] ...
 //! polload --chaos [--threads 4] [--requests 2000] [--vessels N] ...
 //! ```
 //!
@@ -24,6 +27,18 @@
 //! `X` requests per second. Results print alongside a comparison with
 //! whatever `--out` file the previous run committed.
 //!
+//! `--connections N` switches to the open-connection scalability bench:
+//! N sockets are held open against the server (`--idle-frac` of them
+//! silent, the rest driven in rotation by `--threads` driver threads)
+//! and point-summary throughput is measured *while* the readiness table
+//! carries all N. Without `--addr` the server runs in a spawned child
+//! process (`--serve-only`, an internal mode) so the 10k+ descriptor
+//! budget is split across two processes. `--conn-sweep` runs the matrix
+//! both server cores x {100, 1k, 10k} connections after the normal
+//! endpoint phases and records it under `"open_connections"` in the
+//! JSON. With `--connections`, `--min-rps` gates on the connection
+//! phase's throughput instead.
+//!
 //! `--chaos` (needs a build with `--features pol-bench/chaos`) runs the
 //! fault-injection self-test instead: failpoints kill connection workers
 //! and delay reads while a retrying client fleet checks every answer
@@ -42,12 +57,12 @@ use pol_core::PipelineConfig;
 use pol_fleetsim::emit::EmissionConfig;
 use pol_fleetsim::scenario::ScenarioConfig;
 use pol_hexgrid::{cell_center, CellIndex, Resolution};
-use pol_serve::{Client, ClientError, Server, ServerConfig};
+use pol_serve::{Client, ClientError, Server, ServerConfig, ServerCore};
 use std::io::Write;
 use std::net::SocketAddr;
 use std::process::ExitCode;
 use std::thread;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 fn parse_flag(args: &[String], name: &str) -> Option<String> {
     args.iter()
@@ -173,11 +188,28 @@ struct ColdStart {
     v3_mmap_ms: f64,
 }
 
+/// One open-connection scalability measurement: point-summary load
+/// driven while `connections` sockets (mostly idle) are held open.
+struct ConnRow {
+    core: &'static str,
+    connections: usize,
+    idle: usize,
+    requests: u64,
+    busy: u64,
+    wall_secs: f64,
+    rps: f64,
+    p50_us: f64,
+    p99_us: f64,
+    peak_open: u64,
+    shed_at_loop: u64,
+}
+
 fn write_bench_json(
     path: &std::path::Path,
     threads: usize,
     store: &str,
     phases: &[PhaseResult],
+    conn_rows: &[ConnRow],
     cold: Option<&ColdStart>,
     top_dest_before_rps: Option<f64>,
 ) -> std::io::Result<()> {
@@ -198,6 +230,34 @@ fn write_bench_json(
             "  \"cold_start\": {{\"v2_heap_ms\": {:.2}, \"v3_mmap_ms\": {:.2}}},",
             c.v2_heap_ms, c.v3_mmap_ms
         )?;
+    }
+    if !conn_rows.is_empty() {
+        // The scalability matrix: throughput with N sockets held open,
+        // per server core. `shed_at_loop` / `peak_open` come from the
+        // server's own STATS counters, not client bookkeeping.
+        writeln!(f, "  \"open_connections\": [")?;
+        for (i, r) in conn_rows.iter().enumerate() {
+            let comma = if i + 1 < conn_rows.len() { "," } else { "" };
+            writeln!(
+                f,
+                "    {{\"core\": \"{}\", \"connections\": {}, \"idle\": {}, \
+                 \"requests\": {}, \"busy\": {}, \"wall_secs\": {:.4}, \
+                 \"rps\": {:.1}, \"p50_us\": {:.1}, \"p99_us\": {:.1}, \
+                 \"peak_open\": {}, \"shed_at_loop\": {}}}{comma}",
+                r.core,
+                r.connections,
+                r.idle,
+                r.requests,
+                r.busy,
+                r.wall_secs,
+                r.rps,
+                r.p50_us,
+                r.p99_us,
+                r.peak_open,
+                r.shed_at_loop
+            )?;
+        }
+        writeln!(f, "  ],")?;
     }
     writeln!(f, "  \"endpoints\": [")?;
     for (i, p) in phases.iter().enumerate() {
@@ -221,6 +281,262 @@ fn write_bench_json(
     writeln!(f, "  ]")?;
     writeln!(f, "}}")?;
     f.flush()
+}
+
+/// Parses `--server-core`, defaulting to the reactor.
+fn parse_core(args: &[String]) -> Result<(ServerCore, &'static str), String> {
+    match parse_flag(args, "--server-core").as_deref() {
+        None | Some("reactor") => Ok((ServerCore::Reactor, "reactor")),
+        Some("threaded") => Ok((ServerCore::Threaded, "threaded")),
+        Some(other) => Err(format!(
+            "--server-core must be 'reactor' or 'threaded', got {other}"
+        )),
+    }
+}
+
+/// Internal child mode for the two-process connection bench: serve one
+/// snapshot on an ephemeral port, announce it on stdout, hold until
+/// stdin closes. The parent (this same binary) spawns it so the
+/// 10k-socket runs split their descriptor budget across two processes
+/// (the container's fd ceiling could not hold both ends in one).
+fn run_serve_only(args: &[String]) -> ExitCode {
+    let Some(snap) = parse_flag(args, "--serve-only") else {
+        eprintln!("error: --serve-only needs a snapshot path");
+        return ExitCode::FAILURE;
+    };
+    let (core, _) = match parse_core(args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let config = ServerConfig {
+        core,
+        worker_threads: parse_or(args, "--workers", 8),
+        max_pending: parse_or(args, "--max-pending", ServerConfig::default().max_pending),
+        ..ServerConfig::default()
+    };
+    let mut server =
+        match Server::start_snapshot(std::path::Path::new(&snap), "127.0.0.1:0", config) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: cannot serve {snap}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+    println!("listening on {}", server.local_addr());
+    std::io::stdout().flush().ok();
+    // Parent closing our stdin is the shutdown signal, mirroring
+    // `polinv serve`.
+    let mut sink = String::new();
+    let _ = std::io::Read::read_to_string(&mut std::io::stdin().lock(), &mut sink);
+    let stats = server.metrics().snapshot();
+    server.shutdown();
+    eprintln!("{}", stats.render());
+    ExitCode::SUCCESS
+}
+
+/// A serve-only child process and the address it bound.
+struct ServeChild {
+    child: std::process::Child,
+    addr: SocketAddr,
+}
+
+impl ServeChild {
+    fn spawn(
+        snapshot: &std::path::Path,
+        core_label: &str,
+        workers: usize,
+        max_pending: usize,
+    ) -> Result<ServeChild, String> {
+        use std::io::BufRead;
+        let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+        let mut child = std::process::Command::new(exe)
+            .arg("--serve-only")
+            .arg(snapshot)
+            .arg("--server-core")
+            .arg(core_label)
+            .arg("--workers")
+            .arg(workers.to_string())
+            .arg("--max-pending")
+            .arg(max_pending.to_string())
+            .stdin(std::process::Stdio::piped())
+            .stdout(std::process::Stdio::piped())
+            .spawn()
+            .map_err(|e| format!("spawn serve child: {e}"))?;
+        let Some(stdout) = child.stdout.take() else {
+            let _ = child.kill();
+            return Err("serve child stdout not captured".into());
+        };
+        let mut line = String::new();
+        if std::io::BufReader::new(stdout)
+            .read_line(&mut line)
+            .is_err()
+            || line.is_empty()
+        {
+            let _ = child.kill();
+            let _ = child.wait();
+            return Err("serve child exited before announcing its address".into());
+        }
+        let addr = line
+            .trim()
+            .strip_prefix("listening on ")
+            .and_then(|a| a.parse().ok());
+        let Some(addr) = addr else {
+            let _ = child.kill();
+            let _ = child.wait();
+            return Err(format!("serve child announced garbage: {line:?}"));
+        };
+        Ok(ServeChild { child, addr })
+    }
+
+    /// Closes the child's stdin (its drain signal) and reaps it.
+    fn stop(mut self) {
+        drop(self.child.stdin.take());
+        let _ = self.child.wait();
+    }
+}
+
+/// Holds `connections` sockets open against `addr` — `idle_frac` of
+/// them silent, the rest rotated through by `threads` driver threads
+/// issuing point-summary queries — and measures throughput while the
+/// server's readiness table carries the full set.
+fn run_connection_phase(
+    addr: SocketAddr,
+    core: &'static str,
+    connections: usize,
+    idle_frac: f64,
+    threads: usize,
+    requests: usize,
+) -> Result<ConnRow, String> {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    let connections = connections.max(2);
+    let idle = ((connections as f64 * idle_frac).round() as usize).min(connections - 1);
+    let active = connections - idle;
+    let threads = threads.clamp(1, active);
+    eprintln!("[{core}] opening {idle} idle + {active} active connections against {addr}...");
+    let mut idle_socks = Vec::with_capacity(idle);
+    for i in 0..idle {
+        match std::net::TcpStream::connect_timeout(&addr, Duration::from_secs(5)) {
+            Ok(s) => idle_socks.push(s),
+            Err(e) => return Err(format!("[{core}] idle connect {}/{idle}: {e}", i + 1)),
+        }
+        if (i + 1) % 2500 == 0 {
+            eprintln!("[{core}]   {} idle sockets open", i + 1);
+        }
+    }
+    let pool = position_pool(addr).map_err(|e| format!("[{core}] position pool: {e}"))?;
+    let pool = &pool;
+    let per_thread = (requests / threads).max(1);
+    let busy = AtomicU64::new(0);
+    let started = Instant::now();
+    let lats: Vec<Vec<f64>> = thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|tid| {
+                let busy = &busy;
+                s.spawn(move || -> Result<Vec<f64>, String> {
+                    // This driver owns every `threads`-th active socket
+                    // and rotates its requests across them so all
+                    // `active` sockets stay in play, not just one per
+                    // driver.
+                    let owned = (active - tid).div_ceil(threads);
+                    let mut clients = Vec::with_capacity(owned);
+                    for _ in 0..owned {
+                        clients.push(
+                            Client::connect(addr)
+                                .map_err(|e| format!("[{core}] active connect: {e}"))?,
+                        );
+                    }
+                    let mut lats = Vec::with_capacity(per_thread);
+                    for i in 0..per_thread {
+                        let (lat, lon) = pool[(tid + i * 31) % pool.len()];
+                        let slot = i % clients.len();
+                        let t = Instant::now();
+                        match clients[slot].point_summary(lat, lon) {
+                            Ok(_) => lats.push(t.elapsed().as_secs_f64() * 1e6),
+                            // Load shedding is an expected answer under
+                            // overload: count it, keep the socket.
+                            Err(ClientError::ServerBusy) => {
+                                busy.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(e) => return Err(format!("[{core}] query failed: {e}")),
+                        }
+                    }
+                    Ok(lats)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("connection driver panicked"))
+            .collect::<Result<Vec<_>, _>>()
+    })?;
+    let wall_secs = started.elapsed().as_secs_f64();
+    let mut all: Vec<f64> = lats.into_iter().flatten().collect();
+    all.sort_by(|a, b| a.partial_cmp(b).expect("latency is finite"));
+    // The server's own view: peak table size and loop-level sheds. Read
+    // while the idle fleet is still connected so peak_open reflects it.
+    let report = Client::connect(addr)
+        .and_then(|mut c| c.stats())
+        .map_err(|e| format!("[{core}] stats fetch: {e}"))?;
+    drop(idle_socks);
+    let requests = all.len() as u64;
+    Ok(ConnRow {
+        core,
+        connections,
+        idle,
+        requests,
+        busy: busy.load(Ordering::Relaxed),
+        wall_secs,
+        rps: requests as f64 / wall_secs.max(1e-9),
+        p50_us: quantile(&all, 0.50),
+        p99_us: quantile(&all, 0.99),
+        peak_open: report.peak_connections,
+        shed_at_loop: report.shed_at_loop,
+    })
+}
+
+fn print_conn_rows(rows: &[ConnRow]) {
+    println!(
+        "\n{:<9} {:>11} {:>6} {:>9} {:>6} {:>10} {:>10} {:>10} {:>10} {:>8}",
+        "core",
+        "connections",
+        "idle",
+        "requests",
+        "busy",
+        "rps",
+        "p50_us",
+        "p99_us",
+        "peak_open",
+        "shed"
+    );
+    for r in rows {
+        println!(
+            "{:<9} {:>11} {:>6} {:>9} {:>6} {:>10.0} {:>10.1} {:>10.1} {:>10} {:>8}",
+            r.core,
+            r.connections,
+            r.idle,
+            r.requests,
+            r.busy,
+            r.rps,
+            r.p50_us,
+            r.p99_us,
+            r.peak_open,
+            r.shed_at_loop
+        );
+    }
+}
+
+/// Workers a serve child needs: the threaded core parks one worker per
+/// connection for the connection's lifetime, so it must be sized for
+/// the whole fleet (that cost *is* the thread-per-connection model the
+/// sweep measures). The reactor keeps its small fixed pool.
+fn child_workers(core: ServerCore, connections: usize, threads: usize, workers: usize) -> usize {
+    match core {
+        ServerCore::Threaded => connections + threads + 16,
+        ServerCore::Reactor => workers,
+    }
 }
 
 /// Pulls `(endpoint, rps)` pairs out of a previously written
@@ -496,22 +812,148 @@ fn run_chaos(args: &[String]) -> ExitCode {
     }
 }
 
+/// `--connections N` entry point: one open-connection scalability row,
+/// either against an external `--addr` server or (self-contained) a
+/// spawned serve-only child over a freshly built snapshot. `--min-rps`
+/// gates on this row's throughput.
+fn run_connection_bench(args: &[String]) -> ExitCode {
+    let connections: usize = parse_or(args, "--connections", 0);
+    let idle_frac: f64 = parse_or(args, "--idle-frac", 0.95_f64).clamp(0.0, 0.999);
+    let threads: usize = parse_or(args, "--threads", 8).max(1);
+    let requests: usize = parse_or(args, "--requests", 20_000).max(1);
+    let workers: usize = parse_or(args, "--workers", 8);
+    let min_rps: Option<f64> = parse_flag(args, "--min-rps").and_then(|v| v.parse().ok());
+    let (core, core_label) = match parse_core(args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let out_path = parse_flag(args, "--out")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| pol_bench::figures_dir().join("BENCH_serve.json"));
+
+    let mut snap_dir: Option<std::path::PathBuf> = None;
+    let result = match parse_flag(args, "--addr") {
+        Some(a) => match a.parse() {
+            Ok(addr) => {
+                run_connection_phase(addr, core_label, connections, idle_frac, threads, requests)
+            }
+            Err(_) => {
+                eprintln!("error: cannot parse --addr {a}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => {
+            use pol_core::codec;
+            let scenario = scenario_from(args);
+            let resolution = Resolution::new(6).expect("res 6 valid");
+            let cfg = PipelineConfig::default().with_resolution(resolution);
+            eprintln!(
+                "building res-6 inventory ({} vessels, {} days, seed {})...",
+                scenario.n_vessels, scenario.duration_days, scenario.seed
+            );
+            let (_, out) = build_inventory(&scenario, &cfg);
+            let dir = std::env::temp_dir().join(format!("polload-conn-{}", std::process::id()));
+            std::fs::create_dir_all(&dir).expect("create snapshot dir");
+            let v3_path = dir.join("inv.pol3");
+            codec::columnar::save(&out.inventory, &v3_path).expect("save POLINV3 snapshot");
+            snap_dir = Some(dir);
+            drop(out);
+            match ServeChild::spawn(
+                &v3_path,
+                core_label,
+                child_workers(core, connections, threads, workers),
+                ServerConfig::default().max_pending,
+            ) {
+                Ok(child) => {
+                    let row = run_connection_phase(
+                        child.addr,
+                        core_label,
+                        connections,
+                        idle_frac,
+                        threads,
+                        requests,
+                    );
+                    child.stop();
+                    row
+                }
+                Err(e) => Err(e),
+            }
+        }
+    };
+    if let Some(dir) = snap_dir.take() {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    let row = match result {
+        Ok(row) => row,
+        Err(e) => {
+            eprintln!("error: connection phase failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let rows = [row];
+    print_conn_rows(&rows);
+    if let Err(e) = write_bench_json(&out_path, threads, "conn-bench", &[], &rows, None, None) {
+        eprintln!("error: cannot write {}: {e}", out_path.display());
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {}", out_path.display());
+    if let Some(min) = min_rps {
+        let r = &rows[0];
+        if r.rps < min {
+            eprintln!(
+                "FAILED --min-rps gate: {} connections sustained {:.0} < {min:.0} rps",
+                r.connections, r.rps
+            );
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "--min-rps gate passed: {} connections sustained {:.0} >= {min:.0} rps",
+            r.connections, r.rps
+        );
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
             "usage: polload [--addr HOST:PORT] [--threads N] [--requests N] \
              [--vessels N] [--days D] [--seed S] [--workers N] \
-             [--store heap|mmap] [--batch N] [--min-rps X] [--out FILE]\n       \
+             [--store heap|mmap] [--batch N] [--min-rps X] \
+             [--server-core reactor|threaded] [--out FILE]\n       \
+             polload --connections N [--idle-frac F] [--addr HOST:PORT] [--min-rps X] ...\n       \
+             polload --conn-sweep [--threads N] [--requests N] ...\n       \
              polload --chaos [--threads N] [--requests N] [--vessels N] [--days D] [--seed S]"
         );
         return ExitCode::from(2);
     }
+    if parse_flag(&args, "--serve-only").is_some() {
+        return run_serve_only(&args);
+    }
     if args.iter().any(|a| a == "--chaos") {
         return run_chaos(&args);
     }
+    let conn_sweep = args.iter().any(|a| a == "--conn-sweep");
+    if parse_or::<usize>(&args, "--connections", 0) > 0 && !conn_sweep {
+        return run_connection_bench(&args);
+    }
+    if conn_sweep && parse_flag(&args, "--addr").is_some() {
+        eprintln!("error: --conn-sweep spawns its own servers (one per core); drop --addr");
+        return ExitCode::FAILURE;
+    }
     let threads: usize = parse_or(&args, "--threads", 8).max(1);
     let requests: usize = parse_or(&args, "--requests", 20_000).max(1);
+    let (core, core_label) = match parse_core(&args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let batch: usize = parse_or(&args, "--batch", 0).min(pol_serve::MAX_BATCH);
     let min_rps: Option<f64> = parse_flag(&args, "--min-rps").and_then(|v| v.parse().ok());
     let store_choice = parse_flag(&args, "--store").unwrap_or_else(|| "heap".to_string());
@@ -570,6 +1012,7 @@ fn main() -> ExitCode {
             drop(out);
 
             let server_config = || ServerConfig {
+                core,
                 worker_threads: workers,
                 ..ServerConfig::default()
             };
@@ -605,8 +1048,8 @@ fn main() -> ExitCode {
         }
     };
     eprintln!(
-        "driving {addr} ({store_label} store) with {threads} threads x {requests} \
-         point-summary requests"
+        "driving {addr} ({store_label} store, {core_label} core) with {threads} threads x \
+         {requests} point-summary requests"
     );
 
     let pool = position_pool(addr).expect("position pool");
@@ -747,6 +1190,52 @@ fn main() -> ExitCode {
     } else if let Some(report) = report {
         eprintln!("{}", report.render());
     }
+
+    // --conn-sweep: with the endpoint server gone (freeing its
+    // descriptors), run the open-connection matrix — each cell a fresh
+    // serve-only child over the snapshot written above, so the 10k rows
+    // split their fd budget across two processes.
+    let mut conn_rows: Vec<ConnRow> = Vec::new();
+    if conn_sweep {
+        let Some(dir) = snap_dir.as_ref() else {
+            eprintln!("error: --conn-sweep needs the self-contained mode's snapshot");
+            return ExitCode::FAILURE;
+        };
+        let v3_path = dir.join("inv.pol3");
+        let workers: usize = parse_or(&args, "--workers", 8);
+        let idle_frac: f64 = parse_or(&args, "--idle-frac", 0.95_f64).clamp(0.0, 0.999);
+        for (sweep_core, label) in [
+            (ServerCore::Reactor, "reactor"),
+            (ServerCore::Threaded, "threaded"),
+        ] {
+            for n in [100usize, 1_000, 10_000] {
+                let spawned = ServeChild::spawn(
+                    &v3_path,
+                    label,
+                    child_workers(sweep_core, n, threads, workers),
+                    ServerConfig::default().max_pending,
+                );
+                let row = match spawned {
+                    Ok(child) => {
+                        let row = run_connection_phase(
+                            child.addr, label, n, idle_frac, threads, requests,
+                        );
+                        child.stop();
+                        row
+                    }
+                    Err(e) => Err(e),
+                };
+                match row {
+                    Ok(r) => conn_rows.push(r),
+                    Err(e) => {
+                        eprintln!("error: sweep cell {label}/{n} failed: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+        }
+        print_conn_rows(&conn_rows);
+    }
     if let Some(dir) = snap_dir.take() {
         let _ = std::fs::remove_dir_all(&dir);
     }
@@ -778,6 +1267,7 @@ fn main() -> ExitCode {
         threads,
         &store_label,
         &phases,
+        &conn_rows,
         cold_start.as_ref(),
         top_dest_before,
     ) {

@@ -30,7 +30,7 @@ use pol_ais::types::MarketSegment;
 use pol_apps::eta::EtaEstimate;
 use pol_core::CellStats;
 use std::fmt;
-use std::io::{self, BufReader, BufWriter, Write};
+use std::io::{self, BufReader, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
 
@@ -133,7 +133,10 @@ impl Default for ClientConfig {
 
 struct Conn {
     reader: BufReader<TcpStream>,
-    writer: BufWriter<TcpStream>,
+    /// Written directly (no `BufWriter`): every request is encoded to a
+    /// complete frame first and pushed through [`send_framed`], which
+    /// owns the short-write handling.
+    writer: TcpStream,
 }
 
 /// A blocking connection to a `pol-serve` server that reconnects and
@@ -201,7 +204,7 @@ impl Client {
                     let read_half = stream.try_clone()?;
                     self.conn = Some(Conn {
                         reader: BufReader::new(read_half),
-                        writer: BufWriter::new(stream),
+                        writer: stream,
                     });
                     return Ok(());
                 }
@@ -224,9 +227,17 @@ impl Client {
             .conn
             .as_mut()
             .ok_or(ClientError::Unexpected("not connected"))?;
+        let write_budget = self.config.write_timeout.unwrap_or(Duration::from_secs(5));
         let result = (|| {
+            // Encode the whole frame up front, then push it with the
+            // explicit short-write loop: a momentarily full kernel
+            // buffer (EAGAIN-style timeout mid-frame) retries within
+            // the write budget instead of abandoning a half-written
+            // frame and poisoning a connection that was merely slow.
             let payload = encode_request(req);
-            write_frame(&mut conn.writer, &payload).map_err(ProtoError::Io)?;
+            let mut framed = Vec::with_capacity(payload.len() + 4);
+            write_frame(&mut framed, &payload).map_err(ProtoError::Io)?;
+            send_framed(&mut conn.writer, &framed, write_budget).map_err(ProtoError::Io)?;
             conn.writer.flush().map_err(ProtoError::Io)?;
             let reply = read_frame(&mut conn.reader, self.config.max_frame_bytes)?;
             decode_response(&reply)
@@ -518,5 +529,136 @@ impl Client {
                 _ => Err(ClientError::Unexpected("wanted Summary")),
             })
             .collect()
+    }
+}
+
+/// Writes one complete frame with explicit short-write handling:
+/// `Interrupted` retries immediately; an EAGAIN-style
+/// `WouldBlock`/`TimedOut` *after partial progress* keeps retrying
+/// inside `budget` (abandoning a half-written frame would poison a
+/// connection the kernel had merely throttled); the same error with
+/// nothing yet written surfaces at once, because the retry layer can
+/// safely resend an unsent frame on a fresh connection. A transport
+/// accepting zero bytes surfaces as `WriteZero`, never a spin.
+fn send_framed<W: Write>(w: &mut W, framed: &[u8], budget: Duration) -> io::Result<()> {
+    let deadline = Instant::now() + budget;
+    let mut written = 0;
+    while written < framed.len() {
+        match w.write(&framed[written..]) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::WriteZero,
+                    "peer accepts no bytes",
+                ))
+            }
+            Ok(n) => written += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if written == 0 || Instant::now() >= deadline {
+                    return Err(e);
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Accepts at most `chunk` bytes per call, injecting `Interrupted`
+    /// and `WouldBlock` on a schedule — a nonblocking socket at its
+    /// legal worst.
+    struct Fragmenting {
+        sink: Vec<u8>,
+        chunk: usize,
+        calls: usize,
+    }
+
+    impl Write for Fragmenting {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.calls += 1;
+            if self.calls % 3 == 0 {
+                return Err(io::Error::new(io::ErrorKind::Interrupted, "signal"));
+            }
+            if self.calls % 5 == 0 {
+                return Err(io::Error::new(io::ErrorKind::WouldBlock, "eagain"));
+            }
+            let n = buf.len().min(self.chunk);
+            self.sink.extend_from_slice(&buf[..n]);
+            Ok(n)
+        }
+
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn send_framed_survives_interrupts_and_partial_writes() {
+        let payload = encode_request(&Request::PointSummary {
+            lat: 12.5,
+            lon: -34.25,
+        });
+        let mut framed = Vec::new();
+        write_frame(&mut framed, &payload).unwrap();
+        let mut t = Fragmenting {
+            sink: Vec::new(),
+            chunk: 2,
+            calls: 0,
+        };
+        send_framed(&mut t, &framed, Duration::from_secs(1)).unwrap();
+        assert_eq!(t.sink, framed, "bytes must arrive intact and in order");
+    }
+
+    #[test]
+    fn send_framed_fails_fast_before_any_byte_is_written() {
+        struct AlwaysBlocked;
+        impl Write for AlwaysBlocked {
+            fn write(&mut self, _: &[u8]) -> io::Result<usize> {
+                Err(io::Error::new(io::ErrorKind::WouldBlock, "eagain"))
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        // Nothing on the wire yet: surface immediately (the frame can be
+        // resent on a fresh connection), do not burn the whole budget.
+        let started = Instant::now();
+        let err = send_framed(&mut AlwaysBlocked, b"abcd", Duration::from_secs(5)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::WouldBlock);
+        assert!(started.elapsed() < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn send_framed_mid_frame_timeout_respects_the_budget() {
+        struct OneByteThenBlocked {
+            wrote: bool,
+        }
+        impl Write for OneByteThenBlocked {
+            fn write(&mut self, _: &[u8]) -> io::Result<usize> {
+                if self.wrote {
+                    Err(io::Error::new(io::ErrorKind::WouldBlock, "eagain"))
+                } else {
+                    self.wrote = true;
+                    Ok(1)
+                }
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        // One byte escaped, then the transport wedged: the budget bounds
+        // the retries and the timeout surfaces.
+        let mut t = OneByteThenBlocked { wrote: false };
+        let err = send_framed(&mut t, b"abcd", Duration::from_millis(20)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::WouldBlock);
     }
 }

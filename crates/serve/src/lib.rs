@@ -16,20 +16,32 @@
 //! ([`store::StoreBackend`]); protocol v3 adds request batching
 //! ([`proto::Request::Batch`]) so one frame can carry many lookups.
 //!
+//! Two serving cores share that execution engine
+//! ([`server::ServerCore`]): the original thread-per-connection core,
+//! and the default epoll-based [`reactor`] — one event loop owning
+//! every nonblocking socket, per-connection frame state machines
+//! ([`conn::ConnState`]), and the worker pool reduced to pure request
+//! execution, so tens of thousands of mostly-idle connections cost no
+//! threads.
+//!
 //! Operational posture: bounded worker pool with typed
-//! [`proto::Response::Busy`] backpressure instead of unbounded queueing,
-//! per-frame size caps, socket read/write timeouts, hostile-input-safe
-//! decoding, and clean shutdown on a control signal. The matching
-//! [`client::Client`] and the `polload` load generator in `pol-bench`
-//! drive it.
+//! [`proto::Response::Busy`] backpressure instead of unbounded queueing
+//! (the reactor sheds per *request* at the event loop, keeping the
+//! connection), per-frame size caps, socket read/write timeouts, a
+//! slow-loris frame-assembly deadline anchored to each frame's first
+//! byte, hostile-input-safe decoding, and clean shutdown on a control
+//! signal. The matching [`client::Client`] and the `polload` load
+//! generator in `pol-bench` drive it.
 
 #![deny(missing_docs)]
 
 pub mod client;
+pub mod conn;
 pub mod mapped;
 pub mod metrics;
 pub mod mmap;
 pub mod proto;
+pub mod reactor;
 pub mod server;
 pub mod store;
 
@@ -38,5 +50,5 @@ pub use mapped::{MappedCounters, MappedStore};
 pub use metrics::{Endpoint, EndpointStats, HealthReport, ServerMetrics, StatsReport};
 pub use mmap::MappedFile;
 pub use proto::{ProtoError, Request, Response, MAX_BATCH, PROTO_VERSION};
-pub use server::{InventoryService, Server, ServerConfig};
+pub use server::{InventoryService, Server, ServerConfig, ServerCore};
 pub use store::{QueryCache, ShardedStore, StoreBackend};

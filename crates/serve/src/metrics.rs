@@ -184,6 +184,24 @@ pub struct StatsReport {
     /// Whole seconds since the last successful hot reload (since process
     /// start if none happened yet) — the streaming-freshness signal.
     pub since_reload_secs: u64,
+    /// Connections currently open on the server (reactor core tracks
+    /// this exactly; the threaded core counts admitted connections).
+    pub open_connections: u64,
+    /// High-water mark of `open_connections` over the server's lifetime.
+    pub peak_connections: u64,
+    /// Readiness events delivered by `epoll_wait` to the reactor loop
+    /// (zero on the threaded core).
+    pub ready_events: u64,
+    /// Cross-thread eventfd wakeups the reactor consumed — each one is a
+    /// worker handing completed responses back to the loop.
+    pub wakeups: u64,
+    /// Requests shed with `Busy` by the event loop's admission check
+    /// (a subset of `busy_rejections`; zero on the threaded core, which
+    /// sheds whole connections at accept instead).
+    pub shed_at_loop: u64,
+    /// Largest per-connection write buffer observed, bytes — how far a
+    /// slow reader ever got behind before `EPOLLOUT` caught it up.
+    pub write_buffer_high_water: u64,
     /// The live store backend ("sharded-heap" or "mapped-columnar").
     pub store: String,
     /// Per-endpoint counters, in [`Endpoint::ALL`] order, endpoints with
@@ -229,6 +247,17 @@ impl StatsReport {
             out,
             "delta_generation={} chain_len={} since_reload_secs={}",
             self.delta_generation, self.chain_len, self.since_reload_secs
+        );
+        let _ = writeln!(
+            out,
+            "open_connections={} peak_connections={} ready_events={} wakeups={} \
+             shed_at_loop={} write_buffer_high_water={}",
+            self.open_connections,
+            self.peak_connections,
+            self.ready_events,
+            self.wakeups,
+            self.shed_at_loop,
+            self.write_buffer_high_water
         );
         let _ = writeln!(
             out,
@@ -282,6 +311,12 @@ pub struct ServerMetrics {
     batched_requests: AtomicU64,
     delta_generation: AtomicU64,
     chain_len: AtomicU64,
+    open_connections: AtomicU64,
+    peak_connections: AtomicU64,
+    ready_events: AtomicU64,
+    wakeups: AtomicU64,
+    shed_at_loop: AtomicU64,
+    write_buffer_high_water: AtomicU64,
     /// Process-start anchor for the freshness clock.
     started: Instant,
     /// Milliseconds after `started` of the last successful reload
@@ -313,6 +348,12 @@ impl ServerMetrics {
             batched_requests: AtomicU64::new(0),
             delta_generation: AtomicU64::new(0),
             chain_len: AtomicU64::new(0),
+            open_connections: AtomicU64::new(0),
+            peak_connections: AtomicU64::new(0),
+            ready_events: AtomicU64::new(0),
+            wakeups: AtomicU64::new(0),
+            shed_at_loop: AtomicU64::new(0),
+            write_buffer_high_water: AtomicU64::new(0),
             started: Instant::now(),
             last_reload_millis: AtomicU64::new(0),
             draining: AtomicBool::new(false),
@@ -349,6 +390,45 @@ impl ServerMetrics {
     /// Counts an accepted connection.
     pub fn incr_connections(&self) {
         self.connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Raises the open-connection gauge (and its high-water mark) by one.
+    pub fn conn_opened(&self) {
+        let now = self.open_connections.fetch_add(1, Ordering::Relaxed) + 1;
+        self.peak_connections.fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// Lowers the open-connection gauge by one.
+    pub fn conn_closed(&self) {
+        self.open_connections.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Accounts `n` readiness events delivered by one `epoll_wait`.
+    pub fn add_ready_events(&self, n: u64) {
+        self.ready_events.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Counts one consumed cross-thread eventfd wakeup.
+    pub fn incr_wakeup(&self) {
+        self.wakeups.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a request shed with `Busy` by the event loop's admission
+    /// check (callers also bump the shared busy counter via
+    /// [`ServerMetrics::incr_busy`]).
+    pub fn incr_shed_at_loop(&self) {
+        self.shed_at_loop.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a per-connection write-buffer depth; keeps the maximum.
+    pub fn observe_write_buffer(&self, bytes: u64) {
+        self.write_buffer_high_water
+            .fetch_max(bytes, Ordering::Relaxed);
+    }
+
+    /// The open-connection gauge, as served in `STATS`.
+    pub fn open_connections(&self) -> u64 {
+        self.open_connections.load(Ordering::Relaxed)
     }
 
     /// Counts an aggregate-cache hit.
@@ -466,6 +546,12 @@ impl ServerMetrics {
             delta_generation: self.delta_generation.load(Ordering::Relaxed),
             chain_len: self.chain_len.load(Ordering::Relaxed),
             since_reload_secs: self.since_reload_secs(),
+            open_connections: self.open_connections.load(Ordering::Relaxed),
+            peak_connections: self.peak_connections.load(Ordering::Relaxed),
+            ready_events: self.ready_events.load(Ordering::Relaxed),
+            wakeups: self.wakeups.load(Ordering::Relaxed),
+            shed_at_loop: self.shed_at_loop.load(Ordering::Relaxed),
+            write_buffer_high_water: self.write_buffer_high_water.load(Ordering::Relaxed),
             // The store identity and its counters live on the service,
             // not here; `InventoryService` fills them in before replying.
             mapped_lookups: 0,
@@ -559,6 +645,30 @@ mod tests {
         assert_eq!(point.count, 2);
         assert!(point.max_us >= 300.0);
         assert!(point.p50_us > 0.0 && point.p50_us <= point.p99_us);
+    }
+
+    #[test]
+    fn event_loop_counters_flow_into_snapshot() {
+        let m = ServerMetrics::new();
+        m.conn_opened();
+        m.conn_opened();
+        m.conn_closed();
+        m.add_ready_events(7);
+        m.incr_wakeup();
+        m.incr_shed_at_loop();
+        m.observe_write_buffer(4096);
+        m.observe_write_buffer(512); // smaller: high water must hold
+        let snap = m.snapshot();
+        assert_eq!(snap.open_connections, 1);
+        assert_eq!(snap.peak_connections, 2);
+        assert_eq!(snap.ready_events, 7);
+        assert_eq!(snap.wakeups, 1);
+        assert_eq!(snap.shed_at_loop, 1);
+        assert_eq!(snap.write_buffer_high_water, 4096);
+        let rendered = snap.render();
+        assert!(rendered.contains("open_connections=1"), "{rendered}");
+        assert!(rendered.contains("shed_at_loop=1"), "{rendered}");
+        assert!(rendered.contains("ready_events=7"), "{rendered}");
     }
 
     #[test]

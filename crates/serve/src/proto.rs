@@ -27,12 +27,15 @@ use std::io::{self, Read, Write};
 /// `STATS`; version 3 added request batching (`BATCH` frames) and the
 /// read-path counters (`store`, batched/mapped counters, per-endpoint
 /// p95) in `STATS`; version 4 added the streaming-freshness fields
-/// (`delta_generation`, `chain_len`, `since_reload_secs`) in `STATS`.
+/// (`delta_generation`, `chain_len`, `since_reload_secs`) in `STATS`;
+/// version 5 added the event-loop pressure counters
+/// (`open_connections`, `peak_connections`, `ready_events`, `wakeups`,
+/// `shed_at_loop`, `write_buffer_high_water`) in `STATS`.
 /// Decoders accept [`MIN_PROTO_VERSION`]`..=`[`PROTO_VERSION`].
-pub const PROTO_VERSION: u8 = 4;
+pub const PROTO_VERSION: u8 = 5;
 
 /// Oldest protocol version the decoders still accept. Version-2 peers
-/// never send `BATCH`, so every v2 payload is also a valid v4 payload.
+/// never send `BATCH`, so every v2 payload is also a valid v5 payload.
 pub const MIN_PROTO_VERSION: u8 = 2;
 
 /// Upper bound on sub-requests in one `BATCH` frame.
@@ -893,6 +896,12 @@ fn encode_stats_report(report: &StatsReport, out: &mut Vec<u8>) {
     put_varint(out, report.delta_generation);
     put_varint(out, report.chain_len);
     put_varint(out, report.since_reload_secs);
+    put_varint(out, report.open_connections);
+    put_varint(out, report.peak_connections);
+    put_varint(out, report.ready_events);
+    put_varint(out, report.wakeups);
+    put_varint(out, report.shed_at_loop);
+    put_varint(out, report.write_buffer_high_water);
     put_string(out, &report.store);
     put_varint(out, report.endpoints.len() as u64);
     for ep in &report.endpoints {
@@ -924,6 +933,12 @@ fn decode_stats_report(input: &mut &[u8]) -> Result<StatsReport, ProtoError> {
     let delta_generation = get_varint(input)?;
     let chain_len = get_varint(input)?;
     let since_reload_secs = get_varint(input)?;
+    let open_connections = get_varint(input)?;
+    let peak_connections = get_varint(input)?;
+    let ready_events = get_varint(input)?;
+    let wakeups = get_varint(input)?;
+    let shed_at_loop = get_varint(input)?;
+    let write_buffer_high_water = get_varint(input)?;
     let store = get_string(input, MAX_ERROR_BYTES)?;
     let len = get_varint(input)? as usize;
     // Each endpoint entry is at least 34 bytes (id + count + four f64s).
@@ -972,6 +987,12 @@ fn decode_stats_report(input: &mut &[u8]) -> Result<StatsReport, ProtoError> {
         delta_generation,
         chain_len,
         since_reload_secs,
+        open_connections,
+        peak_connections,
+        ready_events,
+        wakeups,
+        shed_at_loop,
+        write_buffer_high_water,
         store,
         endpoints,
         stages,

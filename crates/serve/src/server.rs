@@ -39,9 +39,25 @@ use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
+/// Which serving core drives connections.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServerCore {
+    /// One pool worker owns each connection for its lifetime — the
+    /// original thread-per-connection core. Simple, but open sockets are
+    /// bounded by the admission cap.
+    Threaded,
+    /// One epoll event loop owns every socket and the pool only executes
+    /// requests ([`crate::reactor`]): tens of thousands of mostly-idle
+    /// connections cost no threads. On platforms without epoll this
+    /// falls back to [`ServerCore::Threaded`] at startup.
+    Reactor,
+}
+
 /// Tunables for [`Server::start`].
 #[derive(Clone, Copy, Debug)]
 pub struct ServerConfig {
+    /// Which serving core drives connections.
+    pub core: ServerCore,
     /// Connection worker threads (each owns one connection at a time).
     pub worker_threads: usize,
     /// Admitted-but-unserved connections tolerated beyond the workers
@@ -62,11 +78,21 @@ pub struct ServerConfig {
     /// until the connection goes idle at a frame boundary or this
     /// deadline passes — whichever comes first.
     pub drain_timeout: Duration,
+    /// Open-socket ceiling for the reactor core (the threaded core's
+    /// admission cap bounds its sockets already). Arrivals beyond it get
+    /// a typed [`Response::Busy`] and a close.
+    pub max_connections: usize,
+    /// How long a frame may sit partially assembled before the
+    /// connection is closed as stalled. The clock anchors to the frame's
+    /// *first* byte, so a slow-loris peer dripping one byte per interval
+    /// cannot keep resetting it. Both cores enforce it.
+    pub stall_timeout: Duration,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
+            core: ServerCore::Reactor,
             worker_threads: 8,
             max_pending: 64,
             shards: 8,
@@ -75,6 +101,8 @@ impl Default for ServerConfig {
             write_timeout: Duration::from_secs(5),
             max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
             drain_timeout: Duration::from_secs(2),
+            max_connections: 50_000,
+            stall_timeout: Duration::from_secs(30),
         }
     }
 }
@@ -363,14 +391,21 @@ impl Server {
         let accept_service = Arc::clone(&service);
         let accept_handle = thread::Builder::new()
             .name("pol-serve-accept".into())
-            .spawn(move || {
-                accept_loop(
+            .spawn(move || match config.core {
+                ServerCore::Reactor => crate::reactor::run(
                     listener,
                     accept_service,
                     config,
                     accept_stop,
                     accept_metrics,
-                );
+                ),
+                ServerCore::Threaded => accept_loop(
+                    listener,
+                    accept_service,
+                    config,
+                    accept_stop,
+                    accept_metrics,
+                ),
             })?;
         Ok(Server {
             addr: local,
@@ -460,8 +495,10 @@ impl Drop for Server {
 /// the admission count honest even when a connection worker panics — an
 /// injected `serve.worker.kill` fault unwinds through the pool's
 /// `catch_unwind`, and without the guard every kill would leak a slot
-/// until the cap starved the server into rejecting everyone.
-struct AdmitGuard(Arc<AtomicUsize>);
+/// until the cap starved the server into rejecting everyone. The
+/// reactor core reuses it per *request* for the same reason: a killed
+/// worker must still release its slot.
+pub(crate) struct AdmitGuard(pub(crate) Arc<AtomicUsize>);
 
 impl Drop for AdmitGuard {
     fn drop(&mut self) {
@@ -469,7 +506,7 @@ impl Drop for AdmitGuard {
     }
 }
 
-fn accept_loop(
+pub(crate) fn accept_loop(
     listener: TcpListener,
     service: Arc<RwLock<Arc<InventoryService>>>,
     config: ServerConfig,
@@ -519,12 +556,23 @@ fn accept_loop(
     drop(pool);
 }
 
-fn reject_busy(stream: TcpStream, config: &ServerConfig) {
+pub(crate) fn reject_busy(stream: TcpStream, config: &ServerConfig) {
     let mut stream = stream;
     let _ = stream.set_write_timeout(Some(config.write_timeout));
     let payload = encode_response(&Response::Busy);
     let _ = write_frame(&mut stream, &payload);
     let _ = stream.flush();
+}
+
+/// Decrements the open-connection gauge when dropped, so the gauge
+/// stays honest through every exit path including a chaos-killed worker
+/// unwinding.
+struct ConnGauge<'a>(&'a ServerMetrics);
+
+impl Drop for ConnGauge<'_> {
+    fn drop(&mut self) {
+        self.0.conn_closed();
+    }
 }
 
 fn handle_connection(
@@ -534,6 +582,8 @@ fn handle_connection(
     stop: &AtomicBool,
     metrics: &ServerMetrics,
 ) {
+    metrics.conn_opened();
+    let _gauge = ConnGauge(metrics);
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(config.read_timeout));
     let _ = stream.set_write_timeout(Some(config.write_timeout));
@@ -548,11 +598,18 @@ fn handle_connection(
     // server accepted gets its answer) or the drain deadline passes
     // (a peer streaming forever cannot hold shutdown hostage).
     let mut drain_deadline: Option<Instant> = None;
+    // Frame-assembly deadline: anchored to the first byte of the frame
+    // in progress, never refreshed by later drips, so a slow-loris peer
+    // cannot stretch one frame forever (same rule as the reactor core).
+    let mut frame_started: Option<Instant> = None;
     loop {
         if stop.load(Ordering::Relaxed) && drain_deadline.is_none() {
             drain_deadline = Some(Instant::now() + config.drain_timeout);
         }
         if drain_deadline.is_some_and(|d| Instant::now() >= d) {
+            break;
+        }
+        if frame_started.is_some_and(|t| t.elapsed() > config.stall_timeout) {
             break;
         }
         if pol_chaos::fire("serve.conn.read_delay") {
@@ -561,6 +618,7 @@ fn handle_connection(
         }
         match acc.poll(&mut reader, config.max_frame_bytes) {
             Ok(Some(payload)) => {
+                frame_started = None;
                 // The snapshot is resolved per frame: a hot reload swaps
                 // the Arc between requests, never under one.
                 let snapshot = Arc::clone(&service.read());
@@ -568,7 +626,11 @@ fn handle_connection(
                     break;
                 }
             }
-            Ok(None) => {}
+            Ok(None) => {
+                if frame_started.is_none() && acc.is_partial() {
+                    frame_started = Some(Instant::now());
+                }
+            }
             Err(ProtoError::Io(e))
                 if matches!(
                     e.kind(),
@@ -579,6 +641,9 @@ fn handle_connection(
                 // partial frame); loop around to poll the stop flag. A
                 // draining connection that hits a timeout with no frame
                 // in progress is idle — safe to close.
+                if frame_started.is_none() && acc.is_partial() {
+                    frame_started = Some(Instant::now());
+                }
                 if drain_deadline.is_some() && !acc.is_partial() {
                     break;
                 }

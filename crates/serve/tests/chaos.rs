@@ -15,7 +15,10 @@ use pol_core::records::{CellPoint, TripPoint};
 use pol_core::Inventory;
 use pol_geo::LatLon;
 use pol_hexgrid::{cell_at, Resolution};
-use pol_serve::{Client, ClientConfig, ClientError, ProtoError, RetryPolicy, Server, ServerConfig};
+use pol_serve::proto::{decode_response, read_frame, write_frame, Request, Response};
+use pol_serve::{
+    Client, ClientConfig, ClientError, ProtoError, RetryPolicy, Server, ServerConfig, ServerCore,
+};
 use pol_sketch::hash::FxHashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -239,6 +242,70 @@ fn fleet_survives_kills_delays_and_corrupt_reload() {
 
     server.shutdown();
     std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The reactor sheds load per *request*, not per connection: while the
+/// only worker slot is pinned (a chaos-delayed request), a second
+/// connection's request is answered with an immediate typed `Busy` — and
+/// that connection stays open and is served normally once the slot
+/// frees. The `shed_at_loop` counter attributes the rejection to the
+/// event loop.
+#[test]
+fn reactor_sheds_at_the_loop_and_keeps_the_connection() {
+    let config = ServerConfig {
+        core: ServerCore::Reactor,
+        worker_threads: 1,
+        max_pending: 0,
+        read_timeout: Duration::from_millis(25),
+        ..ServerConfig::default()
+    };
+    let mut server = Server::start(sample_inventory(50), "127.0.0.1:0", config).unwrap();
+    let addr = server.local_addr();
+
+    reset();
+    // The first request to reach a worker sleeps 600 ms, pinning the
+    // single admission slot for a deterministic window.
+    configure(
+        "serve.worker.kill",
+        Trigger::NthHit {
+            n: 1,
+            action: FaultAction::Delay(Duration::from_millis(600)),
+        },
+    );
+    let pinner = std::thread::spawn(move || {
+        let mut client = Client::connect_with(addr, chaos_client_config(7)).unwrap();
+        client.ping().unwrap(); // delayed, then answered
+    });
+    std::thread::sleep(Duration::from_millis(150)); // slot is pinned now
+
+    // A raw second connection (no client-side Busy retry) sees the shed.
+    let mut stream = std::net::TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(2)))
+        .unwrap();
+    let payload = pol_serve::proto::encode_request(&Request::Ping);
+    let mut framed = Vec::new();
+    write_frame(&mut framed, &payload).unwrap();
+    use std::io::Write;
+    stream.write_all(&framed).unwrap();
+    let reply = read_frame(&mut stream, 1 << 20).unwrap();
+    assert!(
+        matches!(decode_response(&reply).unwrap(), Response::Busy),
+        "pinned slot must shed the request with Busy"
+    );
+
+    // The shed connection survives: once the slot frees, the very same
+    // socket is served.
+    pinner.join().unwrap();
+    stream.write_all(&framed).unwrap();
+    let reply = read_frame(&mut stream, 1 << 20).unwrap();
+    assert!(matches!(decode_response(&reply).unwrap(), Response::Pong));
+
+    let snap = server.metrics().snapshot();
+    assert!(snap.shed_at_loop >= 1, "shed_at_loop never counted");
+    assert!(snap.busy_rejections >= 1);
+    reset();
+    server.shutdown();
 }
 
 /// A kill fault must not leak its admission slot: after many kills, the

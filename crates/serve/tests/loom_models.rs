@@ -17,6 +17,14 @@
 //! 3. [`pool_shutdown_drains_every_submitted_job`] — the worker-pool
 //!    drain: every job submitted before shutdown runs exactly once and
 //!    every worker exits.
+//! 4. [`shed_and_enqueue_are_mutually_exclusive`] — the reactor's
+//!    per-request admission: under a racing dispatcher pair, a request
+//!    is either shed with `Busy` or executed, never both, and the slot
+//!    accounting balances.
+//! 5. [`eventfd_wakeup_loses_no_completion`] — the worker → event-loop
+//!    hand-off: completions pushed before a wake are observed by the
+//!    loop's drain-then-apply order in every interleaving (the classic
+//!    lost-wakeup shape: drain the eventfd *before* taking the queue).
 #![cfg(loom)]
 
 use loom::sync::atomic::{AtomicUsize, Ordering};
@@ -228,5 +236,128 @@ fn pool_shutdown_drains_every_submitted_job() {
             2,
             "a job submitted before shutdown was dropped or ran twice"
         );
+    });
+}
+
+/// Mirrors `reactor::EventLoop::dispatch` racing itself: two requests
+/// contend for one admission slot. Each dispatcher either takes the
+/// slot and "executes" (incrementing `executed` under an `AdmitGuard`,
+/// one kill-unwinding like the chaos fault) or sheds (incrementing
+/// `shed`). The reactor's invariant: every request lands in exactly one
+/// of the two outcomes, and the slot count returns to zero — no request
+/// both shed *and* executed, none lost.
+#[test]
+fn shed_and_enqueue_are_mutually_exclusive() {
+    loom::model(|| {
+        let admitted = Arc::new(AtomicUsize::new(0));
+        let executed = Arc::new(AtomicUsize::new(0));
+        let shed = Arc::new(AtomicUsize::new(0));
+        let admit_cap = 1;
+
+        let handles: Vec<_> = (0..2)
+            .map(|kill| {
+                let admitted = Arc::clone(&admitted);
+                let executed = Arc::clone(&executed);
+                let shed = Arc::clone(&shed);
+                thread::spawn(move || {
+                    // dispatch(): admission check at the loop…
+                    if admitted.fetch_add(1, Ordering::Relaxed) >= admit_cap {
+                        admitted.fetch_sub(1, Ordering::Relaxed);
+                        shed.fetch_add(1, Ordering::Relaxed); // Busy frame
+                        return;
+                    }
+                    let guard = AdmitGuard(Arc::clone(&admitted));
+                    // …then the worker job, kill-contained by the pool.
+                    let _ = catch_unwind(AssertUnwindSafe(move || {
+                        let _admitted = guard;
+                        executed.fetch_add(1, Ordering::Relaxed);
+                        if kill == 1 {
+                            panic!("serve.worker.kill");
+                        }
+                    }));
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("dispatcher");
+        }
+
+        let executed = executed.load(Ordering::Relaxed);
+        let shed = shed.load(Ordering::Relaxed);
+        assert_eq!(
+            executed + shed,
+            2,
+            "a request vanished or was double-counted ({executed} executed, {shed} shed)"
+        );
+        assert!(executed >= 1, "capacity 1 must execute at least one");
+        assert_eq!(
+            admitted.load(Ordering::Relaxed),
+            0,
+            "admission slot leaked through shed or kill"
+        );
+    });
+}
+
+/// The worker → event-loop completion hand-off, at the granularity of
+/// its lost-wakeup hazard. Workers push onto the completion queue and
+/// then raise the wake flag (eventfd write). The loop, when it observes
+/// the flag, *first* clears it (eventfd drain) and *then* takes the
+/// queue — the order `reactor::EventLoop::run` uses. If the loop
+/// cleared after taking instead, a push landing between the two would
+/// be stranded with its wakeup already consumed, and the final drain
+/// below (which only fires while the flag is raised) would never see
+/// it. One loop tick races the workers; after everything joins, flag-
+/// gated drains must account for both completions. The tick is bounded
+/// (no spin loop) so loom's schedule space stays tractable.
+#[test]
+fn eventfd_wakeup_loses_no_completion() {
+    loom::model(|| {
+        let completions = Arc::new(Mutex::new(Vec::new()));
+        let wake = Arc::new(AtomicUsize::new(0)); // eventfd counter
+
+        // One epoll_wait tick: woken only if the eventfd is readable,
+        // then drain-before-take, exactly as EventLoop::run orders it.
+        let tick = |completions: &Mutex<Vec<usize>>, wake: &AtomicUsize| -> Vec<usize> {
+            if wake.load(Ordering::Acquire) > 0 {
+                wake.swap(0, Ordering::AcqRel); // eventfd drain
+                std::mem::take(&mut *completions.lock().expect("completions lock"))
+            } else {
+                Vec::new()
+            }
+        };
+
+        let workers: Vec<_> = (0..2)
+            .map(|id| {
+                let completions = Arc::clone(&completions);
+                let wake = Arc::clone(&wake);
+                thread::spawn(move || {
+                    // CompletionGuard::drop → LoopShared::complete:
+                    // push under the leaf lock, then ring the eventfd.
+                    completions.lock().expect("completions lock").push(id);
+                    wake.fetch_add(1, Ordering::Release);
+                })
+            })
+            .collect();
+
+        // One loop tick races the workers at every possible point…
+        let racing = {
+            let completions = Arc::clone(&completions);
+            let wake = Arc::clone(&wake);
+            thread::spawn(move || tick(&completions, &wake))
+        };
+
+        for w in workers {
+            w.join().expect("worker");
+        }
+        let mut applied = racing.join().expect("event loop tick");
+        // …then the settled loop keeps ticking while the eventfd stays
+        // readable. A completion stranded with its wakeup consumed (the
+        // take-before-drain bug) is invisible to these ticks and fails
+        // the assertion.
+        while wake.load(Ordering::Acquire) > 0 {
+            applied.extend(tick(&completions, &wake));
+        }
+        applied.sort_unstable();
+        assert_eq!(applied, vec![0, 1], "a completion was lost or duplicated");
     });
 }

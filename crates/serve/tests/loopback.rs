@@ -14,12 +14,12 @@ use pol_core::Inventory;
 use pol_geo::{BBox, LatLon};
 use pol_hexgrid::{cell_at, CellIndex, Resolution};
 use pol_serve::proto::{read_frame, write_frame, ProtoError, Request, Response, PROTO_VERSION};
-use pol_serve::{Client, ClientError, Server, ServerConfig};
+use pol_serve::{Client, ClientError, Server, ServerConfig, ServerCore};
 use pol_sketch::hash::FxHashMap;
 use std::io::Write;
 use std::net::TcpStream;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 fn res() -> Resolution {
     Resolution::new(6).unwrap()
@@ -207,10 +207,15 @@ fn stats_endpoint_reports_counters_and_stages() {
 }
 
 /// Connections beyond `worker_threads + max_pending` are shed with a
-/// typed `Busy` frame instead of queueing.
+/// typed `Busy` frame instead of queueing. Pinned to the threaded core,
+/// whose admission is per *connection* (a second attached connection is
+/// over the cap even while idle); the reactor core admits per request —
+/// its shedding is covered by the chaos suite's
+/// `reactor_sheds_at_the_loop_and_keeps_the_connection`.
 #[test]
 fn overload_is_rejected_with_busy() {
     let config = ServerConfig {
+        core: ServerCore::Threaded,
         worker_threads: 1,
         max_pending: 0,
         read_timeout: Duration::from_millis(25),
@@ -589,6 +594,114 @@ fn batched_requests_equal_single_requests() {
     // The connection is still healthy afterwards.
     client.ping().unwrap();
     server.shutdown();
+}
+
+/// The reactor's event-loop counters are live: an attached connection
+/// shows in the gauge, readiness events and eventfd wakeups accumulate
+/// under traffic, and the gauge returns to zero when the peer leaves.
+#[test]
+fn reactor_core_event_counters_are_live() {
+    let mut server = Server::start(sample_inventory(50), "127.0.0.1:0", test_config()).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    for _ in 0..10 {
+        client.ping().unwrap();
+    }
+    let report = client.stats().unwrap();
+    assert_eq!(report.open_connections, 1);
+    assert!(report.peak_connections >= 1);
+    assert!(report.ready_events > 0, "no readiness events recorded");
+    assert!(report.wakeups > 0, "no eventfd wakeups recorded");
+    assert_eq!(report.shed_at_loop, 0);
+    drop(client);
+    let metrics = server.metrics();
+    let deadline = Instant::now() + Duration::from_secs(3);
+    while metrics.open_connections() > 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(
+        metrics.open_connections(),
+        0,
+        "gauge must return to zero after the peer disconnects"
+    );
+    server.shutdown();
+}
+
+/// A client that pipelines a burst of requests and only starts reading
+/// later gets every response, intact and in order: the reactor buffers
+/// responses per connection and re-arms `EPOLLOUT` until they drain.
+#[test]
+fn pipelined_responses_survive_a_lazy_reader() {
+    let mut server = Server::start(sample_inventory(50), "127.0.0.1:0", test_config()).unwrap();
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    let payload = pol_serve::proto::encode_request(&Request::Ping);
+    let mut framed = Vec::new();
+    write_frame(&mut framed, &payload).unwrap();
+    const BURST: usize = 16;
+    for _ in 0..BURST {
+        stream.write_all(&framed).unwrap();
+    }
+    stream.flush().unwrap();
+    // Stay lazy: let the responses pile up server-side before reading.
+    std::thread::sleep(Duration::from_millis(300));
+    stream
+        .set_read_timeout(Some(Duration::from_secs(3)))
+        .unwrap();
+    for i in 0..BURST {
+        let reply = read_frame(&mut stream, 1 << 20).unwrap();
+        assert!(
+            matches!(
+                pol_serve::proto::decode_response(&reply).unwrap(),
+                Response::Pong
+            ),
+            "pipelined reply {i}"
+        );
+    }
+    server.shutdown();
+}
+
+/// A slow-loris peer — one that declares a frame and then drips bytes
+/// forever — is cut off by the frame-assembly deadline (anchored to the
+/// frame's first byte, so the drip cannot keep resetting it) without
+/// ever stalling the other clients. Both cores enforce the same rule.
+#[test]
+fn slow_loris_is_cut_off_without_stalling_others() {
+    for core in [ServerCore::Reactor, ServerCore::Threaded] {
+        let config = ServerConfig {
+            core,
+            stall_timeout: Duration::from_millis(300),
+            read_timeout: Duration::from_millis(25),
+            ..ServerConfig::default()
+        };
+        let mut server = Server::start(sample_inventory(50), "127.0.0.1:0", config).unwrap();
+        let addr = server.local_addr();
+
+        // The loris declares a 100-byte frame, then feeds it one byte at
+        // a time — each drip inside the read timeout, the whole frame
+        // far beyond the stall deadline.
+        let mut loris = TcpStream::connect(addr).unwrap();
+        loris.set_nodelay(true).unwrap();
+        loris.write_all(&(100u32).to_le_bytes()).unwrap();
+        loris.flush().unwrap();
+
+        let mut healthy = Client::connect(addr).unwrap();
+        let started = Instant::now();
+        let mut cut_off = false;
+        while started.elapsed() < Duration::from_secs(5) {
+            // Other clients are served the whole time.
+            healthy.ping().unwrap();
+            if loris.write_all(&[0]).and_then(|()| loris.flush()).is_err() {
+                cut_off = true;
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(30));
+        }
+        assert!(
+            cut_off,
+            "{core:?}: slow-loris connection evaded the stall deadline"
+        );
+        healthy.ping().unwrap();
+        server.shutdown();
+    }
 }
 
 /// `CellIndex::from_raw` accepts every index a bbox scan returns (the

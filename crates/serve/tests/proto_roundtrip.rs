@@ -106,6 +106,11 @@ fn arb_stats_report() -> impl Strategy<Value = StatsReport> {
         (1u64..1 << 20, 0u64..500, 0u64..500),
         (0u64..1 << 30, 0u64..1 << 40, 0u64..1 << 40),
         (0u64..1 << 30, 0u64..1 << 16, 0u64..1 << 24),
+        (
+            (0u64..20_000, 0u64..20_000),
+            (0u64..1 << 40, 0u64..1 << 40),
+            (0u64..1 << 30, 0u64..1 << 30),
+        ),
         prop::collection::vec(32u8..127, 0..32),
         prop::collection::vec(
             (
@@ -124,6 +129,7 @@ fn arb_stats_report() -> impl Strategy<Value = StatsReport> {
                 (generation, reloads_ok, reloads_failed),
                 (batched, mapped_lookups, mapped_scan_entries),
                 (delta_generation, chain_len, since_reload_secs),
+                ((open_conns, peak_conns), (ready_events, wakeups), (shed, high_water)),
                 store_bytes,
                 eps,
                 stage_bytes,
@@ -143,6 +149,12 @@ fn arb_stats_report() -> impl Strategy<Value = StatsReport> {
                 delta_generation,
                 chain_len,
                 since_reload_secs,
+                open_connections: open_conns,
+                peak_connections: peak_conns,
+                ready_events,
+                wakeups,
+                shed_at_loop: shed,
+                write_buffer_high_water: high_water,
                 store: String::from_utf8(store_bytes).expect("ascii"),
                 endpoints: eps
                     .into_iter()
@@ -362,6 +374,12 @@ fn every_opcode_constant_is_pinned_to_its_frame_tag() {
                 delta_generation: 0,
                 chain_len: 1,
                 since_reload_secs: 0,
+                open_connections: 2,
+                peak_connections: 3,
+                ready_events: 10,
+                wakeups: 4,
+                shed_at_loop: 1,
+                write_buffer_high_water: 256,
                 store: "heap".to_string(),
                 endpoints: Vec::new(),
                 stages: String::new(),
@@ -387,4 +405,103 @@ fn every_opcode_constant_is_pinned_to_its_frame_tag() {
         assert_eq!(payload[1], tag, "response tag drifted for {resp:?}");
         assert!(decode_response(&payload).is_ok());
     }
+}
+
+/// The wire survives a deliberately hostile transport: frames written
+/// through the reactor's [`pol_serve::conn::WriteBuffer`] over a sink
+/// that fragments, interrupts, and blocks, then read back one byte at a
+/// time through a `FrameAccumulator`, must decode to the original
+/// requests in order.
+#[test]
+fn frames_round_trip_over_a_fragmenting_transport() {
+    use pol_serve::conn::WriteBuffer;
+    use pol_serve::proto::FrameAccumulator;
+    use std::io::{self, Read, Write};
+
+    struct Fragmenting {
+        sink: Vec<u8>,
+        calls: usize,
+    }
+    impl Write for Fragmenting {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.calls += 1;
+            if self.calls % 3 == 0 {
+                return Err(io::Error::new(io::ErrorKind::Interrupted, "signal"));
+            }
+            if self.calls % 7 == 0 {
+                return Err(io::Error::new(io::ErrorKind::WouldBlock, "eagain"));
+            }
+            let n = buf.len().min(3);
+            self.sink.extend_from_slice(&buf[..n]);
+            Ok(n)
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    struct Drip<'a> {
+        data: &'a [u8],
+        pos: usize,
+    }
+    impl Read for Drip<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if self.pos >= self.data.len() {
+                return Err(io::Error::new(io::ErrorKind::WouldBlock, "dry"));
+            }
+            let n = buf.len().min(1);
+            buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+
+    let requests = vec![
+        Request::Ping,
+        Request::PointSummary {
+            lat: 42.0,
+            lon: -7.5,
+        },
+        Request::TopDestinationCells {
+            dest: 9,
+            segment: None,
+        },
+        Request::Stats,
+    ];
+    let mut wb = WriteBuffer::new();
+    for req in &requests {
+        wb.push_frame(&encode_request(req));
+    }
+    let mut t = Fragmenting {
+        sink: Vec::new(),
+        calls: 0,
+    };
+    let mut spins = 0;
+    while !wb.is_empty() {
+        wb.flush_to(&mut t)
+            .expect("fragmenting writes must succeed");
+        spins += 1;
+        assert!(spins < 10_000, "flush did not converge");
+    }
+
+    let mut r = Drip {
+        data: &t.sink,
+        pos: 0,
+    };
+    let mut acc = FrameAccumulator::new();
+    let mut decoded = Vec::new();
+    loop {
+        match acc.poll(&mut r, 1 << 20) {
+            Ok(Some(payload)) => decoded.push(decode_request(&payload).expect("valid frame")),
+            Ok(None) => {}
+            Err(e) => {
+                assert!(decoded.len() == requests.len(), "stream ended early: {e}");
+                break;
+            }
+        }
+    }
+    assert_eq!(
+        decoded, requests,
+        "round-trip must preserve order and content"
+    );
 }
