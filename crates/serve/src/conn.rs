@@ -187,6 +187,17 @@ impl ConnState {
         !self.mid_frame() && !self.in_flight && self.pending.is_empty() && self.outbox.is_empty()
     }
 
+    /// Whether the pipeline is full and reading should stop. While this
+    /// holds the reactor drops `EPOLLIN` from the connection's interest
+    /// — with level-triggered epoll, staying subscribed to a socket we
+    /// refuse to read would re-report it on every `epoll_wait` and spin
+    /// the loop hot exactly when the server is saturated. Unread bytes
+    /// wait in the kernel buffer; interest is re-armed as completions
+    /// shrink the queue.
+    pub fn read_paused(&self) -> bool {
+        self.pending.len() >= MAX_PENDING_FRAMES
+    }
+
     /// Pumps the read side after a readiness event: feeds reads through
     /// the accumulator until the transport would block, the pending
     /// queue fills ([`MAX_PENDING_FRAMES`] — backpressure by not
@@ -455,6 +466,18 @@ mod tests {
         conn.read_ready(&mut r, 1 << 20, &mut frames);
         assert_eq!(frames.len(), 1);
         assert_eq!(conn.frame_started, None);
+    }
+
+    #[test]
+    fn read_pauses_exactly_at_the_pending_cap() {
+        let mut conn = ConnState::new(Instant::now());
+        assert!(!conn.read_paused());
+        for i in 0..MAX_PENDING_FRAMES {
+            conn.pending.push_back(vec![i as u8]);
+        }
+        assert!(conn.read_paused(), "full pipeline must stop reading");
+        conn.pending.pop_front();
+        assert!(!conn.read_paused(), "one free slot must resume reading");
     }
 
     #[test]

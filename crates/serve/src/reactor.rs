@@ -34,7 +34,7 @@
 use crate::conn::{ConnState, ReadEvent};
 use crate::metrics::ServerMetrics;
 use crate::proto::{decode_request, encode_response, Response};
-use crate::server::{reject_busy, AdmitGuard, InventoryService, ServerConfig};
+use crate::server::{AdmitGuard, InventoryService, ServerConfig};
 use parking_lot::{Mutex, RwLock};
 use pol_engine::ThreadPool;
 use std::net::TcpListener;
@@ -366,7 +366,6 @@ mod linux {
     }
 
     const READ_INTEREST: u32 = sys::EPOLLIN | sys::EPOLLRDHUP;
-    const WRITE_INTEREST: u32 = READ_INTEREST | sys::EPOLLOUT;
 
     pub(super) struct EventLoop {
         epoll: Epoll,
@@ -533,7 +532,7 @@ mod linux {
                 // The fd budget is the one resource admission cannot
                 // defer: turn the connection away with a typed Busy.
                 self.metrics.incr_busy();
-                reject_busy(stream, &self.config);
+                reject_busy_nonblocking(stream);
                 return;
             }
             if stream.set_nonblocking(true).is_err() {
@@ -630,8 +629,11 @@ mod linux {
         }
 
         /// Admission check + hand-off to the pool: the loop-level
-        /// expression of the typed Busy backpressure.
-        fn dispatch(&mut self, token: u64, payload: Vec<u8>) {
+        /// expression of the typed Busy backpressure. Returns whether the
+        /// request is now in flight on the pool; `false` means it was
+        /// answered (shed with Busy) or the connection is gone, so the
+        /// caller may feed the next pending frame through immediately.
+        fn dispatch(&mut self, token: u64, payload: Vec<u8>) -> bool {
             if self.admitted.fetch_add(1, Ordering::Relaxed) >= self.admit_cap {
                 self.admitted.fetch_sub(1, Ordering::Relaxed);
                 self.metrics.incr_busy();
@@ -644,7 +646,7 @@ mod linux {
                         .outbox
                         .push_frame(&encode_response(&Response::Busy));
                 }
-                return;
+                return false;
             }
             let guard = AdmitGuard(Arc::clone(&self.admitted));
             if let Some(entry) = self.conns.get_mut(&token) {
@@ -656,13 +658,20 @@ mod linux {
             let submitted = self.pool.execute(move || {
                 let _admitted = guard;
                 execute_job(payload, token, &service, &metrics, shared);
+                // Chaos: keep holding the admission slot after the
+                // completion has been posted — the window where a
+                // pipelined connection's next pending frame meets a full
+                // cap at pop time and must be shed, not stranded.
+                pol_chaos::fire("serve.worker.slot_hold");
             });
             if submitted.is_err() {
                 // Pool shut down underneath us (closure dropped unrun;
                 // its AdmitGuard released on the way out). The request
                 // can never be answered: close the connection.
                 self.close_conn(token);
+                return false;
             }
+            true
         }
 
         /// Moves worker results into their connections' write buffers
@@ -682,8 +691,24 @@ mod linux {
                         if completion.close_after {
                             entry.state.close_after_flush = true;
                             entry.state.pending.clear();
-                        } else if let Some(next) = entry.state.pending.pop_front() {
-                            self.dispatch(token, next);
+                        } else {
+                            // Keep the pipeline moving even when
+                            // admission sheds: a shed answers its frame
+                            // with Busy but leaves in_flight false, so
+                            // stopping here would strand the rest of the
+                            // queue with no completion to ever pop it.
+                            // Drain until a dispatch is admitted (the
+                            // next completion resumes) or the queue is
+                            // empty — every popped frame gets an answer.
+                            while let Some(next) = self
+                                .conns
+                                .get_mut(&token)
+                                .and_then(|entry| entry.state.pending.pop_front())
+                            {
+                                if self.dispatch(token, next) {
+                                    break;
+                                }
+                            }
                         }
                     }
                     None => {
@@ -728,11 +753,16 @@ mod linux {
                 self.close_conn(token);
                 return;
             }
-            let want = if drained {
-                READ_INTEREST
-            } else {
-                WRITE_INTEREST
-            };
+            // Interest re-arming: EPOLLOUT only while bytes are owed,
+            // and EPOLLIN (with RDHUP — also level-triggered) only while
+            // the pending pipeline has room, so a full queue applies
+            // kernel-buffer backpressure instead of spinning the loop on
+            // a socket we refuse to read. EPOLLERR/EPOLLHUP are always
+            // reported regardless of the interest mask.
+            let mut want = if drained { 0 } else { sys::EPOLLOUT };
+            if !entry.state.read_paused() {
+                want |= READ_INTEREST;
+            }
             if entry.interest != want {
                 let fd = entry.stream.as_raw_fd();
                 if self.epoll.modify(fd, want, token).is_ok() {
@@ -793,5 +823,26 @@ mod linux {
                 self.metrics.conn_closed();
             }
         }
+    }
+
+    /// Best-effort Busy rejection for the reactor thread: one
+    /// nonblocking write of the framed response, dropped on
+    /// `WouldBlock`. The frame is a handful of bytes, so it fits a
+    /// fresh socket's send buffer in practice; when it does not, losing
+    /// the courtesy frame beats stalling the event loop — the threaded
+    /// core's blocking [`crate::server::reject_busy`] can wait out a full write
+    /// timeout, which is fine on a per-connection worker but would
+    /// freeze every other connection here. The peer still observes the
+    /// close either way.
+    fn reject_busy_nonblocking(stream: TcpStream) {
+        use std::io::Write;
+        if stream.set_nonblocking(true).is_err() {
+            return;
+        }
+        let payload = encode_response(&Response::Busy);
+        let mut frame = Vec::with_capacity(4 + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        let _ = (&stream).write(&frame);
     }
 }

@@ -308,6 +308,82 @@ fn reactor_sheds_at_the_loop_and_keeps_the_connection() {
     server.shutdown();
 }
 
+/// A shed must never strand a *pipelined* connection's queue: when a
+/// completion pops the next pending frame and admission sheds it, the
+/// rest of the pending queue has no in-flight marker left to pop it — so
+/// the loop must keep draining, answering every queued frame with Busy,
+/// instead of leaving the connection wedged (no response, not idle, not
+/// stalled) until the peer gives up. The `serve.worker.slot_hold` fault
+/// pins the admission slot *after* the first completion posts, which is
+/// exactly the interleaving where the pop-path shed fires.
+#[test]
+fn shed_at_pop_answers_every_pipelined_frame() {
+    let config = ServerConfig {
+        core: ServerCore::Reactor,
+        worker_threads: 1,
+        max_pending: 0, // admission cap of exactly one slot
+        read_timeout: Duration::from_millis(25),
+        ..ServerConfig::default()
+    };
+    let mut server = Server::start(sample_inventory(50), "127.0.0.1:0", config).unwrap();
+    let addr = server.local_addr();
+
+    reset();
+    // After the first request's completion is posted, its worker keeps
+    // the only admission slot pinned for 600 ms: the loop pops the
+    // pipelined follow-ups into a full cap.
+    configure(
+        "serve.worker.slot_hold",
+        Trigger::NthHit {
+            n: 1,
+            action: FaultAction::Delay(Duration::from_millis(600)),
+        },
+    );
+
+    let mut stream = std::net::TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(2)))
+        .unwrap();
+    let payload = pol_serve::proto::encode_request(&Request::Ping);
+    let mut framed = Vec::new();
+    write_frame(&mut framed, &payload).unwrap();
+    // Four requests in one burst: the first dispatches, the other three
+    // queue behind it in the connection's pending queue.
+    let mut burst = Vec::new();
+    for _ in 0..4 {
+        burst.extend_from_slice(&framed);
+    }
+    use std::io::Write;
+    stream.write_all(&burst).unwrap();
+
+    // Every request gets a response, in order: the served first frame,
+    // then one typed Busy per shed follow-up — none goes unanswered.
+    let reply = read_frame(&mut stream, 1 << 20).unwrap();
+    assert!(
+        matches!(decode_response(&reply).unwrap(), Response::Pong),
+        "first pipelined request must be served"
+    );
+    for i in 1..4 {
+        let reply = read_frame(&mut stream, 1 << 20).unwrap();
+        assert!(
+            matches!(decode_response(&reply).unwrap(), Response::Busy),
+            "pipelined frame {i} must be shed with Busy, not stranded"
+        );
+    }
+
+    // The connection is not wedged: once the slot frees, the very same
+    // socket is served again.
+    std::thread::sleep(Duration::from_millis(700));
+    stream.write_all(&framed).unwrap();
+    let reply = read_frame(&mut stream, 1 << 20).unwrap();
+    assert!(matches!(decode_response(&reply).unwrap(), Response::Pong));
+
+    let snap = server.metrics().snapshot();
+    assert!(snap.shed_at_loop >= 3, "pop-path sheds must be counted");
+    reset();
+    server.shutdown();
+}
+
 /// A kill fault must not leak its admission slot: after many kills, the
 /// server still admits new connections (the `AdmitGuard` contract).
 #[test]
